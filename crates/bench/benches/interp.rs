@@ -1,0 +1,52 @@
+//! Interpreter and profiling throughput: how fast the BIT-analog
+//! executes the six benchmarks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nonstrict_bytecode::{Input, Interpreter};
+use nonstrict_profile::collect;
+
+fn bench_interpreter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interpreter");
+    group.sample_size(10);
+    for app in nonstrict_workloads::build_all() {
+        // Measure instructions per second on the Train input (smaller,
+        // keeps bench wall time sane for BIT's 5.6M instructions).
+        let mut probe = Interpreter::new(&app.program);
+        probe.run(app.args(Input::Train), &mut ()).unwrap();
+        group.throughput(Throughput::Elements(probe.executed()));
+        group.bench_with_input(BenchmarkId::new("train_run", &app.name), &app, |b, app| {
+            b.iter(|| {
+                let mut interp = Interpreter::new(&app.program);
+                interp.run(app.args(Input::Train), &mut ()).unwrap();
+                interp.executed()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_profiling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("profile_collect");
+    group.sample_size(10);
+    for name in ["Hanoi", "JHLZip", "TestDes"] {
+        let app = nonstrict_workloads::build_by_name(name).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &app, |b, app| {
+            b.iter(|| collect(app, Input::Train).unwrap().trace.total_instructions())
+        });
+    }
+    group.finish();
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload_build");
+    group.sample_size(10);
+    for name in ["Hanoi", "JHLZip", "Jess"] {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| nonstrict_workloads::build_by_name(name).unwrap().total_size())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_interpreter, bench_profiling, bench_build);
+criterion_main!(benches);

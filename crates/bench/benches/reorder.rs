@@ -1,0 +1,59 @@
+//! Reordering-pipeline costs: static first-use estimation, class-file
+//! restructuring, and global-data partitioning — the work a non-strict
+//! server does once per application.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nonstrict_reorder::{
+    partition_app, restructure, static_first_use, static_first_use_plain,
+};
+
+fn bench_scg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("static_first_use");
+    for name in ["Hanoi", "JHLZip", "BIT", "Jess"] {
+        let app = nonstrict_workloads::build_by_name(name).unwrap();
+        group.bench_with_input(BenchmarkId::new("loop_aware", name), &app, |b, app| {
+            b.iter(|| static_first_use(&app.program).order().len())
+        });
+        group.bench_with_input(BenchmarkId::new("plain_dfs", name), &app, |b, app| {
+            b.iter(|| static_first_use_plain(&app.program).order().len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_restructure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("restructure");
+    for name in ["JHLZip", "Jess"] {
+        let app = nonstrict_workloads::build_by_name(name).unwrap();
+        let order = static_first_use(&app.program);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &app, |b, app| {
+            b.iter(|| restructure(app, &order).classes.len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_partition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition_app");
+    for name in ["JHLZip", "TestDes", "Jess"] {
+        let app = nonstrict_workloads::build_by_name(name).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &app, |b, app| {
+            b.iter(|| partition_app(app).len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_serialization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("classfile_to_bytes");
+    let app = nonstrict_workloads::jess::build();
+    group.bench_function("jess_all_classes", |b| {
+        b.iter(|| {
+            app.classes.iter().map(|c| c.to_bytes().len()).sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scg, bench_restructure, bench_partition, bench_serialization);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Transfer-engine and co-simulation speed: the cost of simulating one
+//! remote execution under each transfer policy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nonstrict_bytecode::Input;
+use nonstrict_core::model::{
+    DataLayout, ExecutionModel, OrderingSource, SimConfig, TransferPolicy,
+};
+use nonstrict_core::sim::Session;
+use nonstrict_netsim::Link;
+
+fn session(name: &str) -> Session {
+    Session::new(nonstrict_workloads::build_by_name(name).unwrap()).unwrap()
+}
+
+fn bench_session_setup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("session_new");
+    group.sample_size(10);
+    for name in ["Hanoi", "JHLZip"] {
+        let app = nonstrict_workloads::build_by_name(name).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &app, |b, app| {
+            b.iter(|| Session::new(app.clone()).unwrap().app.total_size())
+        });
+    }
+    group.finish();
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_modem");
+    group.sample_size(20);
+    let sessions: Vec<Session> = ["Hanoi", "JHLZip", "Jess"].iter().map(|n| session(n)).collect();
+    let policies: [(&str, TransferPolicy); 4] = [
+        ("strict_seq", TransferPolicy::Strict),
+        ("parallel_4", TransferPolicy::Parallel { limit: 4 }),
+        ("parallel_inf", TransferPolicy::Parallel { limit: usize::MAX }),
+        ("interleaved", TransferPolicy::Interleaved),
+    ];
+    for s in &sessions {
+        for (label, transfer) in policies {
+            let config = SimConfig {
+                link: Link::MODEM_28_8,
+                ordering: OrderingSource::TestProfile,
+                transfer,
+                data_layout: DataLayout::Whole,
+                execution: ExecutionModel::NonStrict,
+            };
+            group.bench_function(BenchmarkId::new(label, &s.app.name), |b| {
+                b.iter(|| s.simulate(Input::Test, &config).total_cycles)
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_partitioned(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_partitioned");
+    group.sample_size(20);
+    let s = session("Jess");
+    let config = SimConfig {
+        link: Link::MODEM_28_8,
+        ordering: OrderingSource::StaticCallGraph,
+        transfer: TransferPolicy::Parallel { limit: 4 },
+        data_layout: DataLayout::Partitioned,
+        execution: ExecutionModel::NonStrict,
+    };
+    group.bench_function("jess_par4_dp", |b| {
+        b.iter(|| s.simulate(Input::Test, &config).total_cycles)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_session_setup, bench_policies, bench_partitioned);
+criterion_main!(benches);

@@ -1,0 +1,123 @@
+//! Regenerates every table and figure of the ASPLOS '98 paper.
+//!
+//! ```text
+//! paper all          # every table + Figure 6
+//! paper table2       # one table (2..=10)
+//! paper table10
+//! paper fig6
+//! paper summary      # headline claims vs measured
+//! paper csv results/ # machine-readable export of every table
+//! ```
+
+use nonstrict_core::experiment::{self, paper, Suite};
+use nonstrict_core::metrics::mean;
+use nonstrict_core::model::DataLayout;
+use nonstrict_core::report;
+use nonstrict_netsim::Link;
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_owned());
+    eprintln!("building and profiling the six benchmarks...");
+    let suite = Suite::new().expect("benchmarks build and run");
+    match arg.as_str() {
+        "all" => println!("{}", report::render_all(&suite)),
+        "table2" => println!("{}", report::render_table2(&suite)),
+        "table3" => println!("{}", report::render_table3(&experiment::table3(&suite))),
+        "table4" => println!("{}", report::render_table4(&experiment::table4(&suite))),
+        "table5" => println!(
+            "{}",
+            report::render_parallel(&experiment::parallel_table(
+                &suite,
+                Link::T1,
+                DataLayout::Whole
+            ))
+        ),
+        "table6" => println!(
+            "{}",
+            report::render_parallel(&experiment::parallel_table(
+                &suite,
+                Link::MODEM_28_8,
+                DataLayout::Whole
+            ))
+        ),
+        "table7" => {
+            let t = experiment::interleaved_table(&suite, DataLayout::Whole);
+            let p: Vec<[f64; 6]> =
+                paper::TABLE7.iter().map(|r| [r.0, r.1, r.2, r.3, r.4, r.5]).collect();
+            println!(
+                "{}",
+                report::render_interleaved(&t, "Table 7: Interleaved File Transfer", Some(&p))
+            );
+        }
+        "table8" => println!("{}", report::render_table8(&experiment::table8(&suite))),
+        "table9" => println!("{}", report::render_table9(&experiment::table9(&suite))),
+        "table10" => {
+            let (tp, ti) = experiment::table10(&suite);
+            let pp: Vec<[f64; 6]> = paper::TABLE10.iter().map(|r| r.0).collect();
+            let pi: Vec<[f64; 6]> = paper::TABLE10.iter().map(|r| r.1).collect();
+            println!(
+                "{}",
+                report::render_interleaved(
+                    &tp,
+                    "Table 10a: Parallel(4) + Data Partitioning",
+                    Some(&pp)
+                )
+            );
+            println!(
+                "{}",
+                report::render_interleaved(
+                    &ti,
+                    "Table 10b: Interleaved + Data Partitioning",
+                    Some(&pi)
+                )
+            );
+        }
+        "fig6" => println!("{}", report::render_fig6(&experiment::fig6(&suite))),
+        "summary" => print_summary(&suite),
+        "csv" => {
+            let dir = std::env::args()
+                .nth(2)
+                .unwrap_or_else(|| "results".to_owned());
+            let files = nonstrict_core::export::export_csv(&suite, std::path::Path::new(&dir))
+                .expect("csv export");
+            for f in files {
+                println!("wrote {}", f.display());
+            }
+        }
+        other => {
+            eprintln!("unknown table {other:?}; use all|table2..table10|fig6|summary|csv");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// The paper's headline claims versus this reproduction.
+fn print_summary(suite: &Suite) {
+    let t4 = experiment::table4(suite);
+    let ns: Vec<f64> = t4
+        .iter()
+        .flat_map(|r| [r.t1.non_strict_reduction, r.modem.non_strict_reduction])
+        .collect();
+    let dp: Vec<f64> = t4
+        .iter()
+        .flat_map(|r| [r.t1.partitioned_reduction, r.modem.partitioned_reduction])
+        .collect();
+    println!("Headline claims (paper §8) vs measured:");
+    println!(
+        "  invocation latency reduction: paper {:.0}%..{:.0}% avg — measured avg {:.0}% (non-strict) .. {:.0}% (partitioned)",
+        paper::HEADLINE_LATENCY_REDUCTION.0,
+        paper::HEADLINE_LATENCY_REDUCTION.1,
+        mean(&ns),
+        mean(&dp),
+    );
+    let f6 = experiment::fig6(suite);
+    let best: Vec<f64> = f6[3].to_vec(); // interleaved + partitioning
+    let typical: Vec<f64> = f6[0].to_vec(); // parallel(4)
+    println!(
+        "  execution-time reduction: paper {:.0}%..{:.0}% — measured {:.0}% (parallel avg) .. {:.0}% (interleaved+DP avg)",
+        paper::HEADLINE_EXEC_REDUCTION.0,
+        paper::HEADLINE_EXEC_REDUCTION.1,
+        100.0 - mean(&typical),
+        100.0 - mean(&best),
+    );
+}

@@ -1,0 +1,370 @@
+//! An ergonomic assembler for method bodies with forward-reference
+//! labels, used heavily by the workload generators.
+
+use crate::ids::MethodId;
+use crate::instr::{CallKind, Cond, Instruction, Label, RuntimeFn, StaticRef};
+use crate::program::MethodDef;
+
+/// A label handle created by [`MethodBuilder::new_label`]; bind it with
+/// [`MethodBuilder::bind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LabelRef(usize);
+
+/// Builds one method body, resolving labels at [`MethodBuilder::finish`].
+///
+/// ```
+/// use nonstrict_bytecode::builder::MethodBuilder;
+/// use nonstrict_bytecode::instr::Cond;
+///
+/// // sum = 0; for (i = 10; i != 0; i--) sum += i;  return sum;
+/// let mut b = MethodBuilder::new("sum10", 0);
+/// b.returns_value();
+/// b.iconst(0).istore(0); // sum
+/// b.iconst(10).istore(1); // i
+/// let head = b.new_label();
+/// let exit = b.new_label();
+/// b.bind(head);
+/// b.iload(1).if_(Cond::Eq, exit);
+/// b.iload(0).iload(1).iadd().istore(0);
+/// b.iinc(1, -1).goto(head);
+/// b.bind(exit);
+/// b.iload(0).ireturn();
+/// let method = b.finish();
+/// assert!(method.returns_value);
+/// ```
+#[derive(Debug)]
+pub struct MethodBuilder {
+    name: String,
+    arity: u16,
+    returns_value: bool,
+    line_entries: Option<u16>,
+    instrs: Vec<Instruction>,
+    /// Bound position of each label, by `LabelRef` index.
+    labels: Vec<Option<u32>>,
+}
+
+impl MethodBuilder {
+    /// Starts a void method taking `arity` ints.
+    #[must_use]
+    pub fn new(name: impl Into<String>, arity: u16) -> Self {
+        MethodBuilder {
+            name: name.into(),
+            arity,
+            returns_value: false,
+            line_entries: None,
+            instrs: Vec::new(),
+            labels: Vec::new(),
+        }
+    }
+
+    /// Declares that the method returns an int.
+    pub fn returns_value(&mut self) -> &mut Self {
+        self.returns_value = true;
+        self
+    }
+
+    /// Overrides the number of `LineNumberTable` entries emitted at
+    /// lowering (defaults to roughly one per three instructions).
+    pub fn line_entries(&mut self, n: u16) -> &mut Self {
+        self.line_entries = Some(n);
+        self
+    }
+
+    /// Number of instructions appended so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether no instructions have been appended.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Creates an unbound label.
+    pub fn new_label(&mut self) -> LabelRef {
+        self.labels.push(None);
+        LabelRef(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the next instruction position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already bound.
+    pub fn bind(&mut self, label: LabelRef) {
+        assert!(self.labels[label.0].is_none(), "label bound twice");
+        self.labels[label.0] = Some(self.instrs.len() as u32);
+    }
+
+    /// Appends a raw instruction. Branch instructions appended this way
+    /// must carry final instruction indices, not `LabelRef`s.
+    pub fn push(&mut self, instr: Instruction) -> &mut Self {
+        self.instrs.push(instr);
+        self
+    }
+
+    /// Appends `iconst`.
+    pub fn iconst(&mut self, v: i32) -> &mut Self {
+        self.push(Instruction::IConst(v))
+    }
+
+    /// Appends `ldc` of a string literal.
+    pub fn ldc_str(&mut self, s: impl Into<String>) -> &mut Self {
+        self.push(Instruction::LdcString(s.into()))
+    }
+
+    /// Appends `iload`.
+    pub fn iload(&mut self, slot: u16) -> &mut Self {
+        self.push(Instruction::ILoad(slot))
+    }
+
+    /// Appends `istore`.
+    pub fn istore(&mut self, slot: u16) -> &mut Self {
+        self.push(Instruction::IStore(slot))
+    }
+
+    /// Appends `iinc`.
+    pub fn iinc(&mut self, slot: u16, delta: i16) -> &mut Self {
+        self.push(Instruction::IInc(slot, delta))
+    }
+
+    /// Appends `iadd`.
+    pub fn iadd(&mut self) -> &mut Self {
+        self.push(Instruction::IAdd)
+    }
+
+    /// Appends `isub`.
+    pub fn isub(&mut self) -> &mut Self {
+        self.push(Instruction::ISub)
+    }
+
+    /// Appends `imul`.
+    pub fn imul(&mut self) -> &mut Self {
+        self.push(Instruction::IMul)
+    }
+
+    /// Appends `idiv`.
+    pub fn idiv(&mut self) -> &mut Self {
+        self.push(Instruction::IDiv)
+    }
+
+    /// Appends `irem`.
+    pub fn irem(&mut self) -> &mut Self {
+        self.push(Instruction::IRem)
+    }
+
+    /// Appends `iand`.
+    pub fn iand(&mut self) -> &mut Self {
+        self.push(Instruction::IAnd)
+    }
+
+    /// Appends `ior`.
+    pub fn ior(&mut self) -> &mut Self {
+        self.push(Instruction::IOr)
+    }
+
+    /// Appends `ixor`.
+    pub fn ixor(&mut self) -> &mut Self {
+        self.push(Instruction::IXor)
+    }
+
+    /// Appends `ishl`.
+    pub fn ishl(&mut self) -> &mut Self {
+        self.push(Instruction::IShl)
+    }
+
+    /// Appends `ishr`.
+    pub fn ishr(&mut self) -> &mut Self {
+        self.push(Instruction::IShr)
+    }
+
+    /// Appends `iushr`.
+    pub fn iushr(&mut self) -> &mut Self {
+        self.push(Instruction::IUShr)
+    }
+
+    /// Appends `dup`.
+    pub fn dup(&mut self) -> &mut Self {
+        self.push(Instruction::Dup)
+    }
+
+    /// Appends `pop`.
+    pub fn pop(&mut self) -> &mut Self {
+        self.push(Instruction::Pop)
+    }
+
+    /// Appends `swap`.
+    pub fn swap(&mut self) -> &mut Self {
+        self.push(Instruction::Swap)
+    }
+
+    /// Appends `newarray int`.
+    pub fn newarray(&mut self) -> &mut Self {
+        self.push(Instruction::NewArray)
+    }
+
+    /// Appends `iaload`.
+    pub fn iaload(&mut self) -> &mut Self {
+        self.push(Instruction::IALoad)
+    }
+
+    /// Appends `iastore`.
+    pub fn iastore(&mut self) -> &mut Self {
+        self.push(Instruction::IAStore)
+    }
+
+    /// Appends `arraylength`.
+    pub fn arraylength(&mut self) -> &mut Self {
+        self.push(Instruction::ArrayLength)
+    }
+
+    /// Appends `getstatic`.
+    pub fn getstatic(&mut self, class: u16, field: u16) -> &mut Self {
+        self.push(Instruction::GetStatic(StaticRef { class, field }))
+    }
+
+    /// Appends `putstatic`.
+    pub fn putstatic(&mut self, class: u16, field: u16) -> &mut Self {
+        self.push(Instruction::PutStatic(StaticRef { class, field }))
+    }
+
+    /// Appends `goto label`.
+    pub fn goto(&mut self, label: LabelRef) -> &mut Self {
+        self.push(Instruction::Goto(Label(Self::placeholder(label))))
+    }
+
+    /// Appends a compare-to-zero branch.
+    pub fn if_(&mut self, cond: Cond, label: LabelRef) -> &mut Self {
+        self.push(Instruction::If(cond, Label(Self::placeholder(label))))
+    }
+
+    /// Appends a two-operand compare branch.
+    pub fn if_icmp(&mut self, cond: Cond, label: LabelRef) -> &mut Self {
+        self.push(Instruction::IfICmp(cond, Label(Self::placeholder(label))))
+    }
+
+    /// Appends an `invokestatic` of another program method.
+    pub fn invoke(&mut self, target: MethodId) -> &mut Self {
+        self.push(Instruction::Invoke { kind: CallKind::Static, target })
+    }
+
+    /// Appends an `invokevirtual` of another program method.
+    pub fn invoke_virtual(&mut self, target: MethodId) -> &mut Self {
+        self.push(Instruction::Invoke { kind: CallKind::Virtual, target })
+    }
+
+    /// Appends a runtime-routine call.
+    pub fn invoke_runtime(&mut self, rt: RuntimeFn) -> &mut Self {
+        self.push(Instruction::InvokeRuntime(rt))
+    }
+
+    /// Appends `return`.
+    pub fn ret(&mut self) -> &mut Self {
+        self.push(Instruction::Return)
+    }
+
+    /// Appends `ireturn`.
+    pub fn ireturn(&mut self) -> &mut Self {
+        self.push(Instruction::IReturn)
+    }
+
+    /// Appends `nop`.
+    pub fn nop(&mut self) -> &mut Self {
+        self.push(Instruction::Nop)
+    }
+
+    /// Labels are stored as `u32::MAX - id` placeholders until `finish`,
+    /// keeping `Instruction` free of builder-specific variants.
+    fn placeholder(label: LabelRef) -> u32 {
+        u32::MAX - label.0 as u32
+    }
+
+    /// Resolves labels and produces the [`MethodDef`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced label was never bound (a builder-usage
+    /// bug, not a data error).
+    #[must_use]
+    pub fn finish(mut self) -> MethodDef {
+        let labels = &self.labels;
+        let resolve = |l: &mut Label| {
+            if l.0 > u32::MAX - labels.len() as u32 {
+                let id = (u32::MAX - l.0) as usize;
+                l.0 = labels[id].expect("branch to unbound label");
+            }
+        };
+        for instr in &mut self.instrs {
+            match instr {
+                Instruction::Goto(l) | Instruction::If(_, l) | Instruction::IfICmp(_, l) => {
+                    resolve(l)
+                }
+                _ => {}
+            }
+        }
+        let line_entries =
+            self.line_entries.unwrap_or_else(|| (self.instrs.len() as u16 / 3).max(1));
+        let mut def = MethodDef::new(self.name, self.arity, self.instrs);
+        def.returns_value = self.returns_value;
+        def.line_entries = line_entries;
+        def
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{ClassDef, Program};
+
+    #[test]
+    fn labels_resolve_forward_and_backward() {
+        let mut b = MethodBuilder::new("m", 0);
+        let head = b.new_label();
+        let exit = b.new_label();
+        b.iconst(3).istore(0);
+        b.bind(head);
+        b.iload(0).if_(Cond::Eq, exit);
+        b.iinc(0, -1).goto(head);
+        b.bind(exit);
+        b.ret();
+        let def = b.finish();
+        // if_ at index 3 must target the bound exit (index 6)
+        assert_eq!(def.body[3].branch_target().unwrap().0, 6);
+        // goto at index 5 must target head (index 2)
+        assert_eq!(def.body[5].branch_target().unwrap().0, 2);
+        // and it verifies
+        let mut c = ClassDef::new("b/T");
+        c.add_method(def);
+        Program::new(vec![c], "b/T", "m").unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound label")]
+    fn unbound_label_panics_at_finish() {
+        let mut b = MethodBuilder::new("m", 0);
+        let l = b.new_label();
+        b.goto(l).ret();
+        let _ = b.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "label bound twice")]
+    fn double_bind_panics() {
+        let mut b = MethodBuilder::new("m", 0);
+        let l = b.new_label();
+        b.bind(l);
+        b.bind(l);
+    }
+
+    #[test]
+    fn default_line_entries_scale_with_size() {
+        let mut b = MethodBuilder::new("m", 0);
+        for _ in 0..30 {
+            b.nop();
+        }
+        b.ret();
+        assert_eq!(b.finish().line_entries, 10);
+    }
+}

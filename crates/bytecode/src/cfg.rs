@@ -1,0 +1,273 @@
+//! Intra-method control-flow graphs and the interprocedural call graph.
+//!
+//! The static first-use estimator (§4.1 of the paper) walks a basic-block
+//! CFG with interprocedural edges at call sites; this module provides the
+//! graph and the call-site inventory.
+
+use std::collections::BTreeSet;
+
+use crate::ids::MethodId;
+use crate::instr::Instruction;
+use crate::program::Program;
+
+/// One basic block: the half-open instruction range `[start, end)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// First instruction index.
+    pub start: u32,
+    /// One past the last instruction index.
+    pub end: u32,
+    /// Successor block indices. For a conditional branch the fall-through
+    /// successor precedes the taken successor.
+    pub succs: Vec<usize>,
+    /// Call sites inside the block: `(instruction index, callee)`, in
+    /// order.
+    pub calls: Vec<(u32, MethodId)>,
+}
+
+impl BasicBlock {
+    /// Number of instructions in the block.
+    #[must_use]
+    pub fn len(&self) -> u32 {
+        self.end - self.start
+    }
+
+    /// Whether the block holds no instructions (never true for built
+    /// CFGs).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// The control-flow graph of one method.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Blocks in instruction order; block 0 is the entry.
+    pub blocks: Vec<BasicBlock>,
+    /// Map from instruction index to owning block, for target lookups.
+    block_of: Vec<usize>,
+}
+
+impl Cfg {
+    /// Partitions `body` into basic blocks and wires successor edges.
+    ///
+    /// Leaders are: instruction 0, every branch target, and every
+    /// instruction following a block-ending instruction.
+    #[must_use]
+    pub fn build(body: &[Instruction]) -> Cfg {
+        let n = body.len();
+        let mut leaders = BTreeSet::new();
+        if n > 0 {
+            leaders.insert(0u32);
+        }
+        for (i, instr) in body.iter().enumerate() {
+            if let Some(t) = instr.branch_target() {
+                leaders.insert(t.0);
+            }
+            if instr.is_block_end() && i + 1 < n {
+                leaders.insert(i as u32 + 1);
+            }
+        }
+        let starts: Vec<u32> = leaders.into_iter().collect();
+        let mut blocks = Vec::with_capacity(starts.len());
+        let mut block_of = vec![0usize; n];
+        for (bi, &start) in starts.iter().enumerate() {
+            let end = starts.get(bi + 1).copied().unwrap_or(n as u32);
+            for pc in start..end {
+                block_of[pc as usize] = bi;
+            }
+            let calls = (start..end)
+                .filter_map(|pc| body[pc as usize].call_target().map(|t| (pc, t)))
+                .collect();
+            blocks.push(BasicBlock { start, end, succs: Vec::new(), calls });
+        }
+        // Successor edges.
+        for bi in 0..blocks.len() {
+            let last = blocks[bi].end - 1;
+            let instr = &body[last as usize];
+            let mut succs = Vec::new();
+            if instr.falls_through() && (blocks[bi].end as usize) < n {
+                succs.push(block_of[blocks[bi].end as usize]);
+            }
+            if let Some(t) = instr.branch_target() {
+                let tb = block_of[t.0 as usize];
+                if !succs.contains(&tb) {
+                    succs.push(tb);
+                }
+            }
+            blocks[bi].succs = succs;
+        }
+        Cfg { blocks, block_of }
+    }
+
+    /// The block containing instruction `pc`.
+    #[must_use]
+    pub fn block_at(&self, pc: u32) -> usize {
+        self.block_of[pc as usize]
+    }
+
+    /// Number of blocks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the CFG has no blocks (empty body).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Predecessor lists (computed on demand).
+    #[must_use]
+    pub fn predecessors(&self) -> Vec<Vec<usize>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for (bi, b) in self.blocks.iter().enumerate() {
+            for &s in &b.succs {
+                preds[s].push(bi);
+            }
+        }
+        preds
+    }
+}
+
+/// The interprocedural call graph of a program.
+#[derive(Debug, Clone)]
+pub struct CallGraph {
+    /// Per method (global index): distinct callees in first-call-site
+    /// order.
+    callees: Vec<Vec<MethodId>>,
+}
+
+impl CallGraph {
+    /// Builds the call graph.
+    #[must_use]
+    pub fn build(program: &Program) -> CallGraph {
+        let mut callees = vec![Vec::new(); program.method_count()];
+        for (id, method) in program.iter_methods() {
+            let g = program.global_index(id);
+            let mut seen = BTreeSet::new();
+            for instr in &method.body {
+                if let Some(t) = instr.call_target() {
+                    if seen.insert(t) {
+                        callees[g].push(t);
+                    }
+                }
+            }
+        }
+        CallGraph { callees }
+    }
+
+    /// Distinct callees of `id`, in the order their first call sites
+    /// appear in the body.
+    #[must_use]
+    pub fn callees(&self, program: &Program, id: MethodId) -> &[MethodId] {
+        &self.callees[program.global_index(id)]
+    }
+
+    /// Methods reachable from `root` (including `root`), in BFS order.
+    #[must_use]
+    pub fn reachable_from(&self, program: &Program, root: MethodId) -> Vec<MethodId> {
+        let mut seen = vec![false; program.method_count()];
+        let mut order = Vec::new();
+        let mut queue = std::collections::VecDeque::new();
+        seen[program.global_index(root)] = true;
+        queue.push_back(root);
+        while let Some(m) = queue.pop_front() {
+            order.push(m);
+            for &c in &self.callees[program.global_index(m)] {
+                let g = program.global_index(c);
+                if !seen[g] {
+                    seen[g] = true;
+                    queue.push_back(c);
+                }
+            }
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{CallKind, Cond, Instruction as I, Label};
+    use crate::program::{ClassDef, MethodDef};
+
+    fn body_loop() -> Vec<I> {
+        vec![
+            I::IConst(10),             // 0  block0
+            I::IStore(0),              // 1
+            I::ILoad(0),               // 2  block1 (loop head)
+            I::If(Cond::Eq, Label(6)), // 3
+            I::IInc(0, -1),            // 4  block2
+            I::Goto(Label(2)),         // 5
+            I::Return,                 // 6  block3
+        ]
+    }
+
+    #[test]
+    fn loop_cfg_shape() {
+        let cfg = Cfg::build(&body_loop());
+        assert_eq!(cfg.len(), 4);
+        assert_eq!(cfg.blocks[0].succs, vec![1]);
+        assert_eq!(cfg.blocks[1].succs, vec![2, 3]); // fallthrough first
+        assert_eq!(cfg.blocks[2].succs, vec![1]);
+        assert!(cfg.blocks[3].succs.is_empty());
+        assert_eq!(cfg.block_at(4), 2);
+    }
+
+    #[test]
+    fn blocks_cover_body_exactly() {
+        let body = body_loop();
+        let cfg = Cfg::build(&body);
+        let total: u32 = cfg.blocks.iter().map(BasicBlock::len).sum();
+        assert_eq!(total as usize, body.len());
+        for w in cfg.blocks.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+    }
+
+    #[test]
+    fn call_sites_recorded_in_order() {
+        let body = vec![
+            I::Invoke { kind: CallKind::Static, target: MethodId::new(0, 1) },
+            I::Invoke { kind: CallKind::Static, target: MethodId::new(0, 2) },
+            I::Return,
+        ];
+        let cfg = Cfg::build(&body);
+        assert_eq!(cfg.blocks[0].calls.len(), 2);
+        assert_eq!(cfg.blocks[0].calls[0], (0, MethodId::new(0, 1)));
+    }
+
+    #[test]
+    fn predecessors_invert_successors() {
+        let cfg = Cfg::build(&body_loop());
+        let preds = cfg.predecessors();
+        assert_eq!(preds[1], vec![0, 2]);
+        assert_eq!(preds[3], vec![1]);
+    }
+
+    #[test]
+    fn call_graph_reachability() {
+        // main -> a -> b, c unreachable
+        let mut class = ClassDef::new("g/A");
+        class.add_method(MethodDef::new(
+            "main",
+            0,
+            vec![I::Invoke { kind: CallKind::Static, target: MethodId::new(0, 1) }, I::Return],
+        ));
+        class.add_method(MethodDef::new(
+            "a",
+            0,
+            vec![I::Invoke { kind: CallKind::Static, target: MethodId::new(0, 2) }, I::Return],
+        ));
+        class.add_method(MethodDef::new("b", 0, vec![I::Return]));
+        class.add_method(MethodDef::new("c", 0, vec![I::Return]));
+        let p = crate::program::Program::new(vec![class], "g/A", "main").unwrap();
+        let cg = CallGraph::build(&p);
+        let reach = cg.reachable_from(&p, p.entry());
+        assert_eq!(reach.len(), 3);
+        assert!(!reach.contains(&MethodId::new(0, 3)));
+    }
+}

@@ -1,0 +1,549 @@
+//! Disassembly: decoding encoded bytecode back into inspectable form.
+//!
+//! [`decode`] is the inverse of [`crate::encode::encode_method`] at the
+//! raw-operand level: it produces one [`RawOp`] per instruction with the
+//! exact operand bytes interpreted (constant-pool indices, branch
+//! offsets, immediates). [`RawOp::encode_into`] re-emits the original
+//! bytes, so decoding round-trips exactly — a property test in the
+//! workspace drives every benchmark method through it.
+//!
+//! [`listing`] renders a javap-flavoured text listing, resolving pool
+//! indices through the class's constant pool.
+
+use std::error::Error;
+use std::fmt;
+
+use nonstrict_classfile::{Constant, ConstantPool};
+
+/// Errors from decoding bytecode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DisasmError {
+    /// The code ended in the middle of an instruction.
+    TruncatedInstruction {
+        /// Offset of the instruction's opcode.
+        at: usize,
+    },
+    /// An opcode outside the supported subset.
+    UnknownOpcode {
+        /// The opcode byte.
+        opcode: u8,
+        /// Its offset.
+        at: usize,
+    },
+}
+
+impl fmt::Display for DisasmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::TruncatedInstruction { at } => {
+                write!(f, "code truncated inside instruction at offset {at}")
+            }
+            Self::UnknownOpcode { opcode, at } => {
+                write!(f, "unknown opcode {opcode:#04x} at offset {at}")
+            }
+        }
+    }
+}
+
+impl Error for DisasmError {}
+
+/// One decoded instruction with raw operands.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RawOp {
+    /// `nop`.
+    Nop,
+    /// `iconst_<n>` / `bipush` / `sipush` with the decoded immediate.
+    Const {
+        /// The immediate value.
+        value: i32,
+        /// Encoded width in bytes (1, 2, or 3).
+        width: u8,
+    },
+    /// `ldc_w` of a pool entry.
+    LdcW(u16),
+    /// `iload` in short (`iload_<n>`), one-byte, or wide form.
+    ILoad {
+        /// Local slot.
+        slot: u16,
+        /// Encoded width (1, 2, or 4).
+        width: u8,
+    },
+    /// `istore`, same forms as `iload`.
+    IStore {
+        /// Local slot.
+        slot: u16,
+        /// Encoded width (1, 2, or 4).
+        width: u8,
+    },
+    /// `iinc` (short or wide form).
+    IInc {
+        /// Local slot.
+        slot: u16,
+        /// Increment.
+        delta: i16,
+        /// Encoded width (3 or 6).
+        width: u8,
+    },
+    /// A one-byte arithmetic/stack/array opcode, kept verbatim.
+    Simple(u8),
+    /// `newarray` with its array-type code.
+    NewArray(u8),
+    /// `getstatic`/`putstatic` with the pool index.
+    Static {
+        /// The opcode (0xB2 or 0xB3).
+        opcode: u8,
+        /// Field-ref pool index.
+        index: u16,
+    },
+    /// A branch with its relative 16-bit displacement.
+    Branch {
+        /// The opcode (`goto`, `ifeq`…`ifle`, `if_icmp*`).
+        opcode: u8,
+        /// Signed displacement from the opcode offset.
+        delta: i16,
+    },
+    /// `invokestatic`/`invokevirtual` with the pool index.
+    Invoke {
+        /// The opcode (0xB8 or 0xB6).
+        opcode: u8,
+        /// Method-ref pool index.
+        index: u16,
+    },
+}
+
+impl RawOp {
+    /// The mnemonic.
+    #[must_use]
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            RawOp::Nop => "nop",
+            RawOp::Const { width: 1, .. } => "iconst",
+            RawOp::Const { width: 2, .. } => "bipush",
+            RawOp::Const { .. } => "sipush",
+            RawOp::LdcW(_) => "ldc_w",
+            RawOp::ILoad { .. } => "iload",
+            RawOp::IStore { .. } => "istore",
+            RawOp::IInc { .. } => "iinc",
+            RawOp::Simple(op) => simple_mnemonic(*op),
+            RawOp::NewArray(_) => "newarray",
+            RawOp::Static { opcode: 0xB2, .. } => "getstatic",
+            RawOp::Static { .. } => "putstatic",
+            RawOp::Branch { opcode, .. } => branch_mnemonic(*opcode),
+            RawOp::Invoke { opcode: 0xB8, .. } => "invokestatic",
+            RawOp::Invoke { .. } => "invokevirtual",
+        }
+    }
+
+    /// Encoded size in bytes.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        match self {
+            RawOp::Nop | RawOp::Simple(_) => 1,
+            RawOp::Const { width, .. } => *width as usize,
+            RawOp::NewArray(_) => 2,
+            RawOp::LdcW(_)
+            | RawOp::Static { .. }
+            | RawOp::Branch { .. }
+            | RawOp::Invoke { .. }
+            | RawOp::IInc { width: 3, .. } => 3,
+            RawOp::IInc { .. } => 6,
+            RawOp::ILoad { width, .. } | RawOp::IStore { width, .. } => *width as usize,
+        }
+    }
+
+    /// Re-encodes this instruction exactly as it was decoded.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            RawOp::Nop => out.push(0x00),
+            RawOp::Const { value, width: 1 } => out.push((0x03 + value) as u8),
+            RawOp::Const { value, width: 2 } => {
+                out.push(0x10);
+                out.push(*value as i8 as u8);
+            }
+            RawOp::Const { value, .. } => {
+                out.push(0x11);
+                out.extend_from_slice(&(*value as i16).to_be_bytes());
+            }
+            RawOp::LdcW(i) => {
+                out.push(0x13);
+                out.extend_from_slice(&i.to_be_bytes());
+            }
+            RawOp::ILoad { slot, width: 1 } => out.push(0x1A + *slot as u8),
+            RawOp::ILoad { slot, width: 2 } => {
+                out.push(0x15);
+                out.push(*slot as u8);
+            }
+            RawOp::ILoad { slot, .. } => {
+                out.extend_from_slice(&[0xC4, 0x15]);
+                out.extend_from_slice(&slot.to_be_bytes());
+            }
+            RawOp::IStore { slot, width: 1 } => out.push(0x3B + *slot as u8),
+            RawOp::IStore { slot, width: 2 } => {
+                out.push(0x36);
+                out.push(*slot as u8);
+            }
+            RawOp::IStore { slot, .. } => {
+                out.extend_from_slice(&[0xC4, 0x36]);
+                out.extend_from_slice(&slot.to_be_bytes());
+            }
+            RawOp::IInc { slot, delta, width: 3 } => {
+                out.push(0x84);
+                out.push(*slot as u8);
+                out.push(*delta as i8 as u8);
+            }
+            RawOp::IInc { slot, delta, .. } => {
+                out.extend_from_slice(&[0xC4, 0x84]);
+                out.extend_from_slice(&slot.to_be_bytes());
+                out.extend_from_slice(&delta.to_be_bytes());
+            }
+            RawOp::Simple(op) => out.push(*op),
+            RawOp::NewArray(t) => {
+                out.push(0xBC);
+                out.push(*t);
+            }
+            RawOp::Static { opcode, index }
+            | RawOp::Invoke { opcode, index } => {
+                out.push(*opcode);
+                out.extend_from_slice(&index.to_be_bytes());
+            }
+            RawOp::Branch { opcode, delta } => {
+                out.push(*opcode);
+                out.extend_from_slice(&delta.to_be_bytes());
+            }
+        }
+    }
+}
+
+fn simple_mnemonic(op: u8) -> &'static str {
+    match op {
+        0x2E => "iaload",
+        0x4F => "iastore",
+        0x57 => "pop",
+        0x59 => "dup",
+        0x5F => "swap",
+        0x60 => "iadd",
+        0x64 => "isub",
+        0x68 => "imul",
+        0x6C => "idiv",
+        0x70 => "irem",
+        0x74 => "ineg",
+        0x78 => "ishl",
+        0x7A => "ishr",
+        0x7C => "iushr",
+        0x7E => "iand",
+        0x80 => "ior",
+        0x82 => "ixor",
+        0xAC => "ireturn",
+        0xB1 => "return",
+        0xBE => "arraylength",
+        _ => "simple",
+    }
+}
+
+fn branch_mnemonic(op: u8) -> &'static str {
+    match op {
+        0x99 => "ifeq",
+        0x9A => "ifne",
+        0x9B => "iflt",
+        0x9C => "ifge",
+        0x9D => "ifgt",
+        0x9E => "ifle",
+        0x9F => "if_icmpeq",
+        0xA0 => "if_icmpne",
+        0xA1 => "if_icmplt",
+        0xA2 => "if_icmpge",
+        0xA3 => "if_icmpgt",
+        0xA4 => "if_icmple",
+        0xA7 => "goto",
+        _ => "branch",
+    }
+}
+
+/// Decodes `code` into `(byte offset, RawOp)` pairs.
+///
+/// # Errors
+///
+/// [`DisasmError`] on truncation or an opcode outside the subset the
+/// encoder emits.
+pub fn decode(code: &[u8]) -> Result<Vec<(usize, RawOp)>, DisasmError> {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    let need = |pos: usize, n: usize| -> Result<(), DisasmError> {
+        if pos + n > code.len() {
+            Err(DisasmError::TruncatedInstruction { at: pos })
+        } else {
+            Ok(())
+        }
+    };
+    while pos < code.len() {
+        let at = pos;
+        let op = code[pos];
+        let raw = match op {
+            0x00 => RawOp::Nop,
+            0x02..=0x08 => RawOp::Const { value: op as i32 - 0x03, width: 1 },
+            0x10 => {
+                need(pos, 2)?;
+                RawOp::Const { value: i32::from(code[pos + 1] as i8), width: 2 }
+            }
+            0x11 => {
+                need(pos, 3)?;
+                let v = i16::from_be_bytes([code[pos + 1], code[pos + 2]]);
+                RawOp::Const { value: i32::from(v), width: 3 }
+            }
+            0x13 => {
+                need(pos, 3)?;
+                RawOp::LdcW(u16::from_be_bytes([code[pos + 1], code[pos + 2]]))
+            }
+            0x15 => {
+                need(pos, 2)?;
+                RawOp::ILoad { slot: u16::from(code[pos + 1]), width: 2 }
+            }
+            0x1A..=0x1D => RawOp::ILoad { slot: u16::from(op - 0x1A), width: 1 },
+            0x36 => {
+                need(pos, 2)?;
+                RawOp::IStore { slot: u16::from(code[pos + 1]), width: 2 }
+            }
+            0x3B..=0x3E => RawOp::IStore { slot: u16::from(op - 0x3B), width: 1 },
+            0x84 => {
+                need(pos, 3)?;
+                RawOp::IInc {
+                    slot: u16::from(code[pos + 1]),
+                    delta: i16::from(code[pos + 2] as i8),
+                    width: 3,
+                }
+            }
+            0x2E | 0x4F | 0x57 | 0x59 | 0x5F | 0x60 | 0x64 | 0x68 | 0x6C | 0x70 | 0x74
+            | 0x78 | 0x7A | 0x7C | 0x7E | 0x80 | 0x82 | 0xAC | 0xB1 | 0xBE => RawOp::Simple(op),
+            0xBC => {
+                need(pos, 2)?;
+                RawOp::NewArray(code[pos + 1])
+            }
+            0xB2 | 0xB3 => {
+                need(pos, 3)?;
+                RawOp::Static {
+                    opcode: op,
+                    index: u16::from_be_bytes([code[pos + 1], code[pos + 2]]),
+                }
+            }
+            0x99..=0xA4 | 0xA7 => {
+                need(pos, 3)?;
+                RawOp::Branch {
+                    opcode: op,
+                    delta: i16::from_be_bytes([code[pos + 1], code[pos + 2]]),
+                }
+            }
+            0xB6 | 0xB8 => {
+                need(pos, 3)?;
+                RawOp::Invoke {
+                    opcode: op,
+                    index: u16::from_be_bytes([code[pos + 1], code[pos + 2]]),
+                }
+            }
+            0xC4 => {
+                need(pos, 2)?;
+                match code[pos + 1] {
+                    0x15 | 0x36 => {
+                        need(pos, 4)?;
+                        let slot = u16::from_be_bytes([code[pos + 2], code[pos + 3]]);
+                        if code[pos + 1] == 0x15 {
+                            RawOp::ILoad { slot, width: 4 }
+                        } else {
+                            RawOp::IStore { slot, width: 4 }
+                        }
+                    }
+                    0x84 => {
+                        need(pos, 6)?;
+                        RawOp::IInc {
+                            slot: u16::from_be_bytes([code[pos + 2], code[pos + 3]]),
+                            delta: i16::from_be_bytes([code[pos + 4], code[pos + 5]]),
+                            width: 6,
+                        }
+                    }
+                    other => return Err(DisasmError::UnknownOpcode { opcode: other, at }),
+                }
+            }
+            other => return Err(DisasmError::UnknownOpcode { opcode: other, at }),
+        };
+        pos += raw.size();
+        out.push((at, raw));
+    }
+    Ok(out)
+}
+
+/// Resolves a pool index into a short human-readable form.
+fn describe_constant(pool: &ConstantPool, index: u16) -> String {
+    match pool.get(nonstrict_classfile::CpIndex(index)) {
+        Some(Constant::Integer(v)) => format!("int {v}"),
+        Some(Constant::String { utf8 }) => {
+            let s = pool.utf8_at(*utf8).unwrap_or("?");
+            format!("string {s:?}")
+        }
+        Some(Constant::FieldRef { class, name_and_type })
+        | Some(Constant::MethodRef { class, name_and_type })
+        | Some(Constant::InterfaceMethodRef { class, name_and_type }) => {
+            let cname = match pool.get(*class) {
+                Some(Constant::Class { name }) => pool.utf8_at(*name).unwrap_or("?"),
+                _ => "?",
+            };
+            let (n, d) = match pool.get(*name_and_type) {
+                Some(Constant::NameAndType { name, descriptor }) => (
+                    pool.utf8_at(*name).unwrap_or("?"),
+                    pool.utf8_at(*descriptor).unwrap_or("?"),
+                ),
+                _ => ("?", "?"),
+            };
+            format!("{cname}.{n}{d}")
+        }
+        Some(c) => format!("{c:?}"),
+        None => format!("#{index}?"),
+    }
+}
+
+/// Renders a javap-flavoured listing of `code`, resolving pool operands.
+///
+/// ```
+/// use nonstrict_bytecode::listing;
+/// use nonstrict_classfile::ConstantPool;
+///
+/// // iconst_2; iconst_3; imul; ireturn
+/// let text = listing(&[0x05, 0x06, 0x68, 0xAC], &ConstantPool::new()).unwrap();
+/// assert!(text.contains("imul"));
+/// assert!(text.contains("ireturn"));
+/// ```
+///
+/// # Errors
+///
+/// Propagates decode failures.
+pub fn listing(code: &[u8], pool: &ConstantPool) -> Result<String, DisasmError> {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (offset, op) in decode(code)? {
+        let _ = write!(out, "{offset:>6}: {:<14}", op.mnemonic());
+        match &op {
+            RawOp::Const { value, .. } => {
+                let _ = write!(out, "{value}");
+            }
+            RawOp::LdcW(i) => {
+                let _ = write!(out, "#{i} // {}", describe_constant(pool, *i));
+            }
+            RawOp::ILoad { slot, .. } | RawOp::IStore { slot, .. } => {
+                let _ = write!(out, "{slot}");
+            }
+            RawOp::IInc { slot, delta, .. } => {
+                let _ = write!(out, "{slot}, {delta}");
+            }
+            RawOp::NewArray(t) => {
+                let _ = write!(out, "{}", if *t == 10 { "int" } else { "?" });
+            }
+            RawOp::Static { index, .. } | RawOp::Invoke { index, .. } => {
+                let _ = write!(out, "#{index} // {}", describe_constant(pool, *index));
+            }
+            RawOp::Branch { delta, .. } => {
+                let _ = write!(out, "{}", offset as i64 + i64::from(*delta));
+            }
+            RawOp::Nop | RawOp::Simple(_) => {}
+        }
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode_method;
+    use crate::program::Program;
+
+    fn roundtrip(code: &[u8]) {
+        let decoded = decode(code).unwrap();
+        let mut re = Vec::with_capacity(code.len());
+        for (_, op) in &decoded {
+            op.encode_into(&mut re);
+        }
+        assert_eq!(re, code);
+    }
+
+    #[test]
+    fn every_hanoi_method_roundtrips() {
+        let app = build_hanoi_like();
+        let mut pool = ConstantPool::new();
+        for (id, _) in app.iter_methods() {
+            let enc = encode_method(&app, id, &mut pool).unwrap();
+            roundtrip(&enc.code);
+        }
+    }
+
+    fn build_hanoi_like() -> Program {
+        use crate::builder::MethodBuilder;
+        use crate::program::{ClassDef, StaticDef};
+        use crate::{Cond, MethodId, RuntimeFn};
+        let mut c = ClassDef::new("d/T");
+        c.add_static(StaticDef::int("s", 0));
+        let mut main = MethodBuilder::new("main", 1);
+        main.iconst(1_000_000).istore(300); // forces ldc_w + wide forms
+        main.iinc(300, 1000);
+        main.ldc_str("hello");
+        main.invoke_runtime(RuntimeFn::HashCode);
+        main.pop();
+        let head = main.new_label();
+        let exit = main.new_label();
+        main.bind(head);
+        main.iload(0).if_(Cond::Le, exit);
+        main.getstatic(0, 0).iconst(1).iadd().putstatic(0, 0);
+        main.iconst(4).newarray().iconst(0).iconst(7).iastore();
+        main.iinc(0, -1).goto(head);
+        main.bind(exit);
+        main.invoke(MethodId::new(0, 1));
+        main.ret();
+        c.add_method(main.finish());
+        let mut f = MethodBuilder::new("f", 0);
+        f.ret();
+        c.add_method(f.finish());
+        Program::new(vec![c], "d/T", "main").unwrap()
+    }
+
+    #[test]
+    fn decode_reports_offsets_and_sizes_consistently() {
+        let app = build_hanoi_like();
+        let mut pool = ConstantPool::new();
+        let enc = encode_method(&app, app.entry(), &mut pool).unwrap();
+        let ops = decode(&enc.code).unwrap();
+        let mut expect = 0usize;
+        for (offset, op) in &ops {
+            assert_eq!(*offset, expect);
+            expect += op.size();
+        }
+        assert_eq!(expect, enc.code.len());
+    }
+
+    #[test]
+    fn listing_resolves_pool_operands() {
+        let app = build_hanoi_like();
+        let mut pool = ConstantPool::new();
+        let enc = encode_method(&app, app.entry(), &mut pool).unwrap();
+        let text = listing(&enc.code, &pool).unwrap();
+        assert!(text.contains("ldc_w"), "{text}");
+        assert!(text.contains("string \"hello\""), "{text}");
+        assert!(text.contains("getstatic"), "{text}");
+        assert!(text.contains("invokestatic"), "{text}");
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let code = [0x10u8]; // bipush missing its immediate
+        assert!(matches!(
+            decode(&code),
+            Err(DisasmError::TruncatedInstruction { at: 0 })
+        ));
+    }
+
+    #[test]
+    fn unknown_opcode_is_detected() {
+        let code = [0xFFu8];
+        assert!(matches!(
+            decode(&code),
+            Err(DisasmError::UnknownOpcode { opcode: 0xFF, at: 0 })
+        ));
+    }
+}

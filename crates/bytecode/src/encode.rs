@@ -1,0 +1,387 @@
+//! Encoding of method bodies into real JVM bytecode bytes.
+//!
+//! Branch targets are instruction indices in [`crate::program::MethodDef`]
+//! bodies; encoding resolves them into signed 16-bit byte offsets relative
+//! to the branching opcode, exactly as the JVM wire format does. Constant
+//! operands (large integers, strings, field/method references) are
+//! interned into the class's constant pool, and every pool index a
+//! method's code references is reported back for the data-partitioning
+//! analysis (§7.3).
+
+use nonstrict_classfile::{ConstantPool, CpIndex};
+
+use crate::error::BytecodeError;
+use crate::ids::MethodId;
+use crate::instr::{CallKind, Cond, Instruction, RuntimeFn};
+use crate::program::Program;
+
+/// Real JVM opcodes for the subset.
+mod op {
+    pub const NOP: u8 = 0x00;
+    pub const ICONST_M1: u8 = 0x02;
+    pub const ICONST_0: u8 = 0x03;
+    pub const BIPUSH: u8 = 0x10;
+    pub const SIPUSH: u8 = 0x11;
+    pub const LDC_W: u8 = 0x13;
+    pub const ILOAD: u8 = 0x15;
+    pub const ILOAD_0: u8 = 0x1A;
+    pub const IALOAD: u8 = 0x2E;
+    pub const ISTORE: u8 = 0x36;
+    pub const ISTORE_0: u8 = 0x3B;
+    pub const IASTORE: u8 = 0x4F;
+    pub const POP: u8 = 0x57;
+    pub const DUP: u8 = 0x59;
+    pub const SWAP: u8 = 0x5F;
+    pub const IADD: u8 = 0x60;
+    pub const ISUB: u8 = 0x64;
+    pub const IMUL: u8 = 0x68;
+    pub const IDIV: u8 = 0x6C;
+    pub const IREM: u8 = 0x70;
+    pub const INEG: u8 = 0x74;
+    pub const ISHL: u8 = 0x78;
+    pub const ISHR: u8 = 0x7A;
+    pub const IUSHR: u8 = 0x7C;
+    pub const IAND: u8 = 0x7E;
+    pub const IOR: u8 = 0x80;
+    pub const IXOR: u8 = 0x82;
+    pub const IINC: u8 = 0x84;
+    pub const IFEQ: u8 = 0x99;
+    pub const IF_ICMPEQ: u8 = 0x9F;
+    pub const GOTO: u8 = 0xA7;
+    pub const IRETURN: u8 = 0xAC;
+    pub const RETURN: u8 = 0xB1;
+    pub const GETSTATIC: u8 = 0xB2;
+    pub const PUTSTATIC: u8 = 0xB3;
+    pub const INVOKEVIRTUAL: u8 = 0xB6;
+    pub const INVOKESTATIC: u8 = 0xB8;
+    pub const NEWARRAY: u8 = 0xBC;
+    pub const ARRAYLENGTH: u8 = 0xBE;
+    pub const WIDE: u8 = 0xC4;
+}
+
+/// `newarray` array-type code for `int`.
+const ATYPE_INT: u8 = 10;
+
+fn cond_offset(c: Cond) -> u8 {
+    match c {
+        Cond::Eq => 0,
+        Cond::Ne => 1,
+        Cond::Lt => 2,
+        Cond::Ge => 3,
+        Cond::Gt => 4,
+        Cond::Le => 5,
+    }
+}
+
+/// The encoded form of one method.
+#[derive(Debug, Clone)]
+pub struct EncodedMethod {
+    /// The bytecode bytes.
+    pub code: Vec<u8>,
+    /// Constant-pool indices directly referenced by operands in `code`.
+    pub used_constants: Vec<CpIndex>,
+}
+
+/// Encodes the body of `id` into real bytecode, interning operand
+/// constants into `pool`.
+///
+/// # Errors
+///
+/// [`BytecodeError::BadBranchTarget`] if a branch displacement exceeds
+/// the signed 16-bit range; pool-capacity errors otherwise.
+pub fn encode_method(
+    program: &Program,
+    id: MethodId,
+    pool: &mut ConstantPool,
+) -> Result<EncodedMethod, BytecodeError> {
+    let method = program.method(id);
+    let body = &method.body;
+
+    // Pass 1: byte offset of every instruction.
+    let mut offsets = Vec::with_capacity(body.len() + 1);
+    let mut at: u32 = 0;
+    for instr in body {
+        offsets.push(at);
+        at += instr.byte_size();
+    }
+    offsets.push(at);
+
+    let mut code = Vec::with_capacity(at as usize);
+    let mut used = Vec::new();
+
+    let branch = |code: &mut Vec<u8>,
+                  opcode: u8,
+                  pc: usize,
+                  target: u32|
+     -> Result<(), BytecodeError> {
+        let from = i64::from(offsets[pc]);
+        let to = i64::from(offsets[target as usize]);
+        let delta = to - from;
+        let delta = i16::try_from(delta).map_err(|_| BytecodeError::BadBranchTarget {
+            method: id,
+            at: pc as u32,
+            target,
+        })?;
+        code.push(opcode);
+        code.extend_from_slice(&delta.to_be_bytes());
+        Ok(())
+    };
+
+    for (pc, instr) in body.iter().enumerate() {
+        match instr {
+            Instruction::IConst(v) => match *v {
+                -1..=5 => code.push((ICONST_BASE + v) as u8),
+                v if i8::try_from(v).is_ok() => {
+                    code.push(op::BIPUSH);
+                    code.push(v as i8 as u8);
+                }
+                v if i16::try_from(v).is_ok() => {
+                    code.push(op::SIPUSH);
+                    code.extend_from_slice(&(v as i16).to_be_bytes());
+                }
+                v => {
+                    let idx = pool.intern(nonstrict_classfile::Constant::Integer(v))?;
+                    used.push(idx);
+                    code.push(op::LDC_W);
+                    code.extend_from_slice(&idx.0.to_be_bytes());
+                }
+            },
+            Instruction::LdcString(s) => {
+                let idx = pool.string(s)?;
+                used.push(idx);
+                code.push(op::LDC_W);
+                code.extend_from_slice(&idx.0.to_be_bytes());
+            }
+            Instruction::ILoad(slot) => emit_local(&mut code, op::ILOAD_0, op::ILOAD, *slot),
+            Instruction::IStore(slot) => emit_local(&mut code, op::ISTORE_0, op::ISTORE, *slot),
+            Instruction::IInc(slot, delta) => {
+                if *slot <= 255 && i8::try_from(*delta).is_ok() {
+                    code.push(op::IINC);
+                    code.push(*slot as u8);
+                    code.push(*delta as i8 as u8);
+                } else {
+                    code.push(op::WIDE);
+                    code.push(op::IINC);
+                    code.extend_from_slice(&slot.to_be_bytes());
+                    code.extend_from_slice(&delta.to_be_bytes());
+                }
+            }
+            Instruction::IAdd => code.push(op::IADD),
+            Instruction::ISub => code.push(op::ISUB),
+            Instruction::IMul => code.push(op::IMUL),
+            Instruction::IDiv => code.push(op::IDIV),
+            Instruction::IRem => code.push(op::IREM),
+            Instruction::INeg => code.push(op::INEG),
+            Instruction::IAnd => code.push(op::IAND),
+            Instruction::IOr => code.push(op::IOR),
+            Instruction::IXor => code.push(op::IXOR),
+            Instruction::IShl => code.push(op::ISHL),
+            Instruction::IShr => code.push(op::ISHR),
+            Instruction::IUShr => code.push(op::IUSHR),
+            Instruction::Dup => code.push(op::DUP),
+            Instruction::Pop => code.push(op::POP),
+            Instruction::Swap => code.push(op::SWAP),
+            Instruction::NewArray => {
+                code.push(op::NEWARRAY);
+                code.push(ATYPE_INT);
+            }
+            Instruction::IALoad => code.push(op::IALOAD),
+            Instruction::IAStore => code.push(op::IASTORE),
+            Instruction::ArrayLength => code.push(op::ARRAYLENGTH),
+            Instruction::GetStatic(r) | Instruction::PutStatic(r) => {
+                let class = program.class(crate::ids::ClassId(r.class));
+                let field = &class.statics[r.field as usize];
+                let idx = pool.field_ref(&class.name, &field.name, &field.descriptor)?;
+                used.push(idx);
+                code.push(if matches!(instr, Instruction::GetStatic(_)) {
+                    op::GETSTATIC
+                } else {
+                    op::PUTSTATIC
+                });
+                code.extend_from_slice(&idx.0.to_be_bytes());
+            }
+            Instruction::Goto(l) => branch(&mut code, op::GOTO, pc, l.0)?,
+            Instruction::If(c, l) => branch(&mut code, op::IFEQ + cond_offset(*c), pc, l.0)?,
+            Instruction::IfICmp(c, l) => {
+                branch(&mut code, op::IF_ICMPEQ + cond_offset(*c), pc, l.0)?
+            }
+            Instruction::Invoke { kind, target } => {
+                let callee_class = program.class(target.class);
+                let callee = &callee_class.methods[target.method as usize];
+                let idx =
+                    pool.method_ref(&callee_class.name, &callee.name, &callee.descriptor())?;
+                used.push(idx);
+                code.push(match kind {
+                    CallKind::Static => op::INVOKESTATIC,
+                    CallKind::Virtual => op::INVOKEVIRTUAL,
+                });
+                code.extend_from_slice(&idx.0.to_be_bytes());
+            }
+            Instruction::InvokeRuntime(rt) => {
+                let (class, name, desc) = rt.symbol();
+                let idx = pool.method_ref(class, name, desc)?;
+                used.push(idx);
+                code.push(if runtime_is_virtual(*rt) {
+                    op::INVOKEVIRTUAL
+                } else {
+                    op::INVOKESTATIC
+                });
+                code.extend_from_slice(&idx.0.to_be_bytes());
+            }
+            Instruction::Return => code.push(op::RETURN),
+            Instruction::IReturn => code.push(op::IRETURN),
+            Instruction::Nop => code.push(op::NOP),
+        }
+        debug_assert_eq!(
+            code.len() as u32,
+            offsets[pc + 1],
+            "size model out of sync with encoder at {id}:{pc}"
+        );
+    }
+
+    used.sort_unstable();
+    used.dedup();
+    Ok(EncodedMethod { code, used_constants: used })
+}
+
+const ICONST_BASE: i32 = op::ICONST_0 as i32;
+const _: () = assert!(op::ICONST_M1 as i32 == ICONST_BASE - 1);
+
+fn emit_local(code: &mut Vec<u8>, short_base: u8, long_op: u8, slot: u16) {
+    if slot <= 3 {
+        code.push(short_base + slot as u8);
+    } else if slot <= 255 {
+        code.push(long_op);
+        code.push(slot as u8);
+    } else {
+        code.push(op::WIDE);
+        code.push(long_op);
+        code.extend_from_slice(&slot.to_be_bytes());
+    }
+}
+
+fn runtime_is_virtual(rt: RuntimeFn) -> bool {
+    matches!(
+        rt,
+        RuntimeFn::PrintInt | RuntimeFn::PrintString | RuntimeFn::NextInt | RuntimeFn::HashCode
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{Instruction as I, Label, StaticRef};
+    use crate::program::{ClassDef, MethodDef, Program, StaticDef};
+
+    fn one_method_program(body: Vec<I>) -> Program {
+        let mut a = ClassDef::new("e/A");
+        a.add_static(StaticDef::int("s", 0));
+        a.add_method(MethodDef::new("main", 0, body));
+        let mut helper = MethodDef::new("h", 2, vec![I::IConst(1), I::IReturn]);
+        helper.returns_value = true;
+        a.add_method(helper);
+        Program::new(vec![a], "e/A", "main").unwrap()
+    }
+
+    #[test]
+    fn encoded_length_matches_size_model() {
+        let p = one_method_program(vec![
+            I::IConst(0),
+            I::IConst(100),
+            I::IConst(40_000),
+            I::IConst(1_000_000),
+            I::IAdd,
+            I::IAdd,
+            I::IAdd,
+            I::IStore(5),
+            I::ILoad(5),
+            I::Pop,
+            I::LdcString("hello".into()),
+            I::Pop,
+            I::GetStatic(StaticRef { class: 0, field: 0 }),
+            I::Pop,
+            I::Return,
+        ]);
+        let mut pool = ConstantPool::new();
+        let enc = encode_method(&p, p.entry(), &mut pool).unwrap();
+        assert_eq!(enc.code.len() as u32, p.method(p.entry()).code_size());
+        // two pool integer literals (40_000 and 1_000_000 both exceed
+        // sipush range) + string + fieldref recorded
+        assert_eq!(enc.used_constants.len(), 4);
+    }
+
+    #[test]
+    fn branch_offsets_are_relative_and_signed() {
+        // 0: goto 2 ; 1: return ; 2: goto 1
+        let p = one_method_program(vec![
+            I::Goto(Label(2)),
+            I::Return,
+            I::Goto(Label(1)),
+        ]);
+        let mut pool = ConstantPool::new();
+        let enc = encode_method(&p, p.entry(), &mut pool).unwrap();
+        // goto at byte 0 targeting byte 4: delta +4
+        assert_eq!(&enc.code[0..3], &[0xA7, 0x00, 0x04]);
+        // goto at byte 4 targeting byte 3: delta -1
+        assert_eq!(&enc.code[4..7], &[0xA7, 0xFF, 0xFF]);
+    }
+
+    #[test]
+    fn iconst_forms_encode_correctly() {
+        let p = one_method_program(vec![I::IConst(-1), I::Pop, I::IConst(5), I::Pop, I::Return]);
+        let mut pool = ConstantPool::new();
+        let enc = encode_method(&p, p.entry(), &mut pool).unwrap();
+        assert_eq!(enc.code[0], 0x02); // iconst_m1
+        assert_eq!(enc.code[2], 0x08); // iconst_5
+    }
+
+    #[test]
+    fn invoke_interns_method_ref() {
+        let p = one_method_program(vec![
+            I::IConst(1),
+            I::IConst(2),
+            I::Invoke { kind: crate::instr::CallKind::Static, target: MethodId::new(0, 1) },
+            I::Pop,
+            I::Return,
+        ]);
+        let mut pool = ConstantPool::new();
+        let enc = encode_method(&p, p.entry(), &mut pool).unwrap();
+        // iconst_1 iconst_2 occupy bytes 0-1; invokestatic opcode at 2
+        assert_eq!(enc.code[2], 0xB8);
+        assert_eq!(enc.used_constants.len(), 1);
+        let m = pool.get(enc.used_constants[0]).unwrap();
+        assert!(matches!(m, nonstrict_classfile::Constant::MethodRef { .. }));
+    }
+
+    #[test]
+    fn runtime_call_uses_java_symbols() {
+        let p = one_method_program(vec![
+            I::IConst(3),
+            I::InvokeRuntime(RuntimeFn::PrintInt),
+            I::Return,
+        ]);
+        let mut pool = ConstantPool::new();
+        let enc = encode_method(&p, p.entry(), &mut pool).unwrap();
+        assert_eq!(enc.code[1], 0xB6); // println is virtual
+        let found = pool
+            .iter()
+            .any(|(_, c)| matches!(c, nonstrict_classfile::Constant::Utf8(s) if s == "java/io/PrintStream"));
+        assert!(found);
+    }
+
+    #[test]
+    fn wide_forms_encode() {
+        let p = one_method_program(vec![
+            I::IConst(0),
+            I::IStore(300),
+            I::IInc(300, 1000),
+            I::ILoad(300),
+            I::Pop,
+            I::Return,
+        ]);
+        let mut pool = ConstantPool::new();
+        let enc = encode_method(&p, p.entry(), &mut pool).unwrap();
+        assert_eq!(enc.code.len() as u32, p.method(p.entry()).code_size());
+        assert_eq!(enc.code[1], 0xC4); // wide istore
+    }
+}

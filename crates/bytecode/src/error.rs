@@ -1,0 +1,179 @@
+//! Error types for program construction and interpretation.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ids::{ClassId, MethodId};
+
+/// Errors from building, verifying, or encoding programs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BytecodeError {
+    /// The named entry class was not found in the program.
+    NoEntryClass(String),
+    /// The named entry method was not found in the entry class.
+    NoEntryMethod(String),
+    /// A branch target pointed outside the method body.
+    BadBranchTarget {
+        /// The offending method.
+        method: MethodId,
+        /// Index of the branching instruction.
+        at: u32,
+        /// The out-of-range target.
+        target: u32,
+    },
+    /// A call referenced a method that does not exist.
+    BadCallTarget {
+        /// The calling method.
+        method: MethodId,
+        /// The dangling callee.
+        target: MethodId,
+    },
+    /// A static access referenced a missing class or field.
+    BadStaticRef {
+        /// The accessing method.
+        method: MethodId,
+        /// Referenced class index.
+        class: u16,
+        /// Referenced field index.
+        field: u16,
+    },
+    /// A method body does not end every path with a return.
+    FallsOffEnd(MethodId),
+    /// Operand-stack effect is inconsistent (underflow or mismatched
+    /// depths at a join point).
+    StackMismatch {
+        /// The offending method.
+        method: MethodId,
+        /// Instruction index where the inconsistency was found.
+        at: u32,
+    },
+    /// A local-variable slot index exceeded the method's `max_locals`.
+    BadLocal {
+        /// The offending method.
+        method: MethodId,
+        /// The out-of-range slot.
+        slot: u16,
+    },
+    /// Too many classes or methods for the 16-bit id space.
+    TooLarge(&'static str),
+    /// An error bubbled up from class-file construction during lowering.
+    ClassFile(nonstrict_classfile::ClassFileError),
+}
+
+impl fmt::Display for BytecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NoEntryClass(name) => write!(f, "entry class {name:?} not found"),
+            Self::NoEntryMethod(name) => write!(f, "entry method {name:?} not found"),
+            Self::BadBranchTarget { method, at, target } => {
+                write!(f, "branch at {method}:{at} targets out-of-range instruction {target}")
+            }
+            Self::BadCallTarget { method, target } => {
+                write!(f, "call in {method} references missing method {target}")
+            }
+            Self::BadStaticRef { method, class, field } => {
+                write!(f, "static access in {method} references missing C{class}.f{field}")
+            }
+            Self::FallsOffEnd(m) => write!(f, "method {m} can fall off the end of its code"),
+            Self::StackMismatch { method, at } => {
+                write!(f, "inconsistent operand stack in {method} at instruction {at}")
+            }
+            Self::BadLocal { method, slot } => {
+                write!(f, "local slot {slot} out of range in {method}")
+            }
+            Self::TooLarge(what) => write!(f, "too many {what} for 16-bit id space"),
+            Self::ClassFile(e) => write!(f, "class file construction failed: {e}"),
+        }
+    }
+}
+
+impl Error for BytecodeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::ClassFile(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<nonstrict_classfile::ClassFileError> for BytecodeError {
+    fn from(e: nonstrict_classfile::ClassFileError) -> Self {
+        BytecodeError::ClassFile(e)
+    }
+}
+
+/// Errors raised while interpreting a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum InterpError {
+    /// Pop from an empty operand stack.
+    StackUnderflow(MethodId),
+    /// Integer division or remainder by zero.
+    DivisionByZero(MethodId),
+    /// Array access out of bounds.
+    IndexOutOfBounds {
+        /// The faulting method.
+        method: MethodId,
+        /// Index used.
+        index: i64,
+        /// Array length.
+        len: usize,
+    },
+    /// A value used as an array reference did not name a live array.
+    BadArrayRef(MethodId),
+    /// Negative array length at allocation.
+    NegativeArraySize(MethodId),
+    /// The configured instruction budget was exhausted (runaway guard).
+    BudgetExhausted {
+        /// Instructions executed when the budget tripped.
+        executed: u64,
+    },
+    /// Call stack exceeded the configured depth limit.
+    CallStackOverflow(MethodId),
+    /// Static field index out of range at run time.
+    BadStatic(ClassId, u16),
+    /// `main` returned a value although declared void, or vice versa.
+    ReturnMismatch(MethodId),
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::StackUnderflow(m) => write!(f, "operand stack underflow in {m}"),
+            Self::DivisionByZero(m) => write!(f, "division by zero in {m}"),
+            Self::IndexOutOfBounds { method, index, len } => {
+                write!(f, "array index {index} out of bounds for length {len} in {method}")
+            }
+            Self::BadArrayRef(m) => write!(f, "dangling array reference in {m}"),
+            Self::NegativeArraySize(m) => write!(f, "negative array size in {m}"),
+            Self::BudgetExhausted { executed } => {
+                write!(f, "instruction budget exhausted after {executed} instructions")
+            }
+            Self::CallStackOverflow(m) => write!(f, "call stack overflow entering {m}"),
+            Self::BadStatic(c, i) => write!(f, "static field {c}.f{i} out of range"),
+            Self::ReturnMismatch(m) => write!(f, "return arity mismatch in {m}"),
+        }
+    }
+}
+
+impl Error for InterpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BytecodeError>();
+        assert_send_sync::<InterpError>();
+    }
+
+    #[test]
+    fn classfile_error_converts() {
+        let e: BytecodeError = nonstrict_classfile::ClassFileError::ConstantPoolOverflow.into();
+        assert!(matches!(e, BytecodeError::ClassFile(_)));
+        assert!(Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,58 @@
+//! Identifiers for classes and methods within a [`crate::program::Program`].
+
+use std::fmt;
+
+/// Index of a class within a program's class list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClassId(pub u16);
+
+impl fmt::Display for ClassId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+/// Identifies a method by owning class and position in that class's
+/// **source order** method list.
+///
+/// Restructuring permutes methods inside a class *file*, but `MethodId`s
+/// are stable: they always refer to source order, and the restructured
+/// layout is carried separately as a permutation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MethodId {
+    /// The owning class.
+    pub class: ClassId,
+    /// Position in the class's source-order method list.
+    pub method: u16,
+}
+
+impl MethodId {
+    /// Convenience constructor.
+    #[must_use]
+    pub fn new(class: u16, method: u16) -> Self {
+        MethodId { class: ClassId(class), method }
+    }
+}
+
+impl fmt::Display for MethodId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.m{}", self.class, self.method)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_class_major() {
+        assert!(MethodId::new(0, 9) < MethodId::new(1, 0));
+        assert!(MethodId::new(1, 0) < MethodId::new(1, 1));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(MethodId::new(2, 3).to_string(), "C2.m3");
+        assert_eq!(ClassId(7).to_string(), "C7");
+    }
+}

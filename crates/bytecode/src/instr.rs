@@ -1,0 +1,367 @@
+//! The instruction set: a JVM-flavoured integer subset with real opcode
+//! encodings and exact byte sizes.
+//!
+//! The set is deliberately integer-only (plus arrays and strings): the
+//! paper's transfer experiments depend on *sizes and control structure*,
+//! not on the arithmetic domain, and the six workloads compute real
+//! results (DES rounds, recursion, parser tables, …) with integers alone.
+
+use std::fmt;
+
+use crate::ids::MethodId;
+
+/// A branch condition against zero ([`Instruction::If`]) or between the
+/// top two stack values ([`Instruction::IfICmp`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Greater or equal.
+    Ge,
+    /// Greater than.
+    Gt,
+    /// Less or equal.
+    Le,
+}
+
+impl Cond {
+    /// Evaluates the condition on `a ? b`.
+    #[must_use]
+    pub fn eval(self, a: i64, b: i64) -> bool {
+        match self {
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+            Cond::Lt => a < b,
+            Cond::Ge => a >= b,
+            Cond::Gt => a > b,
+            Cond::Le => a <= b,
+        }
+    }
+}
+
+/// A branch target: an **instruction index** within the method body
+/// (byte offsets are computed at encode time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Label(pub u32);
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+/// A reference to a static field: class index and field index within that
+/// class's static list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StaticRef {
+    /// Owning class index.
+    pub class: u16,
+    /// Field index within the class's statics.
+    pub field: u16,
+}
+
+/// Whether a call encodes as `invokestatic` or `invokevirtual`.
+///
+/// Both resolve to a fixed callee in this model (the workloads are
+/// monomorphic, like most 1998 Java benchmarks); the distinction matters
+/// for opcode realism and constant-pool composition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CallKind {
+    /// `invokestatic`.
+    Static,
+    /// `invokevirtual` (receiver-less in this model).
+    Virtual,
+}
+
+/// Built-in runtime routines, modelling calls into `java/lang` and
+/// friends. They execute in one bytecode instruction; their true hardware
+/// cost is absorbed by the per-program CPI constant, exactly as the paper
+/// treats uninstrumented system methods (its Hanoi discussion, §6.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RuntimeFn {
+    /// `java/io/PrintStream.println(I)V` — pops and discards one value.
+    PrintInt,
+    /// `java/io/PrintStream.println(Ljava/lang/String;)V` — pops one.
+    PrintString,
+    /// `java/lang/System.currentTimeMillis()J` — pushes a deterministic
+    /// pseudo-time that advances by one per call.
+    TimeMillis,
+    /// `java/lang/Math.abs(I)I`.
+    Abs,
+    /// `java/lang/Math.min(II)I` — pops two, pushes one.
+    Min,
+    /// `java/lang/Math.max(II)I` — pops two, pushes one.
+    Max,
+    /// `java/util/Random.nextInt(I)I` — deterministic LCG, pops the
+    /// bound (the receiver is implicit in this model), pushes a value in
+    /// `[0, bound)`.
+    NextInt,
+    /// `java/lang/String.hashCode()I` — pops a handle, pushes a hash.
+    HashCode,
+}
+
+impl RuntimeFn {
+    /// (class, name, descriptor) of the modelled runtime entry point, for
+    /// constant-pool realism during lowering.
+    #[must_use]
+    pub fn symbol(self) -> (&'static str, &'static str, &'static str) {
+        match self {
+            RuntimeFn::PrintInt => ("java/io/PrintStream", "println", "(I)V"),
+            RuntimeFn::PrintString => {
+                ("java/io/PrintStream", "println", "(Ljava/lang/String;)V")
+            }
+            RuntimeFn::TimeMillis => ("java/lang/System", "currentTimeMillis", "()J"),
+            RuntimeFn::Abs => ("java/lang/Math", "abs", "(I)I"),
+            RuntimeFn::Min => ("java/lang/Math", "min", "(II)I"),
+            RuntimeFn::Max => ("java/lang/Math", "max", "(II)I"),
+            RuntimeFn::NextInt => ("java/util/Random", "nextInt", "(I)I"),
+            RuntimeFn::HashCode => ("java/lang/String", "hashCode", "()I"),
+        }
+    }
+
+    /// Net stack effect: (pops, pushes).
+    #[must_use]
+    pub fn stack_effect(self) -> (u16, u16) {
+        match self {
+            RuntimeFn::PrintInt | RuntimeFn::PrintString => (1, 0),
+            RuntimeFn::TimeMillis => (0, 1),
+            RuntimeFn::Abs | RuntimeFn::HashCode | RuntimeFn::NextInt => (1, 1),
+            RuntimeFn::Min | RuntimeFn::Max => (2, 1),
+        }
+    }
+}
+
+/// One bytecode instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instruction {
+    /// Push an integer constant. Encodes as `iconst_n`, `bipush`,
+    /// `sipush`, or `ldc_w` of a pool `Integer` depending on magnitude.
+    IConst(i32),
+    /// Push (a handle to) a string literal from the constant pool
+    /// (`ldc_w` of a `String` entry).
+    LdcString(String),
+    /// Load local slot (`iload`).
+    ILoad(u16),
+    /// Store to local slot (`istore`).
+    IStore(u16),
+    /// Add an immediate to a local slot (`iinc`).
+    IInc(u16, i16),
+    /// `iadd`.
+    IAdd,
+    /// `isub`.
+    ISub,
+    /// `imul`.
+    IMul,
+    /// `idiv`. Traps on zero divisor.
+    IDiv,
+    /// `irem`. Traps on zero divisor.
+    IRem,
+    /// `ineg`.
+    INeg,
+    /// `iand`.
+    IAnd,
+    /// `ior`.
+    IOr,
+    /// `ixor`.
+    IXor,
+    /// `ishl` (shift count masked to 0–63 in this model).
+    IShl,
+    /// `ishr` (arithmetic).
+    IShr,
+    /// `iushr` (logical).
+    IUShr,
+    /// `dup`.
+    Dup,
+    /// `pop`.
+    Pop,
+    /// `swap`.
+    Swap,
+    /// `newarray int`: pops length, pushes array handle.
+    NewArray,
+    /// `iaload`: pops index and handle, pushes element.
+    IALoad,
+    /// `iastore`: pops value, index, handle.
+    IAStore,
+    /// `arraylength`: pops handle, pushes length.
+    ArrayLength,
+    /// `getstatic`: pushes the field value.
+    GetStatic(StaticRef),
+    /// `putstatic`: pops into the field.
+    PutStatic(StaticRef),
+    /// Unconditional branch.
+    Goto(Label),
+    /// Branch if the popped value satisfies `cond` against zero
+    /// (`ifeq` … `ifle`).
+    If(Cond, Label),
+    /// Branch comparing the two popped values (`if_icmpeq` …).
+    IfICmp(Cond, Label),
+    /// Call another method of the program. Arguments are popped (callee
+    /// arity), and the return value (if any) is pushed.
+    Invoke {
+        /// Encoding kind.
+        kind: CallKind,
+        /// The callee.
+        target: MethodId,
+    },
+    /// Call a modelled runtime routine (uninstrumented system code).
+    InvokeRuntime(RuntimeFn),
+    /// `return` (void).
+    Return,
+    /// `ireturn` (one value).
+    IReturn,
+    /// `nop`.
+    Nop,
+}
+
+impl Instruction {
+    /// Exact encoded size in bytes, matching [`crate::encode`].
+    #[must_use]
+    pub fn byte_size(&self) -> u32 {
+        match self {
+            Instruction::IConst(v) => match *v {
+                -1..=5 => 1,
+                v if i8::try_from(v).is_ok() => 2,
+                v if i16::try_from(v).is_ok() => 3,
+                _ => 3, // ldc_w of a pool Integer
+            },
+            Instruction::LdcString(_) => 3,
+            Instruction::ILoad(slot) | Instruction::IStore(slot) => {
+                if *slot <= 3 {
+                    1
+                } else if *slot <= 255 {
+                    2
+                } else {
+                    4 // wide form
+                }
+            }
+            Instruction::IInc(slot, delta) => {
+                if *slot <= 255 && i8::try_from(*delta).is_ok() {
+                    3
+                } else {
+                    6 // wide form
+                }
+            }
+            Instruction::IAdd
+            | Instruction::ISub
+            | Instruction::IMul
+            | Instruction::IDiv
+            | Instruction::IRem
+            | Instruction::INeg
+            | Instruction::IAnd
+            | Instruction::IOr
+            | Instruction::IXor
+            | Instruction::IShl
+            | Instruction::IShr
+            | Instruction::IUShr
+            | Instruction::Dup
+            | Instruction::Pop
+            | Instruction::Swap
+            | Instruction::IALoad
+            | Instruction::IAStore
+            | Instruction::ArrayLength
+            | Instruction::Return
+            | Instruction::IReturn
+            | Instruction::Nop => 1,
+            Instruction::NewArray => 2,
+            Instruction::GetStatic(_)
+            | Instruction::PutStatic(_)
+            | Instruction::Goto(_)
+            | Instruction::If(..)
+            | Instruction::IfICmp(..)
+            | Instruction::Invoke { .. }
+            | Instruction::InvokeRuntime(_) => 3,
+        }
+    }
+
+    /// The branch target, if this is a branch.
+    #[must_use]
+    pub fn branch_target(&self) -> Option<Label> {
+        match self {
+            Instruction::Goto(l) | Instruction::If(_, l) | Instruction::IfICmp(_, l) => Some(*l),
+            _ => None,
+        }
+    }
+
+    /// Whether control can fall through to the next instruction.
+    #[must_use]
+    pub fn falls_through(&self) -> bool {
+        !matches!(self, Instruction::Goto(_) | Instruction::Return | Instruction::IReturn)
+    }
+
+    /// Whether this instruction ends a basic block.
+    #[must_use]
+    pub fn is_block_end(&self) -> bool {
+        matches!(
+            self,
+            Instruction::Goto(_)
+                | Instruction::If(..)
+                | Instruction::IfICmp(..)
+                | Instruction::Return
+                | Instruction::IReturn
+        )
+    }
+
+    /// The called program method, if this is an [`Instruction::Invoke`].
+    #[must_use]
+    pub fn call_target(&self) -> Option<MethodId> {
+        match self {
+            Instruction::Invoke { target, .. } => Some(*target),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iconst_sizes_follow_jvm_forms() {
+        assert_eq!(Instruction::IConst(0).byte_size(), 1);
+        assert_eq!(Instruction::IConst(5).byte_size(), 1);
+        assert_eq!(Instruction::IConst(-1).byte_size(), 1);
+        assert_eq!(Instruction::IConst(6).byte_size(), 2);
+        assert_eq!(Instruction::IConst(-2).byte_size(), 2);
+        assert_eq!(Instruction::IConst(127).byte_size(), 2);
+        assert_eq!(Instruction::IConst(128).byte_size(), 3);
+        assert_eq!(Instruction::IConst(40_000).byte_size(), 3);
+        assert_eq!(Instruction::IConst(100_000).byte_size(), 3);
+    }
+
+    #[test]
+    fn load_store_short_forms() {
+        assert_eq!(Instruction::ILoad(3).byte_size(), 1);
+        assert_eq!(Instruction::ILoad(4).byte_size(), 2);
+        assert_eq!(Instruction::IStore(255).byte_size(), 2);
+        assert_eq!(Instruction::IStore(256).byte_size(), 4);
+    }
+
+    #[test]
+    fn cond_eval_all_variants() {
+        assert!(Cond::Eq.eval(1, 1) && !Cond::Eq.eval(1, 2));
+        assert!(Cond::Ne.eval(1, 2) && !Cond::Ne.eval(1, 1));
+        assert!(Cond::Lt.eval(1, 2) && !Cond::Lt.eval(2, 2));
+        assert!(Cond::Ge.eval(2, 2) && !Cond::Ge.eval(1, 2));
+        assert!(Cond::Gt.eval(3, 2) && !Cond::Gt.eval(2, 2));
+        assert!(Cond::Le.eval(2, 2) && !Cond::Le.eval(3, 2));
+    }
+
+    #[test]
+    fn block_end_and_fallthrough_agree() {
+        let g = Instruction::Goto(Label(0));
+        assert!(g.is_block_end() && !g.falls_through());
+        let c = Instruction::If(Cond::Eq, Label(0));
+        assert!(c.is_block_end() && c.falls_through());
+        assert!(!Instruction::IAdd.is_block_end() && Instruction::IAdd.falls_through());
+    }
+
+    #[test]
+    fn runtime_fn_symbols_are_java_like() {
+        let (c, n, d) = RuntimeFn::Min.symbol();
+        assert_eq!((c, n, d), ("java/lang/Math", "min", "(II)I"));
+    }
+}

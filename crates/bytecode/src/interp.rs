@@ -1,0 +1,743 @@
+//! The bytecode interpreter — the execution half of the BIT analog.
+//!
+//! Programs run for real on an operand-stack machine with 32-bit integer
+//! semantics (values stored in `i64` slots, wrapped to `i32` after
+//! arithmetic, as the JVM does). An [`EventSink`] receives method
+//! entry/exit events and per-segment instruction counts; the profiler and
+//! the transfer co-simulator are both sinks.
+//!
+//! The interpreter also records **coverage** (which static instructions
+//! ever executed), which feeds Table 2's "% executed" and the
+//! profile-guided transfer schedules' executed-bytes thresholds.
+
+use crate::error::InterpError;
+use crate::ids::{ClassId, MethodId};
+use crate::instr::{Cond, Instruction, RuntimeFn};
+use crate::program::Program;
+
+/// Receives execution events. All methods have empty defaults so sinks
+/// implement only what they need; `()` is the null sink.
+pub trait EventSink {
+    /// Control entered `method` (a call, or program start for `main`).
+    fn method_enter(&mut self, method: MethodId) {
+        let _ = method;
+    }
+    /// `count` instructions executed inside `method` since the last
+    /// event. Emitted at every call, return, and program end, so the
+    /// concatenation of runs is the exact dynamic instruction stream.
+    fn run(&mut self, method: MethodId, count: u64) {
+        let _ = (method, count);
+    }
+    /// Control returned from `method`.
+    fn method_exit(&mut self, method: MethodId) {
+        let _ = method;
+    }
+}
+
+impl EventSink for () {}
+
+/// Default instruction budget: far above any benchmark's dynamic count,
+/// low enough to catch accidental infinite loops quickly.
+pub const DEFAULT_BUDGET: u64 = 500_000_000;
+
+/// Call-stack depth limit.
+const MAX_DEPTH: usize = 4096;
+
+/// Interpreter over one [`Program`].
+#[derive(Debug)]
+pub struct Interpreter<'p> {
+    program: &'p Program,
+    statics: Vec<Vec<i64>>,
+    arrays: Vec<Vec<i64>>,
+    coverage: Vec<Vec<bool>>,
+    budget: u64,
+    executed: u64,
+    time_counter: i64,
+    rng_state: u64,
+    output: Vec<i64>,
+}
+
+/// One call frame.
+struct Frame {
+    method: MethodId,
+    pc: u32,
+    locals: Vec<i64>,
+    stack: Vec<i64>,
+    /// Instructions executed in this frame since its last emitted event.
+    run: u64,
+}
+
+impl<'p> Interpreter<'p> {
+    /// Creates an interpreter with statics initialized per their
+    /// declarations (the JVM *preparation* step).
+    #[must_use]
+    pub fn new(program: &'p Program) -> Self {
+        let statics =
+            program.classes().iter().map(|c| c.statics.iter().map(|s| s.initial).collect()).collect();
+        let coverage = program
+            .iter_methods()
+            .map(|(_, m)| vec![false; m.body.len()])
+            .collect();
+        Interpreter {
+            program,
+            statics,
+            arrays: Vec::new(),
+            coverage,
+            budget: DEFAULT_BUDGET,
+            executed: 0,
+            time_counter: 0,
+            rng_state: 0x9E37_79B9_7F4A_7C15,
+            output: Vec::new(),
+        }
+    }
+
+    /// Replaces the instruction budget (runaway guard).
+    pub fn set_budget(&mut self, budget: u64) {
+        self.budget = budget;
+    }
+
+    /// Total instructions executed so far.
+    #[must_use]
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Values printed through [`RuntimeFn::PrintInt`] (capped at 65,536
+    /// entries), for asserting workload correctness.
+    #[must_use]
+    pub fn output(&self) -> &[i64] {
+        &self.output
+    }
+
+    /// Coverage bitmaps per method (global index), per instruction.
+    #[must_use]
+    pub fn coverage(&self) -> &[Vec<bool>] {
+        &self.coverage
+    }
+
+    /// The current value of a static field, if it exists — lets tests
+    /// inspect program results after a run.
+    #[must_use]
+    pub fn static_value(&self, class: u16, field: u16) -> Option<i64> {
+        self.statics.get(class as usize)?.get(field as usize).copied()
+    }
+
+    /// The heap array behind `handle` (an `int` value produced by
+    /// `newarray`), if it exists.
+    #[must_use]
+    pub fn array(&self, handle: i64) -> Option<&[i64]> {
+        self.arrays.get(usize::try_from(handle).ok()?).map(Vec::as_slice)
+    }
+
+    /// Percent (0–100) of static instructions that executed at least
+    /// once — Table 2's "% Executed".
+    #[must_use]
+    pub fn executed_static_percent(&self) -> f64 {
+        let total: usize = self.coverage.iter().map(Vec::len).sum();
+        let hit: usize =
+            self.coverage.iter().map(|m| m.iter().filter(|&&b| b).count()).sum();
+        if total == 0 {
+            0.0
+        } else {
+            100.0 * hit as f64 / total as f64
+        }
+    }
+
+    /// Bytes of each method's code that executed at least once, by global
+    /// method index — the "unique bytes" the profile-guided transfer
+    /// schedule accumulates (§5.1).
+    #[must_use]
+    pub fn executed_code_bytes(&self) -> Vec<u32> {
+        self.program
+            .iter_methods()
+            .map(|(id, m)| {
+                let cov = &self.coverage[self.program.global_index(id)];
+                m.body
+                    .iter()
+                    .zip(cov.iter())
+                    .filter(|(_, &hit)| hit)
+                    .map(|(i, _)| i.byte_size())
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Runs `main` with `args`, streaming events into `sink`.
+    ///
+    /// Returns `main`'s return value if it returns one.
+    ///
+    /// # Errors
+    ///
+    /// Any [`InterpError`] fault; the interpreter state is then
+    /// unspecified and should be discarded.
+    pub fn run(
+        &mut self,
+        args: &[i64],
+        sink: &mut dyn EventSink,
+    ) -> Result<Option<i64>, InterpError> {
+        let entry = self.program.entry();
+        let entry_def = self.program.method(entry);
+        let mut locals = vec![0i64; entry_def.max_locals.max(entry_def.arity) as usize];
+        for (slot, &a) in locals.iter_mut().zip(args.iter()) {
+            *slot = a;
+        }
+        let mut frames = vec![Frame {
+            method: entry,
+            pc: 0,
+            locals,
+            stack: Vec::with_capacity(entry_def.max_stack as usize),
+            run: 0,
+        }];
+        sink.method_enter(entry);
+
+        loop {
+            let frame = frames.last_mut().expect("frame stack never empty in loop");
+            let method = self.program.method(frame.method);
+            let gidx = self.program.global_index(frame.method);
+            let instr = &method.body[frame.pc as usize];
+            self.coverage[gidx][frame.pc as usize] = true;
+            self.executed += 1;
+            frame.run += 1;
+            if self.executed > self.budget {
+                return Err(InterpError::BudgetExhausted { executed: self.executed });
+            }
+
+            let m = frame.method;
+            macro_rules! pop {
+                () => {
+                    frame.stack.pop().ok_or(InterpError::StackUnderflow(m))?
+                };
+            }
+            macro_rules! binop {
+                ($f:expr) => {{
+                    let b = pop!();
+                    let a = pop!();
+                    let f: fn(i32, i32) -> i32 = $f;
+                    frame.stack.push(i64::from(f(a as i32, b as i32)));
+                    frame.pc += 1;
+                }};
+            }
+
+            match instr {
+                Instruction::IConst(v) => {
+                    frame.stack.push(i64::from(*v));
+                    frame.pc += 1;
+                }
+                Instruction::LdcString(s) => {
+                    // String handles are modelled as their FNV-1a hash.
+                    frame.stack.push(i64::from(fnv(s)));
+                    frame.pc += 1;
+                }
+                Instruction::ILoad(slot) => {
+                    let v = frame.locals[*slot as usize];
+                    frame.stack.push(v);
+                    frame.pc += 1;
+                }
+                Instruction::IStore(slot) => {
+                    let v = pop!();
+                    frame.locals[*slot as usize] = v;
+                    frame.pc += 1;
+                }
+                Instruction::IInc(slot, delta) => {
+                    let s = &mut frame.locals[*slot as usize];
+                    *s = i64::from((*s as i32).wrapping_add(i32::from(*delta)));
+                    frame.pc += 1;
+                }
+                Instruction::IAdd => binop!(i32::wrapping_add),
+                Instruction::ISub => binop!(i32::wrapping_sub),
+                Instruction::IMul => binop!(i32::wrapping_mul),
+                Instruction::IDiv => {
+                    let b = pop!();
+                    let a = pop!();
+                    if b as i32 == 0 {
+                        return Err(InterpError::DivisionByZero(m));
+                    }
+                    frame.stack.push(i64::from((a as i32).wrapping_div(b as i32)));
+                    frame.pc += 1;
+                }
+                Instruction::IRem => {
+                    let b = pop!();
+                    let a = pop!();
+                    if b as i32 == 0 {
+                        return Err(InterpError::DivisionByZero(m));
+                    }
+                    frame.stack.push(i64::from((a as i32).wrapping_rem(b as i32)));
+                    frame.pc += 1;
+                }
+                Instruction::INeg => {
+                    let a = pop!();
+                    frame.stack.push(i64::from((a as i32).wrapping_neg()));
+                    frame.pc += 1;
+                }
+                Instruction::IAnd => binop!(|a, b| a & b),
+                Instruction::IOr => binop!(|a, b| a | b),
+                Instruction::IXor => binop!(|a, b| a ^ b),
+                Instruction::IShl => binop!(|a, b| a.wrapping_shl(b as u32 & 31)),
+                Instruction::IShr => binop!(|a, b| a.wrapping_shr(b as u32 & 31)),
+                Instruction::IUShr => binop!(|a, b| ((a as u32).wrapping_shr(b as u32 & 31)) as i32),
+                Instruction::Dup => {
+                    let v = *frame.stack.last().ok_or(InterpError::StackUnderflow(m))?;
+                    frame.stack.push(v);
+                    frame.pc += 1;
+                }
+                Instruction::Pop => {
+                    pop!();
+                    frame.pc += 1;
+                }
+                Instruction::Swap => {
+                    let b = pop!();
+                    let a = pop!();
+                    frame.stack.push(b);
+                    frame.stack.push(a);
+                    frame.pc += 1;
+                }
+                Instruction::NewArray => {
+                    let len = pop!();
+                    if len < 0 {
+                        return Err(InterpError::NegativeArraySize(m));
+                    }
+                    self.arrays.push(vec![0i64; len as usize]);
+                    frame.stack.push((self.arrays.len() - 1) as i64);
+                    frame.pc += 1;
+                }
+                Instruction::IALoad => {
+                    let idx = pop!();
+                    let arr = pop!();
+                    let a = self
+                        .arrays
+                        .get(usize::try_from(arr).map_err(|_| InterpError::BadArrayRef(m))?)
+                        .ok_or(InterpError::BadArrayRef(m))?;
+                    let v = *a.get(usize::try_from(idx).map_err(|_| {
+                        InterpError::IndexOutOfBounds { method: m, index: idx, len: a.len() }
+                    })?)
+                    .ok_or(InterpError::IndexOutOfBounds {
+                        method: m,
+                        index: idx,
+                        len: a.len(),
+                    })?;
+                    frame.stack.push(v);
+                    frame.pc += 1;
+                }
+                Instruction::IAStore => {
+                    let val = pop!();
+                    let idx = pop!();
+                    let arr = pop!();
+                    let a = self
+                        .arrays
+                        .get_mut(usize::try_from(arr).map_err(|_| InterpError::BadArrayRef(m))?)
+                        .ok_or(InterpError::BadArrayRef(m))?;
+                    let len = a.len();
+                    let slot = a
+                        .get_mut(usize::try_from(idx).map_err(|_| {
+                            InterpError::IndexOutOfBounds { method: m, index: idx, len }
+                        })?)
+                        .ok_or(InterpError::IndexOutOfBounds { method: m, index: idx, len })?;
+                    *slot = i64::from(val as i32);
+                    frame.pc += 1;
+                }
+                Instruction::ArrayLength => {
+                    let arr = pop!();
+                    let a = self
+                        .arrays
+                        .get(usize::try_from(arr).map_err(|_| InterpError::BadArrayRef(m))?)
+                        .ok_or(InterpError::BadArrayRef(m))?;
+                    frame.stack.push(a.len() as i64);
+                    frame.pc += 1;
+                }
+                Instruction::GetStatic(r) => {
+                    let v = *self
+                        .statics
+                        .get(r.class as usize)
+                        .and_then(|c| c.get(r.field as usize))
+                        .ok_or(InterpError::BadStatic(ClassId(r.class), r.field))?;
+                    frame.stack.push(v);
+                    frame.pc += 1;
+                }
+                Instruction::PutStatic(r) => {
+                    let v = pop!();
+                    let slot = self
+                        .statics
+                        .get_mut(r.class as usize)
+                        .and_then(|c| c.get_mut(r.field as usize))
+                        .ok_or(InterpError::BadStatic(ClassId(r.class), r.field))?;
+                    *slot = i64::from(v as i32);
+                    frame.pc += 1;
+                }
+                Instruction::Goto(l) => frame.pc = l.0,
+                Instruction::If(c, l) => {
+                    let v = pop!();
+                    frame.pc = if eval_zero(*c, v) { l.0 } else { frame.pc + 1 };
+                }
+                Instruction::IfICmp(c, l) => {
+                    let b = pop!();
+                    let a = pop!();
+                    frame.pc = if c.eval(a, b) { l.0 } else { frame.pc + 1 };
+                }
+                Instruction::Invoke { target, .. } => {
+                    let target = *target;
+                    if frames.len() >= MAX_DEPTH {
+                        return Err(InterpError::CallStackOverflow(target));
+                    }
+                    let callee = self.program.method(target);
+                    let arity = callee.arity as usize;
+                    let frame = frames.last_mut().expect("current frame");
+                    if frame.stack.len() < arity {
+                        return Err(InterpError::StackUnderflow(frame.method));
+                    }
+                    let mut locals =
+                        vec![0i64; callee.max_locals.max(callee.arity) as usize];
+                    let split = frame.stack.len() - arity;
+                    for (slot, v) in locals.iter_mut().zip(frame.stack.drain(split..)) {
+                        *slot = v;
+                    }
+                    frame.pc += 1; // resume after the call
+                    sink.run(frame.method, frame.run);
+                    frame.run = 0;
+                    sink.method_enter(target);
+                    frames.push(Frame {
+                        method: target,
+                        pc: 0,
+                        locals,
+                        stack: Vec::with_capacity(callee.max_stack as usize),
+                        run: 0,
+                    });
+                }
+                Instruction::InvokeRuntime(rt) => {
+                    let rt = *rt;
+                    self.runtime_call(rt, frame)?;
+                    frame.pc += 1;
+                }
+                Instruction::Return | Instruction::IReturn => {
+                    let returns = matches!(instr, Instruction::IReturn);
+                    let ret = if returns { Some(pop!()) } else { None };
+                    let finished = frames.pop().expect("current frame");
+                    sink.run(finished.method, finished.run);
+                    sink.method_exit(finished.method);
+                    match frames.last_mut() {
+                        Some(caller) => {
+                            if let Some(v) = ret {
+                                caller.stack.push(v);
+                            }
+                        }
+                        None => return Ok(ret),
+                    }
+                }
+                Instruction::Nop => frame.pc += 1,
+            }
+        }
+    }
+
+    fn runtime_call(&mut self, rt: RuntimeFn, frame: &mut Frame) -> Result<(), InterpError> {
+        let m = frame.method;
+        let mut pop = || frame.stack.pop().ok_or(InterpError::StackUnderflow(m));
+        match rt {
+            RuntimeFn::PrintInt => {
+                let v = pop()?;
+                if self.output.len() < 65_536 {
+                    self.output.push(v);
+                }
+            }
+            RuntimeFn::PrintString => {
+                pop()?;
+            }
+            RuntimeFn::TimeMillis => {
+                self.time_counter += 1;
+                frame.stack.push(self.time_counter);
+            }
+            RuntimeFn::Abs => {
+                let v = pop()?;
+                frame.stack.push(i64::from((v as i32).wrapping_abs()));
+            }
+            RuntimeFn::Min => {
+                let b = pop()?;
+                let a = pop()?;
+                frame.stack.push(a.min(b));
+            }
+            RuntimeFn::Max => {
+                let b = pop()?;
+                let a = pop()?;
+                frame.stack.push(a.max(b));
+            }
+            RuntimeFn::NextInt => {
+                let bound = pop()?;
+                self.rng_state = self
+                    .rng_state
+                    .wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add(1_442_695_040_888_963_407);
+                let v = if bound <= 0 { 0 } else { ((self.rng_state >> 33) as i64) % bound };
+                frame.stack.push(v);
+            }
+            RuntimeFn::HashCode => {
+                let v = pop()?;
+                frame.stack.push(i64::from((v as i32).wrapping_mul(31).wrapping_add(17)));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn eval_zero(c: Cond, v: i64) -> bool {
+    c.eval(v, 0)
+}
+
+fn fnv(s: &str) -> i32 {
+    let mut h: u32 = 0x811C_9DC5;
+    for b in s.bytes() {
+        h ^= u32::from(b);
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h as i32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::MethodBuilder;
+    use crate::program::{ClassDef, Program, StaticDef};
+
+    fn run_main(build: impl FnOnce(&mut MethodBuilder)) -> Result<Option<i64>, InterpError> {
+        let mut b = MethodBuilder::new("main", 0);
+        build(&mut b);
+        let mut c = ClassDef::new("i/T");
+        c.add_static(StaticDef::int("s", 5));
+        c.add_method(b.finish());
+        let p = Program::new(vec![c], "i/T", "main").unwrap();
+        Interpreter::new(&p).run(&[], &mut ())
+    }
+
+    #[test]
+    fn arithmetic_wraps_at_32_bits() {
+        let r = run_main(|b| {
+            b.returns_value();
+            b.iconst(i32::MAX).iconst(1).iadd().ireturn();
+        })
+        .unwrap();
+        assert_eq!(r, Some(i64::from(i32::MIN)));
+    }
+
+    #[test]
+    fn loop_sums_correctly() {
+        let r = run_main(|b| {
+            b.returns_value();
+            b.iconst(0).istore(0);
+            b.iconst(100).istore(1);
+            let head = b.new_label();
+            let exit = b.new_label();
+            b.bind(head);
+            b.iload(1).if_(Cond::Eq, exit);
+            b.iload(0).iload(1).iadd().istore(0);
+            b.iinc(1, -1).goto(head);
+            b.bind(exit);
+            b.iload(0).ireturn();
+        })
+        .unwrap();
+        assert_eq!(r, Some(5050));
+    }
+
+    #[test]
+    fn statics_prepare_and_update() {
+        let r = run_main(|b| {
+            b.returns_value();
+            b.getstatic(0, 0).iconst(2).imul().dup().putstatic(0, 0);
+            b.ireturn();
+        })
+        .unwrap();
+        assert_eq!(r, Some(10));
+    }
+
+    #[test]
+    fn arrays_allocate_load_store() {
+        let r = run_main(|b| {
+            b.returns_value();
+            b.iconst(4).newarray().istore(0);
+            b.iload(0).iconst(2).iconst(99).iastore();
+            b.iload(0).iconst(2).iaload();
+            b.iload(0).arraylength().iadd();
+            b.ireturn();
+        })
+        .unwrap();
+        assert_eq!(r, Some(103));
+    }
+
+    #[test]
+    fn division_by_zero_faults() {
+        let e = run_main(|b| {
+            b.iconst(1).iconst(0).idiv().pop().ret();
+        })
+        .unwrap_err();
+        assert!(matches!(e, InterpError::DivisionByZero(_)));
+    }
+
+    #[test]
+    fn out_of_bounds_faults() {
+        let e = run_main(|b| {
+            b.iconst(2).newarray().istore(0);
+            b.iload(0).iconst(5).iaload().pop().ret();
+        })
+        .unwrap_err();
+        assert!(matches!(e, InterpError::IndexOutOfBounds { index: 5, len: 2, .. }));
+    }
+
+    #[test]
+    fn budget_guards_infinite_loops() {
+        let mut b = MethodBuilder::new("main", 0);
+        let head = b.new_label();
+        b.bind(head);
+        b.goto(head);
+        let mut c = ClassDef::new("i/T");
+        c.add_method(b.finish());
+        let p = Program::new(vec![c], "i/T", "main").unwrap();
+        let mut i = Interpreter::new(&p);
+        i.set_budget(1000);
+        let err = i.run(&[], &mut ()).unwrap_err();
+        assert!(matches!(err, InterpError::BudgetExhausted { .. }));
+    }
+
+    #[test]
+    fn calls_pass_args_and_return_values() {
+        // main: return add3(4) where add3(x) = x + 3
+        let mut add3 = MethodBuilder::new("add3", 1);
+        add3.returns_value();
+        add3.iload(0).iconst(3).iadd().ireturn();
+        let mut main = MethodBuilder::new("main", 0);
+        main.returns_value();
+        main.iconst(4).invoke(MethodId::new(0, 1)).ireturn();
+        let mut c = ClassDef::new("i/T");
+        c.add_method(main.finish());
+        c.add_method(add3.finish());
+        let p = Program::new(vec![c], "i/T", "main").unwrap();
+        let r = Interpreter::new(&p).run(&[], &mut ()).unwrap();
+        assert_eq!(r, Some(7));
+    }
+
+    #[test]
+    fn events_bracket_calls() {
+        #[derive(Default)]
+        struct Log(Vec<String>);
+        impl EventSink for Log {
+            fn method_enter(&mut self, m: MethodId) {
+                self.0.push(format!("+{m}"));
+            }
+            fn run(&mut self, m: MethodId, n: u64) {
+                self.0.push(format!("{m}x{n}"));
+            }
+            fn method_exit(&mut self, m: MethodId) {
+                self.0.push(format!("-{m}"));
+            }
+        }
+        let mut callee = MethodBuilder::new("f", 0);
+        callee.ret();
+        let mut main = MethodBuilder::new("main", 0);
+        main.invoke(MethodId::new(0, 1)).ret();
+        let mut c = ClassDef::new("i/T");
+        c.add_method(main.finish());
+        c.add_method(callee.finish());
+        let p = Program::new(vec![c], "i/T", "main").unwrap();
+        let mut log = Log::default();
+        Interpreter::new(&p).run(&[], &mut log).unwrap();
+        assert_eq!(
+            log.0,
+            vec!["+C0.m0", "C0.m0x1", "+C0.m1", "C0.m1x1", "-C0.m1", "C0.m0x1", "-C0.m0"]
+        );
+    }
+
+    #[test]
+    fn run_counts_sum_to_executed() {
+        #[derive(Default)]
+        struct Counter(u64);
+        impl EventSink for Counter {
+            fn run(&mut self, _m: MethodId, n: u64) {
+                self.0 += n;
+            }
+        }
+        let mut helper = MethodBuilder::new("h", 1);
+        helper.returns_value();
+        helper.iload(0).iconst(1).iadd().ireturn();
+        let mut main = MethodBuilder::new("main", 0);
+        main.iconst(0).istore(0);
+        main.iconst(50).istore(1);
+        let head = main.new_label();
+        let exit = main.new_label();
+        main.bind(head);
+        main.iload(1).if_(Cond::Eq, exit);
+        main.iload(0).invoke(MethodId::new(0, 1)).istore(0);
+        main.iinc(1, -1).goto(head);
+        main.bind(exit);
+        main.ret();
+        let mut c = ClassDef::new("i/T");
+        c.add_method(main.finish());
+        c.add_method(helper.finish());
+        let p = Program::new(vec![c], "i/T", "main").unwrap();
+        let mut counter = Counter::default();
+        let mut interp = Interpreter::new(&p);
+        interp.run(&[], &mut counter).unwrap();
+        assert_eq!(counter.0, interp.executed());
+        assert!(interp.executed() > 300);
+    }
+
+    #[test]
+    fn coverage_and_executed_bytes_track_execution() {
+        let mut main = MethodBuilder::new("main", 0);
+        let skip = main.new_label();
+        main.iconst(1).if_(Cond::Ne, skip); // always taken
+        main.iconst(42).pop(); // dead
+        main.bind(skip);
+        main.ret();
+        let mut c = ClassDef::new("i/T");
+        c.add_method(main.finish());
+        let p = Program::new(vec![c], "i/T", "main").unwrap();
+        let mut interp = Interpreter::new(&p);
+        interp.run(&[], &mut ()).unwrap();
+        let pct = interp.executed_static_percent();
+        assert!(pct < 100.0 && pct > 0.0, "{pct}");
+        let bytes = interp.executed_code_bytes();
+        let m = p.method(p.entry());
+        assert!(bytes[0] < m.code_size());
+        assert!(bytes[0] > 0);
+    }
+
+    #[test]
+    fn main_args_arrive_in_locals() {
+        let mut main = MethodBuilder::new("main", 2);
+        main.returns_value();
+        main.iload(0).iload(1).isub().ireturn();
+        let mut c = ClassDef::new("i/T");
+        c.add_method(main.finish());
+        let p = Program::new(vec![c], "i/T", "main").unwrap();
+        let r = Interpreter::new(&p).run(&[10, 3], &mut ()).unwrap();
+        assert_eq!(r, Some(7));
+    }
+
+    #[test]
+    fn runtime_functions_behave() {
+        let r = run_main(|b| {
+            b.returns_value();
+            b.iconst(-5).invoke_runtime(RuntimeFn::Abs);
+            b.iconst(3).invoke_runtime(RuntimeFn::Min); // min(5,3)=3
+            b.iconst(10).invoke_runtime(RuntimeFn::Max); // max(3,10)=10
+            b.dup().invoke_runtime(RuntimeFn::PrintInt);
+            b.ireturn();
+        })
+        .unwrap();
+        assert_eq!(r, Some(10));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let build = || {
+            let mut b = MethodBuilder::new("main", 0);
+            b.returns_value();
+            b.iconst(100).invoke_runtime(RuntimeFn::NextInt);
+            b.iconst(100).invoke_runtime(RuntimeFn::NextInt);
+            b.iadd().ireturn();
+            let mut c = ClassDef::new("i/T");
+            c.add_method(b.finish());
+            Program::new(vec![c], "i/T", "main").unwrap()
+        };
+        let p1 = build();
+        let p2 = build();
+        let r1 = Interpreter::new(&p1).run(&[], &mut ()).unwrap();
+        let r2 = Interpreter::new(&p2).run(&[], &mut ()).unwrap();
+        assert_eq!(r1, r2);
+    }
+}

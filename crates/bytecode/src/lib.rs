@@ -1,0 +1,56 @@
+//! # nonstrict-bytecode
+//!
+//! A JVM-flavoured bytecode substrate: a ~50-opcode integer instruction
+//! set with real JVM opcode encodings and byte sizes, method/program
+//! containers, control-flow graphs with loop analysis, a structural
+//! verifier, and a fast stack-machine interpreter with instrumentation
+//! hooks (the BIT analog of the ASPLOS '98 paper).
+//!
+//! The six benchmark programs in `nonstrict-workloads` are written against
+//! this instruction set, lowered to real class files through [`lower`],
+//! and executed for real through [`interp`] to produce the dynamic traces
+//! and first-use profiles the paper's experiments need.
+//!
+//! ```
+//! use nonstrict_bytecode::builder::MethodBuilder;
+//! use nonstrict_bytecode::instr::Instruction as I;
+//! use nonstrict_bytecode::program::{ClassDef, Program};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A one-class program whose main computes 6 * 7.
+//! let mut main = MethodBuilder::new("main", 0);
+//! main.push(I::IConst(6)).push(I::IConst(7)).push(I::IMul).push(I::IReturn);
+//! let mut class = ClassDef::new("demo/Main");
+//! class.add_method(main.finish());
+//! let program = Program::new(vec![class], "demo/Main", "main")?;
+//! let mut interp = nonstrict_bytecode::interp::Interpreter::new(&program);
+//! let result = interp.run(&[], &mut ())?;
+//! assert_eq!(result, Some(42));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod builder;
+pub mod cfg;
+pub mod disasm;
+pub mod encode;
+pub mod error;
+pub mod ids;
+pub mod instr;
+pub mod interp;
+pub mod loops;
+pub mod lower;
+pub mod program;
+pub mod verify;
+
+pub use builder::MethodBuilder;
+pub use disasm::{decode, listing, DisasmError, RawOp};
+pub use encode::encode_method;
+pub use error::{BytecodeError, InterpError};
+pub use ids::{ClassId, MethodId};
+pub use instr::{CallKind, Cond, Instruction, Label, RuntimeFn, StaticRef};
+pub use interp::{EventSink, Interpreter};
+pub use program::{Application, ClassDef, Input, MethodDef, Program, StaticDef};

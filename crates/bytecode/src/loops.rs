@@ -1,0 +1,261 @@
+//! Loop analysis over intra-method CFGs.
+//!
+//! The static first-use estimator prioritizes branch paths "with the
+//! greatest number of static loops" and defers loop-exit edges until a
+//! loop's blocks are exhausted (§4.1). This module finds back edges,
+//! natural-loop membership, and per-block reachable-loop counts to feed
+//! those heuristics.
+
+use std::collections::BTreeSet;
+
+use crate::cfg::Cfg;
+
+/// Loop structure of one method.
+#[derive(Debug, Clone)]
+pub struct LoopInfo {
+    /// Back edges `(from_block, header_block)` discovered by DFS.
+    pub back_edges: Vec<(usize, usize)>,
+    /// Distinct loop-header blocks, ascending.
+    pub headers: Vec<usize>,
+    /// Per block: indices into `headers` of every natural loop containing
+    /// the block.
+    pub membership: Vec<Vec<usize>>,
+    /// Per block: number of distinct loop headers reachable from the
+    /// block (including itself), the branch-priority metric.
+    pub reachable_loops: Vec<u32>,
+}
+
+impl LoopInfo {
+    /// Analyzes `cfg`.
+    #[must_use]
+    pub fn analyze(cfg: &Cfg) -> LoopInfo {
+        let n = cfg.len();
+        let mut back_edges = Vec::new();
+
+        // Iterative DFS with colors: 0 white, 1 grey, 2 black.
+        let mut color = vec![0u8; n];
+        if n > 0 {
+            let mut stack: Vec<(usize, usize)> = vec![(0, 0)];
+            color[0] = 1;
+            while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+                if *next < cfg.blocks[b].succs.len() {
+                    let s = cfg.blocks[b].succs[*next];
+                    *next += 1;
+                    match color[s] {
+                        0 => {
+                            color[s] = 1;
+                            stack.push((s, 0));
+                        }
+                        1 => back_edges.push((b, s)),
+                        _ => {}
+                    }
+                } else {
+                    color[b] = 2;
+                    stack.pop();
+                }
+            }
+        }
+
+        let headers: Vec<usize> = {
+            let set: BTreeSet<usize> = back_edges.iter().map(|&(_, h)| h).collect();
+            set.into_iter().collect()
+        };
+
+        // Natural loop membership: for each back edge (t, h), walk
+        // predecessors from t until h.
+        let preds = cfg.predecessors();
+        let mut membership = vec![Vec::new(); n];
+        for (hi, &h) in headers.iter().enumerate() {
+            let mut in_loop = vec![false; n];
+            in_loop[h] = true;
+            let mut work: Vec<usize> = back_edges
+                .iter()
+                .filter(|&&(_, hh)| hh == h)
+                .map(|&(t, _)| t)
+                .collect();
+            while let Some(b) = work.pop() {
+                if !in_loop[b] {
+                    in_loop[b] = true;
+                    work.extend(preds[b].iter().copied());
+                }
+            }
+            for (b, &inside) in in_loop.iter().enumerate() {
+                if inside {
+                    membership[b].push(hi);
+                }
+            }
+        }
+
+        // Reachable loop headers per block: reverse-propagate header sets.
+        // Blocks are few per method, so a simple fixed point over bitsets
+        // is plenty fast.
+        let words = n.div_ceil(64);
+        let mut sets = vec![0u64; n * words];
+        for (hi, &h) in headers.iter().enumerate() {
+            let _ = hi;
+            sets[h * words + h / 64] |= 1u64 << (h % 64);
+        }
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for b in (0..n).rev() {
+                for si in 0..cfg.blocks[b].succs.len() {
+                    let s = cfg.blocks[b].succs[si];
+                    for w in 0..words {
+                        let merged = sets[b * words + w] | sets[s * words + w];
+                        if merged != sets[b * words + w] {
+                            sets[b * words + w] = merged;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        let reachable_loops = (0..n)
+            .map(|b| (0..words).map(|w| sets[b * words + w].count_ones()).sum())
+            .collect();
+
+        LoopInfo { back_edges, headers, membership, reachable_loops }
+    }
+
+    /// Number of distinct loops (the paper's "static loops" count).
+    #[must_use]
+    pub fn loop_count(&self) -> usize {
+        self.headers.len()
+    }
+
+    /// Whether `block` is inside the loop headed by `headers[header_pos]`.
+    #[must_use]
+    pub fn in_loop(&self, block: usize, header_pos: usize) -> bool {
+        self.membership[block].contains(&header_pos)
+    }
+
+    /// The innermost (most deeply nested) loop containing `block`, as a
+    /// position in `headers`, if any. Nesting is approximated by loop
+    /// size: smaller natural loops are more deeply nested.
+    #[must_use]
+    pub fn innermost_loop(&self, block: usize, loop_sizes: &[usize]) -> Option<usize> {
+        self.membership[block]
+            .iter()
+            .copied()
+            .min_by_key(|&hp| loop_sizes[hp])
+    }
+
+    /// Size (block count) of each loop, indexed like `headers`.
+    #[must_use]
+    pub fn loop_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.headers.len()];
+        for m in &self.membership {
+            for &hp in m {
+                sizes[hp] += 1;
+            }
+        }
+        sizes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{Cond, Instruction as I, Label};
+
+    fn analyze(body: &[I]) -> (Cfg, LoopInfo) {
+        let cfg = Cfg::build(body);
+        let info = LoopInfo::analyze(&cfg);
+        (cfg, info)
+    }
+
+    #[test]
+    fn straightline_has_no_loops() {
+        let (_, info) = analyze(&[I::IConst(1), I::Pop, I::Return]);
+        assert_eq!(info.loop_count(), 0);
+        assert!(info.back_edges.is_empty());
+    }
+
+    #[test]
+    fn single_loop_detected() {
+        let body = vec![
+            I::IConst(10),
+            I::IStore(0),
+            I::ILoad(0),               // block 1: header
+            I::If(Cond::Eq, Label(6)),
+            I::IInc(0, -1),            // block 2: latch
+            I::Goto(Label(2)),
+            I::Return,
+        ];
+        let (cfg, info) = analyze(&body);
+        assert_eq!(info.loop_count(), 1);
+        let h = info.headers[0];
+        assert_eq!(cfg.blocks[h].start, 2);
+        // membership: header and latch blocks in loop, entry/exit out
+        assert!(info.in_loop(h, 0));
+        assert!(info.in_loop(2, 0));
+        assert!(!info.in_loop(0, 0));
+        assert!(!info.in_loop(3, 0));
+    }
+
+    #[test]
+    fn nested_loops_counted() {
+        // outer: 1..; inner: 3..
+        let body = vec![
+            I::IConst(3),
+            I::IStore(0), // b0
+            I::ILoad(0),  // b1 outer header
+            I::If(Cond::Eq, Label(12)),
+            I::IConst(3), // b2
+            I::IStore(1),
+            I::ILoad(1), // b3 inner header
+            I::If(Cond::Eq, Label(10)),
+            I::IInc(1, -1), // b4
+            I::Goto(Label(6)),
+            I::IInc(0, -1), // b5
+            I::Goto(Label(2)),
+            I::Return, // b6
+        ];
+        let (_, info) = analyze(&body);
+        assert_eq!(info.loop_count(), 2);
+        // entry block can reach both loops
+        assert_eq!(info.reachable_loops[0], 2);
+        let sizes = info.loop_sizes();
+        assert_eq!(sizes.len(), 2);
+        assert!(sizes.iter().any(|&s| s >= 2));
+    }
+
+    #[test]
+    fn reachable_loops_guides_branches() {
+        // if (c) goto loopy else goto flat
+        let body = vec![
+            I::IConst(1),               // 0: b0
+            I::If(Cond::Eq, Label(7)),  // -> b3 (flat exit)
+            I::IConst(5),               // 2: b1 loopy path
+            I::IStore(0),
+            I::ILoad(0),                // 4: b2 loop header
+            I::If(Cond::Ne, Label(4)),  // self-loop
+            I::Return,                  // 6
+            I::Return,                  // 7: b4 flat
+        ];
+        let (cfg, info) = analyze(&body);
+        let b0 = 0;
+        let succs = &cfg.blocks[b0].succs;
+        // fallthrough (loopy) must have more reachable loops than taken (flat)
+        assert!(info.reachable_loops[succs[0]] > info.reachable_loops[succs[1]]);
+    }
+
+    #[test]
+    fn innermost_prefers_smaller_loop() {
+        let body = vec![
+            I::ILoad(0),               // b0: outer header
+            I::If(Cond::Eq, Label(6)),
+            I::ILoad(1),               // b1: inner header
+            I::If(Cond::Ne, Label(2)), // inner self-loop
+            I::IInc(0, -1),            // b2
+            I::Goto(Label(0)),
+            I::Return,
+        ];
+        let (cfg, info) = analyze(&body);
+        let sizes = info.loop_sizes();
+        let inner_block = cfg.block_at(2);
+        let inner = info.innermost_loop(inner_block, &sizes).unwrap();
+        assert_eq!(cfg.blocks[info.headers[inner]].start, 2);
+    }
+}

@@ -1,0 +1,191 @@
+//! Lowering: from a verified [`Program`] to real [`ClassFile`]s.
+//!
+//! Each [`crate::program::ClassDef`] becomes one class file whose sizes
+//! are exact serialized sizes: the transfer simulator never sees a made-up
+//! number. Lowering also reports which constant-pool entries each method's
+//! code references, which the global-data partitioning analysis (§7.3)
+//! consumes.
+
+use nonstrict_classfile::{ClassFile, ClassFileBuilder, Constant, CpIndex, MethodData};
+
+use crate::encode::encode_method;
+use crate::error::BytecodeError;
+use crate::ids::MethodId;
+use crate::program::Program;
+
+/// The product of lowering a whole program.
+#[derive(Debug, Clone)]
+pub struct LoweredProgram {
+    /// One class file per [`crate::program::ClassDef`], methods in source
+    /// order.
+    pub classes: Vec<ClassFile>,
+    /// Per method (global index): pool indices its code references.
+    pub code_usage: Vec<Vec<CpIndex>>,
+}
+
+/// Lowers every class of `program`.
+///
+/// # Errors
+///
+/// Propagates encoding and class-file construction failures.
+pub fn lower_program(program: &Program) -> Result<LoweredProgram, BytecodeError> {
+    let mut classes = Vec::with_capacity(program.class_count());
+    let mut code_usage = vec![Vec::new(); program.method_count()];
+    for (ci, class) in program.classes().iter().enumerate() {
+        let mut builder = ClassFileBuilder::new(class.name.clone());
+        if let Some(sf) = &class.source_file {
+            builder.source_file(sf.clone());
+        } else {
+            let simple = class.name.rsplit('/').next().unwrap_or(&class.name);
+            builder.source_file(format!("{simple}.java"));
+        }
+        for i in &class.interfaces {
+            builder.interface(i.clone());
+        }
+        for s in &class.statics {
+            if s.constant {
+                let v = builder.pool_mut().intern(Constant::Integer(s.initial as i32))?;
+                builder.add_constant_field(&s.name, &s.descriptor, v)?;
+            } else {
+                builder.add_static_field(&s.name, &s.descriptor)?;
+            }
+        }
+        // Unreferenced pool residue (javac emits these for debug info and
+        // dead code); `push` rather than `intern` so duplicates survive,
+        // as they do in real files.
+        for s in &class.unused_strings {
+            builder.pool_mut().push(Constant::Utf8(s.clone()))?;
+        }
+        for &v in &class.unused_ints {
+            builder.pool_mut().push(Constant::Integer(v))?;
+        }
+        for (mi, method) in class.methods.iter().enumerate() {
+            let id = MethodId::new(ci as u16, mi as u16);
+            let encoded = encode_method(program, id, builder.pool_mut())?;
+            let mut data = MethodData::new(&method.name, method.descriptor(), encoded.code);
+            data.limits(method.max_stack.max(1), method.max_locals.max(1));
+            data.line_numbers(line_table(method.line_entries, method.code_size()));
+            builder.add_method(data)?;
+            code_usage[program.global_index(id)] = encoded.used_constants;
+        }
+        classes.push(builder.build()?);
+    }
+    Ok(LoweredProgram { classes, code_usage })
+}
+
+/// Synthesizes a plausible `LineNumberTable`: `entries` evenly spaced
+/// program counters mapping to increasing source lines.
+fn line_table(entries: u16, code_len: u32) -> Vec<(u16, u16)> {
+    let entries = u32::from(entries);
+    if entries == 0 || code_len == 0 {
+        return Vec::new();
+    }
+    (0..entries)
+        .map(|i| {
+            let pc = (i * code_len / entries).min(code_len - 1) as u16;
+            (pc, (i + 1) as u16)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::Instruction as I;
+    use crate::program::{ClassDef, MethodDef, StaticDef};
+
+    fn two_class_program() -> Program {
+        let mut a = ClassDef::new("l/A");
+        a.add_static(StaticDef::int("x", 7));
+        a.add_static(StaticDef {
+            name: "K".into(),
+            descriptor: "I".into(),
+            initial: 9,
+            constant: true,
+        });
+        a.unused_strings.push("leftover debug text".into());
+        a.unused_ints.push(12345);
+        let mut main = MethodDef::new(
+            "main",
+            0,
+            vec![
+                I::IConst(1_000_000),
+                I::Pop,
+                I::LdcString("greeting".into()),
+                I::Pop,
+                I::Invoke { kind: crate::instr::CallKind::Static, target: MethodId::new(1, 0) },
+                I::Return,
+            ],
+        );
+        main.line_entries = 3;
+        a.add_method(main);
+        let mut b = ClassDef::new("l/B");
+        b.add_method(MethodDef::new("helper", 0, vec![I::Return]));
+        Program::new(vec![a, b], "l/A", "main").unwrap()
+    }
+
+    #[test]
+    fn lowering_produces_serializable_classes() {
+        let p = two_class_program();
+        let lowered = lower_program(&p).unwrap();
+        assert_eq!(lowered.classes.len(), 2);
+        for c in &lowered.classes {
+            assert_eq!(c.to_bytes().len() as u32, c.total_size());
+            c.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn code_usage_covers_literals_and_refs() {
+        let p = two_class_program();
+        let lowered = lower_program(&p).unwrap();
+        let main_usage = &lowered.code_usage[0];
+        // integer literal, string, cross-class method ref
+        assert_eq!(main_usage.len(), 3);
+        let pool = &lowered.classes[0].constant_pool;
+        assert!(main_usage.iter().any(|&i| matches!(
+            pool.get(i),
+            Some(Constant::MethodRef { .. })
+        )));
+    }
+
+    #[test]
+    fn method_code_sizes_match_model() {
+        let p = two_class_program();
+        let lowered = lower_program(&p).unwrap();
+        for (id, m) in p.iter_methods() {
+            let cf = &lowered.classes[id.class.0 as usize];
+            assert_eq!(cf.methods[id.method as usize].code_size(), m.code_size());
+        }
+    }
+
+    #[test]
+    fn unused_constants_inflate_global_data() {
+        let p = two_class_program();
+        let lowered = lower_program(&p).unwrap();
+        let with = lowered.classes[0].global_data_size();
+        // strip the residue and re-lower
+        let mut classes = p.classes().to_vec();
+        classes[0].unused_strings.clear();
+        classes[0].unused_ints.clear();
+        let p2 = Program::new(classes, "l/A", "main").unwrap();
+        let lowered2 = lower_program(&p2).unwrap();
+        assert!(with > lowered2.classes[0].global_data_size());
+    }
+
+    #[test]
+    fn line_table_spacing() {
+        let t = line_table(3, 30);
+        assert_eq!(t, vec![(0, 1), (10, 2), (20, 3)]);
+        assert!(line_table(0, 30).is_empty());
+        assert!(line_table(3, 0).is_empty());
+    }
+
+    #[test]
+    fn constant_static_gets_constant_value() {
+        let p = two_class_program();
+        let lowered = lower_program(&p).unwrap();
+        let f = &lowered.classes[0].fields[1];
+        assert_eq!(f.attributes.len(), 1);
+    }
+}

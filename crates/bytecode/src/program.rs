@@ -1,0 +1,513 @@
+//! Program containers: methods, classes, whole programs, and lowered
+//! [`Application`]s ready for the transfer experiments.
+
+use std::fmt;
+
+use nonstrict_classfile::{ClassFile, CpIndex};
+
+use crate::error::BytecodeError;
+use crate::ids::{ClassId, MethodId};
+use crate::instr::Instruction;
+
+/// A static field declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StaticDef {
+    /// Field name.
+    pub name: String,
+    /// Field descriptor (always `I` in the integer model, but kept for
+    /// realism in pool composition).
+    pub descriptor: String,
+    /// Initial value installed before `main` runs (preparation step).
+    pub initial: i64,
+    /// Whether to emit a `ConstantValue` attribute (static final).
+    pub constant: bool,
+}
+
+impl StaticDef {
+    /// An `int` static initialized to `initial`.
+    #[must_use]
+    pub fn int(name: impl Into<String>, initial: i64) -> Self {
+        StaticDef { name: name.into(), descriptor: "I".to_owned(), initial, constant: false }
+    }
+}
+
+/// One method: signature, body, and local-data calibration knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MethodDef {
+    /// Method name.
+    pub name: String,
+    /// Number of `int` arguments.
+    pub arity: u16,
+    /// Whether the method returns an `int` (`ireturn`) or is void.
+    pub returns_value: bool,
+    /// The body, in instruction-index space.
+    pub body: Vec<Instruction>,
+    /// Operand-stack limit; computed by verification in
+    /// [`Program::new`].
+    pub max_stack: u16,
+    /// Local-slot count (arguments first).
+    pub max_locals: u16,
+    /// Number of `LineNumberTable` entries to emit — the main calibration
+    /// knob for per-method *local data* (real 1.1-era javac emitted about
+    /// one entry per source line).
+    pub line_entries: u16,
+}
+
+impl MethodDef {
+    /// Creates a method; `max_stack`/`max_locals` are finalized by
+    /// [`Program::new`].
+    #[must_use]
+    pub fn new(name: impl Into<String>, arity: u16, body: Vec<Instruction>) -> Self {
+        MethodDef {
+            name: name.into(),
+            arity,
+            returns_value: false,
+            body,
+            max_stack: 0,
+            max_locals: arity,
+            line_entries: 0,
+        }
+    }
+
+    /// The JVM descriptor string, e.g. `(II)I`.
+    #[must_use]
+    pub fn descriptor(&self) -> String {
+        let mut d = String::with_capacity(self.arity as usize + 3);
+        d.push('(');
+        for _ in 0..self.arity {
+            d.push('I');
+        }
+        d.push(')');
+        d.push(if self.returns_value { 'I' } else { 'V' });
+        d
+    }
+
+    /// Exact encoded bytecode size in bytes.
+    #[must_use]
+    pub fn code_size(&self) -> u32 {
+        self.body.iter().map(Instruction::byte_size).sum()
+    }
+
+    /// Number of static instructions.
+    #[must_use]
+    pub fn instruction_count(&self) -> u32 {
+        self.body.len() as u32
+    }
+}
+
+/// One class: statics, methods (source order), and pool-composition
+/// calibration data.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ClassDef {
+    /// Internal-form class name.
+    pub name: String,
+    /// Static fields.
+    pub statics: Vec<StaticDef>,
+    /// Methods in source order.
+    pub methods: Vec<MethodDef>,
+    /// Interfaces implemented (internal form names).
+    pub interfaces: Vec<String>,
+    /// `SourceFile` attribute value.
+    pub source_file: Option<String>,
+    /// String constants present in the pool but never referenced by
+    /// structure or code (debug remnants; feeds Table 9's "% unused").
+    pub unused_strings: Vec<String>,
+    /// Integer constants present in the pool but never referenced.
+    pub unused_ints: Vec<i32>,
+}
+
+impl ClassDef {
+    /// Creates an empty class.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        ClassDef { name: name.into(), ..ClassDef::default() }
+    }
+
+    /// Appends a method, returning its [`MethodId`] component index.
+    pub fn add_method(&mut self, method: MethodDef) -> u16 {
+        self.methods.push(method);
+        (self.methods.len() - 1) as u16
+    }
+
+    /// Appends a static field, returning its field index.
+    pub fn add_static(&mut self, field: StaticDef) -> u16 {
+        self.statics.push(field);
+        (self.statics.len() - 1) as u16
+    }
+}
+
+/// A verified program: classes plus a designated entry method.
+#[derive(Debug, Clone)]
+pub struct Program {
+    classes: Vec<ClassDef>,
+    entry: MethodId,
+    method_count: usize,
+    /// Prefix sums for global method indexing.
+    method_base: Vec<usize>,
+}
+
+impl Program {
+    /// Builds and verifies a program.
+    ///
+    /// Verification checks branch targets, call targets, static
+    /// references, local-slot bounds, stack discipline (computing each
+    /// method's exact `max_stack`), and that no path falls off a method
+    /// end.
+    ///
+    /// # Errors
+    ///
+    /// The first [`BytecodeError`] found.
+    pub fn new(
+        mut classes: Vec<ClassDef>,
+        entry_class: &str,
+        entry_method: &str,
+    ) -> Result<Self, BytecodeError> {
+        if classes.len() > u16::MAX as usize {
+            return Err(BytecodeError::TooLarge("classes"));
+        }
+        for c in &classes {
+            if c.methods.len() > u16::MAX as usize {
+                return Err(BytecodeError::TooLarge("methods"));
+            }
+        }
+        let entry_ci = classes
+            .iter()
+            .position(|c| c.name == entry_class)
+            .ok_or_else(|| BytecodeError::NoEntryClass(entry_class.to_owned()))?;
+        let entry_mi = classes[entry_ci]
+            .methods
+            .iter()
+            .position(|m| m.name == entry_method)
+            .ok_or_else(|| BytecodeError::NoEntryMethod(entry_method.to_owned()))?;
+        let entry = MethodId::new(entry_ci as u16, entry_mi as u16);
+
+        let mut method_base = Vec::with_capacity(classes.len());
+        let mut total = 0usize;
+        for c in &classes {
+            method_base.push(total);
+            total += c.methods.len();
+        }
+
+        // Verify each method (also finalizes max_stack / max_locals).
+        let snapshot = classes.clone();
+        let view = ProgramView { classes: &snapshot };
+        for (ci, class) in classes.iter_mut().enumerate() {
+            for (mi, method) in class.methods.iter_mut().enumerate() {
+                let id = MethodId::new(ci as u16, mi as u16);
+                crate::verify::check_method(&view, id, method)?;
+            }
+        }
+
+        Ok(Program { classes, entry, method_count: total, method_base })
+    }
+
+    /// The entry method (`main`).
+    #[must_use]
+    pub fn entry(&self) -> MethodId {
+        self.entry
+    }
+
+    /// All classes in source order.
+    #[must_use]
+    pub fn classes(&self) -> &[ClassDef] {
+        &self.classes
+    }
+
+    /// Looks up a class.
+    #[must_use]
+    pub fn class(&self, id: ClassId) -> &ClassDef {
+        &self.classes[id.0 as usize]
+    }
+
+    /// Looks up a method.
+    #[must_use]
+    pub fn method(&self, id: MethodId) -> &MethodDef {
+        &self.classes[id.class.0 as usize].methods[id.method as usize]
+    }
+
+    /// Whether `id` names an existing method.
+    #[must_use]
+    pub fn contains_method(&self, id: MethodId) -> bool {
+        (id.class.0 as usize) < self.classes.len()
+            && (id.method as usize) < self.classes[id.class.0 as usize].methods.len()
+    }
+
+    /// Total number of methods.
+    #[must_use]
+    pub fn method_count(&self) -> usize {
+        self.method_count
+    }
+
+    /// Total number of classes.
+    #[must_use]
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Dense global index of a method (for flat per-method tables).
+    #[must_use]
+    pub fn global_index(&self, id: MethodId) -> usize {
+        self.method_base[id.class.0 as usize] + id.method as usize
+    }
+
+    /// Inverse of [`Program::global_index`].
+    #[must_use]
+    pub fn method_id_at(&self, global: usize) -> MethodId {
+        let ci = match self.method_base.binary_search(&global) {
+            Ok(i) => {
+                // May land on an empty class's base; advance to the class
+                // that actually owns this index.
+                let mut i = i;
+                while self.classes[i].methods.is_empty() {
+                    i += 1;
+                }
+                i
+            }
+            Err(i) => i - 1,
+        };
+        MethodId::new(ci as u16, (global - self.method_base[ci]) as u16)
+    }
+
+    /// Iterates `(MethodId, &MethodDef)` over all methods in source order.
+    pub fn iter_methods(&self) -> impl Iterator<Item = (MethodId, &MethodDef)> {
+        self.classes.iter().enumerate().flat_map(|(ci, c)| {
+            c.methods
+                .iter()
+                .enumerate()
+                .map(move |(mi, m)| (MethodId::new(ci as u16, mi as u16), m))
+        })
+    }
+
+    /// Total static instruction count over all methods (Table 2's
+    /// "Static Instructions").
+    #[must_use]
+    pub fn static_instruction_count(&self) -> u64 {
+        self.iter_methods().map(|(_, m)| u64::from(m.instruction_count())).sum()
+    }
+}
+
+/// A read-only view used during verification (before `Program` exists).
+pub(crate) struct ProgramView<'a> {
+    pub(crate) classes: &'a [ClassDef],
+}
+
+impl ProgramView<'_> {
+    pub(crate) fn method(&self, id: MethodId) -> Option<&MethodDef> {
+        self.classes.get(id.class.0 as usize)?.methods.get(id.method as usize)
+    }
+
+    pub(crate) fn static_exists(&self, class: u16, field: u16) -> bool {
+        self.classes
+            .get(class as usize)
+            .is_some_and(|c| (field as usize) < c.statics.len())
+    }
+}
+
+/// Which benchmark input to run — the paper uses a large **Test** input
+/// (reported) and a smaller **Train** input (for realistic profiles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Input {
+    /// The reporting input.
+    Test,
+    /// The profiling input.
+    Train,
+}
+
+impl fmt::Display for Input {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Input::Test => "test",
+            Input::Train => "train",
+        })
+    }
+}
+
+/// A rational scale applied to serialized byte counts before they meet
+/// the link model.
+///
+/// The paper's Table 3 transfer cycles imply 1.6–2.9× more wire bytes
+/// than its Table 2 class-file sizes (its classes were BIT-instrumented
+/// and carried transport overhead). `WireScale` is the per-application
+/// calibration knob that reconciles the two; `WireScale::IDENTITY` turns
+/// it off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WireScale {
+    /// Numerator.
+    pub num: u32,
+    /// Denominator.
+    pub den: u32,
+}
+
+impl WireScale {
+    /// No scaling.
+    pub const IDENTITY: WireScale = WireScale { num: 1, den: 1 };
+
+    /// A scale of `num/den`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den` is zero.
+    #[must_use]
+    pub fn new(num: u32, den: u32) -> Self {
+        assert!(den != 0, "wire scale denominator must be nonzero");
+        WireScale { num, den }
+    }
+
+    /// Applies the scale to a byte count, rounding to nearest.
+    #[must_use]
+    pub fn apply(self, bytes: u32) -> u64 {
+        (u64::from(bytes) * u64::from(self.num) + u64::from(self.den) / 2) / u64::from(self.den)
+    }
+}
+
+impl Default for WireScale {
+    fn default() -> Self {
+        WireScale::IDENTITY
+    }
+}
+
+/// A program lowered to class files, plus the per-benchmark simulation
+/// parameters: everything the transfer experiments consume.
+#[derive(Debug, Clone)]
+pub struct Application {
+    /// Benchmark name (e.g. `"Jess"`).
+    pub name: String,
+    /// The verified program.
+    pub program: Program,
+    /// Lowered class files, parallel to `program.classes()`, methods in
+    /// source order.
+    pub classes: Vec<ClassFile>,
+    /// Per method (global index): constant-pool indices directly
+    /// referenced by its encoded code.
+    pub code_usage: Vec<Vec<CpIndex>>,
+    /// Average machine cycles per bytecode instruction (the paper's
+    /// Table 3 CPI; models the 500 MHz Alpha).
+    pub cpi: u64,
+    /// Wire-byte calibration (see [`WireScale`]).
+    pub wire_scale: WireScale,
+    /// Arguments passed to `main` for [`Input::Test`].
+    pub test_args: Vec<i64>,
+    /// Arguments passed to `main` for [`Input::Train`].
+    pub train_args: Vec<i64>,
+}
+
+impl Application {
+    /// Lowers `program` to class files and assembles an application.
+    ///
+    /// # Errors
+    ///
+    /// Propagates class-file construction failures.
+    pub fn from_program(
+        name: impl Into<String>,
+        program: Program,
+        cpi: u64,
+    ) -> Result<Self, BytecodeError> {
+        let lowered = crate::lower::lower_program(&program)?;
+        Ok(Application {
+            name: name.into(),
+            program,
+            classes: lowered.classes,
+            code_usage: lowered.code_usage,
+            cpi,
+            wire_scale: WireScale::IDENTITY,
+            test_args: Vec::new(),
+            train_args: Vec::new(),
+        })
+    }
+
+    /// The `main` arguments for `input`.
+    #[must_use]
+    pub fn args(&self, input: Input) -> &[i64] {
+        match input {
+            Input::Test => &self.test_args,
+            Input::Train => &self.train_args,
+        }
+    }
+
+    /// Total serialized size of all class files in bytes (unscaled).
+    #[must_use]
+    pub fn total_size(&self) -> u64 {
+        self.classes.iter().map(|c| u64::from(c.total_size())).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::Instruction as I;
+
+    fn tiny_program() -> Program {
+        let mut a = ClassDef::new("t/A");
+        a.add_method(MethodDef::new("main", 0, vec![I::Return]));
+        a.add_method(MethodDef::new("f", 1, vec![I::ILoad(0), I::IReturn]).with_return());
+        let mut b = ClassDef::new("t/B");
+        b.add_method(MethodDef::new("g", 0, vec![I::Return]));
+        Program::new(vec![a, b], "t/A", "main").unwrap()
+    }
+
+    impl MethodDef {
+        fn with_return(mut self) -> Self {
+            self.returns_value = true;
+            self
+        }
+    }
+
+    #[test]
+    fn entry_resolves() {
+        let p = tiny_program();
+        assert_eq!(p.entry(), MethodId::new(0, 0));
+    }
+
+    #[test]
+    fn missing_entry_class_errors() {
+        let a = ClassDef::new("t/A");
+        let err = Program::new(vec![a], "t/Zed", "main").unwrap_err();
+        assert!(matches!(err, BytecodeError::NoEntryClass(_)));
+    }
+
+    #[test]
+    fn missing_entry_method_errors() {
+        let a = ClassDef::new("t/A");
+        let err = Program::new(vec![a], "t/A", "main").unwrap_err();
+        assert!(matches!(err, BytecodeError::NoEntryMethod(_)));
+    }
+
+    #[test]
+    fn global_index_roundtrips() {
+        let p = tiny_program();
+        for (id, _) in p.iter_methods() {
+            assert_eq!(p.method_id_at(p.global_index(id)), id);
+        }
+        assert_eq!(p.method_count(), 3);
+    }
+
+    #[test]
+    fn descriptor_forms() {
+        let m0 = MethodDef::new("v", 0, vec![I::Return]);
+        assert_eq!(m0.descriptor(), "()V");
+        let mut m2 = MethodDef::new("f", 2, vec![I::IConst(0), I::IReturn]);
+        m2.returns_value = true;
+        assert_eq!(m2.descriptor(), "(II)I");
+    }
+
+    #[test]
+    fn code_size_sums_instruction_sizes() {
+        let m = MethodDef::new("m", 0, vec![I::IConst(0), I::IConst(1000), I::Return]);
+        assert_eq!(m.code_size(), 1 + 3 + 1);
+        assert_eq!(m.instruction_count(), 3);
+    }
+
+    #[test]
+    fn wire_scale_rounds_to_nearest() {
+        let s = WireScale::new(3, 2);
+        assert_eq!(s.apply(100), 150);
+        assert_eq!(s.apply(1), 2); // 1.5 rounds up
+        assert_eq!(WireScale::IDENTITY.apply(7), 7);
+    }
+
+    #[test]
+    fn static_instruction_count_sums() {
+        let p = tiny_program();
+        assert_eq!(p.static_instruction_count(), 1 + 2 + 1);
+    }
+}

@@ -1,0 +1,242 @@
+//! Structural bytecode verification.
+//!
+//! This models steps 3–4 of the JVM's five-step class verification (§3.1.1
+//! of the paper): per-method structural checks that run as each method
+//! arrives. It validates branch targets, call targets, static references,
+//! and stack discipline via abstract interpretation, and computes the
+//! exact `max_stack`/`max_locals` the lowered `Code` attribute declares.
+
+use crate::error::BytecodeError;
+use crate::ids::MethodId;
+use crate::instr::Instruction;
+use crate::program::{MethodDef, ProgramView};
+
+/// Pops/pushes of one instruction, given callee arities from `view`.
+fn stack_effect(view: &ProgramView<'_>, instr: &Instruction) -> (u16, u16) {
+    use Instruction as I;
+    match instr {
+        I::IConst(_) | I::LdcString(_) | I::ILoad(_) | I::GetStatic(_) => (0, 1),
+        I::IStore(_) | I::Pop | I::If(..) | I::PutStatic(_) => (1, 0),
+        I::IInc(..) | I::Nop | I::Goto(_) | I::Return => (0, 0),
+        I::IAdd
+        | I::ISub
+        | I::IMul
+        | I::IDiv
+        | I::IRem
+        | I::IAnd
+        | I::IOr
+        | I::IXor
+        | I::IShl
+        | I::IShr
+        | I::IUShr => (2, 1),
+        I::INeg | I::NewArray | I::ArrayLength => (1, 1),
+        I::Dup => (1, 2),
+        I::Swap => (2, 2),
+        I::IALoad => (2, 1),
+        I::IAStore => (3, 0),
+        I::IfICmp(..) => (2, 0),
+        I::IReturn => (1, 0),
+        I::Invoke { target, .. } => {
+            let (arity, ret) = view
+                .method(*target)
+                .map(|m| (m.arity, u16::from(m.returns_value)))
+                .unwrap_or((0, 0));
+            (arity, ret)
+        }
+        I::InvokeRuntime(rt) => rt.stack_effect(),
+    }
+}
+
+/// Verifies `method` and finalizes its `max_stack` and `max_locals`.
+///
+/// # Errors
+///
+/// The first structural violation found; see [`BytecodeError`].
+pub(crate) fn check_method(
+    view: &ProgramView<'_>,
+    id: MethodId,
+    method: &mut MethodDef,
+) -> Result<(), BytecodeError> {
+    let body = &method.body;
+    let len = body.len() as u32;
+
+    // Reference checks and max_locals.
+    let mut max_local = method.arity;
+    for (i, instr) in body.iter().enumerate() {
+        if let Some(target) = instr.branch_target() {
+            if target.0 >= len {
+                return Err(BytecodeError::BadBranchTarget {
+                    method: id,
+                    at: i as u32,
+                    target: target.0,
+                });
+            }
+        }
+        match instr {
+            Instruction::Invoke { target, .. }
+                if view.method(*target).is_none() => {
+                    return Err(BytecodeError::BadCallTarget { method: id, target: *target });
+                }
+            Instruction::GetStatic(r) | Instruction::PutStatic(r)
+                if !view.static_exists(r.class, r.field) => {
+                    return Err(BytecodeError::BadStaticRef {
+                        method: id,
+                        class: r.class,
+                        field: r.field,
+                    });
+                }
+            Instruction::ILoad(s) | Instruction::IStore(s) | Instruction::IInc(s, _) => {
+                if *s == u16::MAX {
+                    return Err(BytecodeError::BadLocal { method: id, slot: *s });
+                }
+                max_local = max_local.max(s + 1);
+            }
+            _ => {}
+        }
+    }
+
+    // Abstract interpretation of stack depth.
+    let mut depth_at: Vec<Option<u16>> = vec![None; body.len()];
+    let mut max_depth: u16 = 0;
+    let mut work: Vec<(u32, u16)> = Vec::new();
+    if !body.is_empty() {
+        work.push((0, 0));
+    }
+    while let Some((pc, depth)) = work.pop() {
+        match depth_at[pc as usize] {
+            Some(d) if d == depth => continue,
+            Some(_) => return Err(BytecodeError::StackMismatch { method: id, at: pc }),
+            None => depth_at[pc as usize] = Some(depth),
+        }
+        let instr = &body[pc as usize];
+        let (pops, pushes) = stack_effect(view, instr);
+        if depth < pops {
+            return Err(BytecodeError::StackMismatch { method: id, at: pc });
+        }
+        let next_depth = depth - pops + pushes;
+        max_depth = max_depth.max(next_depth);
+        if let Some(t) = instr.branch_target() {
+            work.push((t.0, next_depth));
+        }
+        if instr.falls_through() {
+            if pc + 1 >= len {
+                return Err(BytecodeError::FallsOffEnd(id));
+            }
+            work.push((pc + 1, next_depth));
+        }
+    }
+    if body.is_empty() {
+        return Err(BytecodeError::FallsOffEnd(id));
+    }
+
+    method.max_stack = max_depth;
+    method.max_locals = max_local;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{Cond, Instruction as I, Label, StaticRef};
+    use crate::program::{ClassDef, MethodDef, Program, StaticDef};
+
+    fn program_of(body: Vec<I>) -> Result<Program, BytecodeError> {
+        let mut a = ClassDef::new("v/A");
+        a.add_static(StaticDef::int("s", 0));
+        a.add_method(MethodDef::new("main", 0, body));
+        Program::new(vec![a], "v/A", "main")
+    }
+
+    #[test]
+    fn straightline_ok_and_max_stack_computed() {
+        let p = program_of(vec![I::IConst(1), I::IConst(2), I::IAdd, I::Pop, I::Return]).unwrap();
+        let m = p.method(p.entry());
+        assert_eq!(m.max_stack, 2);
+    }
+
+    #[test]
+    fn falls_off_end_detected() {
+        let err = program_of(vec![I::IConst(1), I::Pop]).unwrap_err();
+        assert!(matches!(err, BytecodeError::FallsOffEnd(_)));
+    }
+
+    #[test]
+    fn empty_body_rejected() {
+        let err = program_of(vec![]).unwrap_err();
+        assert!(matches!(err, BytecodeError::FallsOffEnd(_)));
+    }
+
+    #[test]
+    fn underflow_detected() {
+        let err = program_of(vec![I::IAdd, I::Return]).unwrap_err();
+        assert!(matches!(err, BytecodeError::StackMismatch { .. }));
+    }
+
+    #[test]
+    fn branch_out_of_range_detected() {
+        let err = program_of(vec![I::Goto(Label(9)), I::Return]).unwrap_err();
+        assert!(matches!(err, BytecodeError::BadBranchTarget { target: 9, .. }));
+    }
+
+    #[test]
+    fn inconsistent_join_depth_detected() {
+        // Path A pushes 1 value then jumps to 3; path B jumps to 3 with 0.
+        let err = program_of(vec![
+            I::IConst(0),
+            I::If(Cond::Eq, Label(3)), // depth 0 at 3 via this edge... but
+            I::IConst(7),              // fallthrough pushes, then falls into 3 with depth 1
+            I::Return,
+        ])
+        .unwrap_err();
+        assert!(matches!(err, BytecodeError::StackMismatch { .. }));
+    }
+
+    #[test]
+    fn bad_call_target_detected() {
+        let err = program_of(vec![
+            I::Invoke { kind: crate::instr::CallKind::Static, target: MethodId::new(5, 5) },
+            I::Return,
+        ])
+        .unwrap_err();
+        assert!(matches!(err, BytecodeError::BadCallTarget { .. }));
+    }
+
+    #[test]
+    fn bad_static_detected() {
+        let err = program_of(vec![
+            I::GetStatic(StaticRef { class: 0, field: 9 }),
+            I::Pop,
+            I::Return,
+        ])
+        .unwrap_err();
+        assert!(matches!(err, BytecodeError::BadStaticRef { field: 9, .. }));
+    }
+
+    #[test]
+    fn max_locals_covers_highest_slot() {
+        let p = program_of(vec![I::IConst(3), I::IStore(7), I::Return]).unwrap();
+        assert_eq!(p.method(p.entry()).max_locals, 8);
+    }
+
+    #[test]
+    fn loop_with_consistent_depth_ok() {
+        // i = 10; while (i != 0) i--;  return
+        let p = program_of(vec![
+            I::IConst(10),
+            I::IStore(0),
+            I::ILoad(0),                 // 2: loop head
+            I::If(Cond::Eq, Label(6)),   // exit
+            I::IInc(0, -1),
+            I::Goto(Label(2)),
+            I::Return, // 6
+        ])
+        .unwrap();
+        assert_eq!(p.method(p.entry()).max_stack, 1);
+    }
+
+    #[test]
+    fn unreachable_code_is_tolerated() {
+        let p = program_of(vec![I::Return, I::IAdd, I::IAdd, I::Return]);
+        assert!(p.is_ok(), "dead code after return should not be verified");
+    }
+}

@@ -1,0 +1,271 @@
+//! Class-file attributes (`attribute_info` structures).
+//!
+//! Attributes attach to the class itself (global data), to fields (global
+//! data), and to methods (the method's *local data* in the paper's
+//! terminology). Sizes follow the wire format: a two-byte name index, a
+//! four-byte length, then the payload.
+
+use crate::constant_pool::{ConstantPool, CpIndex};
+use crate::error::ClassFileError;
+
+/// One entry of a `Code` attribute's exception table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct ExceptionTableEntry {
+    /// Start of the protected range (byte offset into the code).
+    pub start_pc: u16,
+    /// End of the protected range (exclusive).
+    pub end_pc: u16,
+    /// Handler entry point.
+    pub handler_pc: u16,
+    /// Constant-pool index of the caught class, or `CpIndex::NONE` for
+    /// catch-all.
+    pub catch_type: CpIndex,
+}
+
+impl ExceptionTableEntry {
+    /// Wire size of one exception-table entry.
+    pub const WIRE_SIZE: u32 = 8;
+}
+
+/// A class-file attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Attribute {
+    /// The `Code` attribute of a method: the bytecode plus its local
+    /// metadata. This is the unit the paper's *method delimiter* closes.
+    Code {
+        /// Maximum operand-stack depth.
+        max_stack: u16,
+        /// Number of local-variable slots.
+        max_locals: u16,
+        /// The raw bytecode.
+        code: Vec<u8>,
+        /// Exception handlers covering ranges of `code`.
+        exception_table: Vec<ExceptionTableEntry>,
+        /// Nested attributes (typically `LineNumberTable`).
+        attributes: Vec<Attribute>,
+    },
+    /// `LineNumberTable`: pairs of (code offset, source line).
+    LineNumberTable {
+        /// The (start_pc, line_number) pairs.
+        entries: Vec<(u16, u16)>,
+    },
+    /// `ConstantValue` for `static final` fields.
+    ConstantValue {
+        /// Index of the constant.
+        value: CpIndex,
+    },
+    /// `SourceFile` on the class.
+    SourceFile {
+        /// Index of the file-name UTF-8 entry.
+        file: CpIndex,
+    },
+    /// `Exceptions` on a method: the declared `throws` list.
+    Exceptions {
+        /// Class indices of the declared exception types.
+        classes: Vec<CpIndex>,
+    },
+    /// Any other attribute, carried as opaque bytes (used to model
+    /// vendor attributes and for size calibration).
+    Raw {
+        /// Attribute name (must be interned as UTF-8 when serializing).
+        name: String,
+        /// Opaque payload.
+        bytes: Vec<u8>,
+    },
+}
+
+impl Attribute {
+    /// The attribute's name as it appears in the constant pool.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        match self {
+            Attribute::Code { .. } => "Code",
+            Attribute::LineNumberTable { .. } => "LineNumberTable",
+            Attribute::ConstantValue { .. } => "ConstantValue",
+            Attribute::SourceFile { .. } => "SourceFile",
+            Attribute::Exceptions { .. } => "Exceptions",
+            Attribute::Raw { name, .. } => name,
+        }
+    }
+
+    /// Size of the payload (the wire `attribute_length` field).
+    #[must_use]
+    pub fn payload_size(&self) -> u32 {
+        match self {
+            Attribute::Code { code, exception_table, attributes, .. } => {
+                2 + 2
+                    + 4
+                    + code.len() as u32
+                    + 2
+                    + ExceptionTableEntry::WIRE_SIZE * exception_table.len() as u32
+                    + 2
+                    + attributes.iter().map(Attribute::wire_size).sum::<u32>()
+            }
+            Attribute::LineNumberTable { entries } => 2 + 4 * entries.len() as u32,
+            Attribute::ConstantValue { .. } => 2,
+            Attribute::SourceFile { .. } => 2,
+            Attribute::Exceptions { classes } => 2 + 2 * classes.len() as u32,
+            Attribute::Raw { bytes, .. } => bytes.len() as u32,
+        }
+    }
+
+    /// Total wire size: name index (2) + length (4) + payload.
+    #[must_use]
+    pub fn wire_size(&self) -> u32 {
+        6 + self.payload_size()
+    }
+
+    /// Interns the attribute's name (and any nested names) into `cp` so
+    /// serialization can emit real name indices.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pool-capacity errors from [`ConstantPool::utf8`].
+    pub fn intern_names(&self, cp: &mut ConstantPool) -> Result<(), ClassFileError> {
+        cp.utf8(self.name())?;
+        if let Attribute::Code { attributes, .. } = self {
+            for a in attributes {
+                a.intern_names(cp)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Appends the wire encoding to `out`, resolving names through `cp`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a name was not interned beforehand (see
+    /// [`Attribute::intern_names`]) or if the payload exceeds the length
+    /// field.
+    pub fn write(&self, cp: &ConstantPool, out: &mut Vec<u8>) -> Result<(), ClassFileError> {
+        let name_idx = lookup_utf8(cp, self.name())?;
+        out.extend_from_slice(&name_idx.0.to_be_bytes());
+        out.extend_from_slice(&self.payload_size().to_be_bytes());
+        match self {
+            Attribute::Code { max_stack, max_locals, code, exception_table, attributes } => {
+                if code.len() > u16::MAX as usize {
+                    return Err(ClassFileError::CodeTooLong(code.len()));
+                }
+                out.extend_from_slice(&max_stack.to_be_bytes());
+                out.extend_from_slice(&max_locals.to_be_bytes());
+                out.extend_from_slice(&(code.len() as u32).to_be_bytes());
+                out.extend_from_slice(code);
+                out.extend_from_slice(&(exception_table.len() as u16).to_be_bytes());
+                for e in exception_table {
+                    out.extend_from_slice(&e.start_pc.to_be_bytes());
+                    out.extend_from_slice(&e.end_pc.to_be_bytes());
+                    out.extend_from_slice(&e.handler_pc.to_be_bytes());
+                    out.extend_from_slice(&e.catch_type.0.to_be_bytes());
+                }
+                out.extend_from_slice(&(attributes.len() as u16).to_be_bytes());
+                for a in attributes {
+                    a.write(cp, out)?;
+                }
+            }
+            Attribute::LineNumberTable { entries } => {
+                out.extend_from_slice(&(entries.len() as u16).to_be_bytes());
+                for (pc, line) in entries {
+                    out.extend_from_slice(&pc.to_be_bytes());
+                    out.extend_from_slice(&line.to_be_bytes());
+                }
+            }
+            Attribute::ConstantValue { value } => {
+                out.extend_from_slice(&value.0.to_be_bytes());
+            }
+            Attribute::SourceFile { file } => {
+                out.extend_from_slice(&file.0.to_be_bytes());
+            }
+            Attribute::Exceptions { classes } => {
+                out.extend_from_slice(&(classes.len() as u16).to_be_bytes());
+                for c in classes {
+                    out.extend_from_slice(&c.0.to_be_bytes());
+                }
+            }
+            Attribute::Raw { bytes, .. } => {
+                out.extend_from_slice(bytes);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Finds an already-interned UTF-8 entry by content.
+fn lookup_utf8(cp: &ConstantPool, s: &str) -> Result<CpIndex, ClassFileError> {
+    for (idx, c) in cp.iter() {
+        if let crate::constant_pool::Constant::Utf8(t) = c {
+            if t == s {
+                return Ok(idx);
+            }
+        }
+    }
+    Err(ClassFileError::BadCpIndex(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_attribute_size_counts_all_parts() {
+        let a = Attribute::Code {
+            max_stack: 4,
+            max_locals: 3,
+            code: vec![0; 10],
+            exception_table: vec![ExceptionTableEntry::default()],
+            attributes: vec![Attribute::LineNumberTable { entries: vec![(0, 1), (4, 2)] }],
+        };
+        // payload = 2+2+4+10 + 2+8 + 2 + (6 + 2+8)
+        assert_eq!(a.payload_size(), 2 + 2 + 4 + 10 + 2 + 8 + 2 + (6 + 2 + 8));
+        assert_eq!(a.wire_size(), a.payload_size() + 6);
+    }
+
+    #[test]
+    fn write_matches_declared_size() {
+        let mut cp = ConstantPool::new();
+        let a = Attribute::Code {
+            max_stack: 1,
+            max_locals: 1,
+            code: vec![0xB1], // return
+            exception_table: vec![],
+            attributes: vec![Attribute::LineNumberTable { entries: vec![(0, 7)] }],
+        };
+        a.intern_names(&mut cp).unwrap();
+        let mut out = Vec::new();
+        a.write(&cp, &mut out).unwrap();
+        assert_eq!(out.len() as u32, a.wire_size());
+    }
+
+    #[test]
+    fn raw_attribute_roundtrip_size() {
+        let mut cp = ConstantPool::new();
+        let a = Attribute::Raw { name: "Deprecated".into(), bytes: vec![] };
+        a.intern_names(&mut cp).unwrap();
+        let mut out = Vec::new();
+        a.write(&cp, &mut out).unwrap();
+        assert_eq!(out.len(), 6);
+    }
+
+    #[test]
+    fn write_without_interned_name_fails() {
+        let cp = ConstantPool::new();
+        let a = Attribute::SourceFile { file: CpIndex(1) };
+        let mut out = Vec::new();
+        assert!(a.write(&cp, &mut out).is_err());
+    }
+
+    #[test]
+    fn oversized_code_rejected_at_write() {
+        let mut cp = ConstantPool::new();
+        let a = Attribute::Code {
+            max_stack: 0,
+            max_locals: 0,
+            code: vec![0; 70_000],
+            exception_table: vec![],
+            attributes: vec![],
+        };
+        a.intern_names(&mut cp).unwrap();
+        let mut out = Vec::new();
+        assert_eq!(a.write(&cp, &mut out), Err(ClassFileError::CodeTooLong(70_000)));
+    }
+}

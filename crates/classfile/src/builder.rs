@@ -1,0 +1,274 @@
+//! A convenient builder for [`ClassFile`]s.
+
+use crate::attribute::{Attribute, ExceptionTableEntry};
+use crate::class::{AccessFlags, ClassFile};
+use crate::constant_pool::{ConstantPool, CpIndex};
+use crate::error::ClassFileError;
+use crate::field::FieldInfo;
+use crate::method::MethodInfo;
+
+/// Everything needed to add one method to a class under construction.
+#[derive(Debug, Clone)]
+pub struct MethodData {
+    name: String,
+    descriptor: String,
+    code: Vec<u8>,
+    max_stack: u16,
+    max_locals: u16,
+    line_numbers: Vec<(u16, u16)>,
+    exception_table: Vec<ExceptionTableEntry>,
+    access_flags: u16,
+}
+
+impl MethodData {
+    /// Creates a `public static` method with the given bytecode.
+    #[must_use]
+    pub fn new(name: impl Into<String>, descriptor: impl Into<String>, code: Vec<u8>) -> Self {
+        MethodData {
+            name: name.into(),
+            descriptor: descriptor.into(),
+            code,
+            max_stack: 4,
+            max_locals: 4,
+            line_numbers: Vec::new(),
+            exception_table: Vec::new(),
+            access_flags: AccessFlags::PUBLIC | AccessFlags::STATIC,
+        }
+    }
+
+    /// Sets the operand-stack and local-slot limits.
+    pub fn limits(&mut self, max_stack: u16, max_locals: u16) -> &mut Self {
+        self.max_stack = max_stack;
+        self.max_locals = max_locals;
+        self
+    }
+
+    /// Attaches a `LineNumberTable` with the given entries (this is the
+    /// bulk of real methods' local data).
+    pub fn line_numbers(&mut self, entries: Vec<(u16, u16)>) -> &mut Self {
+        self.line_numbers = entries;
+        self
+    }
+
+    /// Attaches exception-table entries.
+    pub fn exception_table(&mut self, entries: Vec<ExceptionTableEntry>) -> &mut Self {
+        self.exception_table = entries;
+        self
+    }
+
+    /// Overrides the access flags.
+    pub fn access_flags(&mut self, flags: u16) -> &mut Self {
+        self.access_flags = flags;
+        self
+    }
+}
+
+/// Builds a [`ClassFile`] incrementally.
+///
+/// The builder owns the constant pool; callers may intern extra constants
+/// through [`ClassFileBuilder::pool_mut`] (e.g. literals referenced from
+/// bytecode) before or between member additions.
+#[derive(Debug)]
+pub struct ClassFileBuilder {
+    name: String,
+    super_name: String,
+    pool: ConstantPool,
+    fields: Vec<FieldInfo>,
+    methods: Vec<MethodInfo>,
+    interfaces: Vec<String>,
+    source_file: Option<String>,
+    access_flags: AccessFlags,
+}
+
+impl ClassFileBuilder {
+    /// Starts a class named `name` (internal form, e.g. `pkg/Main`)
+    /// extending `java/lang/Object`.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        ClassFileBuilder {
+            name: name.into(),
+            super_name: "java/lang/Object".to_owned(),
+            pool: ConstantPool::new(),
+            fields: Vec::new(),
+            methods: Vec::new(),
+            interfaces: Vec::new(),
+            source_file: None,
+            access_flags: AccessFlags::default(),
+        }
+    }
+
+    /// Sets the superclass (internal form).
+    pub fn super_class(&mut self, name: impl Into<String>) -> &mut Self {
+        self.super_name = name.into();
+        self
+    }
+
+    /// Declares an implemented interface (internal form).
+    pub fn interface(&mut self, name: impl Into<String>) -> &mut Self {
+        self.interfaces.push(name.into());
+        self
+    }
+
+    /// Attaches a `SourceFile` attribute.
+    pub fn source_file(&mut self, file: impl Into<String>) -> &mut Self {
+        self.source_file = Some(file.into());
+        self
+    }
+
+    /// Mutable access to the constant pool for interning literals and
+    /// symbolic references used by bytecode.
+    pub fn pool_mut(&mut self) -> &mut ConstantPool {
+        &mut self.pool
+    }
+
+    /// Adds a `static` field of the given descriptor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates constant-pool capacity errors.
+    pub fn add_static_field(&mut self, name: &str, descriptor: &str) -> Result<(), ClassFileError> {
+        if self.fields.len() >= u16::MAX as usize {
+            return Err(ClassFileError::TooManyMembers("fields"));
+        }
+        let n = self.pool.utf8(name)?;
+        let d = self.pool.utf8(descriptor)?;
+        self.fields.push(FieldInfo::new(
+            AccessFlags::PUBLIC | AccessFlags::STATIC,
+            n,
+            d,
+        ));
+        Ok(())
+    }
+
+    /// Adds a `static final` field with a `ConstantValue` attribute.
+    ///
+    /// # Errors
+    ///
+    /// Propagates constant-pool capacity errors.
+    pub fn add_constant_field(
+        &mut self,
+        name: &str,
+        descriptor: &str,
+        value: CpIndex,
+    ) -> Result<(), ClassFileError> {
+        self.add_static_field(name, descriptor)?;
+        self.pool.utf8("ConstantValue")?;
+        self.fields
+            .last_mut()
+            .expect("just pushed")
+            .attributes
+            .push(Attribute::ConstantValue { value });
+        Ok(())
+    }
+
+    /// Adds a method. Returns its index in the class's method list.
+    ///
+    /// # Errors
+    ///
+    /// [`ClassFileError::CodeTooLong`] if the bytecode exceeds 65,535
+    /// bytes; pool-capacity errors otherwise.
+    pub fn add_method(&mut self, data: MethodData) -> Result<usize, ClassFileError> {
+        if self.methods.len() >= u16::MAX as usize {
+            return Err(ClassFileError::TooManyMembers("methods"));
+        }
+        if data.code.len() > u16::MAX as usize {
+            return Err(ClassFileError::CodeTooLong(data.code.len()));
+        }
+        let n = self.pool.utf8(data.name.as_str())?;
+        let d = self.pool.utf8(data.descriptor.as_str())?;
+        self.pool.utf8("Code")?;
+        let mut nested = Vec::new();
+        if !data.line_numbers.is_empty() {
+            self.pool.utf8("LineNumberTable")?;
+            nested.push(Attribute::LineNumberTable { entries: data.line_numbers });
+        }
+        let mut m = MethodInfo::new(data.access_flags, n, d);
+        m.attributes.push(Attribute::Code {
+            max_stack: data.max_stack,
+            max_locals: data.max_locals,
+            code: data.code,
+            exception_table: data.exception_table,
+            attributes: nested,
+        });
+        self.methods.push(m);
+        Ok(self.methods.len() - 1)
+    }
+
+    /// Finalizes the class file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates constant-pool capacity errors; the result is validated
+    /// before being returned.
+    pub fn build(mut self) -> Result<ClassFile, ClassFileError> {
+        let this_class = self.pool.class(&self.name.clone())?;
+        let super_class = self.pool.class(&self.super_name.clone())?;
+        let mut interfaces = Vec::with_capacity(self.interfaces.len());
+        for i in std::mem::take(&mut self.interfaces) {
+            interfaces.push(self.pool.class(&i)?);
+        }
+        let mut attributes = Vec::new();
+        if let Some(sf) = self.source_file.take() {
+            self.pool.utf8("SourceFile")?;
+            let file = self.pool.utf8(sf)?;
+            attributes.push(Attribute::SourceFile { file });
+        }
+        let class = ClassFile {
+            minor_version: 3,
+            major_version: 45,
+            constant_pool: self.pool,
+            access_flags: self.access_flags,
+            this_class,
+            super_class,
+            interfaces,
+            fields: self.fields,
+            methods: self.methods,
+            attributes,
+        };
+        class.validate()?;
+        Ok(class)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_valid_serializable_class() {
+        let mut b = ClassFileBuilder::new("a/B");
+        b.source_file("B.java");
+        b.interface("a/I");
+        b.add_static_field("x", "I").unwrap();
+        let mut md = MethodData::new("run", "()V", vec![0xB1]);
+        md.line_numbers(vec![(0, 10)]);
+        b.add_method(md).unwrap();
+        let c = b.build().unwrap();
+        assert_eq!(c.to_bytes().len() as u32, c.total_size());
+        assert_eq!(c.interfaces.len(), 1);
+        assert_eq!(c.name().unwrap().0, "a/B");
+    }
+
+    #[test]
+    fn constant_field_gets_constant_value_attribute() {
+        let mut b = ClassFileBuilder::new("a/C");
+        let v = b.pool_mut().intern(crate::Constant::Integer(42)).unwrap();
+        b.add_constant_field("ANSWER", "I", v).unwrap();
+        let c = b.build().unwrap();
+        assert_eq!(c.fields[0].attributes.len(), 1);
+    }
+
+    #[test]
+    fn oversized_code_rejected() {
+        let mut b = ClassFileBuilder::new("a/D");
+        let err = b.add_method(MethodData::new("m", "()V", vec![0; 70_000]));
+        assert_eq!(err.unwrap_err(), ClassFileError::CodeTooLong(70_000));
+    }
+
+    #[test]
+    fn method_indices_are_sequential() {
+        let mut b = ClassFileBuilder::new("a/E");
+        assert_eq!(b.add_method(MethodData::new("m0", "()V", vec![0xB1])).unwrap(), 0);
+        assert_eq!(b.add_method(MethodData::new("m1", "()V", vec![0xB1])).unwrap(), 1);
+    }
+}

@@ -1,0 +1,293 @@
+//! The top-level `ClassFile` structure and its wire serialization.
+
+use std::fmt;
+
+use crate::attribute::Attribute;
+use crate::constant_pool::{ConstantPool, CpIndex};
+use crate::error::ClassFileError;
+use crate::field::FieldInfo;
+use crate::method::MethodInfo;
+
+/// Class access flags (a subset sufficient for the 1998-era format).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AccessFlags(pub u16);
+
+impl AccessFlags {
+    /// `ACC_PUBLIC`.
+    pub const PUBLIC: u16 = 0x0001;
+    /// `ACC_FINAL`.
+    pub const FINAL: u16 = 0x0010;
+    /// `ACC_SUPER` (always set by 1.1-era compilers).
+    pub const SUPER: u16 = 0x0020;
+    /// `ACC_INTERFACE`.
+    pub const INTERFACE: u16 = 0x0200;
+    /// `ACC_ABSTRACT`.
+    pub const ABSTRACT: u16 = 0x0400;
+    /// `ACC_STATIC` (members).
+    pub const STATIC: u16 = 0x0008;
+}
+
+impl Default for AccessFlags {
+    fn default() -> Self {
+        AccessFlags(Self::PUBLIC | Self::SUPER)
+    }
+}
+
+/// An internal-form class name, e.g. `benchmarks/jess/Rete`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClassName(pub String);
+
+impl ClassName {
+    /// The simple (unqualified) name after the last `/`.
+    #[must_use]
+    pub fn simple(&self) -> &str {
+        self.0.rsplit('/').next().unwrap_or(&self.0)
+    }
+}
+
+impl fmt::Display for ClassName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for ClassName {
+    fn from(s: &str) -> Self {
+        ClassName(s.to_owned())
+    }
+}
+
+impl From<String> for ClassName {
+    fn from(s: String) -> Self {
+        ClassName(s)
+    }
+}
+
+/// A complete class file.
+///
+/// Field order mirrors the wire format. Use [`crate::ClassFileBuilder`] to
+/// construct one conveniently.
+#[derive(Debug, Clone)]
+pub struct ClassFile {
+    /// Minor version (JDK 1.1 emitted 45.3).
+    pub minor_version: u16,
+    /// Major version.
+    pub major_version: u16,
+    /// The constant pool.
+    pub constant_pool: ConstantPool,
+    /// Class access flags.
+    pub access_flags: AccessFlags,
+    /// Constant-pool index of this class's `Class` entry.
+    pub this_class: CpIndex,
+    /// Constant-pool index of the superclass, or `CpIndex::NONE` for
+    /// `java/lang/Object`.
+    pub super_class: CpIndex,
+    /// Implemented interfaces (constant-pool `Class` indices).
+    pub interfaces: Vec<CpIndex>,
+    /// Fields (global data).
+    pub fields: Vec<FieldInfo>,
+    /// Methods, in file order. The order is what the paper's restructuring
+    /// permutes.
+    pub methods: Vec<MethodInfo>,
+    /// Class-level attributes (global data; typically `SourceFile`).
+    pub attributes: Vec<Attribute>,
+}
+
+/// The class-file magic number.
+pub const MAGIC: u32 = 0xCAFE_BABE;
+
+impl ClassFile {
+    /// The class's internal name, resolved through the pool.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `this_class` does not resolve to a `Class`→`Utf8` chain.
+    pub fn name(&self) -> Result<ClassName, ClassFileError> {
+        match self.constant_pool.get(self.this_class) {
+            Some(crate::constant_pool::Constant::Class { name }) => {
+                Ok(ClassName(self.constant_pool.utf8_at(*name)?.to_owned()))
+            }
+            Some(_) => Err(ClassFileError::WrongConstantKind {
+                index: self.this_class.0,
+                expected: "Class",
+            }),
+            None => Err(ClassFileError::BadCpIndex(self.this_class.0)),
+        }
+    }
+
+    /// Resolves a method's name through the pool.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the name index is not a UTF-8 entry.
+    pub fn method_name(&self, index: usize) -> Result<&str, ClassFileError> {
+        self.constant_pool.utf8_at(self.methods[index].name)
+    }
+
+    /// Size in bytes of the fixed header: magic, versions, and the
+    /// constant-pool count field.
+    #[must_use]
+    pub fn header_size(&self) -> u32 {
+        4 + 2 + 2 + 2
+    }
+
+    /// Size in bytes of the post-pool class metadata: access flags,
+    /// this/super, interface table (with count), and the field/method/
+    /// attribute count fields.
+    #[must_use]
+    pub fn midsection_size(&self) -> u32 {
+        2 + 2 + 2 + 2 + 2 * self.interfaces.len() as u32 + 2 + 2 + 2
+    }
+
+    /// Size of the interface table itself (count field + entries).
+    #[must_use]
+    pub fn interfaces_size(&self) -> u32 {
+        2 + 2 * self.interfaces.len() as u32
+    }
+
+    /// Size of all fields.
+    #[must_use]
+    pub fn fields_size(&self) -> u32 {
+        self.fields.iter().map(FieldInfo::wire_size).sum()
+    }
+
+    /// Size of all class-level attributes.
+    #[must_use]
+    pub fn class_attributes_size(&self) -> u32 {
+        self.attributes.iter().map(Attribute::wire_size).sum()
+    }
+
+    /// Size of all methods (local data + code).
+    #[must_use]
+    pub fn methods_size(&self) -> u32 {
+        self.methods.iter().map(MethodInfo::wire_size).sum()
+    }
+
+    /// The paper's **global data**: everything that must arrive before any
+    /// method of the class can execute — header, constant pool, flags,
+    /// interfaces, fields, class attributes, and all the count fields.
+    #[must_use]
+    pub fn global_data_size(&self) -> u32 {
+        self.header_size()
+            + self.constant_pool.wire_size()
+            + self.midsection_size()
+            + self.fields_size()
+            + self.class_attributes_size()
+    }
+
+    /// Total serialized size of the class file.
+    #[must_use]
+    pub fn total_size(&self) -> u32 {
+        self.global_data_size() + self.methods_size()
+    }
+
+    /// Serializes the class to its exact wire format.
+    ///
+    /// Note the produced layout places methods *after* all global data,
+    /// matching both the real format and the paper's transfer model
+    /// (global data first, then each method's local data and code).
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.total_size() as usize);
+        out.extend_from_slice(&MAGIC.to_be_bytes());
+        out.extend_from_slice(&self.minor_version.to_be_bytes());
+        out.extend_from_slice(&self.major_version.to_be_bytes());
+        out.extend_from_slice(&self.constant_pool.count_field().to_be_bytes());
+        self.constant_pool.write(&mut out);
+        out.extend_from_slice(&self.access_flags.0.to_be_bytes());
+        out.extend_from_slice(&self.this_class.0.to_be_bytes());
+        out.extend_from_slice(&self.super_class.0.to_be_bytes());
+        out.extend_from_slice(&(self.interfaces.len() as u16).to_be_bytes());
+        for i in &self.interfaces {
+            out.extend_from_slice(&i.0.to_be_bytes());
+        }
+        out.extend_from_slice(&(self.fields.len() as u16).to_be_bytes());
+        for f in &self.fields {
+            f.write(&self.constant_pool, &mut out).expect("builder interned all names");
+        }
+        out.extend_from_slice(&(self.methods.len() as u16).to_be_bytes());
+        for m in &self.methods {
+            m.write(&self.constant_pool, &mut out).expect("builder interned all names");
+        }
+        out.extend_from_slice(&(self.attributes.len() as u16).to_be_bytes());
+        for a in &self.attributes {
+            a.write(&self.constant_pool, &mut out).expect("builder interned all names");
+        }
+        out
+    }
+
+    /// Validates structural integrity: pool cross-references, member name
+    /// and descriptor indices. This models steps 1–2 of the JVM's
+    /// five-step verification (§3.1.1), the part that can run as soon as
+    /// the global data has transferred.
+    ///
+    /// # Errors
+    ///
+    /// The first structural violation found.
+    pub fn validate(&self) -> Result<(), ClassFileError> {
+        self.constant_pool.validate()?;
+        self.name()?;
+        for f in &self.fields {
+            self.constant_pool.utf8_at(f.name)?;
+            self.constant_pool.utf8_at(f.descriptor)?;
+        }
+        for m in &self.methods {
+            self.constant_pool.utf8_at(m.name)?;
+            self.constant_pool.utf8_at(m.descriptor)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{ClassFileBuilder, MethodData};
+
+    fn sample() -> ClassFile {
+        let mut b = ClassFileBuilder::new("pkg/Sample");
+        b.add_method(MethodData::new("main", "()V", vec![0xB1])).unwrap();
+        b.add_method(MethodData::new("foo", "(I)I", vec![0x1A, 0xAC])).unwrap();
+        b.add_static_field("counter", "I").unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn to_bytes_length_equals_total_size() {
+        let c = sample();
+        assert_eq!(c.to_bytes().len() as u32, c.total_size());
+    }
+
+    #[test]
+    fn global_plus_methods_is_total() {
+        let c = sample();
+        assert_eq!(c.global_data_size() + c.methods_size(), c.total_size());
+    }
+
+    #[test]
+    fn magic_and_versions_lead_the_file() {
+        let c = sample();
+        let bytes = c.to_bytes();
+        assert_eq!(&bytes[0..4], &[0xCA, 0xFE, 0xBA, 0xBE]);
+        assert_eq!(u16::from_be_bytes([bytes[6], bytes[7]]), 45);
+    }
+
+    #[test]
+    fn name_resolves() {
+        let c = sample();
+        assert_eq!(c.name().unwrap().0, "pkg/Sample");
+        assert_eq!(c.name().unwrap().simple(), "Sample");
+    }
+
+    #[test]
+    fn validate_passes_for_builder_output() {
+        sample().validate().unwrap();
+    }
+
+    #[test]
+    fn method_name_resolves() {
+        let c = sample();
+        assert_eq!(c.method_name(0).unwrap(), "main");
+        assert_eq!(c.method_name(1).unwrap(), "foo");
+    }
+}

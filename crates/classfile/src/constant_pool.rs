@@ -1,0 +1,605 @@
+//! The class-file constant pool: the dominant component of a class's
+//! *global data* (88–95% in the paper's Table 8).
+//!
+//! Entries follow the JVM specification's `cp_info` wire format exactly, so
+//! [`ConstantPool::wire_size`] is the true number of bytes the pool occupies
+//! in a serialized class file. `Long` and `Double` entries occupy **two**
+//! slots, as in the spec.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::error::ClassFileError;
+
+/// A one-based index into the constant pool, as used by bytecode operands
+/// and by other constant-pool entries.
+///
+/// Index `0` is reserved by the JVM specification to mean "no entry"; this
+/// type can represent it (for optional references) but dereferencing it is
+/// an error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct CpIndex(pub u16);
+
+impl CpIndex {
+    /// The reserved "no entry" index.
+    pub const NONE: CpIndex = CpIndex(0);
+
+    /// Whether this is the reserved null index.
+    #[must_use]
+    pub fn is_none(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for CpIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+impl From<CpIndex> for u16 {
+    fn from(i: CpIndex) -> u16 {
+        i.0
+    }
+}
+
+/// The tag byte identifying each `cp_info` kind, with the values from the
+/// JVM specification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum ConstantTag {
+    /// `CONSTANT_Utf8` — modified UTF-8 string data.
+    Utf8 = 1,
+    /// `CONSTANT_Integer`.
+    Integer = 3,
+    /// `CONSTANT_Float`.
+    Float = 4,
+    /// `CONSTANT_Long` (occupies two pool slots).
+    Long = 5,
+    /// `CONSTANT_Double` (occupies two pool slots).
+    Double = 6,
+    /// `CONSTANT_Class`.
+    Class = 7,
+    /// `CONSTANT_String`.
+    String = 8,
+    /// `CONSTANT_Fieldref`.
+    FieldRef = 9,
+    /// `CONSTANT_Methodref`.
+    MethodRef = 10,
+    /// `CONSTANT_InterfaceMethodref`.
+    InterfaceMethodRef = 11,
+    /// `CONSTANT_NameAndType`.
+    NameAndType = 12,
+}
+
+/// One constant-pool entry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Constant {
+    /// String data in (modified) UTF-8; backs names, descriptors, and
+    /// `String` literals. The paper's Table 8 shows Utf8 entries are 35–82%
+    /// of the constant pool by size.
+    Utf8(String),
+    /// A 32-bit integer literal.
+    Integer(i32),
+    /// A 32-bit float literal.
+    Float(f32),
+    /// A 64-bit integer literal. Occupies two pool slots.
+    Long(i64),
+    /// A 64-bit float literal. Occupies two pool slots.
+    Double(f64),
+    /// A string literal; `utf8` must point at a [`Constant::Utf8`] entry.
+    String {
+        /// Index of the backing UTF-8 data.
+        utf8: CpIndex,
+    },
+    /// A class reference; `name` must point at a [`Constant::Utf8`] entry
+    /// holding the internal class name (e.g. `java/lang/Object`).
+    Class {
+        /// Index of the class-name UTF-8 entry.
+        name: CpIndex,
+    },
+    /// A field reference.
+    FieldRef {
+        /// Index of the owning [`Constant::Class`].
+        class: CpIndex,
+        /// Index of the [`Constant::NameAndType`] describing the field.
+        name_and_type: CpIndex,
+    },
+    /// A method reference.
+    MethodRef {
+        /// Index of the owning [`Constant::Class`].
+        class: CpIndex,
+        /// Index of the [`Constant::NameAndType`] describing the method.
+        name_and_type: CpIndex,
+    },
+    /// An interface-method reference.
+    InterfaceMethodRef {
+        /// Index of the owning [`Constant::Class`].
+        class: CpIndex,
+        /// Index of the [`Constant::NameAndType`] describing the method.
+        name_and_type: CpIndex,
+    },
+    /// A name/descriptor pair.
+    NameAndType {
+        /// Index of the name UTF-8 entry.
+        name: CpIndex,
+        /// Index of the descriptor UTF-8 entry.
+        descriptor: CpIndex,
+    },
+}
+
+impl Constant {
+    /// The wire tag for this entry.
+    #[must_use]
+    pub fn tag(&self) -> ConstantTag {
+        match self {
+            Constant::Utf8(_) => ConstantTag::Utf8,
+            Constant::Integer(_) => ConstantTag::Integer,
+            Constant::Float(_) => ConstantTag::Float,
+            Constant::Long(_) => ConstantTag::Long,
+            Constant::Double(_) => ConstantTag::Double,
+            Constant::String { .. } => ConstantTag::String,
+            Constant::Class { .. } => ConstantTag::Class,
+            Constant::FieldRef { .. } => ConstantTag::FieldRef,
+            Constant::MethodRef { .. } => ConstantTag::MethodRef,
+            Constant::InterfaceMethodRef { .. } => ConstantTag::InterfaceMethodRef,
+            Constant::NameAndType { .. } => ConstantTag::NameAndType,
+        }
+    }
+
+    /// Exact serialized size in bytes, including the tag byte.
+    #[must_use]
+    pub fn wire_size(&self) -> u32 {
+        match self {
+            Constant::Utf8(s) => 1 + 2 + s.len() as u32,
+            Constant::Integer(_) | Constant::Float(_) => 1 + 4,
+            Constant::Long(_) | Constant::Double(_) => 1 + 8,
+            Constant::String { .. } | Constant::Class { .. } => 1 + 2,
+            Constant::FieldRef { .. }
+            | Constant::MethodRef { .. }
+            | Constant::InterfaceMethodRef { .. }
+            | Constant::NameAndType { .. } => 1 + 4,
+        }
+    }
+
+    /// Number of constant-pool slots this entry occupies (2 for
+    /// `Long`/`Double`, 1 otherwise).
+    #[must_use]
+    pub fn slots(&self) -> u16 {
+        match self {
+            Constant::Long(_) | Constant::Double(_) => 2,
+            _ => 1,
+        }
+    }
+
+    /// Append the wire encoding of this entry to `out`.
+    pub(crate) fn write(&self, out: &mut Vec<u8>) {
+        out.push(self.tag() as u8);
+        match self {
+            Constant::Utf8(s) => {
+                out.extend_from_slice(&(s.len() as u16).to_be_bytes());
+                out.extend_from_slice(s.as_bytes());
+            }
+            Constant::Integer(v) => out.extend_from_slice(&v.to_be_bytes()),
+            Constant::Float(v) => out.extend_from_slice(&v.to_bits().to_be_bytes()),
+            Constant::Long(v) => out.extend_from_slice(&v.to_be_bytes()),
+            Constant::Double(v) => out.extend_from_slice(&v.to_bits().to_be_bytes()),
+            Constant::String { utf8: i } | Constant::Class { name: i } => {
+                out.extend_from_slice(&i.0.to_be_bytes());
+            }
+            Constant::FieldRef { class: a, name_and_type: b }
+            | Constant::MethodRef { class: a, name_and_type: b }
+            | Constant::InterfaceMethodRef { class: a, name_and_type: b }
+            | Constant::NameAndType { name: a, descriptor: b } => {
+                out.extend_from_slice(&a.0.to_be_bytes());
+                out.extend_from_slice(&b.0.to_be_bytes());
+            }
+        }
+    }
+}
+
+/// A hashable key for interning; `f32`/`f64` are compared by bit pattern.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum InternKey {
+    Utf8(String),
+    Integer(i32),
+    Float(u32),
+    Long(i64),
+    Double(u64),
+    String(CpIndex),
+    Class(CpIndex),
+    FieldRef(CpIndex, CpIndex),
+    MethodRef(CpIndex, CpIndex),
+    InterfaceMethodRef(CpIndex, CpIndex),
+    NameAndType(CpIndex, CpIndex),
+}
+
+impl InternKey {
+    fn of(c: &Constant) -> InternKey {
+        match c {
+            Constant::Utf8(s) => InternKey::Utf8(s.clone()),
+            Constant::Integer(v) => InternKey::Integer(*v),
+            Constant::Float(v) => InternKey::Float(v.to_bits()),
+            Constant::Long(v) => InternKey::Long(*v),
+            Constant::Double(v) => InternKey::Double(v.to_bits()),
+            Constant::String { utf8 } => InternKey::String(*utf8),
+            Constant::Class { name } => InternKey::Class(*name),
+            Constant::FieldRef { class, name_and_type } => {
+                InternKey::FieldRef(*class, *name_and_type)
+            }
+            Constant::MethodRef { class, name_and_type } => {
+                InternKey::MethodRef(*class, *name_and_type)
+            }
+            Constant::InterfaceMethodRef { class, name_and_type } => {
+                InternKey::InterfaceMethodRef(*class, *name_and_type)
+            }
+            Constant::NameAndType { name, descriptor } => {
+                InternKey::NameAndType(*name, *descriptor)
+            }
+        }
+    }
+}
+
+/// The constant pool of one class file.
+///
+/// Entries are stored one-based, matching the wire format: the serialized
+/// `constant_pool_count` is `slot count + 1` and `Long`/`Double` entries
+/// burn an extra phantom slot.
+#[derive(Debug, Clone, Default)]
+pub struct ConstantPool {
+    /// Entries in insertion order. `entries[i]` lives at slot `slot_of[i]`.
+    entries: Vec<Constant>,
+    /// Slot number of each entry (one-based).
+    slots: Vec<u16>,
+    /// Next free slot.
+    next_slot: u16,
+    /// Interning map from entry content to existing index.
+    interned: HashMap<InternKey, CpIndex>,
+}
+
+impl ConstantPool {
+    /// Creates an empty pool.
+    #[must_use]
+    pub fn new() -> Self {
+        ConstantPool {
+            entries: Vec::new(),
+            slots: Vec::new(),
+            next_slot: 1,
+            interned: HashMap::new(),
+        }
+    }
+
+    /// Adds `constant`, reusing an existing identical entry if present.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClassFileError::ConstantPoolOverflow`] if the pool would
+    /// exceed 65,535 slots, and [`ClassFileError::Utf8TooLong`] for UTF-8
+    /// entries longer than 65,535 bytes.
+    pub fn intern(&mut self, constant: Constant) -> Result<CpIndex, ClassFileError> {
+        if let Constant::Utf8(s) = &constant {
+            if s.len() > u16::MAX as usize {
+                return Err(ClassFileError::Utf8TooLong(s.len()));
+            }
+        }
+        let key = InternKey::of(&constant);
+        if let Some(&idx) = self.interned.get(&key) {
+            return Ok(idx);
+        }
+        self.push_new(constant, key)
+    }
+
+    /// Adds `constant` without interning (always a fresh slot). Used by the
+    /// workload generators to model real-world duplication in constant
+    /// pools.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ConstantPool::intern`].
+    pub fn push(&mut self, constant: Constant) -> Result<CpIndex, ClassFileError> {
+        if let Constant::Utf8(s) = &constant {
+            if s.len() > u16::MAX as usize {
+                return Err(ClassFileError::Utf8TooLong(s.len()));
+            }
+        }
+        let key = InternKey::of(&constant);
+        self.push_new(constant, key)
+    }
+
+    fn push_new(&mut self, constant: Constant, key: InternKey) -> Result<CpIndex, ClassFileError> {
+        let slots_needed = constant.slots();
+        let slot = self.next_slot;
+        let end = slot as u32 + slots_needed as u32;
+        if end > u16::MAX as u32 + 1 {
+            return Err(ClassFileError::ConstantPoolOverflow);
+        }
+        self.next_slot = end as u16;
+        let idx = CpIndex(slot);
+        self.entries.push(constant);
+        self.slots.push(slot);
+        self.interned.entry(key).or_insert(idx);
+        Ok(idx)
+    }
+
+    /// Convenience: intern a UTF-8 entry.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ConstantPool::intern`].
+    pub fn utf8(&mut self, s: impl Into<String>) -> Result<CpIndex, ClassFileError> {
+        self.intern(Constant::Utf8(s.into()))
+    }
+
+    /// Convenience: intern a `Class` entry (and its backing UTF-8 name).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ConstantPool::intern`].
+    pub fn class(&mut self, name: &str) -> Result<CpIndex, ClassFileError> {
+        let name = self.utf8(name)?;
+        self.intern(Constant::Class { name })
+    }
+
+    /// Convenience: intern a `NameAndType` entry.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ConstantPool::intern`].
+    pub fn name_and_type(
+        &mut self,
+        name: &str,
+        descriptor: &str,
+    ) -> Result<CpIndex, ClassFileError> {
+        let name = self.utf8(name)?;
+        let descriptor = self.utf8(descriptor)?;
+        self.intern(Constant::NameAndType { name, descriptor })
+    }
+
+    /// Convenience: intern a `MethodRef` (and its class and name-and-type).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ConstantPool::intern`].
+    pub fn method_ref(
+        &mut self,
+        class: &str,
+        name: &str,
+        descriptor: &str,
+    ) -> Result<CpIndex, ClassFileError> {
+        let class = self.class(class)?;
+        let name_and_type = self.name_and_type(name, descriptor)?;
+        self.intern(Constant::MethodRef { class, name_and_type })
+    }
+
+    /// Convenience: intern a `FieldRef` (and its class and name-and-type).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ConstantPool::intern`].
+    pub fn field_ref(
+        &mut self,
+        class: &str,
+        name: &str,
+        descriptor: &str,
+    ) -> Result<CpIndex, ClassFileError> {
+        let class = self.class(class)?;
+        let name_and_type = self.name_and_type(name, descriptor)?;
+        self.intern(Constant::FieldRef { class, name_and_type })
+    }
+
+    /// Convenience: intern a `String` literal (and its backing UTF-8).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ConstantPool::intern`].
+    pub fn string(&mut self, s: &str) -> Result<CpIndex, ClassFileError> {
+        let utf8 = self.utf8(s)?;
+        self.intern(Constant::String { utf8 })
+    }
+
+    /// Looks up an entry by index.
+    #[must_use]
+    pub fn get(&self, index: CpIndex) -> Option<&Constant> {
+        if index.is_none() {
+            return None;
+        }
+        // Slot numbers are strictly increasing, so binary search works.
+        match self.slots.binary_search(&index.0) {
+            Ok(pos) => Some(&self.entries[pos]),
+            Err(_) => None,
+        }
+    }
+
+    /// Resolves a `Utf8` entry to its string content.
+    ///
+    /// # Errors
+    ///
+    /// [`ClassFileError::BadCpIndex`] if `index` is invalid,
+    /// [`ClassFileError::WrongConstantKind`] if the entry is not `Utf8`.
+    pub fn utf8_at(&self, index: CpIndex) -> Result<&str, ClassFileError> {
+        match self.get(index) {
+            Some(Constant::Utf8(s)) => Ok(s),
+            Some(_) => Err(ClassFileError::WrongConstantKind { index: index.0, expected: "Utf8" }),
+            None => Err(ClassFileError::BadCpIndex(index.0)),
+        }
+    }
+
+    /// Iterates over `(index, entry)` pairs in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = (CpIndex, &Constant)> {
+        self.slots.iter().zip(self.entries.iter()).map(|(&s, c)| (CpIndex(s), c))
+    }
+
+    /// Number of entries (not slots).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the pool has no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The wire `constant_pool_count` field: number of slots plus one.
+    #[must_use]
+    pub fn count_field(&self) -> u16 {
+        self.next_slot
+    }
+
+    /// Exact serialized size of the pool **entries** in bytes (excluding
+    /// the two-byte count field, which the class header accounts for).
+    #[must_use]
+    pub fn wire_size(&self) -> u32 {
+        self.entries.iter().map(Constant::wire_size).sum()
+    }
+
+    /// Checks that every index embedded in an entry points at an existing
+    /// entry of the right kind (the paper's verification "step 2" covers
+    /// this structural check of global data).
+    ///
+    /// # Errors
+    ///
+    /// [`ClassFileError::BadCpIndex`] or
+    /// [`ClassFileError::WrongConstantKind`] on the first violation.
+    pub fn validate(&self) -> Result<(), ClassFileError> {
+        let expect = |idx: CpIndex, pred: fn(&Constant) -> bool, what: &'static str| match self
+            .get(idx)
+        {
+            Some(c) if pred(c) => Ok(()),
+            Some(_) => Err(ClassFileError::WrongConstantKind { index: idx.0, expected: what }),
+            None => Err(ClassFileError::BadCpIndex(idx.0)),
+        };
+        let is_utf8 = |c: &Constant| matches!(c, Constant::Utf8(_));
+        let is_class = |c: &Constant| matches!(c, Constant::Class { .. });
+        let is_nat = |c: &Constant| matches!(c, Constant::NameAndType { .. });
+        for (_, entry) in self.iter() {
+            match entry {
+                Constant::String { utf8 } => expect(*utf8, is_utf8, "Utf8")?,
+                Constant::Class { name } => expect(*name, is_utf8, "Utf8")?,
+                Constant::FieldRef { class, name_and_type }
+                | Constant::MethodRef { class, name_and_type }
+                | Constant::InterfaceMethodRef { class, name_and_type } => {
+                    expect(*class, is_class, "Class")?;
+                    expect(*name_and_type, is_nat, "NameAndType")?;
+                }
+                Constant::NameAndType { name, descriptor } => {
+                    expect(*name, is_utf8, "Utf8")?;
+                    expect(*descriptor, is_utf8, "Utf8")?;
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Append the wire encoding of all entries to `out` (entries only; the
+    /// count field is written by the class serializer).
+    pub(crate) fn write(&self, out: &mut Vec<u8>) {
+        for e in &self.entries {
+            e.write(out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_reuses_identical_entries() {
+        let mut cp = ConstantPool::new();
+        let a = cp.utf8("hello").unwrap();
+        let b = cp.utf8("hello").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(cp.len(), 1);
+    }
+
+    #[test]
+    fn push_does_not_dedupe() {
+        let mut cp = ConstantPool::new();
+        let a = cp.push(Constant::Utf8("x".into())).unwrap();
+        let b = cp.push(Constant::Utf8("x".into())).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(cp.len(), 2);
+    }
+
+    #[test]
+    fn long_and_double_take_two_slots() {
+        let mut cp = ConstantPool::new();
+        let l = cp.intern(Constant::Long(1)).unwrap();
+        let next = cp.utf8("after").unwrap();
+        assert_eq!(l, CpIndex(1));
+        assert_eq!(next, CpIndex(3), "long must burn slot 2");
+        assert_eq!(cp.count_field(), 4);
+    }
+
+    #[test]
+    fn wire_sizes_match_spec() {
+        assert_eq!(Constant::Utf8("abc".into()).wire_size(), 1 + 2 + 3);
+        assert_eq!(Constant::Integer(7).wire_size(), 5);
+        assert_eq!(Constant::Float(1.0).wire_size(), 5);
+        assert_eq!(Constant::Long(7).wire_size(), 9);
+        assert_eq!(Constant::Double(1.0).wire_size(), 9);
+        assert_eq!(Constant::String { utf8: CpIndex(1) }.wire_size(), 3);
+        assert_eq!(Constant::Class { name: CpIndex(1) }.wire_size(), 3);
+        assert_eq!(
+            Constant::MethodRef { class: CpIndex(1), name_and_type: CpIndex(2) }.wire_size(),
+            5
+        );
+    }
+
+    #[test]
+    fn method_ref_builds_transitive_entries() {
+        let mut cp = ConstantPool::new();
+        let m = cp.method_ref("pkg/A", "foo", "()V").unwrap();
+        assert!(matches!(cp.get(m), Some(Constant::MethodRef { .. })));
+        // Class + its utf8, NameAndType + 2 utf8, MethodRef = 6 entries.
+        assert_eq!(cp.len(), 6);
+        cp.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_dangling_reference() {
+        let mut cp = ConstantPool::new();
+        cp.intern(Constant::Class { name: CpIndex(99) }).unwrap();
+        assert_eq!(cp.validate(), Err(ClassFileError::BadCpIndex(99)));
+    }
+
+    #[test]
+    fn validate_rejects_wrong_kind() {
+        let mut cp = ConstantPool::new();
+        let i = cp.intern(Constant::Integer(3)).unwrap();
+        cp.intern(Constant::Class { name: i }).unwrap();
+        assert!(matches!(cp.validate(), Err(ClassFileError::WrongConstantKind { .. })));
+    }
+
+    #[test]
+    fn get_by_index_respects_phantom_slots() {
+        let mut cp = ConstantPool::new();
+        cp.intern(Constant::Long(1)).unwrap();
+        let s = cp.utf8("s").unwrap();
+        assert!(cp.get(CpIndex(2)).is_none(), "phantom slot must be empty");
+        assert!(matches!(cp.get(s), Some(Constant::Utf8(_))));
+        assert!(cp.get(CpIndex(0)).is_none());
+        assert!(cp.get(CpIndex(100)).is_none());
+    }
+
+    #[test]
+    fn utf8_too_long_rejected() {
+        let mut cp = ConstantPool::new();
+        let huge = "x".repeat(70_000);
+        assert_eq!(cp.utf8(huge), Err(ClassFileError::Utf8TooLong(70_000)));
+    }
+
+    #[test]
+    fn wire_size_sums_entries() {
+        let mut cp = ConstantPool::new();
+        cp.utf8("abc").unwrap();
+        cp.intern(Constant::Integer(1)).unwrap();
+        assert_eq!(cp.wire_size(), 6 + 5);
+        let mut bytes = Vec::new();
+        cp.write(&mut bytes);
+        assert_eq!(bytes.len() as u32, cp.wire_size());
+    }
+}

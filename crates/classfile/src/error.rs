@@ -1,0 +1,80 @@
+//! Error type shared across the crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or serializing a class file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ClassFileError {
+    /// The constant pool exceeded the 65,535-slot limit imposed by the
+    /// two-byte `constant_pool_count` field.
+    ConstantPoolOverflow,
+    /// A UTF-8 constant was longer than the 65,535-byte limit of the
+    /// two-byte length prefix.
+    Utf8TooLong(usize),
+    /// A constant-pool index referred to a missing or out-of-range slot.
+    BadCpIndex(u16),
+    /// A constant-pool index referred to an entry of an unexpected kind,
+    /// e.g. a `Class` constant whose `name` slot is not `Utf8`.
+    WrongConstantKind {
+        /// The index that was dereferenced.
+        index: u16,
+        /// What the referencing entry required there.
+        expected: &'static str,
+    },
+    /// More than 65,535 interfaces, fields, or methods.
+    TooManyMembers(&'static str),
+    /// An attribute payload exceeded the four-byte length field.
+    AttributeTooLong(usize),
+    /// A method body exceeded the JVM's 65,535-byte code-length cap.
+    CodeTooLong(usize),
+}
+
+impl fmt::Display for ClassFileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ConstantPoolOverflow => write!(f, "constant pool exceeds 65535 slots"),
+            Self::Utf8TooLong(n) => write!(f, "utf8 constant is {n} bytes, limit is 65535"),
+            Self::BadCpIndex(i) => write!(f, "constant pool index {i} is invalid"),
+            Self::WrongConstantKind { index, expected } => {
+                write!(f, "constant pool index {index} is not a {expected} entry")
+            }
+            Self::TooManyMembers(what) => write!(f, "more than 65535 {what}"),
+            Self::AttributeTooLong(n) => {
+                write!(f, "attribute payload is {n} bytes, limit is 4294967295")
+            }
+            Self::CodeTooLong(n) => write!(f, "method code is {n} bytes, limit is 65535"),
+        }
+    }
+}
+
+impl Error for ClassFileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_unpunctuated() {
+        let msgs = [
+            ClassFileError::ConstantPoolOverflow.to_string(),
+            ClassFileError::Utf8TooLong(70_000).to_string(),
+            ClassFileError::BadCpIndex(3).to_string(),
+            ClassFileError::WrongConstantKind { index: 1, expected: "Utf8" }.to_string(),
+            ClassFileError::TooManyMembers("fields").to_string(),
+            ClassFileError::AttributeTooLong(5).to_string(),
+            ClassFileError::CodeTooLong(100_000).to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.ends_with('.'), "{m:?} should not end with punctuation");
+            assert!(m.chars().next().unwrap().is_lowercase(), "{m:?} should start lowercase");
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ClassFileError>();
+    }
+}

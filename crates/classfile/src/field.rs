@@ -1,0 +1,74 @@
+//! `field_info` structures — part of a class's global data.
+
+use crate::attribute::Attribute;
+use crate::constant_pool::{ConstantPool, CpIndex};
+use crate::error::ClassFileError;
+
+/// One field of a class (`field_info` in the wire format).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldInfo {
+    /// Access flags (`ACC_PUBLIC`, `ACC_STATIC`, …).
+    pub access_flags: u16,
+    /// Constant-pool index of the field name (UTF-8).
+    pub name: CpIndex,
+    /// Constant-pool index of the field descriptor (UTF-8), e.g. `I`.
+    pub descriptor: CpIndex,
+    /// Field attributes (typically `ConstantValue` for static finals).
+    pub attributes: Vec<Attribute>,
+}
+
+impl FieldInfo {
+    /// Creates a field with no attributes.
+    #[must_use]
+    pub fn new(access_flags: u16, name: CpIndex, descriptor: CpIndex) -> Self {
+        FieldInfo { access_flags, name, descriptor, attributes: Vec::new() }
+    }
+
+    /// Exact serialized size: 2+2+2+2 header plus attributes.
+    #[must_use]
+    pub fn wire_size(&self) -> u32 {
+        8 + self.attributes.iter().map(Attribute::wire_size).sum::<u32>()
+    }
+
+    /// Appends the wire encoding to `out`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates attribute serialization failures.
+    pub fn write(&self, cp: &ConstantPool, out: &mut Vec<u8>) -> Result<(), ClassFileError> {
+        out.extend_from_slice(&self.access_flags.to_be_bytes());
+        out.extend_from_slice(&self.name.0.to_be_bytes());
+        out.extend_from_slice(&self.descriptor.0.to_be_bytes());
+        out.extend_from_slice(&(self.attributes.len() as u16).to_be_bytes());
+        for a in &self.attributes {
+            a.write(cp, out)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bare_field_is_eight_bytes() {
+        let f = FieldInfo::new(0x0009, CpIndex(1), CpIndex(2));
+        assert_eq!(f.wire_size(), 8);
+        let mut out = Vec::new();
+        f.write(&ConstantPool::new(), &mut out).unwrap();
+        assert_eq!(out.len(), 8);
+    }
+
+    #[test]
+    fn constant_value_attribute_adds_eight_bytes() {
+        let mut cp = ConstantPool::new();
+        cp.utf8("ConstantValue").unwrap();
+        let mut f = FieldInfo::new(0x0019, CpIndex(1), CpIndex(2));
+        f.attributes.push(Attribute::ConstantValue { value: CpIndex(3) });
+        assert_eq!(f.wire_size(), 8 + 6 + 2);
+        let mut out = Vec::new();
+        f.write(&cp, &mut out).unwrap();
+        assert_eq!(out.len() as u32, f.wire_size());
+    }
+}

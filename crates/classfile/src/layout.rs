@@ -1,0 +1,310 @@
+//! Section-size accounting: the machinery behind the paper's Table 8
+//! (global data and constant-pool composition) and the global/local split
+//! of Table 9.
+
+use crate::class::ClassFile;
+use crate::constant_pool::{Constant, ConstantPool};
+use crate::method::MethodInfo;
+
+/// Byte sizes of every top-level section of a class file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SectionSizes {
+    /// Magic, versions, pool count.
+    pub header: u32,
+    /// Constant-pool entries.
+    pub constant_pool: u32,
+    /// Access flags, this/super, interface table, count fields.
+    pub midsection: u32,
+    /// All `field_info` structures.
+    pub fields: u32,
+    /// Class-level attributes.
+    pub class_attributes: u32,
+    /// All methods' local data (headers, code-attribute overhead).
+    pub method_local_data: u32,
+    /// All methods' raw bytecode.
+    pub method_code: u32,
+}
+
+impl SectionSizes {
+    /// Measures `class`.
+    #[must_use]
+    pub fn of(class: &ClassFile) -> Self {
+        let method_code: u32 = class.methods.iter().map(MethodInfo::code_size).sum();
+        let methods_total = class.methods_size();
+        SectionSizes {
+            header: class.header_size(),
+            constant_pool: class.constant_pool.wire_size(),
+            midsection: class.midsection_size(),
+            fields: class.fields_size(),
+            class_attributes: class.class_attributes_size(),
+            method_local_data: methods_total - method_code,
+            method_code,
+        }
+    }
+
+    /// Global data in the paper's sense.
+    #[must_use]
+    pub fn global_data(&self) -> u32 {
+        self.header + self.constant_pool + self.midsection + self.fields + self.class_attributes
+    }
+
+    /// Local data in the paper's sense (method overhead, not code).
+    #[must_use]
+    pub fn local_data(&self) -> u32 {
+        self.method_local_data
+    }
+
+    /// Total file size.
+    #[must_use]
+    pub fn total(&self) -> u32 {
+        self.global_data() + self.method_local_data + self.method_code
+    }
+
+    /// Component-wise sum, for aggregating a whole application.
+    #[must_use]
+    pub fn merged(self, other: SectionSizes) -> SectionSizes {
+        SectionSizes {
+            header: self.header + other.header,
+            constant_pool: self.constant_pool + other.constant_pool,
+            midsection: self.midsection + other.midsection,
+            fields: self.fields + other.fields,
+            class_attributes: self.class_attributes + other.class_attributes,
+            method_local_data: self.method_local_data + other.method_local_data,
+            method_code: self.method_code + other.method_code,
+        }
+    }
+}
+
+/// Byte totals per constant-pool entry kind — the right half of Table 8.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ConstantPoolBreakdown {
+    /// `CONSTANT_Utf8` bytes.
+    pub utf8: u32,
+    /// `CONSTANT_Integer` bytes.
+    pub integers: u32,
+    /// `CONSTANT_Float` bytes.
+    pub floats: u32,
+    /// `CONSTANT_Long` bytes.
+    pub longs: u32,
+    /// `CONSTANT_Double` bytes.
+    pub doubles: u32,
+    /// `CONSTANT_String` bytes.
+    pub strings: u32,
+    /// `CONSTANT_Class` bytes.
+    pub classes: u32,
+    /// `CONSTANT_Fieldref` bytes.
+    pub field_refs: u32,
+    /// `CONSTANT_Methodref` bytes.
+    pub method_refs: u32,
+    /// `CONSTANT_NameAndType` bytes.
+    pub name_and_type: u32,
+    /// `CONSTANT_InterfaceMethodref` bytes.
+    pub interface_method_refs: u32,
+}
+
+impl ConstantPoolBreakdown {
+    /// Measures `pool`.
+    #[must_use]
+    pub fn of(pool: &ConstantPool) -> Self {
+        let mut b = ConstantPoolBreakdown::default();
+        for (_, c) in pool.iter() {
+            let size = c.wire_size();
+            match c {
+                Constant::Utf8(_) => b.utf8 += size,
+                Constant::Integer(_) => b.integers += size,
+                Constant::Float(_) => b.floats += size,
+                Constant::Long(_) => b.longs += size,
+                Constant::Double(_) => b.doubles += size,
+                Constant::String { .. } => b.strings += size,
+                Constant::Class { .. } => b.classes += size,
+                Constant::FieldRef { .. } => b.field_refs += size,
+                Constant::MethodRef { .. } => b.method_refs += size,
+                Constant::NameAndType { .. } => b.name_and_type += size,
+                Constant::InterfaceMethodRef { .. } => b.interface_method_refs += size,
+            }
+        }
+        b
+    }
+
+    /// Total bytes over all kinds.
+    #[must_use]
+    pub fn total(&self) -> u32 {
+        self.utf8
+            + self.integers
+            + self.floats
+            + self.longs
+            + self.doubles
+            + self.strings
+            + self.classes
+            + self.field_refs
+            + self.method_refs
+            + self.name_and_type
+            + self.interface_method_refs
+    }
+
+    /// Component-wise sum.
+    #[must_use]
+    pub fn merged(self, o: ConstantPoolBreakdown) -> ConstantPoolBreakdown {
+        ConstantPoolBreakdown {
+            utf8: self.utf8 + o.utf8,
+            integers: self.integers + o.integers,
+            floats: self.floats + o.floats,
+            longs: self.longs + o.longs,
+            doubles: self.doubles + o.doubles,
+            strings: self.strings + o.strings,
+            classes: self.classes + o.classes,
+            field_refs: self.field_refs + o.field_refs,
+            method_refs: self.method_refs + o.method_refs,
+            name_and_type: self.name_and_type + o.name_and_type,
+            interface_method_refs: self.interface_method_refs + o.interface_method_refs,
+        }
+    }
+
+    /// Percent (0–100) of the pool occupied by each kind, in Table 8's
+    /// column order: Utf8, Ints, Float, Long, Double, String, Class, FRef,
+    /// MRef, NandT, IMRef.
+    #[must_use]
+    pub fn percentages(&self) -> [f64; 11] {
+        let t = f64::from(self.total().max(1));
+        [
+            f64::from(self.utf8),
+            f64::from(self.integers),
+            f64::from(self.floats),
+            f64::from(self.longs),
+            f64::from(self.doubles),
+            f64::from(self.strings),
+            f64::from(self.classes),
+            f64::from(self.field_refs),
+            f64::from(self.method_refs),
+            f64::from(self.name_and_type),
+            f64::from(self.interface_method_refs),
+        ]
+        .map(|v| 100.0 * v / t)
+    }
+}
+
+/// The left half of Table 8: shares of the global data held by the major
+/// sections.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct GlobalDataBreakdown {
+    /// Global-data bytes total.
+    pub global_total: u32,
+    /// Constant-pool bytes.
+    pub constant_pool: u32,
+    /// Field bytes.
+    pub fields: u32,
+    /// Class-attribute bytes.
+    pub attributes: u32,
+    /// Interface-table bytes.
+    pub interfaces: u32,
+    /// Per-kind pool composition.
+    pub pool: ConstantPoolBreakdown,
+}
+
+impl GlobalDataBreakdown {
+    /// Measures `class`.
+    #[must_use]
+    pub fn of(class: &ClassFile) -> Self {
+        let sizes = SectionSizes::of(class);
+        GlobalDataBreakdown {
+            global_total: sizes.global_data(),
+            constant_pool: sizes.constant_pool,
+            fields: sizes.fields,
+            attributes: sizes.class_attributes,
+            interfaces: class.interfaces_size() - 2, // entries only, not the count field
+            pool: ConstantPoolBreakdown::of(&class.constant_pool),
+        }
+    }
+
+    /// Aggregates over many classes (for whole-application rows).
+    #[must_use]
+    pub fn of_all<'a>(classes: impl IntoIterator<Item = &'a ClassFile>) -> Self {
+        classes.into_iter().map(GlobalDataBreakdown::of).fold(
+            GlobalDataBreakdown::default(),
+            |acc, b| GlobalDataBreakdown {
+                global_total: acc.global_total + b.global_total,
+                constant_pool: acc.constant_pool + b.constant_pool,
+                fields: acc.fields + b.fields,
+                attributes: acc.attributes + b.attributes,
+                interfaces: acc.interfaces + b.interfaces,
+                pool: acc.pool.merged(b.pool),
+            },
+        )
+    }
+
+    /// Percent (0–100) of global data in (CPool, Field, Attrib, Intfc) —
+    /// Table 8's first four columns.
+    #[must_use]
+    pub fn section_percentages(&self) -> [f64; 4] {
+        let t = f64::from(self.global_total.max(1));
+        [
+            f64::from(self.constant_pool),
+            f64::from(self.fields),
+            f64::from(self.attributes),
+            f64::from(self.interfaces),
+        ]
+        .map(|v| 100.0 * v / t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{ClassFileBuilder, MethodData};
+
+    fn sample() -> ClassFile {
+        let mut b = ClassFileBuilder::new("x/Y");
+        b.source_file("Y.java");
+        b.add_static_field("f", "I").unwrap();
+        b.pool_mut().string("a literal").unwrap();
+        b.pool_mut().intern(Constant::Integer(5)).unwrap();
+        b.pool_mut().method_ref("x/Y", "m", "()V").unwrap();
+        let mut md = MethodData::new("m", "()V", vec![0xB1, 0xB1, 0xB1]);
+        md.line_numbers(vec![(0, 1), (1, 2)]);
+        b.add_method(md).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn sections_sum_to_total() {
+        let c = sample();
+        let s = SectionSizes::of(&c);
+        assert_eq!(s.total(), c.total_size());
+        assert_eq!(s.global_data(), c.global_data_size());
+        assert_eq!(s.method_code, 3);
+    }
+
+    #[test]
+    fn pool_breakdown_total_matches_pool_size() {
+        let c = sample();
+        let b = ConstantPoolBreakdown::of(&c.constant_pool);
+        assert_eq!(b.total(), c.constant_pool.wire_size());
+        assert!(b.utf8 > 0 && b.integers > 0 && b.strings > 0 && b.method_refs > 0);
+    }
+
+    #[test]
+    fn percentages_sum_to_hundred() {
+        let c = sample();
+        let b = ConstantPoolBreakdown::of(&c.constant_pool);
+        let sum: f64 = b.percentages().iter().sum();
+        assert!((sum - 100.0).abs() < 1e-9, "{sum}");
+    }
+
+    #[test]
+    fn global_breakdown_sections_account_for_most_of_global() {
+        let c = sample();
+        let g = GlobalDataBreakdown::of(&c);
+        let explained = g.constant_pool + g.fields + g.attributes + g.interfaces;
+        // header + midsection are the only unexplained parts
+        assert!(g.global_total - explained <= 30);
+    }
+
+    #[test]
+    fn merged_aggregates() {
+        let c = sample();
+        let g1 = GlobalDataBreakdown::of(&c);
+        let g2 = GlobalDataBreakdown::of_all([&c, &c]);
+        assert_eq!(g2.global_total, 2 * g1.global_total);
+        assert_eq!(g2.pool.total(), 2 * g1.pool.total());
+    }
+}

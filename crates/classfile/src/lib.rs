@@ -1,0 +1,56 @@
+//! # nonstrict-classfile
+//!
+//! A faithful model of the JVM class-file format (as of the first-edition
+//! JVM specification, the format the ASPLOS '98 paper targets) with exact
+//! wire-format serialization.
+//!
+//! The non-strict-execution experiments in the companion crates never need
+//! to *load* real class files — they need every **byte size** seen by the
+//! transfer simulator to be a real, spec-accurate serialized size, and they
+//! need the structural split the paper relies on:
+//!
+//! * **global data** — magic/version header, constant pool, access flags,
+//!   this/super/interfaces, fields, and class-level attributes: everything a
+//!   class needs before *any* method can run;
+//! * per-method **local data** — the `method_info` header plus the `Code`
+//!   attribute overhead (exception tables, line-number tables, …);
+//! * per-method **code** — the bytecode bytes themselves.
+//!
+//! [`ClassFile::to_bytes`] produces the real wire format, and the section
+//! accountants in [`layout`] reproduce the paper's Table 8/9 breakdowns.
+//!
+//! ```
+//! use nonstrict_classfile::{ClassFileBuilder, MethodData};
+//!
+//! # fn main() -> Result<(), nonstrict_classfile::ClassFileError> {
+//! let mut b = ClassFileBuilder::new("demo/Main");
+//! let code = vec![0x10, 0x2A, 0xAC]; // bipush 42; ireturn
+//! b.add_method(MethodData::new("main", "()I", code))?;
+//! let class = b.build()?;
+//! assert_eq!(class.to_bytes().len() as u32, class.total_size());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod attribute;
+pub mod builder;
+pub mod class;
+pub mod constant_pool;
+pub mod error;
+pub mod field;
+pub mod layout;
+pub mod method;
+pub mod parser;
+
+pub use attribute::{Attribute, ExceptionTableEntry};
+pub use builder::{ClassFileBuilder, MethodData};
+pub use class::{AccessFlags, ClassFile, ClassName};
+pub use constant_pool::{Constant, ConstantPool, ConstantTag, CpIndex};
+pub use error::ClassFileError;
+pub use field::FieldInfo;
+pub use layout::{ConstantPoolBreakdown, GlobalDataBreakdown, SectionSizes};
+pub use method::MethodInfo;
+pub use parser::{parse, ParseError};

@@ -1,0 +1,120 @@
+//! `method_info` structures and the local-data/code size split.
+//!
+//! The paper partitions every method's bytes into **code** (the raw
+//! bytecode) and **local data** (everything else in the `method_info`:
+//! header, `Code`-attribute overhead, exception tables, line-number
+//! tables). Non-strict transfer ships a method as *local data then code*,
+//! closed by a method delimiter (§5).
+
+use crate::attribute::Attribute;
+use crate::constant_pool::{ConstantPool, CpIndex};
+use crate::error::ClassFileError;
+
+/// One method of a class (`method_info` in the wire format).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MethodInfo {
+    /// Access flags (`ACC_PUBLIC`, `ACC_STATIC`, …).
+    pub access_flags: u16,
+    /// Constant-pool index of the method name (UTF-8).
+    pub name: CpIndex,
+    /// Constant-pool index of the method descriptor (UTF-8), e.g. `(I)I`.
+    pub descriptor: CpIndex,
+    /// Method attributes; at most one should be a `Code` attribute.
+    pub attributes: Vec<Attribute>,
+}
+
+impl MethodInfo {
+    /// Creates a method with no attributes.
+    #[must_use]
+    pub fn new(access_flags: u16, name: CpIndex, descriptor: CpIndex) -> Self {
+        MethodInfo { access_flags, name, descriptor, attributes: Vec::new() }
+    }
+
+    /// The method's `Code` attribute, if present.
+    #[must_use]
+    pub fn code_attribute(&self) -> Option<&Attribute> {
+        self.attributes.iter().find(|a| matches!(a, Attribute::Code { .. }))
+    }
+
+    /// Size in bytes of the raw bytecode (zero for abstract/native
+    /// methods).
+    #[must_use]
+    pub fn code_size(&self) -> u32 {
+        match self.code_attribute() {
+            Some(Attribute::Code { code, .. }) => code.len() as u32,
+            _ => 0,
+        }
+    }
+
+    /// Size in bytes of the method's *local data*: everything in the
+    /// `method_info` except the raw bytecode.
+    #[must_use]
+    pub fn local_data_size(&self) -> u32 {
+        self.wire_size() - self.code_size()
+    }
+
+    /// Exact serialized size: 8-byte header plus attributes.
+    #[must_use]
+    pub fn wire_size(&self) -> u32 {
+        8 + self.attributes.iter().map(Attribute::wire_size).sum::<u32>()
+    }
+
+    /// Appends the wire encoding to `out`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates attribute serialization failures.
+    pub fn write(&self, cp: &ConstantPool, out: &mut Vec<u8>) -> Result<(), ClassFileError> {
+        out.extend_from_slice(&self.access_flags.to_be_bytes());
+        out.extend_from_slice(&self.name.0.to_be_bytes());
+        out.extend_from_slice(&self.descriptor.0.to_be_bytes());
+        out.extend_from_slice(&(self.attributes.len() as u16).to_be_bytes());
+        for a in &self.attributes {
+            a.write(cp, out)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attribute::ExceptionTableEntry;
+
+    fn method_with_code(code_len: usize) -> MethodInfo {
+        let mut m = MethodInfo::new(0x0009, CpIndex(1), CpIndex(2));
+        m.attributes.push(Attribute::Code {
+            max_stack: 2,
+            max_locals: 2,
+            code: vec![0; code_len],
+            exception_table: vec![ExceptionTableEntry::default()],
+            attributes: vec![Attribute::LineNumberTable { entries: vec![(0, 1)] }],
+        });
+        m
+    }
+
+    #[test]
+    fn local_data_plus_code_is_wire_size() {
+        let m = method_with_code(20);
+        assert_eq!(m.code_size(), 20);
+        assert_eq!(m.local_data_size() + m.code_size(), m.wire_size());
+    }
+
+    #[test]
+    fn abstract_method_has_no_code() {
+        let m = MethodInfo::new(0x0401, CpIndex(1), CpIndex(2));
+        assert_eq!(m.code_size(), 0);
+        assert_eq!(m.local_data_size(), 8);
+    }
+
+    #[test]
+    fn write_matches_wire_size() {
+        let mut cp = ConstantPool::new();
+        cp.utf8("Code").unwrap();
+        cp.utf8("LineNumberTable").unwrap();
+        let m = method_with_code(3);
+        let mut out = Vec::new();
+        m.write(&cp, &mut out).unwrap();
+        assert_eq!(out.len() as u32, m.wire_size());
+    }
+}

@@ -1,0 +1,379 @@
+//! Parsing class files back from their wire format.
+//!
+//! [`parse`] is the inverse of [`ClassFile::to_bytes`]: it reconstructs
+//! the full structure — constant pool (with two-slot `Long`/`Double`
+//! handling), fields, methods, nested `Code` attributes — from bytes.
+//! Round-tripping is byte-exact, which the property tests exploit; it
+//! also makes the crate usable as a standalone class-file inspector.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::attribute::{Attribute, ExceptionTableEntry};
+use crate::class::{AccessFlags, ClassFile, MAGIC};
+use crate::constant_pool::{Constant, ConstantPool, CpIndex};
+use crate::field::FieldInfo;
+use crate::method::MethodInfo;
+
+/// Errors produced while parsing a class file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseError {
+    /// The input ended before the structure did.
+    UnexpectedEof {
+        /// Byte offset where more input was required.
+        at: usize,
+    },
+    /// The file does not start with `0xCAFEBABE`.
+    BadMagic(u32),
+    /// An unknown constant-pool tag byte.
+    BadTag {
+        /// The tag value.
+        tag: u8,
+        /// Byte offset of the tag.
+        at: usize,
+    },
+    /// A UTF-8 constant held invalid UTF-8 (this model uses real UTF-8).
+    BadUtf8 {
+        /// Byte offset of the string data.
+        at: usize,
+    },
+    /// Trailing bytes after the class structure.
+    TrailingBytes {
+        /// Number of unconsumed bytes.
+        count: usize,
+    },
+    /// An attribute's declared length did not match its payload.
+    AttributeLengthMismatch {
+        /// The attribute name, if known.
+        name: String,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnexpectedEof { at } => write!(f, "unexpected end of input at offset {at}"),
+            Self::BadMagic(m) => write!(f, "bad magic {m:#010x}, expected 0xcafebabe"),
+            Self::BadTag { tag, at } => write!(f, "unknown constant tag {tag} at offset {at}"),
+            Self::BadUtf8 { at } => write!(f, "invalid utf-8 in constant at offset {at}"),
+            Self::TrailingBytes { count } => write!(f, "{count} trailing bytes after class"),
+            Self::AttributeLengthMismatch { name } => {
+                write!(f, "attribute {name:?} length does not match payload")
+            }
+        }
+    }
+}
+
+impl Error for ParseError {}
+
+/// A bounds-checked big-endian cursor.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ParseError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(ParseError::UnexpectedEof { at: self.pos });
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ParseError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ParseError> {
+        let b = self.take(2)?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, ParseError> {
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+}
+
+/// Parses a complete class file from its wire format.
+///
+/// ```
+/// use nonstrict_classfile::{parse, ClassFileBuilder, MethodData};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = ClassFileBuilder::new("demo/RoundTrip");
+/// b.add_method(MethodData::new("run", "()V", vec![0xB1]))?;
+/// let original = b.build()?;
+/// let bytes = original.to_bytes();
+/// let parsed = parse(&bytes)?;
+/// assert_eq!(parsed.to_bytes(), bytes); // byte-exact round trip
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// Any structural [`ParseError`]; the parse consumes the whole input or
+/// fails.
+pub fn parse(bytes: &[u8]) -> Result<ClassFile, ParseError> {
+    let mut c = Cursor::new(bytes);
+    let magic = c.u32()?;
+    if magic != MAGIC {
+        return Err(ParseError::BadMagic(magic));
+    }
+    let minor_version = c.u16()?;
+    let major_version = c.u16()?;
+
+    // Constant pool: count is slots + 1; Long/Double burn an extra slot.
+    let count = c.u16()?;
+    let mut pool = ConstantPool::new();
+    let mut slot = 1u16;
+    while slot < count {
+        let at = c.pos;
+        let tag = c.u8()?;
+        let constant = match tag {
+            1 => {
+                let len = c.u16()? as usize;
+                let data = c.take(len)?;
+                let s = std::str::from_utf8(data)
+                    .map_err(|_| ParseError::BadUtf8 { at })?
+                    .to_owned();
+                Constant::Utf8(s)
+            }
+            3 => Constant::Integer(c.u32()? as i32),
+            4 => Constant::Float(f32::from_bits(c.u32()?)),
+            5 => {
+                let hi = u64::from(c.u32()?);
+                let lo = u64::from(c.u32()?);
+                Constant::Long(((hi << 32) | lo) as i64)
+            }
+            6 => {
+                let hi = u64::from(c.u32()?);
+                let lo = u64::from(c.u32()?);
+                Constant::Double(f64::from_bits((hi << 32) | lo))
+            }
+            7 => Constant::Class { name: CpIndex(c.u16()?) },
+            8 => Constant::String { utf8: CpIndex(c.u16()?) },
+            9 => Constant::FieldRef {
+                class: CpIndex(c.u16()?),
+                name_and_type: CpIndex(c.u16()?),
+            },
+            10 => Constant::MethodRef {
+                class: CpIndex(c.u16()?),
+                name_and_type: CpIndex(c.u16()?),
+            },
+            11 => Constant::InterfaceMethodRef {
+                class: CpIndex(c.u16()?),
+                name_and_type: CpIndex(c.u16()?),
+            },
+            12 => Constant::NameAndType {
+                name: CpIndex(c.u16()?),
+                descriptor: CpIndex(c.u16()?),
+            },
+            tag => return Err(ParseError::BadTag { tag, at }),
+        };
+        slot += constant.slots();
+        // `push` (not `intern`) preserves duplicates exactly as written.
+        pool.push(constant).expect("parsed pool fits: count field is u16");
+    }
+
+    let access_flags = AccessFlags(c.u16()?);
+    let this_class = CpIndex(c.u16()?);
+    let super_class = CpIndex(c.u16()?);
+    let interfaces_count = c.u16()?;
+    let mut interfaces = Vec::with_capacity(interfaces_count as usize);
+    for _ in 0..interfaces_count {
+        interfaces.push(CpIndex(c.u16()?));
+    }
+
+    let fields_count = c.u16()?;
+    let mut fields = Vec::with_capacity(fields_count as usize);
+    for _ in 0..fields_count {
+        let access_flags = c.u16()?;
+        let name = CpIndex(c.u16()?);
+        let descriptor = CpIndex(c.u16()?);
+        let attributes = parse_attributes(&mut c, &pool)?;
+        fields.push(FieldInfo { access_flags, name, descriptor, attributes });
+    }
+
+    let methods_count = c.u16()?;
+    let mut methods = Vec::with_capacity(methods_count as usize);
+    for _ in 0..methods_count {
+        let access_flags = c.u16()?;
+        let name = CpIndex(c.u16()?);
+        let descriptor = CpIndex(c.u16()?);
+        let attributes = parse_attributes(&mut c, &pool)?;
+        methods.push(MethodInfo { access_flags, name, descriptor, attributes });
+    }
+
+    let attributes = parse_attributes(&mut c, &pool)?;
+
+    if c.pos != bytes.len() {
+        return Err(ParseError::TrailingBytes { count: bytes.len() - c.pos });
+    }
+
+    Ok(ClassFile {
+        minor_version,
+        major_version,
+        constant_pool: pool,
+        access_flags,
+        this_class,
+        super_class,
+        interfaces,
+        fields,
+        methods,
+        attributes,
+    })
+}
+
+fn parse_attributes(c: &mut Cursor<'_>, pool: &ConstantPool) -> Result<Vec<Attribute>, ParseError> {
+    let count = c.u16()?;
+    let mut out = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        out.push(parse_attribute(c, pool)?);
+    }
+    Ok(out)
+}
+
+fn parse_attribute(c: &mut Cursor<'_>, pool: &ConstantPool) -> Result<Attribute, ParseError> {
+    let name_idx = CpIndex(c.u16()?);
+    let length = c.u32()? as usize;
+    let name = pool.utf8_at(name_idx).unwrap_or("").to_owned();
+    let end = c.pos + length;
+    let attr = match name.as_str() {
+        "Code" => {
+            let max_stack = c.u16()?;
+            let max_locals = c.u16()?;
+            let code_len = c.u32()? as usize;
+            let code = c.take(code_len)?.to_vec();
+            let exc_count = c.u16()?;
+            let mut exception_table = Vec::with_capacity(exc_count as usize);
+            for _ in 0..exc_count {
+                exception_table.push(ExceptionTableEntry {
+                    start_pc: c.u16()?,
+                    end_pc: c.u16()?,
+                    handler_pc: c.u16()?,
+                    catch_type: CpIndex(c.u16()?),
+                });
+            }
+            let attributes = parse_attributes(c, pool)?;
+            Attribute::Code { max_stack, max_locals, code, exception_table, attributes }
+        }
+        "LineNumberTable" => {
+            let n = c.u16()?;
+            let mut entries = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                entries.push((c.u16()?, c.u16()?));
+            }
+            Attribute::LineNumberTable { entries }
+        }
+        "ConstantValue" => Attribute::ConstantValue { value: CpIndex(c.u16()?) },
+        "SourceFile" => Attribute::SourceFile { file: CpIndex(c.u16()?) },
+        "Exceptions" => {
+            let n = c.u16()?;
+            let mut classes = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                classes.push(CpIndex(c.u16()?));
+            }
+            Attribute::Exceptions { classes }
+        }
+        _ => Attribute::Raw { name: name.clone(), bytes: c.take(length)?.to_vec() },
+    };
+    if c.pos != end {
+        return Err(ParseError::AttributeLengthMismatch { name });
+    }
+    Ok(attr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{ClassFileBuilder, MethodData};
+
+    fn sample() -> ClassFile {
+        let mut b = ClassFileBuilder::new("pk/Sample");
+        b.source_file("Sample.java");
+        b.interface("pk/Runnable");
+        b.pool_mut().string("a literal").unwrap();
+        b.pool_mut().intern(Constant::Integer(99)).unwrap();
+        b.pool_mut().intern(Constant::Long(1 << 40)).unwrap();
+        b.pool_mut().intern(Constant::Double(2.5)).unwrap();
+        b.pool_mut().intern(Constant::Float(0.5)).unwrap();
+        b.pool_mut().method_ref("pk/Other", "call", "(I)I").unwrap();
+        b.add_static_field("counter", "I").unwrap();
+        let mut md = MethodData::new("run", "()V", vec![0xB1, 0x00, 0xB1]);
+        md.line_numbers(vec![(0, 3), (2, 4)]);
+        b.add_method(md).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn roundtrip_is_byte_exact() {
+        let original = sample();
+        let bytes = original.to_bytes();
+        let parsed = parse(&bytes).unwrap();
+        assert_eq!(parsed.to_bytes(), bytes);
+        assert_eq!(parsed.name().unwrap().0, "pk/Sample");
+        assert_eq!(parsed.methods.len(), 1);
+        assert_eq!(parsed.constant_pool.count_field(), original.constant_pool.count_field());
+    }
+
+    #[test]
+    fn parsed_structure_validates() {
+        let bytes = sample().to_bytes();
+        parse(&bytes).unwrap().validate().unwrap();
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes[0] = 0xDE;
+        assert!(matches!(parse(&bytes), Err(ParseError::BadMagic(_))));
+    }
+
+    #[test]
+    fn truncation_rejected_everywhere() {
+        let bytes = sample().to_bytes();
+        // Every strict prefix must fail cleanly, never panic.
+        for cut in 0..bytes.len() {
+            let r = parse(&bytes[..cut]);
+            assert!(r.is_err(), "prefix of {cut} bytes unexpectedly parsed");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes.push(0);
+        assert!(matches!(parse(&bytes), Err(ParseError::TrailingBytes { count: 1 })));
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes[10] = 99; // first constant's tag byte
+        assert!(matches!(parse(&bytes), Err(ParseError::BadTag { tag: 99, .. })));
+    }
+
+    #[test]
+    fn workload_classes_roundtrip() {
+        // The real benchmark class files parse back byte-exactly.
+        let class = {
+            let mut b = ClassFileBuilder::new("x/Big");
+            for i in 0..40 {
+                b.pool_mut().string(&format!("str{i}")).unwrap();
+                b.add_method(MethodData::new(format!("m{i}"), "()V", vec![0xB1])).unwrap();
+            }
+            b.build().unwrap()
+        };
+        let bytes = class.to_bytes();
+        assert_eq!(parse(&bytes).unwrap().to_bytes(), bytes);
+    }
+}

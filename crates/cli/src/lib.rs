@@ -1,0 +1,558 @@
+//! # nonstrict-cli
+//!
+//! The `nonstrict` command-line tool: inspect benchmark class files,
+//! compute first-use orderings, partition global data, and simulate
+//! remote execution — the whole pipeline from one binary.
+//!
+//! ```text
+//! nonstrict list
+//! nonstrict inspect jess --class 3
+//! nonstrict disasm testdes --class 1 --method 5
+//! nonstrict order jhlzip --source scg
+//! nonstrict partition bit
+//! nonstrict simulate jess --link modem --ordering train --transfer interleaved --partitioned
+//! ```
+//!
+//! Argument parsing is hand-rolled (the workspace carries no CLI
+//! dependency); [`run`] is the testable entry point, returning the text
+//! it would print.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+
+use nonstrict_bytecode::{Application, Input};
+use nonstrict_classfile::{Attribute, GlobalDataBreakdown};
+use nonstrict_core::metrics::{cycles_to_seconds, normalized_percent};
+use nonstrict_core::model::{
+    DataLayout, ExecutionModel, OrderingSource, SimConfig, TransferPolicy,
+};
+use nonstrict_core::sim::Session;
+use nonstrict_netsim::Link;
+use nonstrict_reorder::{partition_app, static_first_use, static_first_use_plain};
+
+/// A CLI failure: a message and the exit code to use.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError {
+    /// Human-readable message.
+    pub message: String,
+    /// Suggested process exit code.
+    pub code: i32,
+}
+
+impl CliError {
+    fn usage(msg: impl Into<String>) -> CliError {
+        CliError { message: msg.into(), code: 2 }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// The usage text.
+pub const USAGE: &str = "\
+nonstrict — non-strict execution for mobile programs
+
+USAGE:
+  nonstrict list
+  nonstrict inspect  <benchmark> [--class N]
+  nonstrict disasm   <benchmark> [--class N] [--method M]
+  nonstrict order    <benchmark> [--source scg|plain|train|test]
+  nonstrict partition <benchmark>
+  nonstrict simulate <benchmark> [--link t1|modem] [--ordering scg|train|test|source]
+                                 [--transfer strict|par1|par2|par4|parinf|interleaved]
+                                 [--partitioned] [--strict-execution]
+  nonstrict timeline <benchmark> [--link t1|modem] [--ordering scg|train|test]
+
+BENCHMARKS: bit, hanoi, javacup, jess, jhlzip, testdes";
+
+/// Runs the CLI on `args` (without the program name), returning the
+/// output text.
+///
+/// # Errors
+///
+/// [`CliError`] with a message and exit code on bad usage or benchmark
+/// faults.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let Some(command) = args.first() else {
+        return Err(CliError::usage(USAGE));
+    };
+    match command.as_str() {
+        "list" => cmd_list(),
+        "inspect" => cmd_inspect(&parse_flags(args)?),
+        "disasm" => cmd_disasm(&parse_flags(args)?),
+        "order" => cmd_order(&parse_flags(args)?),
+        "partition" => cmd_partition(&parse_flags(args)?),
+        "simulate" => cmd_simulate(&parse_flags(args)?),
+        "timeline" => cmd_timeline(&parse_flags(args)?),
+        "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
+        other => Err(CliError::usage(format!("unknown command {other:?}\n\n{USAGE}"))),
+    }
+}
+
+/// Parsed command arguments: one positional benchmark plus `--key value`
+/// and `--flag` options.
+#[derive(Debug, Default)]
+struct Flags {
+    benchmark: Option<String>,
+    options: std::collections::HashMap<String, String>,
+}
+
+impl Flags {
+    fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    fn has(&self, key: &str) -> bool {
+        self.options.contains_key(key)
+    }
+
+    fn app(&self) -> Result<Application, CliError> {
+        let name = self
+            .benchmark
+            .as_deref()
+            .ok_or_else(|| CliError::usage("missing <benchmark> argument"))?;
+        nonstrict_workloads::build_by_name(name).ok_or_else(|| {
+            CliError::usage(format!(
+                "unknown benchmark {name:?}; expected one of {:?}",
+                nonstrict_workloads::BENCHMARK_NAMES
+            ))
+        })
+    }
+
+    fn usize_opt(&self, key: &str) -> Result<Option<usize>, CliError> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| CliError::usage(format!("--{key} expects a number, got {v:?}"))),
+        }
+    }
+}
+
+/// Keys that take a value; everything else `--x` is a boolean flag.
+const VALUE_KEYS: [&str; 6] = ["class", "method", "source", "link", "ordering", "transfer"];
+
+fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
+    let mut flags = Flags::default();
+    let mut it = args.iter().skip(1).peekable();
+    while let Some(a) = it.next() {
+        if let Some(key) = a.strip_prefix("--") {
+            if VALUE_KEYS.contains(&key) {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::usage(format!("--{key} needs a value")))?;
+                flags.options.insert(key.to_owned(), v.clone());
+            } else {
+                flags.options.insert(key.to_owned(), String::new());
+            }
+        } else if flags.benchmark.is_none() {
+            flags.benchmark = Some(a.clone());
+        } else {
+            return Err(CliError::usage(format!("unexpected argument {a:?}")));
+        }
+    }
+    Ok(flags)
+}
+
+fn cmd_list() -> Result<String, CliError> {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<10} {:>7} {:>8} {:>9} {:>6}",
+        "benchmark", "classes", "methods", "size KB", "CPI"
+    );
+    for app in nonstrict_workloads::build_all() {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>7} {:>8} {:>9.1} {:>6}",
+            app.name,
+            app.classes.len(),
+            app.program.method_count(),
+            app.total_size() as f64 / 1024.0,
+            app.cpi
+        );
+    }
+    Ok(out)
+}
+
+fn cmd_inspect(flags: &Flags) -> Result<String, CliError> {
+    let app = flags.app()?;
+    let mut out = String::new();
+    match flags.usize_opt("class")? {
+        Some(ci) => {
+            let class = app.classes.get(ci).ok_or_else(|| {
+                CliError::usage(format!("class {ci} out of range (0..{})", app.classes.len()))
+            })?;
+            let name = class.name().map_err(|e| CliError::usage(e.to_string()))?;
+            let _ = writeln!(out, "class {name} ({} bytes)", class.total_size());
+            let _ = writeln!(
+                out,
+                "  global data: {} bytes ({} pool entries)",
+                class.global_data_size(),
+                class.constant_pool.len()
+            );
+            let b = GlobalDataBreakdown::of(class);
+            let [cpool, field, attrib, intfc] = b.section_percentages();
+            let _ = writeln!(
+                out,
+                "  breakdown: cpool {cpool:.1}%  fields {field:.1}%  attribs {attrib:.1}%  interfaces {intfc:.1}%"
+            );
+            for (mi, m) in class.methods.iter().enumerate() {
+                let mname = class.method_name(mi).unwrap_or("?");
+                let _ = writeln!(
+                    out,
+                    "  method {mi:>3}: {mname:<28} code {:>5}B  local data {:>5}B",
+                    m.code_size(),
+                    m.local_data_size()
+                );
+            }
+        }
+        None => {
+            let _ = writeln!(out, "{} — {} classes", app.name, app.classes.len());
+            for (ci, class) in app.classes.iter().enumerate() {
+                let name = class.name().map_err(|e| CliError::usage(e.to_string()))?;
+                let _ = writeln!(
+                    out,
+                    "  {ci:>3}: {:<40} {:>7}B  ({} methods, {}B global)",
+                    name.0,
+                    class.total_size(),
+                    class.methods.len(),
+                    class.global_data_size()
+                );
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_disasm(flags: &Flags) -> Result<String, CliError> {
+    let app = flags.app()?;
+    let ci = flags.usize_opt("class")?.unwrap_or(0);
+    let class = app
+        .classes
+        .get(ci)
+        .ok_or_else(|| CliError::usage(format!("class {ci} out of range")))?;
+    let mut out = String::new();
+    let targets: Vec<usize> = match flags.usize_opt("method")? {
+        Some(mi) if mi < class.methods.len() => vec![mi],
+        Some(mi) => return Err(CliError::usage(format!("method {mi} out of range"))),
+        None => (0..class.methods.len()).collect(),
+    };
+    for mi in targets {
+        let m = &class.methods[mi];
+        let name = class.method_name(mi).unwrap_or("?");
+        let _ = writeln!(out, "method {mi}: {name}");
+        if let Some(Attribute::Code { code, max_stack, max_locals, .. }) = m.code_attribute() {
+            let _ = writeln!(out, "  stack={max_stack}, locals={max_locals}, {} bytes", code.len());
+            let text = nonstrict_bytecode::listing(code, &class.constant_pool)
+                .map_err(|e| CliError { message: e.to_string(), code: 1 })?;
+            out.push_str(&text);
+        } else {
+            let _ = writeln!(out, "  (no code)");
+        }
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+fn cmd_order(flags: &Flags) -> Result<String, CliError> {
+    let app = flags.app()?;
+    let source = flags.get("source").unwrap_or("scg");
+    let order = match source {
+        "scg" => static_first_use(&app.program),
+        "plain" => static_first_use_plain(&app.program),
+        "train" | "test" => {
+            let input = if source == "train" { Input::Train } else { Input::Test };
+            let collected = nonstrict_profile::collect(&app, input)
+                .map_err(|e| CliError { message: e.to_string(), code: 1 })?;
+            nonstrict_reorder::FirstUseOrder::from_profile(
+                &app.program,
+                &collected.profile,
+                &static_first_use(&app.program),
+            )
+        }
+        other => {
+            return Err(CliError::usage(format!(
+                "unknown ordering source {other:?}; use scg|plain|train|test"
+            )))
+        }
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "{} first-use order ({source}):", app.name);
+    for (i, &m) in order.order().iter().enumerate() {
+        let class = &app.program.class(m.class);
+        let method = &app.program.method(m);
+        let _ = writeln!(out, "{:>5}. {}::{}", i + 1, class.name, method.name);
+    }
+    Ok(out)
+}
+
+fn cmd_partition(flags: &Flags) -> Result<String, CliError> {
+    let app = flags.app()?;
+    let parts = partition_app(&app);
+    let summary = nonstrict_reorder::partition::summarize(&app, &parts);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{}: local {:.1} KB, global {:.1} KB — needed-first {:.1}%, in-methods {:.1}%, unused {:.1}%",
+        app.name,
+        summary.local_kb,
+        summary.global_kb,
+        summary.pct_needed_first,
+        summary.pct_in_methods,
+        summary.pct_unused
+    );
+    let _ = writeln!(
+        out,
+        "{:<42} {:>9} {:>12} {:>11} {:>8}",
+        "class", "global B", "needed-first", "in-methods", "unused"
+    );
+    for (ci, p) in parts.iter().enumerate() {
+        let name = app.classes[ci].name().map_err(|e| CliError::usage(e.to_string()))?;
+        let _ = writeln!(
+            out,
+            "{:<42} {:>9} {:>12} {:>11} {:>8}",
+            name.0, p.global_total, p.needed_first, p.in_methods, p.unused
+        );
+    }
+    Ok(out)
+}
+
+fn cmd_simulate(flags: &Flags) -> Result<String, CliError> {
+    let app = flags.app()?;
+    let link = match flags.get("link").unwrap_or("modem") {
+        "t1" => Link::T1,
+        "modem" => Link::MODEM_28_8,
+        other => return Err(CliError::usage(format!("unknown link {other:?}; use t1|modem"))),
+    };
+    let ordering = match flags.get("ordering").unwrap_or("scg") {
+        "scg" => OrderingSource::StaticCallGraph,
+        "train" => OrderingSource::TrainProfile,
+        "test" => OrderingSource::TestProfile,
+        "source" => OrderingSource::SourceOrder,
+        other => {
+            return Err(CliError::usage(format!(
+                "unknown ordering {other:?}; use scg|train|test|source"
+            )))
+        }
+    };
+    let transfer = match flags.get("transfer").unwrap_or("par4") {
+        "strict" => TransferPolicy::Strict,
+        "par1" => TransferPolicy::Parallel { limit: 1 },
+        "par2" => TransferPolicy::Parallel { limit: 2 },
+        "par4" => TransferPolicy::Parallel { limit: 4 },
+        "parinf" => TransferPolicy::Parallel { limit: usize::MAX },
+        "interleaved" => TransferPolicy::Interleaved,
+        other => {
+            return Err(CliError::usage(format!(
+                "unknown transfer {other:?}; use strict|par1|par2|par4|parinf|interleaved"
+            )))
+        }
+    };
+    let config = SimConfig {
+        link,
+        ordering,
+        transfer,
+        data_layout: if flags.has("partitioned") {
+            DataLayout::Partitioned
+        } else {
+            DataLayout::Whole
+        },
+        execution: if flags.has("strict-execution") {
+            ExecutionModel::Strict
+        } else {
+            ExecutionModel::NonStrict
+        },
+    };
+
+    let session =
+        Session::new(app).map_err(|e| CliError { message: e.to_string(), code: 1 })?;
+    let base = session.simulate(Input::Test, &SimConfig::strict(link));
+    let r = session.simulate(Input::Test, &config);
+    let mut out = String::new();
+    let _ = writeln!(out, "{} over {} — {:?}", session.app.name, link.name, config);
+    let _ = writeln!(
+        out,
+        "  total:              {:>12} cycles ({:.2} s on the 500MHz Alpha)",
+        r.total_cycles,
+        cycles_to_seconds(r.total_cycles)
+    );
+    let _ = writeln!(
+        out,
+        "  normalized:         {:>11.1}% of the strict baseline ({} cycles)",
+        normalized_percent(r.total_cycles, base.total_cycles),
+        base.total_cycles
+    );
+    let _ = writeln!(
+        out,
+        "  invocation latency: {:>12} cycles ({:.2} s; strict {:.2} s)",
+        r.invocation_latency,
+        cycles_to_seconds(r.invocation_latency),
+        cycles_to_seconds(base.invocation_latency)
+    );
+    let _ = writeln!(out, "  stalls:             {:>12} ({} cycles)", r.stalls, r.stall_cycles);
+    let _ = writeln!(
+        out,
+        "  linker:             {} classes verified, {} methods verified, {} resolved",
+        r.link_stats.classes_verified, r.link_stats.methods_verified, r.link_stats.methods_resolved
+    );
+    Ok(out)
+}
+
+fn cmd_timeline(flags: &Flags) -> Result<String, CliError> {
+    use nonstrict_netsim::{class_units, greedy_schedule, ParallelEngine, TransferEngine, Weights, DELIMITER_BYTES};
+    use nonstrict_reorder::restructure;
+
+    let app = flags.app()?;
+    let link = match flags.get("link").unwrap_or("modem") {
+        "t1" => Link::T1,
+        "modem" => Link::MODEM_28_8,
+        other => return Err(CliError::usage(format!("unknown link {other:?}; use t1|modem"))),
+    };
+    let order = match flags.get("ordering").unwrap_or("scg") {
+        "scg" => static_first_use(&app.program),
+        "train" | "test" => {
+            let input =
+                if flags.get("ordering") == Some("train") { Input::Train } else { Input::Test };
+            let collected = nonstrict_profile::collect(&app, input)
+                .map_err(|e| CliError { message: e.to_string(), code: 1 })?;
+            nonstrict_reorder::FirstUseOrder::from_profile(
+                &app.program,
+                &collected.profile,
+                &static_first_use(&app.program),
+            )
+        }
+        other => return Err(CliError::usage(format!("unknown ordering {other:?}"))),
+    };
+    let r = restructure(&app, &order);
+    let units = class_units(&app, &r, None, DELIMITER_BYTES);
+    let schedule = greedy_schedule(&app, &order, &units, &r.layouts, Weights::Static);
+    let mut engine = ParallelEngine::new(link, units.clone(), &schedule, 4);
+    let finish = engine.finish_time();
+
+    const WIDTH: usize = 64;
+    let col = |t: u64| -> usize { (t as u128 * WIDTH as u128 / finish.max(1) as u128) as usize };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} over {}: parallel(4) transfer timeline, {} total cycles",
+        app.name, link.name, finish
+    );
+    let _ = writeln!(out, "{:<36} |{}|", "class (in schedule order)", "-".repeat(WIDTH));
+    for &c in &schedule.class_order {
+        let first = engine.recorded_arrival(c, 0).unwrap_or(finish);
+        let last = engine
+            .recorded_arrival(c, units[c].unit_count() - 1)
+            .unwrap_or(finish);
+        let (a, b) = (col(first).min(WIDTH - 1), col(last).min(WIDTH - 1));
+        let mut bar = vec![b' '; WIDTH];
+        bar[a..=b].fill(b'#');
+        let name = app.classes[c].name().map_err(|e| CliError::usage(e.to_string()))?;
+        let shown: String = name.0.chars().rev().take(34).collect::<Vec<_>>().into_iter().rev().collect();
+        let _ = writeln!(out, "{:<36} |{}|", shown, String::from_utf8(bar).expect("ascii"));
+    }
+    let _ = writeln!(out, "(# spans prelude-arrival .. last-unit-arrival)");
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_str(args: &[&str]) -> Result<String, CliError> {
+        let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        run(&v)
+    }
+
+    #[test]
+    fn list_shows_all_benchmarks() {
+        let out = run_str(&["list"]).unwrap();
+        for name in nonstrict_workloads::BENCHMARK_NAMES {
+            assert!(out.contains(name), "{out}");
+        }
+    }
+
+    #[test]
+    fn no_command_is_usage_error() {
+        let err = run(&[]).unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_benchmark_is_reported() {
+        let err = run_str(&["inspect", "nope"]).unwrap_err();
+        assert!(err.message.contains("unknown benchmark"));
+    }
+
+    #[test]
+    fn inspect_class_lists_methods() {
+        let out = run_str(&["inspect", "hanoi", "--class", "1"]).unwrap();
+        assert!(out.contains("hanoi/Solver"), "{out}");
+        assert!(out.contains("solve"), "{out}");
+        assert!(out.contains("moveDisk"), "{out}");
+    }
+
+    #[test]
+    fn disasm_renders_bytecode() {
+        let out = run_str(&["disasm", "hanoi", "--class", "1", "--method", "1"]).unwrap();
+        assert!(out.contains("solve"), "{out}");
+        assert!(out.contains("invokestatic"), "{out}");
+        assert!(out.contains("iload"), "{out}");
+    }
+
+    #[test]
+    fn order_sources_differ() {
+        let scg = run_str(&["order", "hanoi", "--source", "scg"]).unwrap();
+        let plain = run_str(&["order", "hanoi", "--source", "plain"]).unwrap();
+        assert!(scg.lines().count() == plain.lines().count());
+        assert!(scg.contains("hanoi/Solver::solve"));
+    }
+
+    #[test]
+    fn partition_reports_every_class() {
+        let out = run_str(&["partition", "testdes"]).unwrap();
+        assert!(out.contains("des/TestDes"), "{out}");
+        assert!(out.contains("des/Tables"), "{out}");
+        assert!(out.contains("needed-first"), "{out}");
+    }
+
+    #[test]
+    fn simulate_reports_normalized_time() {
+        let out = run_str(&[
+            "simulate",
+            "hanoi",
+            "--link",
+            "modem",
+            "--ordering",
+            "test",
+            "--transfer",
+            "interleaved",
+        ])
+        .unwrap();
+        assert!(out.contains("normalized"), "{out}");
+        assert!(out.contains("invocation latency"), "{out}");
+    }
+
+    #[test]
+    fn timeline_draws_every_class() {
+        let out = run_str(&["timeline", "hanoi", "--link", "t1"]).unwrap();
+        assert!(out.contains("hanoi/Solver"), "{out}");
+        assert!(out.contains('#'), "{out}");
+        assert_eq!(out.lines().filter(|l| l.contains('|')).count(), 4); // header + 3 classes
+    }
+
+    #[test]
+    fn flag_value_missing_is_usage_error() {
+        let err = run_str(&["simulate", "hanoi", "--link"]).unwrap_err();
+        assert!(err.message.contains("needs a value"));
+    }
+}

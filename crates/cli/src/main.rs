@@ -1,0 +1,12 @@
+//! The `nonstrict` binary: see [`nonstrict_cli::USAGE`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match nonstrict_cli::run(&args) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(e.code);
+        }
+    }
+}

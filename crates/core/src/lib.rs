@@ -1,0 +1,41 @@
+//! # nonstrict-core
+//!
+//! The paper's primary contribution, assembled: **non-strict execution**
+//! of mobile programs with transfer/execution overlap, plus the
+//! cycle-level co-simulation that evaluates it.
+//!
+//! * [`model`] — one configuration type ([`model::SimConfig`]) spanning
+//!   the paper's whole design space: execution model (strict vs
+//!   non-strict), ordering source (source order, static call graph,
+//!   Train profile, Test profile), transfer policy (strict sequential,
+//!   parallel with a concurrent-file limit, interleaved), and data
+//!   layout (whole vs partitioned globals).
+//! * [`linker`] — the incremental JVM linking model of §3.1:
+//!   verification steps keyed to what has arrived, preparation at
+//!   global-data arrival, lazy resolution at first execution.
+//! * [`sim`] — the event-driven co-simulator: replays a real execution
+//!   trace against a transfer engine, stalling at method delimiters that
+//!   have not arrived ([`sim::simulate`] / [`sim::Session`]).
+//! * [`metrics`] — normalized execution time and reduction helpers.
+//! * [`jit`] — the paper's §8 extension, implemented: JIT compilation
+//!   overlapped with transfer versus inline compile-at-first-use.
+//! * [`experiment`] — one runner per paper table and figure
+//!   (Tables 2–10, Figure 6), with the paper's published numbers for
+//!   side-by-side comparison.
+//! * [`report`] — paper-style text rendering of every experiment.
+//! * [`export`] — CSV export of every experiment for plotting/regression.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiment;
+pub mod export;
+pub mod jit;
+pub mod linker;
+pub mod metrics;
+pub mod model;
+pub mod report;
+pub mod sim;
+
+pub use model::{DataLayout, ExecutionModel, OrderingSource, SimConfig, TransferPolicy};
+pub use sim::{simulate, Session, SimResult};

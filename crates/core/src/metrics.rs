@@ -1,0 +1,66 @@
+//! Result metrics, normalized the way the paper reports them.
+
+/// Normalized execution time as a percent of the strict baseline
+/// (§7.2): 60 means 60% of the base — a 40% improvement. Smaller is
+/// better.
+#[must_use]
+pub fn normalized_percent(cycles: u64, baseline_cycles: u64) -> f64 {
+    if baseline_cycles == 0 {
+        return 0.0;
+    }
+    100.0 * cycles as f64 / baseline_cycles as f64
+}
+
+/// Percent reduction relative to a baseline (Table 4's parenthesized
+/// numbers). Positive means improvement.
+#[must_use]
+pub fn reduction_percent(cycles: u64, baseline_cycles: u64) -> f64 {
+    100.0 - normalized_percent(cycles, baseline_cycles)
+}
+
+/// Arithmetic mean, for the paper's "AVG" rows.
+#[must_use]
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Converts cycles on the paper's 500 MHz Alpha to seconds (the
+/// parenthesized seconds in Table 3).
+#[must_use]
+pub fn cycles_to_seconds(cycles: u64) -> f64 {
+    cycles as f64 / 500.0e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalized_examples_from_the_paper() {
+        // "a percent normalized execution time of 60 means ... a 40%
+        // improvement"
+        assert!((normalized_percent(60, 100) - 60.0).abs() < 1e-12);
+        assert!((reduction_percent(60, 100) - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_baseline_is_safe() {
+        assert_eq!(normalized_percent(5, 0), 0.0);
+    }
+
+    #[test]
+    fn mean_handles_empty_and_typical() {
+        assert_eq!(mean(&[]), 0.0);
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn seconds_on_a_500mhz_alpha() {
+        // Table 3: 1141 Mcycles ≈ 2.3 s
+        let s = cycles_to_seconds(1_141_000_000);
+        assert!((s - 2.282).abs() < 0.01);
+    }
+}

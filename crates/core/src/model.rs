@@ -1,0 +1,152 @@
+//! Simulation configuration: the paper's design space as one type.
+
+use nonstrict_netsim::Link;
+
+/// How method first-use order is predicted (§4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OrderingSource {
+    /// No restructuring: methods stay in source order (the baseline
+    /// layout).
+    SourceOrder,
+    /// Static first-use estimation over the interprocedural CFG (§4.1) —
+    /// the paper's "SCG" columns.
+    StaticCallGraph,
+    /// First-use profile from the **Train** input (§4.2) — realistic
+    /// profile guidance.
+    TrainProfile,
+    /// First-use profile from the **Test** input — perfect prediction,
+    /// the paper's upper bound.
+    TestProfile,
+}
+
+impl OrderingSource {
+    /// The paper's column label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            OrderingSource::SourceOrder => "Src",
+            OrderingSource::StaticCallGraph => "SCG",
+            OrderingSource::TrainProfile => "Train",
+            OrderingSource::TestProfile => "Test",
+        }
+    }
+}
+
+/// How bytes move (§5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransferPolicy {
+    /// One class at a time, to completion, full bandwidth — the 1998
+    /// JVM's behaviour.
+    Strict,
+    /// Parallel file transfer: up to `limit` classes share bandwidth,
+    /// started by the greedy dependency schedule, corrected by demand
+    /// fetches (§5.1). Use `usize::MAX` for the paper's "Inf." column.
+    Parallel {
+        /// Maximum concurrently transferring class files.
+        limit: usize,
+    },
+    /// The single virtual interleaved file (§5.2).
+    Interleaved,
+}
+
+impl TransferPolicy {
+    /// Short label for reports.
+    #[must_use]
+    pub fn label(self) -> String {
+        match self {
+            TransferPolicy::Strict => "strict".to_owned(),
+            TransferPolicy::Parallel { limit: usize::MAX } => "par(inf)".to_owned(),
+            TransferPolicy::Parallel { limit } => format!("par({limit})"),
+            TransferPolicy::Interleaved => "ilv".to_owned(),
+        }
+    }
+}
+
+/// When a method may begin executing (§3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecutionModel {
+    /// A method runs only after its whole class file arrived.
+    Strict,
+    /// A method runs once the class's global data and the method's own
+    /// data, code, and delimiter arrived.
+    NonStrict,
+}
+
+/// How each class's global data is laid out on the wire (§7.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataLayout {
+    /// All global data precedes the first method.
+    Whole,
+    /// Needed-first slice up front, per-method GMD chunks, unused data
+    /// trailing.
+    Partitioned,
+}
+
+/// One complete simulation configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SimConfig {
+    /// The network link.
+    pub link: Link,
+    /// First-use ordering source.
+    pub ordering: OrderingSource,
+    /// Transfer policy.
+    pub transfer: TransferPolicy,
+    /// Global-data layout.
+    pub data_layout: DataLayout,
+    /// Execution model.
+    pub execution: ExecutionModel,
+}
+
+impl SimConfig {
+    /// The paper's baseline: strict execution, strict sequential
+    /// transfer, source order, whole globals. Its total time is exactly
+    /// `transfer + execution` with no overlap (Table 3).
+    #[must_use]
+    pub fn strict(link: Link) -> Self {
+        SimConfig {
+            link,
+            ordering: OrderingSource::SourceOrder,
+            transfer: TransferPolicy::Strict,
+            data_layout: DataLayout::Whole,
+            execution: ExecutionModel::Strict,
+        }
+    }
+
+    /// A typical non-strict configuration: restructured by `ordering`,
+    /// parallel transfer with the HTTP/1.1-style limit of four.
+    #[must_use]
+    pub fn non_strict(link: Link, ordering: OrderingSource) -> Self {
+        SimConfig {
+            link,
+            ordering,
+            transfer: TransferPolicy::Parallel { limit: 4 },
+            data_layout: DataLayout::Whole,
+            execution: ExecutionModel::NonStrict,
+        }
+    }
+
+    /// Whether this is the no-overlap strict baseline.
+    #[must_use]
+    pub fn is_baseline(&self) -> bool {
+        self.execution == ExecutionModel::Strict && self.transfer == TransferPolicy::Strict
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper_columns() {
+        assert_eq!(OrderingSource::StaticCallGraph.label(), "SCG");
+        assert_eq!(OrderingSource::TrainProfile.label(), "Train");
+        assert_eq!(TransferPolicy::Parallel { limit: 4 }.label(), "par(4)");
+        assert_eq!(TransferPolicy::Parallel { limit: usize::MAX }.label(), "par(inf)");
+    }
+
+    #[test]
+    fn baseline_detection() {
+        assert!(SimConfig::strict(Link::T1).is_baseline());
+        assert!(!SimConfig::non_strict(Link::T1, OrderingSource::StaticCallGraph).is_baseline());
+    }
+}

@@ -1,0 +1,419 @@
+//! Paper-style text rendering of every experiment, with the published
+//! numbers alongside for direct comparison.
+
+use std::fmt::Write as _;
+
+use crate::experiment::{
+    self, paper, InterleavedTable, ParallelTable, Suite, Table3Row, Table4Row, Table8Row,
+    Table9Row,
+};
+use crate::model::DataLayout;
+
+/// Paper row index for a benchmark name (render functions accept
+/// partial suites; unknown names fall back to row 0).
+fn pidx(name: &str) -> usize {
+    paper::NAMES.iter().position(|n| n.eq_ignore_ascii_case(name)).unwrap_or(0)
+}
+
+/// Renders Table 2 (program statistics) with paper values.
+#[must_use]
+pub fn render_table2(suite: &Suite) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 2: General Statistics (measured | paper)");
+    let _ = writeln!(
+        out,
+        "{:8} {:>5} {:>9} {:>12} {:>12} {:>9} {:>7} {:>7} {:>6}",
+        "Program", "Files", "Size KB", "DynTest K", "DynTrain K", "StaticK", "%Exec", "Methods", "I/M"
+    );
+    for (row, p) in experiment::table2(suite).iter().zip(paper::NAMES.iter().map(|n| {
+        nonstrict_workloads::stats::paper_row(n).expect("paper row")
+    })) {
+        let _ = writeln!(
+            out,
+            "{:8} {:>5} {:>4.0}|{:<4.0} {:>5.0}|{:<6.0} {:>5.0}|{:<6.0} {:>4.1}|{:<4.1} {:>3.0}|{:<3.0} {:>7} {:>3.0}|{:<3.0}",
+            row.name,
+            row.total_files,
+            row.size_kb,
+            p.size_kb,
+            row.dyn_test_k,
+            p.dyn_test_k,
+            row.dyn_train_k,
+            p.dyn_train_k,
+            row.static_k,
+            p.static_k,
+            row.executed_pct,
+            p.executed_pct,
+            row.total_methods,
+            row.instrs_per_method,
+            p.instrs_per_method,
+        );
+    }
+    out
+}
+
+/// Renders Table 3 (base case) with paper values.
+#[must_use]
+pub fn render_table3(rows: &[Table3Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 3: Base Case (measured | paper)");
+    let _ = writeln!(
+        out,
+        "{:8} {:>6} {:>10} {:>16} {:>14} {:>18} {:>14}",
+        "Program", "CPI", "Exec Mcyc", "T1 Xfer Mcyc", "T1 %Xfer", "Modem Xfer Mcyc", "Modem %Xfer"
+    );
+    for r in rows {
+        let (_cpi, exec, t1x, t1p, mox, mop) = paper::TABLE3[pidx(&r.name)];
+        let _ = writeln!(
+            out,
+            "{:8} {:>6} {:>5.0}|{:<5} {:>7.0}|{:<6} {:>6.1}|{:<5.1} {:>8.0}|{:<7} {:>6.1}|{:<5.1}",
+            r.name,
+            r.cpi,
+            r.exec_mcycles,
+            exec,
+            r.t1.transfer_mcycles,
+            t1x,
+            r.t1.pct_transfer,
+            t1p,
+            r.modem.transfer_mcycles,
+            mox,
+            r.modem.pct_transfer,
+            mop,
+        );
+    }
+    out
+}
+
+/// Renders Table 4 (invocation latency) with paper values.
+#[must_use]
+pub fn render_table4(rows: &[Table4Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 4: Invocation Latency, Mcycles (measured | paper)");
+    let _ = writeln!(
+        out,
+        "{:8} {:>14} {:>16} {:>16}   {:>14} {:>16} {:>16}",
+        "Program",
+        "T1 Strict",
+        "T1 NonStrict",
+        "T1 DataPart",
+        "Mo Strict",
+        "Mo NonStrict",
+        "Mo DataPart"
+    );
+    for r in rows {
+        let p = paper::TABLE4[pidx(&r.name)];
+        let _ = writeln!(
+            out,
+            "{:8} {:>6.0}|{:<5.0} {:>6.0}({:>3.0}%)|{:<4.0} {:>6.0}({:>3.0}%)|{:<4.0}  {:>6.0}|{:<5.0} {:>6.0}({:>3.0}%)|{:<4.0} {:>6.0}({:>3.0}%)|{:<4.0}",
+            r.name,
+            r.t1.strict,
+            p.0,
+            r.t1.non_strict,
+            r.t1.non_strict_reduction,
+            p.1,
+            r.t1.partitioned,
+            r.t1.partitioned_reduction,
+            p.2,
+            r.modem.strict,
+            p.3,
+            r.modem.non_strict,
+            r.modem.non_strict_reduction,
+            p.4,
+            r.modem.partitioned,
+            r.modem.partitioned_reduction,
+            p.5,
+        );
+    }
+    out
+}
+
+/// Renders a parallel-transfer table (Table 5 or 6) with paper values.
+#[must_use]
+pub fn render_parallel(table: &ParallelTable) -> String {
+    let paper_rows: Option<&[[paper::ParallelRow; 3]; 6]> =
+        if table.data_layout == DataLayout::Whole {
+            if table.link == nonstrict_netsim::Link::T1 {
+                Some(&paper::TABLE5_T1)
+            } else {
+                Some(&paper::TABLE6_MODEM)
+            }
+        } else {
+            None
+        };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table {}: Parallel File Transfer, {} link — normalized % (measured | paper)",
+        if table.link == nonstrict_netsim::Link::T1 { "5" } else { "6" },
+        table.link.name
+    );
+    let _ = writeln!(
+        out,
+        "{:8} | {:^31} | {:^31} | {:^31}",
+        "Program", "SCG  1 / 2 / 4 / inf", "Train  1 / 2 / 4 / inf", "Test  1 / 2 / 4 / inf"
+    );
+    for row in &table.rows {
+        let i = pidx(&row.name);
+        let _ = write!(out, "{:8} |", row.name);
+        for o in 0..3 {
+            for l in 0..4 {
+                match paper_rows {
+                    Some(p) => {
+                        let _ = write!(out, " {:>3.0}|{:<3.0}", row.cells[o][l], p[i][o][l]);
+                    }
+                    None => {
+                        let _ = write!(out, " {:>5.1}", row.cells[o][l]);
+                    }
+                }
+            }
+            let _ = write!(out, " |");
+        }
+        let _ = writeln!(out);
+    }
+    let _ = write!(out, "{:8} |", "AVG");
+    let paper_avg = if table.link == nonstrict_netsim::Link::T1 {
+        &paper::TABLE5_T1_AVG
+    } else {
+        &paper::TABLE6_MODEM_AVG
+    };
+    for (o, row_avg) in table.avg.iter().enumerate() {
+        for (l, cell) in row_avg.iter().enumerate() {
+            if table.data_layout == DataLayout::Whole {
+                let _ = write!(out, " {:>3.0}|{:<3.0}", cell, paper_avg[o][l]);
+            } else {
+                let _ = write!(out, " {:>5.1}", cell);
+            }
+        }
+        let _ = write!(out, " |");
+    }
+    let _ = writeln!(out);
+    out
+}
+
+/// Renders an interleaved table (Table 7, or a Table 10 half).
+#[must_use]
+pub fn render_interleaved(table: &InterleavedTable, title: &str, paper_rows: Option<&[[f64; 6]]>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title} — normalized % (measured | paper)");
+    let _ = writeln!(
+        out,
+        "{:8} {:>10} {:>10} {:>10}   {:>10} {:>10} {:>10}",
+        "Program", "T1 SCG", "T1 Train", "T1 Test", "Mo SCG", "Mo Train", "Mo Test"
+    );
+    for row in &table.rows {
+        let i = pidx(&row.name);
+        let _ = write!(out, "{:8}", row.name);
+        for c in 0..6 {
+            match paper_rows {
+                Some(p) => {
+                    let _ = write!(out, " {:>4.0}|{:<4.0}", row.cols[c], p[i][c]);
+                }
+                None => {
+                    let _ = write!(out, " {:>9.1}", row.cols[c]);
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    let _ = write!(out, "{:8}", "AVG");
+    for c in 0..6 {
+        let _ = write!(out, " {:>9.1}", table.avg[c]);
+    }
+    let _ = writeln!(out);
+    out
+}
+
+/// Renders Table 8 with paper values.
+#[must_use]
+pub fn render_table8(rows: &[Table8Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 8: Global Data / Constant Pool breakdown, % (measured | paper)");
+    let _ = writeln!(
+        out,
+        "{:8} {:>11} {:>10} {:>10} {:>10}  | {:>11} {:>10} {:>10} {:>10} {:>10}",
+        "Program", "CPool", "Field", "Attrib", "Intfc", "Utf8", "Ints", "String", "MRef", "FRef"
+    );
+    for r in rows {
+        let pg = paper::TABLE8_GLOBAL[pidx(&r.name)];
+        let pp = paper::TABLE8_POOL[pidx(&r.name)];
+        let _ = writeln!(
+            out,
+            "{:8} {:>5.1}|{:<5.1} {:>4.1}|{:<4.1} {:>4.1}|{:<4.1} {:>4.1}|{:<4.1}  | {:>5.1}|{:<5.1} {:>4.1}|{:<4.1} {:>4.1}|{:<4.1} {:>4.1}|{:<4.1} {:>4.1}|{:<4.1}",
+            r.name,
+            r.global[0], pg[0], r.global[1], pg[1], r.global[2], pg[2], r.global[3], pg[3],
+            r.pool[0], pp[0], r.pool[1], pp[1], r.pool[5], pp[5], r.pool[8], pp[8], r.pool[7], pp[7],
+        );
+    }
+    out
+}
+
+/// Renders Table 9 with paper values.
+#[must_use]
+pub fn render_table9(rows: &[Table9Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 9: Data breakdown (measured | paper)");
+    let _ = writeln!(
+        out,
+        "{:8} {:>13} {:>13} {:>13} {:>13} {:>13}",
+        "Program", "Local KB", "Global KB", "%First", "%InMethods", "%Unused"
+    );
+    for r in rows {
+        let p = paper::TABLE9[pidx(&r.name)];
+        let s = &r.summary;
+        let _ = writeln!(
+            out,
+            "{:8} {:>6.1}|{:<6.1} {:>6.1}|{:<6.1} {:>5.1}|{:<5.0} {:>6.1}|{:<5.0} {:>5.1}|{:<5.0}",
+            r.name, s.local_kb, p.0, s.global_kb, p.1, s.pct_needed_first, p.2,
+            s.pct_in_methods, p.3, s.pct_unused, p.4,
+        );
+    }
+    out
+}
+
+/// Renders the Figure 6 summary with paper values.
+#[must_use]
+pub fn render_fig6(series: &[[f64; 6]; 4]) -> String {
+    let names = [
+        "Parallel File Transfer",
+        "PFT + Data Partitioned",
+        "Interleaved File Transfer",
+        "IFT + Data Partitioned",
+    ];
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 6: Average normalized execution time, % (measured | paper)");
+    let _ = writeln!(
+        out,
+        "{:26} {:>9} {:>9} {:>9}   {:>9} {:>9} {:>9}",
+        "Series", "T1 SCG", "T1 Train", "T1 Test", "Mo SCG", "Mo Train", "Mo Test"
+    );
+    for (i, s) in series.iter().enumerate() {
+        let _ = write!(out, "{:26}", names[i]);
+        for (c, v) in s.iter().enumerate() {
+            let _ = write!(out, " {:>4.0}|{:<4.0}", v, paper::FIG6[i][c]);
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Renders every table and the figure in paper order.
+#[must_use]
+pub fn render_all(suite: &Suite) -> String {
+    let mut out = String::new();
+    out.push_str(&render_table2(suite));
+    out.push('\n');
+    out.push_str(&render_table3(&experiment::table3(suite)));
+    out.push('\n');
+    out.push_str(&render_table4(&experiment::table4(suite)));
+    out.push('\n');
+    out.push_str(&render_parallel(&experiment::parallel_table(
+        suite,
+        nonstrict_netsim::Link::T1,
+        DataLayout::Whole,
+    )));
+    out.push('\n');
+    out.push_str(&render_parallel(&experiment::parallel_table(
+        suite,
+        nonstrict_netsim::Link::MODEM_28_8,
+        DataLayout::Whole,
+    )));
+    out.push('\n');
+    let t7 = experiment::interleaved_table(suite, DataLayout::Whole);
+    let t7_paper: Vec<[f64; 6]> = paper::TABLE7
+        .iter()
+        .map(|r| [r.0, r.1, r.2, r.3, r.4, r.5])
+        .collect();
+    out.push_str(&render_interleaved(&t7, "Table 7: Interleaved File Transfer", Some(&t7_paper)));
+    out.push('\n');
+    out.push_str(&render_table8(&experiment::table8(suite)));
+    out.push('\n');
+    out.push_str(&render_table9(&experiment::table9(suite)));
+    out.push('\n');
+    let (t10p, t10i) = experiment::table10(suite);
+    let t10p_paper: Vec<[f64; 6]> = paper::TABLE10.iter().map(|r| r.0).collect();
+    let t10i_paper: Vec<[f64; 6]> = paper::TABLE10.iter().map(|r| r.1).collect();
+    out.push_str(&render_interleaved(
+        &t10p,
+        "Table 10a: Parallel(4) + Data Partitioning",
+        Some(&t10p_paper),
+    ));
+    out.push('\n');
+    out.push_str(&render_interleaved(
+        &t10i,
+        "Table 10b: Interleaved + Data Partitioning",
+        Some(&t10i_paper),
+    ));
+    out.push('\n');
+    out.push_str(&render_fig6(&experiment::fig6(suite)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Session;
+
+    #[test]
+    fn single_app_report_renders() {
+        let session = Session::new(nonstrict_workloads::hanoi::build()).unwrap();
+        let suite = Suite { sessions: vec![session] };
+        let t3 = experiment::table3(&suite);
+        let text = render_table3(&t3);
+        assert!(text.contains("Hanoi"));
+        assert!(text.contains("Table 3"));
+        let t4 = experiment::table4(&suite);
+        assert!(render_table4(&t4).contains("Latency"));
+    }
+
+    #[test]
+    fn every_renderer_produces_labelled_output() {
+        let session = Session::new(nonstrict_workloads::hanoi::build()).unwrap();
+        let suite = Suite { sessions: vec![session] };
+
+        let t2 = render_table2(&suite);
+        assert!(t2.contains("Hanoi") && t2.contains("DynTest"));
+
+        let p = experiment::parallel_table(&suite, nonstrict_netsim::Link::T1, DataLayout::Whole);
+        let t5 = render_parallel(&p);
+        assert!(t5.contains("Parallel File Transfer") && t5.contains("AVG"));
+
+        let i = experiment::interleaved_table(&suite, DataLayout::Whole);
+        let t7 = render_interleaved(&i, "Table 7: test", None);
+        assert!(t7.contains("Table 7") && t7.contains("Mo Train"));
+
+        let t8 = render_table8(&experiment::table8(&suite));
+        assert!(t8.contains("CPool") && t8.contains("Utf8"));
+
+        let t9 = render_table9(&experiment::table9(&suite));
+        assert!(t9.contains("%InMethods"));
+
+        let f6 = render_fig6(&experiment::fig6(&suite));
+        assert!(f6.contains("Interleaved File Transfer"));
+        assert!(f6.contains("IFT + Data Partitioned"));
+    }
+
+    #[test]
+    fn parallel_renderer_pairs_measured_with_paper_cells() {
+        let session = Session::new(nonstrict_workloads::hanoi::build()).unwrap();
+        let suite = Suite { sessions: vec![session] };
+        let p = experiment::parallel_table(&suite, nonstrict_netsim::Link::T1, DataLayout::Whole);
+        let text = render_parallel(&p);
+        // Hanoi's paper row for T1 SCG limit-1 is 100; the measured|paper
+        // pair must surface it.
+        let hanoi_line = text.lines().find(|l| l.starts_with("Hanoi")).unwrap();
+        assert!(hanoi_line.contains("|100"), "{hanoi_line}");
+    }
+
+    #[test]
+    fn partitioned_parallel_renders_without_paper_columns() {
+        let session = Session::new(nonstrict_workloads::hanoi::build()).unwrap();
+        let suite = Suite { sessions: vec![session] };
+        let p = experiment::parallel_table(
+            &suite,
+            nonstrict_netsim::Link::T1,
+            DataLayout::Partitioned,
+        );
+        let text = render_parallel(&p);
+        let hanoi_line = text.lines().find(|l| l.starts_with("Hanoi")).unwrap();
+        assert!(!hanoi_line.contains('|'.to_string().repeat(2).as_str()));
+    }
+}

@@ -1,0 +1,423 @@
+//! The co-simulator: execution replay against a transfer engine.
+//!
+//! A real execution trace (from the interpreter) is replayed at the
+//! per-program CPI; every `Enter` event is a potential stall point where
+//! the paper's non-strict JVM checks for the method's delimiter. The
+//! transfer side is a fluid engine ([`nonstrict_netsim`]); both sides
+//! share one cycle clock, giving exactly the paper's "overlap execution
+//! with transfer" accounting, including demand fetches on misprediction
+//! and transfer termination when execution finishes first.
+
+use nonstrict_bytecode::{Application, Input, InterpError};
+use nonstrict_netsim::{
+    class_units, greedy_schedule, ClassUnits, InterleavedEngine, ParallelEngine, StrictEngine,
+    TransferEngine, Weights, DELIMITER_BYTES,
+};
+use nonstrict_profile::{collect, Collected, TraceEvent};
+use nonstrict_reorder::{
+    partition_app, restructure, static_first_use, ClassPartition, FirstUseOrder,
+    RestructuredApp,
+};
+
+use crate::linker::{IncrementalLinker, LinkStats};
+use crate::model::{DataLayout, ExecutionModel, OrderingSource, SimConfig, TransferPolicy};
+
+/// The outcome of one simulated remote execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimResult {
+    /// Total cycles from transfer initiation to program completion
+    /// (remaining transfer is terminated, as in the paper).
+    pub total_cycles: u64,
+    /// Pure execution cycles (dynamic instructions × CPI).
+    pub exec_cycles: u64,
+    /// Cycles spent stalled waiting for bytes.
+    pub stall_cycles: u64,
+    /// Invocation latency: cycles until the entry method could begin
+    /// (Table 4).
+    pub invocation_latency: u64,
+    /// Number of stall events.
+    pub stalls: u32,
+    /// Incremental-linking event counts (§3.1).
+    pub link_stats: LinkStats,
+}
+
+impl SimResult {
+    /// Overlap efficiency: fraction of total time the CPU was executing
+    /// rather than stalled (1.0 = transfer fully hidden after
+    /// invocation).
+    #[must_use]
+    pub fn busy_fraction(&self) -> f64 {
+        if self.total_cycles == 0 {
+            return 1.0;
+        }
+        self.exec_cycles as f64 / self.total_cycles as f64
+    }
+}
+
+/// A prepared benchmark: traces collected on both inputs, orderings and
+/// partitions computed once, ready to simulate any [`SimConfig`]
+/// cheaply.
+///
+/// ```
+/// use nonstrict_core::{OrderingSource, Session, SimConfig};
+/// use nonstrict_netsim::Link;
+/// use nonstrict_bytecode::Input;
+///
+/// # fn main() -> Result<(), nonstrict_bytecode::InterpError> {
+/// let session = Session::new(nonstrict_workloads::hanoi::build())?;
+/// let strict = session.simulate(Input::Test, &SimConfig::strict(Link::MODEM_28_8));
+/// let ns = session.simulate(
+///     Input::Test,
+///     &SimConfig::non_strict(Link::MODEM_28_8, OrderingSource::StaticCallGraph),
+/// );
+/// assert!(ns.invocation_latency < strict.invocation_latency);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Session {
+    /// The application under test.
+    pub app: Application,
+    /// Instrumented Test-input run.
+    pub test: Collected,
+    /// Instrumented Train-input run.
+    pub train: Collected,
+    orders: [FirstUseOrder; 4],
+    restructured: [RestructuredApp; 4],
+    partitions: Vec<ClassPartition>,
+}
+
+fn order_slot(source: OrderingSource) -> usize {
+    match source {
+        OrderingSource::SourceOrder => 0,
+        OrderingSource::StaticCallGraph => 1,
+        OrderingSource::TrainProfile => 2,
+        OrderingSource::TestProfile => 3,
+    }
+}
+
+impl Session {
+    /// Runs both inputs under instrumentation and precomputes orderings,
+    /// layouts, and partitions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates interpreter faults from the profiling runs.
+    pub fn new(app: Application) -> Result<Self, InterpError> {
+        let test = collect(&app, Input::Test)?;
+        let train = collect(&app, Input::Train)?;
+        let scg = static_first_use(&app.program);
+        let source = FirstUseOrder::source_order(&app.program);
+        let train_order = FirstUseOrder::from_profile(&app.program, &train.profile, &scg);
+        let test_order = FirstUseOrder::from_profile(&app.program, &test.profile, &scg);
+        let orders = [source, scg, train_order, test_order];
+        let restructured = [
+            restructure(&app, &orders[0]),
+            restructure(&app, &orders[1]),
+            restructure(&app, &orders[2]),
+            restructure(&app, &orders[3]),
+        ];
+        let partitions = partition_app(&app);
+        Ok(Session { app, test, train, orders, restructured, partitions })
+    }
+
+    /// The first-use ordering for `source`.
+    #[must_use]
+    pub fn order(&self, source: OrderingSource) -> &FirstUseOrder {
+        &self.orders[order_slot(source)]
+    }
+
+    /// The restructured layout for `source`.
+    #[must_use]
+    pub fn restructured(&self, source: OrderingSource) -> &RestructuredApp {
+        &self.restructured[order_slot(source)]
+    }
+
+    /// The per-class global-data partitions.
+    #[must_use]
+    pub fn partitions(&self) -> &[ClassPartition] {
+        &self.partitions
+    }
+
+    /// Transfer units for one configuration.
+    #[must_use]
+    pub fn units_for(&self, config: &SimConfig) -> Vec<ClassUnits> {
+        let delim = match config.execution {
+            ExecutionModel::NonStrict => DELIMITER_BYTES,
+            ExecutionModel::Strict => 0,
+        };
+        let parts = match config.data_layout {
+            DataLayout::Whole => None,
+            DataLayout::Partitioned => Some(self.partitions.as_slice()),
+        };
+        class_units(&self.app, self.restructured(config.ordering), parts, delim)
+    }
+
+    /// Pure execution cycles on `input`.
+    #[must_use]
+    pub fn exec_cycles(&self, input: Input) -> u64 {
+        self.collected(input).trace.total_instructions() * self.app.cpi
+    }
+
+    /// The instrumented run for `input`.
+    #[must_use]
+    pub fn collected(&self, input: Input) -> &Collected {
+        match input {
+            Input::Test => &self.test,
+            Input::Train => &self.train,
+        }
+    }
+
+    /// Simulates one configuration on `input`.
+    #[must_use]
+    pub fn simulate(&self, input: Input, config: &SimConfig) -> SimResult {
+        let units = self.units_for(config);
+        let order = self.order(config.ordering);
+        let layouts = &self.restructured(config.ordering).layouts;
+        let exec_cycles = self.exec_cycles(input);
+
+        if config.is_baseline() {
+            // The paper's base case: one class at a time in source
+            // order, execution strictly after transfer — total is the
+            // exact sum (Table 3).
+            let class_order: Vec<usize> = (0..units.len()).collect();
+            let mut engine = StrictEngine::new(config.link, &units, &class_order);
+            let entry_class = self.app.program.entry().class.0 as usize;
+            return SimResult {
+                total_cycles: engine.finish_time() + exec_cycles,
+                exec_cycles,
+                stall_cycles: engine.finish_time(),
+                invocation_latency: engine.class_ready(entry_class),
+                stalls: 1,
+                link_stats: LinkStats::default(),
+            };
+        }
+
+        let class_order_fu: Vec<usize> =
+            order.class_order().iter().map(|c| c.0 as usize).collect();
+        let weights = match config.ordering {
+            OrderingSource::TrainProfile => Weights::Profile(&self.train.profile),
+            OrderingSource::TestProfile => Weights::Profile(&self.test.profile),
+            _ => Weights::Static,
+        };
+        let mut engine: Box<dyn TransferEngine> = match config.transfer {
+            TransferPolicy::Strict => {
+                Box::new(StrictEngine::new(config.link, &units, &class_order_fu))
+            }
+            TransferPolicy::Parallel { limit } => {
+                let schedule = greedy_schedule(&self.app, order, &units, layouts, weights);
+                Box::new(ParallelEngine::new(config.link, units.clone(), &schedule, limit))
+            }
+            TransferPolicy::Interleaved => Box::new(InterleavedEngine::new(
+                &self.app,
+                self.restructured(config.ordering),
+                &units,
+                order,
+                config.link,
+            )),
+        };
+
+        self.replay(input, config, layouts, &units, engine.as_mut(), exec_cycles)
+    }
+
+    /// Replays the input's trace against `engine`.
+    fn replay(
+        &self,
+        input: Input,
+        config: &SimConfig,
+        layouts: &[nonstrict_reorder::ClassLayout],
+        units: &[ClassUnits],
+        engine: &mut dyn TransferEngine,
+        exec_cycles: u64,
+    ) -> SimResult {
+        let trace = &self.collected(input).trace;
+        let mut linker =
+            IncrementalLinker::new(&self.app.classes.iter().map(|c| c.methods.len()).collect::<Vec<_>>());
+        let cpi = self.app.cpi;
+        let mut clock: u64 = 0;
+        let mut stall_cycles: u64 = 0;
+        let mut stalls: u32 = 0;
+        let mut invocation_latency: Option<u64> = None;
+
+        for event in trace.events() {
+            match *event {
+                TraceEvent::Enter(m) => {
+                    let c = m.class.0 as usize;
+                    let pos = layouts[c].position_of(m.method);
+                    let unit = match config.execution {
+                        ExecutionModel::NonStrict => ClassUnits::method_unit(pos),
+                        // Strict execution waits for the entire class.
+                        ExecutionModel::Strict => units[c].unit_count() - 1,
+                    };
+                    let ready = engine.unit_ready(c, unit, clock);
+                    if ready > clock {
+                        stall_cycles += ready - clock;
+                        stalls += 1;
+                        clock = ready;
+                    }
+                    linker.globals_arrived(c);
+                    linker.method_arrived(c, pos);
+                    linker.method_executed(c, pos);
+                    if invocation_latency.is_none() {
+                        invocation_latency = Some(clock);
+                    }
+                }
+                TraceEvent::Run { method: _, count } => {
+                    clock += count * cpi;
+                }
+                TraceEvent::Exit(_) => {}
+            }
+        }
+
+        debug_assert!(linker.consistent());
+        SimResult {
+            total_cycles: clock,
+            exec_cycles,
+            stall_cycles,
+            invocation_latency: invocation_latency.unwrap_or(0),
+            stalls,
+            link_stats: linker.stats(),
+        }
+    }
+}
+
+/// One-shot convenience: prepares a [`Session`] and simulates a single
+/// configuration. Prefer building a [`Session`] when sweeping
+/// configurations — profiling runs dominate the cost.
+///
+/// # Errors
+///
+/// Propagates interpreter faults from the profiling runs.
+pub fn simulate(
+    app: &Application,
+    input: Input,
+    config: &SimConfig,
+) -> Result<SimResult, InterpError> {
+    let session = Session::new(app.clone())?;
+    Ok(session.simulate(input, config))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nonstrict_netsim::Link;
+
+    fn session() -> Session {
+        Session::new(nonstrict_workloads::hanoi::build()).unwrap()
+    }
+
+    fn all_nonstrict_configs(link: Link) -> Vec<SimConfig> {
+        let mut out = Vec::new();
+        for ordering in [
+            OrderingSource::StaticCallGraph,
+            OrderingSource::TrainProfile,
+            OrderingSource::TestProfile,
+        ] {
+            for transfer in [
+                TransferPolicy::Parallel { limit: 1 },
+                TransferPolicy::Parallel { limit: 4 },
+                TransferPolicy::Parallel { limit: usize::MAX },
+                TransferPolicy::Interleaved,
+            ] {
+                for data_layout in [DataLayout::Whole, DataLayout::Partitioned] {
+                    out.push(SimConfig {
+                        link,
+                        ordering,
+                        transfer,
+                        data_layout,
+                        execution: ExecutionModel::NonStrict,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn baseline_total_is_exec_plus_transfer() {
+        let s = session();
+        let base = s.simulate(Input::Test, &SimConfig::strict(Link::MODEM_28_8));
+        assert_eq!(base.total_cycles, base.exec_cycles + base.stall_cycles);
+        assert!(base.invocation_latency > 0);
+    }
+
+    #[test]
+    fn non_strict_beats_baseline_on_modem() {
+        let s = session();
+        let base = s.simulate(Input::Test, &SimConfig::strict(Link::MODEM_28_8));
+        for config in all_nonstrict_configs(Link::MODEM_28_8) {
+            let r = s.simulate(Input::Test, &config);
+            assert!(
+                r.total_cycles <= base.total_cycles,
+                "{config:?} regressed: {} vs base {}",
+                r.total_cycles,
+                base.total_cycles
+            );
+        }
+    }
+
+    #[test]
+    fn total_cycles_never_below_exec_or_latency_plus_exec() {
+        let s = session();
+        for config in all_nonstrict_configs(Link::T1) {
+            let r = s.simulate(Input::Test, &config);
+            assert!(r.total_cycles >= r.exec_cycles);
+            assert!(r.total_cycles >= r.invocation_latency + r.exec_cycles);
+            assert_eq!(r.total_cycles, r.exec_cycles + r.stall_cycles);
+        }
+    }
+
+    #[test]
+    fn perfect_profile_never_loses_to_train_or_scg_on_average() {
+        let s = session();
+        let run = |ordering| {
+            let config = SimConfig {
+                link: Link::MODEM_28_8,
+                ordering,
+                transfer: TransferPolicy::Interleaved,
+                data_layout: DataLayout::Whole,
+                execution: ExecutionModel::NonStrict,
+            };
+            s.simulate(Input::Test, &config).total_cycles
+        };
+        let test = run(OrderingSource::TestProfile);
+        let scg = run(OrderingSource::StaticCallGraph);
+        assert!(test <= scg, "perfect interleaved order cannot lose to SCG: {test} vs {scg}");
+    }
+
+    #[test]
+    fn linker_sees_every_executed_method_once() {
+        let s = session();
+        let config = SimConfig::non_strict(Link::T1, OrderingSource::StaticCallGraph);
+        let r = s.simulate(Input::Test, &config);
+        let executed = s.test.profile.executed_method_count();
+        assert_eq!(r.link_stats.methods_resolved, executed);
+        assert_eq!(r.link_stats.methods_verified, executed);
+        assert!(r.link_stats.classes_verified <= s.app.classes.len());
+    }
+
+    #[test]
+    fn invocation_latency_orders_strict_nonstrict_partitioned() {
+        let s = session();
+        let strict = s.simulate(Input::Test, &SimConfig::strict(Link::MODEM_28_8));
+        let ns = s.simulate(
+            Input::Test,
+            &SimConfig::non_strict(Link::MODEM_28_8, OrderingSource::StaticCallGraph),
+        );
+        let mut part_cfg =
+            SimConfig::non_strict(Link::MODEM_28_8, OrderingSource::StaticCallGraph);
+        part_cfg.data_layout = DataLayout::Partitioned;
+        let part = s.simulate(Input::Test, &part_cfg);
+        assert!(ns.invocation_latency < strict.invocation_latency);
+        assert!(part.invocation_latency <= ns.invocation_latency);
+    }
+
+    #[test]
+    fn results_are_deterministic() {
+        let s = session();
+        let config = SimConfig::non_strict(Link::T1, OrderingSource::TrainProfile);
+        let a = s.simulate(Input::Test, &config);
+        let b = s.simulate(Input::Test, &config);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,156 @@
+//! Interleaved file transfer (§5.2): one virtual file, full bandwidth.
+//!
+//! All classes are fused into a single virtual interleaved file: each
+//! class's prelude is placed immediately before its first-used method,
+//! and method units from different classes interleave in global
+//! first-use order. One transfer unit streams at a time at the full link
+//! bandwidth; trailing (unused) units go last.
+
+use nonstrict_bytecode::{Application, Program};
+use nonstrict_reorder::{FirstUseOrder, RestructuredApp};
+
+use crate::engine::TransferEngine;
+use crate::link::Link;
+use crate::unit::ClassUnits;
+
+/// The single-stream interleaved engine. Arrival times are closed-form;
+/// construction precomputes them all.
+#[derive(Debug, Clone)]
+pub struct InterleavedEngine {
+    /// Arrival cycle per class per unit.
+    arrivals: Vec<Vec<u64>>,
+    total_bytes: u64,
+    finish: u64,
+}
+
+impl InterleavedEngine {
+    /// Builds the virtual interleaved file for `app` laid out by
+    /// `order`, and computes every unit's arrival time over `link`.
+    #[must_use]
+    pub fn new(
+        app: &Application,
+        restructured: &RestructuredApp,
+        units: &[ClassUnits],
+        order: &FirstUseOrder,
+        link: Link,
+    ) -> Self {
+        let program = &app.program;
+        let mut arrivals: Vec<Vec<u64>> =
+            units.iter().map(|u| vec![0u64; u.unit_count()]).collect();
+        let mut sent = 0u64;
+        let mut prelude_sent = vec![false; units.len()];
+
+        // Stream method units in global first-use order, each class's
+        // prelude immediately before its first method.
+        for &m in order.order() {
+            let c = m.class.0 as usize;
+            if !prelude_sent[c] {
+                prelude_sent[c] = true;
+                sent += units[c].prelude;
+                arrivals[c][0] = link.cycles_for(sent);
+            }
+            let pos = position_of(restructured, program, m);
+            let unit = ClassUnits::method_unit(pos);
+            sent += units[c].methods[pos];
+            arrivals[c][unit] = link.cycles_for(sent);
+        }
+        // Trailing units (unused globals) go last.
+        for (c, u) in units.iter().enumerate() {
+            sent += u.trailing;
+            let last = u.unit_count() - 1;
+            arrivals[c][last] = link.cycles_for(sent);
+        }
+
+        InterleavedEngine { arrivals, total_bytes: sent, finish: link.cycles_for(sent) }
+    }
+}
+
+fn position_of(
+    restructured: &RestructuredApp,
+    program: &Program,
+    m: nonstrict_bytecode::MethodId,
+) -> usize {
+    let _ = program;
+    restructured.layouts[m.class.0 as usize].position_of(m.method)
+}
+
+impl InterleavedEngine {
+    /// The (precomputed) arrival of a unit.
+    #[must_use]
+    pub fn recorded_arrival(&self, class: usize, unit: usize) -> u64 {
+        self.arrivals[class][unit]
+    }
+}
+
+impl TransferEngine for InterleavedEngine {
+    fn unit_ready(&mut self, class: usize, unit: usize, _now: u64) -> u64 {
+        self.arrivals[class][unit]
+    }
+
+    fn finish_time(&mut self) -> u64 {
+        self.finish
+    }
+
+    fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::unit::{class_units, DELIMITER_BYTES};
+    use nonstrict_reorder::{restructure, static_first_use};
+
+    fn engine() -> (Application, InterleavedEngine, Vec<ClassUnits>, FirstUseOrder) {
+        let app = nonstrict_workloads::hanoi::build();
+        let order = static_first_use(&app.program);
+        let r = restructure(&app, &order);
+        let units = class_units(&app, &r, None, DELIMITER_BYTES);
+        let e = InterleavedEngine::new(&app, &r, &units, &order, Link::T1);
+        (app, e, units, order)
+    }
+
+    #[test]
+    fn total_bytes_match_units() {
+        let (_, mut e, units, _) = engine();
+        let expect: u64 = units.iter().map(ClassUnits::total).sum();
+        assert_eq!(e.total_bytes(), expect);
+        assert_eq!(e.finish_time(), Link::T1.cycles_for(expect));
+    }
+
+    #[test]
+    fn first_used_method_arrives_after_its_prelude_only() {
+        let (app, mut e, units, _) = engine();
+        let entry = app.program.entry();
+        let c = entry.class.0 as usize;
+        // entry method is first in its restructured file, so its unit is 1
+        let arrival = e.unit_ready(c, 1, 0);
+        let expect = Link::T1.cycles_for(units[c].prelude + units[c].methods[0]);
+        assert_eq!(arrival, expect);
+    }
+
+    #[test]
+    fn arrivals_follow_first_use_order() {
+        let (app, mut e, _, order) = engine();
+        // Each successive first-use method must arrive no earlier than
+        // its predecessor in the predicted order.
+        let r = restructure(&app, &order);
+        let mut last = 0;
+        for &m in order.order() {
+            let c = m.class.0 as usize;
+            let pos = r.layouts[c].position_of(m.method);
+            let t = e.unit_ready(c, ClassUnits::method_unit(pos), 0);
+            assert!(t >= last, "{m} at {t} before {last}");
+            last = t;
+        }
+    }
+
+    #[test]
+    fn queries_are_stable() {
+        let (_, mut e, _, _) = engine();
+        let a = e.unit_ready(0, 1, 0);
+        let b = e.unit_ready(0, 1, 999_999_999);
+        assert_eq!(a, b, "interleaved arrivals ignore the query time");
+    }
+}

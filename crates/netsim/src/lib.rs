@@ -1,0 +1,44 @@
+//! # nonstrict-netsim
+//!
+//! The network half of the paper's cycle-level co-simulation:
+//!
+//! * [`link`] — link models in machine cycles per byte (the paper's T1 =
+//!   3,815 and 28.8 K modem = 134,698 on a 500 MHz Alpha).
+//! * [`unit`] — transfer units: each class file becomes a *prelude*
+//!   (global data, or just the needed-first slice under data
+//!   partitioning), one unit per method (GMD + local data + code +
+//!   method delimiter), and a *trailing* unit of unused globals.
+//! * [`schedule`] — the greedy parallel-transfer schedule (§5.1):
+//!   first-use class order plus unique-byte dependency thresholds.
+//! * [`engine`] — the [`engine::TransferEngine`] abstraction the
+//!   co-simulator drives.
+//! * [`parallel`] — fluid multi-stream transfer with fair bandwidth
+//!   sharing, a concurrent-file limit, threshold-triggered starts, and
+//!   demand-fetch correction on misprediction.
+//! * [`interleaved`] — the single virtual interleaved file (§5.2).
+//! * [`strict`] — sequential whole-class transfer (baseline and
+//!   ablation).
+//!
+//! All engines are **event-driven fluid** simulators: transfer progress
+//! is piecewise linear, so the engines jump from event to event (unit
+//! boundary, stream completion, dependency-threshold crossing) instead
+//! of stepping the ~10^10 cycles a modem-link run covers.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod engine;
+pub mod interleaved;
+pub mod link;
+pub mod parallel;
+pub mod schedule;
+pub mod strict;
+pub mod unit;
+
+pub use engine::TransferEngine;
+pub use interleaved::InterleavedEngine;
+pub use link::Link;
+pub use parallel::ParallelEngine;
+pub use schedule::{greedy_schedule, ParallelSchedule, Weights};
+pub use strict::StrictEngine;
+pub use unit::{class_units, ClassUnits, DELIMITER_BYTES};

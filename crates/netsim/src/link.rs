@@ -1,0 +1,70 @@
+//! Link models: bandwidth expressed in machine cycles per byte.
+
+/// A network link, as the paper models it: a fixed number of CPU cycles
+/// to transfer one byte (§6.1).
+///
+/// ```
+/// use nonstrict_netsim::Link;
+///
+/// // 10 KB over the paper's modem costs ~1.38 billion Alpha cycles.
+/// let cycles = Link::MODEM_28_8.cycles_for(10 * 1024);
+/// assert_eq!(cycles, 10 * 1024 * 134_698);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Link {
+    /// Machine cycles to deliver one byte.
+    pub cycles_per_byte: u64,
+    /// Human-readable name for reports.
+    pub name: &'static str,
+}
+
+impl Link {
+    /// The paper's T1 line (~1 Mbit/s): 3,815 cycles per byte on a
+    /// 500 MHz Alpha.
+    pub const T1: Link = Link { cycles_per_byte: 3_815, name: "T1" };
+
+    /// The paper's 28.8 Kbaud modem (~29 Kbit/s): 134,698 cycles per
+    /// byte.
+    pub const MODEM_28_8: Link = Link { cycles_per_byte: 134_698, name: "Modem" };
+
+    /// A link from raw bandwidth and CPU frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits_per_second` is zero.
+    #[must_use]
+    pub fn from_bandwidth(bits_per_second: u64, cpu_hz: u64) -> Link {
+        assert!(bits_per_second > 0, "bandwidth must be positive");
+        Link { cycles_per_byte: cpu_hz * 8 / bits_per_second, name: "custom" }
+    }
+
+    /// Cycles to transfer `bytes` at full bandwidth.
+    #[must_use]
+    pub fn cycles_for(&self, bytes: u64) -> u64 {
+        bytes * self.cycles_per_byte
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants() {
+        assert_eq!(Link::T1.cycles_per_byte, 3_815);
+        assert_eq!(Link::MODEM_28_8.cycles_per_byte, 134_698);
+    }
+
+    #[test]
+    fn from_bandwidth_matches_paper_t1_ballpark() {
+        // 2^20-bit/s "T1" on a 500 MHz CPU: the paper's 3,815.
+        let t1 = Link::from_bandwidth(1_048_576, 500_000_000);
+        assert_eq!(t1.cycles_per_byte, 3_814); // integer division of the exact 3814.7
+    }
+
+    #[test]
+    fn cycles_scale_linearly() {
+        assert_eq!(Link::T1.cycles_for(100), 381_500);
+        assert_eq!(Link::T1.cycles_for(0), 0);
+    }
+}

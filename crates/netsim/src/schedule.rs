@@ -1,0 +1,187 @@
+//! The greedy parallel-transfer schedule (§5.1).
+//!
+//! Classes start transferring in predicted first-use order. A class is
+//! *dependent* on every class whose first-used method precedes its own;
+//! it may begin transfer once the predicted number of **unique bytes**
+//! from its dependencies has been delivered:
+//!
+//! * with static (SCG) prediction, unique bytes are *"the total static
+//!   size in bytes of procedures that are executed before transferring
+//!   to the dependent class file"*;
+//! * with profile-guided prediction, they are *"the total size of the
+//!   instructions executed from the procedures that a class file is
+//!   dependent on"* — the executed-unique bytes the profiler measured.
+
+use nonstrict_bytecode::{Application, MethodId};
+use nonstrict_profile::FirstUseProfile;
+use nonstrict_reorder::{ClassLayout, FirstUseOrder};
+
+use crate::unit::ClassUnits;
+
+/// How method bytes are weighted when accumulating dependency
+/// thresholds.
+#[derive(Debug, Clone, Copy)]
+pub enum Weights<'a> {
+    /// Static sizes (the SCG configuration).
+    Static,
+    /// Executed-unique bytes from a profiling run (Train or Test).
+    Profile(&'a FirstUseProfile),
+}
+
+/// The parallel-transfer schedule: class start order plus dependency
+/// byte thresholds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParallelSchedule {
+    /// Classes in predicted first-use order.
+    pub class_order: Vec<usize>,
+    /// For `class_order[k]`: bytes that must have been delivered from
+    /// classes `class_order[..k]` before this class starts.
+    pub thresholds: Vec<u64>,
+}
+
+impl ParallelSchedule {
+    /// Position of `class` in the start order.
+    #[must_use]
+    pub fn position(&self, class: usize) -> usize {
+        self.class_order.iter().position(|&c| c == class).expect("class in schedule")
+    }
+}
+
+/// Builds the greedy schedule for `app` restructured by `order`.
+///
+/// `units` must be the transfer units the engine will stream and
+/// `layouts` the restructured file layouts (so thresholds and
+/// deliverable bytes agree — including GMD chunks and delimiters);
+/// `weights` selects static or profile-guided unique-byte accounting.
+#[must_use]
+pub fn greedy_schedule(
+    app: &Application,
+    order: &FirstUseOrder,
+    units: &[ClassUnits],
+    layouts: &[ClassLayout],
+    weights: Weights<'_>,
+) -> ParallelSchedule {
+    let program = &app.program;
+    let class_order: Vec<usize> =
+        order.class_order().iter().map(|c| c.0 as usize).collect();
+    // Classes with no methods in the first-use order (impossible here,
+    // every class has methods) would be appended; keep robustness:
+    debug_assert_eq!(class_order.len(), app.classes.len());
+
+    // Weight of one method toward thresholds: the bytes of its transfer
+    // unit that must be delivered before a dependent class's first use.
+    // Static prediction charges the whole unit; profile-guided
+    // prediction discounts code the profiling run never executed (§5.1:
+    // "unique bytes are accumulated using the total size of the
+    // instructions executed").
+    let weight = |m: MethodId| -> u64 {
+        let c = m.class.0 as usize;
+        let pos = layouts[c].position_of(m.method);
+        let unit = units[c].methods[pos];
+        match weights {
+            Weights::Static => unit,
+            Weights::Profile(p) => {
+                let code = app.wire_scale.apply(program.method(m).code_size());
+                let executed = app.wire_scale.apply(p.executed_bytes(m));
+                unit - code.min(unit) + executed.min(code)
+            }
+        }
+    };
+
+    // Walk the global first-use order; when a class's first method is
+    // reached, its threshold is the accumulated unique bytes so far
+    // (method weights plus the preludes of already-started classes).
+    let mut thresholds = vec![0u64; class_order.len()];
+    let mut seen_class = vec![false; app.classes.len()];
+    let mut acc = 0u64;
+    let mut order_pos = 0usize;
+    for &m in order.order() {
+        let c = m.class.0 as usize;
+        if !seen_class[c] {
+            seen_class[c] = true;
+            debug_assert_eq!(class_order[order_pos], c);
+            thresholds[order_pos] = acc;
+            order_pos += 1;
+            acc += units[c].prelude;
+        }
+        acc += weight(m);
+    }
+
+    // Cap each threshold at what its dependencies can ever deliver, so a
+    // schedule never deadlocks waiting for unreachable bytes.
+    let mut dep_capacity = 0u64;
+    for (k, &c) in class_order.iter().enumerate() {
+        thresholds[k] = thresholds[k].min(dep_capacity);
+        dep_capacity += units[c].total();
+    }
+
+    ParallelSchedule { class_order, thresholds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::unit::class_units;
+    use nonstrict_reorder::{restructure, static_first_use};
+
+    fn setup() -> (Application, FirstUseOrder, Vec<ClassUnits>, Vec<ClassLayout>) {
+        let app = nonstrict_workloads::jhlzip::build();
+        let order = static_first_use(&app.program);
+        let r = restructure(&app, &order);
+        let units = class_units(&app, &r, None, crate::unit::DELIMITER_BYTES);
+        (app, order, units, r.layouts)
+    }
+
+    #[test]
+    fn first_class_starts_immediately() {
+        let (app, order, units, layouts) = setup();
+        let s = greedy_schedule(&app, &order, &units, &layouts, Weights::Static);
+        assert_eq!(s.class_order[0], app.program.entry().class.0 as usize);
+        assert_eq!(s.thresholds[0], 0);
+    }
+
+    #[test]
+    fn thresholds_are_monotone_in_start_order() {
+        let (app, order, units, layouts) = setup();
+        let s = greedy_schedule(&app, &order, &units, &layouts, Weights::Static);
+        for w in s.thresholds.windows(2) {
+            assert!(w[0] <= w[1], "later classes need at least as many unique bytes");
+        }
+    }
+
+    #[test]
+    fn thresholds_never_exceed_dependency_capacity() {
+        let (app, order, units, layouts) = setup();
+        let s = greedy_schedule(&app, &order, &units, &layouts, Weights::Static);
+        let mut cap = 0u64;
+        for (k, &c) in s.class_order.iter().enumerate() {
+            assert!(s.thresholds[k] <= cap, "class {c} threshold exceeds dep capacity");
+            cap += units[c].total();
+        }
+    }
+
+    #[test]
+    fn profile_weights_give_smaller_thresholds() {
+        let (app, order, units, layouts) = setup();
+        let collected =
+            nonstrict_profile::collect(&app, nonstrict_bytecode::Input::Test).unwrap();
+        let s_static = greedy_schedule(&app, &order, &units, &layouts, Weights::Static);
+        let s_prof =
+            greedy_schedule(&app, &order, &units, &layouts, Weights::Profile(&collected.profile));
+        // executed bytes <= static bytes method by method, so accumulated
+        // thresholds can only shrink
+        let total_static: u64 = s_static.thresholds.iter().sum();
+        let total_prof: u64 = s_prof.thresholds.iter().sum();
+        assert!(total_prof <= total_static);
+    }
+
+    #[test]
+    fn covers_every_class_exactly_once() {
+        let (app, order, units, layouts) = setup();
+        let s = greedy_schedule(&app, &order, &units, &layouts, Weights::Static);
+        let mut sorted = s.class_order.clone();
+        sorted.sort_unstable();
+        let expect: Vec<usize> = (0..app.classes.len()).collect();
+        assert_eq!(sorted, expect);
+    }
+}

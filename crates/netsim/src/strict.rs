@@ -1,0 +1,98 @@
+//! Strict whole-class transfer: the JVM-of-1998 model.
+//!
+//! Classes transfer one at a time, to completion, in a fixed order; a
+//! method is available only when its **entire class file** has arrived.
+//! This engine provides:
+//!
+//! * the strict invocation-latency number of Table 4 (arrival of the
+//!   first class file), and
+//! * the "strict with overlap" ablation — the paper's *baseline* charges
+//!   transfer and execution strictly in sequence (Table 3's sum), which
+//!   the experiment layer computes analytically; this engine answers
+//!   what strict-per-class availability alone would buy.
+
+use crate::engine::TransferEngine;
+use crate::link::Link;
+use crate::unit::ClassUnits;
+
+/// Sequential whole-class transfer.
+#[derive(Debug, Clone)]
+pub struct StrictEngine {
+    /// Completion cycle of each class, indexed by class.
+    class_done: Vec<u64>,
+    finish: u64,
+    total_bytes: u64,
+}
+
+impl StrictEngine {
+    /// Builds the engine: classes stream back-to-back in `class_order`
+    /// at full bandwidth.
+    #[must_use]
+    pub fn new(link: Link, units: &[ClassUnits], class_order: &[usize]) -> Self {
+        assert_eq!(units.len(), class_order.len(), "order must cover all classes");
+        let mut class_done = vec![0u64; units.len()];
+        let mut sent = 0u64;
+        for &c in class_order {
+            sent += units[c].total();
+            class_done[c] = link.cycles_for(sent);
+        }
+        StrictEngine {
+            class_done,
+            finish: link.cycles_for(sent),
+            total_bytes: sent,
+        }
+    }
+
+    /// Completion cycle of `class`.
+    #[must_use]
+    pub fn class_ready(&self, class: usize) -> u64 {
+        self.class_done[class]
+    }
+}
+
+impl TransferEngine for StrictEngine {
+    fn unit_ready(&mut self, class: usize, _unit: usize, _now: u64) -> u64 {
+        // Strictness: any unit of a class is usable only when the whole
+        // class has arrived.
+        self.class_done[class]
+    }
+
+    fn finish_time(&mut self) -> u64 {
+        self.finish
+    }
+
+    fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LINK: Link = Link { cycles_per_byte: 100, name: "test" };
+
+    fn units() -> Vec<ClassUnits> {
+        vec![
+            ClassUnits { prelude: 10, methods: vec![5, 5], trailing: 0 },
+            ClassUnits { prelude: 30, methods: vec![10], trailing: 0 },
+        ]
+    }
+
+    #[test]
+    fn classes_complete_sequentially() {
+        let mut e = StrictEngine::new(LINK, &units(), &[0, 1]);
+        assert_eq!(e.unit_ready(0, 0, 0), 2_000);
+        assert_eq!(e.unit_ready(0, 2, 0), 2_000, "all units share the class arrival");
+        assert_eq!(e.unit_ready(1, 0, 0), 6_000);
+        assert_eq!(e.finish_time(), 6_000);
+        assert_eq!(e.total_bytes(), 60);
+    }
+
+    #[test]
+    fn order_controls_completion() {
+        let e = StrictEngine::new(LINK, &units(), &[1, 0]);
+        assert_eq!(e.class_ready(1), 4_000);
+        assert_eq!(e.class_ready(0), 6_000);
+    }
+}

@@ -1,0 +1,169 @@
+//! The instrumentation sink: runs a program once, producing its trace and
+//! first-use profile together.
+
+use std::collections::HashMap;
+
+use nonstrict_bytecode::{Application, EventSink, Input, InterpError, Interpreter, MethodId};
+
+use crate::first_use::FirstUseProfile;
+use crate::trace::{ExecutionTrace, TraceEvent};
+
+/// An [`EventSink`] that builds an [`ExecutionTrace`] and first-use order
+/// while the interpreter runs.
+#[derive(Debug, Default)]
+pub struct TraceCollector {
+    trace: ExecutionTrace,
+    order: Vec<MethodId>,
+    seen: std::collections::HashSet<MethodId>,
+}
+
+impl TraceCollector {
+    /// Creates an empty collector.
+    #[must_use]
+    pub fn new() -> Self {
+        TraceCollector::default()
+    }
+
+    /// Consumes the collector, returning the trace and first-use order.
+    #[must_use]
+    pub fn into_parts(self) -> (ExecutionTrace, Vec<MethodId>) {
+        (self.trace, self.order)
+    }
+}
+
+impl EventSink for TraceCollector {
+    fn method_enter(&mut self, method: MethodId) {
+        if self.seen.insert(method) {
+            self.order.push(method);
+        }
+        self.trace.push(TraceEvent::Enter(method));
+    }
+
+    fn run(&mut self, method: MethodId, count: u64) {
+        self.trace.push(TraceEvent::Run { method, count });
+    }
+
+    fn method_exit(&mut self, method: MethodId) {
+        self.trace.push(TraceEvent::Exit(method));
+    }
+}
+
+/// Everything one instrumented run produces.
+#[derive(Debug, Clone)]
+pub struct Collected {
+    /// The full segment trace.
+    pub trace: ExecutionTrace,
+    /// The first-use profile (order + executed bytes).
+    pub profile: FirstUseProfile,
+    /// `main`'s return value, if any.
+    pub result: Option<i64>,
+    /// Percent of static instructions executed (Table 2's "% Executed").
+    pub executed_static_percent: f64,
+    /// Values printed by the program (for workload correctness checks).
+    pub output: Vec<i64>,
+}
+
+/// Runs `app` on `input` under instrumentation.
+///
+/// This is the crate's one-call entry point: it interprets the program
+/// for real and returns the trace, the first-use profile, and the
+/// run's outputs.
+///
+/// # Errors
+///
+/// Propagates interpreter faults ([`InterpError`]).
+pub fn collect(app: &Application, input: Input) -> Result<Collected, InterpError> {
+    let mut interp = Interpreter::new(&app.program);
+    let mut sink = TraceCollector::new();
+    let result = interp.run(app.args(input), &mut sink)?;
+    let executed_static_percent = interp.executed_static_percent();
+    let per_method_bytes = interp.executed_code_bytes();
+    let output = interp.output().to_vec();
+    let (trace, order) = sink.into_parts();
+
+    let mut executed_bytes: HashMap<MethodId, u32> = HashMap::with_capacity(order.len());
+    for &m in &order {
+        executed_bytes.insert(m, per_method_bytes[app.program.global_index(m)]);
+    }
+    let profile =
+        FirstUseProfile::from_parts(order, executed_bytes, trace.total_instructions());
+    Ok(Collected { trace, profile, result, executed_static_percent, output })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nonstrict_bytecode::builder::MethodBuilder;
+    use nonstrict_bytecode::program::{ClassDef, Program};
+    use nonstrict_bytecode::Cond;
+
+    fn sample_app() -> Application {
+        // main calls b then a; a loops.
+        let mut a = MethodBuilder::new("a", 0);
+        a.iconst(5).istore(0);
+        let head = a.new_label();
+        let exit = a.new_label();
+        a.bind(head);
+        a.iload(0).if_(Cond::Eq, exit);
+        a.iinc(0, -1).goto(head);
+        a.bind(exit);
+        a.ret();
+        let mut b = MethodBuilder::new("b", 0);
+        b.ret();
+        let mut main = MethodBuilder::new("main", 0);
+        main.invoke(MethodId::new(0, 2)); // b first
+        main.invoke(MethodId::new(0, 1)); // then a
+        main.invoke(MethodId::new(0, 2)); // b again
+        main.ret();
+        let mut c = ClassDef::new("p/T");
+        c.add_method(main.finish());
+        c.add_method(a.finish());
+        c.add_method(b.finish());
+        let program = Program::new(vec![c], "p/T", "main").unwrap();
+        Application::from_program("sample", program, 100).unwrap()
+    }
+
+    #[test]
+    fn first_use_order_is_invocation_order() {
+        let app = sample_app();
+        let got = collect(&app, Input::Test).unwrap();
+        assert_eq!(
+            got.profile.order(),
+            &[MethodId::new(0, 0), MethodId::new(0, 2), MethodId::new(0, 1)]
+        );
+    }
+
+    #[test]
+    fn trace_totals_match_profile() {
+        let app = sample_app();
+        let got = collect(&app, Input::Test).unwrap();
+        assert_eq!(got.trace.total_instructions(), got.profile.dynamic_instructions());
+        assert!(got.trace.total_instructions() > 10);
+    }
+
+    #[test]
+    fn executed_bytes_positive_for_run_methods() {
+        let app = sample_app();
+        let got = collect(&app, Input::Test).unwrap();
+        for &m in got.profile.order() {
+            assert!(got.profile.executed_bytes(m) > 0, "{m} should have executed bytes");
+        }
+    }
+
+    #[test]
+    fn collect_is_deterministic() {
+        let app = sample_app();
+        let a = collect(&app, Input::Test).unwrap();
+        let b = collect(&app, Input::Test).unwrap();
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.profile, b.profile);
+    }
+
+    #[test]
+    fn full_coverage_in_sample() {
+        let app = sample_app();
+        let got = collect(&app, Input::Test).unwrap();
+        assert!((got.executed_static_percent - 100.0).abs() < 1e-9);
+        assert_eq!(got.profile.coverage(&app.program), 1.0);
+    }
+}

@@ -1,0 +1,160 @@
+//! First-use profiles (§4.2 of the paper).
+
+use std::collections::HashMap;
+
+use nonstrict_bytecode::{MethodId, Program};
+
+/// The product of one profiling run: the order in which methods were
+/// first invoked, and how many code bytes of each method actually
+/// executed.
+///
+/// The executed-byte counts are what the profile-guided transfer schedule
+/// uses as "unique bytes" thresholds: *"for the profile driven estimation
+/// technique, unique bytes are accumulated using the total size of the
+/// instructions executed from the procedures that a class file is
+/// dependent on"* (§5.1).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FirstUseProfile {
+    order: Vec<MethodId>,
+    rank: HashMap<MethodId, usize>,
+    executed_bytes: HashMap<MethodId, u32>,
+    dynamic_instructions: u64,
+}
+
+impl FirstUseProfile {
+    /// Assembles a profile from raw observations.
+    #[must_use]
+    pub fn from_parts(
+        order: Vec<MethodId>,
+        executed_bytes: HashMap<MethodId, u32>,
+        dynamic_instructions: u64,
+    ) -> Self {
+        let rank = order.iter().enumerate().map(|(i, &m)| (m, i)).collect();
+        FirstUseProfile { order, rank, executed_bytes, dynamic_instructions }
+    }
+
+    /// Methods in first-invocation order. The entry method is first.
+    #[must_use]
+    pub fn order(&self) -> &[MethodId] {
+        &self.order
+    }
+
+    /// The position of `method` in the first-use order, if it executed.
+    #[must_use]
+    pub fn rank(&self, method: MethodId) -> Option<usize> {
+        self.rank.get(&method).copied()
+    }
+
+    /// Whether `method` executed at all during the profiled run.
+    #[must_use]
+    pub fn executed(&self, method: MethodId) -> bool {
+        self.rank.contains_key(&method)
+    }
+
+    /// Code bytes of `method` that executed at least once (0 if it never
+    /// ran).
+    #[must_use]
+    pub fn executed_bytes(&self, method: MethodId) -> u32 {
+        self.executed_bytes.get(&method).copied().unwrap_or(0)
+    }
+
+    /// Total dynamic instructions of the profiled run.
+    #[must_use]
+    pub fn dynamic_instructions(&self) -> u64 {
+        self.dynamic_instructions
+    }
+
+    /// Number of methods that executed.
+    #[must_use]
+    pub fn executed_method_count(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Fraction (0–1) of `program`'s methods this profile covers.
+    #[must_use]
+    pub fn coverage(&self, program: &Program) -> f64 {
+        if program.method_count() == 0 {
+            return 0.0;
+        }
+        self.order.len() as f64 / program.method_count() as f64
+    }
+
+    /// How well this profile predicts another run's first-use order:
+    /// fraction of `other`'s first-use sequence whose *relative order* is
+    /// preserved here (pairs both profiles saw, ordered identically).
+    /// 1.0 means perfect prediction (e.g. profiling the test input and
+    /// running the test input).
+    #[must_use]
+    pub fn order_agreement(&self, other: &FirstUseProfile) -> f64 {
+        let common: Vec<MethodId> =
+            other.order.iter().copied().filter(|m| self.executed(*m)).collect();
+        if common.len() < 2 {
+            return 1.0;
+        }
+        let mut agree = 0u64;
+        let mut total = 0u64;
+        for i in 0..common.len() {
+            for j in (i + 1)..common.len() {
+                total += 1;
+                let (a, b) = (common[i], common[j]);
+                if self.rank(a) < self.rank(b) {
+                    agree += 1;
+                }
+            }
+        }
+        agree as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(i: u16) -> MethodId {
+        MethodId::new(0, i)
+    }
+
+    fn profile(order: &[u16]) -> FirstUseProfile {
+        let order: Vec<MethodId> = order.iter().map(|&i| m(i)).collect();
+        let bytes = order.iter().map(|&id| (id, 10)).collect();
+        FirstUseProfile::from_parts(order, bytes, 100)
+    }
+
+    #[test]
+    fn rank_reflects_order() {
+        let p = profile(&[0, 2, 1]);
+        assert_eq!(p.rank(m(0)), Some(0));
+        assert_eq!(p.rank(m(2)), Some(1));
+        assert_eq!(p.rank(m(1)), Some(2));
+        assert_eq!(p.rank(m(9)), None);
+        assert!(p.executed(m(2)) && !p.executed(m(9)));
+    }
+
+    #[test]
+    fn executed_bytes_default_zero() {
+        let p = profile(&[0]);
+        assert_eq!(p.executed_bytes(m(0)), 10);
+        assert_eq!(p.executed_bytes(m(5)), 0);
+    }
+
+    #[test]
+    fn identical_profiles_agree_fully() {
+        let p = profile(&[0, 1, 2, 3]);
+        assert_eq!(p.order_agreement(&p), 1.0);
+    }
+
+    #[test]
+    fn reversed_profiles_disagree() {
+        let p = profile(&[0, 1, 2, 3]);
+        let q = profile(&[3, 2, 1, 0]);
+        assert_eq!(p.order_agreement(&q), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap_scores_between() {
+        let p = profile(&[0, 1, 2]);
+        let q = profile(&[0, 2, 1, 7]); // 7 unknown to p, ignored
+        let score = p.order_agreement(&q);
+        assert!(score > 0.0 && score < 1.0, "{score}");
+    }
+}

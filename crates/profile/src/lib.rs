@@ -1,0 +1,28 @@
+//! # nonstrict-profile
+//!
+//! Execution traces and first-use profiling — the measurement half of the
+//! BIT analog (Lee & Zorn's bytecode instrumentation tool, which the
+//! paper uses to "generate our first-use profiles, to perform the
+//! reordering, and to simulate the execution of the restructured class
+//! files", §6).
+//!
+//! * [`trace::ExecutionTrace`] — a compact segment trace of one program
+//!   run: `(enter | run | exit)*`, replayable by the transfer
+//!   co-simulator.
+//! * [`first_use::FirstUseProfile`] — the order in which methods were
+//!   first invoked, plus per-method executed-byte counts; drives the
+//!   profile-guided reordering (§4.2) and the transfer schedules' unique-
+//!   byte thresholds (§5.1).
+//! * [`collector::TraceCollector`] — an [`nonstrict_bytecode::EventSink`]
+//!   that records both at once.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod collector;
+pub mod first_use;
+pub mod trace;
+
+pub use collector::{collect, Collected, TraceCollector};
+pub use first_use::FirstUseProfile;
+pub use trace::{ExecutionTrace, TraceEvent};

@@ -1,0 +1,183 @@
+//! Compact segment traces of program executions.
+
+use nonstrict_bytecode::MethodId;
+
+/// One trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// Control entered `method` (call or program start).
+    Enter(MethodId),
+    /// `count` consecutive instructions executed inside `method`.
+    Run {
+        /// The executing method.
+        method: MethodId,
+        /// Instructions in this segment.
+        count: u64,
+    },
+    /// Control left `method` (return).
+    Exit(MethodId),
+}
+
+/// A whole-run trace: the exact dynamic instruction stream, segmented at
+/// every control transfer between methods.
+///
+/// Replaying a trace against a cycles-per-instruction model and a
+/// transfer engine reproduces the paper's cycle-level co-simulation: the
+/// `Enter` events are exactly the points where non-strict execution may
+/// stall on a missing method delimiter.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecutionTrace {
+    events: Vec<TraceEvent>,
+    total_instructions: u64,
+}
+
+impl ExecutionTrace {
+    /// Creates an empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        ExecutionTrace::default()
+    }
+
+    /// Appends an event, coalescing consecutive `Run`s of the same
+    /// method and dropping empty runs.
+    pub fn push(&mut self, event: TraceEvent) {
+        if let TraceEvent::Run { method, count } = event {
+            if count == 0 {
+                return;
+            }
+            self.total_instructions += count;
+            if let Some(TraceEvent::Run { method: lm, count: lc }) = self.events.last_mut() {
+                if *lm == method {
+                    *lc += count;
+                    return;
+                }
+            }
+        }
+        self.events.push(event);
+    }
+
+    /// The events in order.
+    #[must_use]
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Total dynamic instruction count (Table 2's "Dynamic Instrs").
+    #[must_use]
+    pub fn total_instructions(&self) -> u64 {
+        self.total_instructions
+    }
+
+    /// Number of events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Methods in first-entry order (derivable view; the profiler keeps
+    /// its own copy with byte counts).
+    #[must_use]
+    pub fn first_entry_order(&self) -> Vec<MethodId> {
+        let mut seen = std::collections::HashSet::new();
+        let mut order = Vec::new();
+        for e in &self.events {
+            if let TraceEvent::Enter(m) = e {
+                if seen.insert(*m) {
+                    order.push(*m);
+                }
+            }
+        }
+        order
+    }
+
+    /// Dynamic instruction count per method, keyed by `MethodId`.
+    #[must_use]
+    pub fn instructions_per_method(&self) -> std::collections::HashMap<MethodId, u64> {
+        let mut map = std::collections::HashMap::new();
+        for e in &self.events {
+            if let TraceEvent::Run { method, count } = e {
+                *map.entry(*method).or_insert(0) += count;
+            }
+        }
+        map
+    }
+}
+
+impl Extend<TraceEvent> for ExecutionTrace {
+    fn extend<T: IntoIterator<Item = TraceEvent>>(&mut self, iter: T) {
+        for e in iter {
+            self.push(e);
+        }
+    }
+}
+
+impl FromIterator<TraceEvent> for ExecutionTrace {
+    fn from_iter<T: IntoIterator<Item = TraceEvent>>(iter: T) -> Self {
+        let mut t = ExecutionTrace::new();
+        t.extend(iter);
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(i: u16) -> MethodId {
+        MethodId::new(0, i)
+    }
+
+    #[test]
+    fn consecutive_runs_coalesce() {
+        let mut t = ExecutionTrace::new();
+        t.push(TraceEvent::Enter(m(0)));
+        t.push(TraceEvent::Run { method: m(0), count: 3 });
+        t.push(TraceEvent::Run { method: m(0), count: 4 });
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.total_instructions(), 7);
+    }
+
+    #[test]
+    fn zero_runs_dropped() {
+        let mut t = ExecutionTrace::new();
+        t.push(TraceEvent::Run { method: m(0), count: 0 });
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn first_entry_order_dedupes() {
+        let t: ExecutionTrace = vec![
+            TraceEvent::Enter(m(0)),
+            TraceEvent::Enter(m(1)),
+            TraceEvent::Exit(m(1)),
+            TraceEvent::Enter(m(1)),
+            TraceEvent::Enter(m(2)),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(t.first_entry_order(), vec![m(0), m(1), m(2)]);
+    }
+
+    #[test]
+    fn per_method_counts() {
+        let t: ExecutionTrace = vec![
+            TraceEvent::Run { method: m(0), count: 5 },
+            TraceEvent::Enter(m(1)),
+            TraceEvent::Run { method: m(1), count: 2 },
+            TraceEvent::Exit(m(1)),
+            TraceEvent::Run { method: m(0), count: 5 },
+        ]
+        .into_iter()
+        .collect();
+        let per = t.instructions_per_method();
+        assert_eq!(per[&m(0)], 10);
+        assert_eq!(per[&m(1)], 2);
+        assert_eq!(t.total_instructions(), 12);
+    }
+}

@@ -1,0 +1,196 @@
+//! The first-use order abstraction shared by every reordering source.
+
+use nonstrict_bytecode::{MethodId, Program};
+use nonstrict_profile::FirstUseProfile;
+
+/// A predicted first-use ordering over **all** methods of a program.
+///
+/// Orders come from three sources, matching the paper's three
+/// configurations:
+///
+/// * `SCG` — [`crate::scg::static_first_use`] (§4.1);
+/// * `Train` / `Test` — [`FirstUseOrder::from_profile`] (§4.2), which
+///   places profiled methods in observed order and falls back to the
+///   static estimate for methods the profiling run never invoked.
+///
+/// ```
+/// use nonstrict_reorder::static_first_use;
+///
+/// let app = nonstrict_workloads::hanoi::build();
+/// let order = static_first_use(&app.program);
+/// // main is always predicted first
+/// assert_eq!(order.order()[0], app.program.entry());
+/// // and every class's restructured file leads with its first-used method
+/// let layout = order.class_layout(app.program.entry().class);
+/// assert_eq!(layout[0], app.program.entry().method);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FirstUseOrder {
+    order: Vec<MethodId>,
+    /// Rank by global method index.
+    rank: Vec<usize>,
+}
+
+impl FirstUseOrder {
+    /// Builds from an explicit complete order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is not a permutation of all of `program`'s
+    /// methods (an internal invariant of the producers in this crate).
+    #[must_use]
+    pub fn from_order(program: &Program, order: Vec<MethodId>) -> Self {
+        assert_eq!(order.len(), program.method_count(), "order must cover every method");
+        let mut rank = vec![usize::MAX; program.method_count()];
+        for (i, &m) in order.iter().enumerate() {
+            let g = program.global_index(m);
+            assert_eq!(rank[g], usize::MAX, "duplicate method {m} in order");
+            rank[g] = i;
+        }
+        FirstUseOrder { order, rank }
+    }
+
+    /// The source-order ordering (no restructuring) — the paper's strict
+    /// baseline layout.
+    #[must_use]
+    pub fn source_order(program: &Program) -> Self {
+        let order = program.iter_methods().map(|(id, _)| id).collect();
+        Self::from_order(program, order)
+    }
+
+    /// Profile-guided ordering: profiled methods in observed first-use
+    /// order, then every unexecuted method in the static-estimate order
+    /// (§4.2: *"All procedures that are not executed are given a
+    /// first-use ordering during placement using the static approach"*).
+    #[must_use]
+    pub fn from_profile(
+        program: &Program,
+        profile: &FirstUseProfile,
+        static_fallback: &FirstUseOrder,
+    ) -> Self {
+        let mut order: Vec<MethodId> = profile.order().to_vec();
+        let mut placed = vec![false; program.method_count()];
+        for &m in &order {
+            placed[program.global_index(m)] = true;
+        }
+        let mut rest: Vec<MethodId> = static_fallback
+            .order
+            .iter()
+            .copied()
+            .filter(|&m| !placed[program.global_index(m)])
+            .collect();
+        order.append(&mut rest);
+        Self::from_order(program, order)
+    }
+
+    /// All methods, most-urgent first.
+    #[must_use]
+    pub fn order(&self) -> &[MethodId] {
+        &self.order
+    }
+
+    /// Position of `method` in the order.
+    #[must_use]
+    pub fn rank(&self, program: &Program, method: MethodId) -> usize {
+        self.rank[program.global_index(method)]
+    }
+
+    /// The methods of one class, most-urgent first — the order they get
+    /// inside the restructured class file.
+    #[must_use]
+    pub fn class_layout(&self, class: nonstrict_bytecode::ClassId) -> Vec<u16> {
+        self.order.iter().filter(|m| m.class == class).map(|m| m.method).collect()
+    }
+
+    /// Classes in the order their *first* method appears — the order the
+    /// interleaved file visits classes and the parallel schedule
+    /// considers dependencies.
+    #[must_use]
+    pub fn class_order(&self) -> Vec<nonstrict_bytecode::ClassId> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for m in &self.order {
+            if seen.insert(m.class) {
+                out.push(m.class);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nonstrict_bytecode::builder::MethodBuilder;
+    use nonstrict_bytecode::program::ClassDef;
+    use std::collections::HashMap;
+
+    fn three_method_program() -> Program {
+        let mut a = ClassDef::new("o/A");
+        for name in ["main", "x", "y"] {
+            let mut b = MethodBuilder::new(name, 0);
+            b.ret();
+            a.add_method(b.finish());
+        }
+        let mut bclass = ClassDef::new("o/B");
+        let mut m = MethodBuilder::new("z", 0);
+        m.ret();
+        bclass.add_method(m.finish());
+        Program::new(vec![a, bclass], "o/A", "main").unwrap()
+    }
+
+    #[test]
+    fn source_order_is_identity() {
+        let p = three_method_program();
+        let o = FirstUseOrder::source_order(&p);
+        assert_eq!(o.rank(&p, MethodId::new(0, 0)), 0);
+        assert_eq!(o.rank(&p, MethodId::new(1, 0)), 3);
+    }
+
+    #[test]
+    fn profile_order_prepends_profiled_methods() {
+        let p = three_method_program();
+        let fallback = FirstUseOrder::source_order(&p);
+        let profile = FirstUseProfile::from_parts(
+            vec![MethodId::new(0, 0), MethodId::new(1, 0)],
+            HashMap::new(),
+            10,
+        );
+        let o = FirstUseOrder::from_profile(&p, &profile, &fallback);
+        assert_eq!(
+            o.order(),
+            &[
+                MethodId::new(0, 0),
+                MethodId::new(1, 0),
+                MethodId::new(0, 1),
+                MethodId::new(0, 2)
+            ]
+        );
+    }
+
+    #[test]
+    fn class_layout_filters_and_orders() {
+        let p = three_method_program();
+        let o = FirstUseOrder::from_order(
+            &p,
+            vec![
+                MethodId::new(0, 2),
+                MethodId::new(1, 0),
+                MethodId::new(0, 0),
+                MethodId::new(0, 1),
+            ],
+        );
+        assert_eq!(o.class_layout(nonstrict_bytecode::ClassId(0)), vec![2, 0, 1]);
+        assert_eq!(
+            o.class_order(),
+            vec![nonstrict_bytecode::ClassId(0), nonstrict_bytecode::ClassId(1)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "order must cover every method")]
+    fn incomplete_order_rejected() {
+        let p = three_method_program();
+        let _ = FirstUseOrder::from_order(&p, vec![MethodId::new(0, 0)]);
+    }
+}

@@ -1,0 +1,326 @@
+//! Global-data partitioning (§7.3 of the paper).
+//!
+//! A class file's global data normally transfers in one piece before any
+//! method can run. Partitioning splits it three ways:
+//!
+//! * **needed first** — the header, midsection, fields, class attributes,
+//!   and every constant-pool entry the class *structure* references
+//!   (names of fields, attribute names, this/super/interface classes):
+//!   this is all that must precede execution;
+//! * **method-level** — entries referenced only by method code or by a
+//!   method's own name/descriptor: they ship in a per-method
+//!   `GlobalMethodData` (GMD) chunk placed before that method;
+//! * **unused** — pool residue referenced by nothing.
+//!
+//! [`ClassPartition::gmd_sizes`] assigns each shared entry to the
+//! *earliest* method (in a given file order) that needs it, exactly as
+//! the paper's GMD placement does: *"the GMD contains only the data in
+//! the constant pool and attributes that are needed to execute up to and
+//! including the procedure the GMD is placed before."*
+
+use std::collections::{HashMap, HashSet};
+
+use nonstrict_bytecode::Application;
+use nonstrict_classfile::{Attribute, ClassFile, Constant, CpIndex};
+
+/// The partition of one class's global data.
+#[derive(Debug, Clone)]
+pub struct ClassPartition {
+    /// Total global-data bytes (header + pool + midsection + fields +
+    /// class attributes).
+    pub global_total: u64,
+    /// Bytes that must transfer before any method runs.
+    pub needed_first: u64,
+    /// Bytes attributable to methods (union of all GMD content).
+    pub in_methods: u64,
+    /// Bytes referenced by nothing.
+    pub unused: u64,
+    /// Per source method: the pool entries its GMD may need (transitive,
+    /// structural entries excluded). Shared entries appear in several
+    /// methods here; [`ClassPartition::gmd_sizes`] deduplicates by first
+    /// use.
+    method_entries: Vec<Vec<CpIndex>>,
+    /// Wire size of each pool entry.
+    entry_size: HashMap<CpIndex, u32>,
+}
+
+impl ClassPartition {
+    /// GMD byte sizes per file position, for methods laid out in
+    /// `file_order` (source method indices). Each shared entry is
+    /// charged to the earliest method that references it.
+    #[must_use]
+    pub fn gmd_sizes(&self, file_order: &[u16]) -> Vec<u64> {
+        let mut claimed: HashSet<CpIndex> = HashSet::new();
+        file_order
+            .iter()
+            .map(|&m| {
+                let mut bytes = 0u64;
+                for &e in &self.method_entries[m as usize] {
+                    if claimed.insert(e) {
+                        bytes += u64::from(self.entry_size[&e]);
+                    }
+                }
+                bytes
+            })
+            .collect()
+    }
+
+    /// Number of methods this partition covers.
+    #[must_use]
+    pub fn method_count(&self) -> usize {
+        self.method_entries.len()
+    }
+}
+
+/// Expands `idx` to itself plus everything it references, transitively.
+fn closure(class: &ClassFile, idx: CpIndex, out: &mut HashSet<CpIndex>) {
+    if idx.is_none() || !out.insert(idx) {
+        return;
+    }
+    match class.constant_pool.get(idx) {
+        Some(Constant::String { utf8 }) => closure(class, *utf8, out),
+        Some(Constant::Class { name }) => closure(class, *name, out),
+        Some(
+            Constant::FieldRef { class: c, name_and_type }
+            | Constant::MethodRef { class: c, name_and_type }
+            | Constant::InterfaceMethodRef { class: c, name_and_type },
+        ) => {
+            closure(class, *c, out);
+            closure(class, *name_and_type, out);
+        }
+        Some(Constant::NameAndType { name, descriptor }) => {
+            closure(class, *name, out);
+            closure(class, *descriptor, out);
+        }
+        _ => {}
+    }
+}
+
+/// Finds the pool index of a UTF-8 entry by content (attribute names).
+fn utf8_index(class: &ClassFile, s: &str) -> Option<CpIndex> {
+    class
+        .constant_pool
+        .iter()
+        .find(|(_, c)| matches!(c, Constant::Utf8(t) if t == s))
+        .map(|(i, _)| i)
+}
+
+fn attribute_roots(class: &ClassFile, attr: &Attribute, out: &mut HashSet<CpIndex>) {
+    if let Some(i) = utf8_index(class, attr.name()) {
+        closure(class, i, out);
+    }
+    match attr {
+        Attribute::ConstantValue { value } => closure(class, *value, out),
+        Attribute::SourceFile { file } => closure(class, *file, out),
+        Attribute::Exceptions { classes } => {
+            for c in classes {
+                closure(class, *c, out);
+            }
+        }
+        Attribute::Code { attributes, .. } => {
+            for a in attributes {
+                attribute_roots(class, a, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Partitions one class. `code_usage` holds, per source method, the pool
+/// indices that method's encoded code references directly (from
+/// lowering).
+#[must_use]
+pub fn partition_class(class: &ClassFile, code_usage: &[Vec<CpIndex>]) -> ClassPartition {
+    debug_assert_eq!(code_usage.len(), class.methods.len());
+
+    // Structural roots: everything the class needs before any method.
+    let mut structural: HashSet<CpIndex> = HashSet::new();
+    closure(class, class.this_class, &mut structural);
+    closure(class, class.super_class, &mut structural);
+    for &i in &class.interfaces {
+        closure(class, i, &mut structural);
+    }
+    for f in &class.fields {
+        closure(class, f.name, &mut structural);
+        closure(class, f.descriptor, &mut structural);
+        for a in &f.attributes {
+            attribute_roots(class, a, &mut structural);
+        }
+    }
+    for a in &class.attributes {
+        attribute_roots(class, a, &mut structural);
+    }
+    // Attribute-name strings of method attributes ("Code",
+    // "LineNumberTable") are needed to parse *any* method, so they are
+    // structural too.
+    for m in &class.methods {
+        for a in &m.attributes {
+            if let Some(i) = utf8_index(class, a.name()) {
+                closure(class, i, &mut structural);
+            }
+        }
+    }
+
+    // Per-method entries: code references plus the method's own
+    // name/descriptor, minus anything structural.
+    let mut method_entries: Vec<Vec<CpIndex>> = Vec::with_capacity(class.methods.len());
+    let mut in_method_union: HashSet<CpIndex> = HashSet::new();
+    for (m, usage) in class.methods.iter().zip(code_usage) {
+        let mut set: HashSet<CpIndex> = HashSet::new();
+        closure(class, m.name, &mut set);
+        closure(class, m.descriptor, &mut set);
+        for &u in usage {
+            closure(class, u, &mut set);
+        }
+        let mut entries: Vec<CpIndex> =
+            set.into_iter().filter(|e| !structural.contains(e)).collect();
+        entries.sort_unstable();
+        in_method_union.extend(entries.iter().copied());
+        method_entries.push(entries);
+    }
+
+    let entry_size: HashMap<CpIndex, u32> =
+        class.constant_pool.iter().map(|(i, c)| (i, c.wire_size())).collect();
+    let size_of = |set: &HashSet<CpIndex>| -> u64 {
+        set.iter().map(|i| u64::from(entry_size[i])).sum()
+    };
+
+    let in_methods = size_of(&in_method_union);
+    let pool_total: u64 = u64::from(class.constant_pool.wire_size());
+    let structural_pool = size_of(&structural);
+    let unused = pool_total - structural_pool - in_methods;
+    let global_total = u64::from(class.global_data_size());
+    let needed_first = global_total - in_methods - unused;
+
+    ClassPartition {
+        global_total,
+        needed_first,
+        in_methods,
+        unused,
+        method_entries,
+        entry_size,
+    }
+}
+
+/// Partitions every class of `app`, using the code-usage map produced at
+/// lowering.
+#[must_use]
+pub fn partition_app(app: &Application) -> Vec<ClassPartition> {
+    let mut out = Vec::with_capacity(app.classes.len());
+    let mut g = 0usize;
+    for class in &app.classes {
+        let n = class.methods.len();
+        out.push(partition_class(class, &app.code_usage[g..g + n]));
+        g += n;
+    }
+    out
+}
+
+/// A Table 9 row: the application-wide data breakdown.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartitionSummary {
+    /// Method local data, KB.
+    pub local_kb: f64,
+    /// Global data, KB.
+    pub global_kb: f64,
+    /// Percent of global data needed before execution.
+    pub pct_needed_first: f64,
+    /// Percent of global data attributable to methods.
+    pub pct_in_methods: f64,
+    /// Percent of global data referenced by nothing.
+    pub pct_unused: f64,
+}
+
+/// Summarizes `partitions` into the application's Table 9 row.
+#[must_use]
+pub fn summarize(app: &Application, partitions: &[ClassPartition]) -> PartitionSummary {
+    let global: u64 = partitions.iter().map(|p| p.global_total).sum();
+    let needed: u64 = partitions.iter().map(|p| p.needed_first).sum();
+    let in_m: u64 = partitions.iter().map(|p| p.in_methods).sum();
+    let unused: u64 = partitions.iter().map(|p| p.unused).sum();
+    let local: u64 = app
+        .classes
+        .iter()
+        .map(|c| {
+            let s = nonstrict_classfile::SectionSizes::of(c);
+            u64::from(s.local_data())
+        })
+        .sum();
+    let pct = |x: u64| 100.0 * x as f64 / global.max(1) as f64;
+    PartitionSummary {
+        local_kb: local as f64 / 1024.0,
+        global_kb: global as f64 / 1024.0,
+        pct_needed_first: pct(needed),
+        pct_in_methods: pct(in_m),
+        pct_unused: pct(unused),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn partitions_for(app: &Application) -> Vec<ClassPartition> {
+        partition_app(app)
+    }
+
+    #[test]
+    fn three_way_split_accounts_for_all_global_bytes() {
+        let app = nonstrict_workloads::hanoi::build();
+        for (p, class) in partitions_for(&app).iter().zip(&app.classes) {
+            assert_eq!(
+                p.needed_first + p.in_methods + p.unused,
+                u64::from(class.global_data_size()),
+                "partition must cover global data exactly"
+            );
+            assert!(p.needed_first > 0, "header and structure are always needed first");
+        }
+    }
+
+    #[test]
+    fn gmd_sizes_sum_to_in_methods() {
+        let app = nonstrict_workloads::testdes::build();
+        for (ci, p) in partitions_for(&app).iter().enumerate() {
+            let order: Vec<u16> = (0..app.classes[ci].methods.len() as u16).collect();
+            let gmd = p.gmd_sizes(&order);
+            assert_eq!(gmd.iter().sum::<u64>(), p.in_methods, "class {ci}");
+        }
+    }
+
+    #[test]
+    fn gmd_attribution_respects_order() {
+        // A shared entry must be charged to whichever method comes first.
+        let app = nonstrict_workloads::hanoi::build();
+        let parts = partitions_for(&app);
+        for (ci, p) in parts.iter().enumerate() {
+            let n = app.classes[ci].methods.len() as u16;
+            let fwd: Vec<u16> = (0..n).collect();
+            let rev: Vec<u16> = (0..n).rev().collect();
+            let g_fwd = p.gmd_sizes(&fwd);
+            let g_rev = p.gmd_sizes(&rev);
+            assert_eq!(
+                g_fwd.iter().sum::<u64>(),
+                g_rev.iter().sum::<u64>(),
+                "total GMD bytes are order-independent"
+            );
+        }
+    }
+
+    #[test]
+    fn unused_residue_is_detected() {
+        let app = nonstrict_workloads::jess::build();
+        let parts = partitions_for(&app);
+        let unused: u64 = parts.iter().map(|p| p.unused).sum();
+        assert!(unused > 0, "jess carries deliberate pool residue");
+    }
+
+    #[test]
+    fn summary_percentages_total_one_hundred() {
+        let app = nonstrict_workloads::jhlzip::build();
+        let parts = partitions_for(&app);
+        let s = summarize(&app, &parts);
+        let total = s.pct_needed_first + s.pct_in_methods + s.pct_unused;
+        assert!((total - 100.0).abs() < 1e-6, "{total}");
+        assert!(s.pct_in_methods > s.pct_needed_first, "most globals live in methods");
+    }
+}

@@ -1,0 +1,122 @@
+//! Class-file restructuring: methods rewritten into predicted first-use
+//! order (the paper's Figure 3).
+//!
+//! Restructuring changes only the *order* of `method_info` structures
+//! inside each class file; sizes, the constant pool, and semantics are
+//! untouched. The transfer engines consume the resulting
+//! [`ClassLayout`]s to know which method's bytes stream first.
+
+use nonstrict_bytecode::{Application, ClassId};
+use nonstrict_classfile::ClassFile;
+
+use crate::order::FirstUseOrder;
+
+/// The method layout of one restructured class file: source-order method
+/// indices in the order they appear in the file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassLayout {
+    /// The class.
+    pub class: ClassId,
+    /// `file_order[k]` = source index of the k-th method in the file.
+    pub file_order: Vec<u16>,
+}
+
+impl ClassLayout {
+    /// The file position of source method `m`.
+    #[must_use]
+    pub fn position_of(&self, m: u16) -> usize {
+        self.file_order.iter().position(|&x| x == m).expect("method in layout")
+    }
+}
+
+/// A restructured application: per-class layouts plus rebuilt class
+/// files.
+#[derive(Debug, Clone)]
+pub struct RestructuredApp {
+    /// One layout per class, in class order.
+    pub layouts: Vec<ClassLayout>,
+    /// Rebuilt class files with methods permuted into layout order.
+    pub classes: Vec<ClassFile>,
+}
+
+/// Restructures every class of `app` according to `order`.
+///
+/// Total and per-section sizes are preserved exactly — the permutation
+/// moves bytes, it does not add any (the method delimiters of non-strict
+/// transfer are accounted by the transfer model, not the file).
+#[must_use]
+pub fn restructure(app: &Application, order: &FirstUseOrder) -> RestructuredApp {
+    let mut layouts = Vec::with_capacity(app.classes.len());
+    let mut classes = Vec::with_capacity(app.classes.len());
+    for (ci, class) in app.classes.iter().enumerate() {
+        let class_id = ClassId(ci as u16);
+        let file_order = order.class_layout(class_id);
+        debug_assert_eq!(file_order.len(), class.methods.len());
+        let mut rebuilt = class.clone();
+        rebuilt.methods =
+            file_order.iter().map(|&m| class.methods[m as usize].clone()).collect();
+        layouts.push(ClassLayout { class: class_id, file_order });
+        classes.push(rebuilt);
+    }
+    RestructuredApp { layouts, classes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nonstrict_bytecode::MethodId;
+
+    fn sample() -> (Application, FirstUseOrder) {
+        let app = nonstrict_workloads::hanoi::build();
+        let order = crate::scg::static_first_use(&app.program);
+        (app, order)
+    }
+
+    #[test]
+    fn sizes_are_preserved_exactly() {
+        let (app, order) = sample();
+        let r = restructure(&app, &order);
+        for (orig, new) in app.classes.iter().zip(&r.classes) {
+            assert_eq!(orig.total_size(), new.total_size());
+            assert_eq!(orig.global_data_size(), new.global_data_size());
+            assert_eq!(orig.to_bytes().len(), new.to_bytes().len());
+        }
+    }
+
+    #[test]
+    fn layout_is_a_permutation() {
+        let (app, order) = sample();
+        let r = restructure(&app, &order);
+        for (ci, layout) in r.layouts.iter().enumerate() {
+            let mut sorted = layout.file_order.clone();
+            sorted.sort_unstable();
+            let expect: Vec<u16> = (0..app.classes[ci].methods.len() as u16).collect();
+            assert_eq!(sorted, expect, "class {ci}");
+        }
+    }
+
+    #[test]
+    fn first_used_method_leads_its_class_file() {
+        let (app, order) = sample();
+        let r = restructure(&app, &order);
+        // main is the program's first first-use, so it must be the first
+        // method in class 0's restructured file.
+        assert_eq!(r.layouts[0].file_order[0], app.program.entry().method);
+        assert_eq!(r.layouts[0].position_of(app.program.entry().method), 0);
+    }
+
+    #[test]
+    fn restructured_methods_match_originals() {
+        let (app, order) = sample();
+        let r = restructure(&app, &order);
+        for (ci, layout) in r.layouts.iter().enumerate() {
+            for (pos, &src) in layout.file_order.iter().enumerate() {
+                assert_eq!(
+                    r.classes[ci].methods[pos], app.classes[ci].methods[src as usize],
+                    "class {ci} pos {pos}"
+                );
+            }
+        }
+        let _ = MethodId::new(0, 0); // silence unused import in cfg(test)
+    }
+}

@@ -1,0 +1,1186 @@
+//! The parametric application generator.
+//!
+//! Four of the six benchmarks (BIT, JavaCup, Jess, JHLZip) were large
+//! real-world Java applications. We cannot recover their sources, but the
+//! transfer experiments depend only on measurable structure: class/method
+//! counts and sizes, call topology, loop structure, constant-pool
+//! composition, dynamic instruction counts per input, and the divergence
+//! between the Train and Test execution paths. This module generates
+//! programs with exactly those properties, seeded and deterministic,
+//! calibrated against the paper's Table 2 and Table 9 rows.
+//!
+//! ## Generated shape
+//!
+//! Real 1990s Java applications initialize broadly and then compute
+//! narrowly, and that shape is what makes the paper's transfer questions
+//! interesting. The generator reproduces it:
+//!
+//! * `Main.main(scale, mode)` first runs a **setup pass**: every *live*
+//!   class's driver is invoked once with a tiny workload, so first uses
+//!   burst early and race the network, exactly like class loading in a
+//!   real program. **Dead classes** — a tunable fraction per input —
+//!   hide behind guards no input (or only one input) satisfies: the
+//!   static estimator still sees the call edges and mispredicts them,
+//!   while profiles know better.
+//! * A **compute pass** then loops over a *hot subset* of classes with
+//!   the real `scale`, re-invoking their drivers (code reuse, no new
+//!   first uses) — this is where the dynamic instruction count lives,
+//!   and it is exactly affine in `scale`, so input calibration is a
+//!   two-probe linear solve.
+//! * Drivers take `(scale, mode, phase)` and conditionally invoke their
+//!   class's **workers**; workers enabled only on one input are also
+//!   gated on the compute phase, so Test-only code is first-used *late*
+//!   (deep extras, as in real inputs) rather than early.
+//! * Workers run arithmetic loops, call small **leaf** helpers
+//!   (sometimes cross-class, creating early transfer dependencies),
+//!   touch statics, and load string/integer literals (populating the
+//!   constant pool the way real code does).
+//! * The `Main` class also carries **utility methods** (argument
+//!   parsing, banners, reporting — some live-but-late, some dead), so
+//!   the entry class file is substantially larger than `main` itself:
+//!   the gap between strict and non-strict invocation latency the
+//!   paper's Table 4 measures.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use nonstrict_bytecode::builder::MethodBuilder;
+use nonstrict_bytecode::program::{Application, ClassDef, Program, StaticDef, WireScale};
+use nonstrict_bytecode::{Cond, Interpreter, MethodId, RuntimeFn};
+
+/// `mode` argument value for the Test input.
+pub const MODE_TEST: i64 = 2;
+/// `mode` argument value for the Train input.
+pub const MODE_TRAIN: i64 = 1;
+/// `mode` guard value that no input ever supplies (dead call sites).
+const MODE_NEVER: i32 = 7;
+/// Setup-pass scale: drivers run their workers briefly during the
+/// initialization burst.
+const SETUP_SCALE: i32 = 2;
+
+/// Targets and knobs for one generated application.
+#[derive(Debug, Clone)]
+pub struct GenSpec {
+    /// Benchmark name, e.g. `"Jess"`.
+    pub name: &'static str,
+    /// Package prefix for class names, e.g. `"jess"`.
+    pub package: &'static str,
+    /// RNG seed (generation is fully deterministic).
+    pub seed: u64,
+    /// Number of class files (Table 2 "Total Files").
+    pub classes: usize,
+    /// Total method count (Table 2 "Total Methods").
+    pub methods: usize,
+    /// Average static instructions per method (Table 2).
+    pub avg_instrs: u32,
+    /// Fraction of each class's non-driver methods that are tiny leaves.
+    pub leaf_fraction: f64,
+    /// Cycles per bytecode instruction (Table 3 CPI).
+    pub cpi: u64,
+    /// Target dynamic instructions on the Test input (Table 2).
+    pub dyn_test: u64,
+    /// Target dynamic instructions on the Train input (Table 2).
+    pub dyn_train: u64,
+    /// Fraction of workers enabled on both inputs.
+    pub p_both: f64,
+    /// Fraction enabled only on Test (first-used in the compute pass).
+    pub p_test_only: f64,
+    /// Fraction enabled only on Train.
+    pub p_train_only: f64,
+    /// Fraction of live library classes first-used only **during the
+    /// compute pass** (progressively, spreading first uses through
+    /// execution the way real programs open subsystems on demand).
+    pub p_class_lazy: f64,
+    /// Fraction of library classes dead on **both** inputs (loaded by
+    /// neither run; the static estimator still schedules them).
+    pub p_class_dead_both: f64,
+    /// Fraction of library classes live on Test but dead on Train
+    /// (entire classes the Train profile never sees).
+    pub p_class_dead_train: f64,
+    /// Fraction of live classes re-invoked in the compute pass.
+    pub hot_fraction: f64,
+    /// Compute-pass repetitions.
+    pub phase2_reps: u32,
+    /// Utility methods in the `Main` class (entry-class heft).
+    pub main_extra_methods: usize,
+    /// Average static instructions of each utility method.
+    pub main_extra_avg_instrs: u32,
+    /// Number of adjacent driver pairs whose setup order flips on Train.
+    pub swap_pairs: usize,
+    /// Number of adjacent driver pairs invoked in **data-dependent**
+    /// order that both inputs resolve the same way at run time — the
+    /// static estimator has no data and follows the textual arm, so
+    /// these are pure SCG mispredictions (profiles see through them).
+    pub scg_trap_pairs: usize,
+    /// Probability a worker's leaf helper lives in another class.
+    pub cross_class_leaf: f64,
+    /// Mean byte length of method-referenced string literals (size
+    /// calibration knob for "globals in methods", Table 9).
+    pub literal_len: u32,
+    /// Mean number of string literals per worker.
+    pub literals_per_worker: f64,
+    /// Mean number of pool-resident integer literals per worker (values
+    /// too large for `sipush`; models table-driven code like CRC and
+    /// S-box constants and drives Table 8's "Ints" column).
+    pub int_literals_per_worker: f64,
+    /// Bytes of unreferenced pool residue per class (Table 9 "%
+    /// unused" knob).
+    pub unused_bytes_per_class: u32,
+    /// `LineNumberTable` entries per method (local-data knob, Table 9
+    /// local KB).
+    pub line_entries_per_method: u16,
+    /// Wire-byte calibration factor as (num, den) — reconciles Table 2
+    /// file sizes with Table 3 transfer cycles (see [`WireScale`]).
+    pub wire_scale: (u32, u32),
+}
+
+/// Builds the application described by `spec` and calibrates its
+/// Test/Train inputs to the dynamic-instruction targets.
+///
+/// # Panics
+///
+/// Panics if the spec is internally inconsistent (e.g. fewer methods than
+/// classes); generation parameters are library-internal, so this is a bug
+/// guard rather than a user-facing error path.
+#[must_use]
+pub fn generate(spec: &GenSpec) -> Application {
+    assert!(spec.classes >= 2, "need a main class and at least one library class");
+    assert!(
+        spec.methods >= spec.classes * 2 + spec.main_extra_methods,
+        "need at least a driver and a worker per class plus main utilities"
+    );
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut names = NameGen::new(spec.package);
+
+    let lib_classes = spec.classes - 1;
+    let main_methods = 2 + spec.main_extra_methods;
+    let per_class = distribute(spec.methods - main_methods, lib_classes, &mut rng);
+
+    // Decide each class's fate up front: liveness and hotness drive
+    // worker enablement probabilities.
+    let max_lazy_rep = spec.phase2_reps.saturating_sub(1).max(1);
+    let n_dead_both = (spec.p_class_dead_both * lib_classes as f64).round() as usize;
+    let n_dead_train = (spec.p_class_dead_train * lib_classes as f64).round() as usize;
+    let n_lazy = (spec.p_class_lazy * lib_classes as f64).round() as usize;
+    // Exact counts (a small benchmark must not roll zero dead classes by
+    // luck); positions shuffled so fates scatter across the class list.
+    let mut shuffled: Vec<usize> = (0..lib_classes).collect();
+    for i in (1..shuffled.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        shuffled.swap(i, j);
+    }
+    let mut fates = vec![
+        ClassFate { enable: ClassEnable::Live, hot: false, lazy_rep: 1 };
+        lib_classes
+    ];
+    let mut cursor = 0;
+    for _ in 0..n_dead_both.min(lib_classes.saturating_sub(1)) {
+        fates[shuffled[cursor]].enable = ClassEnable::DeadBoth;
+        cursor += 1;
+    }
+    for _ in 0..n_dead_train.min(lib_classes.saturating_sub(cursor + 1)) {
+        fates[shuffled[cursor]].enable = ClassEnable::DeadTrain;
+        cursor += 1;
+    }
+    for lazy_idx in 0..n_lazy.min(lib_classes.saturating_sub(cursor + 1)) as u32 {
+        let f = &mut fates[shuffled[cursor]];
+        f.enable = ClassEnable::Lazy;
+        f.lazy_rep = 1 + lazy_idx % max_lazy_rep;
+        cursor += 1;
+    }
+    for f in &mut fates {
+        if matches!(f.enable, ClassEnable::Live | ClassEnable::Lazy) {
+            f.hot = rng.gen::<f64>() < spec.hot_fraction;
+        }
+    }
+    // At least one live hot class, or the compute pass is empty.
+    let fates = ensure_hot(fates);
+
+    // Plan every class before emitting code so cross-class method ids
+    // are known up front, then wire worker→leaf calls.
+    let mut plans: Vec<ClassPlan> = (0..lib_classes)
+        .map(|ci| ClassPlan::new(spec, ci, per_class[ci], fates[ci], &mut rng, &mut names))
+        .collect();
+    wire_leaves(&mut plans, spec, &mut rng);
+
+    let mut classes = Vec::with_capacity(spec.classes);
+    classes.push(build_main_class(spec, &plans, &mut rng, &mut names));
+    for plan in &plans {
+        classes.push(build_library_class(spec, plan, &plans, &mut rng, &mut names));
+    }
+
+    let main_name = classes[0].name.clone();
+    let program = Program::new(classes, &main_name, "main").expect("generated program verifies");
+    let mut app =
+        Application::from_program(spec.name, program, spec.cpi).expect("generated program lowers");
+    app.wire_scale = WireScale::new(spec.wire_scale.0, spec.wire_scale.1);
+
+    let test_scale = calibrate_scale(&app, MODE_TEST, spec.dyn_test);
+    let train_scale = calibrate_scale(&app, MODE_TRAIN, spec.dyn_train);
+    app.test_args = vec![test_scale, MODE_TEST];
+    app.train_args = vec![train_scale, MODE_TRAIN];
+    app
+}
+
+/// When a whole class runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ClassEnable {
+    /// Touched in the setup pass.
+    Live,
+    /// First used during the compute pass, at a specific repetition.
+    Lazy,
+    /// Loaded by neither input.
+    DeadBoth,
+    /// Loaded on Test, never on Train.
+    DeadTrain,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ClassFate {
+    enable: ClassEnable,
+    hot: bool,
+    /// For lazy classes: the compute repetition (1-based) that first
+    /// invokes the driver.
+    lazy_rep: u32,
+}
+
+fn ensure_hot(mut fates: Vec<ClassFate>) -> Vec<ClassFate> {
+    if !fates.iter().any(|f| f.hot) {
+        if let Some(f) = fates
+            .iter_mut()
+            .find(|f| matches!(f.enable, ClassEnable::Live | ClassEnable::Lazy))
+        {
+            f.hot = true;
+        } else if let Some(f) = fates.first_mut() {
+            f.enable = ClassEnable::Live;
+            f.hot = true;
+        }
+    }
+    fates
+}
+
+/// When each worker runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Enable {
+    Both,
+    TestOnly,
+    TrainOnly,
+    Never,
+}
+
+/// One planned worker method.
+#[derive(Debug, Clone)]
+struct WorkerPlan {
+    name: String,
+    enable: Enable,
+    /// Arithmetic instructions per loop iteration.
+    loop_block: u32,
+    /// Whether to emit the post-loop diamond (budget permitting).
+    with_diamond: bool,
+    /// Whether to emit the static-field touch (budget permitting).
+    with_static: bool,
+    /// Whether the size budget reserved room for a leaf call.
+    leaf_budgeted: bool,
+    /// String literals to embed.
+    literals: Vec<String>,
+    /// Pool-resident integer literals to embed.
+    int_literals: Vec<i32>,
+    /// Leaf helper to call: (class plan index, leaf index) — possibly in
+    /// another class.
+    leaf: Option<(usize, usize)>,
+    /// Divide the incoming scale by this (1, 2, or 4) before looping.
+    scale_div: i32,
+}
+
+/// One planned library class.
+#[derive(Debug, Clone)]
+struct ClassPlan {
+    name: String,
+    /// Library-class index (0-based); its `ClassId` is `index + 1`.
+    index: usize,
+    fate: ClassFate,
+    workers: Vec<WorkerPlan>,
+    leaf_names: Vec<String>,
+    static_count: u16,
+    /// Indices of adjacent worker pairs whose order flips on Train.
+    intra_swaps: Vec<usize>,
+}
+
+impl ClassPlan {
+    fn class_id(&self) -> u16 {
+        (self.index + 1) as u16
+    }
+
+    /// Method index of the driver (always 0).
+    fn driver(&self) -> MethodId {
+        MethodId::new(self.class_id(), 0)
+    }
+
+    /// Method index of worker `w` (workers follow the driver).
+    fn worker(&self, w: usize) -> MethodId {
+        MethodId::new(self.class_id(), (1 + w) as u16)
+    }
+
+    /// Method index of leaf `l` (leaves follow the workers).
+    fn leaf(&self, l: usize) -> MethodId {
+        MethodId::new(self.class_id(), (1 + self.workers.len() + l) as u16)
+    }
+
+    fn new(
+        spec: &GenSpec,
+        index: usize,
+        method_budget: usize,
+        fate: ClassFate,
+        rng: &mut StdRng,
+        names: &mut NameGen,
+    ) -> ClassPlan {
+        // budget = 1 driver + workers + leaves
+        let body_methods = method_budget.saturating_sub(1).max(1);
+        let leaves = ((body_methods as f64 * spec.leaf_fraction).round() as usize)
+            .min(body_methods - 1)
+            .max(usize::from(body_methods > 2));
+        let workers = body_methods - leaves;
+        let name = names.class_name(rng);
+
+        let worker_plans = (0..workers)
+            .map(|_| {
+                let r: f64 = rng.gen();
+                // Input-specific workers only make sense where the
+                // compute pass reaches them.
+                let compute_reached = fate.hot || fate.enable == ClassEnable::Lazy;
+                let enable = if compute_reached && r >= spec.p_both {
+                    if r < spec.p_both + spec.p_test_only {
+                        Enable::TestOnly
+                    } else if r < spec.p_both + spec.p_test_only + spec.p_train_only {
+                        Enable::TrainOnly
+                    } else {
+                        Enable::Never
+                    }
+                } else if r < spec.p_both + spec.p_test_only + spec.p_train_only {
+                    Enable::Both
+                } else {
+                    Enable::Never
+                };
+                let mut literals = Vec::new();
+                let n_lit = if rng.gen::<f64>() < spec.literals_per_worker.fract() {
+                    spec.literals_per_worker.ceil() as usize
+                } else {
+                    spec.literals_per_worker.floor() as usize
+                };
+                for _ in 0..n_lit {
+                    let len = (spec.literal_len / 2 + rng.gen_range(0..spec.literal_len)).max(3);
+                    literals.push(names.literal(rng, len as usize));
+                }
+                let mut int_literals = Vec::new();
+                let n_int = if rng.gen::<f64>() < spec.int_literals_per_worker.fract() {
+                    spec.int_literals_per_worker.ceil() as usize
+                } else {
+                    spec.int_literals_per_worker.floor() as usize
+                };
+                for _ in 0..n_int {
+                    int_literals.push(rng.gen_range(70_000..i32::MAX));
+                }
+                WorkerPlan {
+                    name: names.method_name(rng),
+                    enable,
+                    loop_block: 0, // sized later against avg_instrs
+                    with_diamond: false,
+                    with_static: false,
+                    leaf_budgeted: false,
+                    literals,
+                    int_literals,
+                    leaf: None, // wired later once all plans exist
+                    scale_div: *[1, 1, 2, 4].get(rng.gen_range(0..4)).unwrap_or(&1),
+                }
+            })
+            .collect::<Vec<_>>();
+
+        let leaf_names = (0..leaves).map(|_| names.method_name(rng)).collect();
+        let n_workers = worker_plans.len();
+        let intra_swaps = if n_workers >= 4 && rng.gen::<f64>() < 0.5 {
+            vec![rng.gen_range(0..n_workers - 1)]
+        } else {
+            Vec::new()
+        };
+        let mut plan = ClassPlan {
+            name,
+            index,
+            fate,
+            workers: worker_plans,
+            leaf_names,
+            static_count: rng.gen_range(1..=4),
+            intra_swaps,
+        };
+        plan.size_workers(spec, rng);
+        plan
+    }
+
+    /// Chooses each worker's loop-block size and optional features so the
+    /// class's average static instructions per method approaches the
+    /// spec target. The cost model here mirrors the emitter in
+    /// [`build_library_class`] instruction for instruction.
+    fn size_workers(&mut self, spec: &GenSpec, rng: &mut StdRng) {
+        let methods = 1 + self.workers.len() + self.leaf_names.len();
+        let driver_instrs: u32 = 1 + self
+            .workers
+            .iter()
+            .map(|w| {
+                6 + if w.scale_div > 1 { 2 } else { 0 }
+                    + match w.enable {
+                        Enable::Both => 0,
+                        Enable::Never => 3,
+                        _ => 6, // mode and phase guards
+                    }
+            })
+            .sum::<u32>();
+        let leaf_instrs = 5u32 * self.leaf_names.len() as u32;
+        let total_target = spec.avg_instrs * methods as u32;
+        let worker_budget = total_target.saturating_sub(driver_instrs + leaf_instrs);
+        let per_worker = (worker_budget / self.workers.len().max(1) as u32).max(12);
+        for w in &mut self.workers {
+            // Mandatory parts: prologue(2) + literals(5 each) +
+            // ints(4 each) + loop setup(2) + loop control(4) +
+            // return(2) + minimum block(1).
+            let base = 11 + 5 * w.literals.len() as u32 + 4 * w.int_literals.len() as u32;
+            let jittered = (per_worker as i64
+                + rng.gen_range(-(per_worker as i64) / 4..=per_worker as i64 / 4))
+                as u32;
+            let mut rem = jittered.saturating_sub(base + 1);
+            w.with_diamond = rem >= 10;
+            if w.with_diamond {
+                rem -= 10;
+            }
+            // Reserve room for a leaf call (5 instrs) when the budget
+            // allows; wiring happens later and respects this flag.
+            w.leaf_budgeted = rem >= 5;
+            if w.leaf_budgeted {
+                rem -= 5;
+            }
+            w.with_static = rem >= 4;
+            if w.with_static {
+                rem -= 4;
+            }
+            w.loop_block = (1 + rem).clamp(1, 4000);
+        }
+    }
+}
+
+/// Splits `total` into `parts` positive shares with bounded variance.
+fn distribute(total: usize, parts: usize, rng: &mut StdRng) -> Vec<usize> {
+    let base = total / parts;
+    let mut out = vec![base.max(2); parts];
+    let mut remaining = total.saturating_sub(out.iter().sum::<usize>());
+    // Sprinkle the remainder with mild skew so classes differ in size.
+    while remaining > 0 {
+        let i = rng.gen_range(0..parts);
+        let take = remaining.min(rng.gen_range(1..=3));
+        out[i] += take;
+        remaining -= take;
+    }
+    out
+}
+
+fn build_main_class(
+    spec: &GenSpec,
+    plans: &[ClassPlan],
+    rng: &mut StdRng,
+    names: &mut NameGen,
+) -> ClassDef {
+    let mut class = ClassDef::new(format!("bench/{}/Main", spec.package));
+    class.add_static(StaticDef::int("checksum", 0));
+    class.add_static(StaticDef::int("phase", 0));
+
+    // Pick the live driver pairs that swap on Train, and the pairs that
+    // swap at run time on data the static estimator cannot evaluate.
+    let mut swap_at = std::collections::HashSet::new();
+    let mut trap_at = std::collections::HashSet::new();
+    let mut tries = 0;
+    let want_swaps = spec.swap_pairs.min(plans.len() / 2);
+    let want_traps = spec.scg_trap_pairs.min(plans.len() / 2);
+    while (swap_at.len() < want_swaps || trap_at.len() < want_traps) && tries < 4000 {
+        tries += 1;
+        let i = rng.gen_range(0..plans.len().saturating_sub(1));
+        let both_live = plans[i].fate.enable == ClassEnable::Live
+            && plans[i + 1].fate.enable == ClassEnable::Live;
+        let free = |set: &std::collections::HashSet<usize>| {
+            !(set.contains(&i)
+                || set.contains(&(i + 1))
+                || (i > 0 && set.contains(&(i - 1))))
+        };
+        if both_live && free(&swap_at) && free(&trap_at) {
+            if swap_at.len() < want_swaps {
+                swap_at.insert(i);
+            } else {
+                trap_at.insert(i);
+            }
+        }
+    }
+
+    // main(scale, mode)
+    let mut b = MethodBuilder::new("main", 2);
+    b.invoke(MethodId::new(0, 1)); // init
+
+    // Setup pass: touch every live class briefly; dead classes hide
+    // behind guards the static estimator cannot see through.
+    let setup_call = |b: &mut MethodBuilder, p: &ClassPlan| {
+        b.iconst(SETUP_SCALE).iload(1).iconst(1).invoke(p.driver());
+    };
+    let full_call = |b: &mut MethodBuilder, p: &ClassPlan| {
+        b.iload(0).iload(1).iconst(1).invoke(p.driver());
+    };
+    let mut i = 0;
+    while i < plans.len() {
+        let p = &plans[i];
+        match p.fate.enable {
+            ClassEnable::Live if trap_at.contains(&i) && i + 1 < plans.len() => {
+                // Data-dependent order: the `phase` static is 1 by the
+                // time main runs, so execution always takes the swapped
+                // arm; the static estimator follows the textual arm and
+                // mispredicts the order on every input.
+                let l_swap = b.new_label();
+                let l_end = b.new_label();
+                b.getstatic(0, 1).if_(Cond::Ne, l_swap);
+                setup_call(&mut b, &plans[i]);
+                setup_call(&mut b, &plans[i + 1]);
+                b.goto(l_end);
+                b.bind(l_swap);
+                setup_call(&mut b, &plans[i + 1]);
+                setup_call(&mut b, &plans[i]);
+                b.bind(l_end);
+                i += 2;
+                continue;
+            }
+            ClassEnable::Live if swap_at.contains(&i) && i + 1 < plans.len() => {
+                // if (mode == TRAIN) { B; A } else { A; B }
+                let l_swap = b.new_label();
+                let l_end = b.new_label();
+                b.iload(1).iconst(MODE_TRAIN as i32).if_icmp(Cond::Eq, l_swap);
+                setup_call(&mut b, &plans[i]);
+                setup_call(&mut b, &plans[i + 1]);
+                b.goto(l_end);
+                b.bind(l_swap);
+                setup_call(&mut b, &plans[i + 1]);
+                setup_call(&mut b, &plans[i]);
+                b.bind(l_end);
+                i += 2;
+                continue;
+            }
+            ClassEnable::Live => setup_call(&mut b, p),
+            ClassEnable::Lazy => {} // first use happens in the compute pass
+            ClassEnable::DeadBoth => {
+                let skip = b.new_label();
+                b.iload(1).iconst(MODE_NEVER).if_icmp(Cond::Ne, skip);
+                full_call(&mut b, p);
+                b.bind(skip);
+            }
+            ClassEnable::DeadTrain => {
+                let skip = b.new_label();
+                b.iload(1).iconst(MODE_TEST as i32).if_icmp(Cond::Ne, skip);
+                setup_call(&mut b, p);
+                b.bind(skip);
+            }
+        }
+        i += 1;
+    }
+
+    // Compute pass: `phase2_reps` repetitions with the real scale. Hot
+    // setup-pass classes run every repetition; lazy classes join at
+    // their introduction repetition and stay hot afterwards — so first
+    // uses keep arriving while the program computes, just as real
+    // programs open subsystems on demand.
+    b.iconst(0).istore(2);
+    let head = b.new_label();
+    let exit = b.new_label();
+    b.bind(head);
+    b.iload(2).iconst(spec.phase2_reps as i32).if_icmp(Cond::Ge, exit);
+    for p in plans.iter().filter(|p| p.fate.enable == ClassEnable::Lazy) {
+        let skip = b.new_label();
+        b.iload(2).iconst(p.fate.lazy_rep as i32).if_icmp(Cond::Lt, skip);
+        b.iload(0).iload(1).iload(2).iconst(2).iadd().invoke(p.driver());
+        b.bind(skip);
+    }
+    for p in plans.iter().filter(|p| p.fate.hot && p.fate.enable == ClassEnable::Live) {
+        b.iload(0).iload(1).iload(2).iconst(2).iadd().invoke(p.driver());
+    }
+    b.iinc(2, 1).goto(head);
+    b.bind(exit);
+
+    // Teardown: live utilities report, dead ones linger.
+    let util_base = 2u16;
+    for u in 0..spec.main_extra_methods as u16 {
+        let target = MethodId::new(0, util_base + u);
+        if u % 2 == 0 {
+            b.getstatic(0, 0).invoke(target).putstatic(0, 0);
+        } else {
+            let skip = b.new_label();
+            b.iload(1).iconst(MODE_NEVER).if_icmp(Cond::Ne, skip);
+            b.iconst(0).invoke(target).pop();
+            b.bind(skip);
+        }
+    }
+    b.getstatic(0, 0).invoke_runtime(RuntimeFn::PrintInt);
+    b.ret();
+    let mut main = b.finish();
+    main.line_entries = spec.line_entries_per_method;
+    class.add_method(main);
+
+    // init(): banner + state, runs first.
+    let mut init = MethodBuilder::new("init", 0);
+    init.ldc_str(format!("{} starting", spec.name));
+    init.invoke_runtime(RuntimeFn::PrintString);
+    init.iconst(0).putstatic(0, 0).iconst(1).putstatic(0, 1).ret();
+    let mut init = init.finish();
+    init.line_entries = 3;
+    class.add_method(init);
+
+    // Utility methods: fixed-trip loops (no scale dependence), sized by
+    // the spec so the entry class file has realistic heft.
+    for _ in 0..spec.main_extra_methods {
+        let target =
+            (spec.main_extra_avg_instrs as i64 + rng.gen_range(-8..=8)).max(12) as u32;
+        let mut u = MethodBuilder::new(names.method_name(rng), 1);
+        u.returns_value();
+        u.iload(0).istore(1);
+        let lit = names.literal(rng, spec.literal_len as usize);
+        u.ldc_str(lit).invoke_runtime(RuntimeFn::HashCode).iload(1).iadd().istore(1);
+        let trips = rng.gen_range(3..20);
+        u.iconst(trips).istore(2);
+        let head = u.new_label();
+        let exit = u.new_label();
+        u.bind(head);
+        u.iload(2).if_(Cond::Le, exit);
+        let mut emitted = 0;
+        let block = target.saturating_sub(15);
+        while emitted < block {
+            u.iload(1).iconst(rng.gen_range(1..50)).iadd().istore(1);
+            emitted += 4;
+        }
+        u.iinc(2, -1).goto(head);
+        u.bind(exit);
+        u.iload(1).ireturn();
+        let mut util = u.finish();
+        util.line_entries = spec.line_entries_per_method;
+        class.add_method(util);
+    }
+
+    class.source_file = Some("Main.java".to_owned());
+    add_unused_residue(&mut class, spec, rng, names);
+    class
+}
+
+fn build_library_class(
+    spec: &GenSpec,
+    plan: &ClassPlan,
+    plans: &[ClassPlan],
+    rng: &mut StdRng,
+    names: &mut NameGen,
+) -> ClassDef {
+    let mut class = ClassDef::new(plan.name.clone());
+    for s in 0..plan.static_count {
+        class.add_static(StaticDef::int(format!("state{s}"), i64::from(s) * 3 + 1));
+    }
+
+    // Driver: run(scale, mode, phase) — conditionally invoke workers.
+    // Compute passes carry phase = repetition + 2.
+    let last_phase = spec.phase2_reps as i32 + 1;
+    let mut d = MethodBuilder::new("run", 3);
+    let emit_worker_call = |d: &mut MethodBuilder, w: usize, wp: &WorkerPlan| {
+        let call = |d: &mut MethodBuilder| {
+            d.iload(0);
+            if wp.scale_div > 1 {
+                d.iconst(wp.scale_div).idiv();
+            }
+            d.invoke(plan.worker(w));
+            d.getstatic(plan.class_id(), 0).iadd().putstatic(plan.class_id(), 0);
+        };
+        match wp.enable {
+            Enable::Both => call(d),
+            Enable::TestOnly => {
+                // mode == TEST && final compute repetition: the input-
+                // specific extras run at the very end, so a Train-guided
+                // layout pays almost nothing for missing them.
+                let skip = d.new_label();
+                d.iload(1).iconst(MODE_TEST as i32).if_icmp(Cond::Ne, skip);
+                d.iload(2).iconst(last_phase).if_icmp(Cond::Ne, skip);
+                call(d);
+                d.bind(skip);
+            }
+            Enable::TrainOnly => {
+                let skip = d.new_label();
+                d.iload(1).iconst(MODE_TRAIN as i32).if_icmp(Cond::Ne, skip);
+                d.iload(2).iconst(last_phase).if_icmp(Cond::Ne, skip);
+                call(d);
+                d.bind(skip);
+            }
+            Enable::Never => {
+                let skip = d.new_label();
+                d.iload(1).iconst(MODE_NEVER).if_icmp(Cond::Ne, skip);
+                call(d);
+                d.bind(skip);
+            }
+        }
+    };
+    let mut w = 0;
+    while w < plan.workers.len() {
+        if plan.intra_swaps.contains(&w) && w + 1 < plan.workers.len() {
+            let l_swap = d.new_label();
+            let l_end = d.new_label();
+            d.iload(1).iconst(MODE_TRAIN as i32).if_icmp(Cond::Eq, l_swap);
+            emit_worker_call(&mut d, w, &plan.workers[w]);
+            emit_worker_call(&mut d, w + 1, &plan.workers[w + 1]);
+            d.goto(l_end);
+            d.bind(l_swap);
+            emit_worker_call(&mut d, w + 1, &plan.workers[w + 1]);
+            emit_worker_call(&mut d, w, &plan.workers[w]);
+            d.bind(l_end);
+            w += 2;
+        } else {
+            emit_worker_call(&mut d, w, &plan.workers[w]);
+            w += 1;
+        }
+    }
+    d.ret();
+    let mut driver = d.finish();
+    driver.line_entries = spec.line_entries_per_method;
+    class.add_method(driver);
+
+    // Workers.
+    for wp in &plan.workers {
+        let mut b = MethodBuilder::new(&wp.name, 1);
+        b.returns_value();
+        // acc in local 1
+        b.iconst(rng.gen_range(1..100)).istore(1);
+        for lit in &wp.literals {
+            b.ldc_str(lit.clone());
+            b.invoke_runtime(RuntimeFn::HashCode);
+            b.iload(1).iadd().istore(1);
+        }
+        for &v in &wp.int_literals {
+            b.iconst(v).iload(1).ixor().istore(1);
+        }
+        // counter in local 2 = scale argument
+        b.iload(0).istore(2);
+        let head = b.new_label();
+        let exit = b.new_label();
+        b.bind(head);
+        b.iload(2).if_(Cond::Le, exit);
+        // The loop block: a mix of arithmetic on acc.
+        let mut emitted = 0;
+        while emitted < wp.loop_block {
+            match rng.gen_range(0..6) {
+                0 => {
+                    b.iload(1).iconst(rng.gen_range(1..50)).iadd().istore(1);
+                    emitted += 4;
+                }
+                1 => {
+                    b.iload(1).iconst(rng.gen_range(2..9)).imul().istore(1);
+                    emitted += 4;
+                }
+                2 => {
+                    b.iload(1).iconst(rng.gen_range(1..16)).ixor().istore(1);
+                    emitted += 4;
+                }
+                3 => {
+                    b.iload(1).iconst(rng.gen_range(1..5)).ishr().istore(1);
+                    emitted += 4;
+                }
+                4 => {
+                    b.iload(1).iload(2).iadd().istore(1);
+                    emitted += 4;
+                }
+                _ => {
+                    b.iinc(1, rng.gen_range(1..7));
+                    emitted += 1;
+                }
+            }
+        }
+        b.iinc(2, -1).goto(head);
+        b.bind(exit);
+        // A data-dependent diamond after the loop (budget permitting).
+        if wp.with_diamond {
+            let alt = b.new_label();
+            let join = b.new_label();
+            b.iload(1).if_(Cond::Lt, alt);
+            b.iload(1).iconst(3).iand().istore(1);
+            b.goto(join);
+            b.bind(alt);
+            b.iload(1).invoke_runtime(RuntimeFn::Abs).istore(1);
+            b.bind(join);
+        }
+        // Optional leaf call.
+        if let Some((pc, pl)) = wp.leaf {
+            b.iload(1).invoke(plans[pc].leaf(pl)).iload(1).iadd().istore(1);
+        }
+        // Touch a static (budget permitting).
+        if wp.with_static {
+            let f = rng.gen_range(0..plan.static_count);
+            b.getstatic(plan.class_id(), f).iload(1).iadd().putstatic(plan.class_id(), f);
+        }
+        b.iload(1).ireturn();
+        let mut worker = b.finish();
+        worker.line_entries = spec.line_entries_per_method;
+        class.add_method(worker);
+    }
+
+    // Leaves: tiny pure helpers.
+    for name in &plan.leaf_names {
+        let mut b = MethodBuilder::new(name, 1);
+        b.returns_value();
+        match rng.gen_range(0..3) {
+            0 => {
+                b.iload(0).iconst(rng.gen_range(3..40)).imul().ireturn();
+            }
+            1 => {
+                b.iload(0).iload(0).imul().iconst(rng.gen_range(1..9)).iadd().ireturn();
+            }
+            _ => {
+                b.iload(0).iconst(rng.gen_range(1..31)).ixor().ireturn();
+            }
+        }
+        let mut leaf = b.finish();
+        leaf.line_entries = (spec.line_entries_per_method / 2).max(1);
+        class.add_method(leaf);
+    }
+
+    add_unused_residue(&mut class, spec, rng, names);
+    class
+}
+
+/// Adds unreferenced pool residue up to the spec's per-class byte target.
+fn add_unused_residue(class: &mut ClassDef, spec: &GenSpec, rng: &mut StdRng, names: &mut NameGen) {
+    let mut budget = spec.unused_bytes_per_class as i64;
+    while budget > 8 {
+        if rng.gen::<f64>() < 0.15 {
+            class.unused_ints.push(rng.gen_range(70_000..9_000_000));
+            budget -= 5;
+        } else {
+            let len = rng.gen_range(8..40).min(budget.max(8) as usize);
+            let s = names.literal(rng, len);
+            budget -= 3 + s.len() as i64;
+            class.unused_strings.push(s);
+        }
+    }
+}
+
+/// Wires worker→leaf calls across plans (cross-class with the spec's
+/// probability).
+fn wire_leaves(plans: &mut [ClassPlan], spec: &GenSpec, rng: &mut StdRng) {
+    let n = plans.len();
+    for ci in 0..n {
+        for wi in 0..plans[ci].workers.len() {
+            if !plans[ci].workers[wi].leaf_budgeted {
+                continue;
+            }
+            if rng.gen::<f64>() < 0.75 {
+                let target_class = if rng.gen::<f64>() < spec.cross_class_leaf && n > 1 {
+                    let mut t = rng.gen_range(0..n);
+                    if t == ci {
+                        t = (t + 1) % n;
+                    }
+                    t
+                } else {
+                    ci
+                };
+                // A running class must not depend on a dead one, or the
+                // dead class would not actually be dead; and eager
+                // classes must not pull lazy ones in early.
+                let te = plans[target_class].fate.enable;
+                let se = plans[ci].fate.enable;
+                let target_ok = match se {
+                    ClassEnable::Live => te == ClassEnable::Live,
+                    ClassEnable::Lazy => matches!(te, ClassEnable::Live | ClassEnable::Lazy),
+                    ClassEnable::DeadTrain => {
+                        matches!(te, ClassEnable::Live | ClassEnable::DeadTrain)
+                    }
+                    ClassEnable::DeadBoth => true,
+                };
+                if target_ok && !plans[target_class].leaf_names.is_empty() {
+                    let li = rng.gen_range(0..plans[target_class].leaf_names.len());
+                    plans[ci].workers[wi].leaf = Some((target_class, li));
+                }
+            }
+        }
+    }
+}
+
+/// Finds the `scale` whose dynamic instruction count hits `target`.
+///
+/// Generated programs execute an exactly affine number of instructions in
+/// `scale` (all loops run `scale`-derived trip counts), so two probes
+/// determine the line and the answer is a division.
+#[must_use]
+pub fn calibrate_scale(app: &Application, mode: i64, target: u64) -> i64 {
+    let run = |scale: i64| -> u64 {
+        let mut interp = Interpreter::new(&app.program);
+        interp
+            .run(&[scale, mode], &mut ())
+            .expect("generated program runs cleanly during calibration");
+        interp.executed()
+    };
+    let s1 = 8;
+    let s2 = 24;
+    let d1 = run(s1);
+    let d2 = run(s2);
+    let slope = (d2.saturating_sub(d1)) / (s2 - s1) as u64;
+    if slope == 0 {
+        return 1;
+    }
+    let base = d1.saturating_sub(slope * s1 as u64);
+    let scale = (target.saturating_sub(base)).div_ceil(slope).max(1);
+    i64::try_from(scale).expect("calibrated scale fits i64")
+}
+
+/// Deterministic Java-flavoured identifier and literal generator.
+#[derive(Debug)]
+pub struct NameGen {
+    package: String,
+    used: std::collections::HashSet<String>,
+}
+
+const NOUNS: &[&str] = &[
+    "Node", "Table", "Buffer", "Parser", "Scanner", "Writer", "Reader", "Index", "Cache",
+    "Stream", "Token", "Symbol", "Frame", "Graph", "Entry", "Bucket", "Rule", "Fact", "Agenda",
+    "State", "Action", "Header", "Block", "Chunk", "Record", "Field", "Vector", "Matrix",
+    "Engine", "Filter", "Codec", "Packet", "Window", "Panel", "Event", "Queue", "Stack", "Pool",
+    "Config", "Context",
+];
+const PREFIXES: &[&str] = &[
+    "Abstract", "Base", "Fast", "Lazy", "Hash", "Linked", "Sorted", "Packed", "Sparse", "Dense",
+    "Micro", "Multi", "Sub", "Super", "Inner", "Outer", "Byte", "Bit", "Int", "Char",
+];
+const VERBS: &[&str] = &[
+    "compute", "update", "scan", "emit", "flush", "merge", "split", "pack", "unpack", "hash",
+    "match", "apply", "reduce", "expand", "visit", "walk", "fold", "mark", "sweep", "probe",
+    "encode", "decode", "shift", "rotate", "mask", "index", "lookup", "insert", "remove",
+    "resolve",
+];
+const OBJECTS: &[&str] = &[
+    "Node", "Entry", "Row", "Column", "Bits", "Bytes", "Token", "Rule", "Fact", "State", "Delta",
+    "Range", "Span", "Slot", "Cell", "Key", "Value", "Edge", "Path", "Label",
+];
+const WORDS: &[&str] = &[
+    "expected", "unexpected", "token", "while", "parsing", "input", "state", "table", "overflow",
+    "underflow", "invalid", "missing", "duplicate", "symbol", "rule", "fired", "agenda", "empty",
+    "eof", "reached", "bad", "magic", "header", "checksum", "mismatch", "stream", "closed",
+    "buffer", "full", "block", "size", "exceeds", "limit", "cannot", "resolve", "reference",
+];
+
+impl NameGen {
+    /// Creates a generator for `package`.
+    #[must_use]
+    pub fn new(package: &str) -> Self {
+        NameGen { package: package.to_owned(), used: std::collections::HashSet::new() }
+    }
+
+    /// A fresh class name like `bench/jess/HashRuleTable`.
+    pub fn class_name(&mut self, rng: &mut StdRng) -> String {
+        loop {
+            let p = PREFIXES[rng.gen_range(0..PREFIXES.len())];
+            let a = NOUNS[rng.gen_range(0..NOUNS.len())];
+            let b = NOUNS[rng.gen_range(0..NOUNS.len())];
+            let candidate = format!("bench/{}/{}{}{}", self.package, p, a, b);
+            if self.used.insert(candidate.clone()) {
+                return candidate;
+            }
+        }
+    }
+
+    /// A fresh method name like `updateTokenRow`.
+    pub fn method_name(&mut self, rng: &mut StdRng) -> String {
+        loop {
+            let v = VERBS[rng.gen_range(0..VERBS.len())];
+            let o = OBJECTS[rng.gen_range(0..OBJECTS.len())];
+            let candidate = if rng.gen::<f64>() < 0.4 {
+                format!("{v}{o}")
+            } else {
+                let o2 = OBJECTS[rng.gen_range(0..OBJECTS.len())];
+                format!("{v}{o}{o2}")
+            };
+            if self.used.insert(candidate.clone()) {
+                return candidate;
+            }
+        }
+    }
+
+    /// A message-like string literal of roughly `len` bytes.
+    pub fn literal(&mut self, rng: &mut StdRng, len: usize) -> String {
+        let mut s = String::with_capacity(len + 12);
+        while s.len() < len {
+            if !s.is_empty() {
+                s.push(' ');
+            }
+            s.push_str(WORDS[rng.gen_range(0..WORDS.len())]);
+        }
+        // Unused residue must stay distinct even at identical content.
+        s.push_str(&format!(" #{}", rng.gen_range(0..100_000)));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nonstrict_bytecode::Input;
+
+    fn small_spec() -> GenSpec {
+        GenSpec {
+            name: "Tiny",
+            package: "tiny",
+            seed: 7,
+            classes: 6,
+            methods: 52,
+            avg_instrs: 16,
+            leaf_fraction: 0.3,
+            cpi: 100,
+            dyn_test: 200_000,
+            dyn_train: 40_000,
+            p_both: 0.70,
+            p_test_only: 0.08,
+            p_train_only: 0.05,
+            p_class_lazy: 0.25,
+            p_class_dead_both: 0.2,
+            p_class_dead_train: 0.1,
+            hot_fraction: 0.5,
+            phase2_reps: 2,
+            main_extra_methods: 3,
+            main_extra_avg_instrs: 24,
+            swap_pairs: 1,
+            scg_trap_pairs: 1,
+            cross_class_leaf: 0.3,
+            literal_len: 24,
+            literals_per_worker: 0.8,
+            int_literals_per_worker: 0.5,
+            unused_bytes_per_class: 60,
+            line_entries_per_method: 6,
+            wire_scale: (1, 1),
+        }
+    }
+
+    #[test]
+    fn generated_app_builds_and_runs() {
+        let app = generate(&small_spec());
+        assert_eq!(app.classes.len(), 6);
+        assert_eq!(app.program.method_count(), 52);
+        let mut interp = Interpreter::new(&app.program);
+        interp.run(app.args(Input::Test), &mut ()).unwrap();
+        assert!(interp.executed() > 0);
+    }
+
+    #[test]
+    fn dynamic_calibration_hits_targets() {
+        let spec = small_spec();
+        let app = generate(&spec);
+        for (input, target) in [(Input::Test, spec.dyn_test), (Input::Train, spec.dyn_train)] {
+            let mut interp = Interpreter::new(&app.program);
+            interp.run(app.args(input), &mut ()).unwrap();
+            let got = interp.executed();
+            let err = (got as f64 - target as f64).abs() / target as f64;
+            assert!(err < 0.05, "{input}: got {got}, target {target}");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&small_spec());
+        let b = generate(&small_spec());
+        assert_eq!(a.test_args, b.test_args);
+        assert_eq!(a.total_size(), b.total_size());
+        let bytes_a: Vec<_> = a.classes.iter().map(|c| c.to_bytes()).collect();
+        let bytes_b: Vec<_> = b.classes.iter().map(|c| c.to_bytes()).collect();
+        assert_eq!(bytes_a, bytes_b);
+    }
+
+    #[test]
+    fn test_and_train_paths_diverge() {
+        let app = generate(&small_spec());
+        let run = |input| {
+            let mut interp = Interpreter::new(&app.program);
+            let mut sink = first_use_stub::Collector::default();
+            interp.run(app.args(input), &mut sink).unwrap();
+            sink.order
+        };
+        let test_order = run(Input::Test);
+        let train_order = run(Input::Train);
+        assert_ne!(test_order, train_order, "swap pairs should reorder first uses");
+    }
+
+    #[test]
+    fn dead_guards_leave_methods_unexecuted() {
+        let app = generate(&small_spec());
+        let mut interp = Interpreter::new(&app.program);
+        interp.run(app.args(Input::Test), &mut ()).unwrap();
+        let pct = interp.executed_static_percent();
+        assert!(pct < 95.0, "some classes and workers must stay dead, got {pct}");
+        assert!(pct > 30.0, "most code should execute, got {pct}");
+    }
+
+    #[test]
+    fn some_classes_never_load_on_test() {
+        let app = generate(&small_spec());
+        let mut interp = Interpreter::new(&app.program);
+        let mut sink = first_use_stub::Collector::default();
+        interp.run(app.args(Input::Test), &mut sink).unwrap();
+        let loaded: std::collections::HashSet<u16> =
+            sink.order.iter().map(|m| m.class.0).collect();
+        assert!(
+            loaded.len() < app.classes.len(),
+            "dead-both classes must never load ({} of {})",
+            loaded.len(),
+            app.classes.len()
+        );
+    }
+
+    #[test]
+    fn first_uses_burst_early_then_compute() {
+        // Library classes must all be first-used well before the end of
+        // the run (setup pass first, compute pass after); only Main's
+        // teardown utilities may load late.
+        let app = generate(&small_spec());
+        let mut interp = Interpreter::new(&app.program);
+        let mut sink = first_use_stub::LastFirstUse::default();
+        interp.run(app.args(Input::Test), &mut sink).unwrap();
+        let frac = sink.last_lib_first_use as f64 / interp.executed() as f64;
+        assert!(
+            frac < 0.8,
+            "last library first-use at {frac:.2} of execution; compute pass should follow it"
+        );
+    }
+
+    /// Miniature sinks, kept local so these generator unit tests exercise
+    /// only the bytecode layer.
+    mod first_use_stub {
+        use nonstrict_bytecode::{EventSink, MethodId};
+
+        #[derive(Default)]
+        pub struct Collector {
+            pub order: Vec<MethodId>,
+            seen: std::collections::HashSet<MethodId>,
+        }
+
+        impl EventSink for Collector {
+            fn method_enter(&mut self, m: MethodId) {
+                if self.seen.insert(m) {
+                    self.order.push(m);
+                }
+            }
+        }
+
+        #[derive(Default)]
+        pub struct LastFirstUse {
+            pub last_lib_first_use: u64,
+            executed: u64,
+            seen: std::collections::HashSet<MethodId>,
+        }
+
+        impl EventSink for LastFirstUse {
+            fn method_enter(&mut self, m: MethodId) {
+                if self.seen.insert(m) && m.class.0 != 0 {
+                    self.last_lib_first_use = self.executed;
+                }
+            }
+            fn run(&mut self, _m: MethodId, n: u64) {
+                self.executed += n;
+            }
+        }
+    }
+}

@@ -1,0 +1,821 @@
+//! **TestDes** — the DES encryption/decryption benchmark.
+//!
+//! Table 1: *"Encrypts a string then decrypts it."* 3 class files, 50 KB,
+//! 51 methods averaging 174 instructions (by far the suite's largest
+//! methods — table-initialization code), 310 K dynamic instructions on
+//! Test (303 K on Train), 98% of static instructions executed, CPI 484.
+//! Its constant pool is 53% integer entries (Table 8): the S-box tables.
+//!
+//! This is a **real cipher**: a 16-round Feistel network with DES's
+//! structure — initial/final permutations (table-driven, provably
+//! inverse), an E-expansion, eight 64-entry S-boxes, a P-permutation,
+//! and a 16-round key schedule. The S-box *values* are synthetic (the
+//! round-trip property of a Feistel network is independent of them; see
+//! DESIGN.md §2), but the code shape — giant straight-line table
+//! initializers full of pool-resident integer constants — matches what
+//! `javac` produced for real DES code in 1998.
+//!
+//! `main(blocks, mode)` encrypts `blocks` 64-bit blocks of a generated
+//! message, decrypts them, verifies the round trip, and prints `1` on
+//! success. Test and Train differ in block count and in verification
+//! order (Test interleaves verification; Train verifies at the end),
+//! which perturbs the first-use order exactly as the paper's inputs did.
+
+use nonstrict_bytecode::builder::MethodBuilder;
+use nonstrict_bytecode::program::{Application, ClassDef, Program, StaticDef, WireScale};
+use nonstrict_bytecode::{Cond, Interpreter, MethodId, RuntimeFn};
+
+/// CPI from Table 3.
+pub const CPI: u64 = 484;
+
+const MAIN: u16 = 0;
+const DES: u16 = 1;
+const TABLES: u16 = 2;
+
+// Main methods (the entry class is essentially one giant `main` plus a
+// tiny `report`, which is why TestDes sees almost no latency benefit
+// from non-strict execution in the paper's Table 4).
+const M_REPORT: MethodId = MethodId { class: nonstrict_bytecode::ClassId(MAIN), method: 1 };
+
+// Driver helpers live in the Des class (methods 20..=27).
+const M_MAKE_MESSAGE: MethodId = MethodId { class: nonstrict_bytecode::ClassId(DES), method: 20 };
+const M_RUN_ENCRYPT: MethodId = MethodId { class: nonstrict_bytecode::ClassId(DES), method: 21 };
+const M_RUN_DECRYPT: MethodId = MethodId { class: nonstrict_bytecode::ClassId(DES), method: 22 };
+const M_CHECK_EQUAL: MethodId = MethodId { class: nonstrict_bytecode::ClassId(DES), method: 23 };
+const M_MIX_SEED: MethodId = MethodId { class: nonstrict_bytecode::ClassId(DES), method: 24 };
+const M_PAD_LENGTH: MethodId = MethodId { class: nonstrict_bytecode::ClassId(DES), method: 25 };
+const M_FILL_BLOCK: MethodId = MethodId { class: nonstrict_bytecode::ClassId(DES), method: 26 };
+const M_SELF_TEST: MethodId = MethodId { class: nonstrict_bytecode::ClassId(DES), method: 27 };
+
+// Des methods.
+const D_INIT: MethodId = MethodId { class: nonstrict_bytecode::ClassId(DES), method: 0 };
+const D_KEY_SCHEDULE: MethodId = MethodId { class: nonstrict_bytecode::ClassId(DES), method: 1 };
+const D_ROT28: MethodId = MethodId { class: nonstrict_bytecode::ClassId(DES), method: 2 };
+const D_PC2_PICK: MethodId = MethodId { class: nonstrict_bytecode::ClassId(DES), method: 3 };
+const D_SBOX_AT: MethodId = MethodId { class: nonstrict_bytecode::ClassId(DES), method: 4 };
+const D_F: MethodId = MethodId { class: nonstrict_bytecode::ClassId(DES), method: 5 };
+const D_EXPAND: MethodId = MethodId { class: nonstrict_bytecode::ClassId(DES), method: 6 };
+const D_PERMUTE_P: MethodId = MethodId { class: nonstrict_bytecode::ClassId(DES), method: 7 };
+const D_IP: MethodId = MethodId { class: nonstrict_bytecode::ClassId(DES), method: 8 };
+const D_FP: MethodId = MethodId { class: nonstrict_bytecode::ClassId(DES), method: 9 };
+const D_ENCRYPT: MethodId = MethodId { class: nonstrict_bytecode::ClassId(DES), method: 10 };
+const D_DECRYPT: MethodId = MethodId { class: nonstrict_bytecode::ClassId(DES), method: 11 };
+const D_SET_BLOCK: MethodId = MethodId { class: nonstrict_bytecode::ClassId(DES), method: 12 };
+const D_GET_L: MethodId = MethodId { class: nonstrict_bytecode::ClassId(DES), method: 13 };
+const D_GET_R: MethodId = MethodId { class: nonstrict_bytecode::ClassId(DES), method: 14 };
+const D_ROUND: MethodId = MethodId { class: nonstrict_bytecode::ClassId(DES), method: 15 };
+const D_ROUND_KEY: MethodId = MethodId { class: nonstrict_bytecode::ClassId(DES), method: 16 };
+const D_SWAP: MethodId = MethodId { class: nonstrict_bytecode::ClassId(DES), method: 17 };
+const D_PERM_BITS: MethodId = MethodId { class: nonstrict_bytecode::ClassId(DES), method: 18 };
+const D_WEAK_CHECK: MethodId = MethodId { class: nonstrict_bytecode::ClassId(DES), method: 19 };
+
+// Tables methods.
+const T_INIT_ALL: MethodId = MethodId { class: nonstrict_bytecode::ClassId(TABLES), method: 0 };
+// initSbox{0..7}{a,b} occupy methods 1..=16.
+const T_INIT_PERM: MethodId = MethodId { class: nonstrict_bytecode::ClassId(TABLES), method: 17 };
+const T_INIT_IPERM: MethodId = MethodId { class: nonstrict_bytecode::ClassId(TABLES), method: 18 };
+const T_INIT_E: MethodId = MethodId { class: nonstrict_bytecode::ClassId(TABLES), method: 19 };
+const T_INIT_PC: MethodId = MethodId { class: nonstrict_bytecode::ClassId(TABLES), method: 20 };
+
+// Des statics.
+const DS_L: u16 = 0;
+const DS_R: u16 = 1;
+const DS_K: u16 = 2;
+
+// Tables statics: sbox0..7 = 0..7, perm = 8, iperm = 9, e = 10, pc = 11.
+const TS_PERM: u16 = 8;
+const TS_IPERM: u16 = 9;
+const TS_E: u16 = 10;
+const TS_PC: u16 = 11;
+
+/// A deterministic "random" 32-bit constant for S-box entry `(box, i)` —
+/// the same splitmix-style mix every build, so class files are
+/// byte-identical across runs.
+fn sbox_constant(bx: u32, i: u32) -> i32 {
+    let mut z = u64::from(bx * 64 + i).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    let v = (z ^ (z >> 31)) as u32;
+    // Force pool residence: values must exceed the sipush range.
+    (v | 0x4000_0000) as i32
+}
+
+fn main_class() -> ClassDef {
+    let mut c = ClassDef::new("des/TestDes");
+    c.source_file = Some("TestDes.java".to_owned());
+    c.add_static(StaticDef::int("msg", 0));
+    c.add_static(StaticDef::int("enc", 0));
+    c.add_static(StaticDef::int("dec", 0));
+    c.add_static(StaticDef::int("seed", 0x1234));
+
+    // main(blocks, mode): one giant method — javac-style inlined driver
+    // with a long straight-line key-material mixing preamble (the
+    // constants live in the pool, inflating the entry class exactly the
+    // way the paper's TestDes is inflated).
+    let mut b = MethodBuilder::new("main", 2);
+    // Preamble: whiten the seed with 720 constant mixes drawn from a
+    // 180-entry table.
+    b.getstatic(MAIN, 3).istore(2);
+    for i in 0..720u32 {
+        let k = premix_constant(i % 180);
+        if i % 2 == 0 {
+            b.iconst(k).iload(2).ixor().istore(2);
+        } else {
+            b.iload(2).iconst(k).iadd().istore(2);
+        }
+    }
+    b.iload(2).putstatic(MAIN, 3);
+    b.invoke(D_INIT);
+    // blocks = padLength(blocks)
+    b.iload(0).invoke(M_PAD_LENGTH).istore(0);
+    // msg = makeMessage(2*blocks); enc/dec arrays same size
+    b.iload(0).iconst(2).imul().invoke(M_MAKE_MESSAGE).putstatic(MAIN, 0);
+    b.iload(0).iconst(2).imul().newarray().putstatic(MAIN, 1);
+    b.iload(0).iconst(2).imul().newarray().putstatic(MAIN, 2);
+    let train_path = b.new_label();
+    let done = b.new_label();
+    b.iload(1).iconst(crate::appgen::MODE_TEST as i32).if_icmp(Cond::Ne, train_path);
+    // Test: self-test first, then encrypt, decrypt, verify
+    b.invoke(M_SELF_TEST).pop();
+    b.iload(0).invoke(M_RUN_ENCRYPT);
+    b.iload(0).invoke(M_RUN_DECRYPT);
+    b.iload(0).invoke(M_CHECK_EQUAL).invoke(M_REPORT);
+    b.goto(done);
+    // Train: encrypt, decrypt, verify (no self test — first-use order
+    // differs from Test)
+    b.bind(train_path);
+    b.iload(0).invoke(M_RUN_ENCRYPT);
+    b.iload(0).invoke(M_RUN_DECRYPT);
+    b.iload(0).invoke(M_CHECK_EQUAL).invoke(M_REPORT);
+    b.bind(done);
+    b.ret();
+    b.line_entries(560);
+    c.add_method(b.finish());
+
+    // report(ok): print verdict
+    let mut b = MethodBuilder::new("report", 1);
+    b.iload(0).invoke_runtime(RuntimeFn::PrintInt);
+    b.ret();
+    b.line_entries(8);
+    c.add_method(b.finish());
+
+    c.unused_strings.push("usage: java TestDes <text>".to_owned());
+    c
+}
+
+/// Deterministic key-material constant for the main preamble, forced
+/// into the `ldc_w` range so each lives in the constant pool.
+fn premix_constant(i: u32) -> i32 {
+    let mut z = u64::from(i).wrapping_add(0xD1B5_4A32_D192_ED03);
+    z = (z ^ (z >> 29)).wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    ((z as u32) | 0x4000_0000) as i32
+}
+
+fn des_class() -> ClassDef {
+    let mut c = ClassDef::new("des/Des");
+    c.source_file = Some("Des.java".to_owned());
+    c.add_static(StaticDef::int("blockL", 0));
+    c.add_static(StaticDef::int("blockR", 0));
+    c.add_static(StaticDef::int("roundKeys", 0));
+
+    // init(): tables, then the key schedule for a fixed key. The weak-
+    // key check hides behind a guard that never fires (array handles are
+    // never -1), leaving a statically visible but dead call edge.
+    let mut b = MethodBuilder::new("init", 0);
+    b.invoke(T_INIT_ALL);
+    b.iconst(0x1337_BEEF_u32 as i32).iconst(0x0BAD_F00D).invoke(D_KEY_SCHEDULE);
+    let skip = b.new_label();
+    b.getstatic(DES, DS_K).iconst(-1).if_icmp(Cond::Ne, skip);
+    b.iconst(1).iconst(2).invoke(D_WEAK_CHECK).pop();
+    b.bind(skip);
+    b.ret();
+    b.line_entries(45);
+    c.add_method(b.finish());
+
+    // keySchedule(k1, k2): 16 rounds of rotations and PC2 picks
+    let mut b = MethodBuilder::new("keySchedule", 2);
+    b.iconst(16).newarray().putstatic(DES, DS_K);
+    b.iconst(0).istore(2); // round
+    let head = b.new_label();
+    let exit = b.new_label();
+    b.bind(head);
+    b.iload(2).iconst(16).if_icmp(Cond::Ge, exit);
+    // k1 = rot28(k1, shift); k2 = rot28(k2, shift)
+    b.iload(0).iload(2).invoke(D_ROT28).istore(0);
+    b.iload(1).iload(2).invoke(D_ROT28).istore(1);
+    // K[r] = pc2pick(k1, k2) ^ r
+    b.getstatic(DES, DS_K).iload(2);
+    b.iload(0).iload(1).invoke(D_PC2_PICK).iload(2).ixor();
+    b.iastore();
+    b.iinc(2, 1).goto(head);
+    b.bind(exit);
+    b.ret();
+    b.line_entries(80);
+    c.add_method(b.finish());
+
+    // rot28(v, r): 28-bit left rotation by 1 or 2 (DES shift schedule)
+    let mut b = MethodBuilder::new("rot28", 2);
+    b.returns_value();
+    // shift = (r==0||r==1||r==8||r==15) ? 1 : 2  — approximated by parity
+    b.iload(1).iconst(1).iand().iconst(1).iadd().istore(2);
+    b.iload(0).iload(2).ishl();
+    b.iload(0).iconst(28).iload(2).isub().iushr();
+    b.ior().iconst(0x0FFF_FFFF).iand().ireturn();
+    b.line_entries(45);
+    c.add_method(b.finish());
+
+    // pc2pick(k1, k2): compress two halves into a round key
+    let mut b = MethodBuilder::new("pc2pick", 2);
+    b.returns_value();
+    b.iload(0).iconst(6).ishl().iload(1).iconst(9).iushr().ixor();
+    b.iload(0).iconst(11).iushr().ixor();
+    b.iload(1).ixor().ireturn();
+    b.line_entries(40);
+    c.add_method(b.finish());
+
+    // sboxAt(box, idx): dispatch to the right table
+    let mut b = MethodBuilder::new("sboxAt", 2);
+    b.returns_value();
+    let mut next_labels = Vec::new();
+    for bx in 0..8u16 {
+        let next = b.new_label();
+        next_labels.push(next);
+        b.iload(0).iconst(i32::from(bx)).if_icmp(Cond::Ne, next);
+        b.getstatic(TABLES, bx).iload(1).iaload().ireturn();
+        b.bind(next);
+    }
+    b.iconst(0).ireturn();
+    b.line_entries(80);
+    c.add_method(b.finish());
+
+    // f(r, k): E-expansion, key mix, S-boxes, P-permutation
+    let mut b = MethodBuilder::new("f", 2);
+    b.returns_value();
+    b.iload(0).invoke(D_EXPAND).iload(1).ixor().istore(2); // x
+    b.iconst(0).istore(3); // acc
+    b.iconst(0).istore(4); // i
+    let head = b.new_label();
+    let exit = b.new_label();
+    b.bind(head);
+    b.iload(4).iconst(8).if_icmp(Cond::Ge, exit);
+    // acc ^= sboxAt(i, (x >>> (4*i)) & 63) rotl' i*4
+    b.iload(4);
+    b.iload(2).iload(4).iconst(4).imul().iushr().iconst(63).iand();
+    b.invoke(D_SBOX_AT);
+    b.iload(4).iconst(4).imul().ishl();
+    b.iload(3).ixor().istore(3);
+    b.iinc(4, 1).goto(head);
+    b.bind(exit);
+    b.iload(3).invoke(D_PERMUTE_P).ireturn();
+    b.line_entries(95);
+    c.add_method(b.finish());
+
+    // expand(r): E-expansion, unrolled taps
+    let mut b = MethodBuilder::new("expand", 1);
+    b.returns_value();
+    b.iconst(0).istore(1);
+    // 24 unrolled taps: acc ^= ((r >>> tap) & mask) << slot
+    for i in 0..48 {
+        let tap = (i * 5 + 3) % 31;
+        let slot = i % 28;
+        b.iload(0).iconst(tap).iushr().iconst(0x33).iand().iconst(slot).ishl();
+        b.iload(1).ixor().istore(1);
+    }
+    b.iload(1).iload(0).ixor().ireturn();
+    b.line_entries(150);
+    c.add_method(b.finish());
+
+    // permuteP(x): P-permutation, unrolled taps
+    let mut b = MethodBuilder::new("permuteP", 1);
+    b.returns_value();
+    b.iconst(0).istore(1);
+    for i in 0..32 {
+        let tap = (i * 7 + 1) % 31;
+        let slot = (i * 2) % 31;
+        b.iload(0).iconst(tap).iushr().iconst(3).iand().iconst(slot).ishl();
+        b.iload(1).ior().istore(1);
+    }
+    b.iload(1).iload(0).iconst(1).ishl().ixor().ireturn();
+    b.line_entries(110);
+    c.add_method(b.finish());
+
+    // ip(): table-driven initial permutation of (L, R) — permBits with
+    // the forward table
+    let mut b = MethodBuilder::new("ip", 0);
+    b.getstatic(TABLES, TS_PERM).invoke(D_PERM_BITS);
+    b.ret();
+    b.line_entries(30);
+    c.add_method(b.finish());
+
+    // fp(): the inverse permutation (iperm is constructed as the exact
+    // inverse of perm, so fp(ip(x)) == x)
+    let mut b = MethodBuilder::new("fp", 0);
+    b.getstatic(TABLES, TS_IPERM).invoke(D_PERM_BITS);
+    b.ret();
+    b.line_entries(30);
+    c.add_method(b.finish());
+
+    // encryptBlock(): IP, 16 rounds, swap, FP
+    let mut b = MethodBuilder::new("encryptBlock", 0);
+    b.invoke(D_IP);
+    b.iconst(0).istore(0);
+    let head = b.new_label();
+    let exit = b.new_label();
+    b.bind(head);
+    b.iload(0).iconst(16).if_icmp(Cond::Ge, exit);
+    b.iload(0).invoke(D_ROUND_KEY).invoke(D_ROUND);
+    b.iinc(0, 1).goto(head);
+    b.bind(exit);
+    b.invoke(D_SWAP);
+    b.invoke(D_FP);
+    b.ret();
+    b.line_entries(60);
+    c.add_method(b.finish());
+
+    // decryptBlock(): IP, 16 rounds with reversed keys, swap, FP
+    let mut b = MethodBuilder::new("decryptBlock", 0);
+    b.invoke(D_IP);
+    b.iconst(15).istore(0);
+    let head = b.new_label();
+    let exit = b.new_label();
+    b.bind(head);
+    b.iload(0).if_(Cond::Lt, exit);
+    b.iload(0).invoke(D_ROUND_KEY).invoke(D_ROUND);
+    b.iinc(0, -1).goto(head);
+    b.bind(exit);
+    b.invoke(D_SWAP);
+    b.invoke(D_FP);
+    b.ret();
+    b.line_entries(60);
+    c.add_method(b.finish());
+
+    // setBlock(l, r)
+    let mut b = MethodBuilder::new("setBlock", 2);
+    b.iload(0).putstatic(DES, DS_L);
+    b.iload(1).putstatic(DES, DS_R);
+    b.ret();
+    b.line_entries(30);
+    c.add_method(b.finish());
+
+    // getL / getR
+    let mut b = MethodBuilder::new("getL", 0);
+    b.returns_value();
+    b.getstatic(DES, DS_L).ireturn();
+    b.line_entries(20);
+    c.add_method(b.finish());
+    let mut b = MethodBuilder::new("getR", 0);
+    b.returns_value();
+    b.getstatic(DES, DS_R).ireturn();
+    b.line_entries(20);
+    c.add_method(b.finish());
+
+    // feistelRound(k): (L, R) = (R, L ^ f(R, k))
+    let mut b = MethodBuilder::new("feistelRound", 1);
+    b.getstatic(DES, DS_R).istore(1); // t = R
+    b.getstatic(DES, DS_L);
+    b.getstatic(DES, DS_R).iload(0).invoke(D_F);
+    b.ixor().putstatic(DES, DS_R);
+    b.iload(1).putstatic(DES, DS_L);
+    b.ret();
+    b.line_entries(45);
+    c.add_method(b.finish());
+
+    // roundKey(i)
+    let mut b = MethodBuilder::new("roundKey", 1);
+    b.returns_value();
+    b.getstatic(DES, DS_K).iload(0).iaload().ireturn();
+    b.line_entries(25);
+    c.add_method(b.finish());
+
+    // swapHalves()
+    let mut b = MethodBuilder::new("swapHalves", 0);
+    b.getstatic(DES, DS_L).istore(0);
+    b.getstatic(DES, DS_R).putstatic(DES, DS_L);
+    b.iload(0).putstatic(DES, DS_R);
+    b.ret();
+    b.line_entries(35);
+    c.add_method(b.finish());
+
+    // permBits(table): apply a 64-bit permutation to (L, R).
+    // out bit j = in bit table[j]; j, table[j] in 0..64 with bits 0..31
+    // in R and 32..63 in L.
+    let mut b = MethodBuilder::new("permBits", 1);
+    b.iconst(0).istore(1); // outL
+    b.iconst(0).istore(2); // outR
+    b.iconst(0).istore(3); // j
+    let head = b.new_label();
+    let exit = b.new_label();
+    b.bind(head);
+    b.iload(3).iconst(64).if_icmp(Cond::Ge, exit);
+    // src = table[j]
+    b.iload(0).iload(3).iaload().istore(4);
+    // bit = src < 32 ? (R >>> src) & 1 : (L >>> (src-32)) & 1
+    let from_l = b.new_label();
+    let have_bit = b.new_label();
+    b.iload(4).iconst(32).if_icmp(Cond::Ge, from_l);
+    b.getstatic(DES, DS_R).iload(4).iushr().iconst(1).iand().istore(5);
+    b.goto(have_bit);
+    b.bind(from_l);
+    b.getstatic(DES, DS_L).iload(4).iconst(32).isub().iushr().iconst(1).iand().istore(5);
+    b.bind(have_bit);
+    // place at j: j<32 -> outR, else outL
+    let to_l = b.new_label();
+    let placed = b.new_label();
+    b.iload(3).iconst(32).if_icmp(Cond::Ge, to_l);
+    b.iload(5).iload(3).ishl().iload(2).ior().istore(2);
+    b.goto(placed);
+    b.bind(to_l);
+    b.iload(5).iload(3).iconst(32).isub().ishl().iload(1).ior().istore(1);
+    b.bind(placed);
+    b.iinc(3, 1).goto(head);
+    b.bind(exit);
+    b.iload(1).putstatic(DES, DS_L);
+    b.iload(2).putstatic(DES, DS_R);
+    b.ret();
+    b.line_entries(130);
+    c.add_method(b.finish());
+
+    // weakKeyCheck(k1, k2): dead on both inputs (guarded by caller that
+    // never fires), kept for the 2% unexecuted static instructions
+    let mut b = MethodBuilder::new("weakKeyCheck", 2);
+    b.returns_value();
+    let bad = b.new_label();
+    b.iload(0).iload(1).if_icmp(Cond::Eq, bad);
+    b.iload(0).iload(1).ixor().iconst(0x0F0F_0F0F).if_icmp(Cond::Eq, bad);
+    b.iconst(0).ireturn();
+    b.bind(bad);
+    b.iconst(1).ireturn();
+    b.line_entries(45);
+    c.add_method(b.finish());
+
+    // --- driver helpers (methods 20..=27): the TestDes wrapper logic ---
+
+    // makeMessage(n): array of n pseudo-random ints
+    let mut b = MethodBuilder::new("makeMessage", 1);
+    b.returns_value();
+    b.iload(0).newarray().istore(1);
+    b.iconst(0).istore(2);
+    let head = b.new_label();
+    let exit = b.new_label();
+    b.bind(head);
+    b.iload(2).iload(0).if_icmp(Cond::Ge, exit);
+    b.iload(1).iload(2);
+    b.getstatic(MAIN, 3).invoke(M_MIX_SEED).dup().putstatic(MAIN, 3);
+    b.iastore();
+    b.iinc(2, 1).goto(head);
+    b.bind(exit);
+    b.iload(1).ireturn();
+    b.line_entries(80);
+    c.add_method(b.finish());
+
+    // runEncrypt(blocks)
+    let mut b = MethodBuilder::new("runEncrypt", 1);
+    b.iconst(0).istore(1);
+    let head = b.new_label();
+    let exit = b.new_label();
+    b.bind(head);
+    b.iload(1).iload(0).if_icmp(Cond::Ge, exit);
+    b.getstatic(MAIN, 0).iload(1).invoke(M_FILL_BLOCK);
+    b.invoke(D_ENCRYPT);
+    b.getstatic(MAIN, 1).iload(1).iconst(2).imul().invoke(D_GET_L).iastore();
+    b.getstatic(MAIN, 1).iload(1).iconst(2).imul().iconst(1).iadd().invoke(D_GET_R).iastore();
+    b.iinc(1, 1).goto(head);
+    b.bind(exit);
+    b.ret();
+    b.line_entries(90);
+    c.add_method(b.finish());
+
+    // runDecrypt(blocks)
+    let mut b = MethodBuilder::new("runDecrypt", 1);
+    b.iconst(0).istore(1);
+    let head = b.new_label();
+    let exit = b.new_label();
+    b.bind(head);
+    b.iload(1).iload(0).if_icmp(Cond::Ge, exit);
+    b.getstatic(MAIN, 1).iload(1).invoke(M_FILL_BLOCK);
+    b.invoke(D_DECRYPT);
+    b.getstatic(MAIN, 2).iload(1).iconst(2).imul().invoke(D_GET_L).iastore();
+    b.getstatic(MAIN, 2).iload(1).iconst(2).imul().iconst(1).iadd().invoke(D_GET_R).iastore();
+    b.iinc(1, 1).goto(head);
+    b.bind(exit);
+    b.ret();
+    b.line_entries(90);
+    c.add_method(b.finish());
+
+    // checkEqual(blocks): 1 if dec == msg over 2*blocks ints
+    let mut b = MethodBuilder::new("checkEqual", 1);
+    b.returns_value();
+    b.iconst(0).istore(1);
+    let head = b.new_label();
+    let bad = b.new_label();
+    let exit = b.new_label();
+    b.bind(head);
+    b.iload(1).iload(0).iconst(2).imul().if_icmp(Cond::Ge, exit);
+    b.getstatic(MAIN, 0).iload(1).iaload();
+    b.getstatic(MAIN, 2).iload(1).iaload();
+    b.if_icmp(Cond::Ne, bad);
+    b.iinc(1, 1).goto(head);
+    b.bind(exit);
+    b.iconst(1).ireturn();
+    b.bind(bad);
+    b.iconst(0).ireturn();
+    b.line_entries(80);
+    c.add_method(b.finish());
+
+    // mixSeed(s): xorshift-flavoured step
+    let mut b = MethodBuilder::new("mixSeed", 1);
+    b.returns_value();
+    b.iload(0).iconst(13).ishl().iload(0).ixor().istore(0);
+    b.iload(0).iconst(17).iushr().iload(0).ixor().istore(0);
+    b.iload(0).iconst(5).ishl().iload(0).ixor().ireturn();
+    b.line_entries(40);
+    c.add_method(b.finish());
+
+    // padLength(n): round up to >= 1
+    let mut b = MethodBuilder::new("padLength", 1);
+    b.returns_value();
+    let ok = b.new_label();
+    b.iload(0).if_(Cond::Gt, ok);
+    b.iconst(1).ireturn();
+    b.bind(ok);
+    b.iload(0).ireturn();
+    b.line_entries(35);
+    c.add_method(b.finish());
+
+    // fillBlock(arr, i): L = arr[2i], R = arr[2i+1]
+    let mut b = MethodBuilder::new("fillBlock", 2);
+    b.iload(0).iload(1).iconst(2).imul().iaload();
+    b.iload(0).iload(1).iconst(2).imul().iconst(1).iadd().iaload();
+    b.invoke(D_SET_BLOCK);
+    b.ret();
+    b.line_entries(40);
+    c.add_method(b.finish());
+
+    // selfTest(): one known block round-trips
+    let mut b = MethodBuilder::new("selfTest", 0);
+    b.returns_value();
+    b.iconst(0x0123_4567).iconst(0x89AB_CDEF_u32 as i32).invoke(D_SET_BLOCK);
+    b.invoke(D_ENCRYPT);
+    b.invoke(D_GET_L).istore(0);
+    b.invoke(D_GET_R).istore(1);
+    b.iload(0).iload(1).invoke(D_SET_BLOCK);
+    b.invoke(D_DECRYPT);
+    let bad = b.new_label();
+    b.invoke(D_GET_L).iconst(0x0123_4567).if_icmp(Cond::Ne, bad);
+    b.invoke(D_GET_R).iconst(0x89AB_CDEF_u32 as i32).if_icmp(Cond::Ne, bad);
+    b.iconst(1).ireturn();
+    b.bind(bad);
+    b.iconst(0).ireturn();
+    b.line_entries(55);
+    c.add_method(b.finish());
+
+    c
+}
+
+fn tables_class() -> ClassDef {
+    let mut c = ClassDef::new("des/Tables");
+    c.source_file = Some("Tables.java".to_owned());
+    for i in 0..8 {
+        c.add_static(StaticDef::int(format!("sbox{i}"), 0));
+    }
+    c.add_static(StaticDef::int("perm", 0));
+    c.add_static(StaticDef::int("iperm", 0));
+    c.add_static(StaticDef::int("eTable", 0));
+    c.add_static(StaticDef::int("pcTable", 0));
+
+    // initAll(): drive every initializer
+    let mut b = MethodBuilder::new("initAll", 0);
+    for i in 0..16u16 {
+        b.invoke(MethodId::new(TABLES, 1 + i));
+    }
+    b.invoke(T_INIT_PERM);
+    b.invoke(T_INIT_IPERM);
+    b.invoke(T_INIT_E);
+    b.invoke(T_INIT_PC);
+    b.ret();
+    b.line_entries(95);
+    c.add_method(b.finish());
+
+    // initSbox{N}{a,b}: straight-line table halves, exactly how javac
+    // compiles `static int[] SBOX = { ... }` — one giant run of
+    // constant stores. These are the paper's 174-instruction methods.
+    for bx in 0..8u16 {
+        for half in 0..2u16 {
+            let name = format!("initSbox{bx}{}", if half == 0 { "a" } else { "b" });
+            let mut b = MethodBuilder::new(name, 0);
+            if half == 0 {
+                b.iconst(64).newarray().putstatic(TABLES, bx);
+            }
+            b.iconst(i32::from(bx) * 7 + i32::from(half)).istore(0);
+            for i in 0..32u32 {
+                let idx = u32::from(half) * 32 + i;
+                b.getstatic(TABLES, bx);
+                b.iconst(idx as i32);
+                b.iconst(sbox_constant(u32::from(bx), idx));
+                b.iconst(idx as i32).iconst(0x5BD1_E995).imul().ixor();
+                b.iconst(0x9E37_79B9_u32 as i32).iload(0).iadd().ixor();
+                b.iastore();
+            }
+            b.ret();
+            b.line_entries(220);
+            c.add_method(b.finish());
+        }
+    }
+
+    // initPerm(): a fixed 64-bit permutation (bit-reversal within
+    // halves crossed over), straight-line like real IP tables
+    let mut b = MethodBuilder::new("initPerm", 0);
+    b.iconst(64).newarray().putstatic(TABLES, TS_PERM);
+    for j in 0..64i32 {
+        // crossing permutation: j -> (63 - ((j * 17 + 9) % 64))
+        let src = 63 - ((j * 17 + 9) % 64);
+        b.getstatic(TABLES, TS_PERM).iconst(j).iconst(src).iastore();
+    }
+    b.ret();
+    b.line_entries(220);
+    c.add_method(b.finish());
+
+    // initIPerm(): invert perm programmatically — guarantees fp = ip^-1
+    let mut b = MethodBuilder::new("initIPerm", 0);
+    b.iconst(64).newarray().putstatic(TABLES, TS_IPERM);
+    b.iconst(0).istore(0);
+    let head = b.new_label();
+    let exit = b.new_label();
+    b.bind(head);
+    b.iload(0).iconst(64).if_icmp(Cond::Ge, exit);
+    // iperm[perm[j]] = j
+    b.getstatic(TABLES, TS_IPERM);
+    b.getstatic(TABLES, TS_PERM).iload(0).iaload();
+    b.iload(0);
+    b.iastore();
+    b.iinc(0, 1).goto(head);
+    b.bind(exit);
+    b.ret();
+    b.line_entries(60);
+    c.add_method(b.finish());
+
+    // initE(): 48-entry expansion table (straight-line)
+    let mut b = MethodBuilder::new("initE", 0);
+    b.iconst(48).newarray().putstatic(TABLES, TS_E);
+    for j in 0..48i32 {
+        b.getstatic(TABLES, TS_E).iconst(j).iconst((j * 31 + 7) % 32).iastore();
+    }
+    b.ret();
+    b.line_entries(140);
+    c.add_method(b.finish());
+
+    // initPC(): 56-entry key-permutation table (straight-line)
+    let mut b = MethodBuilder::new("initPC", 0);
+    b.iconst(56).newarray().putstatic(TABLES, TS_PC);
+    for j in 0..56i32 {
+        b.getstatic(TABLES, TS_PC).iconst(j).iconst((j * 23 + 3) % 56).iastore();
+    }
+    b.ret();
+    b.line_entries(150);
+    c.add_method(b.finish());
+
+    c.unused_strings.push("des.tables.rev".to_owned());
+    c
+}
+
+/// Builds the TestDes application with calibrated Test/Train inputs.
+///
+/// # Panics
+///
+/// Panics if the handwritten cipher fails verification (a bug, caught by
+/// tests).
+#[must_use]
+pub fn build() -> Application {
+    let classes = vec![main_class(), des_class(), tables_class()];
+    let program = Program::new(classes, "des/TestDes", "main").expect("testdes verifies");
+    let mut app = Application::from_program("TestDes", program, CPI).expect("testdes lowers");
+    app.wire_scale = WireScale::new(1554, 1000);
+
+    // Calibrate the block count: dynamic count is affine in blocks.
+    let probe = |blocks: i64, mode: i64| -> u64 {
+        let mut interp = Interpreter::new(&app.program);
+        interp.run(&[blocks, mode], &mut ()).expect("testdes runs");
+        interp.executed()
+    };
+    let mode_test = crate::appgen::MODE_TEST;
+    let mode_train = crate::appgen::MODE_TRAIN;
+    let d1 = probe(2, mode_test);
+    let d2 = probe(6, mode_test);
+    let slope = (d2 - d1) / 4;
+    let base = d1 - slope * 2;
+    let solve = |target: u64| -> i64 {
+        i64::try_from(target.saturating_sub(base).div_ceil(slope.max(1)).max(1)).expect("fits")
+    };
+    app.test_args = vec![solve(310_000), mode_test];
+    app.train_args = vec![solve(303_000), mode_train];
+    app
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nonstrict_bytecode::Input;
+
+    #[test]
+    fn structural_counts_match_paper() {
+        let app = build();
+        assert_eq!(app.classes.len(), 3);
+        assert_eq!(app.program.method_count(), 51);
+        assert_eq!(app.cpi, 484);
+    }
+
+    #[test]
+    fn roundtrip_succeeds_on_both_inputs() {
+        let app = build();
+        for input in [Input::Test, Input::Train] {
+            let mut interp = Interpreter::new(&app.program);
+            interp.run(app.args(input), &mut ()).unwrap();
+            assert_eq!(interp.output(), &[1], "{input}: decrypt(encrypt(msg)) != msg");
+        }
+    }
+
+    #[test]
+    fn encryption_actually_changes_the_data() {
+        // run a tampered check: encrypt-only output must differ from the
+        // message, otherwise the "cipher" is the identity
+        let app = build();
+        let mut interp = Interpreter::new(&app.program);
+        let mut sink = ();
+        interp.run(app.args(Input::Test), &mut sink).unwrap();
+        // selfTest() ran first on the test path and proved a known block
+        // round-trips; here we just re-verify the program printed 1.
+        assert_eq!(interp.output(), &[1]);
+    }
+
+    #[test]
+    fn dynamic_counts_near_targets() {
+        let app = build();
+        for (input, target) in [(Input::Test, 310_000f64), (Input::Train, 303_000f64)] {
+            let mut interp = Interpreter::new(&app.program);
+            interp.run(app.args(input), &mut ()).unwrap();
+            let got = interp.executed() as f64;
+            assert!((got - target).abs() / target < 0.10, "{input}: {got} vs {target}");
+        }
+    }
+
+    #[test]
+    fn coverage_is_high_like_the_paper() {
+        let app = build();
+        let mut interp = Interpreter::new(&app.program);
+        interp.run(app.args(Input::Test), &mut ()).unwrap();
+        let pct = interp.executed_static_percent();
+        assert!(pct > 90.0, "TestDes should execute nearly everything, got {pct}");
+    }
+}
+
+#[cfg(test)]
+mod cipher_tests {
+    use super::*;
+    use nonstrict_bytecode::Input;
+
+    /// The cipher is not the identity: the ciphertext differs from the
+    /// plaintext in (nearly) every word, and decryption restores it.
+    #[test]
+    fn encryption_diffuses_and_decryption_restores() {
+        let app = build();
+        let mut interp = Interpreter::new(&app.program);
+        interp.run(app.args(Input::Test), &mut ()).unwrap();
+        let msg_handle = interp.static_value(MAIN, 0).unwrap();
+        let enc_handle = interp.static_value(MAIN, 1).unwrap();
+        let dec_handle = interp.static_value(MAIN, 2).unwrap();
+        let msg = interp.array(msg_handle).unwrap().to_vec();
+        let enc = interp.array(enc_handle).unwrap().to_vec();
+        let dec = interp.array(dec_handle).unwrap().to_vec();
+        assert_eq!(msg.len(), enc.len());
+        assert_eq!(msg, dec, "decrypt(encrypt(msg)) == msg");
+        let changed = msg.iter().zip(&enc).filter(|(a, b)| a != b).count();
+        assert!(
+            changed * 10 >= msg.len() * 9,
+            "a Feistel network must diffuse: only {changed} of {} words changed",
+            msg.len()
+        );
+    }
+
+    /// Diffusion statistics: across the whole message, the
+    /// plaintext/ciphertext Hamming distance must average near half the
+    /// bits — the signature of a non-degenerate block cipher.
+    #[test]
+    fn ciphertext_hamming_distance_averages_half_the_bits() {
+        let app = build();
+        let mut a = Interpreter::new(&app.program);
+        a.run(app.args(Input::Test), &mut ()).unwrap();
+        let enc = a.array(a.static_value(MAIN, 1).unwrap()).unwrap().to_vec();
+        let msg = a.array(a.static_value(MAIN, 0).unwrap()).unwrap().to_vec();
+        let total_bits = 32 * msg.len() as u32;
+        let diff: u32 = msg
+            .iter()
+            .zip(&enc)
+            .map(|(p, c)| ((*p as u32) ^ (*c as u32)).count_ones())
+            .sum();
+        let frac = f64::from(diff) / f64::from(total_bits);
+        assert!(
+            (0.35..=0.65).contains(&frac),
+            "average diffusion {frac:.2} ({diff} of {total_bits} bits)"
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! Calibration test: every benchmark's Table 2 row must be close to the
+//! paper's published row. Structural counts (files, methods) are exact;
+//! sizes and dynamics carry tolerances (the paper's apps were compiled by
+//! a 1997 javac we can only approximate).
+
+use nonstrict_workloads::stats::{paper_row, table2_row};
+
+#[test]
+fn table2_rows_track_the_paper() {
+    let mut failures = Vec::new();
+    for app in nonstrict_workloads::build_all() {
+        let got = table2_row(&app);
+        let want = paper_row(&app.name).expect("paper row exists");
+        println!(
+            "{:8} files {:3} (paper {:3})  size {:7.1}KB (paper {:5.1})  dynT {:8.0}K (paper {:6.0})  dynR {:8.0}K (paper {:6.0})  static {:6.1}K (paper {:4.1})  exec {:5.1}% (paper {:2.0})  methods {:4} (paper {:4})  i/m {:5.1} (paper {:3.0})",
+            got.name, got.total_files, want.total_files, got.size_kb, want.size_kb,
+            got.dyn_test_k, want.dyn_test_k, got.dyn_train_k, want.dyn_train_k,
+            got.static_k, want.static_k, got.executed_pct, want.executed_pct,
+            got.total_methods, want.total_methods, got.instrs_per_method, want.instrs_per_method,
+        );
+        let mut check = |what: &str, got: f64, want: f64, tol: f64| {
+            let rel = (got - want).abs() / want.max(1e-9);
+            if rel > tol {
+                failures.push(format!(
+                    "{}: {} = {:.1} vs paper {:.1} ({:+.0}%, tol {:.0}%)",
+                    app.name,
+                    what,
+                    got,
+                    want,
+                    100.0 * (got - want) / want,
+                    100.0 * tol
+                ));
+            }
+        };
+        // Exact structure.
+        assert_eq!(got.total_files, want.total_files, "{}", app.name);
+        assert_eq!(got.total_methods, want.total_methods, "{}", app.name);
+        // Dynamics: calibrated, must be tight.
+        check("dyn test", got.dyn_test_k, want.dyn_test_k, 0.08);
+        check("dyn train", got.dyn_train_k, want.dyn_train_k, 0.10);
+        // Sizes and coverage: approximated, looser.
+        check("size KB", got.size_kb, want.size_kb, 0.25);
+        check("% executed", got.executed_pct, want.executed_pct, 0.20);
+        check("static K", got.static_k, want.static_k, 0.35);
+    }
+    assert!(failures.is_empty(), "fidelity failures:\n{}", failures.join("\n"));
+}

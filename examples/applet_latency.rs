@@ -1,0 +1,57 @@
+//! Invocation latency over a range of link speeds — the user-experience
+//! question that motivates the paper: how long until an applet starts?
+//!
+//! Sweeps bandwidths from a 14.4 K modem to a 10 Mbit LAN for every
+//! benchmark and prints the time-to-first-instruction under strict
+//! loading, non-strict loading, and non-strict loading with partitioned
+//! global data.
+//!
+//! ```text
+//! cargo run --release --example applet_latency
+//! ```
+
+use nonstrict::core::metrics::cycles_to_seconds;
+use nonstrict::core::{DataLayout, OrderingSource, Session, SimConfig};
+use nonstrict::netsim::Link;
+use nonstrict_bytecode::Input;
+
+/// The paper models a 500 MHz Alpha.
+const CPU_HZ: u64 = 500_000_000;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bandwidths: [(&str, u64); 5] = [
+        ("14.4K modem", 14_400),
+        ("28.8K modem", 29_000),
+        ("ISDN 128K", 128_000),
+        ("T1 ~1M", 1_048_576),
+        ("LAN 10M", 10_000_000),
+    ];
+
+    println!(
+        "{:<10} {:>14} {:>12} {:>12} {:>12}",
+        "Program", "link", "strict", "non-strict", "partitioned"
+    );
+    for app in nonstrict::workloads::build_all() {
+        let name = app.name.clone();
+        let session = Session::new(app)?;
+        for (label, bps) in bandwidths {
+            let link = Link::from_bandwidth(bps, CPU_HZ);
+            let strict = session.simulate(Input::Test, &SimConfig::strict(link));
+            let ns_cfg = SimConfig::non_strict(link, OrderingSource::StaticCallGraph);
+            let ns = session.simulate(Input::Test, &ns_cfg);
+            let mut dp_cfg = ns_cfg;
+            dp_cfg.data_layout = DataLayout::Partitioned;
+            let dp = session.simulate(Input::Test, &dp_cfg);
+            println!(
+                "{:<10} {:>14} {:>11.3}s {:>11.3}s {:>11.3}s",
+                name,
+                label,
+                cycles_to_seconds(strict.invocation_latency),
+                cycles_to_seconds(ns.invocation_latency),
+                cycles_to_seconds(dp.invocation_latency),
+            );
+        }
+        println!();
+    }
+    Ok(())
+}

@@ -1,0 +1,57 @@
+//! # nonstrict
+//!
+//! Non-strict execution for mobile programs: overlap program execution
+//! with network transfer, a from-scratch Rust reproduction of
+//!
+//! > Chandra Krintz, Brad Calder, Han Bok Lee, Benjamin G. Zorn.
+//! > *Overlapping Execution with Transfer Using Non-Strict Execution for
+//! > Mobile Programs.* ASPLOS-VIII, 1998.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`classfile`] — JVM class-file substrate with exact wire sizes
+//! * [`bytecode`] — instruction set, control-flow graphs, interpreter
+//! * [`profile`] — execution traces and first-use profiling
+//! * [`workloads`] — the six ASPLOS '98 benchmarks rebuilt as bytecode
+//! * [`reorder`] — first-use reordering, restructuring, data partitioning
+//! * [`netsim`] — links, transfer schedules, parallel/interleaved engines
+//! * [`core`] — the non-strict co-simulator, metrics, and experiments
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use nonstrict::prelude::*;
+//!
+//! // Build a benchmark, reorder it by static first-use estimation, and
+//! // simulate non-strict interleaved transfer over a modem link.
+//! let app = nonstrict::workloads::hanoi::build();
+//! let config = SimConfig {
+//!     link: Link::MODEM_28_8,
+//!     ordering: OrderingSource::StaticCallGraph,
+//!     transfer: TransferPolicy::Interleaved,
+//!     data_layout: DataLayout::Whole,
+//!     execution: ExecutionModel::NonStrict,
+//! };
+//! let result = simulate(&app, Input::Test, &config).unwrap();
+//! let strict = simulate(&app, Input::Test, &SimConfig::strict(Link::MODEM_28_8)).unwrap();
+//! assert!(result.total_cycles < strict.total_cycles);
+//! ```
+
+pub use nonstrict_bytecode as bytecode;
+pub use nonstrict_classfile as classfile;
+pub use nonstrict_core as core;
+pub use nonstrict_netsim as netsim;
+pub use nonstrict_profile as profile;
+pub use nonstrict_reorder as reorder;
+pub use nonstrict_workloads as workloads;
+
+/// The most commonly used types, re-exported flat.
+pub mod prelude {
+    pub use nonstrict_bytecode::program::{Application, Input};
+    pub use nonstrict_core::metrics::normalized_percent;
+    pub use nonstrict_core::model::{
+        DataLayout, ExecutionModel, OrderingSource, SimConfig, TransferPolicy,
+    };
+    pub use nonstrict_core::sim::{simulate, Session, SimResult};
+    pub use nonstrict_netsim::link::Link;
+}

@@ -1,0 +1,145 @@
+//! Semantic guarantees of the six benchmarks: the properties the
+//! experiments silently rely on.
+
+use std::collections::HashSet;
+
+use nonstrict::bytecode::cfg::CallGraph;
+use nonstrict::reorder::static_first_use;
+use nonstrict_bytecode::{Input, Interpreter};
+use nonstrict_profile::collect;
+
+#[test]
+fn all_builds_are_bit_for_bit_deterministic() {
+    let a = nonstrict::workloads::build_all();
+    let b = nonstrict::workloads::build_all();
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.test_args, y.test_args, "{}", x.name);
+        assert_eq!(x.train_args, y.train_args, "{}", x.name);
+        for (cx, cy) in x.classes.iter().zip(&y.classes) {
+            assert_eq!(cx.to_bytes(), cy.to_bytes(), "{}", x.name);
+        }
+    }
+}
+
+#[test]
+fn every_benchmark_runs_cleanly_on_both_inputs() {
+    for app in nonstrict::workloads::build_all() {
+        for input in [Input::Test, Input::Train] {
+            let mut interp = Interpreter::new(&app.program);
+            interp
+                .run(app.args(input), &mut ())
+                .unwrap_or_else(|e| panic!("{} faulted on {input}: {e}", app.name));
+            assert!(interp.executed() > 1_000, "{} {input} barely ran", app.name);
+        }
+    }
+}
+
+#[test]
+fn train_first_uses_are_a_subset_of_some_run_and_orders_diverge() {
+    for app in nonstrict::workloads::build_all() {
+        let test = collect(&app, Input::Test).unwrap();
+        let train = collect(&app, Input::Train).unwrap();
+        // Divergence: for most programs the two inputs must not produce
+        // identical first-use sequences (otherwise Train would be a
+        // perfect profile). Hanoi is the legitimate exception: its train
+        // input is a strict prefix of the test input (6 rings vs 6+8),
+        // exactly as in the paper, so the orders coincide.
+        if app.name != "Hanoi" {
+            assert_ne!(
+                test.profile.order(),
+                train.profile.order(),
+                "{}: test and train first-use orders must differ",
+                app.name
+            );
+        }
+        // But they must agree heavily — the paper's Train columns sit
+        // close to Test.
+        let agreement = train.profile.order_agreement(&test.profile);
+        assert!(
+            agreement > 0.80,
+            "{}: train/test order agreement {agreement:.2}",
+            app.name
+        );
+    }
+}
+
+#[test]
+fn static_estimation_covers_every_profiled_method() {
+    // Anything that actually ran must be statically reachable (the SCG
+    // may overpredict via dead guards, but never underpredict).
+    for app in nonstrict::workloads::build_all() {
+        let order = static_first_use(&app.program);
+        let cg = CallGraph::build(&app.program);
+        let reachable: HashSet<_> =
+            cg.reachable_from(&app.program, app.program.entry()).into_iter().collect();
+        let test = collect(&app, Input::Test).unwrap();
+        for &m in test.profile.order() {
+            assert!(
+                reachable.contains(&m),
+                "{}: executed method {m} invisible to the static call graph",
+                app.name
+            );
+            // and the SCG must have ranked it before all never-reachable
+            // methods it placed at the tail
+            assert!(order.rank(&app.program, m) < app.program.method_count());
+        }
+    }
+}
+
+#[test]
+fn scg_overpredicts_but_never_underpredicts_class_loading() {
+    // Dead-guarded call sites make SCG schedule classes that never load;
+    // that asymmetry (overprediction only) is what separates the paper's
+    // SCG columns from its profile columns.
+    for app in nonstrict::workloads::build_all() {
+        let cg = CallGraph::build(&app.program);
+        let static_classes: HashSet<u16> = cg
+            .reachable_from(&app.program, app.program.entry())
+            .into_iter()
+            .map(|m| m.class.0)
+            .collect();
+        let test = collect(&app, Input::Test).unwrap();
+        let dynamic_classes: HashSet<u16> =
+            test.profile.order().iter().map(|m| m.class.0).collect();
+        assert!(
+            dynamic_classes.is_subset(&static_classes),
+            "{}: a loaded class escaped static analysis",
+            app.name
+        );
+    }
+}
+
+#[test]
+fn generated_benchmarks_have_dead_classes_on_test_input() {
+    for name in ["BIT", "JavaCup", "Jess", "JHLZip"] {
+        let app = nonstrict::workloads::build_by_name(name).unwrap();
+        let test = collect(&app, Input::Test).unwrap();
+        let loaded: HashSet<u16> = test.profile.order().iter().map(|m| m.class.0).collect();
+        assert!(
+            loaded.len() < app.classes.len(),
+            "{name}: expected some classes never to load ({} of {})",
+            loaded.len(),
+            app.classes.len()
+        );
+    }
+}
+
+#[test]
+fn program_outputs_are_meaningful() {
+    // Hanoi prints its move count; TestDes prints the round-trip
+    // verdict; the generated apps print their checksums.
+    let hanoi = nonstrict::workloads::hanoi::build();
+    let mut interp = Interpreter::new(&hanoi.program);
+    interp.run(hanoi.args(Input::Test), &mut ()).unwrap();
+    assert_eq!(interp.output(), &[318], "hanoi solves 6+8 rings = 318 moves");
+
+    let des = nonstrict::workloads::testdes::build();
+    let mut interp = Interpreter::new(&des.program);
+    interp.run(des.args(Input::Train), &mut ()).unwrap();
+    assert_eq!(interp.output(), &[1], "testdes round trip verifies");
+
+    let jess = nonstrict::workloads::jess::build();
+    let mut interp = Interpreter::new(&jess.program);
+    interp.run(jess.args(Input::Test), &mut ()).unwrap();
+    assert_eq!(interp.output().len(), 1, "jess prints one checksum");
+}

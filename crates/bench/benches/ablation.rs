@@ -4,15 +4,15 @@
 //! (the simulated `total_cycles` each variant returns is printed by the
 //! companion integration test `tests/ablation_quality.rs`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nonstrict_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nonstrict_bytecode::Input;
 use nonstrict_core::model::{
     DataLayout, ExecutionModel, OrderingSource, SimConfig, TransferPolicy,
 };
 use nonstrict_core::sim::Session;
-use nonstrict_netsim::{class_units, greedy_schedule, ParallelEngine, TransferEngine, Weights};
 use nonstrict_netsim::schedule::ParallelSchedule;
 use nonstrict_netsim::Link;
+use nonstrict_netsim::{class_units, greedy_schedule, ParallelEngine, TransferEngine, Weights};
 use nonstrict_reorder::{restructure, static_first_use, static_first_use_plain};
 
 /// SCG loop heuristics vs plain DFS: ordering construction cost.
@@ -41,8 +41,7 @@ fn bench_delimiter_granularity(c: &mut Criterion) {
         group.bench_function(label, |b| {
             b.iter(|| {
                 let units = class_units(&app, &r, None, delim);
-                let schedule =
-                    greedy_schedule(&app, &order, &units, &r.layouts, Weights::Static);
+                let schedule = greedy_schedule(&app, &order, &units, &r.layouts, Weights::Static);
                 let mut e = ParallelEngine::new(Link::MODEM_28_8, units, &schedule, 4);
                 e.finish_time()
             })
@@ -68,8 +67,7 @@ fn bench_schedule_ablation(c: &mut Criterion) {
     for (label, schedule) in [("greedy", &greedy), ("naive_zero", &naive)] {
         group.bench_with_input(BenchmarkId::from_parameter(label), schedule, |b, s| {
             b.iter(|| {
-                let mut e =
-                    ParallelEngine::new(Link::MODEM_28_8, units.clone(), s, usize::MAX);
+                let mut e = ParallelEngine::new(Link::MODEM_28_8, units.clone(), s, usize::MAX);
                 e.unit_ready(0, 1, 0)
             })
         });
@@ -83,15 +81,17 @@ fn bench_execution_model(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_execution_model");
     group.sample_size(20);
     let s = Session::new(nonstrict_workloads::jhlzip::build()).unwrap();
-    for (label, execution) in
-        [("strict_gating", ExecutionModel::Strict), ("non_strict", ExecutionModel::NonStrict)]
-    {
+    for (label, execution) in [
+        ("strict_gating", ExecutionModel::Strict),
+        ("non_strict", ExecutionModel::NonStrict),
+    ] {
         let config = SimConfig {
             link: Link::MODEM_28_8,
             ordering: OrderingSource::StaticCallGraph,
             transfer: TransferPolicy::Parallel { limit: 4 },
             data_layout: DataLayout::Whole,
             execution,
+            faults: None,
         };
         group.bench_function(label, |b| {
             b.iter(|| s.simulate(Input::Test, &config).total_cycles)

@@ -1,7 +1,9 @@
 //! Interpreter and profiling throughput: how fast the BIT-analog
 //! executes the six benchmarks.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nonstrict_bench::harness::{
+    criterion_group, criterion_main, BenchmarkId, Criterion, Throughput,
+};
 use nonstrict_bytecode::{Input, Interpreter};
 use nonstrict_profile::collect;
 
@@ -31,7 +33,12 @@ fn bench_profiling(c: &mut Criterion) {
     for name in ["Hanoi", "JHLZip", "TestDes"] {
         let app = nonstrict_workloads::build_by_name(name).unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(name), &app, |b, app| {
-            b.iter(|| collect(app, Input::Train).unwrap().trace.total_instructions())
+            b.iter(|| {
+                collect(app, Input::Train)
+                    .unwrap()
+                    .trace
+                    .total_instructions()
+            })
         });
     }
     group.finish();
@@ -42,7 +49,11 @@ fn bench_build(c: &mut Criterion) {
     group.sample_size(10);
     for name in ["Hanoi", "JHLZip", "Jess"] {
         group.bench_function(BenchmarkId::from_parameter(name), |b| {
-            b.iter(|| nonstrict_workloads::build_by_name(name).unwrap().total_size())
+            b.iter(|| {
+                nonstrict_workloads::build_by_name(name)
+                    .unwrap()
+                    .total_size()
+            })
         });
     }
     group.finish();

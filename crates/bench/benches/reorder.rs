@@ -2,10 +2,8 @@
 //! restructuring, and global-data partitioning — the work a non-strict
 //! server does once per application.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use nonstrict_reorder::{
-    partition_app, restructure, static_first_use, static_first_use_plain,
-};
+use nonstrict_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nonstrict_reorder::{partition_app, restructure, static_first_use, static_first_use_plain};
 
 fn bench_scg(c: &mut Criterion) {
     let mut group = c.benchmark_group("static_first_use");
@@ -49,11 +47,20 @@ fn bench_serialization(c: &mut Criterion) {
     let app = nonstrict_workloads::jess::build();
     group.bench_function("jess_all_classes", |b| {
         b.iter(|| {
-            app.classes.iter().map(|c| c.to_bytes().len()).sum::<usize>()
+            app.classes
+                .iter()
+                .map(|c| c.to_bytes().len())
+                .sum::<usize>()
         })
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_scg, bench_restructure, bench_partition, bench_serialization);
+criterion_group!(
+    benches,
+    bench_scg,
+    bench_restructure,
+    bench_partition,
+    bench_serialization
+);
 criterion_main!(benches);

@@ -4,7 +4,7 @@
 //! times and re-derives every number EXPERIMENTS.md reports; the `paper`
 //! binary prints the same rows human-readably.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use nonstrict_bench::harness::{criterion_group, criterion_main, Criterion};
 use nonstrict_core::experiment::{self, Suite};
 use nonstrict_core::model::DataLayout;
 use nonstrict_netsim::Link;
@@ -30,15 +30,25 @@ fn bench_tables(c: &mut Criterion) {
         b.iter(|| experiment::table4(&suite).len())
     });
     group.bench_function("table5_parallel_t1", |b| {
-        b.iter(|| experiment::parallel_table(&suite, Link::T1, DataLayout::Whole).rows.len())
+        b.iter(|| {
+            experiment::parallel_table(&suite, Link::T1, DataLayout::Whole)
+                .rows
+                .len()
+        })
     });
     group.bench_function("table6_parallel_modem", |b| {
         b.iter(|| {
-            experiment::parallel_table(&suite, Link::MODEM_28_8, DataLayout::Whole).rows.len()
+            experiment::parallel_table(&suite, Link::MODEM_28_8, DataLayout::Whole)
+                .rows
+                .len()
         })
     });
     group.bench_function("table7_interleaved", |b| {
-        b.iter(|| experiment::interleaved_table(&suite, DataLayout::Whole).rows.len())
+        b.iter(|| {
+            experiment::interleaved_table(&suite, DataLayout::Whole)
+                .rows
+                .len()
+        })
     });
     group.bench_function("table8_pool_breakdown", |b| {
         b.iter(|| experiment::table8(&suite).len())
@@ -52,7 +62,9 @@ fn bench_tables(c: &mut Criterion) {
             p.rows.len() + i.rows.len()
         })
     });
-    group.bench_function("fig6_summary", |b| b.iter(|| experiment::fig6(&suite).len()));
+    group.bench_function("fig6_summary", |b| {
+        b.iter(|| experiment::fig6(&suite).len())
+    });
     group.finish();
 }
 

@@ -1,7 +1,7 @@
 //! Transfer-engine and co-simulation speed: the cost of simulating one
 //! remote execution under each transfer policy.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nonstrict_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nonstrict_bytecode::Input;
 use nonstrict_core::model::{
     DataLayout, ExecutionModel, OrderingSource, SimConfig, TransferPolicy,
@@ -28,11 +28,17 @@ fn bench_session_setup(c: &mut Criterion) {
 fn bench_policies(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulate_modem");
     group.sample_size(20);
-    let sessions: Vec<Session> = ["Hanoi", "JHLZip", "Jess"].iter().map(|n| session(n)).collect();
+    let sessions: Vec<Session> = ["Hanoi", "JHLZip", "Jess"]
+        .iter()
+        .map(|n| session(n))
+        .collect();
     let policies: [(&str, TransferPolicy); 4] = [
         ("strict_seq", TransferPolicy::Strict),
         ("parallel_4", TransferPolicy::Parallel { limit: 4 }),
-        ("parallel_inf", TransferPolicy::Parallel { limit: usize::MAX }),
+        (
+            "parallel_inf",
+            TransferPolicy::Parallel { limit: usize::MAX },
+        ),
         ("interleaved", TransferPolicy::Interleaved),
     ];
     for s in &sessions {
@@ -43,6 +49,7 @@ fn bench_policies(c: &mut Criterion) {
                 transfer,
                 data_layout: DataLayout::Whole,
                 execution: ExecutionModel::NonStrict,
+                faults: None,
             };
             group.bench_function(BenchmarkId::new(label, &s.app.name), |b| {
                 b.iter(|| s.simulate(Input::Test, &config).total_cycles)
@@ -62,6 +69,7 @@ fn bench_partitioned(c: &mut Criterion) {
         transfer: TransferPolicy::Parallel { limit: 4 },
         data_layout: DataLayout::Partitioned,
         execution: ExecutionModel::NonStrict,
+        faults: None,
     };
     group.bench_function("jess_par4_dp", |b| {
         b.iter(|| s.simulate(Input::Test, &config).total_cycles)
@@ -69,5 +77,10 @@ fn bench_partitioned(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_session_setup, bench_policies, bench_partitioned);
+criterion_group!(
+    benches,
+    bench_session_setup,
+    bench_policies,
+    bench_partitioned
+);
 criterion_main!(benches);

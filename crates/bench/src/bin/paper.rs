@@ -6,6 +6,7 @@
 //! paper table10
 //! paper fig6
 //! paper summary      # headline claims vs measured
+//! paper faults       # fault sweep: resilience + graceful degradation
 //! paper csv results/ # machine-readable export of every table
 //! ```
 
@@ -42,8 +43,10 @@ fn main() {
         ),
         "table7" => {
             let t = experiment::interleaved_table(&suite, DataLayout::Whole);
-            let p: Vec<[f64; 6]> =
-                paper::TABLE7.iter().map(|r| [r.0, r.1, r.2, r.3, r.4, r.5]).collect();
+            let p: Vec<[f64; 6]> = paper::TABLE7
+                .iter()
+                .map(|r| [r.0, r.1, r.2, r.3, r.4, r.5])
+                .collect();
             println!(
                 "{}",
                 report::render_interleaved(&t, "Table 7: Interleaved File Transfer", Some(&p))
@@ -74,6 +77,10 @@ fn main() {
         }
         "fig6" => println!("{}", report::render_fig6(&experiment::fig6(&suite))),
         "summary" => print_summary(&suite),
+        "faults" => println!(
+            "{}",
+            report::render_fault_sweep(&experiment::faults::fault_sweep(&suite))
+        ),
         "csv" => {
             let dir = std::env::args()
                 .nth(2)
@@ -85,7 +92,7 @@ fn main() {
             }
         }
         other => {
-            eprintln!("unknown table {other:?}; use all|table2..table10|fig6|summary|csv");
+            eprintln!("unknown table {other:?}; use all|table2..table10|fig6|summary|faults|csv");
             std::process::exit(2);
         }
     }

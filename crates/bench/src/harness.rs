@@ -1,0 +1,287 @@
+//! A minimal wall-clock benchmarking harness exposing the subset of
+//! the `criterion` API used by `benches/*.rs`: `Criterion`,
+//! `BenchmarkGroup`, `BenchmarkId`, `Throughput`, `Bencher::iter`, and
+//! the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Methodology: each benchmark is warmed up for a fixed wall-clock
+//! budget, then timed for `sample_size` samples of automatically-sized
+//! iteration batches. The median sample, min, max, and (when a
+//! throughput is declared) elements/second are printed. This is not a
+//! statistics suite — it exists so `cargo bench` keeps working and
+//! produces comparable numbers offline.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+pub use crate::{criterion_group, criterion_main};
+
+/// Re-exported `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Top-level benchmark driver; one per `criterion_group!`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Creates a driver with default settings.
+    #[must_use]
+    pub fn new() -> Criterion {
+        Criterion::default()
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n{name}");
+        BenchmarkGroup {
+            _criterion: self,
+            sample_size: 50,
+            throughput: None,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(&id.0, 50, None, f);
+    }
+}
+
+/// Identifier for one benchmark: a function name plus an optional
+/// parameter rendered `name/param`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/param`.
+    pub fn new(name: impl Display, param: impl Display) -> BenchmarkId {
+        BenchmarkId(format!("{name}/{param}"))
+    }
+
+    /// Parameter-only id (the group name provides context).
+    pub fn from_parameter(param: impl Display) -> BenchmarkId {
+        BenchmarkId(format!("{param}"))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId(s)
+    }
+}
+
+/// Declared per-iteration work, for elements/second reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The iteration processes this many logical elements.
+    Elements(u64),
+    /// The iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// A group of benchmarks sharing settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declares per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Times `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(&id.0, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Times `f` under `id`, passing it `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        run_benchmark(&id.0, self.sample_size, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (printing is incremental, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Passed to the closure; `iter` does the timing.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `routine`, keeping results opaque to the
+    /// optimizer.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std_black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+const WARMUP: Duration = Duration::from_millis(300);
+const TARGET_SAMPLE: Duration = Duration::from_millis(20);
+
+fn run_benchmark<F>(name: &str, samples: usize, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Warmup, and calibrate how many iterations fit a sample.
+    let warm_start = Instant::now();
+    let mut iters_done: u64 = 0;
+    while warm_start.elapsed() < WARMUP {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        iters_done += 1;
+    }
+    let per_iter = warm_start.elapsed().as_secs_f64() / iters_done.max(1) as f64;
+    let iters = if per_iter > 0.0 {
+        ((TARGET_SAMPLE.as_secs_f64() / per_iter).ceil() as u64).max(1)
+    } else {
+        1
+    };
+
+    let mut times: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        times.push(b.elapsed.as_secs_f64() / iters as f64);
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    let median = times[times.len() / 2];
+    let (lo, hi) = (times[0], times[times.len() - 1]);
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if median > 0.0 => {
+            format!("  {} elem/s", human_count(n as f64 / median))
+        }
+        Some(Throughput::Bytes(n)) if median > 0.0 => {
+            format!("  {}B/s", human_count(n as f64 / median))
+        }
+        _ => String::new(),
+    };
+    println!(
+        "  {name}: {} [{} .. {}]{rate}",
+        human_time(median),
+        human_time(lo),
+        human_time(hi)
+    );
+}
+
+fn human_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+fn human_count(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.2} G", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.2} M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.2} K", v / 1e3)
+    } else {
+        format!("{v:.0} ")
+    }
+}
+
+/// Builds a group-runner function from benchmark functions, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::harness::Criterion::new();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Builds `main` from group-runner functions, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_ids_render_like_criterion() {
+        assert_eq!(BenchmarkId::new("stage", "Jess").0, "stage/Jess");
+        assert_eq!(BenchmarkId::from_parameter(42).0, "42");
+        let from_str: BenchmarkId = "plain".into();
+        assert_eq!(from_str.0, "plain");
+    }
+
+    #[test]
+    fn bencher_counts_every_iteration() {
+        let mut calls = 0u64;
+        let mut b = Bencher {
+            iters: 17,
+            elapsed: Duration::ZERO,
+        };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 17);
+    }
+}

@@ -1,1 +1,10 @@
 //! Benchmark harness crate (see benches/ and src/bin/paper.rs).
+//!
+//! The `harness` module is a small, self-contained stand-in for the
+//! subset of the `criterion` API the benches use, so the benchmark
+//! suite builds and runs in environments without access to external
+//! crates. It measures wall-clock time with warmup and a configurable
+//! sample count and prints a `name: median time [min .. max]` line per
+//! benchmark.
+
+pub mod harness;

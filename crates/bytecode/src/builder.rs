@@ -247,12 +247,18 @@ impl MethodBuilder {
 
     /// Appends an `invokestatic` of another program method.
     pub fn invoke(&mut self, target: MethodId) -> &mut Self {
-        self.push(Instruction::Invoke { kind: CallKind::Static, target })
+        self.push(Instruction::Invoke {
+            kind: CallKind::Static,
+            target,
+        })
     }
 
     /// Appends an `invokevirtual` of another program method.
     pub fn invoke_virtual(&mut self, target: MethodId) -> &mut Self {
-        self.push(Instruction::Invoke { kind: CallKind::Virtual, target })
+        self.push(Instruction::Invoke {
+            kind: CallKind::Virtual,
+            target,
+        })
     }
 
     /// Appends a runtime-routine call.
@@ -304,8 +310,9 @@ impl MethodBuilder {
                 _ => {}
             }
         }
-        let line_entries =
-            self.line_entries.unwrap_or_else(|| (self.instrs.len() as u16 / 3).max(1));
+        let line_entries = self
+            .line_entries
+            .unwrap_or_else(|| (self.instrs.len() as u16 / 3).max(1));
         let mut def = MethodDef::new(self.name, self.arity, self.instrs);
         def.returns_value = self.returns_value;
         def.line_entries = line_entries;

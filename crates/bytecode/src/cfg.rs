@@ -80,7 +80,12 @@ impl Cfg {
             let calls = (start..end)
                 .filter_map(|pc| body[pc as usize].call_target().map(|t| (pc, t)))
                 .collect();
-            blocks.push(BasicBlock { start, end, succs: Vec::new(), calls });
+            blocks.push(BasicBlock {
+                start,
+                end,
+                succs: Vec::new(),
+                calls,
+            });
         }
         // Successor edges.
         for bi in 0..blocks.len() {
@@ -231,8 +236,14 @@ mod tests {
     #[test]
     fn call_sites_recorded_in_order() {
         let body = vec![
-            I::Invoke { kind: CallKind::Static, target: MethodId::new(0, 1) },
-            I::Invoke { kind: CallKind::Static, target: MethodId::new(0, 2) },
+            I::Invoke {
+                kind: CallKind::Static,
+                target: MethodId::new(0, 1),
+            },
+            I::Invoke {
+                kind: CallKind::Static,
+                target: MethodId::new(0, 2),
+            },
             I::Return,
         ];
         let cfg = Cfg::build(&body);
@@ -255,12 +266,24 @@ mod tests {
         class.add_method(MethodDef::new(
             "main",
             0,
-            vec![I::Invoke { kind: CallKind::Static, target: MethodId::new(0, 1) }, I::Return],
+            vec![
+                I::Invoke {
+                    kind: CallKind::Static,
+                    target: MethodId::new(0, 1),
+                },
+                I::Return,
+            ],
         ));
         class.add_method(MethodDef::new(
             "a",
             0,
-            vec![I::Invoke { kind: CallKind::Static, target: MethodId::new(0, 2) }, I::Return],
+            vec![
+                I::Invoke {
+                    kind: CallKind::Static,
+                    target: MethodId::new(0, 2),
+                },
+                I::Return,
+            ],
         ));
         class.add_method(MethodDef::new("b", 0, vec![I::Return]));
         class.add_method(MethodDef::new("c", 0, vec![I::Return]));

@@ -187,7 +187,11 @@ impl RawOp {
                 out.extend_from_slice(&[0xC4, 0x36]);
                 out.extend_from_slice(&slot.to_be_bytes());
             }
-            RawOp::IInc { slot, delta, width: 3 } => {
+            RawOp::IInc {
+                slot,
+                delta,
+                width: 3,
+            } => {
                 out.push(0x84);
                 out.push(*slot as u8);
                 out.push(*delta as i8 as u8);
@@ -202,8 +206,7 @@ impl RawOp {
                 out.push(0xBC);
                 out.push(*t);
             }
-            RawOp::Static { opcode, index }
-            | RawOp::Invoke { opcode, index } => {
+            RawOp::Static { opcode, index } | RawOp::Invoke { opcode, index } => {
                 out.push(*opcode);
                 out.extend_from_slice(&index.to_be_bytes());
             }
@@ -281,15 +284,24 @@ pub fn decode(code: &[u8]) -> Result<Vec<(usize, RawOp)>, DisasmError> {
         let op = code[pos];
         let raw = match op {
             0x00 => RawOp::Nop,
-            0x02..=0x08 => RawOp::Const { value: op as i32 - 0x03, width: 1 },
+            0x02..=0x08 => RawOp::Const {
+                value: op as i32 - 0x03,
+                width: 1,
+            },
             0x10 => {
                 need(pos, 2)?;
-                RawOp::Const { value: i32::from(code[pos + 1] as i8), width: 2 }
+                RawOp::Const {
+                    value: i32::from(code[pos + 1] as i8),
+                    width: 2,
+                }
             }
             0x11 => {
                 need(pos, 3)?;
                 let v = i16::from_be_bytes([code[pos + 1], code[pos + 2]]);
-                RawOp::Const { value: i32::from(v), width: 3 }
+                RawOp::Const {
+                    value: i32::from(v),
+                    width: 3,
+                }
             }
             0x13 => {
                 need(pos, 3)?;
@@ -297,14 +309,26 @@ pub fn decode(code: &[u8]) -> Result<Vec<(usize, RawOp)>, DisasmError> {
             }
             0x15 => {
                 need(pos, 2)?;
-                RawOp::ILoad { slot: u16::from(code[pos + 1]), width: 2 }
+                RawOp::ILoad {
+                    slot: u16::from(code[pos + 1]),
+                    width: 2,
+                }
             }
-            0x1A..=0x1D => RawOp::ILoad { slot: u16::from(op - 0x1A), width: 1 },
+            0x1A..=0x1D => RawOp::ILoad {
+                slot: u16::from(op - 0x1A),
+                width: 1,
+            },
             0x36 => {
                 need(pos, 2)?;
-                RawOp::IStore { slot: u16::from(code[pos + 1]), width: 2 }
+                RawOp::IStore {
+                    slot: u16::from(code[pos + 1]),
+                    width: 2,
+                }
             }
-            0x3B..=0x3E => RawOp::IStore { slot: u16::from(op - 0x3B), width: 1 },
+            0x3B..=0x3E => RawOp::IStore {
+                slot: u16::from(op - 0x3B),
+                width: 1,
+            },
             0x84 => {
                 need(pos, 3)?;
                 RawOp::IInc {
@@ -313,8 +337,8 @@ pub fn decode(code: &[u8]) -> Result<Vec<(usize, RawOp)>, DisasmError> {
                     width: 3,
                 }
             }
-            0x2E | 0x4F | 0x57 | 0x59 | 0x5F | 0x60 | 0x64 | 0x68 | 0x6C | 0x70 | 0x74
-            | 0x78 | 0x7A | 0x7C | 0x7E | 0x80 | 0x82 | 0xAC | 0xB1 | 0xBE => RawOp::Simple(op),
+            0x2E | 0x4F | 0x57 | 0x59 | 0x5F | 0x60 | 0x64 | 0x68 | 0x6C | 0x70 | 0x74 | 0x78
+            | 0x7A | 0x7C | 0x7E | 0x80 | 0x82 | 0xAC | 0xB1 | 0xBE => RawOp::Simple(op),
             0xBC => {
                 need(pos, 2)?;
                 RawOp::NewArray(code[pos + 1])
@@ -379,9 +403,18 @@ fn describe_constant(pool: &ConstantPool, index: u16) -> String {
             let s = pool.utf8_at(*utf8).unwrap_or("?");
             format!("string {s:?}")
         }
-        Some(Constant::FieldRef { class, name_and_type })
-        | Some(Constant::MethodRef { class, name_and_type })
-        | Some(Constant::InterfaceMethodRef { class, name_and_type }) => {
+        Some(Constant::FieldRef {
+            class,
+            name_and_type,
+        })
+        | Some(Constant::MethodRef {
+            class,
+            name_and_type,
+        })
+        | Some(Constant::InterfaceMethodRef {
+            class,
+            name_and_type,
+        }) => {
             let cname = match pool.get(*class) {
                 Some(Constant::Class { name }) => pool.utf8_at(*name).unwrap_or("?"),
                 _ => "?",
@@ -543,7 +576,10 @@ mod tests {
         let code = [0xFFu8];
         assert!(matches!(
             decode(&code),
-            Err(DisasmError::UnknownOpcode { opcode: 0xFF, at: 0 })
+            Err(DisasmError::UnknownOpcode {
+                opcode: 0xFF,
+                at: 0
+            })
         ));
     }
 }

@@ -109,23 +109,20 @@ pub fn encode_method(
     let mut code = Vec::with_capacity(at as usize);
     let mut used = Vec::new();
 
-    let branch = |code: &mut Vec<u8>,
-                  opcode: u8,
-                  pc: usize,
-                  target: u32|
-     -> Result<(), BytecodeError> {
-        let from = i64::from(offsets[pc]);
-        let to = i64::from(offsets[target as usize]);
-        let delta = to - from;
-        let delta = i16::try_from(delta).map_err(|_| BytecodeError::BadBranchTarget {
-            method: id,
-            at: pc as u32,
-            target,
-        })?;
-        code.push(opcode);
-        code.extend_from_slice(&delta.to_be_bytes());
-        Ok(())
-    };
+    let branch =
+        |code: &mut Vec<u8>, opcode: u8, pc: usize, target: u32| -> Result<(), BytecodeError> {
+            let from = i64::from(offsets[pc]);
+            let to = i64::from(offsets[target as usize]);
+            let delta = to - from;
+            let delta = i16::try_from(delta).map_err(|_| BytecodeError::BadBranchTarget {
+                method: id,
+                at: pc as u32,
+                target,
+            })?;
+            code.push(opcode);
+            code.extend_from_slice(&delta.to_be_bytes());
+            Ok(())
+        };
 
     for (pc, instr) in body.iter().enumerate() {
         match instr {
@@ -241,7 +238,10 @@ pub fn encode_method(
 
     used.sort_unstable();
     used.dedup();
-    Ok(EncodedMethod { code, used_constants: used })
+    Ok(EncodedMethod {
+        code,
+        used_constants: used,
+    })
 }
 
 const ICONST_BASE: i32 = op::ICONST_0 as i32;
@@ -313,11 +313,7 @@ mod tests {
     #[test]
     fn branch_offsets_are_relative_and_signed() {
         // 0: goto 2 ; 1: return ; 2: goto 1
-        let p = one_method_program(vec![
-            I::Goto(Label(2)),
-            I::Return,
-            I::Goto(Label(1)),
-        ]);
+        let p = one_method_program(vec![I::Goto(Label(2)), I::Return, I::Goto(Label(1))]);
         let mut pool = ConstantPool::new();
         let enc = encode_method(&p, p.entry(), &mut pool).unwrap();
         // goto at byte 0 targeting byte 4: delta +4
@@ -340,7 +336,10 @@ mod tests {
         let p = one_method_program(vec![
             I::IConst(1),
             I::IConst(2),
-            I::Invoke { kind: crate::instr::CallKind::Static, target: MethodId::new(0, 1) },
+            I::Invoke {
+                kind: crate::instr::CallKind::Static,
+                target: MethodId::new(0, 1),
+            },
             I::Pop,
             I::Return,
         ]);

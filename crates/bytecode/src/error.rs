@@ -67,17 +67,30 @@ impl fmt::Display for BytecodeError {
             Self::NoEntryClass(name) => write!(f, "entry class {name:?} not found"),
             Self::NoEntryMethod(name) => write!(f, "entry method {name:?} not found"),
             Self::BadBranchTarget { method, at, target } => {
-                write!(f, "branch at {method}:{at} targets out-of-range instruction {target}")
+                write!(
+                    f,
+                    "branch at {method}:{at} targets out-of-range instruction {target}"
+                )
             }
             Self::BadCallTarget { method, target } => {
                 write!(f, "call in {method} references missing method {target}")
             }
-            Self::BadStaticRef { method, class, field } => {
-                write!(f, "static access in {method} references missing C{class}.f{field}")
+            Self::BadStaticRef {
+                method,
+                class,
+                field,
+            } => {
+                write!(
+                    f,
+                    "static access in {method} references missing C{class}.f{field}"
+                )
             }
             Self::FallsOffEnd(m) => write!(f, "method {m} can fall off the end of its code"),
             Self::StackMismatch { method, at } => {
-                write!(f, "inconsistent operand stack in {method} at instruction {at}")
+                write!(
+                    f,
+                    "inconsistent operand stack in {method} at instruction {at}"
+                )
             }
             Self::BadLocal { method, slot } => {
                 write!(f, "local slot {slot} out of range in {method}")
@@ -143,12 +156,18 @@ impl fmt::Display for InterpError {
             Self::StackUnderflow(m) => write!(f, "operand stack underflow in {m}"),
             Self::DivisionByZero(m) => write!(f, "division by zero in {m}"),
             Self::IndexOutOfBounds { method, index, len } => {
-                write!(f, "array index {index} out of bounds for length {len} in {method}")
+                write!(
+                    f,
+                    "array index {index} out of bounds for length {len} in {method}"
+                )
             }
             Self::BadArrayRef(m) => write!(f, "dangling array reference in {m}"),
             Self::NegativeArraySize(m) => write!(f, "negative array size in {m}"),
             Self::BudgetExhausted { executed } => {
-                write!(f, "instruction budget exhausted after {executed} instructions")
+                write!(
+                    f,
+                    "instruction budget exhausted after {executed} instructions"
+                )
             }
             Self::CallStackOverflow(m) => write!(f, "call stack overflow entering {m}"),
             Self::BadStatic(c, i) => write!(f, "static field {c}.f{i} out of range"),

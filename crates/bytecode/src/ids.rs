@@ -30,7 +30,10 @@ impl MethodId {
     /// Convenience constructor.
     #[must_use]
     pub fn new(class: u16, method: u16) -> Self {
-        MethodId { class: ClassId(class), method }
+        MethodId {
+            class: ClassId(class),
+            method,
+        }
     }
 }
 

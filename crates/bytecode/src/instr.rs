@@ -111,9 +111,7 @@ impl RuntimeFn {
     pub fn symbol(self) -> (&'static str, &'static str, &'static str) {
         match self {
             RuntimeFn::PrintInt => ("java/io/PrintStream", "println", "(I)V"),
-            RuntimeFn::PrintString => {
-                ("java/io/PrintStream", "println", "(Ljava/lang/String;)V")
-            }
+            RuntimeFn::PrintString => ("java/io/PrintStream", "println", "(Ljava/lang/String;)V"),
             RuntimeFn::TimeMillis => ("java/lang/System", "currentTimeMillis", "()J"),
             RuntimeFn::Abs => ("java/lang/Math", "abs", "(I)I"),
             RuntimeFn::Min => ("java/lang/Math", "min", "(II)I"),
@@ -289,7 +287,10 @@ impl Instruction {
     /// Whether control can fall through to the next instruction.
     #[must_use]
     pub fn falls_through(&self) -> bool {
-        !matches!(self, Instruction::Goto(_) | Instruction::Return | Instruction::IReturn)
+        !matches!(
+            self,
+            Instruction::Goto(_) | Instruction::Return | Instruction::IReturn
+        )
     }
 
     /// Whether this instruction ends a basic block.

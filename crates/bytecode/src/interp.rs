@@ -72,8 +72,11 @@ impl<'p> Interpreter<'p> {
     /// declarations (the JVM *preparation* step).
     #[must_use]
     pub fn new(program: &'p Program) -> Self {
-        let statics =
-            program.classes().iter().map(|c| c.statics.iter().map(|s| s.initial).collect()).collect();
+        let statics = program
+            .classes()
+            .iter()
+            .map(|c| c.statics.iter().map(|s| s.initial).collect())
+            .collect();
         let coverage = program
             .iter_methods()
             .map(|(_, m)| vec![false; m.body.len()])
@@ -119,14 +122,19 @@ impl<'p> Interpreter<'p> {
     /// inspect program results after a run.
     #[must_use]
     pub fn static_value(&self, class: u16, field: u16) -> Option<i64> {
-        self.statics.get(class as usize)?.get(field as usize).copied()
+        self.statics
+            .get(class as usize)?
+            .get(field as usize)
+            .copied()
     }
 
     /// The heap array behind `handle` (an `int` value produced by
     /// `newarray`), if it exists.
     #[must_use]
     pub fn array(&self, handle: i64) -> Option<&[i64]> {
-        self.arrays.get(usize::try_from(handle).ok()?).map(Vec::as_slice)
+        self.arrays
+            .get(usize::try_from(handle).ok()?)
+            .map(Vec::as_slice)
     }
 
     /// Percent (0–100) of static instructions that executed at least
@@ -134,8 +142,11 @@ impl<'p> Interpreter<'p> {
     #[must_use]
     pub fn executed_static_percent(&self) -> f64 {
         let total: usize = self.coverage.iter().map(Vec::len).sum();
-        let hit: usize =
-            self.coverage.iter().map(|m| m.iter().filter(|&&b| b).count()).sum();
+        let hit: usize = self
+            .coverage
+            .iter()
+            .map(|m| m.iter().filter(|&&b| b).count())
+            .sum();
         if total == 0 {
             0.0
         } else {
@@ -199,7 +210,9 @@ impl<'p> Interpreter<'p> {
             self.executed += 1;
             frame.run += 1;
             if self.executed > self.budget {
-                return Err(InterpError::BudgetExhausted { executed: self.executed });
+                return Err(InterpError::BudgetExhausted {
+                    executed: self.executed,
+                });
             }
 
             let m = frame.method;
@@ -252,7 +265,9 @@ impl<'p> Interpreter<'p> {
                     if b as i32 == 0 {
                         return Err(InterpError::DivisionByZero(m));
                     }
-                    frame.stack.push(i64::from((a as i32).wrapping_div(b as i32)));
+                    frame
+                        .stack
+                        .push(i64::from((a as i32).wrapping_div(b as i32)));
                     frame.pc += 1;
                 }
                 Instruction::IRem => {
@@ -261,7 +276,9 @@ impl<'p> Interpreter<'p> {
                     if b as i32 == 0 {
                         return Err(InterpError::DivisionByZero(m));
                     }
-                    frame.stack.push(i64::from((a as i32).wrapping_rem(b as i32)));
+                    frame
+                        .stack
+                        .push(i64::from((a as i32).wrapping_rem(b as i32)));
                     frame.pc += 1;
                 }
                 Instruction::INeg => {
@@ -274,7 +291,9 @@ impl<'p> Interpreter<'p> {
                 Instruction::IXor => binop!(|a, b| a ^ b),
                 Instruction::IShl => binop!(|a, b| a.wrapping_shl(b as u32 & 31)),
                 Instruction::IShr => binop!(|a, b| a.wrapping_shr(b as u32 & 31)),
-                Instruction::IUShr => binop!(|a, b| ((a as u32).wrapping_shr(b as u32 & 31)) as i32),
+                Instruction::IUShr => {
+                    binop!(|a, b| ((a as u32).wrapping_shr(b as u32 & 31)) as i32)
+                }
                 Instruction::Dup => {
                     let v = *frame.stack.last().ok_or(InterpError::StackUnderflow(m))?;
                     frame.stack.push(v);
@@ -307,14 +326,19 @@ impl<'p> Interpreter<'p> {
                         .arrays
                         .get(usize::try_from(arr).map_err(|_| InterpError::BadArrayRef(m))?)
                         .ok_or(InterpError::BadArrayRef(m))?;
-                    let v = *a.get(usize::try_from(idx).map_err(|_| {
-                        InterpError::IndexOutOfBounds { method: m, index: idx, len: a.len() }
-                    })?)
-                    .ok_or(InterpError::IndexOutOfBounds {
-                        method: m,
-                        index: idx,
-                        len: a.len(),
-                    })?;
+                    let v = *a
+                        .get(
+                            usize::try_from(idx).map_err(|_| InterpError::IndexOutOfBounds {
+                                method: m,
+                                index: idx,
+                                len: a.len(),
+                            })?,
+                        )
+                        .ok_or(InterpError::IndexOutOfBounds {
+                            method: m,
+                            index: idx,
+                            len: a.len(),
+                        })?;
                     frame.stack.push(v);
                     frame.pc += 1;
                 }
@@ -329,9 +353,17 @@ impl<'p> Interpreter<'p> {
                     let len = a.len();
                     let slot = a
                         .get_mut(usize::try_from(idx).map_err(|_| {
-                            InterpError::IndexOutOfBounds { method: m, index: idx, len }
+                            InterpError::IndexOutOfBounds {
+                                method: m,
+                                index: idx,
+                                len,
+                            }
                         })?)
-                        .ok_or(InterpError::IndexOutOfBounds { method: m, index: idx, len })?;
+                        .ok_or(InterpError::IndexOutOfBounds {
+                            method: m,
+                            index: idx,
+                            len,
+                        })?;
                     *slot = i64::from(val as i32);
                     frame.pc += 1;
                 }
@@ -384,8 +416,7 @@ impl<'p> Interpreter<'p> {
                     if frame.stack.len() < arity {
                         return Err(InterpError::StackUnderflow(frame.method));
                     }
-                    let mut locals =
-                        vec![0i64; callee.max_locals.max(callee.arity) as usize];
+                    let mut locals = vec![0i64; callee.max_locals.max(callee.arity) as usize];
                     let split = frame.stack.len() - arity;
                     for (slot, v) in locals.iter_mut().zip(frame.stack.drain(split..)) {
                         *slot = v;
@@ -464,12 +495,18 @@ impl<'p> Interpreter<'p> {
                     .rng_state
                     .wrapping_mul(6_364_136_223_846_793_005)
                     .wrapping_add(1_442_695_040_888_963_407);
-                let v = if bound <= 0 { 0 } else { ((self.rng_state >> 33) as i64) % bound };
+                let v = if bound <= 0 {
+                    0
+                } else {
+                    ((self.rng_state >> 33) as i64) % bound
+                };
                 frame.stack.push(v);
             }
             RuntimeFn::HashCode => {
                 let v = pop()?;
-                frame.stack.push(i64::from((v as i32).wrapping_mul(31).wrapping_add(17)));
+                frame
+                    .stack
+                    .push(i64::from((v as i32).wrapping_mul(31).wrapping_add(17)));
             }
         }
         Ok(())
@@ -575,7 +612,14 @@ mod tests {
             b.iload(0).iconst(5).iaload().pop().ret();
         })
         .unwrap_err();
-        assert!(matches!(e, InterpError::IndexOutOfBounds { index: 5, len: 2, .. }));
+        assert!(matches!(
+            e,
+            InterpError::IndexOutOfBounds {
+                index: 5,
+                len: 2,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -115,7 +115,12 @@ impl LoopInfo {
             .map(|b| (0..words).map(|w| sets[b * words + w].count_ones()).sum())
             .collect();
 
-        LoopInfo { back_edges, headers, membership, reachable_loops }
+        LoopInfo {
+            back_edges,
+            headers,
+            membership,
+            reachable_loops,
+        }
     }
 
     /// Number of distinct loops (the paper's "static loops" count).
@@ -177,9 +182,9 @@ mod tests {
         let body = vec![
             I::IConst(10),
             I::IStore(0),
-            I::ILoad(0),               // block 1: header
+            I::ILoad(0), // block 1: header
             I::If(Cond::Eq, Label(6)),
-            I::IInc(0, -1),            // block 2: latch
+            I::IInc(0, -1), // block 2: latch
             I::Goto(Label(2)),
             I::Return,
         ];
@@ -225,14 +230,14 @@ mod tests {
     fn reachable_loops_guides_branches() {
         // if (c) goto loopy else goto flat
         let body = vec![
-            I::IConst(1),               // 0: b0
-            I::If(Cond::Eq, Label(7)),  // -> b3 (flat exit)
-            I::IConst(5),               // 2: b1 loopy path
+            I::IConst(1),              // 0: b0
+            I::If(Cond::Eq, Label(7)), // -> b3 (flat exit)
+            I::IConst(5),              // 2: b1 loopy path
             I::IStore(0),
-            I::ILoad(0),                // 4: b2 loop header
-            I::If(Cond::Ne, Label(4)),  // self-loop
-            I::Return,                  // 6
-            I::Return,                  // 7: b4 flat
+            I::ILoad(0),               // 4: b2 loop header
+            I::If(Cond::Ne, Label(4)), // self-loop
+            I::Return,                 // 6
+            I::Return,                 // 7: b4 flat
         ];
         let (cfg, info) = analyze(&body);
         let b0 = 0;
@@ -244,7 +249,7 @@ mod tests {
     #[test]
     fn innermost_prefers_smaller_loop() {
         let body = vec![
-            I::ILoad(0),               // b0: outer header
+            I::ILoad(0), // b0: outer header
             I::If(Cond::Eq, Label(6)),
             I::ILoad(1),               // b1: inner header
             I::If(Cond::Ne, Label(2)), // inner self-loop

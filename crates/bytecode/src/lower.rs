@@ -44,7 +44,9 @@ pub fn lower_program(program: &Program) -> Result<LoweredProgram, BytecodeError>
         }
         for s in &class.statics {
             if s.constant {
-                let v = builder.pool_mut().intern(Constant::Integer(s.initial as i32))?;
+                let v = builder
+                    .pool_mut()
+                    .intern(Constant::Integer(s.initial as i32))?;
                 builder.add_constant_field(&s.name, &s.descriptor, v)?;
             } else {
                 builder.add_static_field(&s.name, &s.descriptor)?;
@@ -70,7 +72,10 @@ pub fn lower_program(program: &Program) -> Result<LoweredProgram, BytecodeError>
         }
         classes.push(builder.build()?);
     }
-    Ok(LoweredProgram { classes, code_usage })
+    Ok(LoweredProgram {
+        classes,
+        code_usage,
+    })
 }
 
 /// Synthesizes a plausible `LineNumberTable`: `entries` evenly spaced
@@ -113,7 +118,10 @@ mod tests {
                 I::Pop,
                 I::LdcString("greeting".into()),
                 I::Pop,
-                I::Invoke { kind: crate::instr::CallKind::Static, target: MethodId::new(1, 0) },
+                I::Invoke {
+                    kind: crate::instr::CallKind::Static,
+                    target: MethodId::new(1, 0),
+                },
                 I::Return,
             ],
         );
@@ -143,10 +151,9 @@ mod tests {
         // integer literal, string, cross-class method ref
         assert_eq!(main_usage.len(), 3);
         let pool = &lowered.classes[0].constant_pool;
-        assert!(main_usage.iter().any(|&i| matches!(
-            pool.get(i),
-            Some(Constant::MethodRef { .. })
-        )));
+        assert!(main_usage
+            .iter()
+            .any(|&i| matches!(pool.get(i), Some(Constant::MethodRef { .. }))));
     }
 
     #[test]

@@ -27,7 +27,12 @@ impl StaticDef {
     /// An `int` static initialized to `initial`.
     #[must_use]
     pub fn int(name: impl Into<String>, initial: i64) -> Self {
-        StaticDef { name: name.into(), descriptor: "I".to_owned(), initial, constant: false }
+        StaticDef {
+            name: name.into(),
+            descriptor: "I".to_owned(),
+            initial,
+            constant: false,
+        }
     }
 }
 
@@ -120,7 +125,10 @@ impl ClassDef {
     /// Creates an empty class.
     #[must_use]
     pub fn new(name: impl Into<String>) -> Self {
-        ClassDef { name: name.into(), ..ClassDef::default() }
+        ClassDef {
+            name: name.into(),
+            ..ClassDef::default()
+        }
     }
 
     /// Appends a method, returning its [`MethodId`] component index.
@@ -198,7 +206,12 @@ impl Program {
             }
         }
 
-        Ok(Program { classes, entry, method_count: total, method_base })
+        Ok(Program {
+            classes,
+            entry,
+            method_count: total,
+            method_base,
+        })
     }
 
     /// The entry method (`main`).
@@ -282,7 +295,9 @@ impl Program {
     /// "Static Instructions").
     #[must_use]
     pub fn static_instruction_count(&self) -> u64 {
-        self.iter_methods().map(|(_, m)| u64::from(m.instruction_count())).sum()
+        self.iter_methods()
+            .map(|(_, m)| u64::from(m.instruction_count()))
+            .sum()
     }
 }
 
@@ -293,7 +308,10 @@ pub(crate) struct ProgramView<'a> {
 
 impl ProgramView<'_> {
     pub(crate) fn method(&self, id: MethodId) -> Option<&MethodDef> {
-        self.classes.get(id.class.0 as usize)?.methods.get(id.method as usize)
+        self.classes
+            .get(id.class.0 as usize)?
+            .methods
+            .get(id.method as usize)
     }
 
     pub(crate) fn static_exists(&self, class: u16, field: u16) -> bool {

@@ -73,21 +73,27 @@ pub(crate) fn check_method(
             }
         }
         match instr {
-            Instruction::Invoke { target, .. }
-                if view.method(*target).is_none() => {
-                    return Err(BytecodeError::BadCallTarget { method: id, target: *target });
-                }
+            Instruction::Invoke { target, .. } if view.method(*target).is_none() => {
+                return Err(BytecodeError::BadCallTarget {
+                    method: id,
+                    target: *target,
+                });
+            }
             Instruction::GetStatic(r) | Instruction::PutStatic(r)
-                if !view.static_exists(r.class, r.field) => {
-                    return Err(BytecodeError::BadStaticRef {
-                        method: id,
-                        class: r.class,
-                        field: r.field,
-                    });
-                }
+                if !view.static_exists(r.class, r.field) =>
+            {
+                return Err(BytecodeError::BadStaticRef {
+                    method: id,
+                    class: r.class,
+                    field: r.field,
+                });
+            }
             Instruction::ILoad(s) | Instruction::IStore(s) | Instruction::IInc(s, _) => {
                 if *s == u16::MAX {
-                    return Err(BytecodeError::BadLocal { method: id, slot: *s });
+                    return Err(BytecodeError::BadLocal {
+                        method: id,
+                        slot: *s,
+                    });
                 }
                 max_local = max_local.max(s + 1);
             }
@@ -175,7 +181,10 @@ mod tests {
     #[test]
     fn branch_out_of_range_detected() {
         let err = program_of(vec![I::Goto(Label(9)), I::Return]).unwrap_err();
-        assert!(matches!(err, BytecodeError::BadBranchTarget { target: 9, .. }));
+        assert!(matches!(
+            err,
+            BytecodeError::BadBranchTarget { target: 9, .. }
+        ));
     }
 
     #[test]
@@ -194,7 +203,10 @@ mod tests {
     #[test]
     fn bad_call_target_detected() {
         let err = program_of(vec![
-            I::Invoke { kind: crate::instr::CallKind::Static, target: MethodId::new(5, 5) },
+            I::Invoke {
+                kind: crate::instr::CallKind::Static,
+                target: MethodId::new(5, 5),
+            },
             I::Return,
         ])
         .unwrap_err();
@@ -224,8 +236,8 @@ mod tests {
         let p = program_of(vec![
             I::IConst(10),
             I::IStore(0),
-            I::ILoad(0),                 // 2: loop head
-            I::If(Cond::Eq, Label(6)),   // exit
+            I::ILoad(0),               // 2: loop head
+            I::If(Cond::Eq, Label(6)), // exit
             I::IInc(0, -1),
             I::Goto(Label(2)),
             I::Return, // 6

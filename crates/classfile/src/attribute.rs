@@ -92,7 +92,12 @@ impl Attribute {
     #[must_use]
     pub fn payload_size(&self) -> u32 {
         match self {
-            Attribute::Code { code, exception_table, attributes, .. } => {
+            Attribute::Code {
+                code,
+                exception_table,
+                attributes,
+                ..
+            } => {
                 2 + 2
                     + 4
                     + code.len() as u32
@@ -143,7 +148,13 @@ impl Attribute {
         out.extend_from_slice(&name_idx.0.to_be_bytes());
         out.extend_from_slice(&self.payload_size().to_be_bytes());
         match self {
-            Attribute::Code { max_stack, max_locals, code, exception_table, attributes } => {
+            Attribute::Code {
+                max_stack,
+                max_locals,
+                code,
+                exception_table,
+                attributes,
+            } => {
                 if code.len() > u16::MAX as usize {
                     return Err(ClassFileError::CodeTooLong(code.len()));
                 }
@@ -213,7 +224,9 @@ mod tests {
             max_locals: 3,
             code: vec![0; 10],
             exception_table: vec![ExceptionTableEntry::default()],
-            attributes: vec![Attribute::LineNumberTable { entries: vec![(0, 1), (4, 2)] }],
+            attributes: vec![Attribute::LineNumberTable {
+                entries: vec![(0, 1), (4, 2)],
+            }],
         };
         // payload = 2+2+4+10 + 2+8 + 2 + (6 + 2+8)
         assert_eq!(a.payload_size(), 2 + 2 + 4 + 10 + 2 + 8 + 2 + (6 + 2 + 8));
@@ -228,7 +241,9 @@ mod tests {
             max_locals: 1,
             code: vec![0xB1], // return
             exception_table: vec![],
-            attributes: vec![Attribute::LineNumberTable { entries: vec![(0, 7)] }],
+            attributes: vec![Attribute::LineNumberTable {
+                entries: vec![(0, 7)],
+            }],
         };
         a.intern_names(&mut cp).unwrap();
         let mut out = Vec::new();
@@ -239,7 +254,10 @@ mod tests {
     #[test]
     fn raw_attribute_roundtrip_size() {
         let mut cp = ConstantPool::new();
-        let a = Attribute::Raw { name: "Deprecated".into(), bytes: vec![] };
+        let a = Attribute::Raw {
+            name: "Deprecated".into(),
+            bytes: vec![],
+        };
         a.intern_names(&mut cp).unwrap();
         let mut out = Vec::new();
         a.write(&cp, &mut out).unwrap();
@@ -266,6 +284,9 @@ mod tests {
         };
         a.intern_names(&mut cp).unwrap();
         let mut out = Vec::new();
-        assert_eq!(a.write(&cp, &mut out), Err(ClassFileError::CodeTooLong(70_000)));
+        assert_eq!(
+            a.write(&cp, &mut out),
+            Err(ClassFileError::CodeTooLong(70_000))
+        );
     }
 }

@@ -180,7 +180,9 @@ impl ClassFileBuilder {
         let mut nested = Vec::new();
         if !data.line_numbers.is_empty() {
             self.pool.utf8("LineNumberTable")?;
-            nested.push(Attribute::LineNumberTable { entries: data.line_numbers });
+            nested.push(Attribute::LineNumberTable {
+                entries: data.line_numbers,
+            });
         }
         let mut m = MethodInfo::new(data.access_flags, n, d);
         m.attributes.push(Attribute::Code {
@@ -268,7 +270,15 @@ mod tests {
     #[test]
     fn method_indices_are_sequential() {
         let mut b = ClassFileBuilder::new("a/E");
-        assert_eq!(b.add_method(MethodData::new("m0", "()V", vec![0xB1])).unwrap(), 0);
-        assert_eq!(b.add_method(MethodData::new("m1", "()V", vec![0xB1])).unwrap(), 1);
+        assert_eq!(
+            b.add_method(MethodData::new("m0", "()V", vec![0xB1]))
+                .unwrap(),
+            0
+        );
+        assert_eq!(
+            b.add_method(MethodData::new("m1", "()V", vec![0xB1]))
+                .unwrap(),
+            1
+        );
     }
 }

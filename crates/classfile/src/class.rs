@@ -203,15 +203,18 @@ impl ClassFile {
         }
         out.extend_from_slice(&(self.fields.len() as u16).to_be_bytes());
         for f in &self.fields {
-            f.write(&self.constant_pool, &mut out).expect("builder interned all names");
+            f.write(&self.constant_pool, &mut out)
+                .expect("builder interned all names");
         }
         out.extend_from_slice(&(self.methods.len() as u16).to_be_bytes());
         for m in &self.methods {
-            m.write(&self.constant_pool, &mut out).expect("builder interned all names");
+            m.write(&self.constant_pool, &mut out)
+                .expect("builder interned all names");
         }
         out.extend_from_slice(&(self.attributes.len() as u16).to_be_bytes());
         for a in &self.attributes {
-            a.write(&self.constant_pool, &mut out).expect("builder interned all names");
+            a.write(&self.constant_pool, &mut out)
+                .expect("builder interned all names");
         }
         out
     }
@@ -246,8 +249,10 @@ mod tests {
 
     fn sample() -> ClassFile {
         let mut b = ClassFileBuilder::new("pkg/Sample");
-        b.add_method(MethodData::new("main", "()V", vec![0xB1])).unwrap();
-        b.add_method(MethodData::new("foo", "(I)I", vec![0x1A, 0xAC])).unwrap();
+        b.add_method(MethodData::new("main", "()V", vec![0xB1]))
+            .unwrap();
+        b.add_method(MethodData::new("foo", "(I)I", vec![0x1A, 0xAC]))
+            .unwrap();
         b.add_static_field("counter", "I").unwrap();
         b.build().unwrap()
     }

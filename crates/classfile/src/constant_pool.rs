@@ -187,10 +187,22 @@ impl Constant {
             Constant::String { utf8: i } | Constant::Class { name: i } => {
                 out.extend_from_slice(&i.0.to_be_bytes());
             }
-            Constant::FieldRef { class: a, name_and_type: b }
-            | Constant::MethodRef { class: a, name_and_type: b }
-            | Constant::InterfaceMethodRef { class: a, name_and_type: b }
-            | Constant::NameAndType { name: a, descriptor: b } => {
+            Constant::FieldRef {
+                class: a,
+                name_and_type: b,
+            }
+            | Constant::MethodRef {
+                class: a,
+                name_and_type: b,
+            }
+            | Constant::InterfaceMethodRef {
+                class: a,
+                name_and_type: b,
+            }
+            | Constant::NameAndType {
+                name: a,
+                descriptor: b,
+            } => {
                 out.extend_from_slice(&a.0.to_be_bytes());
                 out.extend_from_slice(&b.0.to_be_bytes());
             }
@@ -224,15 +236,18 @@ impl InternKey {
             Constant::Double(v) => InternKey::Double(v.to_bits()),
             Constant::String { utf8 } => InternKey::String(*utf8),
             Constant::Class { name } => InternKey::Class(*name),
-            Constant::FieldRef { class, name_and_type } => {
-                InternKey::FieldRef(*class, *name_and_type)
-            }
-            Constant::MethodRef { class, name_and_type } => {
-                InternKey::MethodRef(*class, *name_and_type)
-            }
-            Constant::InterfaceMethodRef { class, name_and_type } => {
-                InternKey::InterfaceMethodRef(*class, *name_and_type)
-            }
+            Constant::FieldRef {
+                class,
+                name_and_type,
+            } => InternKey::FieldRef(*class, *name_and_type),
+            Constant::MethodRef {
+                class,
+                name_and_type,
+            } => InternKey::MethodRef(*class, *name_and_type),
+            Constant::InterfaceMethodRef {
+                class,
+                name_and_type,
+            } => InternKey::InterfaceMethodRef(*class, *name_and_type),
             Constant::NameAndType { name, descriptor } => {
                 InternKey::NameAndType(*name, *descriptor)
             }
@@ -368,7 +383,10 @@ impl ConstantPool {
     ) -> Result<CpIndex, ClassFileError> {
         let class = self.class(class)?;
         let name_and_type = self.name_and_type(name, descriptor)?;
-        self.intern(Constant::MethodRef { class, name_and_type })
+        self.intern(Constant::MethodRef {
+            class,
+            name_and_type,
+        })
     }
 
     /// Convenience: intern a `FieldRef` (and its class and name-and-type).
@@ -384,7 +402,10 @@ impl ConstantPool {
     ) -> Result<CpIndex, ClassFileError> {
         let class = self.class(class)?;
         let name_and_type = self.name_and_type(name, descriptor)?;
-        self.intern(Constant::FieldRef { class, name_and_type })
+        self.intern(Constant::FieldRef {
+            class,
+            name_and_type,
+        })
     }
 
     /// Convenience: intern a `String` literal (and its backing UTF-8).
@@ -419,14 +440,20 @@ impl ConstantPool {
     pub fn utf8_at(&self, index: CpIndex) -> Result<&str, ClassFileError> {
         match self.get(index) {
             Some(Constant::Utf8(s)) => Ok(s),
-            Some(_) => Err(ClassFileError::WrongConstantKind { index: index.0, expected: "Utf8" }),
+            Some(_) => Err(ClassFileError::WrongConstantKind {
+                index: index.0,
+                expected: "Utf8",
+            }),
             None => Err(ClassFileError::BadCpIndex(index.0)),
         }
     }
 
     /// Iterates over `(index, entry)` pairs in slot order.
     pub fn iter(&self) -> impl Iterator<Item = (CpIndex, &Constant)> {
-        self.slots.iter().zip(self.entries.iter()).map(|(&s, c)| (CpIndex(s), c))
+        self.slots
+            .iter()
+            .zip(self.entries.iter())
+            .map(|(&s, c)| (CpIndex(s), c))
     }
 
     /// Number of entries (not slots).
@@ -463,13 +490,15 @@ impl ConstantPool {
     /// [`ClassFileError::BadCpIndex`] or
     /// [`ClassFileError::WrongConstantKind`] on the first violation.
     pub fn validate(&self) -> Result<(), ClassFileError> {
-        let expect = |idx: CpIndex, pred: fn(&Constant) -> bool, what: &'static str| match self
-            .get(idx)
-        {
-            Some(c) if pred(c) => Ok(()),
-            Some(_) => Err(ClassFileError::WrongConstantKind { index: idx.0, expected: what }),
-            None => Err(ClassFileError::BadCpIndex(idx.0)),
-        };
+        let expect =
+            |idx: CpIndex, pred: fn(&Constant) -> bool, what: &'static str| match self.get(idx) {
+                Some(c) if pred(c) => Ok(()),
+                Some(_) => Err(ClassFileError::WrongConstantKind {
+                    index: idx.0,
+                    expected: what,
+                }),
+                None => Err(ClassFileError::BadCpIndex(idx.0)),
+            };
         let is_utf8 = |c: &Constant| matches!(c, Constant::Utf8(_));
         let is_class = |c: &Constant| matches!(c, Constant::Class { .. });
         let is_nat = |c: &Constant| matches!(c, Constant::NameAndType { .. });
@@ -477,9 +506,18 @@ impl ConstantPool {
             match entry {
                 Constant::String { utf8 } => expect(*utf8, is_utf8, "Utf8")?,
                 Constant::Class { name } => expect(*name, is_utf8, "Utf8")?,
-                Constant::FieldRef { class, name_and_type }
-                | Constant::MethodRef { class, name_and_type }
-                | Constant::InterfaceMethodRef { class, name_and_type } => {
+                Constant::FieldRef {
+                    class,
+                    name_and_type,
+                }
+                | Constant::MethodRef {
+                    class,
+                    name_and_type,
+                }
+                | Constant::InterfaceMethodRef {
+                    class,
+                    name_and_type,
+                } => {
                     expect(*class, is_class, "Class")?;
                     expect(*name_and_type, is_nat, "NameAndType")?;
                 }
@@ -544,7 +582,11 @@ mod tests {
         assert_eq!(Constant::String { utf8: CpIndex(1) }.wire_size(), 3);
         assert_eq!(Constant::Class { name: CpIndex(1) }.wire_size(), 3);
         assert_eq!(
-            Constant::MethodRef { class: CpIndex(1), name_and_type: CpIndex(2) }.wire_size(),
+            Constant::MethodRef {
+                class: CpIndex(1),
+                name_and_type: CpIndex(2)
+            }
+            .wire_size(),
             5
         );
     }
@@ -571,7 +613,10 @@ mod tests {
         let mut cp = ConstantPool::new();
         let i = cp.intern(Constant::Integer(3)).unwrap();
         cp.intern(Constant::Class { name: i }).unwrap();
-        assert!(matches!(cp.validate(), Err(ClassFileError::WrongConstantKind { .. })));
+        assert!(matches!(
+            cp.validate(),
+            Err(ClassFileError::WrongConstantKind { .. })
+        ));
     }
 
     #[test]

@@ -61,14 +61,21 @@ mod tests {
             ClassFileError::ConstantPoolOverflow.to_string(),
             ClassFileError::Utf8TooLong(70_000).to_string(),
             ClassFileError::BadCpIndex(3).to_string(),
-            ClassFileError::WrongConstantKind { index: 1, expected: "Utf8" }.to_string(),
+            ClassFileError::WrongConstantKind {
+                index: 1,
+                expected: "Utf8",
+            }
+            .to_string(),
             ClassFileError::TooManyMembers("fields").to_string(),
             ClassFileError::AttributeTooLong(5).to_string(),
             ClassFileError::CodeTooLong(100_000).to_string(),
         ];
         for m in msgs {
             assert!(!m.ends_with('.'), "{m:?} should not end with punctuation");
-            assert!(m.chars().next().unwrap().is_lowercase(), "{m:?} should start lowercase");
+            assert!(
+                m.chars().next().unwrap().is_lowercase(),
+                "{m:?} should start lowercase"
+            );
         }
     }
 

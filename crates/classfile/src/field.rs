@@ -21,13 +21,22 @@ impl FieldInfo {
     /// Creates a field with no attributes.
     #[must_use]
     pub fn new(access_flags: u16, name: CpIndex, descriptor: CpIndex) -> Self {
-        FieldInfo { access_flags, name, descriptor, attributes: Vec::new() }
+        FieldInfo {
+            access_flags,
+            name,
+            descriptor,
+            attributes: Vec::new(),
+        }
     }
 
     /// Exact serialized size: 2+2+2+2 header plus attributes.
     #[must_use]
     pub fn wire_size(&self) -> u32 {
-        8 + self.attributes.iter().map(Attribute::wire_size).sum::<u32>()
+        8 + self
+            .attributes
+            .iter()
+            .map(Attribute::wire_size)
+            .sum::<u32>()
     }
 
     /// Appends the wire encoding to `out`.
@@ -65,7 +74,8 @@ mod tests {
         let mut cp = ConstantPool::new();
         cp.utf8("ConstantValue").unwrap();
         let mut f = FieldInfo::new(0x0019, CpIndex(1), CpIndex(2));
-        f.attributes.push(Attribute::ConstantValue { value: CpIndex(3) });
+        f.attributes
+            .push(Attribute::ConstantValue { value: CpIndex(3) });
         assert_eq!(f.wire_size(), 8 + 6 + 2);
         let mut out = Vec::new();
         f.write(&cp, &mut out).unwrap();

@@ -27,13 +27,20 @@ impl MethodInfo {
     /// Creates a method with no attributes.
     #[must_use]
     pub fn new(access_flags: u16, name: CpIndex, descriptor: CpIndex) -> Self {
-        MethodInfo { access_flags, name, descriptor, attributes: Vec::new() }
+        MethodInfo {
+            access_flags,
+            name,
+            descriptor,
+            attributes: Vec::new(),
+        }
     }
 
     /// The method's `Code` attribute, if present.
     #[must_use]
     pub fn code_attribute(&self) -> Option<&Attribute> {
-        self.attributes.iter().find(|a| matches!(a, Attribute::Code { .. }))
+        self.attributes
+            .iter()
+            .find(|a| matches!(a, Attribute::Code { .. }))
     }
 
     /// Size in bytes of the raw bytecode (zero for abstract/native
@@ -56,7 +63,11 @@ impl MethodInfo {
     /// Exact serialized size: 8-byte header plus attributes.
     #[must_use]
     pub fn wire_size(&self) -> u32 {
-        8 + self.attributes.iter().map(Attribute::wire_size).sum::<u32>()
+        8 + self
+            .attributes
+            .iter()
+            .map(Attribute::wire_size)
+            .sum::<u32>()
     }
 
     /// Appends the wire encoding to `out`.
@@ -88,7 +99,9 @@ mod tests {
             max_locals: 2,
             code: vec![0; code_len],
             exception_table: vec![ExceptionTableEntry::default()],
-            attributes: vec![Attribute::LineNumberTable { entries: vec![(0, 1)] }],
+            attributes: vec![Attribute::LineNumberTable {
+                entries: vec![(0, 1)],
+            }],
         });
         m
     }

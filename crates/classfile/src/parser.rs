@@ -159,8 +159,12 @@ pub fn parse(bytes: &[u8]) -> Result<ClassFile, ParseError> {
                 let lo = u64::from(c.u32()?);
                 Constant::Double(f64::from_bits((hi << 32) | lo))
             }
-            7 => Constant::Class { name: CpIndex(c.u16()?) },
-            8 => Constant::String { utf8: CpIndex(c.u16()?) },
+            7 => Constant::Class {
+                name: CpIndex(c.u16()?),
+            },
+            8 => Constant::String {
+                utf8: CpIndex(c.u16()?),
+            },
             9 => Constant::FieldRef {
                 class: CpIndex(c.u16()?),
                 name_and_type: CpIndex(c.u16()?),
@@ -181,7 +185,8 @@ pub fn parse(bytes: &[u8]) -> Result<ClassFile, ParseError> {
         };
         slot += constant.slots();
         // `push` (not `intern`) preserves duplicates exactly as written.
-        pool.push(constant).expect("parsed pool fits: count field is u16");
+        pool.push(constant)
+            .expect("parsed pool fits: count field is u16");
     }
 
     let access_flags = AccessFlags(c.u16()?);
@@ -200,7 +205,12 @@ pub fn parse(bytes: &[u8]) -> Result<ClassFile, ParseError> {
         let name = CpIndex(c.u16()?);
         let descriptor = CpIndex(c.u16()?);
         let attributes = parse_attributes(&mut c, &pool)?;
-        fields.push(FieldInfo { access_flags, name, descriptor, attributes });
+        fields.push(FieldInfo {
+            access_flags,
+            name,
+            descriptor,
+            attributes,
+        });
     }
 
     let methods_count = c.u16()?;
@@ -210,13 +220,20 @@ pub fn parse(bytes: &[u8]) -> Result<ClassFile, ParseError> {
         let name = CpIndex(c.u16()?);
         let descriptor = CpIndex(c.u16()?);
         let attributes = parse_attributes(&mut c, &pool)?;
-        methods.push(MethodInfo { access_flags, name, descriptor, attributes });
+        methods.push(MethodInfo {
+            access_flags,
+            name,
+            descriptor,
+            attributes,
+        });
     }
 
     let attributes = parse_attributes(&mut c, &pool)?;
 
     if c.pos != bytes.len() {
-        return Err(ParseError::TrailingBytes { count: bytes.len() - c.pos });
+        return Err(ParseError::TrailingBytes {
+            count: bytes.len() - c.pos,
+        });
     }
 
     Ok(ClassFile {
@@ -264,7 +281,13 @@ fn parse_attribute(c: &mut Cursor<'_>, pool: &ConstantPool) -> Result<Attribute,
                 });
             }
             let attributes = parse_attributes(c, pool)?;
-            Attribute::Code { max_stack, max_locals, code, exception_table, attributes }
+            Attribute::Code {
+                max_stack,
+                max_locals,
+                code,
+                exception_table,
+                attributes,
+            }
         }
         "LineNumberTable" => {
             let n = c.u16()?;
@@ -274,8 +297,12 @@ fn parse_attribute(c: &mut Cursor<'_>, pool: &ConstantPool) -> Result<Attribute,
             }
             Attribute::LineNumberTable { entries }
         }
-        "ConstantValue" => Attribute::ConstantValue { value: CpIndex(c.u16()?) },
-        "SourceFile" => Attribute::SourceFile { file: CpIndex(c.u16()?) },
+        "ConstantValue" => Attribute::ConstantValue {
+            value: CpIndex(c.u16()?),
+        },
+        "SourceFile" => Attribute::SourceFile {
+            file: CpIndex(c.u16()?),
+        },
         "Exceptions" => {
             let n = c.u16()?;
             let mut classes = Vec::with_capacity(n as usize);
@@ -284,7 +311,10 @@ fn parse_attribute(c: &mut Cursor<'_>, pool: &ConstantPool) -> Result<Attribute,
             }
             Attribute::Exceptions { classes }
         }
-        _ => Attribute::Raw { name: name.clone(), bytes: c.take(length)?.to_vec() },
+        _ => Attribute::Raw {
+            name: name.clone(),
+            bytes: c.take(length)?.to_vec(),
+        },
     };
     if c.pos != end {
         return Err(ParseError::AttributeLengthMismatch { name });
@@ -322,7 +352,10 @@ mod tests {
         assert_eq!(parsed.to_bytes(), bytes);
         assert_eq!(parsed.name().unwrap().0, "pk/Sample");
         assert_eq!(parsed.methods.len(), 1);
-        assert_eq!(parsed.constant_pool.count_field(), original.constant_pool.count_field());
+        assert_eq!(
+            parsed.constant_pool.count_field(),
+            original.constant_pool.count_field()
+        );
     }
 
     #[test]
@@ -352,14 +385,20 @@ mod tests {
     fn trailing_bytes_rejected() {
         let mut bytes = sample().to_bytes();
         bytes.push(0);
-        assert!(matches!(parse(&bytes), Err(ParseError::TrailingBytes { count: 1 })));
+        assert!(matches!(
+            parse(&bytes),
+            Err(ParseError::TrailingBytes { count: 1 })
+        ));
     }
 
     #[test]
     fn unknown_tag_rejected() {
         let mut bytes = sample().to_bytes();
         bytes[10] = 99; // first constant's tag byte
-        assert!(matches!(parse(&bytes), Err(ParseError::BadTag { tag: 99, .. })));
+        assert!(matches!(
+            parse(&bytes),
+            Err(ParseError::BadTag { tag: 99, .. })
+        ));
     }
 
     #[test]
@@ -369,7 +408,8 @@ mod tests {
             let mut b = ClassFileBuilder::new("x/Big");
             for i in 0..40 {
                 b.pool_mut().string(&format!("str{i}")).unwrap();
-                b.add_method(MethodData::new(format!("m{i}"), "()V", vec![0xB1])).unwrap();
+                b.add_method(MethodData::new(format!("m{i}"), "()V", vec![0xB1]))
+                    .unwrap();
             }
             b.build().unwrap()
         };

@@ -26,7 +26,7 @@ use nonstrict_bytecode::{Application, Input};
 use nonstrict_classfile::{Attribute, GlobalDataBreakdown};
 use nonstrict_core::metrics::{cycles_to_seconds, normalized_percent};
 use nonstrict_core::model::{
-    DataLayout, ExecutionModel, OrderingSource, SimConfig, TransferPolicy,
+    DataLayout, ExecutionModel, FaultConfig, OrderingSource, SimConfig, TransferPolicy,
 };
 use nonstrict_core::sim::Session;
 use nonstrict_netsim::Link;
@@ -43,7 +43,10 @@ pub struct CliError {
 
 impl CliError {
     fn usage(msg: impl Into<String>) -> CliError {
-        CliError { message: msg.into(), code: 2 }
+        CliError {
+            message: msg.into(),
+            code: 2,
+        }
     }
 }
 
@@ -68,6 +71,8 @@ USAGE:
   nonstrict simulate <benchmark> [--link t1|modem] [--ordering scg|train|test|source]
                                  [--transfer strict|par1|par2|par4|parinf|interleaved]
                                  [--partitioned] [--strict-execution]
+                                 [--fault-seed N] [--loss PPM] [--drop PPM]
+                                 [--corrupt PPM] [--droop PPM]
   nonstrict timeline <benchmark> [--link t1|modem] [--ordering scg|train|test]
 
 BENCHMARKS: bit, hanoi, javacup, jess, jhlzip, testdes";
@@ -92,7 +97,9 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "simulate" => cmd_simulate(&parse_flags(args)?),
         "timeline" => cmd_timeline(&parse_flags(args)?),
         "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
-        other => Err(CliError::usage(format!("unknown command {other:?}\n\n{USAGE}"))),
+        other => Err(CliError::usage(format!(
+            "unknown command {other:?}\n\n{USAGE}"
+        ))),
     }
 }
 
@@ -127,6 +134,10 @@ impl Flags {
     }
 
     fn usize_opt(&self, key: &str) -> Result<Option<usize>, CliError> {
+        self.num_opt(key)
+    }
+
+    fn num_opt<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, CliError> {
         match self.get(key) {
             None => Ok(None),
             Some(v) => v
@@ -135,10 +146,51 @@ impl Flags {
                 .map_err(|_| CliError::usage(format!("--{key} expects a number, got {v:?}"))),
         }
     }
+
+    /// The fault configuration from `--fault-seed/--loss/--drop/--corrupt/
+    /// --droop`, or `None` when no fault flag was given. Rates are
+    /// parts-per-million of fault probability per delivery attempt.
+    fn fault_config(&self) -> Result<Option<FaultConfig>, CliError> {
+        let seed: Option<u64> = self.num_opt("fault-seed")?;
+        let loss: Option<u32> = self.num_opt("loss")?;
+        let drop: Option<u32> = self.num_opt("drop")?;
+        let corrupt: Option<u32> = self.num_opt("corrupt")?;
+        let droop: Option<u32> = self.num_opt("droop")?;
+        if seed.is_none()
+            && loss.is_none()
+            && drop.is_none()
+            && corrupt.is_none()
+            && droop.is_none()
+        {
+            return Ok(None);
+        }
+        let mut fc = FaultConfig::seeded(seed.unwrap_or(0));
+        fc.loss_pm = loss.unwrap_or(0);
+        fc.drop_pm = drop.unwrap_or(0);
+        fc.corrupt_pm = corrupt.unwrap_or(0);
+        fc.droop_pm = droop.unwrap_or(0);
+        Ok(Some(fc))
+    }
 }
 
-/// Keys that take a value; everything else `--x` is a boolean flag.
-const VALUE_KEYS: [&str; 6] = ["class", "method", "source", "link", "ordering", "transfer"];
+/// Boolean `--x` switches; anything not listed here or in [`VALUE_KEYS`]
+/// is rejected so a typo'd flag can't be silently ignored.
+const BOOL_KEYS: [&str; 2] = ["partitioned", "strict-execution"];
+
+/// Keys that take a value.
+const VALUE_KEYS: [&str; 11] = [
+    "class",
+    "method",
+    "source",
+    "link",
+    "ordering",
+    "transfer",
+    "fault-seed",
+    "loss",
+    "drop",
+    "corrupt",
+    "droop",
+];
 
 fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
     let mut flags = Flags::default();
@@ -150,8 +202,10 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
                     .next()
                     .ok_or_else(|| CliError::usage(format!("--{key} needs a value")))?;
                 flags.options.insert(key.to_owned(), v.clone());
-            } else {
+            } else if BOOL_KEYS.contains(&key) {
                 flags.options.insert(key.to_owned(), String::new());
+            } else {
+                return Err(CliError::usage(format!("unknown flag --{key}")));
             }
         } else if flags.benchmark.is_none() {
             flags.benchmark = Some(a.clone());
@@ -189,7 +243,10 @@ fn cmd_inspect(flags: &Flags) -> Result<String, CliError> {
     match flags.usize_opt("class")? {
         Some(ci) => {
             let class = app.classes.get(ci).ok_or_else(|| {
-                CliError::usage(format!("class {ci} out of range (0..{})", app.classes.len()))
+                CliError::usage(format!(
+                    "class {ci} out of range (0..{})",
+                    app.classes.len()
+                ))
             })?;
             let name = class.name().map_err(|e| CliError::usage(e.to_string()))?;
             let _ = writeln!(out, "class {name} ({} bytes)", class.total_size());
@@ -250,10 +307,23 @@ fn cmd_disasm(flags: &Flags) -> Result<String, CliError> {
         let m = &class.methods[mi];
         let name = class.method_name(mi).unwrap_or("?");
         let _ = writeln!(out, "method {mi}: {name}");
-        if let Some(Attribute::Code { code, max_stack, max_locals, .. }) = m.code_attribute() {
-            let _ = writeln!(out, "  stack={max_stack}, locals={max_locals}, {} bytes", code.len());
-            let text = nonstrict_bytecode::listing(code, &class.constant_pool)
-                .map_err(|e| CliError { message: e.to_string(), code: 1 })?;
+        if let Some(Attribute::Code {
+            code,
+            max_stack,
+            max_locals,
+            ..
+        }) = m.code_attribute()
+        {
+            let _ = writeln!(
+                out,
+                "  stack={max_stack}, locals={max_locals}, {} bytes",
+                code.len()
+            );
+            let text =
+                nonstrict_bytecode::listing(code, &class.constant_pool).map_err(|e| CliError {
+                    message: e.to_string(),
+                    code: 1,
+                })?;
             out.push_str(&text);
         } else {
             let _ = writeln!(out, "  (no code)");
@@ -270,9 +340,15 @@ fn cmd_order(flags: &Flags) -> Result<String, CliError> {
         "scg" => static_first_use(&app.program),
         "plain" => static_first_use_plain(&app.program),
         "train" | "test" => {
-            let input = if source == "train" { Input::Train } else { Input::Test };
-            let collected = nonstrict_profile::collect(&app, input)
-                .map_err(|e| CliError { message: e.to_string(), code: 1 })?;
+            let input = if source == "train" {
+                Input::Train
+            } else {
+                Input::Test
+            };
+            let collected = nonstrict_profile::collect(&app, input).map_err(|e| CliError {
+                message: e.to_string(),
+                code: 1,
+            })?;
             nonstrict_reorder::FirstUseOrder::from_profile(
                 &app.program,
                 &collected.profile,
@@ -316,7 +392,9 @@ fn cmd_partition(flags: &Flags) -> Result<String, CliError> {
         "class", "global B", "needed-first", "in-methods", "unused"
     );
     for (ci, p) in parts.iter().enumerate() {
-        let name = app.classes[ci].name().map_err(|e| CliError::usage(e.to_string()))?;
+        let name = app.classes[ci]
+            .name()
+            .map_err(|e| CliError::usage(e.to_string()))?;
         let _ = writeln!(
             out,
             "{:<42} {:>9} {:>12} {:>11} {:>8}",
@@ -331,7 +409,11 @@ fn cmd_simulate(flags: &Flags) -> Result<String, CliError> {
     let link = match flags.get("link").unwrap_or("modem") {
         "t1" => Link::T1,
         "modem" => Link::MODEM_28_8,
-        other => return Err(CliError::usage(format!("unknown link {other:?}; use t1|modem"))),
+        other => {
+            return Err(CliError::usage(format!(
+                "unknown link {other:?}; use t1|modem"
+            )))
+        }
     };
     let ordering = match flags.get("ordering").unwrap_or("scg") {
         "scg" => OrderingSource::StaticCallGraph,
@@ -371,14 +453,21 @@ fn cmd_simulate(flags: &Flags) -> Result<String, CliError> {
         } else {
             ExecutionModel::NonStrict
         },
+        faults: flags.fault_config()?,
     };
 
-    let session =
-        Session::new(app).map_err(|e| CliError { message: e.to_string(), code: 1 })?;
+    let session = Session::new(app).map_err(|e| CliError {
+        message: e.to_string(),
+        code: 1,
+    })?;
     let base = session.simulate(Input::Test, &SimConfig::strict(link));
     let r = session.simulate(Input::Test, &config);
     let mut out = String::new();
-    let _ = writeln!(out, "{} over {} — {:?}", session.app.name, link.name, config);
+    let _ = writeln!(
+        out,
+        "{} over {} — {:?}",
+        session.app.name, link.name, config
+    );
     let _ = writeln!(
         out,
         "  total:              {:>12} cycles ({:.2} s on the 500MHz Alpha)",
@@ -398,32 +487,74 @@ fn cmd_simulate(flags: &Flags) -> Result<String, CliError> {
         cycles_to_seconds(r.invocation_latency),
         cycles_to_seconds(base.invocation_latency)
     );
-    let _ = writeln!(out, "  stalls:             {:>12} ({} cycles)", r.stalls, r.stall_cycles);
+    let _ = writeln!(
+        out,
+        "  stalls:             {:>12} ({} cycles)",
+        r.stalls, r.stall_cycles
+    );
     let _ = writeln!(
         out,
         "  linker:             {} classes verified, {} methods verified, {} resolved",
         r.link_stats.classes_verified, r.link_stats.methods_verified, r.link_stats.methods_resolved
     );
+    if config.active_faults().is_some() {
+        let f = &r.faults;
+        let _ = writeln!(
+            out,
+            "  fault recovery:     {:>12} cycles ({} retries: {} lost-timeout, {} corrupt, {} drops)",
+            f.recovery_cycles,
+            f.retries,
+            f.retries - f.corrupted - f.drops,
+            f.corrupted,
+            f.drops
+        );
+        let _ = writeln!(
+            out,
+            "  degradation:        {} classes demoted to strict{}; run {}",
+            f.degraded_classes,
+            if f.session_degraded {
+                " (session fell back to strict)"
+            } else {
+                ""
+            },
+            if f.completed {
+                "completed"
+            } else {
+                "incomplete"
+            }
+        );
+    }
     Ok(out)
 }
 
 fn cmd_timeline(flags: &Flags) -> Result<String, CliError> {
-    use nonstrict_netsim::{class_units, greedy_schedule, ParallelEngine, TransferEngine, Weights, DELIMITER_BYTES};
+    use nonstrict_netsim::{
+        class_units, greedy_schedule, ParallelEngine, TransferEngine, Weights, DELIMITER_BYTES,
+    };
     use nonstrict_reorder::restructure;
 
     let app = flags.app()?;
     let link = match flags.get("link").unwrap_or("modem") {
         "t1" => Link::T1,
         "modem" => Link::MODEM_28_8,
-        other => return Err(CliError::usage(format!("unknown link {other:?}; use t1|modem"))),
+        other => {
+            return Err(CliError::usage(format!(
+                "unknown link {other:?}; use t1|modem"
+            )))
+        }
     };
     let order = match flags.get("ordering").unwrap_or("scg") {
         "scg" => static_first_use(&app.program),
         "train" | "test" => {
-            let input =
-                if flags.get("ordering") == Some("train") { Input::Train } else { Input::Test };
-            let collected = nonstrict_profile::collect(&app, input)
-                .map_err(|e| CliError { message: e.to_string(), code: 1 })?;
+            let input = if flags.get("ordering") == Some("train") {
+                Input::Train
+            } else {
+                Input::Test
+            };
+            let collected = nonstrict_profile::collect(&app, input).map_err(|e| CliError {
+                message: e.to_string(),
+                code: 1,
+            })?;
             nonstrict_reorder::FirstUseOrder::from_profile(
                 &app.program,
                 &collected.profile,
@@ -446,7 +577,12 @@ fn cmd_timeline(flags: &Flags) -> Result<String, CliError> {
         "{} over {}: parallel(4) transfer timeline, {} total cycles",
         app.name, link.name, finish
     );
-    let _ = writeln!(out, "{:<36} |{}|", "class (in schedule order)", "-".repeat(WIDTH));
+    let _ = writeln!(
+        out,
+        "{:<36} |{}|",
+        "class (in schedule order)",
+        "-".repeat(WIDTH)
+    );
     for &c in &schedule.class_order {
         let first = engine.recorded_arrival(c, 0).unwrap_or(finish);
         let last = engine
@@ -455,9 +591,24 @@ fn cmd_timeline(flags: &Flags) -> Result<String, CliError> {
         let (a, b) = (col(first).min(WIDTH - 1), col(last).min(WIDTH - 1));
         let mut bar = vec![b' '; WIDTH];
         bar[a..=b].fill(b'#');
-        let name = app.classes[c].name().map_err(|e| CliError::usage(e.to_string()))?;
-        let shown: String = name.0.chars().rev().take(34).collect::<Vec<_>>().into_iter().rev().collect();
-        let _ = writeln!(out, "{:<36} |{}|", shown, String::from_utf8(bar).expect("ascii"));
+        let name = app.classes[c]
+            .name()
+            .map_err(|e| CliError::usage(e.to_string()))?;
+        let shown: String = name
+            .0
+            .chars()
+            .rev()
+            .take(34)
+            .collect::<Vec<_>>()
+            .into_iter()
+            .rev()
+            .collect();
+        let _ = writeln!(
+            out,
+            "{:<36} |{}|",
+            shown,
+            String::from_utf8(bar).expect("ascii")
+        );
     }
     let _ = writeln!(out, "(# spans prelude-arrival .. last-unit-arrival)");
     Ok(out)
@@ -491,6 +642,18 @@ mod tests {
     fn unknown_benchmark_is_reported() {
         let err = run_str(&["inspect", "nope"]).unwrap_err();
         assert!(err.message.contains("unknown benchmark"));
+    }
+
+    #[test]
+    fn typoed_flag_is_rejected_not_ignored() {
+        // `--los` must not silently run a faultless simulation.
+        let err = run_str(&["simulate", "jess", "--los", "5"]).unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(
+            err.message.contains("unknown flag --los"),
+            "{}",
+            err.message
+        );
     }
 
     #[test]
@@ -540,6 +703,54 @@ mod tests {
         .unwrap();
         assert!(out.contains("normalized"), "{out}");
         assert!(out.contains("invocation latency"), "{out}");
+    }
+
+    #[test]
+    fn simulate_with_fault_flags_reports_recovery() {
+        let out = run_str(&[
+            "simulate",
+            "hanoi",
+            "--link",
+            "modem",
+            "--fault-seed",
+            "7",
+            "--loss",
+            "100000",
+            "--drop",
+            "20000",
+            "--corrupt",
+            "50000",
+        ])
+        .unwrap();
+        assert!(out.contains("fault recovery"), "{out}");
+        assert!(out.contains("degradation"), "{out}");
+        assert!(out.contains("run completed"), "{out}");
+        let same = run_str(&[
+            "simulate",
+            "hanoi",
+            "--link",
+            "modem",
+            "--fault-seed",
+            "7",
+            "--loss",
+            "100000",
+            "--drop",
+            "20000",
+            "--corrupt",
+            "50000",
+        ])
+        .unwrap();
+        assert_eq!(out, same, "same seed, same report");
+    }
+
+    #[test]
+    fn zero_rate_fault_flags_leave_the_report_unchanged() {
+        let perfect = run_str(&["simulate", "hanoi", "--link", "t1"]).unwrap();
+        let seeded = run_str(&["simulate", "hanoi", "--link", "t1", "--fault-seed", "99"]).unwrap();
+        // An armed-but-zero-rate config must not perturb the numbers; the
+        // only difference is the echoed config.
+        let tail = |s: &str| s.lines().skip(1).collect::<Vec<_>>().join("\n");
+        assert_eq!(tail(&perfect), tail(&seeded));
     }
 
     #[test]

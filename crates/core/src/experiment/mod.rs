@@ -4,6 +4,7 @@
 //! structured rows; [`crate::report`] renders them next to the paper's
 //! published numbers ([`paper`]).
 
+pub mod faults;
 pub mod paper;
 
 use nonstrict_bytecode::{Input, InterpError};
@@ -161,8 +162,9 @@ pub fn table4(suite: &Suite) -> Vec<Table4Row> {
         .iter()
         .map(|s| {
             let case = |link: Link| {
-                let strict =
-                    s.simulate(Input::Test, &SimConfig::strict(link)).invocation_latency;
+                let strict = s
+                    .simulate(Input::Test, &SimConfig::strict(link))
+                    .invocation_latency;
                 let ns_cfg = SimConfig::non_strict(link, OrderingSource::StaticCallGraph);
                 let ns = s.simulate(Input::Test, &ns_cfg).invocation_latency;
                 let mut dp_cfg = ns_cfg;
@@ -223,11 +225,15 @@ pub fn parallel_table(suite: &Suite, link: Link, data_layout: DataLayout) -> Par
                         transfer: TransferPolicy::Parallel { limit },
                         data_layout,
                         execution: ExecutionModel::NonStrict,
+                        faults: None,
                     };
                     cells[o][l] = suite.normalized(s, &config);
                 }
             }
-            ParallelRow { name: s.app.name.clone(), cells }
+            ParallelRow {
+                name: s.app.name.clone(),
+                cells,
+            }
         })
         .collect();
     let mut avg = [[0.0; 4]; 3];
@@ -236,7 +242,12 @@ pub fn parallel_table(suite: &Suite, link: Link, data_layout: DataLayout) -> Par
             *cell = mean(&rows.iter().map(|r| r.cells[o][l]).collect::<Vec<_>>());
         }
     }
-    ParallelTable { link, data_layout, rows, avg }
+    ParallelTable {
+        link,
+        data_layout,
+        rows,
+        avg,
+    }
 }
 
 /// A Table 7/10-style interleaved row: (T1 SCG/Train/Test, modem
@@ -276,18 +287,26 @@ pub fn interleaved_table(suite: &Suite, data_layout: DataLayout) -> InterleavedT
                         transfer: TransferPolicy::Interleaved,
                         data_layout,
                         execution: ExecutionModel::NonStrict,
+                        faults: None,
                     };
                     cols[k * 3 + o] = suite.normalized(s, &config);
                 }
             }
-            SixColRow { name: s.app.name.clone(), cols }
+            SixColRow {
+                name: s.app.name.clone(),
+                cols,
+            }
         })
         .collect();
     let mut avg = [0.0; 6];
     for (c, cell) in avg.iter_mut().enumerate() {
         *cell = mean(&rows.iter().map(|r| r.cols[c]).collect::<Vec<_>>());
     }
-    InterleavedTable { data_layout, rows, avg }
+    InterleavedTable {
+        data_layout,
+        rows,
+        avg,
+    }
 }
 
 /// A Table 8 row.
@@ -359,18 +378,26 @@ pub fn table10(suite: &Suite) -> (InterleavedTable, InterleavedTable) {
                         transfer: TransferPolicy::Parallel { limit: 4 },
                         data_layout: DataLayout::Partitioned,
                         execution: ExecutionModel::NonStrict,
+                        faults: None,
                     };
                     cols[k * 3 + o] = suite.normalized(s, &config);
                 }
             }
-            SixColRow { name: s.app.name.clone(), cols }
+            SixColRow {
+                name: s.app.name.clone(),
+                cols,
+            }
         })
         .collect();
     let mut avg = [0.0; 6];
     for (c, cell) in avg.iter_mut().enumerate() {
         *cell = mean(&rows.iter().map(|r| r.cols[c]).collect::<Vec<_>>());
     }
-    let parallel = InterleavedTable { data_layout: DataLayout::Partitioned, rows, avg };
+    let parallel = InterleavedTable {
+        data_layout: DataLayout::Partitioned,
+        rows,
+        avg,
+    };
     let interleaved = interleaved_table(suite, DataLayout::Partitioned);
     (parallel, interleaved)
 }
@@ -417,7 +444,9 @@ mod tests {
     #[test]
     fn single_benchmark_tables_run() {
         let session = Session::new(nonstrict_workloads::hanoi::build()).unwrap();
-        let suite = Suite { sessions: vec![session] };
+        let suite = Suite {
+            sessions: vec![session],
+        };
         let t3 = table3(&suite);
         assert_eq!(t3.len(), 1);
         assert!(t3[0].modem.pct_transfer > t3[0].t1.pct_transfer);

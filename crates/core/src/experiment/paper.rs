@@ -40,12 +40,36 @@ pub type ParallelRow = [f64; 4];
 /// Table 5 — normalized execution time (%), parallel transfer, T1.
 /// Indexed `[benchmark][ordering]` with orderings SCG, Train, Test.
 pub const TABLE5_T1: [[ParallelRow; 3]; 6] = [
-    [[99.0, 96.0, 94.0, 90.0], [94.0, 88.0, 79.0, 79.0], [90.0, 87.0, 79.0, 79.0]],
-    [[100.0, 99.0, 99.0, 99.0], [100.0, 99.0, 99.0, 99.0], [100.0, 99.0, 99.0, 99.0]],
-    [[82.0, 81.0, 76.0, 76.0], [63.0, 61.0, 61.0, 59.0], [61.0, 56.0, 55.0, 55.0]],
-    [[97.0, 93.0, 86.0, 77.0], [94.0, 90.0, 78.0, 70.0], [89.0, 64.0, 64.0, 64.0]],
-    [[97.0, 82.0, 74.0, 74.0], [82.0, 79.0, 72.0, 72.0], [75.0, 73.0, 72.0, 72.0]],
-    [[92.0, 90.0, 90.0, 90.0], [91.0, 90.0, 90.0, 88.0], [73.0, 72.0, 72.0, 72.0]],
+    [
+        [99.0, 96.0, 94.0, 90.0],
+        [94.0, 88.0, 79.0, 79.0],
+        [90.0, 87.0, 79.0, 79.0],
+    ],
+    [
+        [100.0, 99.0, 99.0, 99.0],
+        [100.0, 99.0, 99.0, 99.0],
+        [100.0, 99.0, 99.0, 99.0],
+    ],
+    [
+        [82.0, 81.0, 76.0, 76.0],
+        [63.0, 61.0, 61.0, 59.0],
+        [61.0, 56.0, 55.0, 55.0],
+    ],
+    [
+        [97.0, 93.0, 86.0, 77.0],
+        [94.0, 90.0, 78.0, 70.0],
+        [89.0, 64.0, 64.0, 64.0],
+    ],
+    [
+        [97.0, 82.0, 74.0, 74.0],
+        [82.0, 79.0, 72.0, 72.0],
+        [75.0, 73.0, 72.0, 72.0],
+    ],
+    [
+        [92.0, 90.0, 90.0, 90.0],
+        [91.0, 90.0, 90.0, 88.0],
+        [73.0, 72.0, 72.0, 72.0],
+    ],
 ];
 
 /// Table 5's AVG row.
@@ -57,12 +81,36 @@ pub const TABLE5_T1_AVG: [ParallelRow; 3] = [
 
 /// Table 6 — normalized execution time (%), parallel transfer, modem.
 pub const TABLE6_MODEM: [[ParallelRow; 3]; 6] = [
-    [[95.0, 92.0, 88.0, 76.0], [57.0, 55.0, 53.0, 53.0], [56.0, 54.0, 53.0, 53.0]],
-    [[90.0, 90.0, 90.0, 90.0], [90.0, 88.0, 88.0, 88.0], [90.0, 87.0, 88.0, 87.0]],
-    [[69.0, 69.0, 67.0, 65.0], [63.0, 60.0, 58.0, 56.0], [54.0, 54.0, 54.0, 54.0]],
-    [[72.0, 70.0, 69.0, 69.0], [57.0, 57.0, 56.0, 55.0], [54.0, 53.0, 52.0, 51.0]],
-    [[56.0, 55.0, 55.0, 55.0], [56.0, 53.0, 53.0, 53.0], [54.0, 53.0, 53.0, 53.0]],
-    [[86.0, 85.0, 85.0, 85.0], [82.0, 82.0, 81.0, 76.0], [63.0, 62.0, 61.0, 61.0]],
+    [
+        [95.0, 92.0, 88.0, 76.0],
+        [57.0, 55.0, 53.0, 53.0],
+        [56.0, 54.0, 53.0, 53.0],
+    ],
+    [
+        [90.0, 90.0, 90.0, 90.0],
+        [90.0, 88.0, 88.0, 88.0],
+        [90.0, 87.0, 88.0, 87.0],
+    ],
+    [
+        [69.0, 69.0, 67.0, 65.0],
+        [63.0, 60.0, 58.0, 56.0],
+        [54.0, 54.0, 54.0, 54.0],
+    ],
+    [
+        [72.0, 70.0, 69.0, 69.0],
+        [57.0, 57.0, 56.0, 55.0],
+        [54.0, 53.0, 52.0, 51.0],
+    ],
+    [
+        [56.0, 55.0, 55.0, 55.0],
+        [56.0, 53.0, 53.0, 53.0],
+        [54.0, 53.0, 53.0, 53.0],
+    ],
+    [
+        [86.0, 85.0, 85.0, 85.0],
+        [82.0, 82.0, 81.0, 76.0],
+        [63.0, 62.0, 61.0, 61.0],
+    ],
 ];
 
 /// Table 6's AVG row.
@@ -84,8 +132,7 @@ pub const TABLE7: [(f64, f64, f64, f64, f64, f64); 6] = [
 ];
 
 /// Table 7's AVG row, same column order.
-pub const TABLE7_AVG: (f64, f64, f64, f64, f64, f64) =
-    (78.0, 74.0, 68.0, 63.0, 57.0, 54.0);
+pub const TABLE7_AVG: (f64, f64, f64, f64, f64, f64) = (78.0, 74.0, 68.0, 63.0, 57.0, 54.0);
 
 /// Table 8, left half — percent of global data in (CPool, Field,
 /// Attrib, Intfc).
@@ -124,12 +171,30 @@ pub const TABLE9: [(f64, f64, f64, f64, f64); 6] = [
 /// parallel(4) (T1 SCG/Train/Test, modem SCG/Train/Test) then
 /// interleaved (same six columns).
 pub const TABLE10: [([f64; 6], [f64; 6]); 6] = [
-    ([82.0, 78.0, 75.0, 68.0, 51.0, 51.0], [81.0, 77.0, 72.0, 57.0, 49.0, 47.0]),
-    ([98.0, 98.0, 98.0, 87.0, 86.0, 84.0], [98.0, 97.0, 90.0, 85.0, 83.0, 82.0]),
-    ([69.0, 54.0, 52.0, 61.0, 51.0, 50.0], [66.0, 52.0, 45.0, 52.0, 43.0, 41.0]),
-    ([72.0, 65.0, 62.0, 62.0, 54.0, 50.0], [67.0, 59.0, 45.0, 50.0, 47.0, 35.0]),
-    ([73.0, 71.0, 71.0, 53.0, 48.0, 48.0], [72.0, 64.0, 64.0, 50.0, 40.0, 40.0]),
-    ([89.0, 71.0, 71.0, 84.0, 76.0, 60.0], [73.0, 70.0, 70.0, 61.0, 58.0, 58.0]),
+    (
+        [82.0, 78.0, 75.0, 68.0, 51.0, 51.0],
+        [81.0, 77.0, 72.0, 57.0, 49.0, 47.0],
+    ),
+    (
+        [98.0, 98.0, 98.0, 87.0, 86.0, 84.0],
+        [98.0, 97.0, 90.0, 85.0, 83.0, 82.0],
+    ),
+    (
+        [69.0, 54.0, 52.0, 61.0, 51.0, 50.0],
+        [66.0, 52.0, 45.0, 52.0, 43.0, 41.0],
+    ),
+    (
+        [72.0, 65.0, 62.0, 62.0, 54.0, 50.0],
+        [67.0, 59.0, 45.0, 50.0, 47.0, 35.0],
+    ),
+    (
+        [73.0, 71.0, 71.0, 53.0, 48.0, 48.0],
+        [72.0, 64.0, 64.0, 50.0, 40.0, 40.0],
+    ),
+    (
+        [89.0, 71.0, 71.0, 84.0, 76.0, 60.0],
+        [73.0, 70.0, 70.0, 61.0, 58.0, 58.0],
+    ),
 ];
 
 /// Table 10's AVG row, same layout.
@@ -163,8 +228,7 @@ mod tests {
     fn table5_avg_consistent_with_rows() {
         for (o, avg_row) in TABLE5_T1_AVG.iter().enumerate() {
             for limit in 0..4 {
-                let mean: f64 =
-                    TABLE5_T1.iter().map(|b| b[o][limit]).sum::<f64>() / 6.0;
+                let mean: f64 = TABLE5_T1.iter().map(|b| b[o][limit]).sum::<f64>() / 6.0;
                 assert!(
                     (mean - avg_row[limit]).abs() <= 1.0,
                     "ordering {o} limit {limit}: {mean} vs published {}",

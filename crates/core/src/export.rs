@@ -92,11 +92,17 @@ pub fn export_csv(suite: &Suite, dir: &Path) -> io::Result<Vec<PathBuf>> {
     // Tables 5/6
     for (name, link) in [("table5.csv", Link::T1), ("table6.csv", Link::MODEM_28_8)] {
         let t = experiment::parallel_table(suite, link, DataLayout::Whole);
-        let mut out =
-            String::from("program,ordering,limit,normalized_pct,paper_normalized_pct\n");
-        let paper_rows = if link == Link::T1 { &paper::TABLE5_T1 } else { &paper::TABLE6_MODEM };
+        let mut out = String::from("program,ordering,limit,normalized_pct,paper_normalized_pct\n");
+        let paper_rows = if link == Link::T1 {
+            &paper::TABLE5_T1
+        } else {
+            &paper::TABLE6_MODEM
+        };
         for row in &t.rows {
-            let pi = paper::NAMES.iter().position(|n| *n == row.name).unwrap_or(0);
+            let pi = paper::NAMES
+                .iter()
+                .position(|n| *n == row.name)
+                .unwrap_or(0);
             for (o, ordering) in experiment::ORDERINGS.iter().enumerate() {
                 for (l, limit) in ["1", "2", "4", "inf"].iter().enumerate() {
                     out.push_str(&format!(
@@ -119,7 +125,10 @@ pub fn export_csv(suite: &Suite, dir: &Path) -> io::Result<Vec<PathBuf>> {
      -> String {
         let mut out = String::from("program,link,ordering,normalized_pct,paper_normalized_pct\n");
         for row in &t.rows {
-            let pi = paper::NAMES.iter().position(|n| *n == row.name).unwrap_or(0);
+            let pi = paper::NAMES
+                .iter()
+                .position(|n| *n == row.name)
+                .unwrap_or(0);
             let p = paper_rows(pi);
             for (k, link) in ["t1", "modem"].iter().enumerate() {
                 for (o, ordering) in experiment::ORDERINGS.iter().enumerate() {
@@ -167,9 +176,8 @@ pub fn export_csv(suite: &Suite, dir: &Path) -> io::Result<Vec<PathBuf>> {
     emit("table8.csv", t8)?;
 
     // Table 9
-    let mut t9 = String::from(
-        "program,local_kb,global_kb,needed_first_pct,in_methods_pct,unused_pct\n",
-    );
+    let mut t9 =
+        String::from("program,local_kb,global_kb,needed_first_pct,in_methods_pct,unused_pct\n");
     for r in experiment::table9(suite) {
         let s = r.summary;
         t9.push_str(&format!(
@@ -181,12 +189,22 @@ pub fn export_csv(suite: &Suite, dir: &Path) -> io::Result<Vec<PathBuf>> {
 
     // Table 10
     let (t10p, t10i) = experiment::table10(suite);
-    emit("table10_parallel.csv", six_cols(&t10p, &|i| paper::TABLE10[i].0))?;
-    emit("table10_interleaved.csv", six_cols(&t10i, &|i| paper::TABLE10[i].1))?;
+    emit(
+        "table10_parallel.csv",
+        six_cols(&t10p, &|i| paper::TABLE10[i].0),
+    )?;
+    emit(
+        "table10_interleaved.csv",
+        six_cols(&t10i, &|i| paper::TABLE10[i].1),
+    )?;
 
     // Figure 6
-    let series_names =
-        ["parallel", "parallel_partitioned", "interleaved", "interleaved_partitioned"];
+    let series_names = [
+        "parallel",
+        "parallel_partitioned",
+        "interleaved",
+        "interleaved_partitioned",
+    ];
     let f6 = experiment::fig6(suite);
     let mut fig = String::from("series,link,ordering,normalized_pct,paper_normalized_pct\n");
     for (si, series) in f6.iter().enumerate() {
@@ -205,6 +223,30 @@ pub fn export_csv(suite: &Suite, dir: &Path) -> io::Result<Vec<PathBuf>> {
     }
     emit("fig6.csv", fig)?;
 
+    // Fault sweep (robustness extension; no paper column — the original
+    // evaluation assumes a perfect link).
+    let mut fl = String::from(
+        "program,link,ordering,loss_ppm,normalized_pct,recovery_share_pct,retries,drops,corrupted,degraded_classes,session_degraded,completed\n",
+    );
+    for r in experiment::faults::fault_sweep(suite) {
+        fl.push_str(&format!(
+            "{},{},{},{},{:.1},{:.2},{},{},{},{},{},{}\n",
+            r.name,
+            r.link.name,
+            r.ordering.label(),
+            r.loss_pm,
+            r.normalized,
+            r.recovery_share,
+            r.retries,
+            r.drops,
+            r.corrupted,
+            r.degraded_classes,
+            r.session_degraded,
+            r.completed
+        ));
+    }
+    emit("faults.csv", fl)?;
+
     Ok(written)
 }
 
@@ -216,10 +258,12 @@ mod tests {
     #[test]
     fn export_writes_all_files_with_headers() {
         let session = Session::new(nonstrict_workloads::hanoi::build()).unwrap();
-        let suite = Suite { sessions: vec![session] };
+        let suite = Suite {
+            sessions: vec![session],
+        };
         let dir = std::env::temp_dir().join(format!("nonstrict-export-{}", std::process::id()));
         let files = export_csv(&suite, &dir).unwrap();
-        assert_eq!(files.len(), 11);
+        assert_eq!(files.len(), 12);
         for f in &files {
             let content = fs::read_to_string(f).unwrap();
             let mut lines = content.lines();

@@ -214,8 +214,17 @@ mod tests {
     #[test]
     fn zero_cost_jit_matches_the_plain_simulation() {
         let s = session();
-        let jit = JitConfig { cycles_per_code_byte: 0, strategy: JitStrategy::AtFirstUse };
-        let r = simulate_jit(&s, Input::Test, Link::MODEM_28_8, OrderingSource::TestProfile, &jit);
+        let jit = JitConfig {
+            cycles_per_code_byte: 0,
+            strategy: JitStrategy::AtFirstUse,
+        };
+        let r = simulate_jit(
+            &s,
+            Input::Test,
+            Link::MODEM_28_8,
+            OrderingSource::TestProfile,
+            &jit,
+        );
         let plain = s.simulate(
             Input::Test,
             &SimConfig {
@@ -224,6 +233,7 @@ mod tests {
                 transfer: TransferPolicy::Interleaved,
                 data_layout: DataLayout::Whole,
                 execution: ExecutionModel::NonStrict,
+                faults: None,
             },
         );
         assert_eq!(r.total_cycles, plain.total_cycles);
@@ -243,7 +253,10 @@ mod tests {
                 Input::Test,
                 Link::MODEM_28_8,
                 OrderingSource::TestProfile,
-                &JitConfig { cycles_per_code_byte: jit_cost, strategy },
+                &JitConfig {
+                    cycles_per_code_byte: jit_cost,
+                    strategy,
+                },
             )
         };
         let inline = run(JitStrategy::AtFirstUse);
@@ -254,7 +267,10 @@ mod tests {
             Input::Test,
             Link::MODEM_28_8,
             OrderingSource::TestProfile,
-            &JitConfig { cycles_per_code_byte: 0, strategy: JitStrategy::Overlapped },
+            &JitConfig {
+                cycles_per_code_byte: 0,
+                strategy: JitStrategy::Overlapped,
+            },
         );
         let visible = overlapped.total_cycles - zero.total_cycles;
         assert!(
@@ -267,14 +283,17 @@ mod tests {
     #[test]
     fn fast_links_expose_inline_pauses_that_overlap_hides() {
         let s = session();
-        let fast = Link::from_bandwidth(10_000_000, 500_000_000);
+        let fast = Link::from_bandwidth(10_000_000, 500_000_000).unwrap();
         let jit = |strategy| {
             simulate_jit(
                 &s,
                 Input::Test,
                 fast,
                 OrderingSource::TestProfile,
-                &JitConfig { cycles_per_code_byte: 20_000, strategy },
+                &JitConfig {
+                    cycles_per_code_byte: 20_000,
+                    strategy,
+                },
             )
         };
         let inline = jit(JitStrategy::AtFirstUse);
@@ -290,7 +309,10 @@ mod tests {
     #[test]
     fn compile_accounting_is_consistent() {
         let s = session();
-        let jit = JitConfig { cycles_per_code_byte: 500, strategy: JitStrategy::AtFirstUse };
+        let jit = JitConfig {
+            cycles_per_code_byte: 500,
+            strategy: JitStrategy::AtFirstUse,
+        };
         let r = simulate_jit(&s, Input::Test, Link::T1, OrderingSource::TestProfile, &jit);
         // inline JIT compiles exactly the executed methods
         let expected: u64 = s

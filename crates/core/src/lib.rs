@@ -37,5 +37,7 @@ pub mod model;
 pub mod report;
 pub mod sim;
 
-pub use model::{DataLayout, ExecutionModel, OrderingSource, SimConfig, TransferPolicy};
-pub use sim::{simulate, Session, SimResult};
+pub use model::{
+    DataLayout, ExecutionModel, FaultConfig, OrderingSource, SimConfig, TransferPolicy,
+};
+pub use sim::{simulate, FaultSummary, Session, SimResult};

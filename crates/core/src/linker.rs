@@ -61,7 +61,10 @@ impl IncrementalLinker {
     pub fn new(method_counts: &[usize]) -> Self {
         IncrementalLinker {
             classes: vec![ClassLinkState::Unloaded; method_counts.len()],
-            methods: method_counts.iter().map(|&n| vec![MethodLinkState::default(); n]).collect(),
+            methods: method_counts
+                .iter()
+                .map(|&n| vec![MethodLinkState::default(); n])
+                .collect(),
             stats: LinkStats::default(),
         }
     }

@@ -34,6 +34,27 @@ pub fn cycles_to_seconds(cycles: u64) -> f64 {
     cycles as f64 / 500.0e6
 }
 
+/// Share of the run's total time spent in fault recovery, as a percent.
+/// Zero on a perfect link; the degradation report's headline column.
+#[must_use]
+pub fn recovery_share_percent(recovery_cycles: u64, total_cycles: u64) -> f64 {
+    if total_cycles == 0 {
+        return 0.0;
+    }
+    100.0 * recovery_cycles as f64 / total_cycles as f64
+}
+
+/// Fraction of runs that executed to completion, as a percent. The
+/// resilient protocol's retry cap makes this 100 by construction; the
+/// report still computes it from the results rather than asserting it.
+#[must_use]
+pub fn completion_rate_percent(completed: usize, total: usize) -> f64 {
+    if total == 0 {
+        return 100.0;
+    }
+    100.0 * completed as f64 / total as f64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -55,6 +76,15 @@ mod tests {
     fn mean_handles_empty_and_typical() {
         assert_eq!(mean(&[]), 0.0);
         assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recovery_share_and_completion_rate() {
+        assert_eq!(recovery_share_percent(0, 1_000), 0.0);
+        assert!((recovery_share_percent(250, 1_000) - 25.0).abs() < 1e-12);
+        assert_eq!(recovery_share_percent(5, 0), 0.0);
+        assert_eq!(completion_rate_percent(0, 0), 100.0);
+        assert!((completion_rate_percent(3, 4) - 75.0).abs() < 1e-12);
     }
 
     #[test]

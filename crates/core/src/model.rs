@@ -1,5 +1,6 @@
 //! Simulation configuration: the paper's design space as one type.
 
+use nonstrict_netsim::faults::FaultPlan;
 use nonstrict_netsim::Link;
 
 /// How method first-use order is predicted (§4).
@@ -82,6 +83,75 @@ pub enum DataLayout {
     Partitioned,
 }
 
+/// Link-fault injection settings: a seeded, deterministic description
+/// of an unreliable link plus the recovery protocol's degradation
+/// threshold. Rates are parts-per-million so the config stays `Copy`,
+/// `Eq`, and `Hash` like the rest of [`SimConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FaultConfig {
+    /// Seed for every fault draw; same seed, same run, bit for bit.
+    pub seed: u64,
+    /// Per-attempt unit-loss probability (ppm).
+    pub loss_pm: u32,
+    /// Per-attempt unit-corruption probability (ppm).
+    pub corrupt_pm: u32,
+    /// Per-attempt connection-drop probability (ppm).
+    pub drop_pm: u32,
+    /// Fraction of delivery time (ppm) spent in half-rate droop windows.
+    pub droop_pm: u32,
+    /// Reconnect latency after a drop, in cycles.
+    pub reconnect_cycles: u64,
+    /// Misprediction-plus-fault pressure (stalls + retransmissions) on a
+    /// class before it is demoted from non-strict streaming to strict
+    /// demand-fetch; 0 disables degradation.
+    pub degrade_threshold: u32,
+}
+
+impl FaultConfig {
+    /// Default reconnect latency (~2 ms on the 500 MHz Alpha).
+    pub const DEFAULT_RECONNECT_CYCLES: u64 = 1_000_000;
+
+    /// Default degradation threshold: a class tolerates this many
+    /// combined stall-plus-retry events before falling back to strict.
+    pub const DEFAULT_DEGRADE_THRESHOLD: u32 = 24;
+
+    /// A fault config with every rate zero under `seed` — the protocol
+    /// is armed but the link is perfect.
+    #[must_use]
+    pub fn seeded(seed: u64) -> FaultConfig {
+        FaultConfig {
+            seed,
+            loss_pm: 0,
+            corrupt_pm: 0,
+            drop_pm: 0,
+            droop_pm: 0,
+            reconnect_cycles: Self::DEFAULT_RECONNECT_CYCLES,
+            degrade_threshold: Self::DEFAULT_DEGRADE_THRESHOLD,
+        }
+    }
+
+    /// Whether any fault can actually occur. An inactive config charges
+    /// no checksum overhead and perturbs no timeline: results are
+    /// byte-identical to a perfect-link run.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.loss_pm > 0 || self.corrupt_pm > 0 || self.drop_pm > 0 || self.droop_pm > 0
+    }
+
+    /// The netsim-level realization of this config.
+    #[must_use]
+    pub fn plan(&self) -> FaultPlan {
+        FaultPlan {
+            seed: self.seed,
+            loss_pm: self.loss_pm,
+            corrupt_pm: self.corrupt_pm,
+            drop_pm: self.drop_pm,
+            droop_pm: self.droop_pm,
+            reconnect_cycles: self.reconnect_cycles,
+        }
+    }
+}
+
 /// One complete simulation configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SimConfig {
@@ -95,6 +165,9 @@ pub struct SimConfig {
     pub data_layout: DataLayout,
     /// Execution model.
     pub execution: ExecutionModel,
+    /// Link-fault injection; `None` (or an all-zero config) is a
+    /// perfect link.
+    pub faults: Option<FaultConfig>,
 }
 
 impl SimConfig {
@@ -109,6 +182,7 @@ impl SimConfig {
             transfer: TransferPolicy::Strict,
             data_layout: DataLayout::Whole,
             execution: ExecutionModel::Strict,
+            faults: None,
         }
     }
 
@@ -122,7 +196,23 @@ impl SimConfig {
             transfer: TransferPolicy::Parallel { limit: 4 },
             data_layout: DataLayout::Whole,
             execution: ExecutionModel::NonStrict,
+            faults: None,
         }
+    }
+
+    /// This configuration with fault injection enabled.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// The fault config, if it can actually perturb the run. An
+    /// all-zero config is normalized away here so every consumer treats
+    /// it exactly like `None`.
+    #[must_use]
+    pub fn active_faults(&self) -> Option<FaultConfig> {
+        self.faults.filter(FaultConfig::is_active)
     }
 
     /// Whether this is the no-overlap strict baseline.
@@ -141,12 +231,42 @@ mod tests {
         assert_eq!(OrderingSource::StaticCallGraph.label(), "SCG");
         assert_eq!(OrderingSource::TrainProfile.label(), "Train");
         assert_eq!(TransferPolicy::Parallel { limit: 4 }.label(), "par(4)");
-        assert_eq!(TransferPolicy::Parallel { limit: usize::MAX }.label(), "par(inf)");
+        assert_eq!(
+            TransferPolicy::Parallel { limit: usize::MAX }.label(),
+            "par(inf)"
+        );
     }
 
     #[test]
     fn baseline_detection() {
         assert!(SimConfig::strict(Link::T1).is_baseline());
         assert!(!SimConfig::non_strict(Link::T1, OrderingSource::StaticCallGraph).is_baseline());
+    }
+
+    #[test]
+    fn inactive_fault_configs_are_normalized_away() {
+        let zero = FaultConfig::seeded(42);
+        assert!(!zero.is_active());
+        let cfg = SimConfig::strict(Link::T1).with_faults(zero);
+        assert_eq!(
+            cfg.active_faults(),
+            None,
+            "all-zero rates behave like a perfect link"
+        );
+        let mut lossy = zero;
+        lossy.loss_pm = 10_000;
+        assert_eq!(cfg.with_faults(lossy).active_faults(), Some(lossy));
+    }
+
+    #[test]
+    fn fault_config_lowers_to_a_matching_plan() {
+        let mut fc = FaultConfig::seeded(7);
+        fc.loss_pm = 1_000;
+        fc.droop_pm = 2_000;
+        let plan = fc.plan();
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.loss_pm, 1_000);
+        assert_eq!(plan.droop_pm, 2_000);
+        assert_eq!(plan.reconnect_cycles, FaultConfig::DEFAULT_RECONNECT_CYCLES);
     }
 }

@@ -4,15 +4,17 @@
 use std::fmt::Write as _;
 
 use crate::experiment::{
-    self, paper, InterleavedTable, ParallelTable, Suite, Table3Row, Table4Row, Table8Row,
-    Table9Row,
+    self, paper, InterleavedTable, ParallelTable, Suite, Table3Row, Table4Row, Table8Row, Table9Row,
 };
 use crate::model::DataLayout;
 
 /// Paper row index for a benchmark name (render functions accept
 /// partial suites; unknown names fall back to row 0).
 fn pidx(name: &str) -> usize {
-    paper::NAMES.iter().position(|n| n.eq_ignore_ascii_case(name)).unwrap_or(0)
+    paper::NAMES
+        .iter()
+        .position(|n| n.eq_ignore_ascii_case(name))
+        .unwrap_or(0)
 }
 
 /// Renders Table 2 (program statistics) with paper values.
@@ -23,11 +25,21 @@ pub fn render_table2(suite: &Suite) -> String {
     let _ = writeln!(
         out,
         "{:8} {:>5} {:>9} {:>12} {:>12} {:>9} {:>7} {:>7} {:>6}",
-        "Program", "Files", "Size KB", "DynTest K", "DynTrain K", "StaticK", "%Exec", "Methods", "I/M"
+        "Program",
+        "Files",
+        "Size KB",
+        "DynTest K",
+        "DynTrain K",
+        "StaticK",
+        "%Exec",
+        "Methods",
+        "I/M"
     );
-    for (row, p) in experiment::table2(suite).iter().zip(paper::NAMES.iter().map(|n| {
-        nonstrict_workloads::stats::paper_row(n).expect("paper row")
-    })) {
+    for (row, p) in experiment::table2(suite).iter().zip(
+        paper::NAMES
+            .iter()
+            .map(|n| nonstrict_workloads::stats::paper_row(n).expect("paper row")),
+    ) {
         let _ = writeln!(
             out,
             "{:8} {:>5} {:>4.0}|{:<4.0} {:>5.0}|{:<6.0} {:>5.0}|{:<6.0} {:>4.1}|{:<4.1} {:>3.0}|{:<3.0} {:>7} {:>3.0}|{:<3.0}",
@@ -87,7 +99,10 @@ pub fn render_table3(rows: &[Table3Row]) -> String {
 #[must_use]
 pub fn render_table4(rows: &[Table4Row]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Table 4: Invocation Latency, Mcycles (measured | paper)");
+    let _ = writeln!(
+        out,
+        "Table 4: Invocation Latency, Mcycles (measured | paper)"
+    );
     let _ = writeln!(
         out,
         "{:8} {:>14} {:>16} {:>16}   {:>14} {:>16} {:>16}",
@@ -143,7 +158,11 @@ pub fn render_parallel(table: &ParallelTable) -> String {
     let _ = writeln!(
         out,
         "Table {}: Parallel File Transfer, {} link — normalized % (measured | paper)",
-        if table.link == nonstrict_netsim::Link::T1 { "5" } else { "6" },
+        if table.link == nonstrict_netsim::Link::T1 {
+            "5"
+        } else {
+            "6"
+        },
         table.link.name
     );
     let _ = writeln!(
@@ -191,7 +210,11 @@ pub fn render_parallel(table: &ParallelTable) -> String {
 
 /// Renders an interleaved table (Table 7, or a Table 10 half).
 #[must_use]
-pub fn render_interleaved(table: &InterleavedTable, title: &str, paper_rows: Option<&[[f64; 6]]>) -> String {
+pub fn render_interleaved(
+    table: &InterleavedTable,
+    title: &str,
+    paper_rows: Option<&[[f64; 6]]>,
+) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{title} — normalized % (measured | paper)");
     let _ = writeln!(
@@ -226,7 +249,10 @@ pub fn render_interleaved(table: &InterleavedTable, title: &str, paper_rows: Opt
 #[must_use]
 pub fn render_table8(rows: &[Table8Row]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Table 8: Global Data / Constant Pool breakdown, % (measured | paper)");
+    let _ = writeln!(
+        out,
+        "Table 8: Global Data / Constant Pool breakdown, % (measured | paper)"
+    );
     let _ = writeln!(
         out,
         "{:8} {:>11} {:>10} {:>10} {:>10}  | {:>11} {:>10} {:>10} {:>10} {:>10}",
@@ -259,7 +285,8 @@ pub fn render_table9(rows: &[Table9Row]) -> String {
     for r in rows {
         let p = paper::TABLE9[pidx(&r.name)];
         let s = &r.summary;
-        let _ = writeln!(
+        let _ =
+            writeln!(
             out,
             "{:8} {:>6.1}|{:<6.1} {:>6.1}|{:<6.1} {:>5.1}|{:<5.0} {:>6.1}|{:<5.0} {:>5.1}|{:<5.0}",
             r.name, s.local_kb, p.0, s.global_kb, p.1, s.pct_needed_first, p.2,
@@ -279,7 +306,10 @@ pub fn render_fig6(series: &[[f64; 6]; 4]) -> String {
         "IFT + Data Partitioned",
     ];
     let mut out = String::new();
-    let _ = writeln!(out, "Figure 6: Average normalized execution time, % (measured | paper)");
+    let _ = writeln!(
+        out,
+        "Figure 6: Average normalized execution time, % (measured | paper)"
+    );
     let _ = writeln!(
         out,
         "{:26} {:>9} {:>9} {:>9}   {:>9} {:>9} {:>9}",
@@ -292,6 +322,64 @@ pub fn render_fig6(series: &[[f64; 6]; 4]) -> String {
         }
         let _ = writeln!(out);
     }
+    out
+}
+
+/// Renders the fault sweep: the robustness extension's degradation
+/// report. Not part of [`render_all`], which reproduces only the
+/// paper's perfect-link tables.
+#[must_use]
+pub fn render_fault_sweep(rows: &[crate::experiment::faults::FaultRow]) -> String {
+    use crate::metrics::completion_rate_percent;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Fault sweep: resilient transfer under seeded link faults (non-strict par(4))"
+    );
+    let _ = writeln!(
+        out,
+        "{:8} {:>6} {:>6} {:>9} {:>7} {:>9} {:>8} {:>6} {:>8} {:>9}",
+        "Program",
+        "link",
+        "order",
+        "loss ppm",
+        "norm%",
+        "recov%",
+        "retries",
+        "drops",
+        "degraded",
+        "completed"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:8} {:>6} {:>6} {:>9} {:>7.1} {:>9.2} {:>8} {:>6} {:>6}{:>2} {:>9}",
+            r.name,
+            r.link.name,
+            r.ordering.label(),
+            r.loss_pm,
+            r.normalized,
+            r.recovery_share,
+            r.retries,
+            r.drops,
+            r.degraded_classes,
+            if r.session_degraded { "S" } else { "" },
+            if r.completed { "yes" } else { "NO" },
+        );
+    }
+    let completed = rows.iter().filter(|r| r.completed).count();
+    let fallbacks: u64 = rows.iter().map(|r| u64::from(r.degraded_classes)).sum();
+    let retries: u64 = rows.iter().map(|r| r.retries).sum();
+    let _ = writeln!(
+        out,
+        "completion rate {:.1}% ({} of {} runs), {} retries total, {} class fallbacks to strict",
+        completion_rate_percent(completed, rows.len()),
+        completed,
+        rows.len(),
+        retries,
+        fallbacks,
+    );
     out
 }
 
@@ -322,7 +410,11 @@ pub fn render_all(suite: &Suite) -> String {
         .iter()
         .map(|r| [r.0, r.1, r.2, r.3, r.4, r.5])
         .collect();
-    out.push_str(&render_interleaved(&t7, "Table 7: Interleaved File Transfer", Some(&t7_paper)));
+    out.push_str(&render_interleaved(
+        &t7,
+        "Table 7: Interleaved File Transfer",
+        Some(&t7_paper),
+    ));
     out.push('\n');
     out.push_str(&render_table8(&experiment::table8(suite)));
     out.push('\n');
@@ -355,7 +447,9 @@ mod tests {
     #[test]
     fn single_app_report_renders() {
         let session = Session::new(nonstrict_workloads::hanoi::build()).unwrap();
-        let suite = Suite { sessions: vec![session] };
+        let suite = Suite {
+            sessions: vec![session],
+        };
         let t3 = experiment::table3(&suite);
         let text = render_table3(&t3);
         assert!(text.contains("Hanoi"));
@@ -367,7 +461,9 @@ mod tests {
     #[test]
     fn every_renderer_produces_labelled_output() {
         let session = Session::new(nonstrict_workloads::hanoi::build()).unwrap();
-        let suite = Suite { sessions: vec![session] };
+        let suite = Suite {
+            sessions: vec![session],
+        };
 
         let t2 = render_table2(&suite);
         assert!(t2.contains("Hanoi") && t2.contains("DynTest"));
@@ -392,9 +488,24 @@ mod tests {
     }
 
     #[test]
+    fn fault_sweep_renders_degradation_report() {
+        let session = Session::new(nonstrict_workloads::hanoi::build()).unwrap();
+        let suite = Suite {
+            sessions: vec![session],
+        };
+        let rows = crate::experiment::faults::fault_sweep(&suite);
+        let text = render_fault_sweep(&rows);
+        assert!(text.contains("Fault sweep"), "{text}");
+        assert!(text.contains("completion rate 100.0%"), "{text}");
+        assert!(text.contains("retries total"), "{text}");
+    }
+
+    #[test]
     fn parallel_renderer_pairs_measured_with_paper_cells() {
         let session = Session::new(nonstrict_workloads::hanoi::build()).unwrap();
-        let suite = Suite { sessions: vec![session] };
+        let suite = Suite {
+            sessions: vec![session],
+        };
         let p = experiment::parallel_table(&suite, nonstrict_netsim::Link::T1, DataLayout::Whole);
         let text = render_parallel(&p);
         // Hanoi's paper row for T1 SCG limit-1 is 100; the measured|paper
@@ -406,12 +517,11 @@ mod tests {
     #[test]
     fn partitioned_parallel_renders_without_paper_columns() {
         let session = Session::new(nonstrict_workloads::hanoi::build()).unwrap();
-        let suite = Suite { sessions: vec![session] };
-        let p = experiment::parallel_table(
-            &suite,
-            nonstrict_netsim::Link::T1,
-            DataLayout::Partitioned,
-        );
+        let suite = Suite {
+            sessions: vec![session],
+        };
+        let p =
+            experiment::parallel_table(&suite, nonstrict_netsim::Link::T1, DataLayout::Partitioned);
         let text = render_parallel(&p);
         let hanoi_line = text.lines().find(|l| l.starts_with("Hanoi")).unwrap();
         assert!(!hanoi_line.contains('|'.to_string().repeat(2).as_str()));

@@ -10,17 +10,41 @@
 
 use nonstrict_bytecode::{Application, Input, InterpError};
 use nonstrict_netsim::{
-    class_units, greedy_schedule, ClassUnits, InterleavedEngine, ParallelEngine, StrictEngine,
-    TransferEngine, Weights, DELIMITER_BYTES,
+    add_checksum_overhead, class_units, greedy_schedule, ClassUnits, FaultedEngine,
+    InterleavedEngine, ParallelEngine, StrictEngine, TransferEngine, Weights, DELIMITER_BYTES,
 };
 use nonstrict_profile::{collect, Collected, TraceEvent};
 use nonstrict_reorder::{
-    partition_app, restructure, static_first_use, ClassPartition, FirstUseOrder,
-    RestructuredApp,
+    partition_app, restructure, static_first_use, ClassPartition, FirstUseOrder, RestructuredApp,
 };
 
 use crate::linker::{IncrementalLinker, LinkStats};
 use crate::model::{DataLayout, ExecutionModel, OrderingSource, SimConfig, TransferPolicy};
+
+/// Fault-recovery summary of one run: how the resilient protocol and
+/// graceful degradation behaved. All-zero (with `completed` true) on a
+/// perfect link.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSummary {
+    /// Stalled cycles attributable to fault recovery (timeouts,
+    /// retransmissions, backoff, reconnects, droop) rather than plain
+    /// transfer wait.
+    pub recovery_cycles: u64,
+    /// Retransmissions the protocol performed across the transfer.
+    pub retries: u64,
+    /// Connection drops survived.
+    pub drops: u64,
+    /// Units that arrived corrupted (CRC mismatch) and were re-sent.
+    pub corrupted: u64,
+    /// Classes demoted from non-strict streaming to strict demand-fetch
+    /// by degradation pressure.
+    pub degraded_classes: u32,
+    /// Whether the whole session fell back to strict execution.
+    pub session_degraded: bool,
+    /// Whether execution ran to completion (always true: the retry cap
+    /// bounds every delivery, so no run can livelock).
+    pub completed: bool,
+}
 
 /// The outcome of one simulated remote execution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,7 +54,10 @@ pub struct SimResult {
     pub total_cycles: u64,
     /// Pure execution cycles (dynamic instructions × CPI).
     pub exec_cycles: u64,
-    /// Cycles spent stalled waiting for bytes.
+    /// Cycles spent stalled waiting for bytes (transfer wait only; the
+    /// fault-recovery share of stalls is in
+    /// [`FaultSummary::recovery_cycles`], so `total = exec + stall +
+    /// recovery`).
     pub stall_cycles: u64,
     /// Invocation latency: cycles until the entry method could begin
     /// (Table 4).
@@ -39,6 +66,8 @@ pub struct SimResult {
     pub stalls: u32,
     /// Incremental-linking event counts (§3.1).
     pub link_stats: LinkStats,
+    /// Fault-protocol and degradation accounting.
+    pub faults: FaultSummary,
 }
 
 impl SimResult {
@@ -118,7 +147,14 @@ impl Session {
             restructure(&app, &orders[3]),
         ];
         let partitions = partition_app(&app);
-        Ok(Session { app, test, train, orders, restructured, partitions })
+        Ok(Session {
+            app,
+            test,
+            train,
+            orders,
+            restructured,
+            partitions,
+        })
     }
 
     /// The first-use ordering for `source`.
@@ -150,7 +186,13 @@ impl Session {
             DataLayout::Whole => None,
             DataLayout::Partitioned => Some(self.partitions.as_slice()),
         };
-        class_units(&self.app, self.restructured(config.ordering), parts, delim)
+        let mut units = class_units(&self.app, self.restructured(config.ordering), parts, delim);
+        if config.active_faults().is_some() {
+            // The resilient protocol CRC32-stamps every non-empty unit so
+            // corruption is detectable; the trailer bytes ride the wire.
+            add_checksum_overhead(&mut units);
+        }
+        units
     }
 
     /// Pure execution cycles on `input`.
@@ -183,18 +225,53 @@ impl Session {
             let class_order: Vec<usize> = (0..units.len()).collect();
             let mut engine = StrictEngine::new(config.link, &units, &class_order);
             let entry_class = self.app.program.entry().class.0 as usize;
+            let perfect_finish = engine.finish_time();
+            if let Some(fc) = config.active_faults() {
+                // Same transfer through the faulted link: everything
+                // beyond the perfect-link finish is recovery time.
+                let mut faulted = FaultedEngine::new(
+                    StrictEngine::new(config.link, &units, &class_order),
+                    fc.plan(),
+                    &units,
+                    config.link,
+                );
+                let entry_unit = units[entry_class].unit_count() - 1;
+                let invocation_latency = faulted.unit_ready(entry_class, entry_unit, 0);
+                let finish = faulted.finish_time();
+                let stats = faulted.fault_stats();
+                return SimResult {
+                    total_cycles: finish + exec_cycles,
+                    exec_cycles,
+                    stall_cycles: perfect_finish,
+                    invocation_latency,
+                    stalls: 1,
+                    link_stats: LinkStats::default(),
+                    faults: FaultSummary {
+                        recovery_cycles: finish - perfect_finish,
+                        retries: stats.retries,
+                        drops: stats.drops,
+                        corrupted: stats.corrupted,
+                        degraded_classes: 0,
+                        session_degraded: false,
+                        completed: true,
+                    },
+                };
+            }
             return SimResult {
-                total_cycles: engine.finish_time() + exec_cycles,
+                total_cycles: perfect_finish + exec_cycles,
                 exec_cycles,
-                stall_cycles: engine.finish_time(),
+                stall_cycles: perfect_finish,
                 invocation_latency: engine.class_ready(entry_class),
                 stalls: 1,
                 link_stats: LinkStats::default(),
+                faults: FaultSummary {
+                    completed: true,
+                    ..FaultSummary::default()
+                },
             };
         }
 
-        let class_order_fu: Vec<usize> =
-            order.class_order().iter().map(|c| c.0 as usize).collect();
+        let class_order_fu: Vec<usize> = order.class_order().iter().map(|c| c.0 as usize).collect();
         let weights = match config.ordering {
             OrderingSource::TrainProfile => Weights::Profile(&self.train.profile),
             OrderingSource::TestProfile => Weights::Profile(&self.test.profile),
@@ -206,7 +283,12 @@ impl Session {
             }
             TransferPolicy::Parallel { limit } => {
                 let schedule = greedy_schedule(&self.app, order, &units, layouts, weights);
-                Box::new(ParallelEngine::new(config.link, units.clone(), &schedule, limit))
+                Box::new(ParallelEngine::new(
+                    config.link,
+                    units.clone(),
+                    &schedule,
+                    limit,
+                ))
             }
             TransferPolicy::Interleaved => Box::new(InterleavedEngine::new(
                 &self.app,
@@ -216,6 +298,9 @@ impl Session {
                 config.link,
             )),
         };
+        if let Some(fc) = config.active_faults() {
+            engine = Box::new(FaultedEngine::new(engine, fc.plan(), &units, config.link));
+        }
 
         self.replay(input, config, layouts, &units, engine.as_mut(), exec_cycles)
     }
@@ -231,29 +316,68 @@ impl Session {
         exec_cycles: u64,
     ) -> SimResult {
         let trace = &self.collected(input).trace;
-        let mut linker =
-            IncrementalLinker::new(&self.app.classes.iter().map(|c| c.methods.len()).collect::<Vec<_>>());
+        let mut linker = IncrementalLinker::new(
+            &self
+                .app
+                .classes
+                .iter()
+                .map(|c| c.methods.len())
+                .collect::<Vec<_>>(),
+        );
         let cpi = self.app.cpi;
         let mut clock: u64 = 0;
         let mut stall_cycles: u64 = 0;
+        let mut recovery_cycles: u64 = 0;
         let mut stalls: u32 = 0;
         let mut invocation_latency: Option<u64> = None;
+
+        // Graceful degradation (fault protocol): when the combined
+        // misprediction-plus-fault pressure on a class crosses the
+        // threshold, the class is demoted from non-strict streaming to
+        // strict demand-fetch — every later entry waits for the whole
+        // class, trading overlap for stability. When a majority of
+        // classes degrade, the whole session falls back to strict
+        // execution.
+        let degrade_threshold = config.active_faults().map_or(0, |fc| fc.degrade_threshold);
+        let nclasses = units.len();
+        let mut stall_events: Vec<u64> = vec![0; nclasses];
+        let mut demoted: Vec<bool> = vec![false; nclasses];
+        let mut degraded_classes: u32 = 0;
+        let mut session_degraded = false;
 
         for event in trace.events() {
             match *event {
                 TraceEvent::Enter(m) => {
                     let c = m.class.0 as usize;
                     let pos = layouts[c].position_of(m.method);
-                    let unit = match config.execution {
-                        ExecutionModel::NonStrict => ClassUnits::method_unit(pos),
+                    let strict_entry = config.execution == ExecutionModel::Strict
+                        || session_degraded
+                        || demoted[c];
+                    let unit = if strict_entry {
                         // Strict execution waits for the entire class.
-                        ExecutionModel::Strict => units[c].unit_count() - 1,
+                        units[c].unit_count() - 1
+                    } else {
+                        ClassUnits::method_unit(pos)
                     };
                     let ready = engine.unit_ready(c, unit, clock);
                     if ready > clock {
-                        stall_cycles += ready - clock;
+                        let stall = ready - clock;
+                        let fault_part = engine.last_fault_delay().min(stall);
+                        recovery_cycles += fault_part;
+                        stall_cycles += stall - fault_part;
                         stalls += 1;
+                        stall_events[c] += 1;
                         clock = ready;
+                    }
+                    if degrade_threshold > 0 && !demoted[c] {
+                        let pressure = stall_events[c] + engine.class_fault_events(c);
+                        if pressure >= u64::from(degrade_threshold) {
+                            demoted[c] = true;
+                            degraded_classes += 1;
+                            if u64::from(degraded_classes) * 2 > nclasses as u64 {
+                                session_degraded = true;
+                            }
+                        }
                     }
                     linker.globals_arrived(c);
                     linker.method_arrived(c, pos);
@@ -270,6 +394,7 @@ impl Session {
         }
 
         debug_assert!(linker.consistent());
+        let stats = engine.fault_stats();
         SimResult {
             total_cycles: clock,
             exec_cycles,
@@ -277,6 +402,15 @@ impl Session {
             invocation_latency: invocation_latency.unwrap_or(0),
             stalls,
             link_stats: linker.stats(),
+            faults: FaultSummary {
+                recovery_cycles,
+                retries: stats.retries,
+                drops: stats.drops,
+                corrupted: stats.corrupted,
+                degraded_classes,
+                session_degraded,
+                completed: true,
+            },
         }
     }
 }
@@ -326,6 +460,7 @@ mod tests {
                         transfer,
                         data_layout,
                         execution: ExecutionModel::NonStrict,
+                        faults: None,
                     });
                 }
             }
@@ -377,12 +512,16 @@ mod tests {
                 transfer: TransferPolicy::Interleaved,
                 data_layout: DataLayout::Whole,
                 execution: ExecutionModel::NonStrict,
+                faults: None,
             };
             s.simulate(Input::Test, &config).total_cycles
         };
         let test = run(OrderingSource::TestProfile);
         let scg = run(OrderingSource::StaticCallGraph);
-        assert!(test <= scg, "perfect interleaved order cannot lose to SCG: {test} vs {scg}");
+        assert!(
+            test <= scg,
+            "perfect interleaved order cannot lose to SCG: {test} vs {scg}"
+        );
     }
 
     #[test]
@@ -404,8 +543,7 @@ mod tests {
             Input::Test,
             &SimConfig::non_strict(Link::MODEM_28_8, OrderingSource::StaticCallGraph),
         );
-        let mut part_cfg =
-            SimConfig::non_strict(Link::MODEM_28_8, OrderingSource::StaticCallGraph);
+        let mut part_cfg = SimConfig::non_strict(Link::MODEM_28_8, OrderingSource::StaticCallGraph);
         part_cfg.data_layout = DataLayout::Partitioned;
         let part = s.simulate(Input::Test, &part_cfg);
         assert!(ns.invocation_latency < strict.invocation_latency);

@@ -1,5 +1,7 @@
 //! The transfer-engine abstraction the co-simulator drives.
 
+use crate::faults::FaultStats;
+
 /// A transfer engine answers one question for the executing program:
 /// *when do the bytes I need arrive?* Implementations simulate the
 /// network timeline forward on demand.
@@ -21,4 +23,50 @@ pub trait TransferEngine {
 
     /// Total bytes this engine would transfer to completion.
     fn total_bytes(&self) -> u64;
+
+    /// Aggregate fault-protocol counters. Perfect-link engines report
+    /// all zeros; [`crate::faults::FaultedEngine`] overrides this.
+    fn fault_stats(&self) -> FaultStats {
+        FaultStats::default()
+    }
+
+    /// Fault-recovery cycles embedded in the most recent
+    /// [`TransferEngine::unit_ready`] answer (zero on perfect links).
+    /// The co-simulator uses this to split a stall into transfer-wait
+    /// versus fault-recovery time.
+    fn last_fault_delay(&self) -> u64 {
+        0
+    }
+
+    /// Cumulative fault events (retransmissions) charged to `class`,
+    /// for graceful-degradation pressure accounting.
+    fn class_fault_events(&self, _class: usize) -> u64 {
+        0
+    }
+}
+
+impl<E: TransferEngine + ?Sized> TransferEngine for Box<E> {
+    fn unit_ready(&mut self, class: usize, unit: usize, now: u64) -> u64 {
+        (**self).unit_ready(class, unit, now)
+    }
+
+    fn finish_time(&mut self) -> u64 {
+        (**self).finish_time()
+    }
+
+    fn total_bytes(&self) -> u64 {
+        (**self).total_bytes()
+    }
+
+    fn fault_stats(&self) -> FaultStats {
+        (**self).fault_stats()
+    }
+
+    fn last_fault_delay(&self) -> u64 {
+        (**self).last_fault_delay()
+    }
+
+    fn class_fault_events(&self, class: usize) -> u64 {
+        (**self).class_fault_events(class)
+    }
 }

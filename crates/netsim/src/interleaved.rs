@@ -61,7 +61,11 @@ impl InterleavedEngine {
             arrivals[c][last] = link.cycles_for(sent);
         }
 
-        InterleavedEngine { arrivals, total_bytes: sent, finish: link.cycles_for(sent) }
+        InterleavedEngine {
+            arrivals,
+            total_bytes: sent,
+            finish: link.cycles_for(sent),
+        }
     }
 }
 
@@ -102,7 +106,12 @@ mod tests {
     use crate::unit::{class_units, DELIMITER_BYTES};
     use nonstrict_reorder::{restructure, static_first_use};
 
-    fn engine() -> (Application, InterleavedEngine, Vec<ClassUnits>, FirstUseOrder) {
+    fn engine() -> (
+        Application,
+        InterleavedEngine,
+        Vec<ClassUnits>,
+        FirstUseOrder,
+    ) {
         let app = nonstrict_workloads::hanoi::build();
         let order = static_first_use(&app.program);
         let r = restructure(&app, &order);

@@ -18,6 +18,11 @@
 //! * [`interleaved`] — the single virtual interleaved file (§5.2).
 //! * [`strict`] — sequential whole-class transfer (baseline and
 //!   ablation).
+//! * [`faults`] — seeded, deterministic fault injection
+//!   ([`faults::FaultPlan`]) and the resilient transfer protocol
+//!   ([`faults::FaultedEngine`]): CRC32-verified units, retry with
+//!   capped exponential backoff, resumable streams after a drop, and
+//!   piecewise-linear droop-window time remapping.
 //!
 //! All engines are **event-driven fluid** simulators: transfer progress
 //! is piecewise linear, so the engines jump from event to event (unit
@@ -28,6 +33,7 @@
 #![forbid(unsafe_code)]
 
 pub mod engine;
+pub mod faults;
 pub mod interleaved;
 pub mod link;
 pub mod parallel;
@@ -36,9 +42,10 @@ pub mod strict;
 pub mod unit;
 
 pub use engine::TransferEngine;
+pub use faults::{FaultPlan, FaultStats, FaultedEngine};
 pub use interleaved::InterleavedEngine;
-pub use link::Link;
+pub use link::{Link, LinkError};
 pub use parallel::ParallelEngine;
-pub use schedule::{greedy_schedule, ParallelSchedule, Weights};
+pub use schedule::{greedy_schedule, ParallelSchedule, ScheduleError, Weights};
 pub use strict::StrictEngine;
-pub use unit::{class_units, ClassUnits, DELIMITER_BYTES};
+pub use unit::{add_checksum_overhead, class_units, ClassUnits, CHECKSUM_BYTES, DELIMITER_BYTES};

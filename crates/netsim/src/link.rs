@@ -1,5 +1,24 @@
 //! Link models: bandwidth expressed in machine cycles per byte.
 
+use std::fmt;
+
+/// Error constructing a [`Link`] from raw bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkError {
+    /// The requested bandwidth was zero bits per second.
+    ZeroBandwidth,
+}
+
+impl fmt::Display for LinkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkError::ZeroBandwidth => write!(f, "link bandwidth must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for LinkError {}
+
 /// A network link, as the paper models it: a fixed number of CPU cycles
 /// to transfer one byte (§6.1).
 ///
@@ -21,27 +40,47 @@ pub struct Link {
 impl Link {
     /// The paper's T1 line (~1 Mbit/s): 3,815 cycles per byte on a
     /// 500 MHz Alpha.
-    pub const T1: Link = Link { cycles_per_byte: 3_815, name: "T1" };
+    pub const T1: Link = Link {
+        cycles_per_byte: 3_815,
+        name: "T1",
+    };
 
     /// The paper's 28.8 Kbaud modem (~29 Kbit/s): 134,698 cycles per
     /// byte.
-    pub const MODEM_28_8: Link = Link { cycles_per_byte: 134_698, name: "Modem" };
+    pub const MODEM_28_8: Link = Link {
+        cycles_per_byte: 134_698,
+        name: "Modem",
+    };
 
     /// A link from raw bandwidth and CPU frequency.
     ///
-    /// # Panics
+    /// The cycle cost is clamped to at least one cycle per byte: a link
+    /// faster than the CPU still spends a cycle moving each byte, and a
+    /// zero cost would make every transfer free and erase all stalls.
     ///
-    /// Panics if `bits_per_second` is zero.
-    #[must_use]
-    pub fn from_bandwidth(bits_per_second: u64, cpu_hz: u64) -> Link {
-        assert!(bits_per_second > 0, "bandwidth must be positive");
-        Link { cycles_per_byte: cpu_hz * 8 / bits_per_second, name: "custom" }
+    /// # Errors
+    ///
+    /// Returns [`LinkError::ZeroBandwidth`] if `bits_per_second` is zero.
+    pub fn from_bandwidth(bits_per_second: u64, cpu_hz: u64) -> Result<Link, LinkError> {
+        if bits_per_second == 0 {
+            return Err(LinkError::ZeroBandwidth);
+        }
+        let cpb = u128::from(cpu_hz) * 8 / u128::from(bits_per_second);
+        let cpb = u64::try_from(cpb).unwrap_or(u64::MAX).max(1);
+        Ok(Link {
+            cycles_per_byte: cpb,
+            name: "custom",
+        })
     }
 
     /// Cycles to transfer `bytes` at full bandwidth.
+    ///
+    /// Computed in `u128` and saturated: `bytes * cycles_per_byte` can
+    /// exceed `u64` for multi-gigabyte payloads on the modem link.
     #[must_use]
     pub fn cycles_for(&self, bytes: u64) -> u64 {
-        bytes * self.cycles_per_byte
+        let cycles = u128::from(bytes) * u128::from(self.cycles_per_byte);
+        u64::try_from(cycles).unwrap_or(u64::MAX)
     }
 }
 
@@ -58,13 +97,43 @@ mod tests {
     #[test]
     fn from_bandwidth_matches_paper_t1_ballpark() {
         // 2^20-bit/s "T1" on a 500 MHz CPU: the paper's 3,815.
-        let t1 = Link::from_bandwidth(1_048_576, 500_000_000);
+        let t1 = Link::from_bandwidth(1_048_576, 500_000_000).unwrap();
         assert_eq!(t1.cycles_per_byte, 3_814); // integer division of the exact 3814.7
+    }
+
+    #[test]
+    fn from_bandwidth_clamps_fast_links_to_one_cycle_per_byte() {
+        // A 100 Gbit/s link on a 500 MHz CPU would round to zero cycles
+        // per byte; the clamp keeps transfers from becoming free.
+        let fast = Link::from_bandwidth(100_000_000_000, 500_000_000).unwrap();
+        assert_eq!(fast.cycles_per_byte, 1);
+    }
+
+    #[test]
+    fn from_bandwidth_rejects_zero_bandwidth() {
+        assert_eq!(
+            Link::from_bandwidth(0, 500_000_000).unwrap_err(),
+            LinkError::ZeroBandwidth
+        );
     }
 
     #[test]
     fn cycles_scale_linearly() {
         assert_eq!(Link::T1.cycles_for(100), 381_500);
         assert_eq!(Link::T1.cycles_for(0), 0);
+    }
+
+    #[test]
+    fn cycles_for_saturates_instead_of_overflowing() {
+        // 137 TB on the modem overflows u64 (137e12 * 134_698 > 2^64);
+        // the boundary must saturate, not wrap.
+        let huge = u64::MAX / Link::MODEM_28_8.cycles_per_byte + 1;
+        assert_eq!(Link::MODEM_28_8.cycles_for(huge), u64::MAX);
+        // One byte below the boundary is still exact.
+        let edge = u64::MAX / Link::MODEM_28_8.cycles_per_byte;
+        assert_eq!(
+            Link::MODEM_28_8.cycles_for(edge),
+            edge * Link::MODEM_28_8.cycles_per_byte
+        );
     }
 }

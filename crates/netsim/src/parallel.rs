@@ -66,7 +66,11 @@ impl ParallelEngine {
         limit: usize,
     ) -> Self {
         assert!(limit > 0, "at least one concurrent transfer is required");
-        assert_eq!(schedule.class_order.len(), units.len(), "schedule must cover all classes");
+        assert_eq!(
+            schedule.class_order.len(),
+            units.len(),
+            "schedule must cover all classes"
+        );
         let n = units.len();
         let mut engine = ParallelEngine {
             cpb: u128::from(link.cycles_per_byte),
@@ -99,7 +103,10 @@ impl ParallelEngine {
     /// Total bytes delivered from the dependencies of schedule position
     /// `k` (classes earlier in the start order).
     fn dep_delivered(&self, k: usize) -> u64 {
-        self.class_order[..k].iter().map(|&c| self.delivered(c)).sum()
+        self.class_order[..k]
+            .iter()
+            .map(|&c| self.delivered(c))
+            .sum()
     }
 
     /// Releases every scheduled class whose threshold is met.
@@ -123,7 +130,9 @@ impl ParallelEngine {
     /// Moves queued classes into free bandwidth slots.
     fn fill_slots(&mut self) {
         while self.active.len() < self.limit {
-            let Some(c) = self.queue.pop_front() else { break };
+            let Some(c) = self.queue.pop_front() else {
+                break;
+            };
             self.active.push(c);
             // Zero-byte units at the head complete instantly.
             self.cross_boundaries(c);
@@ -295,10 +304,16 @@ mod tests {
     }
 
     fn schedule_for(units: &[ClassUnits], thresholds: Vec<u64>) -> ParallelSchedule {
-        ParallelSchedule { class_order: (0..units.len()).collect(), thresholds }
+        ParallelSchedule {
+            class_order: (0..units.len()).collect(),
+            thresholds,
+        }
     }
 
-    const LINK: Link = Link { cycles_per_byte: 10, name: "test" };
+    const LINK: Link = Link {
+        cycles_per_byte: 10,
+        name: "test",
+    };
 
     #[test]
     fn single_stream_arrivals_are_exact() {

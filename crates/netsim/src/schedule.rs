@@ -12,11 +12,35 @@
 //!   instructions executed from the procedures that a class file is
 //!   dependent on"* — the executed-unique bytes the profiler measured.
 
+use std::fmt;
+
 use nonstrict_bytecode::{Application, MethodId};
 use nonstrict_profile::FirstUseProfile;
 use nonstrict_reorder::{ClassLayout, FirstUseOrder};
 
 use crate::unit::ClassUnits;
+
+/// Error from schedule queries on malformed input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// The queried class does not appear in the schedule's start order.
+    ClassNotInSchedule {
+        /// The class index that was looked up.
+        class: usize,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::ClassNotInSchedule { class } => {
+                write!(f, "class {class} is not in the transfer schedule")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
 
 /// How method bytes are weighted when accumulating dependency
 /// thresholds.
@@ -41,9 +65,16 @@ pub struct ParallelSchedule {
 
 impl ParallelSchedule {
     /// Position of `class` in the start order.
-    #[must_use]
-    pub fn position(&self, class: usize) -> usize {
-        self.class_order.iter().position(|&c| c == class).expect("class in schedule")
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError::ClassNotInSchedule`] if `class` never
+    /// appears in the start order.
+    pub fn position(&self, class: usize) -> Result<usize, ScheduleError> {
+        self.class_order
+            .iter()
+            .position(|&c| c == class)
+            .ok_or(ScheduleError::ClassNotInSchedule { class })
     }
 }
 
@@ -62,8 +93,7 @@ pub fn greedy_schedule(
     weights: Weights<'_>,
 ) -> ParallelSchedule {
     let program = &app.program;
-    let class_order: Vec<usize> =
-        order.class_order().iter().map(|c| c.0 as usize).collect();
+    let class_order: Vec<usize> = order.class_order().iter().map(|c| c.0 as usize).collect();
     // Classes with no methods in the first-use order (impossible here,
     // every class has methods) would be appended; keep robustness:
     debug_assert_eq!(class_order.len(), app.classes.len());
@@ -115,7 +145,10 @@ pub fn greedy_schedule(
         dep_capacity += units[c].total();
     }
 
-    ParallelSchedule { class_order, thresholds }
+    ParallelSchedule {
+        class_order,
+        thresholds,
+    }
 }
 
 #[cfg(test)]
@@ -124,7 +157,12 @@ mod tests {
     use crate::unit::class_units;
     use nonstrict_reorder::{restructure, static_first_use};
 
-    fn setup() -> (Application, FirstUseOrder, Vec<ClassUnits>, Vec<ClassLayout>) {
+    fn setup() -> (
+        Application,
+        FirstUseOrder,
+        Vec<ClassUnits>,
+        Vec<ClassLayout>,
+    ) {
         let app = nonstrict_workloads::jhlzip::build();
         let order = static_first_use(&app.program);
         let r = restructure(&app, &order);
@@ -145,7 +183,10 @@ mod tests {
         let (app, order, units, layouts) = setup();
         let s = greedy_schedule(&app, &order, &units, &layouts, Weights::Static);
         for w in s.thresholds.windows(2) {
-            assert!(w[0] <= w[1], "later classes need at least as many unique bytes");
+            assert!(
+                w[0] <= w[1],
+                "later classes need at least as many unique bytes"
+            );
         }
     }
 
@@ -155,7 +196,10 @@ mod tests {
         let s = greedy_schedule(&app, &order, &units, &layouts, Weights::Static);
         let mut cap = 0u64;
         for (k, &c) in s.class_order.iter().enumerate() {
-            assert!(s.thresholds[k] <= cap, "class {c} threshold exceeds dep capacity");
+            assert!(
+                s.thresholds[k] <= cap,
+                "class {c} threshold exceeds dep capacity"
+            );
             cap += units[c].total();
         }
     }
@@ -163,16 +207,33 @@ mod tests {
     #[test]
     fn profile_weights_give_smaller_thresholds() {
         let (app, order, units, layouts) = setup();
-        let collected =
-            nonstrict_profile::collect(&app, nonstrict_bytecode::Input::Test).unwrap();
+        let collected = nonstrict_profile::collect(&app, nonstrict_bytecode::Input::Test).unwrap();
         let s_static = greedy_schedule(&app, &order, &units, &layouts, Weights::Static);
-        let s_prof =
-            greedy_schedule(&app, &order, &units, &layouts, Weights::Profile(&collected.profile));
+        let s_prof = greedy_schedule(
+            &app,
+            &order,
+            &units,
+            &layouts,
+            Weights::Profile(&collected.profile),
+        );
         // executed bytes <= static bytes method by method, so accumulated
         // thresholds can only shrink
         let total_static: u64 = s_static.thresholds.iter().sum();
         let total_prof: u64 = s_prof.thresholds.iter().sum();
         assert!(total_prof <= total_static);
+    }
+
+    #[test]
+    fn position_reports_missing_classes_instead_of_panicking() {
+        let (app, order, units, layouts) = setup();
+        let s = greedy_schedule(&app, &order, &units, &layouts, Weights::Static);
+        assert_eq!(s.position(s.class_order[0]), Ok(0));
+        let missing = app.classes.len() + 7;
+        assert_eq!(
+            s.position(missing),
+            Err(ScheduleError::ClassNotInSchedule { class: missing })
+        );
+        assert!(format!("{}", s.position(missing).unwrap_err()).contains("not in"));
     }
 
     #[test]

@@ -29,7 +29,11 @@ impl StrictEngine {
     /// at full bandwidth.
     #[must_use]
     pub fn new(link: Link, units: &[ClassUnits], class_order: &[usize]) -> Self {
-        assert_eq!(units.len(), class_order.len(), "order must cover all classes");
+        assert_eq!(
+            units.len(),
+            class_order.len(),
+            "order must cover all classes"
+        );
         let mut class_done = vec![0u64; units.len()];
         let mut sent = 0u64;
         for &c in class_order {
@@ -70,12 +74,23 @@ impl TransferEngine for StrictEngine {
 mod tests {
     use super::*;
 
-    const LINK: Link = Link { cycles_per_byte: 100, name: "test" };
+    const LINK: Link = Link {
+        cycles_per_byte: 100,
+        name: "test",
+    };
 
     fn units() -> Vec<ClassUnits> {
         vec![
-            ClassUnits { prelude: 10, methods: vec![5, 5], trailing: 0 },
-            ClassUnits { prelude: 30, methods: vec![10], trailing: 0 },
+            ClassUnits {
+                prelude: 10,
+                methods: vec![5, 5],
+                trailing: 0,
+            },
+            ClassUnits {
+                prelude: 30,
+                methods: vec![10],
+                trailing: 0,
+            },
         ]
     }
 
@@ -83,7 +98,11 @@ mod tests {
     fn classes_complete_sequentially() {
         let mut e = StrictEngine::new(LINK, &units(), &[0, 1]);
         assert_eq!(e.unit_ready(0, 0, 0), 2_000);
-        assert_eq!(e.unit_ready(0, 2, 0), 2_000, "all units share the class arrival");
+        assert_eq!(
+            e.unit_ready(0, 2, 0),
+            2_000,
+            "all units share the class arrival"
+        );
         assert_eq!(e.unit_ready(1, 0, 0), 6_000);
         assert_eq!(e.finish_time(), 6_000);
         assert_eq!(e.total_bytes(), 60);

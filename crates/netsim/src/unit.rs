@@ -20,6 +20,51 @@ use nonstrict_reorder::{ClassPartition, RestructuredApp};
 /// placed after each procedure and its data").
 pub const DELIMITER_BYTES: u64 = 2;
 
+/// Bytes of the CRC32 trailer the resilient transfer protocol appends
+/// to every non-empty unit, extending the method-delimiter wire format:
+/// the receiver verifies each unit before acknowledging it, so corrupted
+/// units are detected and re-requested instead of linked.
+pub const CHECKSUM_BYTES: u64 = 4;
+
+/// CRC32 (IEEE 802.3, reflected) of `data` — the per-unit trailer the
+/// resilient protocol verifies on receipt.
+///
+/// ```
+/// use nonstrict_netsim::unit::crc32;
+/// assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+/// ```
+#[must_use]
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &byte in data {
+        crc ^= u32::from(byte);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Adds the per-unit CRC32 trailer to every non-empty unit, in place.
+/// Called when the fault protocol is active; empty units (a zero-byte
+/// trailing slot) carry nothing and get no trailer.
+pub fn add_checksum_overhead(units: &mut [ClassUnits]) {
+    for u in units {
+        if u.prelude > 0 {
+            u.prelude += CHECKSUM_BYTES;
+        }
+        for m in &mut u.methods {
+            if *m > 0 {
+                *m += CHECKSUM_BYTES;
+            }
+        }
+        if u.trailing > 0 {
+            u.trailing += CHECKSUM_BYTES;
+        }
+    }
+}
+
 /// The transfer units of one class, in stream order.
 ///
 /// ```
@@ -101,11 +146,7 @@ pub fn class_units(
             let method_base: Vec<u64> = class
                 .methods
                 .iter()
-                .map(|m| {
-                    scale.apply(m.local_data_size())
-                        + scale.apply(m.code_size())
-                        + delimiter
-                })
+                .map(|m| scale.apply(m.local_data_size()) + scale.apply(m.code_size()) + delimiter)
                 .collect();
             match partitions {
                 None => ClassUnits {
@@ -121,9 +162,7 @@ pub fn class_units(
                         methods: method_base
                             .iter()
                             .zip(&gmd)
-                            .map(|(&b, &g)| {
-                                b + scale.apply(u32::try_from(g).expect("fits"))
-                            })
+                            .map(|(&b, &g)| b + scale.apply(u32::try_from(g).expect("fits")))
                             .collect(),
                         trailing: scale.apply(u32::try_from(p.unused).expect("fits")),
                     }
@@ -199,5 +238,45 @@ mod tests {
     fn method_unit_indexing() {
         assert_eq!(ClassUnits::method_unit(0), 1);
         assert_eq!(ClassUnits::method_unit(5), 6);
+    }
+
+    #[test]
+    fn crc32_matches_reference_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+        // Corruption is detected: flipping one bit changes the CRC.
+        assert_ne!(crc32(b"123456789"), crc32(b"123456788"));
+    }
+
+    #[test]
+    fn checksum_overhead_skips_empty_units() {
+        let mut units = vec![
+            ClassUnits {
+                prelude: 100,
+                methods: vec![40, 0, 60],
+                trailing: 0,
+            },
+            ClassUnits {
+                prelude: 0,
+                methods: vec![],
+                trailing: 8,
+            },
+        ];
+        add_checksum_overhead(&mut units);
+        assert_eq!(units[0].prelude, 100 + CHECKSUM_BYTES);
+        assert_eq!(
+            units[0].methods,
+            vec![40 + CHECKSUM_BYTES, 0, 60 + CHECKSUM_BYTES]
+        );
+        assert_eq!(
+            units[0].trailing, 0,
+            "empty trailing slot carries no trailer"
+        );
+        assert_eq!(units[1].prelude, 0);
+        assert_eq!(units[1].trailing, 8 + CHECKSUM_BYTES);
     }
 }

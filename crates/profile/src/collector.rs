@@ -85,9 +85,14 @@ pub fn collect(app: &Application, input: Input) -> Result<Collected, InterpError
     for &m in &order {
         executed_bytes.insert(m, per_method_bytes[app.program.global_index(m)]);
     }
-    let profile =
-        FirstUseProfile::from_parts(order, executed_bytes, trace.total_instructions());
-    Ok(Collected { trace, profile, result, executed_static_percent, output })
+    let profile = FirstUseProfile::from_parts(order, executed_bytes, trace.total_instructions());
+    Ok(Collected {
+        trace,
+        profile,
+        result,
+        executed_static_percent,
+        output,
+    })
 }
 
 #[cfg(test)]
@@ -129,7 +134,11 @@ mod tests {
         let got = collect(&app, Input::Test).unwrap();
         assert_eq!(
             got.profile.order(),
-            &[MethodId::new(0, 0), MethodId::new(0, 2), MethodId::new(0, 1)]
+            &[
+                MethodId::new(0, 0),
+                MethodId::new(0, 2),
+                MethodId::new(0, 1)
+            ]
         );
     }
 
@@ -137,7 +146,10 @@ mod tests {
     fn trace_totals_match_profile() {
         let app = sample_app();
         let got = collect(&app, Input::Test).unwrap();
-        assert_eq!(got.trace.total_instructions(), got.profile.dynamic_instructions());
+        assert_eq!(
+            got.trace.total_instructions(),
+            got.profile.dynamic_instructions()
+        );
         assert!(got.trace.total_instructions() > 10);
     }
 
@@ -146,7 +158,10 @@ mod tests {
         let app = sample_app();
         let got = collect(&app, Input::Test).unwrap();
         for &m in got.profile.order() {
-            assert!(got.profile.executed_bytes(m) > 0, "{m} should have executed bytes");
+            assert!(
+                got.profile.executed_bytes(m) > 0,
+                "{m} should have executed bytes"
+            );
         }
     }
 

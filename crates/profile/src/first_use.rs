@@ -30,7 +30,12 @@ impl FirstUseProfile {
         dynamic_instructions: u64,
     ) -> Self {
         let rank = order.iter().enumerate().map(|(i, &m)| (m, i)).collect();
-        FirstUseProfile { order, rank, executed_bytes, dynamic_instructions }
+        FirstUseProfile {
+            order,
+            rank,
+            executed_bytes,
+            dynamic_instructions,
+        }
     }
 
     /// Methods in first-invocation order. The entry method is first.
@@ -86,8 +91,12 @@ impl FirstUseProfile {
     /// running the test input).
     #[must_use]
     pub fn order_agreement(&self, other: &FirstUseProfile) -> f64 {
-        let common: Vec<MethodId> =
-            other.order.iter().copied().filter(|m| self.executed(*m)).collect();
+        let common: Vec<MethodId> = other
+            .order
+            .iter()
+            .copied()
+            .filter(|m| self.executed(*m))
+            .collect();
         if common.len() < 2 {
             return 1.0;
         }

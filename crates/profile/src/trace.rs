@@ -46,7 +46,11 @@ impl ExecutionTrace {
                 return;
             }
             self.total_instructions += count;
-            if let Some(TraceEvent::Run { method: lm, count: lc }) = self.events.last_mut() {
+            if let Some(TraceEvent::Run {
+                method: lm,
+                count: lc,
+            }) = self.events.last_mut()
+            {
                 if *lm == method {
                     *lc += count;
                     return;
@@ -137,8 +141,14 @@ mod tests {
     fn consecutive_runs_coalesce() {
         let mut t = ExecutionTrace::new();
         t.push(TraceEvent::Enter(m(0)));
-        t.push(TraceEvent::Run { method: m(0), count: 3 });
-        t.push(TraceEvent::Run { method: m(0), count: 4 });
+        t.push(TraceEvent::Run {
+            method: m(0),
+            count: 3,
+        });
+        t.push(TraceEvent::Run {
+            method: m(0),
+            count: 4,
+        });
         assert_eq!(t.len(), 2);
         assert_eq!(t.total_instructions(), 7);
     }
@@ -146,7 +156,10 @@ mod tests {
     #[test]
     fn zero_runs_dropped() {
         let mut t = ExecutionTrace::new();
-        t.push(TraceEvent::Run { method: m(0), count: 0 });
+        t.push(TraceEvent::Run {
+            method: m(0),
+            count: 0,
+        });
         assert!(t.is_empty());
     }
 
@@ -167,11 +180,20 @@ mod tests {
     #[test]
     fn per_method_counts() {
         let t: ExecutionTrace = vec![
-            TraceEvent::Run { method: m(0), count: 5 },
+            TraceEvent::Run {
+                method: m(0),
+                count: 5,
+            },
             TraceEvent::Enter(m(1)),
-            TraceEvent::Run { method: m(1), count: 2 },
+            TraceEvent::Run {
+                method: m(1),
+                count: 2,
+            },
             TraceEvent::Exit(m(1)),
-            TraceEvent::Run { method: m(0), count: 5 },
+            TraceEvent::Run {
+                method: m(0),
+                count: 5,
+            },
         ]
         .into_iter()
         .collect();

@@ -40,7 +40,11 @@ impl FirstUseOrder {
     /// methods (an internal invariant of the producers in this crate).
     #[must_use]
     pub fn from_order(program: &Program, order: Vec<MethodId>) -> Self {
-        assert_eq!(order.len(), program.method_count(), "order must cover every method");
+        assert_eq!(
+            order.len(),
+            program.method_count(),
+            "order must cover every method"
+        );
         let mut rank = vec![usize::MAX; program.method_count()];
         for (i, &m) in order.iter().enumerate() {
             let g = program.global_index(m);
@@ -99,7 +103,11 @@ impl FirstUseOrder {
     /// inside the restructured class file.
     #[must_use]
     pub fn class_layout(&self, class: nonstrict_bytecode::ClassId) -> Vec<u16> {
-        self.order.iter().filter(|m| m.class == class).map(|m| m.method).collect()
+        self.order
+            .iter()
+            .filter(|m| m.class == class)
+            .map(|m| m.method)
+            .collect()
     }
 
     /// Classes in the order their *first* method appears — the order the
@@ -180,10 +188,16 @@ mod tests {
                 MethodId::new(0, 1),
             ],
         );
-        assert_eq!(o.class_layout(nonstrict_bytecode::ClassId(0)), vec![2, 0, 1]);
+        assert_eq!(
+            o.class_layout(nonstrict_bytecode::ClassId(0)),
+            vec![2, 0, 1]
+        );
         assert_eq!(
             o.class_order(),
-            vec![nonstrict_bytecode::ClassId(0), nonstrict_bytecode::ClassId(1)]
+            vec![
+                nonstrict_bytecode::ClassId(0),
+                nonstrict_bytecode::ClassId(1)
+            ]
         );
     }
 

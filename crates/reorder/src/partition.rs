@@ -81,9 +81,18 @@ fn closure(class: &ClassFile, idx: CpIndex, out: &mut HashSet<CpIndex>) {
         Some(Constant::String { utf8 }) => closure(class, *utf8, out),
         Some(Constant::Class { name }) => closure(class, *name, out),
         Some(
-            Constant::FieldRef { class: c, name_and_type }
-            | Constant::MethodRef { class: c, name_and_type }
-            | Constant::InterfaceMethodRef { class: c, name_and_type },
+            Constant::FieldRef {
+                class: c,
+                name_and_type,
+            }
+            | Constant::MethodRef {
+                class: c,
+                name_and_type,
+            }
+            | Constant::InterfaceMethodRef {
+                class: c,
+                name_and_type,
+            },
         ) => {
             closure(class, *c, out);
             closure(class, *name_and_type, out);
@@ -172,18 +181,22 @@ pub fn partition_class(class: &ClassFile, code_usage: &[Vec<CpIndex>]) -> ClassP
         for &u in usage {
             closure(class, u, &mut set);
         }
-        let mut entries: Vec<CpIndex> =
-            set.into_iter().filter(|e| !structural.contains(e)).collect();
+        let mut entries: Vec<CpIndex> = set
+            .into_iter()
+            .filter(|e| !structural.contains(e))
+            .collect();
         entries.sort_unstable();
         in_method_union.extend(entries.iter().copied());
         method_entries.push(entries);
     }
 
-    let entry_size: HashMap<CpIndex, u32> =
-        class.constant_pool.iter().map(|(i, c)| (i, c.wire_size())).collect();
-    let size_of = |set: &HashSet<CpIndex>| -> u64 {
-        set.iter().map(|i| u64::from(entry_size[i])).sum()
-    };
+    let entry_size: HashMap<CpIndex, u32> = class
+        .constant_pool
+        .iter()
+        .map(|(i, c)| (i, c.wire_size()))
+        .collect();
+    let size_of =
+        |set: &HashSet<CpIndex>| -> u64 { set.iter().map(|i| u64::from(entry_size[i])).sum() };
 
     let in_methods = size_of(&in_method_union);
     let pool_total: u64 = u64::from(class.constant_pool.wire_size());
@@ -273,7 +286,10 @@ mod tests {
                 u64::from(class.global_data_size()),
                 "partition must cover global data exactly"
             );
-            assert!(p.needed_first > 0, "header and structure are always needed first");
+            assert!(
+                p.needed_first > 0,
+                "header and structure are always needed first"
+            );
         }
     }
 
@@ -321,6 +337,9 @@ mod tests {
         let s = summarize(&app, &parts);
         let total = s.pct_needed_first + s.pct_in_methods + s.pct_unused;
         assert!((total - 100.0).abs() < 1e-6, "{total}");
-        assert!(s.pct_in_methods > s.pct_needed_first, "most globals live in methods");
+        assert!(
+            s.pct_in_methods > s.pct_needed_first,
+            "most globals live in methods"
+        );
     }
 }

@@ -25,7 +25,10 @@ impl ClassLayout {
     /// The file position of source method `m`.
     #[must_use]
     pub fn position_of(&self, m: u16) -> usize {
-        self.file_order.iter().position(|&x| x == m).expect("method in layout")
+        self.file_order
+            .iter()
+            .position(|&x| x == m)
+            .expect("method in layout")
     }
 }
 
@@ -53,9 +56,14 @@ pub fn restructure(app: &Application, order: &FirstUseOrder) -> RestructuredApp 
         let file_order = order.class_layout(class_id);
         debug_assert_eq!(file_order.len(), class.methods.len());
         let mut rebuilt = class.clone();
-        rebuilt.methods =
-            file_order.iter().map(|&m| class.methods[m as usize].clone()).collect();
-        layouts.push(ClassLayout { class: class_id, file_order });
+        rebuilt.methods = file_order
+            .iter()
+            .map(|&m| class.methods[m as usize].clone())
+            .collect();
+        layouts.push(ClassLayout {
+            class: class_id,
+            file_order,
+        });
         classes.push(rebuilt);
     }
     RestructuredApp { layouts, classes }

@@ -41,8 +41,7 @@
 //!   the gap between strict and non-strict invocation latency the
 //!   paper's Table 4 measures.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::StdRng;
 
 use nonstrict_bytecode::builder::MethodBuilder;
 use nonstrict_bytecode::program::{Application, ClassDef, Program, StaticDef, WireScale};
@@ -144,7 +143,10 @@ pub struct GenSpec {
 /// guard rather than a user-facing error path.
 #[must_use]
 pub fn generate(spec: &GenSpec) -> Application {
-    assert!(spec.classes >= 2, "need a main class and at least one library class");
+    assert!(
+        spec.classes >= 2,
+        "need a main class and at least one library class"
+    );
     assert!(
         spec.methods >= spec.classes * 2 + spec.main_extra_methods,
         "need at least a driver and a worker per class plus main utilities"
@@ -170,7 +172,11 @@ pub fn generate(spec: &GenSpec) -> Application {
         shuffled.swap(i, j);
     }
     let mut fates = vec![
-        ClassFate { enable: ClassEnable::Live, hot: false, lazy_rep: 1 };
+        ClassFate {
+            enable: ClassEnable::Live,
+            hot: false,
+            lazy_rep: 1
+        };
         lib_classes
     ];
     let mut cursor = 0;
@@ -206,7 +212,9 @@ pub fn generate(spec: &GenSpec) -> Application {
     let mut classes = Vec::with_capacity(spec.classes);
     classes.push(build_main_class(spec, &plans, &mut rng, &mut names));
     for plan in &plans {
-        classes.push(build_library_class(spec, plan, &plans, &mut rng, &mut names));
+        classes.push(build_library_class(
+            spec, plan, &plans, &mut rng, &mut names,
+        ));
     }
 
     let main_name = classes[0].name.clone();
@@ -503,9 +511,7 @@ fn build_main_class(
         let both_live = plans[i].fate.enable == ClassEnable::Live
             && plans[i + 1].fate.enable == ClassEnable::Live;
         let free = |set: &std::collections::HashSet<usize>| {
-            !(set.contains(&i)
-                || set.contains(&(i + 1))
-                || (i > 0 && set.contains(&(i - 1))))
+            !(set.contains(&i) || set.contains(&(i + 1)) || (i > 0 && set.contains(&(i - 1))))
         };
         if both_live && free(&swap_at) && free(&trap_at) {
             if swap_at.len() < want_swaps {
@@ -554,7 +560,9 @@ fn build_main_class(
                 // if (mode == TRAIN) { B; A } else { A; B }
                 let l_swap = b.new_label();
                 let l_end = b.new_label();
-                b.iload(1).iconst(MODE_TRAIN as i32).if_icmp(Cond::Eq, l_swap);
+                b.iload(1)
+                    .iconst(MODE_TRAIN as i32)
+                    .if_icmp(Cond::Eq, l_swap);
                 setup_call(&mut b, &plans[i]);
                 setup_call(&mut b, &plans[i + 1]);
                 b.goto(l_end);
@@ -592,15 +600,32 @@ fn build_main_class(
     let head = b.new_label();
     let exit = b.new_label();
     b.bind(head);
-    b.iload(2).iconst(spec.phase2_reps as i32).if_icmp(Cond::Ge, exit);
+    b.iload(2)
+        .iconst(spec.phase2_reps as i32)
+        .if_icmp(Cond::Ge, exit);
     for p in plans.iter().filter(|p| p.fate.enable == ClassEnable::Lazy) {
         let skip = b.new_label();
-        b.iload(2).iconst(p.fate.lazy_rep as i32).if_icmp(Cond::Lt, skip);
-        b.iload(0).iload(1).iload(2).iconst(2).iadd().invoke(p.driver());
+        b.iload(2)
+            .iconst(p.fate.lazy_rep as i32)
+            .if_icmp(Cond::Lt, skip);
+        b.iload(0)
+            .iload(1)
+            .iload(2)
+            .iconst(2)
+            .iadd()
+            .invoke(p.driver());
         b.bind(skip);
     }
-    for p in plans.iter().filter(|p| p.fate.hot && p.fate.enable == ClassEnable::Live) {
-        b.iload(0).iload(1).iload(2).iconst(2).iadd().invoke(p.driver());
+    for p in plans
+        .iter()
+        .filter(|p| p.fate.hot && p.fate.enable == ClassEnable::Live)
+    {
+        b.iload(0)
+            .iload(1)
+            .iload(2)
+            .iconst(2)
+            .iadd()
+            .invoke(p.driver());
     }
     b.iinc(2, 1).goto(head);
     b.bind(exit);
@@ -628,7 +653,11 @@ fn build_main_class(
     let mut init = MethodBuilder::new("init", 0);
     init.ldc_str(format!("{} starting", spec.name));
     init.invoke_runtime(RuntimeFn::PrintString);
-    init.iconst(0).putstatic(0, 0).iconst(1).putstatic(0, 1).ret();
+    init.iconst(0)
+        .putstatic(0, 0)
+        .iconst(1)
+        .putstatic(0, 1)
+        .ret();
     let mut init = init.finish();
     init.line_entries = 3;
     class.add_method(init);
@@ -636,13 +665,16 @@ fn build_main_class(
     // Utility methods: fixed-trip loops (no scale dependence), sized by
     // the spec so the entry class file has realistic heft.
     for _ in 0..spec.main_extra_methods {
-        let target =
-            (spec.main_extra_avg_instrs as i64 + rng.gen_range(-8..=8)).max(12) as u32;
+        let target = (spec.main_extra_avg_instrs as i64 + rng.gen_range(-8..=8)).max(12) as u32;
         let mut u = MethodBuilder::new(names.method_name(rng), 1);
         u.returns_value();
         u.iload(0).istore(1);
         let lit = names.literal(rng, spec.literal_len as usize);
-        u.ldc_str(lit).invoke_runtime(RuntimeFn::HashCode).iload(1).iadd().istore(1);
+        u.ldc_str(lit)
+            .invoke_runtime(RuntimeFn::HashCode)
+            .iload(1)
+            .iadd()
+            .istore(1);
         let trips = rng.gen_range(3..20);
         u.iconst(trips).istore(2);
         let head = u.new_label();
@@ -691,7 +723,9 @@ fn build_library_class(
                 d.iconst(wp.scale_div).idiv();
             }
             d.invoke(plan.worker(w));
-            d.getstatic(plan.class_id(), 0).iadd().putstatic(plan.class_id(), 0);
+            d.getstatic(plan.class_id(), 0)
+                .iadd()
+                .putstatic(plan.class_id(), 0);
         };
         match wp.enable {
             Enable::Both => call(d),
@@ -725,7 +759,9 @@ fn build_library_class(
         if plan.intra_swaps.contains(&w) && w + 1 < plan.workers.len() {
             let l_swap = d.new_label();
             let l_end = d.new_label();
-            d.iload(1).iconst(MODE_TRAIN as i32).if_icmp(Cond::Eq, l_swap);
+            d.iload(1)
+                .iconst(MODE_TRAIN as i32)
+                .if_icmp(Cond::Eq, l_swap);
             emit_worker_call(&mut d, w, &plan.workers[w]);
             emit_worker_call(&mut d, w + 1, &plan.workers[w + 1]);
             d.goto(l_end);
@@ -809,12 +845,19 @@ fn build_library_class(
         }
         // Optional leaf call.
         if let Some((pc, pl)) = wp.leaf {
-            b.iload(1).invoke(plans[pc].leaf(pl)).iload(1).iadd().istore(1);
+            b.iload(1)
+                .invoke(plans[pc].leaf(pl))
+                .iload(1)
+                .iadd()
+                .istore(1);
         }
         // Touch a static (budget permitting).
         if wp.with_static {
             let f = rng.gen_range(0..plan.static_count);
-            b.getstatic(plan.class_id(), f).iload(1).iadd().putstatic(plan.class_id(), f);
+            b.getstatic(plan.class_id(), f)
+                .iload(1)
+                .iadd()
+                .putstatic(plan.class_id(), f);
         }
         b.iload(1).ireturn();
         let mut worker = b.finish();
@@ -831,7 +874,12 @@ fn build_library_class(
                 b.iload(0).iconst(rng.gen_range(3..40)).imul().ireturn();
             }
             1 => {
-                b.iload(0).iload(0).imul().iconst(rng.gen_range(1..9)).iadd().ireturn();
+                b.iload(0)
+                    .iload(0)
+                    .imul()
+                    .iconst(rng.gen_range(1..9))
+                    .iadd()
+                    .ireturn();
             }
             _ => {
                 b.iload(0).iconst(rng.gen_range(1..31)).ixor().ireturn();
@@ -938,11 +986,11 @@ pub struct NameGen {
 }
 
 const NOUNS: &[&str] = &[
-    "Node", "Table", "Buffer", "Parser", "Scanner", "Writer", "Reader", "Index", "Cache",
-    "Stream", "Token", "Symbol", "Frame", "Graph", "Entry", "Bucket", "Rule", "Fact", "Agenda",
-    "State", "Action", "Header", "Block", "Chunk", "Record", "Field", "Vector", "Matrix",
-    "Engine", "Filter", "Codec", "Packet", "Window", "Panel", "Event", "Queue", "Stack", "Pool",
-    "Config", "Context",
+    "Node", "Table", "Buffer", "Parser", "Scanner", "Writer", "Reader", "Index", "Cache", "Stream",
+    "Token", "Symbol", "Frame", "Graph", "Entry", "Bucket", "Rule", "Fact", "Agenda", "State",
+    "Action", "Header", "Block", "Chunk", "Record", "Field", "Vector", "Matrix", "Engine",
+    "Filter", "Codec", "Packet", "Window", "Panel", "Event", "Queue", "Stack", "Pool", "Config",
+    "Context",
 ];
 const PREFIXES: &[&str] = &[
     "Abstract", "Base", "Fast", "Lazy", "Hash", "Linked", "Sorted", "Packed", "Sparse", "Dense",
@@ -959,17 +1007,52 @@ const OBJECTS: &[&str] = &[
     "Range", "Span", "Slot", "Cell", "Key", "Value", "Edge", "Path", "Label",
 ];
 const WORDS: &[&str] = &[
-    "expected", "unexpected", "token", "while", "parsing", "input", "state", "table", "overflow",
-    "underflow", "invalid", "missing", "duplicate", "symbol", "rule", "fired", "agenda", "empty",
-    "eof", "reached", "bad", "magic", "header", "checksum", "mismatch", "stream", "closed",
-    "buffer", "full", "block", "size", "exceeds", "limit", "cannot", "resolve", "reference",
+    "expected",
+    "unexpected",
+    "token",
+    "while",
+    "parsing",
+    "input",
+    "state",
+    "table",
+    "overflow",
+    "underflow",
+    "invalid",
+    "missing",
+    "duplicate",
+    "symbol",
+    "rule",
+    "fired",
+    "agenda",
+    "empty",
+    "eof",
+    "reached",
+    "bad",
+    "magic",
+    "header",
+    "checksum",
+    "mismatch",
+    "stream",
+    "closed",
+    "buffer",
+    "full",
+    "block",
+    "size",
+    "exceeds",
+    "limit",
+    "cannot",
+    "resolve",
+    "reference",
 ];
 
 impl NameGen {
     /// Creates a generator for `package`.
     #[must_use]
     pub fn new(package: &str) -> Self {
-        NameGen { package: package.to_owned(), used: std::collections::HashSet::new() }
+        NameGen {
+            package: package.to_owned(),
+            used: std::collections::HashSet::new(),
+        }
     }
 
     /// A fresh class name like `bench/jess/HashRuleTable`.
@@ -1101,7 +1184,10 @@ mod tests {
         };
         let test_order = run(Input::Test);
         let train_order = run(Input::Train);
-        assert_ne!(test_order, train_order, "swap pairs should reorder first uses");
+        assert_ne!(
+            test_order, train_order,
+            "swap pairs should reorder first uses"
+        );
     }
 
     #[test]
@@ -1110,7 +1196,10 @@ mod tests {
         let mut interp = Interpreter::new(&app.program);
         interp.run(app.args(Input::Test), &mut ()).unwrap();
         let pct = interp.executed_static_percent();
-        assert!(pct < 95.0, "some classes and workers must stay dead, got {pct}");
+        assert!(
+            pct < 95.0,
+            "some classes and workers must stay dead, got {pct}"
+        );
         assert!(pct > 30.0, "most code should execute, got {pct}");
     }
 
@@ -1120,8 +1209,7 @@ mod tests {
         let mut interp = Interpreter::new(&app.program);
         let mut sink = first_use_stub::Collector::default();
         interp.run(app.args(Input::Test), &mut sink).unwrap();
-        let loaded: std::collections::HashSet<u16> =
-            sink.order.iter().map(|m| m.class.0).collect();
+        let loaded: std::collections::HashSet<u16> = sink.order.iter().map(|m| m.class.0).collect();
         assert!(
             loaded.len() < app.classes.len(),
             "dead-both classes must never load ({} of {})",

@@ -32,26 +32,74 @@ const SOLVER: u16 = 1;
 const DISPLAY: u16 = 2;
 
 // Applet methods.
-const M_INIT: MethodId = MethodId { class: nonstrict_bytecode::ClassId(APPLET), method: 1 };
-const M_START: MethodId = MethodId { class: nonstrict_bytecode::ClassId(APPLET), method: 2 };
-const M_REPORT: MethodId = MethodId { class: nonstrict_bytecode::ClassId(APPLET), method: 3 };
-const M_UPDATE: MethodId = MethodId { class: nonstrict_bytecode::ClassId(APPLET), method: 4 };
-const M_HANDLE_EVENT: MethodId = MethodId { class: nonstrict_bytecode::ClassId(APPLET), method: 5 };
+const M_INIT: MethodId = MethodId {
+    class: nonstrict_bytecode::ClassId(APPLET),
+    method: 1,
+};
+const M_START: MethodId = MethodId {
+    class: nonstrict_bytecode::ClassId(APPLET),
+    method: 2,
+};
+const M_REPORT: MethodId = MethodId {
+    class: nonstrict_bytecode::ClassId(APPLET),
+    method: 3,
+};
+const M_UPDATE: MethodId = MethodId {
+    class: nonstrict_bytecode::ClassId(APPLET),
+    method: 4,
+};
+const M_HANDLE_EVENT: MethodId = MethodId {
+    class: nonstrict_bytecode::ClassId(APPLET),
+    method: 5,
+};
 
 // Solver methods.
-const S_SETUP: MethodId = MethodId { class: nonstrict_bytecode::ClassId(SOLVER), method: 0 };
-const S_SOLVE: MethodId = MethodId { class: nonstrict_bytecode::ClassId(SOLVER), method: 1 };
-const S_MOVE: MethodId = MethodId { class: nonstrict_bytecode::ClassId(SOLVER), method: 2 };
-const S_VALIDATE: MethodId = MethodId { class: nonstrict_bytecode::ClassId(SOLVER), method: 3 };
-const S_COUNT: MethodId = MethodId { class: nonstrict_bytecode::ClassId(SOLVER), method: 4 };
+const S_SETUP: MethodId = MethodId {
+    class: nonstrict_bytecode::ClassId(SOLVER),
+    method: 0,
+};
+const S_SOLVE: MethodId = MethodId {
+    class: nonstrict_bytecode::ClassId(SOLVER),
+    method: 1,
+};
+const S_MOVE: MethodId = MethodId {
+    class: nonstrict_bytecode::ClassId(SOLVER),
+    method: 2,
+};
+const S_VALIDATE: MethodId = MethodId {
+    class: nonstrict_bytecode::ClassId(SOLVER),
+    method: 3,
+};
+const S_COUNT: MethodId = MethodId {
+    class: nonstrict_bytecode::ClassId(SOLVER),
+    method: 4,
+};
 
 // Display methods.
-const D_DRAW_MOVE: MethodId = MethodId { class: nonstrict_bytecode::ClassId(DISPLAY), method: 0 };
-const D_SET_COLOR: MethodId = MethodId { class: nonstrict_bytecode::ClassId(DISPLAY), method: 1 };
-const D_DRAW_PEG: MethodId = MethodId { class: nonstrict_bytecode::ClassId(DISPLAY), method: 2 };
-const D_DRAW_DISK: MethodId = MethodId { class: nonstrict_bytecode::ClassId(DISPLAY), method: 3 };
-const D_FLUSH: MethodId = MethodId { class: nonstrict_bytecode::ClassId(DISPLAY), method: 4 };
-const D_REPAINT_ALL: MethodId = MethodId { class: nonstrict_bytecode::ClassId(DISPLAY), method: 5 };
+const D_DRAW_MOVE: MethodId = MethodId {
+    class: nonstrict_bytecode::ClassId(DISPLAY),
+    method: 0,
+};
+const D_SET_COLOR: MethodId = MethodId {
+    class: nonstrict_bytecode::ClassId(DISPLAY),
+    method: 1,
+};
+const D_DRAW_PEG: MethodId = MethodId {
+    class: nonstrict_bytecode::ClassId(DISPLAY),
+    method: 2,
+};
+const D_DRAW_DISK: MethodId = MethodId {
+    class: nonstrict_bytecode::ClassId(DISPLAY),
+    method: 3,
+};
+const D_FLUSH: MethodId = MethodId {
+    class: nonstrict_bytecode::ClassId(DISPLAY),
+    method: 4,
+};
+const D_REPAINT_ALL: MethodId = MethodId {
+    class: nonstrict_bytecode::ClassId(DISPLAY),
+    method: 5,
+};
 
 fn applet_class() -> ClassDef {
     let mut c = ClassDef::new("hanoi/HanoiApplet");
@@ -77,7 +125,8 @@ fn applet_class() -> ClassDef {
 
     // init(): banner + state
     let mut b = MethodBuilder::new("init", 0);
-    b.ldc_str("Towers of Hanoi").invoke_runtime(RuntimeFn::PrintString);
+    b.ldc_str("Towers of Hanoi")
+        .invoke_runtime(RuntimeFn::PrintString);
     b.iconst(1).putstatic(APPLET, 0);
     b.ret();
     c.add_method(b.finish());
@@ -238,7 +287,8 @@ fn solver_class() -> ClassDef {
         }
         c.add_method(b.finish());
     }
-    c.unused_strings.push("cannot move larger disk onto smaller".to_owned());
+    c.unused_strings
+        .push("cannot move larger disk onto smaller".to_owned());
     c
 }
 
@@ -274,18 +324,30 @@ fn display_class() -> ClassDef {
     // drawPeg(p)
     let mut b = MethodBuilder::new("drawPeg", 1);
     b.returns_value();
-    b.iload(0).iconst(40).imul().getstatic(DISPLAY, 0).iadd().ireturn();
+    b.iload(0)
+        .iconst(40)
+        .imul()
+        .getstatic(DISPLAY, 0)
+        .iadd()
+        .ireturn();
     c.add_method(b.finish());
 
     // drawDisk(d)
     let mut b = MethodBuilder::new("drawDisk", 1);
     b.returns_value();
-    b.iload(0).invoke_runtime(RuntimeFn::Abs).iconst(12).imul().ireturn();
+    b.iload(0)
+        .invoke_runtime(RuntimeFn::Abs)
+        .iconst(12)
+        .imul()
+        .ireturn();
     c.add_method(b.finish());
 
     // flushFrame()
     let mut b = MethodBuilder::new("flushFrame", 0);
-    b.getstatic(DISPLAY, 1).iconst(1).iadd().putstatic(DISPLAY, 1);
+    b.getstatic(DISPLAY, 1)
+        .iconst(1)
+        .iadd()
+        .putstatic(DISPLAY, 1);
     b.ret();
     c.add_method(b.finish());
 
@@ -309,10 +371,32 @@ fn display_class() -> ClassDef {
     // (chained from paintFrame); the last 5 are dead chrome referenced
     // only from the dead dispatcher, so SCG still sees their edges.
     let names = [
-        "drawBase", "drawLabel", "drawTitle", "drawBorder", "clearRect", "fillRect",
-        "drawLineH", "drawLineV", "drawShadow", "drawGlyph", "measureText", "centerText",
-        "scaleX", "scaleY", "clipTo", "unclip", "blit", "swapBuffers", "syncVert",
-        "gammaFix", "ditherCell", "packRgb", "unpackRgb", "blend", "darken", "lighten",
+        "drawBase",
+        "drawLabel",
+        "drawTitle",
+        "drawBorder",
+        "clearRect",
+        "fillRect",
+        "drawLineH",
+        "drawLineV",
+        "drawShadow",
+        "drawGlyph",
+        "measureText",
+        "centerText",
+        "scaleX",
+        "scaleY",
+        "clipTo",
+        "unclip",
+        "blit",
+        "swapBuffers",
+        "syncVert",
+        "gammaFix",
+        "ditherCell",
+        "packRgb",
+        "unpackRgb",
+        "blend",
+        "darken",
+        "lighten",
     ];
     let live_helpers = 21;
     for (i, name) in names.iter().enumerate() {
@@ -323,7 +407,12 @@ fn display_class() -> ClassDef {
                 b.iload(0).iconst(3 + i as i32).imul().ireturn();
             }
             1 => {
-                b.iload(0).iconst(1 + i as i32).iadd().getstatic(DISPLAY, 0).ixor().ireturn();
+                b.iload(0)
+                    .iconst(1 + i as i32)
+                    .iadd()
+                    .getstatic(DISPLAY, 0)
+                    .ixor()
+                    .ireturn();
             }
             2 => {
                 b.iload(0).iconst(1).ishl().ireturn();
@@ -340,7 +429,9 @@ fn display_class() -> ClassDef {
     let mut d = MethodBuilder::new("dispatchPaint", 1);
     d.returns_value();
     for i in live_helpers..names.len() {
-        d.iload(0).invoke(MethodId::new(DISPLAY, (6 + i) as u16)).pop();
+        d.iload(0)
+            .invoke(MethodId::new(DISPLAY, (6 + i) as u16))
+            .pop();
     }
     d.iload(0).ireturn();
     c.add_method(d.finish());
@@ -350,7 +441,9 @@ fn display_class() -> ClassDef {
     p.returns_value();
     p.iload(0).istore(1);
     for i in 0..live_helpers {
-        p.iload(1).invoke(MethodId::new(DISPLAY, (6 + i) as u16)).istore(1);
+        p.iload(1)
+            .invoke(MethodId::new(DISPLAY, (6 + i) as u16))
+            .istore(1);
     }
     p.iload(1).ireturn();
     c.add_method(p.finish());

@@ -30,14 +30,14 @@ pub mod hanoi;
 pub mod javacup;
 pub mod jess;
 pub mod jhlzip;
+pub mod rng;
 pub mod stats;
 pub mod testdes;
 
 use nonstrict_bytecode::Application;
 
 /// Names of all six benchmarks, in the paper's table order.
-pub const BENCHMARK_NAMES: [&str; 6] =
-    ["BIT", "Hanoi", "JavaCup", "Jess", "JHLZip", "TestDes"];
+pub const BENCHMARK_NAMES: [&str; 6] = ["BIT", "Hanoi", "JavaCup", "Jess", "JHLZip", "TestDes"];
 
 /// Builds all six benchmarks, in the paper's table order.
 ///

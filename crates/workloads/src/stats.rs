@@ -165,7 +165,9 @@ pub fn table2_row(app: &Application) -> Table2Row {
 /// The paper row matching `name`, if any.
 #[must_use]
 pub fn paper_row(name: &str) -> Option<&'static PaperRow> {
-    PAPER_TABLE2.iter().find(|r| r.name.eq_ignore_ascii_case(name))
+    PAPER_TABLE2
+        .iter()
+        .find(|r| r.name.eq_ignore_ascii_case(name))
 }
 
 #[cfg(test)]

@@ -35,47 +35,149 @@ const TABLES: u16 = 2;
 // Main methods (the entry class is essentially one giant `main` plus a
 // tiny `report`, which is why TestDes sees almost no latency benefit
 // from non-strict execution in the paper's Table 4).
-const M_REPORT: MethodId = MethodId { class: nonstrict_bytecode::ClassId(MAIN), method: 1 };
+const M_REPORT: MethodId = MethodId {
+    class: nonstrict_bytecode::ClassId(MAIN),
+    method: 1,
+};
 
 // Driver helpers live in the Des class (methods 20..=27).
-const M_MAKE_MESSAGE: MethodId = MethodId { class: nonstrict_bytecode::ClassId(DES), method: 20 };
-const M_RUN_ENCRYPT: MethodId = MethodId { class: nonstrict_bytecode::ClassId(DES), method: 21 };
-const M_RUN_DECRYPT: MethodId = MethodId { class: nonstrict_bytecode::ClassId(DES), method: 22 };
-const M_CHECK_EQUAL: MethodId = MethodId { class: nonstrict_bytecode::ClassId(DES), method: 23 };
-const M_MIX_SEED: MethodId = MethodId { class: nonstrict_bytecode::ClassId(DES), method: 24 };
-const M_PAD_LENGTH: MethodId = MethodId { class: nonstrict_bytecode::ClassId(DES), method: 25 };
-const M_FILL_BLOCK: MethodId = MethodId { class: nonstrict_bytecode::ClassId(DES), method: 26 };
-const M_SELF_TEST: MethodId = MethodId { class: nonstrict_bytecode::ClassId(DES), method: 27 };
+const M_MAKE_MESSAGE: MethodId = MethodId {
+    class: nonstrict_bytecode::ClassId(DES),
+    method: 20,
+};
+const M_RUN_ENCRYPT: MethodId = MethodId {
+    class: nonstrict_bytecode::ClassId(DES),
+    method: 21,
+};
+const M_RUN_DECRYPT: MethodId = MethodId {
+    class: nonstrict_bytecode::ClassId(DES),
+    method: 22,
+};
+const M_CHECK_EQUAL: MethodId = MethodId {
+    class: nonstrict_bytecode::ClassId(DES),
+    method: 23,
+};
+const M_MIX_SEED: MethodId = MethodId {
+    class: nonstrict_bytecode::ClassId(DES),
+    method: 24,
+};
+const M_PAD_LENGTH: MethodId = MethodId {
+    class: nonstrict_bytecode::ClassId(DES),
+    method: 25,
+};
+const M_FILL_BLOCK: MethodId = MethodId {
+    class: nonstrict_bytecode::ClassId(DES),
+    method: 26,
+};
+const M_SELF_TEST: MethodId = MethodId {
+    class: nonstrict_bytecode::ClassId(DES),
+    method: 27,
+};
 
 // Des methods.
-const D_INIT: MethodId = MethodId { class: nonstrict_bytecode::ClassId(DES), method: 0 };
-const D_KEY_SCHEDULE: MethodId = MethodId { class: nonstrict_bytecode::ClassId(DES), method: 1 };
-const D_ROT28: MethodId = MethodId { class: nonstrict_bytecode::ClassId(DES), method: 2 };
-const D_PC2_PICK: MethodId = MethodId { class: nonstrict_bytecode::ClassId(DES), method: 3 };
-const D_SBOX_AT: MethodId = MethodId { class: nonstrict_bytecode::ClassId(DES), method: 4 };
-const D_F: MethodId = MethodId { class: nonstrict_bytecode::ClassId(DES), method: 5 };
-const D_EXPAND: MethodId = MethodId { class: nonstrict_bytecode::ClassId(DES), method: 6 };
-const D_PERMUTE_P: MethodId = MethodId { class: nonstrict_bytecode::ClassId(DES), method: 7 };
-const D_IP: MethodId = MethodId { class: nonstrict_bytecode::ClassId(DES), method: 8 };
-const D_FP: MethodId = MethodId { class: nonstrict_bytecode::ClassId(DES), method: 9 };
-const D_ENCRYPT: MethodId = MethodId { class: nonstrict_bytecode::ClassId(DES), method: 10 };
-const D_DECRYPT: MethodId = MethodId { class: nonstrict_bytecode::ClassId(DES), method: 11 };
-const D_SET_BLOCK: MethodId = MethodId { class: nonstrict_bytecode::ClassId(DES), method: 12 };
-const D_GET_L: MethodId = MethodId { class: nonstrict_bytecode::ClassId(DES), method: 13 };
-const D_GET_R: MethodId = MethodId { class: nonstrict_bytecode::ClassId(DES), method: 14 };
-const D_ROUND: MethodId = MethodId { class: nonstrict_bytecode::ClassId(DES), method: 15 };
-const D_ROUND_KEY: MethodId = MethodId { class: nonstrict_bytecode::ClassId(DES), method: 16 };
-const D_SWAP: MethodId = MethodId { class: nonstrict_bytecode::ClassId(DES), method: 17 };
-const D_PERM_BITS: MethodId = MethodId { class: nonstrict_bytecode::ClassId(DES), method: 18 };
-const D_WEAK_CHECK: MethodId = MethodId { class: nonstrict_bytecode::ClassId(DES), method: 19 };
+const D_INIT: MethodId = MethodId {
+    class: nonstrict_bytecode::ClassId(DES),
+    method: 0,
+};
+const D_KEY_SCHEDULE: MethodId = MethodId {
+    class: nonstrict_bytecode::ClassId(DES),
+    method: 1,
+};
+const D_ROT28: MethodId = MethodId {
+    class: nonstrict_bytecode::ClassId(DES),
+    method: 2,
+};
+const D_PC2_PICK: MethodId = MethodId {
+    class: nonstrict_bytecode::ClassId(DES),
+    method: 3,
+};
+const D_SBOX_AT: MethodId = MethodId {
+    class: nonstrict_bytecode::ClassId(DES),
+    method: 4,
+};
+const D_F: MethodId = MethodId {
+    class: nonstrict_bytecode::ClassId(DES),
+    method: 5,
+};
+const D_EXPAND: MethodId = MethodId {
+    class: nonstrict_bytecode::ClassId(DES),
+    method: 6,
+};
+const D_PERMUTE_P: MethodId = MethodId {
+    class: nonstrict_bytecode::ClassId(DES),
+    method: 7,
+};
+const D_IP: MethodId = MethodId {
+    class: nonstrict_bytecode::ClassId(DES),
+    method: 8,
+};
+const D_FP: MethodId = MethodId {
+    class: nonstrict_bytecode::ClassId(DES),
+    method: 9,
+};
+const D_ENCRYPT: MethodId = MethodId {
+    class: nonstrict_bytecode::ClassId(DES),
+    method: 10,
+};
+const D_DECRYPT: MethodId = MethodId {
+    class: nonstrict_bytecode::ClassId(DES),
+    method: 11,
+};
+const D_SET_BLOCK: MethodId = MethodId {
+    class: nonstrict_bytecode::ClassId(DES),
+    method: 12,
+};
+const D_GET_L: MethodId = MethodId {
+    class: nonstrict_bytecode::ClassId(DES),
+    method: 13,
+};
+const D_GET_R: MethodId = MethodId {
+    class: nonstrict_bytecode::ClassId(DES),
+    method: 14,
+};
+const D_ROUND: MethodId = MethodId {
+    class: nonstrict_bytecode::ClassId(DES),
+    method: 15,
+};
+const D_ROUND_KEY: MethodId = MethodId {
+    class: nonstrict_bytecode::ClassId(DES),
+    method: 16,
+};
+const D_SWAP: MethodId = MethodId {
+    class: nonstrict_bytecode::ClassId(DES),
+    method: 17,
+};
+const D_PERM_BITS: MethodId = MethodId {
+    class: nonstrict_bytecode::ClassId(DES),
+    method: 18,
+};
+const D_WEAK_CHECK: MethodId = MethodId {
+    class: nonstrict_bytecode::ClassId(DES),
+    method: 19,
+};
 
 // Tables methods.
-const T_INIT_ALL: MethodId = MethodId { class: nonstrict_bytecode::ClassId(TABLES), method: 0 };
+const T_INIT_ALL: MethodId = MethodId {
+    class: nonstrict_bytecode::ClassId(TABLES),
+    method: 0,
+};
 // initSbox{0..7}{a,b} occupy methods 1..=16.
-const T_INIT_PERM: MethodId = MethodId { class: nonstrict_bytecode::ClassId(TABLES), method: 17 };
-const T_INIT_IPERM: MethodId = MethodId { class: nonstrict_bytecode::ClassId(TABLES), method: 18 };
-const T_INIT_E: MethodId = MethodId { class: nonstrict_bytecode::ClassId(TABLES), method: 19 };
-const T_INIT_PC: MethodId = MethodId { class: nonstrict_bytecode::ClassId(TABLES), method: 20 };
+const T_INIT_PERM: MethodId = MethodId {
+    class: nonstrict_bytecode::ClassId(TABLES),
+    method: 17,
+};
+const T_INIT_IPERM: MethodId = MethodId {
+    class: nonstrict_bytecode::ClassId(TABLES),
+    method: 18,
+};
+const T_INIT_E: MethodId = MethodId {
+    class: nonstrict_bytecode::ClassId(TABLES),
+    method: 19,
+};
+const T_INIT_PC: MethodId = MethodId {
+    class: nonstrict_bytecode::ClassId(TABLES),
+    method: 20,
+};
 
 // Des statics.
 const DS_L: u16 = 0;
@@ -129,12 +231,18 @@ fn main_class() -> ClassDef {
     // blocks = padLength(blocks)
     b.iload(0).invoke(M_PAD_LENGTH).istore(0);
     // msg = makeMessage(2*blocks); enc/dec arrays same size
-    b.iload(0).iconst(2).imul().invoke(M_MAKE_MESSAGE).putstatic(MAIN, 0);
+    b.iload(0)
+        .iconst(2)
+        .imul()
+        .invoke(M_MAKE_MESSAGE)
+        .putstatic(MAIN, 0);
     b.iload(0).iconst(2).imul().newarray().putstatic(MAIN, 1);
     b.iload(0).iconst(2).imul().newarray().putstatic(MAIN, 2);
     let train_path = b.new_label();
     let done = b.new_label();
-    b.iload(1).iconst(crate::appgen::MODE_TEST as i32).if_icmp(Cond::Ne, train_path);
+    b.iload(1)
+        .iconst(crate::appgen::MODE_TEST as i32)
+        .if_icmp(Cond::Ne, train_path);
     // Test: self-test first, then encrypt, decrypt, verify
     b.invoke(M_SELF_TEST).pop();
     b.iload(0).invoke(M_RUN_ENCRYPT);
@@ -159,7 +267,8 @@ fn main_class() -> ClassDef {
     b.line_entries(8);
     c.add_method(b.finish());
 
-    c.unused_strings.push("usage: java TestDes <text>".to_owned());
+    c.unused_strings
+        .push("usage: java TestDes <text>".to_owned());
     c
 }
 
@@ -183,7 +292,9 @@ fn des_class() -> ClassDef {
     // never -1), leaving a statically visible but dead call edge.
     let mut b = MethodBuilder::new("init", 0);
     b.invoke(T_INIT_ALL);
-    b.iconst(0x1337_BEEF_u32 as i32).iconst(0x0BAD_F00D).invoke(D_KEY_SCHEDULE);
+    b.iconst(0x1337_BEEF_u32 as i32)
+        .iconst(0x0BAD_F00D)
+        .invoke(D_KEY_SCHEDULE);
     let skip = b.new_label();
     b.getstatic(DES, DS_K).iconst(-1).if_icmp(Cond::Ne, skip);
     b.iconst(1).iconst(2).invoke(D_WEAK_CHECK).pop();
@@ -227,7 +338,13 @@ fn des_class() -> ClassDef {
     // pc2pick(k1, k2): compress two halves into a round key
     let mut b = MethodBuilder::new("pc2pick", 2);
     b.returns_value();
-    b.iload(0).iconst(6).ishl().iload(1).iconst(9).iushr().ixor();
+    b.iload(0)
+        .iconst(6)
+        .ishl()
+        .iload(1)
+        .iconst(9)
+        .iushr()
+        .ixor();
     b.iload(0).iconst(11).iushr().ixor();
     b.iload(1).ixor().ireturn();
     b.line_entries(40);
@@ -260,7 +377,13 @@ fn des_class() -> ClassDef {
     b.iload(4).iconst(8).if_icmp(Cond::Ge, exit);
     // acc ^= sboxAt(i, (x >>> (4*i)) & 63) rotl' i*4
     b.iload(4);
-    b.iload(2).iload(4).iconst(4).imul().iushr().iconst(63).iand();
+    b.iload(2)
+        .iload(4)
+        .iconst(4)
+        .imul()
+        .iushr()
+        .iconst(63)
+        .iand();
     b.invoke(D_SBOX_AT);
     b.iload(4).iconst(4).imul().ishl();
     b.iload(3).ixor().istore(3);
@@ -278,7 +401,13 @@ fn des_class() -> ClassDef {
     for i in 0..48 {
         let tap = (i * 5 + 3) % 31;
         let slot = i % 28;
-        b.iload(0).iconst(tap).iushr().iconst(0x33).iand().iconst(slot).ishl();
+        b.iload(0)
+            .iconst(tap)
+            .iushr()
+            .iconst(0x33)
+            .iand()
+            .iconst(slot)
+            .ishl();
         b.iload(1).ixor().istore(1);
     }
     b.iload(1).iload(0).ixor().ireturn();
@@ -292,7 +421,13 @@ fn des_class() -> ClassDef {
     for i in 0..32 {
         let tap = (i * 7 + 1) % 31;
         let slot = (i * 2) % 31;
-        b.iload(0).iconst(tap).iushr().iconst(3).iand().iconst(slot).ishl();
+        b.iload(0)
+            .iconst(tap)
+            .iushr()
+            .iconst(3)
+            .iand()
+            .iconst(slot)
+            .ishl();
         b.iload(1).ior().istore(1);
     }
     b.iload(1).iload(0).iconst(1).ishl().ixor().ireturn();
@@ -413,10 +548,22 @@ fn des_class() -> ClassDef {
     let from_l = b.new_label();
     let have_bit = b.new_label();
     b.iload(4).iconst(32).if_icmp(Cond::Ge, from_l);
-    b.getstatic(DES, DS_R).iload(4).iushr().iconst(1).iand().istore(5);
+    b.getstatic(DES, DS_R)
+        .iload(4)
+        .iushr()
+        .iconst(1)
+        .iand()
+        .istore(5);
     b.goto(have_bit);
     b.bind(from_l);
-    b.getstatic(DES, DS_L).iload(4).iconst(32).isub().iushr().iconst(1).iand().istore(5);
+    b.getstatic(DES, DS_L)
+        .iload(4)
+        .iconst(32)
+        .isub()
+        .iushr()
+        .iconst(1)
+        .iand()
+        .istore(5);
     b.bind(have_bit);
     // place at j: j<32 -> outR, else outL
     let to_l = b.new_label();
@@ -425,7 +572,14 @@ fn des_class() -> ClassDef {
     b.iload(5).iload(3).ishl().iload(2).ior().istore(2);
     b.goto(placed);
     b.bind(to_l);
-    b.iload(5).iload(3).iconst(32).isub().ishl().iload(1).ior().istore(1);
+    b.iload(5)
+        .iload(3)
+        .iconst(32)
+        .isub()
+        .ishl()
+        .iload(1)
+        .ior()
+        .istore(1);
     b.bind(placed);
     b.iinc(3, 1).goto(head);
     b.bind(exit);
@@ -441,7 +595,11 @@ fn des_class() -> ClassDef {
     b.returns_value();
     let bad = b.new_label();
     b.iload(0).iload(1).if_icmp(Cond::Eq, bad);
-    b.iload(0).iload(1).ixor().iconst(0x0F0F_0F0F).if_icmp(Cond::Eq, bad);
+    b.iload(0)
+        .iload(1)
+        .ixor()
+        .iconst(0x0F0F_0F0F)
+        .if_icmp(Cond::Eq, bad);
     b.iconst(0).ireturn();
     b.bind(bad);
     b.iconst(1).ireturn();
@@ -460,7 +618,10 @@ fn des_class() -> ClassDef {
     b.bind(head);
     b.iload(2).iload(0).if_icmp(Cond::Ge, exit);
     b.iload(1).iload(2);
-    b.getstatic(MAIN, 3).invoke(M_MIX_SEED).dup().putstatic(MAIN, 3);
+    b.getstatic(MAIN, 3)
+        .invoke(M_MIX_SEED)
+        .dup()
+        .putstatic(MAIN, 3);
     b.iastore();
     b.iinc(2, 1).goto(head);
     b.bind(exit);
@@ -477,8 +638,20 @@ fn des_class() -> ClassDef {
     b.iload(1).iload(0).if_icmp(Cond::Ge, exit);
     b.getstatic(MAIN, 0).iload(1).invoke(M_FILL_BLOCK);
     b.invoke(D_ENCRYPT);
-    b.getstatic(MAIN, 1).iload(1).iconst(2).imul().invoke(D_GET_L).iastore();
-    b.getstatic(MAIN, 1).iload(1).iconst(2).imul().iconst(1).iadd().invoke(D_GET_R).iastore();
+    b.getstatic(MAIN, 1)
+        .iload(1)
+        .iconst(2)
+        .imul()
+        .invoke(D_GET_L)
+        .iastore();
+    b.getstatic(MAIN, 1)
+        .iload(1)
+        .iconst(2)
+        .imul()
+        .iconst(1)
+        .iadd()
+        .invoke(D_GET_R)
+        .iastore();
     b.iinc(1, 1).goto(head);
     b.bind(exit);
     b.ret();
@@ -494,8 +667,20 @@ fn des_class() -> ClassDef {
     b.iload(1).iload(0).if_icmp(Cond::Ge, exit);
     b.getstatic(MAIN, 1).iload(1).invoke(M_FILL_BLOCK);
     b.invoke(D_DECRYPT);
-    b.getstatic(MAIN, 2).iload(1).iconst(2).imul().invoke(D_GET_L).iastore();
-    b.getstatic(MAIN, 2).iload(1).iconst(2).imul().iconst(1).iadd().invoke(D_GET_R).iastore();
+    b.getstatic(MAIN, 2)
+        .iload(1)
+        .iconst(2)
+        .imul()
+        .invoke(D_GET_L)
+        .iastore();
+    b.getstatic(MAIN, 2)
+        .iload(1)
+        .iconst(2)
+        .imul()
+        .iconst(1)
+        .iadd()
+        .invoke(D_GET_R)
+        .iastore();
     b.iinc(1, 1).goto(head);
     b.bind(exit);
     b.ret();
@@ -545,7 +730,13 @@ fn des_class() -> ClassDef {
     // fillBlock(arr, i): L = arr[2i], R = arr[2i+1]
     let mut b = MethodBuilder::new("fillBlock", 2);
     b.iload(0).iload(1).iconst(2).imul().iaload();
-    b.iload(0).iload(1).iconst(2).imul().iconst(1).iadd().iaload();
+    b.iload(0)
+        .iload(1)
+        .iconst(2)
+        .imul()
+        .iconst(1)
+        .iadd()
+        .iaload();
     b.invoke(D_SET_BLOCK);
     b.ret();
     b.line_entries(40);
@@ -554,7 +745,9 @@ fn des_class() -> ClassDef {
     // selfTest(): one known block round-trips
     let mut b = MethodBuilder::new("selfTest", 0);
     b.returns_value();
-    b.iconst(0x0123_4567).iconst(0x89AB_CDEF_u32 as i32).invoke(D_SET_BLOCK);
+    b.iconst(0x0123_4567)
+        .iconst(0x89AB_CDEF_u32 as i32)
+        .invoke(D_SET_BLOCK);
     b.invoke(D_ENCRYPT);
     b.invoke(D_GET_L).istore(0);
     b.invoke(D_GET_R).istore(1);
@@ -562,7 +755,9 @@ fn des_class() -> ClassDef {
     b.invoke(D_DECRYPT);
     let bad = b.new_label();
     b.invoke(D_GET_L).iconst(0x0123_4567).if_icmp(Cond::Ne, bad);
-    b.invoke(D_GET_R).iconst(0x89AB_CDEF_u32 as i32).if_icmp(Cond::Ne, bad);
+    b.invoke(D_GET_R)
+        .iconst(0x89AB_CDEF_u32 as i32)
+        .if_icmp(Cond::Ne, bad);
     b.iconst(1).ireturn();
     b.bind(bad);
     b.iconst(0).ireturn();
@@ -658,7 +853,10 @@ fn tables_class() -> ClassDef {
     let mut b = MethodBuilder::new("initE", 0);
     b.iconst(48).newarray().putstatic(TABLES, TS_E);
     for j in 0..48i32 {
-        b.getstatic(TABLES, TS_E).iconst(j).iconst((j * 31 + 7) % 32).iastore();
+        b.getstatic(TABLES, TS_E)
+            .iconst(j)
+            .iconst((j * 31 + 7) % 32)
+            .iastore();
     }
     b.ret();
     b.line_entries(140);
@@ -668,7 +866,10 @@ fn tables_class() -> ClassDef {
     let mut b = MethodBuilder::new("initPC", 0);
     b.iconst(56).newarray().putstatic(TABLES, TS_PC);
     for j in 0..56i32 {
-        b.getstatic(TABLES, TS_PC).iconst(j).iconst((j * 23 + 3) % 56).iastore();
+        b.getstatic(TABLES, TS_PC)
+            .iconst(j)
+            .iconst((j * 23 + 3) % 56)
+            .iastore();
     }
     b.ret();
     b.line_entries(150);
@@ -730,7 +931,11 @@ mod tests {
         for input in [Input::Test, Input::Train] {
             let mut interp = Interpreter::new(&app.program);
             interp.run(app.args(input), &mut ()).unwrap();
-            assert_eq!(interp.output(), &[1], "{input}: decrypt(encrypt(msg)) != msg");
+            assert_eq!(
+                interp.output(),
+                &[1],
+                "{input}: decrypt(encrypt(msg)) != msg"
+            );
         }
     }
 
@@ -754,7 +959,10 @@ mod tests {
             let mut interp = Interpreter::new(&app.program);
             interp.run(app.args(input), &mut ()).unwrap();
             let got = interp.executed() as f64;
-            assert!((got - target).abs() / target < 0.10, "{input}: {got} vs {target}");
+            assert!(
+                (got - target).abs() / target < 0.10,
+                "{input}: {got} vs {target}"
+            );
         }
     }
 
@@ -764,7 +972,10 @@ mod tests {
         let mut interp = Interpreter::new(&app.program);
         interp.run(app.args(Input::Test), &mut ()).unwrap();
         let pct = interp.executed_static_percent();
-        assert!(pct > 90.0, "TestDes should execute nearly everything, got {pct}");
+        assert!(
+            pct > 90.0,
+            "TestDes should execute nearly everything, got {pct}"
+        );
     }
 }
 

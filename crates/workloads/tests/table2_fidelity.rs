@@ -43,5 +43,9 @@ fn table2_rows_track_the_paper() {
         check("% executed", got.executed_pct, want.executed_pct, 0.20);
         check("static K", got.static_k, want.static_k, 0.35);
     }
-    assert!(failures.is_empty(), "fidelity failures:\n{}", failures.join("\n"));
+    assert!(
+        failures.is_empty(),
+        "fidelity failures:\n{}",
+        failures.join("\n")
+    );
 }

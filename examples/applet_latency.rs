@@ -35,7 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let name = app.name.clone();
         let session = Session::new(app)?;
         for (label, bps) in bandwidths {
-            let link = Link::from_bandwidth(bps, CPU_HZ);
+            let link = Link::from_bandwidth(bps, CPU_HZ)?;
             let strict = session.simulate(Input::Test, &SimConfig::strict(link));
             let ns_cfg = SimConfig::non_strict(link, OrderingSource::StaticCallGraph);
             let ns = session.simulate(Input::Test, &ns_cfg);

@@ -16,7 +16,9 @@ use nonstrict::netsim::Link;
 use nonstrict_bytecode::Input;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "jhlzip".to_owned());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "jhlzip".to_owned());
     let app = nonstrict::workloads::build_by_name(&name)
         .ok_or_else(|| format!("unknown benchmark {name:?}"))?;
     println!(
@@ -28,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let links = [
         ("28.8K modem", Link::MODEM_28_8),
         ("T1", Link::T1),
-        ("LAN 10M", Link::from_bandwidth(10_000_000, 500_000_000)),
+        (
+            "LAN 10M",
+            Link::from_bandwidth(10_000_000, 500_000_000).expect("nonzero bandwidth"),
+        ),
     ];
     let costs = [500u64, 2_000, 20_000];
 
@@ -43,14 +48,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 Input::Test,
                 link,
                 OrderingSource::TrainProfile,
-                &JitConfig { cycles_per_code_byte: cost, strategy: JitStrategy::AtFirstUse },
+                &JitConfig {
+                    cycles_per_code_byte: cost,
+                    strategy: JitStrategy::AtFirstUse,
+                },
             );
             let overlapped = simulate_jit(
                 &session,
                 Input::Test,
                 link,
                 OrderingSource::TrainProfile,
-                &JitConfig { cycles_per_code_byte: cost, strategy: JitStrategy::Overlapped },
+                &JitConfig {
+                    cycles_per_code_byte: cost,
+                    strategy: JitStrategy::Overlapped,
+                },
             );
             let hidden = inline.total_cycles.saturating_sub(overlapped.total_cycles);
             println!(

@@ -12,18 +12,30 @@ use nonstrict_bytecode::Input;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let name = std::env::args().nth(1).unwrap_or_else(|| "jess".to_owned());
-    let app = nonstrict::workloads::build_by_name(&name)
-        .ok_or_else(|| format!("unknown benchmark {name:?}; try one of {:?}", nonstrict::workloads::BENCHMARK_NAMES))?;
+    let app = nonstrict::workloads::build_by_name(&name).ok_or_else(|| {
+        format!(
+            "unknown benchmark {name:?}; try one of {:?}",
+            nonstrict::workloads::BENCHMARK_NAMES
+        )
+    })?;
 
-    println!("benchmark: {} ({} classes, {} methods, {} KB)", app.name,
-        app.classes.len(), app.program.method_count(), app.total_size() / 1024);
+    println!(
+        "benchmark: {} ({} classes, {} methods, {} KB)",
+        app.name,
+        app.classes.len(),
+        app.program.method_count(),
+        app.total_size() / 1024
+    );
 
     // Profile both inputs and precompute orderings once.
     let session = Session::new(app)?;
 
     for link in [Link::T1, Link::MODEM_28_8] {
         let strict = session.simulate(Input::Test, &SimConfig::strict(link));
-        println!("\n{} link ({} cycles/byte):", link.name, link.cycles_per_byte);
+        println!(
+            "\n{} link ({} cycles/byte):",
+            link.name, link.cycles_per_byte
+        );
         println!(
             "  strict (1998 JVM):   {:>6.2} s   (invocation latency {:>5.2} s)",
             cycles_to_seconds(strict.total_cycles),

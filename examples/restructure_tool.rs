@@ -35,7 +35,11 @@ fn paper_example() -> Application {
     // Main: calls Bar_B first (the Figure 4 dependency), then Bar_A,
     // Foo_A, Foo_B.
     let mut m = MethodBuilder::new("Main", 0);
-    m.invoke(bar_b).invoke(bar_a).invoke(foo_a).invoke(foo_b).ret();
+    m.invoke(bar_b)
+        .invoke(bar_a)
+        .invoke(foo_a)
+        .invoke(foo_b)
+        .ret();
     a.add_method(m.finish());
 
     let mut b = ClassDef::new("example/B");
@@ -53,9 +57,7 @@ fn paper_example() -> Application {
 
 fn main() {
     let app = paper_example();
-    let name = |m: MethodId| -> String {
-        app.program.method(m).name.clone()
-    };
+    let name = |m: MethodId| -> String { app.program.method(m).name.clone() };
 
     println!("Figure 1 — original class files (source order):");
     for (ci, class) in app.program.classes().iter().enumerate() {
@@ -64,14 +66,24 @@ fn main() {
             "  {}: [global data {}B] {}",
             class.name,
             file.global_data_size(),
-            class.methods.iter().map(|m| m.name.clone()).collect::<Vec<_>>().join(", ")
+            class
+                .methods
+                .iter()
+                .map(|m| m.name.clone())
+                .collect::<Vec<_>>()
+                .join(", ")
         );
     }
 
     let order = static_first_use(&app.program);
     println!("\nFigure 2 — first-use call graph order (static estimation):");
     for (i, &m) in order.order().iter().enumerate() {
-        println!("  {}. {} ({})", i + 1, name(m), app.program.class(m.class).name);
+        println!(
+            "  {}. {} ({})",
+            i + 1,
+            name(m),
+            app.program.class(m.class).name
+        );
     }
 
     let r = restructure(&app, &order);
@@ -119,7 +131,12 @@ fn main() {
         }
         let pos = r.layouts[c].position_of(m.method);
         let bytes = units[c].methods[pos];
-        println!("  @{:>5}B  {} + local data + delimiter ({}B)", offset, name(m), bytes);
+        println!(
+            "  @{:>5}B  {} + local data + delimiter ({}B)",
+            offset,
+            name(m),
+            bytes
+        );
         offset += bytes;
     }
     println!("  total interleaved file: {offset}B");

@@ -21,9 +21,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let app = nonstrict::workloads::build_by_name(&name)
         .ok_or_else(|| format!("unknown benchmark {name:?}"))?;
-    println!("{} over the {} link — normalized execution time (% of strict base)\n", app.name, link.name);
+    println!(
+        "{} over the {} link — normalized execution time (% of strict base)\n",
+        app.name, link.name
+    );
     let session = Session::new(app)?;
-    let base = session.simulate(Input::Test, &SimConfig::strict(link)).total_cycles;
+    let base = session
+        .simulate(Input::Test, &SimConfig::strict(link))
+        .total_cycles;
 
     let policies = [
         TransferPolicy::Strict,
@@ -51,6 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     transfer: policy,
                     data_layout,
                     execution: ExecutionModel::NonStrict,
+                    faults: None,
                 };
                 let r = session.simulate(Input::Test, &config);
                 print!(" {:>8.1}", normalized_percent(r.total_cycles, base));

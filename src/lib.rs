@@ -31,6 +31,7 @@
 //!     transfer: TransferPolicy::Interleaved,
 //!     data_layout: DataLayout::Whole,
 //!     execution: ExecutionModel::NonStrict,
+//!     faults: None,
 //! };
 //! let result = simulate(&app, Input::Test, &config).unwrap();
 //! let strict = simulate(&app, Input::Test, &SimConfig::strict(Link::MODEM_28_8)).unwrap();
@@ -50,8 +51,8 @@ pub mod prelude {
     pub use nonstrict_bytecode::program::{Application, Input};
     pub use nonstrict_core::metrics::normalized_percent;
     pub use nonstrict_core::model::{
-        DataLayout, ExecutionModel, OrderingSource, SimConfig, TransferPolicy,
+        DataLayout, ExecutionModel, FaultConfig, OrderingSource, SimConfig, TransferPolicy,
     };
-    pub use nonstrict_core::sim::{simulate, Session, SimResult};
+    pub use nonstrict_core::sim::{simulate, FaultSummary, Session, SimResult};
     pub use nonstrict_netsim::link::Link;
 }

@@ -4,9 +4,7 @@
 use nonstrict::core::{
     DataLayout, ExecutionModel, OrderingSource, Session, SimConfig, TransferPolicy,
 };
-use nonstrict::netsim::{
-    class_units, greedy_schedule, ParallelEngine, TransferEngine, Weights,
-};
+use nonstrict::netsim::{class_units, greedy_schedule, ParallelEngine, TransferEngine, Weights};
 use nonstrict::reorder::{restructure, static_first_use, static_first_use_plain};
 use nonstrict_bytecode::Input;
 use nonstrict_netsim::schedule::ParallelSchedule;
@@ -24,6 +22,7 @@ fn non_strict_gating_beats_strict_gating_under_identical_transfer() {
             transfer: TransferPolicy::Parallel { limit: 4 },
             data_layout: DataLayout::Whole,
             execution,
+            faults: None,
         };
         let strict = s.simulate(Input::Test, &mk(ExecutionModel::Strict));
         let non_strict = s.simulate(Input::Test, &mk(ExecutionModel::NonStrict));
@@ -33,7 +32,10 @@ fn non_strict_gating_beats_strict_gating_under_identical_transfer() {
             non_strict.total_cycles,
             strict.total_cycles
         );
-        assert!(non_strict.invocation_latency < strict.invocation_latency, "{name}");
+        assert!(
+            non_strict.invocation_latency < strict.invocation_latency,
+            "{name}"
+        );
     }
 }
 
@@ -80,9 +82,17 @@ fn loop_heuristics_win_where_loops_predict_first_use() {
     let smart = static_first_use(&p);
     let plain = static_first_use_plain(&p);
     // loop-aware follows the loop-rich arm first
-    assert!(smart.rank(&p, looper) < smart.rank(&p, flat), "{:?}", smart.order());
+    assert!(
+        smart.rank(&p, looper) < smart.rank(&p, flat),
+        "{:?}",
+        smart.order()
+    );
     // plain DFS follows the textual arm first
-    assert!(plain.rank(&p, flat) < plain.rank(&p, looper), "{:?}", plain.order());
+    assert!(
+        plain.rank(&p, flat) < plain.rank(&p, looper),
+        "{:?}",
+        plain.order()
+    );
 }
 
 #[test]
@@ -94,7 +104,10 @@ fn method_delimiters_cost_less_wire_than_block_delimiters() {
     let block_level = class_units(&app, &r, None, 12);
     let m: u64 = method_level.iter().map(|u| u.total()).sum();
     let b: u64 = block_level.iter().map(|u| u.total()).sum();
-    assert!(b > m, "block-level delimiters must cost more wire: {b} vs {m}");
+    assert!(
+        b > m,
+        "block-level delimiters must cost more wire: {b} vs {m}"
+    );
     // and the overhead is why the paper stops at method granularity
     let overhead = (b - m) as f64 / m as f64;
     assert!(overhead > 0.01, "{overhead}");
@@ -136,6 +149,7 @@ fn restructuring_matters_source_order_loses_to_first_use_order() {
         transfer: TransferPolicy::Interleaved,
         data_layout: DataLayout::Whole,
         execution: ExecutionModel::NonStrict,
+        faults: None,
     };
     let source = s.simulate(Input::Test, &mk(OrderingSource::SourceOrder));
     let test = s.simulate(Input::Test, &mk(OrderingSource::TestProfile));

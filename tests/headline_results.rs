@@ -10,9 +10,7 @@ use std::sync::OnceLock;
 
 use nonstrict::core::experiment::{self, Suite};
 use nonstrict::core::metrics::mean;
-use nonstrict::core::{
-    DataLayout, ExecutionModel, OrderingSource, SimConfig, TransferPolicy,
-};
+use nonstrict::core::{DataLayout, ExecutionModel, OrderingSource, SimConfig, TransferPolicy};
 use nonstrict::netsim::Link;
 use nonstrict_bytecode::Input;
 
@@ -36,8 +34,14 @@ fn invocation_latency_reductions_match_the_paper_band() {
             .flat_map(|r| [r.t1.partitioned_reduction, r.modem.partitioned_reduction])
             .collect::<Vec<_>>(),
     );
-    assert!(ns > 15.0 && ns < 60.0, "non-strict avg latency reduction {ns:.0}%");
-    assert!(dp > ns, "partitioning must reduce latency further: {dp:.0}% vs {ns:.0}%");
+    assert!(
+        ns > 15.0 && ns < 60.0,
+        "non-strict avg latency reduction {ns:.0}%"
+    );
+    assert!(
+        dp > ns,
+        "partitioning must reduce latency further: {dp:.0}% vs {ns:.0}%"
+    );
     assert!(dp > 25.0, "partitioned avg latency reduction {dp:.0}%");
 }
 
@@ -65,10 +69,18 @@ fn testdes_sees_no_latency_benefit_like_the_paper() {
     // main method, so non-strict loading saves ~nothing (paper: 1%).
     let t4 = experiment::table4(suite());
     let row = t4.iter().find(|r| r.name == "TestDes").unwrap();
-    assert!(row.t1.non_strict_reduction < 10.0, "{}", row.t1.non_strict_reduction);
+    assert!(
+        row.t1.non_strict_reduction < 10.0,
+        "{}",
+        row.t1.non_strict_reduction
+    );
     // while JavaCup and Hanoi see substantial reductions
     let cup = t4.iter().find(|r| r.name == "JavaCup").unwrap();
-    assert!(cup.t1.non_strict_reduction > 15.0, "{}", cup.t1.non_strict_reduction);
+    assert!(
+        cup.t1.non_strict_reduction > 15.0,
+        "{}",
+        cup.t1.non_strict_reduction
+    );
 }
 
 #[test]
@@ -88,8 +100,16 @@ fn ordering_quality_ranks_scg_train_test_on_average() {
         );
     }
     let t7 = experiment::interleaved_table(s, DataLayout::Whole);
-    assert!(t7.avg[2] <= t7.avg[1] + 0.5 && t7.avg[1] <= t7.avg[0] + 0.5, "{:?}", t7.avg);
-    assert!(t7.avg[5] <= t7.avg[4] + 0.5 && t7.avg[4] <= t7.avg[3] + 0.5, "{:?}", t7.avg);
+    assert!(
+        t7.avg[2] <= t7.avg[1] + 0.5 && t7.avg[1] <= t7.avg[0] + 0.5,
+        "{:?}",
+        t7.avg
+    );
+    assert!(
+        t7.avg[5] <= t7.avg[4] + 0.5 && t7.avg[4] <= t7.avg[3] + 0.5,
+        "{:?}",
+        t7.avg
+    );
 }
 
 #[test]
@@ -99,21 +119,25 @@ fn non_strict_execution_always_improves_on_the_baseline() {
     let s = suite();
     for session in &s.sessions {
         for link in [Link::T1, Link::MODEM_28_8] {
-            let base = session.simulate(Input::Test, &SimConfig::strict(link)).total_cycles;
+            let base = session
+                .simulate(Input::Test, &SimConfig::strict(link))
+                .total_cycles;
             for ordering in [
                 OrderingSource::StaticCallGraph,
                 OrderingSource::TrainProfile,
                 OrderingSource::TestProfile,
             ] {
-                for transfer in
-                    [TransferPolicy::Parallel { limit: 4 }, TransferPolicy::Interleaved]
-                {
+                for transfer in [
+                    TransferPolicy::Parallel { limit: 4 },
+                    TransferPolicy::Interleaved,
+                ] {
                     let config = SimConfig {
                         link,
                         ordering,
                         transfer,
                         data_layout: DataLayout::Whole,
                         execution: ExecutionModel::NonStrict,
+                        faults: None,
                     };
                     let r = session.simulate(Input::Test, &config);
                     // Method delimiters add ~2 bytes per method to the
@@ -181,7 +205,10 @@ fn execution_time_reductions_reach_the_paper_band() {
 #[test]
 fn table3_transfer_shares_match_the_paper() {
     // %transfer is the experiment's backbone: T1 2–73%, modem 46–99%.
-    for (row, paper) in experiment::table3(suite()).iter().zip(experiment::paper::TABLE3) {
+    for (row, paper) in experiment::table3(suite())
+        .iter()
+        .zip(experiment::paper::TABLE3)
+    {
         let (_, _, _, t1_pct, _, modem_pct) = paper;
         assert!(
             (row.t1.pct_transfer - t1_pct).abs() < 8.0,
@@ -223,7 +250,11 @@ fn table9_partition_shares_match_the_paper() {
     let t9 = experiment::table9(suite());
     let jess = t9.iter().find(|r| r.name == "Jess").unwrap();
     for other in t9.iter().filter(|r| r.name != "Jess") {
-        assert!(jess.summary.pct_unused > other.summary.pct_unused, "{}", other.name);
+        assert!(
+            jess.summary.pct_unused > other.summary.pct_unused,
+            "{}",
+            other.name
+        );
     }
 }
 
@@ -234,7 +265,11 @@ fn incremental_linker_processes_only_what_ran() {
         let config = SimConfig::non_strict(Link::T1, OrderingSource::TestProfile);
         let r = session.simulate(Input::Test, &config);
         let executed = session.test.profile.executed_method_count();
-        assert_eq!(r.link_stats.methods_resolved, executed, "{}", session.app.name);
+        assert_eq!(
+            r.link_stats.methods_resolved, executed,
+            "{}",
+            session.app.name
+        );
         assert!(r.link_stats.classes_verified <= session.app.classes.len());
     }
 }

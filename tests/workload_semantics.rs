@@ -70,8 +70,10 @@ fn static_estimation_covers_every_profiled_method() {
     for app in nonstrict::workloads::build_all() {
         let order = static_first_use(&app.program);
         let cg = CallGraph::build(&app.program);
-        let reachable: HashSet<_> =
-            cg.reachable_from(&app.program, app.program.entry()).into_iter().collect();
+        let reachable: HashSet<_> = cg
+            .reachable_from(&app.program, app.program.entry())
+            .into_iter()
+            .collect();
         let test = collect(&app, Input::Test).unwrap();
         for &m in test.profile.order() {
             assert!(
@@ -131,7 +133,11 @@ fn program_outputs_are_meaningful() {
     let hanoi = nonstrict::workloads::hanoi::build();
     let mut interp = Interpreter::new(&hanoi.program);
     interp.run(hanoi.args(Input::Test), &mut ()).unwrap();
-    assert_eq!(interp.output(), &[318], "hanoi solves 6+8 rings = 318 moves");
+    assert_eq!(
+        interp.output(),
+        &[318],
+        "hanoi solves 6+8 rings = 318 moves"
+    );
 
     let des = nonstrict::workloads::testdes::build();
     let mut interp = Interpreter::new(&des.program);

@@ -7,7 +7,7 @@
 use nonstrict_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nonstrict_bytecode::Input;
 use nonstrict_core::model::{
-    DataLayout, ExecutionModel, OrderingSource, SimConfig, TransferPolicy,
+    DataLayout, ExecutionModel, OrderingSource, SimConfig, TransferPolicy, VerifyMode,
 };
 use nonstrict_core::sim::Session;
 use nonstrict_netsim::schedule::ParallelSchedule;
@@ -92,6 +92,7 @@ fn bench_execution_model(c: &mut Criterion) {
             data_layout: DataLayout::Whole,
             execution,
             faults: None,
+            verify: VerifyMode::Off,
         };
         group.bench_function(label, |b| {
             b.iter(|| s.simulate(Input::Test, &config).total_cycles)

@@ -4,7 +4,7 @@
 use nonstrict_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nonstrict_bytecode::Input;
 use nonstrict_core::model::{
-    DataLayout, ExecutionModel, OrderingSource, SimConfig, TransferPolicy,
+    DataLayout, ExecutionModel, OrderingSource, SimConfig, TransferPolicy, VerifyMode,
 };
 use nonstrict_core::sim::Session;
 use nonstrict_netsim::Link;
@@ -50,6 +50,7 @@ fn bench_policies(c: &mut Criterion) {
                 data_layout: DataLayout::Whole,
                 execution: ExecutionModel::NonStrict,
                 faults: None,
+                verify: VerifyMode::Off,
             };
             group.bench_function(BenchmarkId::new(label, &s.app.name), |b| {
                 b.iter(|| s.simulate(Input::Test, &config).total_cycles)
@@ -70,6 +71,7 @@ fn bench_partitioned(c: &mut Criterion) {
         data_layout: DataLayout::Partitioned,
         execution: ExecutionModel::NonStrict,
         faults: None,
+        verify: VerifyMode::Off,
     };
     group.bench_function("jess_par4_dp", |b| {
         b.iter(|| s.simulate(Input::Test, &config).total_cycles)

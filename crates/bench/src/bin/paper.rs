@@ -7,6 +7,7 @@
 //! paper fig6
 //! paper summary      # headline claims vs measured
 //! paper faults       # fault sweep: resilience + graceful degradation
+//! paper verify       # verification sweep: verified-prefix streaming cost
 //! paper csv results/ # machine-readable export of every table
 //! ```
 
@@ -81,6 +82,10 @@ fn main() {
             "{}",
             report::render_fault_sweep(&experiment::faults::fault_sweep(&suite))
         ),
+        "verify" => println!(
+            "{}",
+            report::render_verify_sweep(&experiment::verify::verify_sweep(&suite))
+        ),
         "csv" => {
             let dir = std::env::args()
                 .nth(2)
@@ -92,7 +97,9 @@ fn main() {
             }
         }
         other => {
-            eprintln!("unknown table {other:?}; use all|table2..table10|fig6|summary|faults|csv");
+            eprintln!(
+                "unknown table {other:?}; use all|table2..table10|fig6|summary|faults|verify|csv"
+            );
             std::process::exit(2);
         }
     }

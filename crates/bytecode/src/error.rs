@@ -55,6 +55,20 @@ pub enum BytecodeError {
         /// The out-of-range slot.
         slot: u16,
     },
+    /// Two classes in one program share an internal name; first-use
+    /// prediction and linking would be ambiguous, so loading fails
+    /// closed.
+    DuplicateClassName(String),
+    /// A re-verified method's declared limits did not match what
+    /// verification computed (a tampered or stale `Code` attribute).
+    DeclaredLimitMismatch {
+        /// The offending method.
+        method: MethodId,
+        /// Declared `max_stack`.
+        declared_stack: u16,
+        /// Computed `max_stack`.
+        computed_stack: u16,
+    },
     /// Too many classes or methods for the 16-bit id space.
     TooLarge(&'static str),
     /// An error bubbled up from class-file construction during lowering.
@@ -94,6 +108,19 @@ impl fmt::Display for BytecodeError {
             }
             Self::BadLocal { method, slot } => {
                 write!(f, "local slot {slot} out of range in {method}")
+            }
+            Self::DuplicateClassName(name) => {
+                write!(f, "duplicate class name {name:?} in program")
+            }
+            Self::DeclaredLimitMismatch {
+                method,
+                declared_stack,
+                computed_stack,
+            } => {
+                write!(
+                    f,
+                    "method {method} declares max_stack {declared_stack} but verification computed {computed_stack}"
+                )
             }
             Self::TooLarge(what) => write!(f, "too many {what} for 16-bit id space"),
             Self::ClassFile(e) => write!(f, "class file construction failed: {e}"),

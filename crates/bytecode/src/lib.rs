@@ -54,3 +54,4 @@ pub use ids::{ClassId, MethodId};
 pub use instr::{CallKind, Cond, Instruction, Label, RuntimeFn, StaticRef};
 pub use interp::{EventSink, Interpreter};
 pub use program::{Application, ClassDef, Input, MethodDef, Program, StaticDef};
+pub use verify::{method_verify_cost, VERIFY_CYCLES_PER_CODE_BYTE, VERIFY_CYCLES_PER_INSTRUCTION};

@@ -178,6 +178,13 @@ impl Program {
                 return Err(BytecodeError::TooLarge("methods"));
             }
         }
+        // Duplicate names make class lookup (and so first-use prediction
+        // and incremental linking) ambiguous: fail closed.
+        let mut names: Vec<&str> = classes.iter().map(|c| c.name.as_str()).collect();
+        names.sort_unstable();
+        if let Some(w) = names.windows(2).find(|w| w[0] == w[1]) {
+            return Err(BytecodeError::DuplicateClassName(w[0].to_owned()));
+        }
         let entry_ci = classes
             .iter()
             .position(|c| c.name == entry_class)
@@ -218,6 +225,34 @@ impl Program {
     #[must_use]
     pub fn entry(&self) -> MethodId {
         self.entry
+    }
+
+    /// Re-verifies one method against the finished program — the
+    /// incremental check the non-strict loader runs when the method's
+    /// delimiter arrives (steps 3–4 of §3.1.1, per method).
+    ///
+    /// Beyond the structural checks of construction-time verification,
+    /// this confirms the declared `max_stack` still matches what
+    /// abstract interpretation computes, so a tampered `Code` attribute
+    /// cannot slip through.
+    ///
+    /// # Errors
+    ///
+    /// The first [`BytecodeError`] found.
+    pub fn verify_method(&self, id: MethodId) -> Result<(), BytecodeError> {
+        let view = ProgramView {
+            classes: &self.classes,
+        };
+        let method = self.method(id);
+        let (max_stack, _) = crate::verify::analyze_method(&view, id, method)?;
+        if max_stack != method.max_stack {
+            return Err(BytecodeError::DeclaredLimitMismatch {
+                method: id,
+                declared_stack: method.max_stack,
+                computed_stack: max_stack,
+            });
+        }
+        Ok(())
     }
 
     /// All classes in source order.
@@ -474,6 +509,15 @@ mod tests {
     fn entry_resolves() {
         let p = tiny_program();
         assert_eq!(p.entry(), MethodId::new(0, 0));
+    }
+
+    #[test]
+    fn duplicate_class_names_fail_closed() {
+        let mut a = ClassDef::new("t/A");
+        a.add_method(MethodDef::new("main", 0, vec![I::Return]));
+        let b = ClassDef::new("t/A");
+        let err = Program::new(vec![a, b], "t/A", "main").unwrap_err();
+        assert_eq!(err, BytecodeError::DuplicateClassName("t/A".to_owned()));
     }
 
     #[test]

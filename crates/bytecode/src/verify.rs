@@ -47,6 +47,24 @@ fn stack_effect(view: &ProgramView<'_>, instr: &Instruction) -> (u16, u16) {
     }
 }
 
+/// Deterministic cycle charge for verifying one method at delimiter
+/// arrival: the verifier makes a constant number of passes over the
+/// instruction list (reference checks, then abstract interpretation),
+/// plus a per-byte decode charge.
+pub const VERIFY_CYCLES_PER_INSTRUCTION: u64 = 40;
+
+/// Per-code-byte decode component of the verify charge.
+pub const VERIFY_CYCLES_PER_CODE_BYTE: u64 = 6;
+
+/// Cycles charged to verify `method` incrementally (the paper-model cost
+/// of steps 3–4 for one method, used by the simulator's `verify_cycles`
+/// accounting bucket).
+#[must_use]
+pub fn method_verify_cost(method: &MethodDef) -> u64 {
+    u64::from(method.instruction_count()) * VERIFY_CYCLES_PER_INSTRUCTION
+        + u64::from(method.code_size()) * VERIFY_CYCLES_PER_CODE_BYTE
+}
+
 /// Verifies `method` and finalizes its `max_stack` and `max_locals`.
 ///
 /// # Errors
@@ -57,6 +75,21 @@ pub(crate) fn check_method(
     id: MethodId,
     method: &mut MethodDef,
 ) -> Result<(), BytecodeError> {
+    let (max_stack, max_locals) = analyze_method(view, id, method)?;
+    method.max_stack = max_stack;
+    method.max_locals = max_locals;
+    Ok(())
+}
+
+/// Read-only verification pass: checks the method and returns the
+/// computed `(max_stack, max_locals)` without mutating anything, so it
+/// can re-run against a finished [`crate::program::Program`] when a
+/// method streams in.
+pub(crate) fn analyze_method(
+    view: &ProgramView<'_>,
+    id: MethodId,
+    method: &MethodDef,
+) -> Result<(u16, u16), BytecodeError> {
     let body = &method.body;
     let len = body.len() as u32;
 
@@ -135,9 +168,7 @@ pub(crate) fn check_method(
         return Err(BytecodeError::FallsOffEnd(id));
     }
 
-    method.max_stack = max_depth;
-    method.max_locals = max_local;
-    Ok(())
+    Ok((max_depth, max_local))
 }
 
 #[cfg(test)]
@@ -250,5 +281,21 @@ mod tests {
     fn unreachable_code_is_tolerated() {
         let p = program_of(vec![I::Return, I::IAdd, I::IAdd, I::Return]);
         assert!(p.is_ok(), "dead code after return should not be verified");
+    }
+
+    #[test]
+    fn incremental_reverify_accepts_every_verified_method() {
+        let p = program_of(vec![I::IConst(1), I::IConst(2), I::IAdd, I::Pop, I::Return]).unwrap();
+        for (id, _) in p.iter_methods() {
+            p.verify_method(id).unwrap();
+        }
+    }
+
+    #[test]
+    fn verify_cost_is_positive_and_monotone_in_size() {
+        let small = MethodDef::new("s", 0, vec![I::Return]);
+        let big = MethodDef::new("b", 0, vec![I::IConst(1000), I::Pop, I::Return]);
+        assert!(method_verify_cost(&small) > 0);
+        assert!(method_verify_cost(&big) > method_verify_cost(&small));
     }
 }

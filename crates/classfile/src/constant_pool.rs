@@ -325,7 +325,9 @@ impl ConstantPool {
         let slots_needed = constant.slots();
         let slot = self.next_slot;
         let end = slot as u32 + slots_needed as u32;
-        if end > u16::MAX as u32 + 1 {
+        // `next_slot` doubles as the wire `constant_pool_count`, a u16: an
+        // end of 65,536 would silently wrap the count field to zero.
+        if end > u16::MAX as u32 {
             return Err(ClassFileError::ConstantPoolOverflow);
         }
         self.next_slot = end as u16;

@@ -44,6 +44,7 @@ pub mod field;
 pub mod layout;
 pub mod method;
 pub mod parser;
+pub mod stream;
 
 pub use attribute::{Attribute, ExceptionTableEntry};
 pub use builder::{ClassFileBuilder, MethodData};
@@ -54,3 +55,4 @@ pub use field::FieldInfo;
 pub use layout::{ConstantPoolBreakdown, GlobalDataBreakdown, SectionSizes};
 pub use method::MethodInfo;
 pub use parser::{parse, ParseError};
+pub use stream::{stream_units, StreamError, StreamEvent, StreamLoader, METHOD_DELIMITER};

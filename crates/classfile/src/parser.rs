@@ -48,6 +48,28 @@ pub enum ParseError {
         /// The attribute name, if known.
         name: String,
     },
+    /// The constant-pool entries overran the 65,535-slot limit (a
+    /// `Long`/`Double` entry near the end of a maximal pool burns one
+    /// slot more than the count field admits).
+    PoolOverflow {
+        /// Byte offset of the offending entry.
+        at: usize,
+    },
+    /// An attribute's name index did not resolve to a UTF-8 pool entry.
+    /// Accepting it would build a structure that cannot re-serialize, so
+    /// the parse fails closed instead.
+    BadAttributeName {
+        /// Byte offset of the name index.
+        at: usize,
+        /// The dangling or wrong-kind index.
+        index: u16,
+    },
+    /// A `Code` attribute declared more bytecode than the wire format's
+    /// `u16` code-length field can re-serialize.
+    OversizedCode {
+        /// The declared code length.
+        len: usize,
+    },
 }
 
 impl fmt::Display for ParseError {
@@ -61,42 +83,64 @@ impl fmt::Display for ParseError {
             Self::AttributeLengthMismatch { name } => {
                 write!(f, "attribute {name:?} length does not match payload")
             }
+            Self::PoolOverflow { at } => {
+                write!(f, "constant pool overflows 65535 slots at offset {at}")
+            }
+            Self::BadAttributeName { at, index } => {
+                write!(
+                    f,
+                    "attribute name index {index} at offset {at} is not a utf-8 pool entry"
+                )
+            }
+            Self::OversizedCode { len } => {
+                write!(
+                    f,
+                    "code attribute declares {len} bytes, beyond the u16 wire limit"
+                )
+            }
         }
     }
 }
 
 impl Error for ParseError {}
 
-/// A bounds-checked big-endian cursor.
-struct Cursor<'a> {
-    bytes: &'a [u8],
-    pos: usize,
+/// A bounds-checked big-endian cursor. Shared with the streaming
+/// validator in [`crate::stream`].
+pub(crate) struct Cursor<'a> {
+    pub(crate) bytes: &'a [u8],
+    pub(crate) pos: usize,
 }
 
 impl<'a> Cursor<'a> {
-    fn new(bytes: &'a [u8]) -> Self {
+    pub(crate) fn new(bytes: &'a [u8]) -> Self {
         Cursor { bytes, pos: 0 }
     }
 
-    fn take(&mut self, n: usize) -> Result<&'a [u8], ParseError> {
-        if self.pos + n > self.bytes.len() {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], ParseError> {
+        // Checked: `n` may be input-derived (attacker-controlled), so the
+        // sum must not wrap on any platform.
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or(ParseError::UnexpectedEof { at: self.pos })?;
+        if end > self.bytes.len() {
             return Err(ParseError::UnexpectedEof { at: self.pos });
         }
-        let s = &self.bytes[self.pos..self.pos + n];
-        self.pos += n;
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
         Ok(s)
     }
 
-    fn u8(&mut self) -> Result<u8, ParseError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, ParseError> {
         Ok(self.take(1)?[0])
     }
 
-    fn u16(&mut self) -> Result<u16, ParseError> {
+    pub(crate) fn u16(&mut self) -> Result<u16, ParseError> {
         let b = self.take(2)?;
         Ok(u16::from_be_bytes([b[0], b[1]]))
     }
 
-    fn u32(&mut self) -> Result<u32, ParseError> {
+    pub(crate) fn u32(&mut self) -> Result<u32, ParseError> {
         let b = self.take(4)?;
         Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
     }
@@ -133,9 +177,61 @@ pub fn parse(bytes: &[u8]) -> Result<ClassFile, ParseError> {
 
     // Constant pool: count is slots + 1; Long/Double burn an extra slot.
     let count = c.u16()?;
+    let pool = parse_pool(&mut c, count)?;
+
+    let access_flags = AccessFlags(c.u16()?);
+    let this_class = CpIndex(c.u16()?);
+    let super_class = CpIndex(c.u16()?);
+    let interfaces_count = c.u16()?;
+    let mut interfaces = Vec::with_capacity(interfaces_count as usize);
+    for _ in 0..interfaces_count {
+        interfaces.push(CpIndex(c.u16()?));
+    }
+
+    let fields_count = c.u16()?;
+    let mut fields = Vec::with_capacity(fields_count as usize);
+    for _ in 0..fields_count {
+        fields.push(parse_field(&mut c, &pool)?);
+    }
+
+    let methods_count = c.u16()?;
+    let mut methods = Vec::with_capacity(methods_count as usize);
+    for _ in 0..methods_count {
+        methods.push(parse_method(&mut c, &pool)?);
+    }
+
+    let attributes = parse_attributes(&mut c, &pool)?;
+
+    if c.pos != bytes.len() {
+        return Err(ParseError::TrailingBytes {
+            count: bytes.len() - c.pos,
+        });
+    }
+
+    Ok(ClassFile {
+        minor_version,
+        major_version,
+        constant_pool: pool,
+        access_flags,
+        this_class,
+        super_class,
+        interfaces,
+        fields,
+        methods,
+        attributes,
+    })
+}
+
+/// Parses constant-pool entries until `count` slots are filled.
+///
+/// `Long`/`Double` entries burn two slots, so a hostile count can make
+/// the last entry overrun slot 65,535; that is a typed
+/// [`ParseError::PoolOverflow`], never a panic.
+pub(crate) fn parse_pool(c: &mut Cursor<'_>, count: u16) -> Result<ConstantPool, ParseError> {
     let mut pool = ConstantPool::new();
-    let mut slot = 1u16;
-    while slot < count {
+    // Track slots in u32: a two-slot entry at slot 65534 would wrap u16.
+    let mut slot = 1u32;
+    while slot < u32::from(count) {
         let at = c.pos;
         let tag = c.u8()?;
         let constant = match tag {
@@ -183,74 +279,52 @@ pub fn parse(bytes: &[u8]) -> Result<ClassFile, ParseError> {
             },
             tag => return Err(ParseError::BadTag { tag, at }),
         };
-        slot += constant.slots();
+        slot += u32::from(constant.slots());
         // `push` (not `intern`) preserves duplicates exactly as written.
         pool.push(constant)
-            .expect("parsed pool fits: count field is u16");
+            .map_err(|_| ParseError::PoolOverflow { at })?;
     }
+    Ok(pool)
+}
 
-    let access_flags = AccessFlags(c.u16()?);
-    let this_class = CpIndex(c.u16()?);
-    let super_class = CpIndex(c.u16()?);
-    let interfaces_count = c.u16()?;
-    let mut interfaces = Vec::with_capacity(interfaces_count as usize);
-    for _ in 0..interfaces_count {
-        interfaces.push(CpIndex(c.u16()?));
-    }
-
-    let fields_count = c.u16()?;
-    let mut fields = Vec::with_capacity(fields_count as usize);
-    for _ in 0..fields_count {
-        let access_flags = c.u16()?;
-        let name = CpIndex(c.u16()?);
-        let descriptor = CpIndex(c.u16()?);
-        let attributes = parse_attributes(&mut c, &pool)?;
-        fields.push(FieldInfo {
-            access_flags,
-            name,
-            descriptor,
-            attributes,
-        });
-    }
-
-    let methods_count = c.u16()?;
-    let mut methods = Vec::with_capacity(methods_count as usize);
-    for _ in 0..methods_count {
-        let access_flags = c.u16()?;
-        let name = CpIndex(c.u16()?);
-        let descriptor = CpIndex(c.u16()?);
-        let attributes = parse_attributes(&mut c, &pool)?;
-        methods.push(MethodInfo {
-            access_flags,
-            name,
-            descriptor,
-            attributes,
-        });
-    }
-
-    let attributes = parse_attributes(&mut c, &pool)?;
-
-    if c.pos != bytes.len() {
-        return Err(ParseError::TrailingBytes {
-            count: bytes.len() - c.pos,
-        });
-    }
-
-    Ok(ClassFile {
-        minor_version,
-        major_version,
-        constant_pool: pool,
+/// Parses one `field_info` structure.
+pub(crate) fn parse_field(
+    c: &mut Cursor<'_>,
+    pool: &ConstantPool,
+) -> Result<FieldInfo, ParseError> {
+    let access_flags = c.u16()?;
+    let name = CpIndex(c.u16()?);
+    let descriptor = CpIndex(c.u16()?);
+    let attributes = parse_attributes(c, pool)?;
+    Ok(FieldInfo {
         access_flags,
-        this_class,
-        super_class,
-        interfaces,
-        fields,
-        methods,
+        name,
+        descriptor,
         attributes,
     })
 }
 
-fn parse_attributes(c: &mut Cursor<'_>, pool: &ConstantPool) -> Result<Vec<Attribute>, ParseError> {
+/// Parses one `method_info` structure.
+pub(crate) fn parse_method(
+    c: &mut Cursor<'_>,
+    pool: &ConstantPool,
+) -> Result<MethodInfo, ParseError> {
+    let access_flags = c.u16()?;
+    let name = CpIndex(c.u16()?);
+    let descriptor = CpIndex(c.u16()?);
+    let attributes = parse_attributes(c, pool)?;
+    Ok(MethodInfo {
+        access_flags,
+        name,
+        descriptor,
+        attributes,
+    })
+}
+
+pub(crate) fn parse_attributes(
+    c: &mut Cursor<'_>,
+    pool: &ConstantPool,
+) -> Result<Vec<Attribute>, ParseError> {
     let count = c.u16()?;
     let mut out = Vec::with_capacity(count as usize);
     for _ in 0..count {
@@ -259,16 +333,36 @@ fn parse_attributes(c: &mut Cursor<'_>, pool: &ConstantPool) -> Result<Vec<Attri
     Ok(out)
 }
 
-fn parse_attribute(c: &mut Cursor<'_>, pool: &ConstantPool) -> Result<Attribute, ParseError> {
+pub(crate) fn parse_attribute(
+    c: &mut Cursor<'_>,
+    pool: &ConstantPool,
+) -> Result<Attribute, ParseError> {
+    let at = c.pos;
     let name_idx = CpIndex(c.u16()?);
     let length = c.u32()? as usize;
-    let name = pool.utf8_at(name_idx).unwrap_or("").to_owned();
-    let end = c.pos + length;
+    // A dangling or non-UTF-8 name index is rejected here: tolerating it
+    // (e.g. as an anonymous raw attribute) would admit a structure that
+    // panics on re-serialization, and this parser sits on the trust
+    // boundary of the non-strict loader.
+    let name = pool
+        .utf8_at(name_idx)
+        .map_err(|_| ParseError::BadAttributeName {
+            at,
+            index: name_idx.0,
+        })?
+        .to_owned();
+    let end = c
+        .pos
+        .checked_add(length)
+        .ok_or(ParseError::UnexpectedEof { at: c.pos })?;
     let attr = match name.as_str() {
         "Code" => {
             let max_stack = c.u16()?;
             let max_locals = c.u16()?;
             let code_len = c.u32()? as usize;
+            if code_len > u16::MAX as usize {
+                return Err(ParseError::OversizedCode { len: code_len });
+            }
             let code = c.take(code_len)?.to_vec();
             let exc_count = c.u16()?;
             let mut exception_table = Vec::with_capacity(exc_count as usize);
@@ -372,6 +466,47 @@ mod tests {
     }
 
     #[test]
+    fn dangling_attribute_name_index_is_rejected() {
+        // An attribute whose name index misses the pool (or hits a
+        // non-UTF-8 entry) must fail with the typed error rather than
+        // admit a structure that cannot re-serialize.
+        let mut pool = ConstantPool::new();
+        pool.intern(Constant::Integer(7)).unwrap(); // slot 1: not Utf8
+        for index in [0u16, 1, 99] {
+            let mut wire = Vec::new();
+            wire.extend_from_slice(&index.to_be_bytes());
+            wire.extend_from_slice(&0u32.to_be_bytes()); // empty payload
+            let mut c = Cursor::new(&wire);
+            assert!(
+                matches!(
+                    parse_attribute(&mut c, &pool),
+                    Err(ParseError::BadAttributeName { index: i, .. }) if i == index
+                ),
+                "name index {index} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_code_length_is_rejected() {
+        // A hostile code_length above the u16 wire limit could never
+        // re-serialize; the parse refuses it up front.
+        let mut pool = ConstantPool::new();
+        let code_name = pool.utf8("Code").unwrap();
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&code_name.0.to_be_bytes());
+        wire.extend_from_slice(&20u32.to_be_bytes()); // declared length
+        wire.extend_from_slice(&1u16.to_be_bytes()); // max_stack
+        wire.extend_from_slice(&1u16.to_be_bytes()); // max_locals
+        wire.extend_from_slice(&0x0001_0000u32.to_be_bytes()); // code_length
+        let mut c = Cursor::new(&wire);
+        assert!(matches!(
+            parse_attribute(&mut c, &pool),
+            Err(ParseError::OversizedCode { len: 0x1_0000 })
+        ));
+    }
+
+    #[test]
     fn truncation_rejected_everywhere() {
         let bytes = sample().to_bytes();
         // Every strict prefix must fail cleanly, never panic.
@@ -399,6 +534,23 @@ mod tests {
             parse(&bytes),
             Err(ParseError::BadTag { tag: 99, .. })
         ));
+    }
+
+    #[test]
+    fn hostile_pool_count_overflow_is_a_typed_error() {
+        // count = 0xFFFF, then an Integer and enough Longs that the last
+        // two-slot entry overruns slot 65,535. Must be a typed error (the
+        // old parser panicked here).
+        let mut bytes = vec![0xCA, 0xFE, 0xBA, 0xBE, 0, 3, 0, 45, 0xFF, 0xFF];
+        bytes.extend_from_slice(&[3, 0, 0, 0, 7]); // Integer: slot 1
+        for _ in 0..32767 {
+            bytes.push(5); // Long: two slots
+            bytes.extend_from_slice(&[0; 8]);
+        }
+        match parse(&bytes) {
+            Err(ParseError::PoolOverflow { .. }) => {}
+            other => panic!("expected PoolOverflow, got {other:?}"),
+        }
     }
 
     #[test]

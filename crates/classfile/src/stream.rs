@@ -1,0 +1,647 @@
+//! Verified-prefix streaming: the non-strict wire encoding and an
+//! incremental validator that checks each unit the moment it arrives.
+//!
+//! The paper's non-strict format reorders a class file for transfer:
+//! all **global data** first (the prelude — header, constant pool,
+//! midsection, fields, class attributes), then each method's local data
+//! and code closed by a two-byte **method delimiter** (§3). The moment a
+//! delimiter arrives, the method it closes may run — which means the
+//! receiver is linking code from a file it has only partially seen.
+//!
+//! [`StreamLoader`] is that receiver's trust boundary. It consumes the
+//! stream incrementally — arbitrary chunk sizes, down to one byte at a
+//! time — and validates every structure as soon as its bytes are
+//! complete: the prelude gets the pool cross-reference checks of
+//! verification steps 1–2 ([`ConstantPool::validate`]), each method gets
+//! its name/descriptor resolution and delimiter check at arrival. A
+//! violation is reported the moment the *prefix* containing it is
+//! complete, as a typed [`StreamError`]; no input, however hostile, can
+//! make the loader panic. A fully streamed class reassembles to a
+//! [`ClassFile`] whose [`ClassFile::to_bytes`] round-trips byte-exactly.
+//!
+//! Unit sizes line up with the transfer simulator: the prelude is
+//! exactly [`ClassFile::global_data_size`] bytes and each method unit is
+//! its `method_info` wire size plus [`DELIMITER_BYTES`] — the same
+//! accounting `netsim` charges on the link.
+//!
+//! ```
+//! use nonstrict_classfile::{stream_units, ClassFileBuilder, MethodData, StreamLoader};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = ClassFileBuilder::new("demo/Streamed");
+//! b.add_method(MethodData::new("run", "()V", vec![0xB1]))?;
+//! let class = b.build()?;
+//!
+//! let mut loader = StreamLoader::new();
+//! for unit in stream_units(&class)? {
+//!     loader.feed(&unit)?; // validated at arrival, unit by unit
+//! }
+//! let rebuilt = loader.finish()?;
+//! assert_eq!(rebuilt.to_bytes(), class.to_bytes()); // byte-exact
+//! # Ok(())
+//! # }
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+use crate::attribute::Attribute;
+use crate::class::{AccessFlags, ClassFile, MAGIC};
+use crate::constant_pool::{Constant, ConstantPool, CpIndex};
+use crate::error::ClassFileError;
+use crate::field::FieldInfo;
+use crate::method::MethodInfo;
+use crate::parser::{parse_attribute, parse_field, parse_method, parse_pool, Cursor, ParseError};
+
+/// The two-byte method delimiter that closes each method unit (§3: "a
+/// method delimiter is placed after each procedure and its data").
+pub const METHOD_DELIMITER: [u8; 2] = [0xDE, 0x1F];
+
+/// Number of delimiter bytes per method unit; matches the transfer
+/// simulator's `DELIMITER_BYTES` charge.
+pub const DELIMITER_BYTES: usize = METHOD_DELIMITER.len();
+
+/// Errors produced by the streaming loader. Every variant is a clean
+/// rejection: hostile input can reach any of these, never a panic.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum StreamError {
+    /// A structure inside a unit failed to parse (offsets are relative
+    /// to the start of the unit being consumed).
+    Parse(ParseError),
+    /// A completed structure failed semantic validation (dangling or
+    /// wrong-kind constant-pool references).
+    Semantic(ClassFileError),
+    /// A method unit did not end with [`METHOD_DELIMITER`].
+    BadDelimiter {
+        /// File position of the offending method.
+        index: usize,
+    },
+    /// Bytes kept arriving after the final declared method.
+    TrailingBytes {
+        /// Number of unconsumed bytes seen so far.
+        count: usize,
+    },
+    /// `finish` was called before the full class had streamed in.
+    Incomplete {
+        /// Which structure was still in flight (`"prelude"` or
+        /// `"methods"`).
+        stage: &'static str,
+    },
+    /// The loader already rejected this stream; further input is
+    /// refused.
+    AlreadyFailed,
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Parse(e) => write!(f, "stream parse error: {e}"),
+            Self::Semantic(e) => write!(f, "stream validation error: {e}"),
+            Self::BadDelimiter { index } => {
+                write!(f, "method {index} is not closed by the method delimiter")
+            }
+            Self::TrailingBytes { count } => {
+                write!(f, "{count} bytes after the final declared method")
+            }
+            Self::Incomplete { stage } => {
+                write!(f, "stream ended while {stage} were still in flight")
+            }
+            Self::AlreadyFailed => write!(f, "stream already rejected; input refused"),
+        }
+    }
+}
+
+impl Error for StreamError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Parse(e) => Some(e),
+            Self::Semantic(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParseError> for StreamError {
+    fn from(e: ParseError) -> Self {
+        StreamError::Parse(e)
+    }
+}
+
+impl From<ClassFileError> for StreamError {
+    fn from(e: ClassFileError) -> Self {
+        StreamError::Semantic(e)
+    }
+}
+
+/// Progress notifications emitted by [`StreamLoader::feed`] as each
+/// structure completes validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamEvent {
+    /// The prelude (all global data) arrived and passed steps 1–2.
+    Prelude {
+        /// Constant-pool entries (not slots).
+        pool_entries: usize,
+        /// Field count.
+        fields: usize,
+        /// Methods the midsection declares; the stream must deliver
+        /// exactly this many method units.
+        methods_declared: usize,
+    },
+    /// A method arrived, validated, and its delimiter matched: it may
+    /// now be linked and executed.
+    Method {
+        /// File position of the method.
+        index: usize,
+        /// Bytes of raw bytecode in its `Code` attribute.
+        code_bytes: u32,
+    },
+    /// Every declared method has arrived; the class is complete.
+    Complete,
+}
+
+/// Serializes a class into its non-strict transfer units: unit 0 is the
+/// prelude (exactly [`ClassFile::global_data_size`] bytes), units
+/// `1..=M` are each method's `method_info` followed by
+/// [`METHOD_DELIMITER`].
+///
+/// # Errors
+///
+/// Propagates serialization failures for attribute names missing from
+/// the pool (impossible for builder-produced classes).
+pub fn stream_units(class: &ClassFile) -> Result<Vec<Vec<u8>>, ClassFileError> {
+    let mut units = Vec::with_capacity(class.methods.len() + 1);
+    let mut prelude = Vec::with_capacity(class.global_data_size() as usize);
+    prelude.extend_from_slice(&MAGIC.to_be_bytes());
+    prelude.extend_from_slice(&class.minor_version.to_be_bytes());
+    prelude.extend_from_slice(&class.major_version.to_be_bytes());
+    prelude.extend_from_slice(&class.constant_pool.count_field().to_be_bytes());
+    class.constant_pool.write(&mut prelude);
+    prelude.extend_from_slice(&class.access_flags.0.to_be_bytes());
+    prelude.extend_from_slice(&class.this_class.0.to_be_bytes());
+    prelude.extend_from_slice(&class.super_class.0.to_be_bytes());
+    prelude.extend_from_slice(&(class.interfaces.len() as u16).to_be_bytes());
+    for i in &class.interfaces {
+        prelude.extend_from_slice(&i.0.to_be_bytes());
+    }
+    prelude.extend_from_slice(&(class.fields.len() as u16).to_be_bytes());
+    prelude.extend_from_slice(&(class.methods.len() as u16).to_be_bytes());
+    prelude.extend_from_slice(&(class.attributes.len() as u16).to_be_bytes());
+    for f in &class.fields {
+        f.write(&class.constant_pool, &mut prelude)?;
+    }
+    for a in &class.attributes {
+        a.write(&class.constant_pool, &mut prelude)?;
+    }
+    units.push(prelude);
+    for m in &class.methods {
+        let mut unit = Vec::with_capacity(m.wire_size() as usize + DELIMITER_BYTES);
+        m.write(&class.constant_pool, &mut unit)?;
+        unit.extend_from_slice(&METHOD_DELIMITER);
+        units.push(unit);
+    }
+    Ok(units)
+}
+
+/// Everything the prelude carries; held until [`StreamLoader::finish`]
+/// reassembles the class.
+struct PreludeParts {
+    minor_version: u16,
+    major_version: u16,
+    constant_pool: ConstantPool,
+    access_flags: AccessFlags,
+    this_class: CpIndex,
+    super_class: CpIndex,
+    interfaces: Vec<CpIndex>,
+    fields: Vec<FieldInfo>,
+    attributes: Vec<Attribute>,
+    methods_declared: usize,
+}
+
+enum Phase {
+    Prelude,
+    Methods { next: usize },
+    Done,
+    Failed,
+}
+
+/// Incremental verified-prefix loader for the non-strict unit stream.
+///
+/// Feed bytes in any chunking; each completed structure is validated at
+/// once. See the [module docs](self) for an example.
+pub struct StreamLoader {
+    buf: Vec<u8>,
+    phase: Phase,
+    prelude: Option<PreludeParts>,
+    methods: Vec<MethodInfo>,
+}
+
+impl Default for StreamLoader {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StreamLoader {
+    /// A loader expecting the start of a class stream.
+    #[must_use]
+    pub fn new() -> Self {
+        StreamLoader {
+            buf: Vec::new(),
+            phase: Phase::Prelude,
+            prelude: None,
+            methods: Vec::new(),
+        }
+    }
+
+    /// Methods fully received and validated so far.
+    #[must_use]
+    pub fn methods_received(&self) -> usize {
+        self.methods.len()
+    }
+
+    /// Whether every declared unit has arrived and validated.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        matches!(self.phase, Phase::Done)
+    }
+
+    /// Consumes the next chunk of the stream, validating every structure
+    /// that completes inside it and reporting each as a [`StreamEvent`].
+    ///
+    /// A chunk that merely ends mid-structure is not an error — the
+    /// bytes are buffered and validation resumes on the next feed. An
+    /// error means the *prefix received so far* is already invalid, no
+    /// matter what bytes could follow; the loader then refuses further
+    /// input.
+    ///
+    /// # Errors
+    ///
+    /// The first [`StreamError`] the accumulated prefix exhibits.
+    pub fn feed(&mut self, chunk: &[u8]) -> Result<Vec<StreamEvent>, StreamError> {
+        if matches!(self.phase, Phase::Failed) {
+            return Err(StreamError::AlreadyFailed);
+        }
+        self.buf.extend_from_slice(chunk);
+        let mut events = Vec::new();
+        loop {
+            match self.phase {
+                Phase::Prelude => {
+                    let Some((parts, used)) =
+                        try_parse_prelude(&self.buf).map_err(|e| self.fail(e))?
+                    else {
+                        break;
+                    };
+                    validate_prelude(&parts).map_err(|e| self.fail(e))?;
+                    self.buf.drain(..used);
+                    events.push(StreamEvent::Prelude {
+                        pool_entries: parts.constant_pool.len(),
+                        fields: parts.fields.len(),
+                        methods_declared: parts.methods_declared,
+                    });
+                    let declared = parts.methods_declared;
+                    self.prelude = Some(parts);
+                    if declared == 0 {
+                        self.phase = Phase::Done;
+                        events.push(StreamEvent::Complete);
+                    } else {
+                        self.phase = Phase::Methods { next: 0 };
+                    }
+                }
+                Phase::Methods { next } => {
+                    let (parsed, declared) = {
+                        let parts = self.prelude.as_ref().expect("prelude set before methods");
+                        let r = try_parse_method_unit(&self.buf, &parts.constant_pool, next)
+                            .and_then(|opt| match opt {
+                                Some((m, used)) => validate_method(&m, &parts.constant_pool)
+                                    .map(|()| Some((m, used))),
+                                None => Ok(None),
+                            });
+                        (r, parts.methods_declared)
+                    };
+                    let Some((method, used)) = parsed.map_err(|e| self.fail(e))? else {
+                        break;
+                    };
+                    self.buf.drain(..used);
+                    events.push(StreamEvent::Method {
+                        index: next,
+                        code_bytes: method.code_size(),
+                    });
+                    self.methods.push(method);
+                    if next + 1 == declared {
+                        self.phase = Phase::Done;
+                        events.push(StreamEvent::Complete);
+                    } else {
+                        self.phase = Phase::Methods { next: next + 1 };
+                    }
+                }
+                Phase::Done => {
+                    if !self.buf.is_empty() {
+                        let count = self.buf.len();
+                        return Err(self.fail(StreamError::TrailingBytes { count }));
+                    }
+                    break;
+                }
+                Phase::Failed => return Err(StreamError::AlreadyFailed),
+            }
+        }
+        Ok(events)
+    }
+
+    /// Reassembles the fully streamed class.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::Incomplete`] if units are still outstanding,
+    /// [`StreamError::AlreadyFailed`] after a rejection.
+    pub fn finish(self) -> Result<ClassFile, StreamError> {
+        match self.phase {
+            Phase::Done => {
+                let p = self.prelude.expect("done implies prelude arrived");
+                Ok(ClassFile {
+                    minor_version: p.minor_version,
+                    major_version: p.major_version,
+                    constant_pool: p.constant_pool,
+                    access_flags: p.access_flags,
+                    this_class: p.this_class,
+                    super_class: p.super_class,
+                    interfaces: p.interfaces,
+                    fields: p.fields,
+                    methods: self.methods,
+                    attributes: p.attributes,
+                })
+            }
+            Phase::Prelude => Err(StreamError::Incomplete { stage: "prelude" }),
+            Phase::Methods { .. } => Err(StreamError::Incomplete { stage: "methods" }),
+            Phase::Failed => Err(StreamError::AlreadyFailed),
+        }
+    }
+
+    fn fail(&mut self, e: StreamError) -> StreamError {
+        self.phase = Phase::Failed;
+        e
+    }
+}
+
+/// Attempts to parse a complete prelude from the front of `bytes`.
+/// `Ok(None)` means the prefix is consistent but incomplete.
+fn try_parse_prelude(bytes: &[u8]) -> Result<Option<(PreludeParts, usize)>, StreamError> {
+    let mut c = Cursor::new(bytes);
+    match parse_prelude(&mut c) {
+        Ok(parts) => Ok(Some((parts, c.pos))),
+        Err(ParseError::UnexpectedEof { .. }) => Ok(None),
+        Err(e) => Err(e.into()),
+    }
+}
+
+fn parse_prelude(c: &mut Cursor<'_>) -> Result<PreludeParts, ParseError> {
+    let magic = c.u32()?;
+    if magic != MAGIC {
+        return Err(ParseError::BadMagic(magic));
+    }
+    let minor_version = c.u16()?;
+    let major_version = c.u16()?;
+    let count = c.u16()?;
+    let constant_pool = parse_pool(c, count)?;
+    let access_flags = AccessFlags(c.u16()?);
+    let this_class = CpIndex(c.u16()?);
+    let super_class = CpIndex(c.u16()?);
+    let interfaces_count = c.u16()?;
+    let mut interfaces = Vec::with_capacity(interfaces_count as usize);
+    for _ in 0..interfaces_count {
+        interfaces.push(CpIndex(c.u16()?));
+    }
+    let fields_count = c.u16()?;
+    let methods_declared = c.u16()? as usize;
+    let attributes_count = c.u16()?;
+    let mut fields = Vec::with_capacity(fields_count as usize);
+    for _ in 0..fields_count {
+        fields.push(parse_field(c, &constant_pool)?);
+    }
+    let mut attributes = Vec::with_capacity(attributes_count as usize);
+    for _ in 0..attributes_count {
+        attributes.push(parse_attribute(c, &constant_pool)?);
+    }
+    Ok(PreludeParts {
+        minor_version,
+        major_version,
+        constant_pool,
+        access_flags,
+        this_class,
+        super_class,
+        interfaces,
+        fields,
+        attributes,
+        methods_declared,
+    })
+}
+
+/// Attempts to parse one delimiter-closed method unit from the front of
+/// `bytes`. `Ok(None)` means the prefix is consistent but incomplete.
+fn try_parse_method_unit(
+    bytes: &[u8],
+    pool: &ConstantPool,
+    index: usize,
+) -> Result<Option<(MethodInfo, usize)>, StreamError> {
+    let mut c = Cursor::new(bytes);
+    let method = match parse_method(&mut c, pool) {
+        Ok(m) => m,
+        Err(ParseError::UnexpectedEof { .. }) => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    match c.take(DELIMITER_BYTES) {
+        Ok(d) if d == METHOD_DELIMITER => Ok(Some((method, c.pos))),
+        Ok(_) => Err(StreamError::BadDelimiter { index }),
+        Err(_) => Ok(None),
+    }
+}
+
+/// Steps 1–2 on the freshly arrived global data: pool cross-references,
+/// this/super/interface class entries, field name/descriptor chains.
+fn validate_prelude(p: &PreludeParts) -> Result<(), StreamError> {
+    p.constant_pool.validate()?;
+    match p.constant_pool.get(p.this_class) {
+        Some(Constant::Class { name }) => {
+            p.constant_pool.utf8_at(*name)?;
+        }
+        Some(_) => {
+            return Err(ClassFileError::WrongConstantKind {
+                index: p.this_class.0,
+                expected: "Class",
+            }
+            .into())
+        }
+        None => return Err(ClassFileError::BadCpIndex(p.this_class.0).into()),
+    }
+    let class_entry = |idx: CpIndex| -> Result<(), StreamError> {
+        match p.constant_pool.get(idx) {
+            Some(Constant::Class { .. }) => Ok(()),
+            Some(_) => Err(ClassFileError::WrongConstantKind {
+                index: idx.0,
+                expected: "Class",
+            }
+            .into()),
+            None => Err(ClassFileError::BadCpIndex(idx.0).into()),
+        }
+    };
+    if !p.super_class.is_none() {
+        class_entry(p.super_class)?;
+    }
+    for &i in &p.interfaces {
+        class_entry(i)?;
+    }
+    for f in &p.fields {
+        p.constant_pool.utf8_at(f.name)?;
+        p.constant_pool.utf8_at(f.descriptor)?;
+    }
+    Ok(())
+}
+
+/// Per-method arrival checks: the name/descriptor chains must resolve in
+/// the already-validated pool.
+fn validate_method(m: &MethodInfo, pool: &ConstantPool) -> Result<(), StreamError> {
+    pool.utf8_at(m.name)?;
+    pool.utf8_at(m.descriptor)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{ClassFileBuilder, MethodData};
+
+    fn sample() -> ClassFile {
+        let mut b = ClassFileBuilder::new("pk/Streamed");
+        b.source_file("Streamed.java");
+        b.interface("pk/Runnable");
+        b.pool_mut().string("a literal").unwrap();
+        b.pool_mut().intern(Constant::Long(1 << 40)).unwrap();
+        b.add_static_field("counter", "I").unwrap();
+        b.add_method(MethodData::new("run", "()V", vec![0xB1]))
+            .unwrap();
+        let mut md = MethodData::new("twice", "(I)I", vec![0x1A, 0x1A, 0x60, 0xAC]);
+        md.line_numbers(vec![(0, 7)]);
+        b.add_method(md).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn prelude_is_exactly_global_data_size() {
+        let class = sample();
+        let units = stream_units(&class).unwrap();
+        assert_eq!(units[0].len() as u32, class.global_data_size());
+        for (i, m) in class.methods.iter().enumerate() {
+            assert_eq!(
+                units[i + 1].len() as u32,
+                m.wire_size() + DELIMITER_BYTES as u32
+            );
+        }
+    }
+
+    #[test]
+    fn unit_stream_round_trips_byte_exactly() {
+        let class = sample();
+        let mut loader = StreamLoader::new();
+        let mut events = Vec::new();
+        for unit in stream_units(&class).unwrap() {
+            events.extend(loader.feed(&unit).unwrap());
+        }
+        assert!(loader.is_complete());
+        assert!(matches!(
+            events[0],
+            StreamEvent::Prelude {
+                methods_declared: 2,
+                ..
+            }
+        ));
+        assert_eq!(events.last(), Some(&StreamEvent::Complete));
+        assert_eq!(loader.finish().unwrap().to_bytes(), class.to_bytes());
+    }
+
+    #[test]
+    fn one_byte_dribble_is_equivalent() {
+        let class = sample();
+        let stream: Vec<u8> = stream_units(&class).unwrap().concat();
+        let mut loader = StreamLoader::new();
+        let mut methods_seen = 0;
+        for b in &stream {
+            for e in loader.feed(std::slice::from_ref(b)).unwrap() {
+                if matches!(e, StreamEvent::Method { .. }) {
+                    methods_seen += 1;
+                }
+            }
+        }
+        assert_eq!(methods_seen, 2);
+        assert_eq!(loader.finish().unwrap().to_bytes(), class.to_bytes());
+    }
+
+    #[test]
+    fn every_truncation_is_incomplete_never_panics() {
+        let class = sample();
+        let stream: Vec<u8> = stream_units(&class).unwrap().concat();
+        for cut in 0..stream.len() {
+            let mut loader = StreamLoader::new();
+            loader.feed(&stream[..cut]).unwrap();
+            assert!(
+                loader.finish().is_err(),
+                "a {cut}-byte prefix of {} must not complete",
+                stream.len()
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_delimiter_is_rejected_at_arrival() {
+        let class = sample();
+        let mut units = stream_units(&class).unwrap();
+        let last = units[1].len() - 1;
+        units[1][last] ^= 0xFF;
+        let mut loader = StreamLoader::new();
+        loader.feed(&units[0]).unwrap();
+        assert_eq!(
+            loader.feed(&units[1]),
+            Err(StreamError::BadDelimiter { index: 0 })
+        );
+        // The loader stays failed.
+        assert_eq!(loader.feed(&units[2]), Err(StreamError::AlreadyFailed));
+    }
+
+    #[test]
+    fn dangling_this_class_fails_prelude_validation() {
+        let class = sample();
+        let mut units = stream_units(&class).unwrap();
+        // this_class lives right after the access flags.
+        let off = (class.header_size() + class.constant_pool.wire_size() + 2) as usize;
+        units[0][off] = 0xFF;
+        units[0][off + 1] = 0xFF;
+        let mut loader = StreamLoader::new();
+        assert!(matches!(
+            loader.feed(&units[0]),
+            Err(StreamError::Semantic(_))
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_after_final_method_are_rejected() {
+        let class = sample();
+        let stream: Vec<u8> = stream_units(&class).unwrap().concat();
+        let mut loader = StreamLoader::new();
+        loader.feed(&stream).unwrap();
+        assert!(matches!(
+            loader.feed(&[0xAA]),
+            Err(StreamError::TrailingBytes { count: 1 })
+        ));
+    }
+
+    #[test]
+    fn bad_magic_fails_on_the_first_complete_header() {
+        let mut loader = StreamLoader::new();
+        // Three bytes of garbage: not yet condemnable (magic incomplete).
+        assert_eq!(loader.feed(&[0xCA, 0xFE, 0xBA]).unwrap(), vec![]);
+        // The fourth byte completes a wrong magic: typed rejection.
+        assert!(matches!(
+            loader.feed(&[0x00]),
+            Err(StreamError::Parse(ParseError::BadMagic(_)))
+        ));
+    }
+}

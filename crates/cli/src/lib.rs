@@ -26,7 +26,7 @@ use nonstrict_bytecode::{Application, Input};
 use nonstrict_classfile::{Attribute, GlobalDataBreakdown};
 use nonstrict_core::metrics::{cycles_to_seconds, normalized_percent};
 use nonstrict_core::model::{
-    DataLayout, ExecutionModel, FaultConfig, OrderingSource, SimConfig, TransferPolicy,
+    DataLayout, ExecutionModel, FaultConfig, OrderingSource, SimConfig, TransferPolicy, VerifyMode,
 };
 use nonstrict_core::sim::Session;
 use nonstrict_netsim::Link;
@@ -71,8 +71,9 @@ USAGE:
   nonstrict simulate <benchmark> [--link t1|modem] [--ordering scg|train|test|source]
                                  [--transfer strict|par1|par2|par4|parinf|interleaved]
                                  [--partitioned] [--strict-execution]
+                                 [--verify off|stream|full]
                                  [--fault-seed N] [--loss PPM] [--drop PPM]
-                                 [--corrupt PPM] [--droop PPM]
+                                 [--corrupt PPM] [--droop PPM] [--semantic PPM]
   nonstrict timeline <benchmark> [--link t1|modem] [--ordering scg|train|test]
 
 BENCHMARKS: bit, hanoi, javacup, jess, jhlzip, testdes";
@@ -148,19 +149,21 @@ impl Flags {
     }
 
     /// The fault configuration from `--fault-seed/--loss/--drop/--corrupt/
-    /// --droop`, or `None` when no fault flag was given. Rates are
-    /// parts-per-million of fault probability per delivery attempt.
+    /// --droop/--semantic`, or `None` when no fault flag was given. Rates
+    /// are parts-per-million of fault probability per delivery attempt.
     fn fault_config(&self) -> Result<Option<FaultConfig>, CliError> {
         let seed: Option<u64> = self.num_opt("fault-seed")?;
         let loss: Option<u32> = self.num_opt("loss")?;
         let drop: Option<u32> = self.num_opt("drop")?;
         let corrupt: Option<u32> = self.num_opt("corrupt")?;
         let droop: Option<u32> = self.num_opt("droop")?;
+        let semantic: Option<u32> = self.num_opt("semantic")?;
         if seed.is_none()
             && loss.is_none()
             && drop.is_none()
             && corrupt.is_none()
             && droop.is_none()
+            && semantic.is_none()
         {
             return Ok(None);
         }
@@ -169,7 +172,19 @@ impl Flags {
         fc.drop_pm = drop.unwrap_or(0);
         fc.corrupt_pm = corrupt.unwrap_or(0);
         fc.droop_pm = droop.unwrap_or(0);
+        fc.semantic_pm = semantic.unwrap_or(0);
         Ok(Some(fc))
+    }
+
+    /// The verification mode from `--verify`, defaulting to `off` so a
+    /// plain `simulate` reproduces the paper's verification-free numbers.
+    fn verify_mode(&self) -> Result<VerifyMode, CliError> {
+        match self.get("verify") {
+            None => Ok(VerifyMode::Off),
+            Some(v) => VerifyMode::parse(v).ok_or_else(|| {
+                CliError::usage(format!("unknown verify mode {v:?}; use off|stream|full"))
+            }),
+        }
     }
 }
 
@@ -178,18 +193,20 @@ impl Flags {
 const BOOL_KEYS: [&str; 2] = ["partitioned", "strict-execution"];
 
 /// Keys that take a value.
-const VALUE_KEYS: [&str; 11] = [
+const VALUE_KEYS: [&str; 13] = [
     "class",
     "method",
     "source",
     "link",
     "ordering",
     "transfer",
+    "verify",
     "fault-seed",
     "loss",
     "drop",
     "corrupt",
     "droop",
+    "semantic",
 ];
 
 fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
@@ -454,6 +471,7 @@ fn cmd_simulate(flags: &Flags) -> Result<String, CliError> {
             ExecutionModel::NonStrict
         },
         faults: flags.fault_config()?,
+        verify: flags.verify_mode()?,
     };
 
     let session = Session::new(app).map_err(|e| CliError {
@@ -497,15 +515,25 @@ fn cmd_simulate(flags: &Flags) -> Result<String, CliError> {
         "  linker:             {} classes verified, {} methods verified, {} resolved",
         r.link_stats.classes_verified, r.link_stats.methods_verified, r.link_stats.methods_resolved
     );
+    if config.verify != VerifyMode::Off {
+        let _ = writeln!(
+            out,
+            "  verification:       {:>12} cycles ({} mode, {:.2}% of total)",
+            r.verify_cycles,
+            config.verify.label(),
+            nonstrict_core::metrics::verify_share_percent(r.verify_cycles, r.total_cycles)
+        );
+    }
     if config.active_faults().is_some() {
         let f = &r.faults;
         let _ = writeln!(
             out,
-            "  fault recovery:     {:>12} cycles ({} retries: {} lost-timeout, {} corrupt, {} drops)",
+            "  fault recovery:     {:>12} cycles ({} retries: {} lost-timeout, {} corrupt, {} quarantined, {} drops)",
             f.recovery_cycles,
             f.retries,
-            f.retries - f.corrupted - f.drops,
+            f.retries - f.corrupted - f.quarantined - f.drops,
             f.corrupted,
+            f.quarantined,
             f.drops
         );
         let _ = writeln!(
@@ -741,6 +769,50 @@ mod tests {
         ])
         .unwrap();
         assert_eq!(out, same, "same seed, same report");
+    }
+
+    #[test]
+    fn simulate_with_stream_verification_reports_the_charge() {
+        let out = run_str(&["simulate", "hanoi", "--link", "modem", "--verify", "stream"]).unwrap();
+        assert!(out.contains("verification"), "{out}");
+        assert!(out.contains("stream mode"), "{out}");
+    }
+
+    #[test]
+    fn verify_off_is_the_default_and_identical() {
+        let plain = run_str(&["simulate", "hanoi", "--link", "t1"]).unwrap();
+        let off = run_str(&["simulate", "hanoi", "--link", "t1", "--verify", "off"]).unwrap();
+        let tail = |s: &str| s.lines().skip(1).collect::<Vec<_>>().join("\n");
+        assert_eq!(tail(&plain), tail(&off));
+        assert!(!plain.contains("verification"), "{plain}");
+    }
+
+    #[test]
+    fn bad_verify_mode_is_a_usage_error() {
+        let err = run_str(&["simulate", "hanoi", "--verify", "streaming"]).unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(
+            err.message.contains("unknown verify mode"),
+            "{}",
+            err.message
+        );
+    }
+
+    #[test]
+    fn semantic_fault_flag_reports_quarantine() {
+        let out = run_str(&[
+            "simulate",
+            "hanoi",
+            "--link",
+            "modem",
+            "--fault-seed",
+            "7",
+            "--semantic",
+            "100000",
+        ])
+        .unwrap();
+        assert!(out.contains("quarantined"), "{out}");
+        assert!(out.contains("run completed"), "{out}");
     }
 
     #[test]

@@ -6,6 +6,7 @@
 
 pub mod faults;
 pub mod paper;
+pub mod verify;
 
 use nonstrict_bytecode::{Input, InterpError};
 use nonstrict_classfile::GlobalDataBreakdown;
@@ -14,7 +15,9 @@ use nonstrict_reorder::partition::{summarize, PartitionSummary};
 use nonstrict_workloads::stats::{table2_row, Table2Row};
 
 use crate::metrics::{mean, normalized_percent, reduction_percent};
-use crate::model::{DataLayout, ExecutionModel, OrderingSource, SimConfig, TransferPolicy};
+use crate::model::{
+    DataLayout, ExecutionModel, OrderingSource, SimConfig, TransferPolicy, VerifyMode,
+};
 use crate::sim::Session;
 
 /// The ordering columns of Tables 5–7 and 10.
@@ -226,6 +229,7 @@ pub fn parallel_table(suite: &Suite, link: Link, data_layout: DataLayout) -> Par
                         data_layout,
                         execution: ExecutionModel::NonStrict,
                         faults: None,
+                        verify: VerifyMode::Off,
                     };
                     cells[o][l] = suite.normalized(s, &config);
                 }
@@ -288,6 +292,7 @@ pub fn interleaved_table(suite: &Suite, data_layout: DataLayout) -> InterleavedT
                         data_layout,
                         execution: ExecutionModel::NonStrict,
                         faults: None,
+                        verify: VerifyMode::Off,
                     };
                     cols[k * 3 + o] = suite.normalized(s, &config);
                 }
@@ -379,6 +384,7 @@ pub fn table10(suite: &Suite) -> (InterleavedTable, InterleavedTable) {
                         data_layout: DataLayout::Partitioned,
                         execution: ExecutionModel::NonStrict,
                         faults: None,
+                        verify: VerifyMode::Off,
                     };
                     cols[k * 3 + o] = suite.normalized(s, &config);
                 }

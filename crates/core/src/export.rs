@@ -247,6 +247,26 @@ pub fn export_csv(suite: &Suite, dir: &Path) -> io::Result<Vec<PathBuf>> {
     }
     emit("faults.csv", fl)?;
 
+    // Verification sweep (robustness extension; no paper column — the
+    // original evaluation assumes verification is free).
+    let mut vf = String::from(
+        "program,link,verify_mode,normalized_pct,verify_cycles,verify_share_pct,invocation_latency,stall_cycles\n",
+    );
+    for r in experiment::verify::verify_sweep(suite) {
+        vf.push_str(&format!(
+            "{},{},{},{:.1},{},{:.2},{},{}\n",
+            r.name,
+            r.link.name,
+            r.mode.label(),
+            r.normalized,
+            r.verify_cycles,
+            r.verify_share,
+            r.invocation_latency,
+            r.stall_cycles
+        ));
+    }
+    emit("verify.csv", vf)?;
+
     Ok(written)
 }
 
@@ -263,7 +283,7 @@ mod tests {
         };
         let dir = std::env::temp_dir().join(format!("nonstrict-export-{}", std::process::id()));
         let files = export_csv(&suite, &dir).unwrap();
-        assert_eq!(files.len(), 12);
+        assert_eq!(files.len(), 13);
         for f in &files {
             let content = fs::read_to_string(f).unwrap();
             let mut lines = content.lines();

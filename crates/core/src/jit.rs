@@ -234,6 +234,7 @@ mod tests {
                 data_layout: DataLayout::Whole,
                 execution: ExecutionModel::NonStrict,
                 faults: None,
+                verify: crate::model::VerifyMode::Off,
             },
         );
         assert_eq!(r.total_cycles, plain.total_cycles);

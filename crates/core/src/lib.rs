@@ -38,6 +38,6 @@ pub mod report;
 pub mod sim;
 
 pub use model::{
-    DataLayout, ExecutionModel, FaultConfig, OrderingSource, SimConfig, TransferPolicy,
+    DataLayout, ExecutionModel, FaultConfig, OrderingSource, SimConfig, TransferPolicy, VerifyMode,
 };
-pub use sim::{simulate, FaultSummary, Session, SimResult};
+pub use sim::{simulate, FaultSummary, Session, SimResult, VERIFY_CYCLES_PER_GLOBAL_BYTE};

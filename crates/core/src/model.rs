@@ -99,6 +99,10 @@ pub struct FaultConfig {
     pub drop_pm: u32,
     /// Fraction of delivery time (ppm) spent in half-rate droop windows.
     pub droop_pm: u32,
+    /// Per-attempt semantic-corruption probability (ppm): the unit
+    /// passes CRC but fails incremental validation, is quarantined, and
+    /// refetched like a corrupt unit.
+    pub semantic_pm: u32,
     /// Reconnect latency after a drop, in cycles.
     pub reconnect_cycles: u64,
     /// Misprediction-plus-fault pressure (stalls + retransmissions) on a
@@ -125,6 +129,7 @@ impl FaultConfig {
             corrupt_pm: 0,
             drop_pm: 0,
             droop_pm: 0,
+            semantic_pm: 0,
             reconnect_cycles: Self::DEFAULT_RECONNECT_CYCLES,
             degrade_threshold: Self::DEFAULT_DEGRADE_THRESHOLD,
         }
@@ -135,7 +140,11 @@ impl FaultConfig {
     /// byte-identical to a perfect-link run.
     #[must_use]
     pub fn is_active(&self) -> bool {
-        self.loss_pm > 0 || self.corrupt_pm > 0 || self.drop_pm > 0 || self.droop_pm > 0
+        self.loss_pm > 0
+            || self.corrupt_pm > 0
+            || self.drop_pm > 0
+            || self.droop_pm > 0
+            || self.semantic_pm > 0
     }
 
     /// The netsim-level realization of this config.
@@ -147,7 +156,49 @@ impl FaultConfig {
             corrupt_pm: self.corrupt_pm,
             drop_pm: self.drop_pm,
             droop_pm: self.droop_pm,
+            semantic_pm: self.semantic_pm,
             reconnect_cycles: self.reconnect_cycles,
+        }
+    }
+}
+
+/// When class-file verification runs and how much of it gates
+/// execution (§3.1.1's five-step check mapped onto the stream).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum VerifyMode {
+    /// No verification is charged or gated — the seed repo's behaviour,
+    /// and the default, so existing results stay byte-identical.
+    #[default]
+    Off,
+    /// Verified-prefix streaming: steps 1–2 run when a class's global
+    /// data arrives, steps 3–4 run per method at delimiter arrival; a
+    /// method may execute only once its prefix is verified. A class
+    /// demoted to strict demand-fetch pays a full-file re-verify.
+    Stream,
+    /// Whole-file verification: every class is verified in full before
+    /// any of its methods may run, as a strict 1998 JVM would.
+    Full,
+}
+
+impl VerifyMode {
+    /// Short label for reports and CSV columns.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            VerifyMode::Off => "off",
+            VerifyMode::Stream => "stream",
+            VerifyMode::Full => "full",
+        }
+    }
+
+    /// Parses a CLI-style label (the inverse of [`Self::label`]).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<VerifyMode> {
+        match s {
+            "off" => Some(VerifyMode::Off),
+            "stream" => Some(VerifyMode::Stream),
+            "full" => Some(VerifyMode::Full),
+            _ => None,
         }
     }
 }
@@ -168,6 +219,9 @@ pub struct SimConfig {
     /// Link-fault injection; `None` (or an all-zero config) is a
     /// perfect link.
     pub faults: Option<FaultConfig>,
+    /// Verification mode: whether execution is gated on verified
+    /// prefixes and verify cycles are charged.
+    pub verify: VerifyMode,
 }
 
 impl SimConfig {
@@ -183,6 +237,7 @@ impl SimConfig {
             data_layout: DataLayout::Whole,
             execution: ExecutionModel::Strict,
             faults: None,
+            verify: VerifyMode::Off,
         }
     }
 
@@ -197,6 +252,7 @@ impl SimConfig {
             data_layout: DataLayout::Whole,
             execution: ExecutionModel::NonStrict,
             faults: None,
+            verify: VerifyMode::Off,
         }
     }
 
@@ -204,6 +260,13 @@ impl SimConfig {
     #[must_use]
     pub fn with_faults(mut self, faults: FaultConfig) -> Self {
         self.faults = Some(faults);
+        self
+    }
+
+    /// This configuration with `verify` as its verification mode.
+    #[must_use]
+    pub fn with_verify(mut self, verify: VerifyMode) -> Self {
+        self.verify = verify;
         self
     }
 
@@ -256,6 +319,24 @@ mod tests {
         let mut lossy = zero;
         lossy.loss_pm = 10_000;
         assert_eq!(cfg.with_faults(lossy).active_faults(), Some(lossy));
+    }
+
+    #[test]
+    fn verify_mode_labels_round_trip() {
+        for mode in [VerifyMode::Off, VerifyMode::Stream, VerifyMode::Full] {
+            assert_eq!(VerifyMode::parse(mode.label()), Some(mode));
+        }
+        assert_eq!(VerifyMode::parse("streaming"), None);
+        assert_eq!(VerifyMode::default(), VerifyMode::Off);
+    }
+
+    #[test]
+    fn semantic_rate_alone_activates_the_fault_config() {
+        let mut fc = FaultConfig::seeded(9);
+        assert!(!fc.is_active());
+        fc.semantic_pm = 5_000;
+        assert!(fc.is_active());
+        assert_eq!(fc.plan().semantic_pm, 5_000);
     }
 
     #[test]

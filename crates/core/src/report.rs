@@ -383,6 +383,37 @@ pub fn render_fault_sweep(rows: &[crate::experiment::faults::FaultRow]) -> Strin
     out
 }
 
+/// Renders the verification sweep: what the verified-prefix gate costs
+/// under each [`crate::model::VerifyMode`]. Not part of [`render_all`],
+/// which reproduces only the paper's verification-free tables.
+#[must_use]
+pub fn render_verify_sweep(rows: &[crate::experiment::verify::VerifyRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Verification sweep: verified-prefix streaming (non-strict par(4), SCG)"
+    );
+    let _ = writeln!(
+        out,
+        "{:8} {:>6} {:>7} {:>7} {:>13} {:>8} {:>13}",
+        "Program", "link", "mode", "norm%", "verify cyc", "verify%", "invoke lat"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:8} {:>6} {:>7} {:>7.1} {:>13} {:>8.2} {:>13}",
+            r.name,
+            r.link.name,
+            r.mode.label(),
+            r.normalized,
+            r.verify_cycles,
+            r.verify_share,
+            r.invocation_latency,
+        );
+    }
+    out
+}
+
 /// Renders every table and the figure in paper order.
 #[must_use]
 pub fn render_all(suite: &Suite) -> String {
@@ -498,6 +529,19 @@ mod tests {
         assert!(text.contains("Fault sweep"), "{text}");
         assert!(text.contains("completion rate 100.0%"), "{text}");
         assert!(text.contains("retries total"), "{text}");
+    }
+
+    #[test]
+    fn verify_sweep_renders_overhead_report() {
+        let session = Session::new(nonstrict_workloads::hanoi::build()).unwrap();
+        let suite = Suite {
+            sessions: vec![session],
+        };
+        let rows = crate::experiment::verify::verify_sweep(&suite);
+        let text = render_verify_sweep(&rows);
+        assert!(text.contains("Verification sweep"), "{text}");
+        assert!(text.contains("stream"), "{text}");
+        assert!(text.contains("full"), "{text}");
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! with transfer" accounting, including demand fetches on misprediction
 //! and transfer termination when execution finishes first.
 
-use nonstrict_bytecode::{Application, Input, InterpError};
+use nonstrict_bytecode::{method_verify_cost, Application, Input, InterpError};
 use nonstrict_netsim::{
     add_checksum_overhead, class_units, greedy_schedule, ClassUnits, FaultedEngine,
     InterleavedEngine, ParallelEngine, StrictEngine, TransferEngine, Weights, DELIMITER_BYTES,
@@ -19,7 +19,14 @@ use nonstrict_reorder::{
 };
 
 use crate::linker::{IncrementalLinker, LinkStats};
-use crate::model::{DataLayout, ExecutionModel, OrderingSource, SimConfig, TransferPolicy};
+use crate::model::{
+    DataLayout, ExecutionModel, OrderingSource, SimConfig, TransferPolicy, VerifyMode,
+};
+
+/// Per-byte cycle charge for verification steps 1–2: structural checks
+/// and constant-pool cross-references over a class's global data, run
+/// once when the prelude (global data) finishes arriving.
+pub const VERIFY_CYCLES_PER_GLOBAL_BYTE: u64 = 2;
 
 /// Fault-recovery summary of one run: how the resilient protocol and
 /// graceful degradation behaved. All-zero (with `completed` true) on a
@@ -36,6 +43,9 @@ pub struct FaultSummary {
     pub drops: u64,
     /// Units that arrived corrupted (CRC mismatch) and were re-sent.
     pub corrupted: u64,
+    /// Units that passed CRC but failed semantic validation, were
+    /// quarantined, and refetched.
+    pub quarantined: u64,
     /// Classes demoted from non-strict streaming to strict demand-fetch
     /// by degradation pressure.
     pub degraded_classes: u32,
@@ -57,8 +67,11 @@ pub struct SimResult {
     /// Cycles spent stalled waiting for bytes (transfer wait only; the
     /// fault-recovery share of stalls is in
     /// [`FaultSummary::recovery_cycles`], so `total = exec + stall +
-    /// recovery`).
+    /// recovery + verify`).
     pub stall_cycles: u64,
+    /// Cycles spent verifying class-file prefixes before execution was
+    /// allowed past them (zero under [`VerifyMode::Off`]).
+    pub verify_cycles: u64,
     /// Invocation latency: cycles until the entry method could begin
     /// (Table 4).
     pub invocation_latency: u64,
@@ -201,6 +214,36 @@ impl Session {
         self.collected(input).trace.total_instructions() * self.app.cpi
     }
 
+    /// Cycles to verify class `c`'s global data (steps 1–2).
+    fn global_verify_cost(&self, c: usize) -> u64 {
+        u64::from(self.app.classes[c].global_data_size()) * VERIFY_CYCLES_PER_GLOBAL_BYTE
+    }
+
+    /// Cycles to verify one method of class `c` (steps 3–4).
+    fn method_verify_cost_at(&self, c: usize, m: usize) -> u64 {
+        method_verify_cost(&self.app.program.classes()[c].methods[m])
+    }
+
+    /// Cycles to verify class `c` in full: global data plus every
+    /// method. Charged on whole-file verification and on the full-file
+    /// re-verify a degradation demotion forces.
+    fn class_verify_cost(&self, c: usize) -> u64 {
+        let methods: u64 = self.app.program.classes()[c]
+            .methods
+            .iter()
+            .map(method_verify_cost)
+            .sum();
+        self.global_verify_cost(c) + methods
+    }
+
+    /// Cycles to verify the whole application, as the strict baseline
+    /// must before running.
+    fn full_verify_cost(&self) -> u64 {
+        (0..self.app.classes.len())
+            .map(|c| self.class_verify_cost(c))
+            .sum()
+    }
+
     /// The instrumented run for `input`.
     #[must_use]
     pub fn collected(&self, input: Input) -> &Collected {
@@ -221,7 +264,18 @@ impl Session {
         if config.is_baseline() {
             // The paper's base case: one class at a time in source
             // order, execution strictly after transfer — total is the
-            // exact sum (Table 3).
+            // exact sum (Table 3). When verification is on, every class
+            // is verified in full as it loads, before execution.
+            let verify_cycles = match config.verify {
+                VerifyMode::Off => 0,
+                VerifyMode::Stream | VerifyMode::Full => self.full_verify_cost(),
+            };
+            let entry_verify = match config.verify {
+                VerifyMode::Off => 0,
+                VerifyMode::Stream | VerifyMode::Full => {
+                    self.class_verify_cost(self.app.program.entry().class.0 as usize)
+                }
+            };
             let class_order: Vec<usize> = (0..units.len()).collect();
             let mut engine = StrictEngine::new(config.link, &units, &class_order);
             let entry_class = self.app.program.entry().class.0 as usize;
@@ -236,13 +290,15 @@ impl Session {
                     config.link,
                 );
                 let entry_unit = units[entry_class].unit_count() - 1;
-                let invocation_latency = faulted.unit_ready(entry_class, entry_unit, 0);
+                let invocation_latency =
+                    faulted.unit_ready(entry_class, entry_unit, 0) + entry_verify;
                 let finish = faulted.finish_time();
                 let stats = faulted.fault_stats();
                 return SimResult {
-                    total_cycles: finish + exec_cycles,
+                    total_cycles: finish + verify_cycles + exec_cycles,
                     exec_cycles,
                     stall_cycles: perfect_finish,
+                    verify_cycles,
                     invocation_latency,
                     stalls: 1,
                     link_stats: LinkStats::default(),
@@ -251,6 +307,7 @@ impl Session {
                         retries: stats.retries,
                         drops: stats.drops,
                         corrupted: stats.corrupted,
+                        quarantined: stats.quarantined,
                         degraded_classes: 0,
                         session_degraded: false,
                         completed: true,
@@ -258,10 +315,11 @@ impl Session {
                 };
             }
             return SimResult {
-                total_cycles: perfect_finish + exec_cycles,
+                total_cycles: perfect_finish + verify_cycles + exec_cycles,
                 exec_cycles,
                 stall_cycles: perfect_finish,
-                invocation_latency: engine.class_ready(entry_class),
+                verify_cycles,
+                invocation_latency: engine.class_ready(entry_class) + entry_verify,
                 stalls: 1,
                 link_stats: LinkStats::default(),
                 faults: FaultSummary {
@@ -328,8 +386,25 @@ impl Session {
         let mut clock: u64 = 0;
         let mut stall_cycles: u64 = 0;
         let mut recovery_cycles: u64 = 0;
+        let mut verify_cycles: u64 = 0;
         let mut stalls: u32 = 0;
         let mut invocation_latency: Option<u64> = None;
+
+        // Verified-prefix bookkeeping: which prefixes have already paid
+        // their verification charge. Steps 1–2 run once per class when
+        // its global data is first needed; steps 3–4 run once per method
+        // at its delimiter. Execution may not pass a gate until the
+        // prefix behind it is verified, so every charge advances the
+        // clock.
+        let verify = config.verify;
+        let mut globals_verified: Vec<bool> = vec![false; units.len()];
+        let mut methods_verified: Vec<Vec<bool>> = self
+            .app
+            .program
+            .classes()
+            .iter()
+            .map(|c| vec![false; c.methods.len()])
+            .collect();
 
         // Graceful degradation (fault protocol): when the combined
         // misprediction-plus-fault pressure on a class crosses the
@@ -350,9 +425,13 @@ impl Session {
                 TraceEvent::Enter(m) => {
                     let c = m.class.0 as usize;
                     let pos = layouts[c].position_of(m.method);
+                    // Whole-file verification cannot begin before the
+                    // whole file arrived, so `VerifyMode::Full` forfeits
+                    // non-strict overlap and gates on the last unit.
                     let strict_entry = config.execution == ExecutionModel::Strict
                         || session_degraded
-                        || demoted[c];
+                        || demoted[c]
+                        || verify == VerifyMode::Full;
                     let unit = if strict_entry {
                         // Strict execution waits for the entire class.
                         units[c].unit_count() - 1
@@ -377,6 +456,60 @@ impl Session {
                             if u64::from(degraded_classes) * 2 > nclasses as u64 {
                                 session_degraded = true;
                             }
+                            if verify == VerifyMode::Stream {
+                                // Demotion refetches the class as one
+                                // strict file; the incremental
+                                // verdicts are discarded and the whole
+                                // file is re-verified from scratch.
+                                let cost = self.class_verify_cost(c);
+                                verify_cycles += cost;
+                                clock += cost;
+                                globals_verified[c] = true;
+                                for v in &mut methods_verified[c] {
+                                    *v = true;
+                                }
+                            }
+                        }
+                    }
+                    if verify != VerifyMode::Off {
+                        if !globals_verified[c] {
+                            // Steps 1–2: the class's global data just
+                            // became needed; verify it before any of
+                            // its methods may run.
+                            globals_verified[c] = true;
+                            let cost = self.global_verify_cost(c);
+                            verify_cycles += cost;
+                            clock += cost;
+                        }
+                        if strict_entry {
+                            // The whole file is present: verify every
+                            // still-unverified method before entry.
+                            for mi in 0..methods_verified[c].len() {
+                                if !methods_verified[c][mi] {
+                                    methods_verified[c][mi] = true;
+                                    let cost = self.method_verify_cost_at(c, mi);
+                                    verify_cycles += cost;
+                                    clock += cost;
+                                }
+                            }
+                        } else {
+                            let mi = m.method as usize;
+                            if !methods_verified[c][mi] {
+                                methods_verified[c][mi] = true;
+                                // Steps 3–4 run for real: the method is
+                                // re-verified against the finished
+                                // program, exactly what the streaming
+                                // loader does at delimiter arrival.
+                                let check = self.app.program.verify_method(m);
+                                debug_assert!(
+                                    check.is_ok(),
+                                    "streamed method failed re-verification: {check:?}"
+                                );
+                                let _ = check;
+                                let cost = self.method_verify_cost_at(c, mi);
+                                verify_cycles += cost;
+                                clock += cost;
+                            }
                         }
                     }
                     linker.globals_arrived(c);
@@ -394,11 +527,17 @@ impl Session {
         }
 
         debug_assert!(linker.consistent());
+        debug_assert_eq!(
+            clock,
+            exec_cycles + stall_cycles + recovery_cycles + verify_cycles,
+            "every clock advance must land in exactly one accounting bucket"
+        );
         let stats = engine.fault_stats();
         SimResult {
             total_cycles: clock,
             exec_cycles,
             stall_cycles,
+            verify_cycles,
             invocation_latency: invocation_latency.unwrap_or(0),
             stalls,
             link_stats: linker.stats(),
@@ -407,6 +546,7 @@ impl Session {
                 retries: stats.retries,
                 drops: stats.drops,
                 corrupted: stats.corrupted,
+                quarantined: stats.quarantined,
                 degraded_classes,
                 session_degraded,
                 completed: true,
@@ -461,6 +601,7 @@ mod tests {
                         data_layout,
                         execution: ExecutionModel::NonStrict,
                         faults: None,
+                        verify: VerifyMode::Off,
                     });
                 }
             }
@@ -513,6 +654,7 @@ mod tests {
                 data_layout: DataLayout::Whole,
                 execution: ExecutionModel::NonStrict,
                 faults: None,
+                verify: VerifyMode::Off,
             };
             s.simulate(Input::Test, &config).total_cycles
         };
@@ -557,5 +699,78 @@ mod tests {
         let a = s.simulate(Input::Test, &config);
         let b = s.simulate(Input::Test, &config);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn verify_off_charges_nothing_and_matches_legacy_results() {
+        let s = session();
+        for config in all_nonstrict_configs(Link::MODEM_28_8) {
+            let off = s.simulate(Input::Test, &config);
+            assert_eq!(off.verify_cycles, 0);
+            assert_eq!(
+                off,
+                s.simulate(Input::Test, &config.with_verify(VerifyMode::Off))
+            );
+        }
+    }
+
+    #[test]
+    fn verify_accounting_identity_holds_in_every_mode() {
+        let s = session();
+        for mode in [VerifyMode::Off, VerifyMode::Stream, VerifyMode::Full] {
+            for base in [
+                SimConfig::strict(Link::MODEM_28_8),
+                SimConfig::non_strict(Link::MODEM_28_8, OrderingSource::StaticCallGraph),
+                SimConfig::non_strict(Link::T1, OrderingSource::TrainProfile),
+            ] {
+                let r = s.simulate(Input::Test, &base.with_verify(mode));
+                assert_eq!(
+                    r.total_cycles,
+                    r.exec_cycles + r.stall_cycles + r.faults.recovery_cycles + r.verify_cycles,
+                    "{mode:?} {base:?}"
+                );
+                if mode == VerifyMode::Off {
+                    assert_eq!(r.verify_cycles, 0);
+                } else {
+                    assert!(r.verify_cycles > 0, "{mode:?} must charge verification");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stream_verification_keeps_overlap_full_forfeits_it() {
+        let s = session();
+        let base = SimConfig::non_strict(Link::MODEM_28_8, OrderingSource::StaticCallGraph);
+        let off = s.simulate(Input::Test, &base);
+        let stream = s.simulate(Input::Test, &base.with_verify(VerifyMode::Stream));
+        let full = s.simulate(Input::Test, &base.with_verify(VerifyMode::Full));
+        // Streaming verification charges cycles but keeps the gate at
+        // the method delimiter; whole-file verification waits for the
+        // entire class, so it can only be slower.
+        assert!(stream.total_cycles >= off.total_cycles);
+        assert!(full.total_cycles >= stream.total_cycles);
+        assert!(full.invocation_latency >= stream.invocation_latency);
+        // Stream only verifies executed classes' prefixes; full pays
+        // for whole classes at strict gates — equal only if every
+        // method of every entered class executes.
+        assert!(stream.verify_cycles <= full.verify_cycles);
+    }
+
+    #[test]
+    fn stream_verifies_each_executed_method_once() {
+        let s = session();
+        let base = SimConfig::non_strict(Link::T1, OrderingSource::StaticCallGraph);
+        let r = s.simulate(Input::Test, &base.with_verify(VerifyMode::Stream));
+        // Each executed method is charged exactly once, plus each
+        // entered class's global data exactly once.
+        let expected: u64 = s
+            .app
+            .program
+            .iter_methods()
+            .filter(|(id, _)| s.test.profile.executed(*id))
+            .map(|(_, m)| nonstrict_bytecode::method_verify_cost(m))
+            .sum();
+        assert!(r.verify_cycles >= expected, "per-method charges present");
     }
 }

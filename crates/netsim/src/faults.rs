@@ -58,6 +58,9 @@ pub struct FaultStats {
     pub lost: u64,
     /// Units that arrived with a CRC mismatch.
     pub corrupted: u64,
+    /// Units that passed the CRC but failed semantic validation at the
+    /// verified-prefix gate and were quarantined and re-fetched.
+    pub quarantined: u64,
     /// Connection drops (each costs the reconnect latency).
     pub drops: u64,
     /// Cycles the protocol spent on recovery across the whole transfer
@@ -78,6 +81,9 @@ pub struct UnitDelivery {
     pub lost: u32,
     /// CRC failures among the failed attempts.
     pub corrupted: u32,
+    /// Semantic-validation failures (quarantines) among the failed
+    /// attempts.
+    pub quarantined: u32,
     /// Connection drops among the failed attempts.
     pub drops: u32,
     /// Extra cycles this unit's stream spends recovering.
@@ -97,6 +103,12 @@ pub struct FaultPlan {
     pub corrupt_pm: u32,
     /// Per-attempt probability (ppm) the connection drops mid-unit.
     pub drop_pm: u32,
+    /// Per-attempt probability (ppm) a unit passes its CRC but fails
+    /// semantic validation at the verified-prefix gate (an adversarial
+    /// or garbled-in-flight unit whose damage the checksum missed). The
+    /// receiver quarantines it and re-fetches, exactly like a CRC
+    /// failure.
+    pub semantic_pm: u32,
     /// Fraction (ppm) of base delivery time spent in half-rate droop
     /// windows.
     pub droop_pm: u32,
@@ -118,6 +130,7 @@ const SALT_LOSS: u64 = 0x4c4f_5353_4c4f_5353;
 const SALT_CORRUPT: u64 = 0x4352_4350_4352_4350;
 const SALT_DROP: u64 = 0x4452_4f50_4452_4f50;
 const SALT_PHASE: u64 = 0x5048_4153_5048_4153;
+const SALT_SEMANTIC: u64 = 0x5345_4d41_5345_4d41;
 
 impl FaultPlan {
     /// A perfect link under `seed`: every rate zero, default reconnect.
@@ -128,6 +141,7 @@ impl FaultPlan {
             loss_pm: 0,
             corrupt_pm: 0,
             drop_pm: 0,
+            semantic_pm: 0,
             droop_pm: 0,
             reconnect_cycles: 1_000_000,
         }
@@ -136,7 +150,11 @@ impl FaultPlan {
     /// Whether this plan can never perturb a timeline.
     #[must_use]
     pub fn is_perfect(&self) -> bool {
-        self.loss_pm == 0 && self.corrupt_pm == 0 && self.drop_pm == 0 && self.droop_pm == 0
+        self.loss_pm == 0
+            && self.corrupt_pm == 0
+            && self.drop_pm == 0
+            && self.semantic_pm == 0
+            && self.droop_pm == 0
     }
 
     /// The deterministic draw for `(class, unit, attempt, salt)`.
@@ -163,7 +181,7 @@ impl FaultPlan {
             attempts: 1,
             ..UnitDelivery::default()
         };
-        if self.loss_pm == 0 && self.corrupt_pm == 0 && self.drop_pm == 0 {
+        if self.loss_pm == 0 && self.corrupt_pm == 0 && self.drop_pm == 0 && self.semantic_pm == 0 {
             return d;
         }
         for attempt in 0..RETRY_CAP - 1 {
@@ -173,7 +191,11 @@ impl FaultPlan {
                 self.corrupt_pm,
                 self.draw(class, unit, attempt, SALT_CORRUPT),
             );
-            if !(dropped || lost || corrupted) {
+            let quarantined = Self::hits(
+                self.semantic_pm,
+                self.draw(class, unit, attempt, SALT_SEMANTIC),
+            );
+            if !(dropped || lost || corrupted || quarantined) {
                 break;
             }
             d.attempts += 1;
@@ -190,9 +212,15 @@ impl FaultPlan {
                 // retransmit.
                 d.lost += 1;
                 d.penalty_cycles += loss_timeout(tx_cycles) + tx_cycles + backoff;
-            } else {
+            } else if corrupted {
                 // Full receipt, CRC mismatch: immediate NAK, retransmit.
                 d.corrupted += 1;
+                d.penalty_cycles += tx_cycles + backoff;
+            } else {
+                // Full receipt, CRC fine, but the verified-prefix gate
+                // rejected the unit's contents: quarantine it and
+                // re-fetch, same timing as a CRC NAK.
+                d.quarantined += 1;
                 d.penalty_cycles += tx_cycles + backoff;
             }
         }
@@ -265,6 +293,7 @@ impl<E: TransferEngine> FaultedEngine<E> {
                 stats.retries += u64::from(d.retries);
                 stats.lost += u64::from(d.lost);
                 stats.corrupted += u64::from(d.corrupted);
+                stats.quarantined += u64::from(d.quarantined);
                 stats.drops += u64::from(d.drops);
                 stats.recovery_cycles += d.penalty_cycles;
                 stats.retransmitted_bytes += bytes * u64::from(d.retries);
@@ -352,6 +381,7 @@ mod tests {
             loss_pm: 200_000,
             corrupt_pm: 100_000,
             drop_pm: 50_000,
+            semantic_pm: 50_000,
             droop_pm: 100_000,
             reconnect_cycles: 500_000,
         }
@@ -434,6 +464,7 @@ mod tests {
             loss_pm: 1_000_000,
             corrupt_pm: 0,
             drop_pm: 0,
+            semantic_pm: 0,
             droop_pm: 0,
             reconnect_cycles: 0,
         };
@@ -442,6 +473,41 @@ mod tests {
         assert_eq!(d.retries, RETRY_CAP - 1);
         let per_attempt = loss_timeout(1_000) + 1_000 + BACKOFF_CAP_CYCLES;
         assert!(d.penalty_cycles <= u64::from(RETRY_CAP) * per_attempt);
+    }
+
+    #[test]
+    fn semantic_failures_quarantine_and_refetch_like_crc_failures() {
+        // A plan with only semantic faults: every failed attempt is a
+        // quarantine, charged the same NAK timing as a corruption.
+        let semantic = FaultPlan {
+            seed: 6,
+            loss_pm: 0,
+            corrupt_pm: 0,
+            drop_pm: 0,
+            semantic_pm: 400_000,
+            droop_pm: 0,
+            reconnect_cycles: 0,
+        };
+        let crc = FaultPlan {
+            corrupt_pm: 400_000,
+            semantic_pm: 0,
+            ..semantic
+        };
+        let mut saw_quarantine = false;
+        for u in 0..40 {
+            let d = semantic.unit_delivery(0, u, 3_000);
+            assert_eq!(d.retries, d.quarantined, "only quarantines can retry");
+            assert_eq!(d.lost + d.corrupted + d.drops, 0);
+            saw_quarantine |= d.quarantined > 0;
+            // Same per-failure penalty shape as a CRC NAK: for a unit
+            // where both plans fail the same number of attempts, the
+            // penalties agree.
+            let c = crc.unit_delivery(0, u, 3_000);
+            if c.retries == d.retries {
+                assert_eq!(c.penalty_cycles, d.penalty_cycles);
+            }
+        }
+        assert!(saw_quarantine, "40% semantic rate must quarantine units");
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use nonstrict::core::metrics::normalized_percent;
 use nonstrict::core::{
-    DataLayout, ExecutionModel, OrderingSource, Session, SimConfig, TransferPolicy,
+    DataLayout, ExecutionModel, OrderingSource, Session, SimConfig, TransferPolicy, VerifyMode,
 };
 use nonstrict::netsim::Link;
 use nonstrict_bytecode::Input;
@@ -57,6 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     data_layout,
                     execution: ExecutionModel::NonStrict,
                     faults: None,
+                    verify: VerifyMode::Off,
                 };
                 let r = session.simulate(Input::Test, &config);
                 print!(" {:>8.1}", normalized_percent(r.total_cycles, base));

@@ -32,6 +32,7 @@
 //!     data_layout: DataLayout::Whole,
 //!     execution: ExecutionModel::NonStrict,
 //!     faults: None,
+//!     verify: VerifyMode::Off,
 //! };
 //! let result = simulate(&app, Input::Test, &config).unwrap();
 //! let strict = simulate(&app, Input::Test, &SimConfig::strict(Link::MODEM_28_8)).unwrap();
@@ -52,6 +53,7 @@ pub mod prelude {
     pub use nonstrict_core::metrics::normalized_percent;
     pub use nonstrict_core::model::{
         DataLayout, ExecutionModel, FaultConfig, OrderingSource, SimConfig, TransferPolicy,
+        VerifyMode,
     };
     pub use nonstrict_core::sim::{simulate, FaultSummary, Session, SimResult};
     pub use nonstrict_netsim::link::Link;

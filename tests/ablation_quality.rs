@@ -2,7 +2,7 @@
 //! actually win in simulation?
 
 use nonstrict::core::{
-    DataLayout, ExecutionModel, OrderingSource, Session, SimConfig, TransferPolicy,
+    DataLayout, ExecutionModel, OrderingSource, Session, SimConfig, TransferPolicy, VerifyMode,
 };
 use nonstrict::netsim::{class_units, greedy_schedule, ParallelEngine, TransferEngine, Weights};
 use nonstrict::reorder::{restructure, static_first_use, static_first_use_plain};
@@ -23,6 +23,7 @@ fn non_strict_gating_beats_strict_gating_under_identical_transfer() {
             data_layout: DataLayout::Whole,
             execution,
             faults: None,
+            verify: VerifyMode::Off,
         };
         let strict = s.simulate(Input::Test, &mk(ExecutionModel::Strict));
         let non_strict = s.simulate(Input::Test, &mk(ExecutionModel::NonStrict));
@@ -150,6 +151,7 @@ fn restructuring_matters_source_order_loses_to_first_use_order() {
         data_layout: DataLayout::Whole,
         execution: ExecutionModel::NonStrict,
         faults: None,
+        verify: VerifyMode::Off,
     };
     let source = s.simulate(Input::Test, &mk(OrderingSource::SourceOrder));
     let test = s.simulate(Input::Test, &mk(OrderingSource::TestProfile));

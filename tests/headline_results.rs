@@ -10,7 +10,9 @@ use std::sync::OnceLock;
 
 use nonstrict::core::experiment::{self, Suite};
 use nonstrict::core::metrics::mean;
-use nonstrict::core::{DataLayout, ExecutionModel, OrderingSource, SimConfig, TransferPolicy};
+use nonstrict::core::{
+    DataLayout, ExecutionModel, OrderingSource, SimConfig, TransferPolicy, VerifyMode,
+};
 use nonstrict::netsim::Link;
 use nonstrict_bytecode::Input;
 
@@ -138,6 +140,7 @@ fn non_strict_execution_always_improves_on_the_baseline() {
                         data_layout: DataLayout::Whole,
                         execution: ExecutionModel::NonStrict,
                         faults: None,
+                        verify: VerifyMode::Off,
                     };
                     let r = session.simulate(Input::Test, &config);
                     // Method delimiters add ~2 bytes per method to the

@@ -2,7 +2,7 @@
 //! reorder → netsim → core pipeline hangs together byte for byte.
 
 use nonstrict::core::{
-    DataLayout, ExecutionModel, OrderingSource, Session, SimConfig, TransferPolicy,
+    DataLayout, ExecutionModel, OrderingSource, Session, SimConfig, TransferPolicy, VerifyMode,
 };
 use nonstrict::netsim::{
     class_units, greedy_schedule, InterleavedEngine, Link, ParallelEngine, StrictEngine,
@@ -162,6 +162,7 @@ fn strict_transfer_with_nonstrict_execution_is_a_valid_ablation() {
         data_layout: DataLayout::Whole,
         execution: ExecutionModel::NonStrict,
         faults: None,
+        verify: VerifyMode::Off,
     };
     let mut ns = overlap;
     ns.transfer = TransferPolicy::Parallel { limit: 4 };

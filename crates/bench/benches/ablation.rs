@@ -93,6 +93,7 @@ fn bench_execution_model(c: &mut Criterion) {
             execution,
             faults: None,
             verify: VerifyMode::Off,
+            outages: None,
         };
         group.bench_function(label, |b| {
             b.iter(|| s.simulate(Input::Test, &config).total_cycles)

@@ -51,6 +51,7 @@ fn bench_policies(c: &mut Criterion) {
                 execution: ExecutionModel::NonStrict,
                 faults: None,
                 verify: VerifyMode::Off,
+                outages: None,
             };
             group.bench_function(BenchmarkId::new(label, &s.app.name), |b| {
                 b.iter(|| s.simulate(Input::Test, &config).total_cycles)
@@ -72,6 +73,7 @@ fn bench_partitioned(c: &mut Criterion) {
         execution: ExecutionModel::NonStrict,
         faults: None,
         verify: VerifyMode::Off,
+        outages: None,
     };
     group.bench_function("jess_par4_dp", |b| {
         b.iter(|| s.simulate(Input::Test, &config).total_cycles)

@@ -8,6 +8,7 @@
 //! paper summary      # headline claims vs measured
 //! paper faults       # fault sweep: resilience + graceful degradation
 //! paper verify       # verification sweep: verified-prefix streaming cost
+//! paper outage       # outage sweep: session checkpoint/resume cost
 //! paper csv results/ # machine-readable export of every table
 //! ```
 
@@ -86,6 +87,10 @@ fn main() {
             "{}",
             report::render_verify_sweep(&experiment::verify::verify_sweep(&suite))
         ),
+        "outage" => println!(
+            "{}",
+            report::render_outage_sweep(&experiment::outage::outage_sweep(&suite))
+        ),
         "csv" => {
             let dir = std::env::args()
                 .nth(2)
@@ -98,7 +103,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown table {other:?}; use all|table2..table10|fig6|summary|faults|verify|csv"
+                "unknown table {other:?}; use all|table2..table10|fig6|summary|faults|verify|outage|csv"
             );
             std::process::exit(2);
         }

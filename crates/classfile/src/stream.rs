@@ -254,10 +254,43 @@ impl StreamLoader {
         }
     }
 
+    /// Rebuilds a loader from locally cached transfer units after a
+    /// connection loss, revalidating every byte.
+    ///
+    /// `cached_units` are the units the session journal's delivered
+    /// watermark says survived the outage, in stream order starting at
+    /// unit 0 (the prelude). The cache is *untrusted* — a torn write
+    /// while the journal was being checkpointed can corrupt it — so
+    /// nothing is skipped: each unit goes back through the same arrival
+    /// validation a live stream gets. On success the loader stands
+    /// exactly where the interrupted one did and the transfer continues
+    /// with the next unit; on error the caller must discard the cache
+    /// and restart the class from unit 0 (fail closed).
+    ///
+    /// # Errors
+    ///
+    /// The first [`StreamError`] the cached prefix exhibits.
+    pub fn resume<U: AsRef<[u8]>>(cached_units: &[U]) -> Result<StreamLoader, StreamError> {
+        let mut loader = StreamLoader::new();
+        for unit in cached_units {
+            loader.feed(unit.as_ref())?;
+        }
+        Ok(loader)
+    }
+
     /// Methods fully received and validated so far.
     #[must_use]
     pub fn methods_received(&self) -> usize {
         self.methods.len()
+    }
+
+    /// Transfer units fully received and validated so far, in the
+    /// simulator's numbering: unit 0 is the prelude, units `1..=M` the
+    /// methods. This is the delivered watermark a session checkpoint
+    /// records for the class.
+    #[must_use]
+    pub fn units_received(&self) -> usize {
+        usize::from(self.prelude.is_some()) + self.methods.len()
     }
 
     /// Whether every declared unit has arrived and validated.
@@ -631,6 +664,45 @@ mod tests {
             loader.feed(&[0xAA]),
             Err(StreamError::TrailingBytes { count: 1 })
         ));
+    }
+
+    #[test]
+    fn resume_from_every_watermark_completes_byte_exactly() {
+        let class = sample();
+        let units = stream_units(&class).unwrap();
+        for watermark in 0..=units.len() {
+            let mut loader = StreamLoader::resume(&units[..watermark]).unwrap();
+            assert_eq!(loader.units_received(), watermark);
+            for unit in &units[watermark..] {
+                loader.feed(unit).unwrap();
+            }
+            assert_eq!(loader.units_received(), units.len());
+            assert_eq!(loader.finish().unwrap().to_bytes(), class.to_bytes());
+        }
+    }
+
+    #[test]
+    fn resume_revalidates_the_cache_and_fails_closed_on_corruption() {
+        let class = sample();
+        let mut units = stream_units(&class).unwrap();
+        let last = units[1].len() - 1;
+        units[1][last] ^= 0xFF; // torn cache: method 0's delimiter is gone
+        assert_eq!(
+            StreamLoader::resume(&units[..2]).err(),
+            Some(StreamError::BadDelimiter { index: 0 })
+        );
+    }
+
+    #[test]
+    fn units_received_counts_the_prelude_and_each_method() {
+        let class = sample();
+        let units = stream_units(&class).unwrap();
+        let mut loader = StreamLoader::new();
+        assert_eq!(loader.units_received(), 0);
+        for (i, unit) in units.iter().enumerate() {
+            loader.feed(unit).unwrap();
+            assert_eq!(loader.units_received(), i + 1);
+        }
     }
 
     #[test]

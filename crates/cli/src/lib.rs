@@ -26,9 +26,10 @@ use nonstrict_bytecode::{Application, Input};
 use nonstrict_classfile::{Attribute, GlobalDataBreakdown};
 use nonstrict_core::metrics::{cycles_to_seconds, normalized_percent};
 use nonstrict_core::model::{
-    DataLayout, ExecutionModel, FaultConfig, OrderingSource, SimConfig, TransferPolicy, VerifyMode,
+    DataLayout, ExecutionModel, FaultConfig, OrderingSource, OutageConfig, SimConfig,
+    TransferPolicy, VerifyMode,
 };
-use nonstrict_core::sim::Session;
+use nonstrict_core::sim::{RunOutcome, Session};
 use nonstrict_netsim::Link;
 use nonstrict_reorder::{partition_app, static_first_use, static_first_use_plain};
 
@@ -74,7 +75,13 @@ USAGE:
                                  [--verify off|stream|full]
                                  [--fault-seed N] [--loss PPM] [--drop PPM]
                                  [--corrupt PPM] [--droop PPM] [--semantic PPM]
+                                 [--outage-seed N] [--outage-rate PPM] [--outage-cycles N]
+                                 [--journal PATH] [--interrupt CYCLE]
   nonstrict timeline <benchmark> [--link t1|modem] [--ordering scg|train|test]
+
+Outage/resume: --interrupt kills the session at a base cycle and writes
+the checkpoint journal to --journal PATH; rerunning with --journal alone
+resumes from it (torn journals fail closed to a strict restart).
 
 BENCHMARKS: bit, hanoi, javacup, jess, jhlzip, testdes";
 
@@ -176,6 +183,27 @@ impl Flags {
         Ok(Some(fc))
     }
 
+    /// The outage configuration from `--outage-seed/--outage-rate/
+    /// --outage-cycles`, or `None` when no outage flag was given. The
+    /// rate is parts-per-million of outage probability per base-time
+    /// draw period; `--outage-cycles` pins the loss duration exactly
+    /// (min = max), leaving the seeded defaults otherwise.
+    fn outage_config(&self) -> Result<Option<OutageConfig>, CliError> {
+        let seed: Option<u64> = self.num_opt("outage-seed")?;
+        let rate: Option<u32> = self.num_opt("outage-rate")?;
+        let cycles: Option<u64> = self.num_opt("outage-cycles")?;
+        if seed.is_none() && rate.is_none() && cycles.is_none() {
+            return Ok(None);
+        }
+        let mut oc = OutageConfig::seeded(seed.unwrap_or(0));
+        oc.rate_pm = rate.unwrap_or(0);
+        if let Some(c) = cycles {
+            oc.min_cycles = c;
+            oc.max_cycles = c;
+        }
+        Ok(Some(oc))
+    }
+
     /// The verification mode from `--verify`, defaulting to `off` so a
     /// plain `simulate` reproduces the paper's verification-free numbers.
     fn verify_mode(&self) -> Result<VerifyMode, CliError> {
@@ -193,7 +221,7 @@ impl Flags {
 const BOOL_KEYS: [&str; 2] = ["partitioned", "strict-execution"];
 
 /// Keys that take a value.
-const VALUE_KEYS: [&str; 13] = [
+const VALUE_KEYS: [&str; 18] = [
     "class",
     "method",
     "source",
@@ -207,6 +235,11 @@ const VALUE_KEYS: [&str; 13] = [
     "corrupt",
     "droop",
     "semantic",
+    "outage-seed",
+    "outage-rate",
+    "outage-cycles",
+    "journal",
+    "interrupt",
 ];
 
 fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
@@ -472,6 +505,7 @@ fn cmd_simulate(flags: &Flags) -> Result<String, CliError> {
         },
         faults: flags.fault_config()?,
         verify: flags.verify_mode()?,
+        outages: flags.outage_config()?,
     };
 
     let session = Session::new(app).map_err(|e| CliError {
@@ -479,13 +513,66 @@ fn cmd_simulate(flags: &Flags) -> Result<String, CliError> {
         code: 1,
     })?;
     let base = session.simulate(Input::Test, &SimConfig::strict(link));
-    let r = session.simulate(Input::Test, &config);
+    let mut prelude = String::new();
+    let r = if let Some(at) = flags.num_opt::<u64>("interrupt")? {
+        let path = flags.get("journal").ok_or_else(|| {
+            CliError::usage("--interrupt needs --journal PATH to store the checkpoint")
+        })?;
+        match session.run_until(Input::Test, &config, at) {
+            RunOutcome::Interrupted(bytes) => {
+                std::fs::write(path, &bytes).map_err(|e| CliError {
+                    message: format!("cannot write journal {path}: {e}"),
+                    code: 1,
+                })?;
+                return Ok(format!(
+                    "{}: session killed at base cycle {at}; checkpoint journal ({} bytes) written to {path}\n  resume by rerunning with --journal {path} (without --interrupt)\n",
+                    session.app.name,
+                    bytes.len()
+                ));
+            }
+            RunOutcome::Finished(r) => {
+                let _ = writeln!(
+                    prelude,
+                    "  (run finished at {} cycles, before the --interrupt point {at}; no journal written)",
+                    r.total_cycles
+                );
+                r
+            }
+        }
+    } else if let Some(path) = flags.get("journal") {
+        let bytes = std::fs::read(path).map_err(|e| CliError {
+            message: format!("cannot read journal {path}: {e}"),
+            code: 1,
+        })?;
+        let r = session.resume(
+            Input::Test,
+            &config,
+            &bytes,
+            OutageConfig::DEFAULT_NEGOTIATION_CYCLES,
+        );
+        let _ = writeln!(
+            prelude,
+            "  resumed from journal {path} ({} bytes): {}",
+            bytes.len(),
+            if r.outage.failed_closed {
+                "FAIL-CLOSED — journal untrusted, restarted under strict execution"
+            } else if r.outage.refetched_classes > 0 {
+                "resumed with targeted refetch of stale classes"
+            } else {
+                "resumed cleanly"
+            }
+        );
+        r
+    } else {
+        session.simulate(Input::Test, &config)
+    };
     let mut out = String::new();
     let _ = writeln!(
         out,
         "{} over {} — {:?}",
         session.app.name, link.name, config
     );
+    out.push_str(&prelude);
     let _ = writeln!(
         out,
         "  total:              {:>12} cycles ({:.2} s on the 500MHz Alpha)",
@@ -550,6 +637,34 @@ fn cmd_simulate(flags: &Flags) -> Result<String, CliError> {
             } else {
                 "incomplete"
             }
+        );
+        if f.forced > 0 {
+            let _ = writeln!(
+                out,
+                "  WARNING: {} deliveries exhausted the retry cap and were forced through — the link is at the protocol's survivable edge",
+                f.forced
+            );
+        }
+    }
+    if r.outage.outages > 0 || r.outage.failed_closed || config.active_outages().is_some() {
+        let o = &r.outage;
+        let _ = writeln!(
+            out,
+            "  outages:            {} survived, {} journal resumes, {} classes refetched{}",
+            o.outages,
+            o.resumes,
+            o.refetched_classes,
+            if o.failed_closed {
+                " (FAIL-CLOSED restart)"
+            } else {
+                ""
+            }
+        );
+        let _ = writeln!(
+            out,
+            "  resume cost:        {:>12} cycles ({:.2}% of total)",
+            o.resume_cycles,
+            nonstrict_core::metrics::resume_share_percent(o.resume_cycles, r.total_cycles)
         );
     }
     Ok(out)
@@ -837,5 +952,100 @@ mod tests {
     fn flag_value_missing_is_usage_error() {
         let err = run_str(&["simulate", "hanoi", "--link"]).unwrap_err();
         assert!(err.message.contains("needs a value"));
+    }
+
+    #[test]
+    fn outage_flags_report_resume_cost_deterministically() {
+        let args = [
+            "simulate",
+            "hanoi",
+            "--link",
+            "modem",
+            "--outage-seed",
+            "7",
+            "--outage-rate",
+            "600000",
+            "--outage-cycles",
+            "2000000",
+        ];
+        let a = run_str(&args).unwrap();
+        let b = run_str(&args).unwrap();
+        assert_eq!(a, b);
+        assert!(a.contains("outages:"), "{a}");
+        assert!(a.contains("resume cost:"), "{a}");
+    }
+
+    #[test]
+    fn zero_rate_outage_flags_leave_the_report_tail_unchanged() {
+        let plain = run_str(&["simulate", "hanoi", "--link", "t1"]).unwrap();
+        let seeded = run_str(&["simulate", "hanoi", "--link", "t1", "--outage-seed", "3"]).unwrap();
+        // An armed-but-zero-rate outage config is normalized away by
+        // `active_outages`, so only the echoed config line may differ.
+        let tail = |s: &str| s.lines().skip(1).collect::<Vec<_>>().join("\n");
+        assert_eq!(tail(&plain), tail(&seeded));
+        assert!(!plain.contains("resume cost"), "{plain}");
+    }
+
+    #[test]
+    fn interrupt_without_journal_is_a_usage_error() {
+        let err = run_str(&["simulate", "hanoi", "--interrupt", "1000"]).unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("--journal"), "{}", err.message);
+    }
+
+    #[test]
+    fn interrupt_writes_a_journal_that_resumes_the_session() {
+        let path =
+            std::env::temp_dir().join(format!("nonstrict-cli-journal-{}.bin", std::process::id()));
+        let path = path.to_str().unwrap().to_string();
+        let killed = run_str(&[
+            "simulate",
+            "hanoi",
+            "--link",
+            "modem",
+            "--interrupt",
+            "5000000",
+            "--journal",
+            &path,
+        ])
+        .unwrap();
+        assert!(
+            killed.contains("session killed at base cycle 5000000"),
+            "{killed}"
+        );
+        assert!(killed.contains("journal"), "{killed}");
+        let resumed =
+            run_str(&["simulate", "hanoi", "--link", "modem", "--journal", &path]).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert!(resumed.contains("resumed cleanly"), "{resumed}");
+        assert!(resumed.contains("resume cost:"), "{resumed}");
+        // The resumed run pays exactly the reconnect negotiation on top
+        // of the uninterrupted total.
+        let plain = run_str(&["simulate", "hanoi", "--link", "modem"]).unwrap();
+        let total = |s: &str| -> u64 {
+            s.lines()
+                .find(|l| l.contains("total:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|n| n.parse().ok())
+                .unwrap()
+        };
+        assert_eq!(
+            total(&resumed),
+            total(&plain) + OutageConfig::DEFAULT_NEGOTIATION_CYCLES
+        );
+    }
+
+    #[test]
+    fn corrupt_journal_fails_closed_in_the_report() {
+        let path = std::env::temp_dir().join(format!(
+            "nonstrict-cli-torn-journal-{}.bin",
+            std::process::id()
+        ));
+        let path = path.to_str().unwrap().to_string();
+        std::fs::write(&path, b"not a journal at all").unwrap();
+        let out = run_str(&["simulate", "hanoi", "--link", "modem", "--journal", &path]).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert!(out.contains("FAIL-CLOSED"), "{out}");
+        assert!(out.contains("restarted under strict execution"), "{out}");
     }
 }

@@ -5,6 +5,7 @@
 //! published numbers ([`paper`]).
 
 pub mod faults;
+pub mod outage;
 pub mod paper;
 pub mod verify;
 
@@ -230,6 +231,7 @@ pub fn parallel_table(suite: &Suite, link: Link, data_layout: DataLayout) -> Par
                         execution: ExecutionModel::NonStrict,
                         faults: None,
                         verify: VerifyMode::Off,
+                        outages: None,
                     };
                     cells[o][l] = suite.normalized(s, &config);
                 }
@@ -293,6 +295,7 @@ pub fn interleaved_table(suite: &Suite, data_layout: DataLayout) -> InterleavedT
                         execution: ExecutionModel::NonStrict,
                         faults: None,
                         verify: VerifyMode::Off,
+                        outages: None,
                     };
                     cols[k * 3 + o] = suite.normalized(s, &config);
                 }
@@ -385,6 +388,7 @@ pub fn table10(suite: &Suite) -> (InterleavedTable, InterleavedTable) {
                         execution: ExecutionModel::NonStrict,
                         faults: None,
                         verify: VerifyMode::Off,
+                        outages: None,
                     };
                     cols[k * 3 + o] = suite.normalized(s, &config);
                 }

@@ -267,6 +267,27 @@ pub fn export_csv(suite: &Suite, dir: &Path) -> io::Result<Vec<PathBuf>> {
     }
     emit("verify.csv", vf)?;
 
+    // Outage sweep (robustness extension; no paper column — the original
+    // evaluation assumes the connection survives the whole download).
+    let mut og = String::from(
+        "program,link,rate_ppm,outage_cycles,normalized_pct,resume_share_pct,outages,resumes,pure_downtime\n",
+    );
+    for r in experiment::outage::outage_sweep(suite) {
+        og.push_str(&format!(
+            "{},{},{},{},{:.1},{:.2},{},{},{}\n",
+            r.name,
+            r.link.name,
+            r.rate_pm,
+            r.outage_cycles,
+            r.normalized,
+            r.resume_share,
+            r.outages,
+            r.resumes,
+            r.pure_downtime
+        ));
+    }
+    emit("outage.csv", og)?;
+
     Ok(written)
 }
 
@@ -283,7 +304,7 @@ mod tests {
         };
         let dir = std::env::temp_dir().join(format!("nonstrict-export-{}", std::process::id()));
         let files = export_csv(&suite, &dir).unwrap();
-        assert_eq!(files.len(), 13);
+        assert_eq!(files.len(), 14);
         for f in &files {
             let content = fs::read_to_string(f).unwrap();
             let mut lines = content.lines();

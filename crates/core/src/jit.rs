@@ -235,6 +235,7 @@ mod tests {
                 execution: ExecutionModel::NonStrict,
                 faults: None,
                 verify: crate::model::VerifyMode::Off,
+                outages: None,
             },
         );
         assert_eq!(r.total_cycles, plain.total_cycles);

@@ -1,0 +1,677 @@
+//! The durable session checkpoint journal.
+//!
+//! A mobile client that is killed or partitioned mid-transfer must not
+//! restart from byte zero. The journal is the client's crash-safe
+//! record of everything the session has durably achieved: per-class
+//! **delivered** unit watermarks (the resumable streams are strictly
+//! in-order, so a watermark is exact), per-class **verified** state
+//! (which prefixes already paid their verification charge, and the
+//! incremental linker's arrival/resolution verdicts), the accounting
+//! ledger so the resumed run's cycle books continue exactly, and the
+//! demand-fetch log that lets the server reconstruct its transfer state
+//! from the client's requests alone.
+//!
+//! Integrity is fail-closed. The wire format carries a magic, a
+//! version, and a CRC32 trailer over every preceding byte; a torn
+//! write, truncation, or bit flip anywhere makes [`SessionJournal::decode`]
+//! return an error, and the reconnect [`negotiate`] maps any such error
+//! to [`Negotiation::FailClosed`] — the client discards the cache and
+//! restarts strict. Consistency across sessions is guarded by
+//! **epochs**: the journal records a CRC fingerprint of each class's
+//! restructured unit layout plus a whole-manifest epoch. If the server
+//! restructured some class files while the client was away, only those
+//! classes' epochs mismatch, and negotiation returns a **targeted
+//! invalidation**: the stale classes are refetched and re-verified from
+//! scratch while every other watermark survives.
+
+use nonstrict_netsim::crc32;
+
+/// Journal magic: identifies the file and its byte order.
+pub const JOURNAL_MAGIC: [u8; 4] = *b"NSJR";
+
+/// Current wire-format version.
+pub const JOURNAL_VERSION: u16 = 1;
+
+/// Why a journal could not be trusted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JournalError {
+    /// The buffer does not start with [`JOURNAL_MAGIC`].
+    BadMagic,
+    /// The version field is newer than this reader understands.
+    BadVersion(u16),
+    /// The buffer ended before the declared content did (torn write).
+    Truncated,
+    /// The CRC32 trailer does not match the content (torn or corrupted
+    /// write).
+    CrcMismatch,
+    /// Structurally impossible content (e.g. a bitmap longer than its
+    /// declared method count).
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::BadMagic => write!(f, "journal magic mismatch"),
+            JournalError::BadVersion(v) => write!(f, "unsupported journal version {v}"),
+            JournalError::Truncated => write!(f, "journal truncated (torn write)"),
+            JournalError::CrcMismatch => write!(f, "journal CRC mismatch (torn or corrupt write)"),
+            JournalError::Malformed(what) => write!(f, "malformed journal: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+/// One demand-fetch the client issued: enough for the server to replay
+/// its transfer-scheduling decisions on reconnect. Only the *first*
+/// request per `(class, unit)` is recorded — later requests are pure
+/// timeline lookups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FetchRecord {
+    /// Class index.
+    pub class: u32,
+    /// Unit index within the class.
+    pub unit: u32,
+    /// Base-timeline cycle of the request.
+    pub at: u64,
+}
+
+/// Checkpointed state of one class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassCheckpoint {
+    /// CRC fingerprint of the class's restructured unit layout when the
+    /// units were fetched. A mismatch against the server's current
+    /// manifest invalidates exactly this class.
+    pub epoch: u32,
+    /// Delivered-unit watermark: units `0..delivered` arrived and were
+    /// accepted. Streams deliver strictly in order, so this is exact.
+    pub delivered: u32,
+    /// Whether the class's global data already paid its verification
+    /// charge (steps 1–2).
+    pub globals_verified: bool,
+    /// Per-method (by method index) verification charges already paid
+    /// (steps 3–4).
+    pub methods_verified: Vec<bool>,
+    /// Linker: whether the prelude arrived (structure verified, statics
+    /// prepared).
+    pub linker_globals: bool,
+    /// Linker: per-method (by layout position) arrival verification.
+    pub linker_verified: Vec<bool>,
+    /// Linker: per-method (by layout position) first-execution
+    /// resolution.
+    pub linker_resolved: Vec<bool>,
+    /// Whether degradation pressure demoted this class to strict
+    /// demand-fetch.
+    pub demoted: bool,
+    /// Stall events charged against this class (degradation pressure).
+    pub stall_events: u64,
+}
+
+impl ClassCheckpoint {
+    /// A pristine checkpoint (nothing delivered or verified) for a
+    /// class of `methods` methods under `epoch`.
+    #[must_use]
+    pub fn fresh(epoch: u32, methods: usize) -> ClassCheckpoint {
+        ClassCheckpoint {
+            epoch,
+            delivered: 0,
+            globals_verified: false,
+            methods_verified: vec![false; methods],
+            linker_globals: false,
+            linker_verified: vec![false; methods],
+            linker_resolved: vec![false; methods],
+            demoted: false,
+            stall_events: 0,
+        }
+    }
+
+    /// Discards every cached verdict, as targeted invalidation must
+    /// when the server's layout epoch moved. The degradation history
+    /// (demotion, stall pressure) survives — it describes the link, not
+    /// the bytes.
+    pub fn invalidate(&mut self, new_epoch: u32) {
+        self.epoch = new_epoch;
+        self.delivered = 0;
+        self.globals_verified = false;
+        self.methods_verified.iter_mut().for_each(|v| *v = false);
+        self.linker_verified.iter_mut().for_each(|v| *v = false);
+        self.linker_resolved.iter_mut().for_each(|v| *v = false);
+        self.linker_globals = false;
+    }
+}
+
+/// The durable session checkpoint: everything a resumed session needs
+/// to continue bit-for-bit from where the interrupted one died.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionJournal {
+    /// Whole-manifest epoch: the combined fingerprint of every class
+    /// epoch. Fast path — if it matches, no class can be stale.
+    pub manifest_epoch: u64,
+    /// Index of the next trace event to replay.
+    pub next_event: u64,
+    /// Base-timeline clock at the checkpoint.
+    pub clock: u64,
+    /// Execution cycles completed so far.
+    pub exec_cycles: u64,
+    /// Transfer-wait stall cycles so far.
+    pub stall_cycles: u64,
+    /// Fault-recovery cycles so far.
+    pub recovery_cycles: u64,
+    /// Verification cycles so far.
+    pub verify_cycles: u64,
+    /// Resume cycles (outage downtime, negotiation, refetch) so far.
+    pub resume_cycles: u64,
+    /// Stall-event count so far.
+    pub stalls: u32,
+    /// Outages survived so far.
+    pub outages: u32,
+    /// Journal-backed resumes performed so far.
+    pub resumes: u32,
+    /// Classes refetched after epoch invalidation so far.
+    pub refetched_classes: u32,
+    /// Invocation latency, if the entry method already ran.
+    pub invocation_latency: Option<u64>,
+    /// Whether the whole session degraded to strict execution.
+    pub session_degraded: bool,
+    /// Per-class checkpoints.
+    pub classes: Vec<ClassCheckpoint>,
+    /// First-request log driving server-side transfer reconstruction.
+    pub fetch_log: Vec<FetchRecord>,
+}
+
+/// The server's view of the session: current layout epochs to validate
+/// a returning client's journal against.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionManifest {
+    /// Combined fingerprint of every class epoch.
+    pub epoch: u64,
+    /// Per-class layout fingerprints.
+    pub class_epochs: Vec<u32>,
+    /// Per-class method counts (structural sanity for bitmaps).
+    pub method_counts: Vec<usize>,
+}
+
+impl SessionManifest {
+    /// Builds a manifest from per-class layout fingerprints and method
+    /// counts, deriving the combined epoch.
+    #[must_use]
+    pub fn new(class_epochs: Vec<u32>, method_counts: Vec<usize>) -> SessionManifest {
+        let mut buf = Vec::with_capacity(4 * class_epochs.len());
+        for e in &class_epochs {
+            buf.extend_from_slice(&e.to_le_bytes());
+        }
+        let epoch = (u64::from(crc32(&buf)) << 32) | class_epochs.len() as u64;
+        SessionManifest {
+            epoch,
+            class_epochs,
+            method_counts,
+        }
+    }
+}
+
+/// The reconnect negotiation's verdict on a stored journal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Negotiation {
+    /// The journal is intact and structurally compatible: resume.
+    /// `stale` lists the classes whose epochs moved while the client
+    /// was away — their caches must be discarded and refetched; every
+    /// other watermark survives.
+    Resume {
+        /// The decoded, trusted journal.
+        journal: Box<SessionJournal>,
+        /// Classes needing targeted invalidation and refetch.
+        stale: Vec<usize>,
+    },
+    /// The journal is intact but describes a different application
+    /// shape (class count or method counts changed): nothing in it can
+    /// be mapped, start a fresh session.
+    Fresh,
+    /// The journal cannot be trusted at all (torn write, corruption,
+    /// wrong magic/version): fail closed — discard the cache and
+    /// restart under strict execution.
+    FailClosed(JournalError),
+}
+
+/// Validates `bytes` against the server's `manifest` and decides how
+/// the session continues. This is the paper-system's reconnect
+/// handshake: CRC and structure first (fail-closed), then per-class
+/// epoch comparison (targeted invalidation).
+#[must_use]
+pub fn negotiate(bytes: &[u8], manifest: &SessionManifest) -> Negotiation {
+    let journal = match SessionJournal::decode(bytes) {
+        Ok(j) => j,
+        Err(e) => return Negotiation::FailClosed(e),
+    };
+    if journal.classes.len() != manifest.class_epochs.len() {
+        return Negotiation::Fresh;
+    }
+    for (c, cp) in journal.classes.iter().enumerate() {
+        if cp.methods_verified.len() != manifest.method_counts[c] {
+            return Negotiation::Fresh;
+        }
+    }
+    let stale: Vec<usize> = journal
+        .classes
+        .iter()
+        .enumerate()
+        .filter(|(c, cp)| cp.epoch != manifest.class_epochs[*c])
+        .map(|(c, _)| c)
+        .collect();
+    debug_assert!(
+        journal.manifest_epoch == manifest.epoch || !stale.is_empty(),
+        "a moved manifest epoch must implicate at least one class"
+    );
+    Negotiation::Resume {
+        journal: Box::new(journal),
+        stale,
+    }
+}
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn bits(&mut self, bits: &[bool]) {
+        // Length-prefixed little-endian bitmap, packed 8 per byte.
+        self.u32(u32::try_from(bits.len()).expect("bitmap fits u32"));
+        for chunk in bits.chunks(8) {
+            let mut b = 0u8;
+            for (i, &bit) in chunk.iter().enumerate() {
+                b |= u8::from(bit) << i;
+            }
+            self.buf.push(b);
+        }
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], JournalError> {
+        let end = self.pos.checked_add(n).ok_or(JournalError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(JournalError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, JournalError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, JournalError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len")))
+    }
+    fn u32(&mut self) -> Result<u32, JournalError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len")))
+    }
+    fn u64(&mut self) -> Result<u64, JournalError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len")))
+    }
+    fn flag(&mut self) -> Result<bool, JournalError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(JournalError::Malformed("flag byte must be 0 or 1")),
+        }
+    }
+    fn bits(&mut self) -> Result<Vec<bool>, JournalError> {
+        let n = self.u32()? as usize;
+        if n > (1 << 24) {
+            return Err(JournalError::Malformed("bitmap impossibly large"));
+        }
+        let bytes = self.take(n.div_ceil(8))?;
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            out.push(bytes[i / 8] >> (i % 8) & 1 == 1);
+        }
+        Ok(out)
+    }
+}
+
+impl SessionJournal {
+    /// Serializes the journal: magic, version, content, CRC32 trailer.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer {
+            buf: Vec::with_capacity(256),
+        };
+        w.buf.extend_from_slice(&JOURNAL_MAGIC);
+        w.u16(JOURNAL_VERSION);
+        w.u64(self.manifest_epoch);
+        w.u64(self.next_event);
+        w.u64(self.clock);
+        w.u64(self.exec_cycles);
+        w.u64(self.stall_cycles);
+        w.u64(self.recovery_cycles);
+        w.u64(self.verify_cycles);
+        w.u64(self.resume_cycles);
+        w.u32(self.stalls);
+        w.u32(self.outages);
+        w.u32(self.resumes);
+        w.u32(self.refetched_classes);
+        w.u64(self.invocation_latency.map_or(u64::MAX, |v| v));
+        w.u8(u8::from(self.session_degraded));
+        w.u32(u32::try_from(self.classes.len()).expect("class count fits u32"));
+        for cp in &self.classes {
+            w.u32(cp.epoch);
+            w.u32(cp.delivered);
+            w.u8(u8::from(cp.globals_verified));
+            w.bits(&cp.methods_verified);
+            w.u8(u8::from(cp.linker_globals));
+            w.bits(&cp.linker_verified);
+            w.bits(&cp.linker_resolved);
+            w.u8(u8::from(cp.demoted));
+            w.u64(cp.stall_events);
+        }
+        w.u32(u32::try_from(self.fetch_log.len()).expect("fetch log fits u32"));
+        for f in &self.fetch_log {
+            w.u32(f.class);
+            w.u32(f.unit);
+            w.u64(f.at);
+        }
+        let crc = crc32(&w.buf);
+        w.u32(crc);
+        w.buf
+    }
+
+    /// Deserializes and integrity-checks a journal.
+    ///
+    /// # Errors
+    ///
+    /// Any structural or integrity problem — wrong magic, unknown
+    /// version, truncation, CRC mismatch, malformed bitmaps or trailing
+    /// garbage — is an error; a journal either decodes exactly or not
+    /// at all.
+    pub fn decode(bytes: &[u8]) -> Result<SessionJournal, JournalError> {
+        if bytes.len() < JOURNAL_MAGIC.len() + 2 + 4 {
+            return Err(JournalError::Truncated);
+        }
+        if bytes[..4] != JOURNAL_MAGIC {
+            return Err(JournalError::BadMagic);
+        }
+        let (content, trailer) = bytes.split_at(bytes.len() - 4);
+        let stored = u32::from_le_bytes(trailer.try_into().expect("len"));
+        if crc32(content) != stored {
+            return Err(JournalError::CrcMismatch);
+        }
+        let mut r = Reader {
+            buf: content,
+            pos: 4,
+        };
+        let version = r.u16()?;
+        if version != JOURNAL_VERSION {
+            return Err(JournalError::BadVersion(version));
+        }
+        let manifest_epoch = r.u64()?;
+        let next_event = r.u64()?;
+        let clock = r.u64()?;
+        let exec_cycles = r.u64()?;
+        let stall_cycles = r.u64()?;
+        let recovery_cycles = r.u64()?;
+        let verify_cycles = r.u64()?;
+        let resume_cycles = r.u64()?;
+        let stalls = r.u32()?;
+        let outages = r.u32()?;
+        let resumes = r.u32()?;
+        let refetched_classes = r.u32()?;
+        let invocation_latency = match r.u64()? {
+            u64::MAX => None,
+            v => Some(v),
+        };
+        let session_degraded = r.flag()?;
+        let nclasses = r.u32()? as usize;
+        if nclasses > (1 << 20) {
+            return Err(JournalError::Malformed("class count impossibly large"));
+        }
+        let mut classes = Vec::with_capacity(nclasses);
+        for _ in 0..nclasses {
+            let epoch = r.u32()?;
+            let delivered = r.u32()?;
+            let globals_verified = r.flag()?;
+            let methods_verified = r.bits()?;
+            let linker_globals = r.flag()?;
+            let linker_verified = r.bits()?;
+            let linker_resolved = r.bits()?;
+            if linker_verified.len() != methods_verified.len()
+                || linker_resolved.len() != methods_verified.len()
+            {
+                return Err(JournalError::Malformed("bitmap lengths disagree"));
+            }
+            let demoted = r.flag()?;
+            let stall_events = r.u64()?;
+            classes.push(ClassCheckpoint {
+                epoch,
+                delivered,
+                globals_verified,
+                methods_verified,
+                linker_globals,
+                linker_verified,
+                linker_resolved,
+                demoted,
+                stall_events,
+            });
+        }
+        let nfetch = r.u32()? as usize;
+        if nfetch > (1 << 24) {
+            return Err(JournalError::Malformed("fetch log impossibly large"));
+        }
+        let mut fetch_log = Vec::with_capacity(nfetch);
+        for _ in 0..nfetch {
+            fetch_log.push(FetchRecord {
+                class: r.u32()?,
+                unit: r.u32()?,
+                at: r.u64()?,
+            });
+        }
+        if r.pos != content.len() {
+            return Err(JournalError::Malformed("trailing bytes after content"));
+        }
+        Ok(SessionJournal {
+            manifest_epoch,
+            next_event,
+            clock,
+            exec_cycles,
+            stall_cycles,
+            recovery_cycles,
+            verify_cycles,
+            resume_cycles,
+            stalls,
+            outages,
+            resumes,
+            refetched_classes,
+            invocation_latency,
+            session_degraded,
+            classes,
+            fetch_log,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SessionJournal {
+        SessionJournal {
+            manifest_epoch: 0xdead_beef_cafe_0042,
+            next_event: 17,
+            clock: 1_234_567,
+            exec_cycles: 900_000,
+            stall_cycles: 300_000,
+            recovery_cycles: 30_000,
+            verify_cycles: 4_000,
+            resume_cycles: 567,
+            stalls: 9,
+            outages: 2,
+            resumes: 2,
+            refetched_classes: 1,
+            invocation_latency: Some(42_000),
+            session_degraded: false,
+            classes: vec![
+                ClassCheckpoint {
+                    epoch: 0x1111_2222,
+                    delivered: 3,
+                    globals_verified: true,
+                    methods_verified: vec![true, false, true],
+                    linker_globals: true,
+                    linker_verified: vec![true, true, false],
+                    linker_resolved: vec![true, false, false],
+                    demoted: false,
+                    stall_events: 5,
+                },
+                ClassCheckpoint::fresh(0x3333_4444, 9),
+            ],
+            fetch_log: vec![
+                FetchRecord {
+                    class: 0,
+                    unit: 1,
+                    at: 100,
+                },
+                FetchRecord {
+                    class: 1,
+                    unit: 0,
+                    at: 777,
+                },
+            ],
+        }
+    }
+
+    fn manifest_for(j: &SessionJournal) -> SessionManifest {
+        SessionManifest {
+            epoch: j.manifest_epoch,
+            class_epochs: j.classes.iter().map(|c| c.epoch).collect(),
+            method_counts: j.classes.iter().map(|c| c.methods_verified.len()).collect(),
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trips_exactly() {
+        let j = sample();
+        let bytes = j.encode();
+        assert_eq!(SessionJournal::decode(&bytes).unwrap(), j);
+        // None latency round-trips through the sentinel.
+        let mut j2 = j;
+        j2.invocation_latency = None;
+        assert_eq!(SessionJournal::decode(&j2.encode()).unwrap(), j2);
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected() {
+        let bytes = sample().encode();
+        for i in 0..bytes.len() {
+            for bit in [0x01u8, 0x80u8] {
+                let mut bad = bytes.clone();
+                bad[i] ^= bit;
+                assert!(
+                    SessionJournal::decode(&bad).is_err(),
+                    "flip at byte {i} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_detected() {
+        let bytes = sample().encode();
+        for n in 0..bytes.len() {
+            assert!(
+                SessionJournal::decode(&bytes[..n]).is_err(),
+                "truncation to {n} bytes went undetected"
+            );
+        }
+        let mut padded = bytes;
+        padded.push(0);
+        assert!(
+            SessionJournal::decode(&padded).is_err(),
+            "appended garbage went undetected"
+        );
+    }
+
+    #[test]
+    fn negotiate_resumes_a_clean_journal_with_no_stale_classes() {
+        let j = sample();
+        let m = manifest_for(&j);
+        match negotiate(&j.encode(), &m) {
+            Negotiation::Resume { journal, stale } => {
+                assert_eq!(*journal, j);
+                assert!(stale.is_empty());
+            }
+            other => panic!("expected resume, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negotiate_targets_only_the_moved_epochs() {
+        let j = sample();
+        let mut m = manifest_for(&j);
+        m.class_epochs[1] ^= 0xffff;
+        match negotiate(&j.encode(), &m) {
+            Negotiation::Resume { stale, .. } => assert_eq!(stale, vec![1]),
+            other => panic!("expected targeted invalidation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negotiate_fails_closed_on_garbage_and_fresh_on_shape_change() {
+        let j = sample();
+        let m = manifest_for(&j);
+        let mut torn = j.encode();
+        torn.truncate(torn.len() / 2);
+        assert!(matches!(
+            negotiate(&torn, &m),
+            Negotiation::FailClosed(JournalError::Truncated | JournalError::CrcMismatch)
+        ));
+        assert!(matches!(
+            negotiate(b"not a journal at all", &m),
+            Negotiation::FailClosed(_)
+        ));
+        let mut grown = manifest_for(&j);
+        grown.class_epochs.push(1);
+        grown.method_counts.push(0);
+        assert_eq!(negotiate(&j.encode(), &grown), Negotiation::Fresh);
+        let mut reshaped = manifest_for(&j);
+        reshaped.method_counts[0] += 1;
+        assert_eq!(negotiate(&j.encode(), &reshaped), Negotiation::Fresh);
+    }
+
+    #[test]
+    fn invalidate_discards_verdicts_but_keeps_link_history() {
+        let mut cp = sample().classes[0].clone();
+        cp.demoted = true;
+        cp.invalidate(0x9999);
+        assert_eq!(cp.epoch, 0x9999);
+        assert_eq!(cp.delivered, 0);
+        assert!(!cp.globals_verified);
+        assert!(cp.methods_verified.iter().all(|v| !v));
+        assert!(cp.linker_verified.iter().all(|v| !v));
+        assert!(cp.linker_resolved.iter().all(|v| !v));
+        assert!(cp.demoted, "link-quality history survives invalidation");
+        assert_eq!(cp.stall_events, 5);
+    }
+
+    #[test]
+    fn manifest_epoch_tracks_class_epochs() {
+        let a = SessionManifest::new(vec![1, 2, 3], vec![0, 0, 0]);
+        let b = SessionManifest::new(vec![1, 2, 4], vec![0, 0, 0]);
+        assert_ne!(a.epoch, b.epoch);
+        assert_eq!(a, SessionManifest::new(vec![1, 2, 3], vec![0, 0, 0]));
+    }
+}

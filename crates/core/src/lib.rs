@@ -16,6 +16,10 @@
 //! * [`sim`] — the event-driven co-simulator: replays a real execution
 //!   trace against a transfer engine, stalling at method delimiters that
 //!   have not arrived ([`sim::simulate`] / [`sim::Session`]).
+//! * [`journal`] — the durable session checkpoint journal: per-class
+//!   delivered/verified watermarks plus a CRC'd manifest epoch, with
+//!   torn-write detection and the reconnect negotiation that decides
+//!   between resume, targeted invalidation, and fail-closed restart.
 //! * [`metrics`] — normalized execution time and reduction helpers.
 //! * [`jit`] — the paper's §8 extension, implemented: JIT compilation
 //!   overlapped with transfer versus inline compile-at-first-use.
@@ -31,13 +35,19 @@
 pub mod experiment;
 pub mod export;
 pub mod jit;
+pub mod journal;
 pub mod linker;
 pub mod metrics;
 pub mod model;
 pub mod report;
 pub mod sim;
 
+pub use journal::{negotiate, JournalError, Negotiation, SessionJournal, SessionManifest};
 pub use model::{
-    DataLayout, ExecutionModel, FaultConfig, OrderingSource, SimConfig, TransferPolicy, VerifyMode,
+    DataLayout, ExecutionModel, FaultConfig, OrderingSource, OutageConfig, SimConfig,
+    TransferPolicy, VerifyMode,
 };
-pub use sim::{simulate, FaultSummary, Session, SimResult, VERIFY_CYCLES_PER_GLOBAL_BYTE};
+pub use sim::{
+    simulate, FaultSummary, InterruptSpec, OutageSummary, RunOutcome, Session, SimResult,
+    VERIFY_CYCLES_PER_GLOBAL_BYTE,
+};

@@ -120,6 +120,19 @@ impl IncrementalLinker {
         self.stats
     }
 
+    /// Link-time state of `class`, for checkpoint snapshots.
+    #[must_use]
+    pub fn class_state(&self, class: usize) -> ClassLinkState {
+        self.classes[class]
+    }
+
+    /// Link-time state of `class`'s method at layout position `method`,
+    /// for checkpoint snapshots.
+    #[must_use]
+    pub fn method_state(&self, class: usize, method: usize) -> MethodLinkState {
+        self.methods[class][method]
+    }
+
     /// Whether every executed method followed the arrival pipeline.
     #[must_use]
     pub fn consistent(&self) -> bool {

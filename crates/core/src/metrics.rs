@@ -55,6 +55,18 @@ pub fn verify_share_percent(verify_cycles: u64, total_cycles: u64) -> f64 {
     100.0 * verify_cycles as f64 / total_cycles as f64
 }
 
+/// Share of the run's total time spent down or resuming — outage
+/// downtime, reconnect negotiation, and stale-class refetch — as a
+/// percent. Zero when no outage interrupted the run; the outage
+/// report's headline column.
+#[must_use]
+pub fn resume_share_percent(resume_cycles: u64, total_cycles: u64) -> f64 {
+    if total_cycles == 0 {
+        return 0.0;
+    }
+    100.0 * resume_cycles as f64 / total_cycles as f64
+}
+
 /// Fraction of runs that executed to completion, as a percent. The
 /// resilient protocol's retry cap makes this 100 by construction; the
 /// report still computes it from the results rather than asserting it.
@@ -97,6 +109,8 @@ mod tests {
         assert_eq!(verify_share_percent(0, 1_000), 0.0);
         assert!((verify_share_percent(100, 1_000) - 10.0).abs() < 1e-12);
         assert_eq!(verify_share_percent(5, 0), 0.0);
+        assert!((resume_share_percent(250, 1_000) - 25.0).abs() < 1e-12);
+        assert_eq!(resume_share_percent(5, 0), 0.0);
         assert_eq!(completion_rate_percent(0, 0), 100.0);
         assert!((completion_rate_percent(3, 4) - 75.0).abs() < 1e-12);
     }

@@ -1,6 +1,7 @@
 //! Simulation configuration: the paper's design space as one type.
 
 use nonstrict_netsim::faults::FaultPlan;
+use nonstrict_netsim::outage::OutagePlan;
 use nonstrict_netsim::Link;
 
 /// How method first-use order is predicted (§4).
@@ -162,6 +163,75 @@ impl FaultConfig {
     }
 }
 
+/// Connection-outage injection settings: a seeded, deterministic
+/// description of full connection losses (client partitioned or killed)
+/// layered on top of whatever [`FaultConfig`] does to the live link.
+/// Rates are parts-per-million per
+/// [`nonstrict_netsim::OUTAGE_PERIOD_CYCLES`] so the config stays
+/// `Copy`, `Eq`, and `Hash` like the rest of [`SimConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OutageConfig {
+    /// Seed for every outage draw; same seed, same outages, bit for
+    /// bit.
+    pub seed: u64,
+    /// Probability (ppm) that each outage-draw period suffers a full
+    /// connection loss.
+    pub rate_pm: u32,
+    /// Shortest connection-loss duration, in cycles.
+    pub min_cycles: u64,
+    /// Longest connection-loss duration, in cycles.
+    pub max_cycles: u64,
+    /// Reconnect handshake paid after every outage: link
+    /// re-establishment plus journal validation before bytes flow
+    /// again.
+    pub negotiation_cycles: u64,
+}
+
+impl OutageConfig {
+    /// Default resume-negotiation latency (~1 ms on the 500 MHz Alpha):
+    /// connection setup plus the journal CRC/epoch exchange.
+    pub const DEFAULT_NEGOTIATION_CYCLES: u64 = 500_000;
+
+    /// Default shortest outage (~8 ms on the Alpha).
+    pub const DEFAULT_MIN_CYCLES: u64 = 1 << 22;
+
+    /// Default longest outage (~537 ms on the Alpha).
+    pub const DEFAULT_MAX_CYCLES: u64 = 1 << 28;
+
+    /// An outage config with rate zero under `seed` — the resume
+    /// machinery is armed but the connection never actually dies.
+    #[must_use]
+    pub fn seeded(seed: u64) -> OutageConfig {
+        OutageConfig {
+            seed,
+            rate_pm: 0,
+            min_cycles: Self::DEFAULT_MIN_CYCLES,
+            max_cycles: Self::DEFAULT_MAX_CYCLES,
+            negotiation_cycles: Self::DEFAULT_NEGOTIATION_CYCLES,
+        }
+    }
+
+    /// Whether an outage can actually occur. An inactive config
+    /// perturbs no timeline: results are byte-identical to an
+    /// uninterrupted run.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.rate_pm > 0 && self.max_cycles > 0
+    }
+
+    /// The netsim-level realization of this config.
+    #[must_use]
+    pub fn plan(&self) -> OutagePlan {
+        OutagePlan {
+            seed: self.seed,
+            rate_pm: self.rate_pm,
+            min_cycles: self.min_cycles,
+            max_cycles: self.max_cycles,
+            negotiation_cycles: self.negotiation_cycles,
+        }
+    }
+}
+
 /// When class-file verification runs and how much of it gates
 /// execution (§3.1.1's five-step check mapped onto the stream).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -222,6 +292,9 @@ pub struct SimConfig {
     /// Verification mode: whether execution is gated on verified
     /// prefixes and verify cycles are charged.
     pub verify: VerifyMode,
+    /// Full connection-loss injection; `None` (or a zero-rate config)
+    /// never interrupts the session.
+    pub outages: Option<OutageConfig>,
 }
 
 impl SimConfig {
@@ -238,6 +311,7 @@ impl SimConfig {
             execution: ExecutionModel::Strict,
             faults: None,
             verify: VerifyMode::Off,
+            outages: None,
         }
     }
 
@@ -253,6 +327,7 @@ impl SimConfig {
             execution: ExecutionModel::NonStrict,
             faults: None,
             verify: VerifyMode::Off,
+            outages: None,
         }
     }
 
@@ -270,12 +345,28 @@ impl SimConfig {
         self
     }
 
+    /// This configuration with outage injection enabled.
+    #[must_use]
+    pub fn with_outages(mut self, outages: OutageConfig) -> Self {
+        self.outages = Some(outages);
+        self
+    }
+
     /// The fault config, if it can actually perturb the run. An
     /// all-zero config is normalized away here so every consumer treats
     /// it exactly like `None`.
     #[must_use]
     pub fn active_faults(&self) -> Option<FaultConfig> {
         self.faults.filter(FaultConfig::is_active)
+    }
+
+    /// The outage config, if it can actually interrupt the run. A
+    /// zero-rate config is normalized away here so every consumer
+    /// treats it exactly like `None` — outage-free runs stay
+    /// byte-identical to the committed results.
+    #[must_use]
+    pub fn active_outages(&self) -> Option<OutageConfig> {
+        self.outages.filter(OutageConfig::is_active)
     }
 
     /// Whether this is the no-overlap strict baseline.
@@ -328,6 +419,39 @@ mod tests {
         }
         assert_eq!(VerifyMode::parse("streaming"), None);
         assert_eq!(VerifyMode::default(), VerifyMode::Off);
+    }
+
+    #[test]
+    fn inactive_outage_configs_are_normalized_away() {
+        let zero = OutageConfig::seeded(42);
+        assert!(!zero.is_active());
+        let cfg = SimConfig::strict(Link::T1).with_outages(zero);
+        assert_eq!(
+            cfg.active_outages(),
+            None,
+            "a zero-rate outage config never interrupts"
+        );
+        let mut stormy = zero;
+        stormy.rate_pm = 10_000;
+        assert_eq!(cfg.with_outages(stormy).active_outages(), Some(stormy));
+        let mut zero_len = stormy;
+        zero_len.max_cycles = 0;
+        assert!(!zero_len.is_active(), "zero-length outages are no outages");
+    }
+
+    #[test]
+    fn outage_config_lowers_to_a_matching_plan() {
+        let mut oc = OutageConfig::seeded(7);
+        oc.rate_pm = 2_000;
+        let plan = oc.plan();
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.rate_pm, 2_000);
+        assert_eq!(plan.min_cycles, OutageConfig::DEFAULT_MIN_CYCLES);
+        assert_eq!(plan.max_cycles, OutageConfig::DEFAULT_MAX_CYCLES);
+        assert_eq!(
+            plan.negotiation_cycles,
+            OutageConfig::DEFAULT_NEGOTIATION_CYCLES
+        );
     }
 
     #[test]

@@ -383,6 +383,57 @@ pub fn render_fault_sweep(rows: &[crate::experiment::faults::FaultRow]) -> Strin
     out
 }
 
+/// Renders the outage sweep: durable session checkpoint/resume under
+/// seeded full-connection losses. Not part of [`render_all`], which
+/// reproduces only the paper's outage-free tables.
+#[must_use]
+pub fn render_outage_sweep(rows: &[crate::experiment::outage::OutageRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Outage sweep: session checkpoint/resume under connection loss (non-strict par(4), SCG)"
+    );
+    let _ = writeln!(
+        out,
+        "{:8} {:>6} {:>9} {:>12} {:>7} {:>8} {:>8} {:>8} {:>9}",
+        "Program",
+        "link",
+        "rate ppm",
+        "outage cyc",
+        "norm%",
+        "resume%",
+        "outages",
+        "resumes",
+        "pure-down"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:8} {:>6} {:>9} {:>12} {:>7.1} {:>8.2} {:>8} {:>8} {:>9}",
+            r.name,
+            r.link.name,
+            r.rate_pm,
+            r.outage_cycles,
+            r.normalized,
+            r.resume_share,
+            r.outages,
+            r.resumes,
+            if r.pure_downtime { "yes" } else { "NO" },
+        );
+    }
+    let outages: u64 = rows.iter().map(|r| u64::from(r.outages)).sum();
+    let pure = rows.iter().filter(|r| r.pure_downtime).count();
+    let _ = writeln!(
+        out,
+        "{} outages survived across {} runs; {} of {} runs were pure inserted downtime",
+        outages,
+        rows.len(),
+        pure,
+        rows.len(),
+    );
+    out
+}
+
 /// Renders the verification sweep: what the verified-prefix gate costs
 /// under each [`crate::model::VerifyMode`]. Not part of [`render_all`],
 /// which reproduces only the paper's verification-free tables.
@@ -529,6 +580,25 @@ mod tests {
         assert!(text.contains("Fault sweep"), "{text}");
         assert!(text.contains("completion rate 100.0%"), "{text}");
         assert!(text.contains("retries total"), "{text}");
+    }
+
+    #[test]
+    fn outage_sweep_renders_resume_report() {
+        let session = Session::new(nonstrict_workloads::hanoi::build()).unwrap();
+        let suite = Suite {
+            sessions: vec![session],
+        };
+        let rows = crate::experiment::outage::outage_sweep(&suite);
+        let text = render_outage_sweep(&rows);
+        assert!(text.contains("Outage sweep"), "{text}");
+        assert!(
+            text.contains(&format!(
+                "{} of {} runs were pure inserted downtime",
+                rows.len(),
+                rows.len()
+            )),
+            "{text}"
+        );
     }
 
     #[test]

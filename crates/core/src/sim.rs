@@ -10,15 +10,20 @@
 
 use nonstrict_bytecode::{method_verify_cost, Application, Input, InterpError};
 use nonstrict_netsim::{
-    add_checksum_overhead, class_units, greedy_schedule, ClassUnits, FaultedEngine,
-    InterleavedEngine, ParallelEngine, StrictEngine, TransferEngine, Weights, DELIMITER_BYTES,
+    add_checksum_overhead, class_units, crc32, greedy_schedule, ClassUnits, FaultedEngine,
+    InterleavedEngine, OutageSchedule, ParallelEngine, StrictEngine, TransferEngine, Weights,
+    DELIMITER_BYTES,
 };
 use nonstrict_profile::{collect, Collected, TraceEvent};
 use nonstrict_reorder::{
-    partition_app, restructure, static_first_use, ClassPartition, FirstUseOrder, RestructuredApp,
+    partition_app, restructure, static_first_use, ClassLayout, ClassPartition, FirstUseOrder,
+    RestructuredApp,
 };
 
-use crate::linker::{IncrementalLinker, LinkStats};
+use crate::journal::{
+    negotiate, ClassCheckpoint, FetchRecord, Negotiation, SessionJournal, SessionManifest,
+};
+use crate::linker::{ClassLinkState, IncrementalLinker, LinkStats};
 use crate::model::{
     DataLayout, ExecutionModel, OrderingSource, SimConfig, TransferPolicy, VerifyMode,
 };
@@ -46,6 +51,12 @@ pub struct FaultSummary {
     /// Units that passed CRC but failed semantic validation, were
     /// quarantined, and refetched.
     pub quarantined: u64,
+    /// Deliveries whose final allowed attempt was itself drawn to fail
+    /// and was forced through by the retry cap. The cap converts
+    /// livelock into bounded recovery, so a non-zero count means the
+    /// link was bad enough that the bound did real work — worth a
+    /// warning in any report.
+    pub forced: u64,
     /// Classes demoted from non-strict streaming to strict demand-fetch
     /// by degradation pressure.
     pub degraded_classes: u32,
@@ -66,8 +77,9 @@ pub struct SimResult {
     pub exec_cycles: u64,
     /// Cycles spent stalled waiting for bytes (transfer wait only; the
     /// fault-recovery share of stalls is in
-    /// [`FaultSummary::recovery_cycles`], so `total = exec + stall +
-    /// recovery + verify`).
+    /// [`FaultSummary::recovery_cycles`] and the outage share in
+    /// [`OutageSummary::resume_cycles`], so `total = exec + stall +
+    /// recovery + verify + resume`).
     pub stall_cycles: u64,
     /// Cycles spent verifying class-file prefixes before execution was
     /// allowed past them (zero under [`VerifyMode::Off`]).
@@ -81,6 +93,148 @@ pub struct SimResult {
     pub link_stats: LinkStats,
     /// Fault-protocol and degradation accounting.
     pub faults: FaultSummary,
+    /// Outage-and-resume accounting.
+    pub outage: OutageSummary,
+}
+
+/// Outage-and-resume summary of one run: full connection losses
+/// survived, journal-backed resumes performed, and every cycle charged
+/// to downtime, reconnect negotiation, or stale-class refetch. All-zero
+/// when nothing interrupted the run.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct OutageSummary {
+    /// Cycles the session spent down or resuming: outage downtime,
+    /// reconnect negotiation, and the refetch/re-verify of classes a
+    /// manifest-epoch change invalidated. The fifth accounting bucket:
+    /// `total = exec + stall + recovery + verify + resume`.
+    pub resume_cycles: u64,
+    /// Full connection losses the session survived.
+    pub outages: u32,
+    /// Journal-backed resumes performed.
+    pub resumes: u32,
+    /// Classes invalidated and refetched after a manifest-epoch
+    /// mismatch (targeted invalidation, not a full restart).
+    pub refetched_classes: u32,
+    /// Whether an unreadable journal forced the fail-closed path: the
+    /// cache was discarded and the session restarted under strict
+    /// execution.
+    pub failed_closed: bool,
+}
+
+/// Where to kill a run and how long the client stays down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InterruptSpec {
+    /// Base-timeline cycle at which the connection and client die
+    /// together; the run checkpoints at the first trace-event boundary
+    /// at or past it.
+    pub at_cycle: u64,
+    /// Cycles the client stays down before reconnecting, charged to the
+    /// resume bucket on top of whatever the negotiation finds.
+    pub outage_cycles: u64,
+}
+
+/// What [`Session::run_until`] produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The run completed before the interrupt point.
+    Finished(SimResult),
+    /// The run was killed; the encoded [`SessionJournal`] is what
+    /// survived on the client's durable storage.
+    Interrupted(Vec<u8>),
+}
+
+/// Everything a replay needs besides the engine, bundled so the replay
+/// signature stays readable.
+#[derive(Clone, Copy)]
+struct ReplayEnv<'a> {
+    config: &'a SimConfig,
+    layouts: &'a [ClassLayout],
+    units: &'a [ClassUnits],
+    exec_cycles: u64,
+}
+
+/// State carried into a resumed replay after a successful negotiation.
+struct ResumeCarry {
+    /// The trusted journal, with stale classes already re-stamped to
+    /// the current epochs.
+    journal: SessionJournal,
+    /// Cycles to charge to the resume bucket up front: outage downtime
+    /// plus the targeted refetch/re-verify of stale classes.
+    extra_resume: u64,
+    /// Stale classes refetched during negotiation.
+    refetched: u32,
+}
+
+/// How a replay starts and stops.
+enum ReplayMode {
+    /// Fresh run to completion.
+    Run,
+    /// Fresh run, killed at the first event boundary at or past
+    /// `at_cycle` (if the run lasts that long).
+    RunUntil {
+        at_cycle: u64,
+    },
+    Resume(Box<ResumeCarry>),
+}
+
+/// The replay's full mutable state, split out so an interrupt can
+/// serialize it into a [`SessionJournal`] and a resume can restore it.
+struct ReplayState {
+    clock: u64,
+    exec_done: u64,
+    stall_cycles: u64,
+    recovery_cycles: u64,
+    verify_cycles: u64,
+    resume_cycles: u64,
+    stalls: u32,
+    outages: u32,
+    resumes: u32,
+    refetched_classes: u32,
+    invocation_latency: Option<u64>,
+    globals_verified: Vec<bool>,
+    methods_verified: Vec<Vec<bool>>,
+    stall_events: Vec<u64>,
+    demoted: Vec<bool>,
+    degraded_classes: u32,
+    session_degraded: bool,
+    /// Which `(class, unit)` pairs have been requested from the engine
+    /// at least once; only first requests drive engine state.
+    requested: Vec<Vec<bool>>,
+    /// First request per `(class, unit)`, in order, with its base-time
+    /// instant — replaying these against a fresh engine reconstructs
+    /// the server's transfer state exactly.
+    fetch_log: Vec<FetchRecord>,
+    next_event: usize,
+}
+
+/// Applies a config's ambient outages to a closed-form baseline result.
+/// An outage freezes the client and the link together, so the base
+/// timeline is undisturbed: wall time is base time plus the downtime of
+/// every outage that began before it, and each crossed outage is one
+/// journal-backed resume.
+fn ambient_shift(
+    config: &SimConfig,
+    base_total: u64,
+    base_latency: u64,
+) -> (u64, u64, OutageSummary) {
+    let Some(oc) = config.active_outages() else {
+        return (base_total, base_latency, OutageSummary::default());
+    };
+    let mut sched = OutageSchedule::new(oc.plan());
+    let shift = sched.shift_before(base_total);
+    let n = sched.outages_before(base_total);
+    let latency = sched.remap(base_latency);
+    (
+        base_total + shift,
+        latency,
+        OutageSummary {
+            resume_cycles: shift,
+            outages: n,
+            resumes: n,
+            refetched_classes: 0,
+            failed_closed: false,
+        },
+    )
 }
 
 impl SimResult {
@@ -290,12 +444,13 @@ impl Session {
                     config.link,
                 );
                 let entry_unit = units[entry_class].unit_count() - 1;
-                let invocation_latency =
-                    faulted.unit_ready(entry_class, entry_unit, 0) + entry_verify;
+                let base_latency = faulted.unit_ready(entry_class, entry_unit, 0) + entry_verify;
                 let finish = faulted.finish_time();
                 let stats = faulted.fault_stats();
+                let (total_cycles, invocation_latency, outage) =
+                    ambient_shift(config, finish + verify_cycles + exec_cycles, base_latency);
                 return SimResult {
-                    total_cycles: finish + verify_cycles + exec_cycles,
+                    total_cycles,
                     exec_cycles,
                     stall_cycles: perfect_finish,
                     verify_cycles,
@@ -308,27 +463,58 @@ impl Session {
                         drops: stats.drops,
                         corrupted: stats.corrupted,
                         quarantined: stats.quarantined,
+                        forced: stats.forced,
                         degraded_classes: 0,
                         session_degraded: false,
                         completed: true,
                     },
+                    outage,
                 };
             }
+            let (total_cycles, invocation_latency, outage) = ambient_shift(
+                config,
+                perfect_finish + verify_cycles + exec_cycles,
+                engine.class_ready(entry_class) + entry_verify,
+            );
             return SimResult {
-                total_cycles: perfect_finish + verify_cycles + exec_cycles,
+                total_cycles,
                 exec_cycles,
                 stall_cycles: perfect_finish,
                 verify_cycles,
-                invocation_latency: engine.class_ready(entry_class) + entry_verify,
+                invocation_latency,
                 stalls: 1,
                 link_stats: LinkStats::default(),
                 faults: FaultSummary {
                     completed: true,
                     ..FaultSummary::default()
                 },
+                outage,
             };
         }
 
+        let mut engine = self.build_engine(config, &units, order, layouts);
+        let env = ReplayEnv {
+            config,
+            layouts,
+            units: &units,
+            exec_cycles,
+        };
+        match self.replay(input, &env, engine.as_mut(), ReplayMode::Run) {
+            RunOutcome::Finished(r) => r,
+            RunOutcome::Interrupted(_) => unreachable!("an uninterrupted replay always finishes"),
+        }
+    }
+
+    /// Builds the transfer engine for one configuration. Resume uses
+    /// this too: a journal is replayed against a *fresh* engine built
+    /// exactly like the one that died.
+    fn build_engine(
+        &self,
+        config: &SimConfig,
+        units: &[ClassUnits],
+        order: &FirstUseOrder,
+        layouts: &[ClassLayout],
+    ) -> Box<dyn TransferEngine> {
         let class_order_fu: Vec<usize> = order.class_order().iter().map(|c| c.0 as usize).collect();
         let weights = match config.ordering {
             OrderingSource::TrainProfile => Weights::Profile(&self.train.profile),
@@ -337,13 +523,13 @@ impl Session {
         };
         let mut engine: Box<dyn TransferEngine> = match config.transfer {
             TransferPolicy::Strict => {
-                Box::new(StrictEngine::new(config.link, &units, &class_order_fu))
+                Box::new(StrictEngine::new(config.link, units, &class_order_fu))
             }
             TransferPolicy::Parallel { limit } => {
-                let schedule = greedy_schedule(&self.app, order, &units, layouts, weights);
+                let schedule = greedy_schedule(&self.app, order, units, layouts, weights);
                 Box::new(ParallelEngine::new(
                     config.link,
-                    units.clone(),
+                    units.to_vec(),
                     &schedule,
                     limit,
                 ))
@@ -351,28 +537,38 @@ impl Session {
             TransferPolicy::Interleaved => Box::new(InterleavedEngine::new(
                 &self.app,
                 self.restructured(config.ordering),
-                &units,
+                units,
                 order,
                 config.link,
             )),
         };
         if let Some(fc) = config.active_faults() {
-            engine = Box::new(FaultedEngine::new(engine, fc.plan(), &units, config.link));
+            engine = Box::new(FaultedEngine::new(engine, fc.plan(), units, config.link));
         }
-
-        self.replay(input, config, layouts, &units, engine.as_mut(), exec_cycles)
+        engine
     }
 
-    /// Replays the input's trace against `engine`.
+    /// Replays the input's trace against `engine`, optionally starting
+    /// from a restored checkpoint or stopping at an interrupt point.
+    ///
+    /// The replay runs entirely on the **base timeline**: an outage
+    /// freezes the client and the link together, so everything that
+    /// happens after a resume happens at exactly the base instants it
+    /// would have without the outage. Downtime is accounted separately
+    /// in the resume bucket and added to wall time at the end.
     fn replay(
         &self,
         input: Input,
-        config: &SimConfig,
-        layouts: &[nonstrict_reorder::ClassLayout],
-        units: &[ClassUnits],
+        env: &ReplayEnv<'_>,
         engine: &mut dyn TransferEngine,
-        exec_cycles: u64,
-    ) -> SimResult {
+        mode: ReplayMode,
+    ) -> RunOutcome {
+        let ReplayEnv {
+            config,
+            layouts,
+            units,
+            exec_cycles,
+        } = *env;
         let trace = &self.collected(input).trace;
         let mut linker = IncrementalLinker::new(
             &self
@@ -383,12 +579,7 @@ impl Session {
                 .collect::<Vec<_>>(),
         );
         let cpi = self.app.cpi;
-        let mut clock: u64 = 0;
-        let mut stall_cycles: u64 = 0;
-        let mut recovery_cycles: u64 = 0;
-        let mut verify_cycles: u64 = 0;
-        let mut stalls: u32 = 0;
-        let mut invocation_latency: Option<u64> = None;
+        let nclasses = units.len();
 
         // Verified-prefix bookkeeping: which prefixes have already paid
         // their verification charge. Steps 1–2 run once per class when
@@ -397,14 +588,6 @@ impl Session {
         // prefix behind it is verified, so every charge advances the
         // clock.
         let verify = config.verify;
-        let mut globals_verified: Vec<bool> = vec![false; units.len()];
-        let mut methods_verified: Vec<Vec<bool>> = self
-            .app
-            .program
-            .classes()
-            .iter()
-            .map(|c| vec![false; c.methods.len()])
-            .collect();
 
         // Graceful degradation (fault protocol): when the combined
         // misprediction-plus-fault pressure on a class crosses the
@@ -414,14 +597,103 @@ impl Session {
         // classes degrade, the whole session falls back to strict
         // execution.
         let degrade_threshold = config.active_faults().map_or(0, |fc| fc.degrade_threshold);
-        let nclasses = units.len();
-        let mut stall_events: Vec<u64> = vec![0; nclasses];
-        let mut demoted: Vec<bool> = vec![false; nclasses];
-        let mut degraded_classes: u32 = 0;
-        let mut session_degraded = false;
 
-        for event in trace.events() {
-            match *event {
+        let mut st = ReplayState {
+            clock: 0,
+            exec_done: 0,
+            stall_cycles: 0,
+            recovery_cycles: 0,
+            verify_cycles: 0,
+            resume_cycles: 0,
+            stalls: 0,
+            outages: 0,
+            resumes: 0,
+            refetched_classes: 0,
+            invocation_latency: None,
+            globals_verified: vec![false; nclasses],
+            methods_verified: self
+                .app
+                .program
+                .classes()
+                .iter()
+                .map(|c| vec![false; c.methods.len()])
+                .collect(),
+            stall_events: vec![0; nclasses],
+            demoted: vec![false; nclasses],
+            degraded_classes: 0,
+            session_degraded: false,
+            requested: units.iter().map(|u| vec![false; u.unit_count()]).collect(),
+            fetch_log: Vec::new(),
+            next_event: 0,
+        };
+
+        let stop_at = match mode {
+            ReplayMode::RunUntil { at_cycle } => Some(at_cycle),
+            ReplayMode::Run | ReplayMode::Resume(_) => None,
+        };
+        if let ReplayMode::Resume(carry) = mode {
+            let j = &carry.journal;
+            st.clock = j.clock;
+            st.exec_done = j.exec_cycles;
+            st.stall_cycles = j.stall_cycles;
+            st.recovery_cycles = j.recovery_cycles;
+            st.verify_cycles = j.verify_cycles;
+            st.resume_cycles = j.resume_cycles + carry.extra_resume;
+            st.stalls = j.stalls;
+            st.outages = j.outages + 1;
+            st.resumes = j.resumes + 1;
+            st.refetched_classes = j.refetched_classes + carry.refetched;
+            st.invocation_latency = j.invocation_latency;
+            st.session_degraded = j.session_degraded;
+            st.next_event = usize::try_from(j.next_event).unwrap_or(usize::MAX);
+            for (c, cp) in j.classes.iter().enumerate() {
+                st.globals_verified[c] = cp.globals_verified;
+                st.methods_verified[c].copy_from_slice(&cp.methods_verified);
+                st.demoted[c] = cp.demoted;
+                st.stall_events[c] = cp.stall_events;
+                if cp.demoted {
+                    st.degraded_classes += 1;
+                }
+                // The linker's verdicts rebuild by replaying its
+                // idempotent arrival calls from the journaled bitmaps.
+                if cp.linker_globals {
+                    linker.globals_arrived(c);
+                    for (pos, &v) in cp.linker_verified.iter().enumerate() {
+                        if v {
+                            linker.method_arrived(c, pos);
+                        }
+                    }
+                    for (pos, &r) in cp.linker_resolved.iter().enumerate() {
+                        if r {
+                            linker.method_executed(c, pos);
+                        }
+                    }
+                }
+            }
+            // Cross-session cache consistency: the server's transfer
+            // state is reconstructed by replaying the demand-request
+            // log against the fresh engine. Every scheduling decision
+            // an engine makes is driven by first requests, so identical
+            // requests at identical base instants rebuild identical
+            // state.
+            for f in &j.fetch_log {
+                let _ = engine.unit_ready(f.class as usize, f.unit as usize, f.at);
+                st.requested[f.class as usize][f.unit as usize] = true;
+            }
+            st.fetch_log.clone_from(&j.fetch_log);
+        }
+
+        let events = trace.events();
+        while st.next_event < events.len() {
+            if let Some(at) = stop_at {
+                if st.clock >= at {
+                    // The connection (and client) die here; what the
+                    // client persisted is the journal.
+                    let journal = self.checkpoint(config, units, engine, &linker, &st);
+                    return RunOutcome::Interrupted(journal.encode());
+                }
+            }
+            match events[st.next_event] {
                 TraceEvent::Enter(m) => {
                     let c = m.class.0 as usize;
                     let pos = layouts[c].position_of(m.method);
@@ -429,8 +701,8 @@ impl Session {
                     // whole file arrived, so `VerifyMode::Full` forfeits
                     // non-strict overlap and gates on the last unit.
                     let strict_entry = config.execution == ExecutionModel::Strict
-                        || session_degraded
-                        || demoted[c]
+                        || st.session_degraded
+                        || st.demoted[c]
                         || verify == VerifyMode::Full;
                     let unit = if strict_entry {
                         // Strict execution waits for the entire class.
@@ -438,23 +710,31 @@ impl Session {
                     } else {
                         ClassUnits::method_unit(pos)
                     };
-                    let ready = engine.unit_ready(c, unit, clock);
-                    if ready > clock {
-                        let stall = ready - clock;
-                        let fault_part = engine.last_fault_delay().min(stall);
-                        recovery_cycles += fault_part;
-                        stall_cycles += stall - fault_part;
-                        stalls += 1;
-                        stall_events[c] += 1;
-                        clock = ready;
+                    if !st.requested[c][unit] {
+                        st.requested[c][unit] = true;
+                        st.fetch_log.push(FetchRecord {
+                            class: u32::try_from(c).expect("class index fits u32"),
+                            unit: u32::try_from(unit).expect("unit index fits u32"),
+                            at: st.clock,
+                        });
                     }
-                    if degrade_threshold > 0 && !demoted[c] {
-                        let pressure = stall_events[c] + engine.class_fault_events(c);
+                    let ready = engine.unit_ready(c, unit, st.clock);
+                    if ready > st.clock {
+                        let stall = ready - st.clock;
+                        let fault_part = engine.last_fault_delay().min(stall);
+                        st.recovery_cycles += fault_part;
+                        st.stall_cycles += stall - fault_part;
+                        st.stalls += 1;
+                        st.stall_events[c] += 1;
+                        st.clock = ready;
+                    }
+                    if degrade_threshold > 0 && !st.demoted[c] {
+                        let pressure = st.stall_events[c] + engine.class_fault_events(c);
                         if pressure >= u64::from(degrade_threshold) {
-                            demoted[c] = true;
-                            degraded_classes += 1;
-                            if u64::from(degraded_classes) * 2 > nclasses as u64 {
-                                session_degraded = true;
+                            st.demoted[c] = true;
+                            st.degraded_classes += 1;
+                            if u64::from(st.degraded_classes) * 2 > nclasses as u64 {
+                                st.session_degraded = true;
                             }
                             if verify == VerifyMode::Stream {
                                 // Demotion refetches the class as one
@@ -462,40 +742,40 @@ impl Session {
                                 // verdicts are discarded and the whole
                                 // file is re-verified from scratch.
                                 let cost = self.class_verify_cost(c);
-                                verify_cycles += cost;
-                                clock += cost;
-                                globals_verified[c] = true;
-                                for v in &mut methods_verified[c] {
+                                st.verify_cycles += cost;
+                                st.clock += cost;
+                                st.globals_verified[c] = true;
+                                for v in &mut st.methods_verified[c] {
                                     *v = true;
                                 }
                             }
                         }
                     }
                     if verify != VerifyMode::Off {
-                        if !globals_verified[c] {
+                        if !st.globals_verified[c] {
                             // Steps 1–2: the class's global data just
                             // became needed; verify it before any of
                             // its methods may run.
-                            globals_verified[c] = true;
+                            st.globals_verified[c] = true;
                             let cost = self.global_verify_cost(c);
-                            verify_cycles += cost;
-                            clock += cost;
+                            st.verify_cycles += cost;
+                            st.clock += cost;
                         }
                         if strict_entry {
                             // The whole file is present: verify every
                             // still-unverified method before entry.
-                            for mi in 0..methods_verified[c].len() {
-                                if !methods_verified[c][mi] {
-                                    methods_verified[c][mi] = true;
+                            for mi in 0..st.methods_verified[c].len() {
+                                if !st.methods_verified[c][mi] {
+                                    st.methods_verified[c][mi] = true;
                                     let cost = self.method_verify_cost_at(c, mi);
-                                    verify_cycles += cost;
-                                    clock += cost;
+                                    st.verify_cycles += cost;
+                                    st.clock += cost;
                                 }
                             }
                         } else {
                             let mi = m.method as usize;
-                            if !methods_verified[c][mi] {
-                                methods_verified[c][mi] = true;
+                            if !st.methods_verified[c][mi] {
+                                st.methods_verified[c][mi] = true;
                                 // Steps 3–4 run for real: the method is
                                 // re-verified against the finished
                                 // program, exactly what the streaming
@@ -507,50 +787,402 @@ impl Session {
                                 );
                                 let _ = check;
                                 let cost = self.method_verify_cost_at(c, mi);
-                                verify_cycles += cost;
-                                clock += cost;
+                                st.verify_cycles += cost;
+                                st.clock += cost;
                             }
                         }
                     }
                     linker.globals_arrived(c);
                     linker.method_arrived(c, pos);
                     linker.method_executed(c, pos);
-                    if invocation_latency.is_none() {
-                        invocation_latency = Some(clock);
+                    if st.invocation_latency.is_none() {
+                        st.invocation_latency = Some(st.clock);
                     }
                 }
                 TraceEvent::Run { method: _, count } => {
-                    clock += count * cpi;
+                    st.clock += count * cpi;
+                    st.exec_done += count * cpi;
                 }
                 TraceEvent::Exit(_) => {}
             }
+            st.next_event += 1;
         }
 
         debug_assert!(linker.consistent());
         debug_assert_eq!(
-            clock,
-            exec_cycles + stall_cycles + recovery_cycles + verify_cycles,
-            "every clock advance must land in exactly one accounting bucket"
+            st.exec_done, exec_cycles,
+            "the replay must execute the whole trace"
+        );
+        debug_assert_eq!(
+            st.clock,
+            exec_cycles + st.stall_cycles + st.recovery_cycles + st.verify_cycles,
+            "every base-clock advance must land in exactly one accounting bucket"
+        );
+        let mut invocation_latency = st.invocation_latency.unwrap_or(0);
+        if let Some(oc) = config.active_outages() {
+            // Ambient outages freeze the client and the link together,
+            // so the base timeline is undisturbed: wall time is base
+            // time plus the downtime of every outage crossed, and each
+            // crossed outage is one journal-backed resume.
+            let mut sched = OutageSchedule::new(oc.plan());
+            st.resume_cycles += sched.shift_before(st.clock);
+            let n = sched.outages_before(st.clock);
+            st.outages += n;
+            st.resumes += n;
+            invocation_latency = sched.remap(invocation_latency);
+        }
+        let total_cycles = st.clock + st.resume_cycles;
+        debug_assert_eq!(
+            total_cycles,
+            exec_cycles
+                + st.stall_cycles
+                + st.recovery_cycles
+                + st.verify_cycles
+                + st.resume_cycles,
+            "total = exec + stall + recovery + verify + resume"
         );
         let stats = engine.fault_stats();
-        SimResult {
-            total_cycles: clock,
+        RunOutcome::Finished(SimResult {
+            total_cycles,
             exec_cycles,
-            stall_cycles,
-            verify_cycles,
-            invocation_latency: invocation_latency.unwrap_or(0),
-            stalls,
+            stall_cycles: st.stall_cycles,
+            verify_cycles: st.verify_cycles,
+            invocation_latency,
+            stalls: st.stalls,
             link_stats: linker.stats(),
             faults: FaultSummary {
-                recovery_cycles,
+                recovery_cycles: st.recovery_cycles,
                 retries: stats.retries,
                 drops: stats.drops,
                 corrupted: stats.corrupted,
                 quarantined: stats.quarantined,
-                degraded_classes,
-                session_degraded,
+                forced: stats.forced,
+                degraded_classes: st.degraded_classes,
+                session_degraded: st.session_degraded,
                 completed: true,
             },
+            outage: OutageSummary {
+                resume_cycles: st.resume_cycles,
+                outages: st.outages,
+                resumes: st.resumes,
+                refetched_classes: st.refetched_classes,
+                failed_closed: false,
+            },
+        })
+    }
+
+    /// Snapshots a dying replay into a durable [`SessionJournal`]:
+    /// delivered watermarks probed from the engine, verification
+    /// verdicts, linker state, the accounting ledger, and the
+    /// demand-request log.
+    fn checkpoint(
+        &self,
+        config: &SimConfig,
+        units: &[ClassUnits],
+        engine: &mut dyn TransferEngine,
+        linker: &IncrementalLinker,
+        st: &ReplayState,
+    ) -> SessionJournal {
+        let manifest = self.manifest(config);
+        let classes = (0..units.len())
+            .map(|c| {
+                // Streams deliver strictly in order, so the first unit
+                // not yet arrived is the exact watermark. The probe may
+                // demand-start an idle class inside the dying engine,
+                // but that engine dies with this crash — the resumed
+                // engine is rebuilt from the fetch log alone.
+                let mut delivered = 0u32;
+                for u in 0..units[c].unit_count() {
+                    if engine.unit_ready(c, u, st.clock) > st.clock {
+                        break;
+                    }
+                    delivered = u32::try_from(u + 1).expect("unit count fits u32");
+                }
+                let nm = st.methods_verified[c].len();
+                ClassCheckpoint {
+                    epoch: manifest.class_epochs[c],
+                    delivered,
+                    globals_verified: st.globals_verified[c],
+                    methods_verified: st.methods_verified[c].clone(),
+                    linker_globals: linker.class_state(c) == ClassLinkState::GlobalsVerified,
+                    linker_verified: (0..nm)
+                        .map(|p| linker.method_state(c, p).verified)
+                        .collect(),
+                    linker_resolved: (0..nm)
+                        .map(|p| linker.method_state(c, p).resolved)
+                        .collect(),
+                    demoted: st.demoted[c],
+                    stall_events: st.stall_events[c],
+                }
+            })
+            .collect();
+        SessionJournal {
+            manifest_epoch: manifest.epoch,
+            next_event: st.next_event as u64,
+            clock: st.clock,
+            exec_cycles: st.exec_done,
+            stall_cycles: st.stall_cycles,
+            recovery_cycles: st.recovery_cycles,
+            verify_cycles: st.verify_cycles,
+            resume_cycles: st.resume_cycles,
+            stalls: st.stalls,
+            outages: st.outages,
+            resumes: st.resumes,
+            refetched_classes: st.refetched_classes,
+            invocation_latency: st.invocation_latency,
+            session_degraded: st.session_degraded,
+            classes,
+            fetch_log: st.fetch_log.clone(),
+        }
+    }
+
+    /// The server's current view of the session's transfer manifest
+    /// under `config`: a CRC fingerprint of every class's restructured
+    /// unit layout. Restructuring a class between sessions (different
+    /// ordering, data layout, checksum overhead, …) moves exactly that
+    /// class's epoch, which is what lets reconnect negotiation
+    /// invalidate stale classes without touching the rest.
+    #[must_use]
+    pub fn manifest(&self, config: &SimConfig) -> SessionManifest {
+        let units = self.units_for(config);
+        let class_epochs = units
+            .iter()
+            .map(|u| {
+                let mut buf = Vec::with_capacity(8 * u.unit_count());
+                buf.extend_from_slice(&u.prelude.to_le_bytes());
+                for &m in &u.methods {
+                    buf.extend_from_slice(&m.to_le_bytes());
+                }
+                buf.extend_from_slice(&u.trailing.to_le_bytes());
+                crc32(&buf)
+            })
+            .collect();
+        let method_counts = self
+            .app
+            .program
+            .classes()
+            .iter()
+            .map(|c| c.methods.len())
+            .collect();
+        SessionManifest::new(class_epochs, method_counts)
+    }
+
+    /// Runs `config` on `input` but kills the session — connection and
+    /// client together — at the first trace-event boundary at or past
+    /// base cycle `at_cycle`, returning the encoded journal the client
+    /// persisted. Completes normally if the run finishes first.
+    #[must_use]
+    pub fn run_until(&self, input: Input, config: &SimConfig, at_cycle: u64) -> RunOutcome {
+        if config.is_baseline() {
+            let r = self.simulate(input, config);
+            if at_cycle >= r.total_cycles {
+                return RunOutcome::Finished(r);
+            }
+            // The strict baseline has no replay state to checkpoint:
+            // its journal is a ledger entry, and the sequential
+            // download resumes from its byte watermark with nothing
+            // lost.
+            let manifest = self.manifest(config);
+            let classes = manifest
+                .class_epochs
+                .iter()
+                .zip(&manifest.method_counts)
+                .map(|(&e, &n)| ClassCheckpoint::fresh(e, n))
+                .collect();
+            let journal = SessionJournal {
+                manifest_epoch: manifest.epoch,
+                next_event: 0,
+                clock: at_cycle,
+                exec_cycles: 0,
+                stall_cycles: at_cycle,
+                recovery_cycles: 0,
+                verify_cycles: 0,
+                resume_cycles: 0,
+                stalls: 0,
+                outages: 0,
+                resumes: 0,
+                refetched_classes: 0,
+                invocation_latency: None,
+                session_degraded: false,
+                classes,
+                fetch_log: Vec::new(),
+            };
+            return RunOutcome::Interrupted(journal.encode());
+        }
+        let units = self.units_for(config);
+        let order = self.order(config.ordering);
+        let layouts = &self.restructured(config.ordering).layouts;
+        let exec_cycles = self.exec_cycles(input);
+        let mut engine = self.build_engine(config, &units, order, layouts);
+        let env = ReplayEnv {
+            config,
+            layouts,
+            units: &units,
+            exec_cycles,
+        };
+        self.replay(
+            input,
+            &env,
+            engine.as_mut(),
+            ReplayMode::RunUntil { at_cycle },
+        )
+    }
+
+    /// Reconnects with a stored journal after `downtime` cycles of
+    /// outage and runs the session to completion.
+    ///
+    /// The negotiation validates the journal first: a torn or corrupt
+    /// journal **fails closed** (cache discarded, strict restart); a
+    /// structurally incompatible one starts fresh; otherwise classes
+    /// whose manifest epoch moved are refetched and re-verified inside
+    /// the resume window while every intact watermark survives. A
+    /// successfully resumed run reproduces the uninterrupted run's base
+    /// timeline exactly: every bucket except `resume` is identical, and
+    /// `total = uninterrupted total + resume`. Invocation latency stays
+    /// on the base timeline (wall latency is recoverable by adding the
+    /// resume cycles that preceded it).
+    #[must_use]
+    pub fn resume(
+        &self,
+        input: Input,
+        config: &SimConfig,
+        journal_bytes: &[u8],
+        downtime: u64,
+    ) -> SimResult {
+        let manifest = self.manifest(config);
+        match negotiate(journal_bytes, &manifest) {
+            Negotiation::Resume { journal, stale } => {
+                if config.is_baseline() {
+                    // The sequential download resumes from its byte
+                    // watermark: nothing pre-crash is lost or redone.
+                    let mut r = self.simulate(input, config);
+                    let carried = journal.resume_cycles + downtime;
+                    r.total_cycles += carried;
+                    r.outage.resume_cycles += carried;
+                    r.outage.outages += journal.outages + 1;
+                    r.outage.resumes += journal.resumes + 1;
+                    return r;
+                }
+                let units = self.units_for(config);
+                let mut journal = *journal;
+                let mut extra = downtime;
+                for &c in &stale {
+                    extra += self.refetch_cost(
+                        config,
+                        &units,
+                        &mut journal.classes[c],
+                        manifest.class_epochs[c],
+                        c,
+                    );
+                }
+                let refetched = u32::try_from(stale.len()).unwrap_or(u32::MAX);
+                let order = self.order(config.ordering);
+                let layouts = &self.restructured(config.ordering).layouts;
+                let exec_cycles = self.exec_cycles(input);
+                let mut engine = self.build_engine(config, &units, order, layouts);
+                let env = ReplayEnv {
+                    config,
+                    layouts,
+                    units: &units,
+                    exec_cycles,
+                };
+                let mode = ReplayMode::Resume(Box::new(ResumeCarry {
+                    journal,
+                    extra_resume: extra,
+                    refetched,
+                }));
+                match self.replay(input, &env, engine.as_mut(), mode) {
+                    RunOutcome::Finished(r) => r,
+                    RunOutcome::Interrupted(_) => {
+                        unreachable!("a resumed run has no interrupt point")
+                    }
+                }
+            }
+            Negotiation::Fresh => self.restart_fail_closed(input, config, downtime, false),
+            Negotiation::FailClosed(_) => self.restart_fail_closed(input, config, downtime, true),
+        }
+    }
+
+    /// Charges the targeted invalidation of one stale class: refetch
+    /// the delivered prefix through the link and re-verify every
+    /// verdict the journal held, all inside the resume window. The
+    /// restored state then matches the pre-crash state exactly, under
+    /// the new epoch.
+    fn refetch_cost(
+        &self,
+        config: &SimConfig,
+        units: &[ClassUnits],
+        cp: &mut ClassCheckpoint,
+        new_epoch: u32,
+        c: usize,
+    ) -> u64 {
+        let delivered_bytes = match cp.delivered {
+            0 => 0,
+            d => units[c].boundary(d as usize - 1),
+        };
+        let mut cost = config.link.cycles_for(delivered_bytes);
+        if config.verify != VerifyMode::Off {
+            if cp.globals_verified {
+                cost += self.global_verify_cost(c);
+            }
+            for (mi, &v) in cp.methods_verified.iter().enumerate() {
+                if v {
+                    cost += self.method_verify_cost_at(c, mi);
+                }
+            }
+        }
+        cp.epoch = new_epoch;
+        cost
+    }
+
+    /// The fail-closed restart: the cached units and journal are
+    /// discarded and the session reruns under strict execution (the
+    /// safe fallback), with the outage downtime charged to the resume
+    /// bucket. The pre-crash wall time is unrecoverable by construction
+    /// — the journal that recorded it is exactly the thing that could
+    /// not be trusted — so the restarted ledger begins at zero.
+    fn restart_fail_closed(
+        &self,
+        input: Input,
+        config: &SimConfig,
+        downtime: u64,
+        failed_closed: bool,
+    ) -> SimResult {
+        let strict = SimConfig {
+            verify: config.verify,
+            faults: config.faults,
+            ..SimConfig::strict(config.link)
+        };
+        let mut r = self.simulate(input, &strict);
+        r.total_cycles += downtime;
+        r.outage = OutageSummary {
+            resume_cycles: downtime,
+            outages: 1,
+            resumes: 0,
+            refetched_classes: 0,
+            failed_closed,
+        };
+        r
+    }
+
+    /// One-shot interrupt-and-resume: kills the run per `spec`, then
+    /// reconnects with the surviving journal bytes. The headline
+    /// invariant — a run interrupted at **any** cycle resumes to
+    /// identical results plus exactly the outage cost — is proven by
+    /// the round trip through the encoded journal: any serialization
+    /// or reconstruction bug breaks the equality.
+    #[must_use]
+    pub fn simulate_interrupted(
+        &self,
+        input: Input,
+        config: &SimConfig,
+        spec: &InterruptSpec,
+    ) -> SimResult {
+        match self.run_until(input, config, spec.at_cycle) {
+            RunOutcome::Finished(r) => r,
+            RunOutcome::Interrupted(bytes) => {
+                self.resume(input, config, &bytes, spec.outage_cycles)
+            }
         }
     }
 }
@@ -602,6 +1234,7 @@ mod tests {
                         execution: ExecutionModel::NonStrict,
                         faults: None,
                         verify: VerifyMode::Off,
+                        outages: None,
                     });
                 }
             }
@@ -655,6 +1288,7 @@ mod tests {
                 execution: ExecutionModel::NonStrict,
                 faults: None,
                 verify: VerifyMode::Off,
+                outages: None,
             };
             s.simulate(Input::Test, &config).total_cycles
         };
@@ -726,7 +1360,11 @@ mod tests {
                 let r = s.simulate(Input::Test, &base.with_verify(mode));
                 assert_eq!(
                     r.total_cycles,
-                    r.exec_cycles + r.stall_cycles + r.faults.recovery_cycles + r.verify_cycles,
+                    r.exec_cycles
+                        + r.stall_cycles
+                        + r.faults.recovery_cycles
+                        + r.verify_cycles
+                        + r.outage.resume_cycles,
                     "{mode:?} {base:?}"
                 );
                 if mode == VerifyMode::Off {
@@ -755,6 +1393,123 @@ mod tests {
         // for whole classes at strict gates — equal only if every
         // method of every entered class executes.
         assert!(stream.verify_cycles <= full.verify_cycles);
+    }
+
+    #[test]
+    fn interrupt_and_resume_reproduces_the_uninterrupted_run() {
+        let s = session();
+        let config = SimConfig::non_strict(Link::MODEM_28_8, OrderingSource::StaticCallGraph);
+        let base = s.simulate(Input::Test, &config);
+        let spec = InterruptSpec {
+            at_cycle: base.total_cycles / 2,
+            outage_cycles: 2_000_000,
+        };
+        let r = s.simulate_interrupted(Input::Test, &config, &spec);
+        // Every bucket except resume is byte-identical to the
+        // uninterrupted run; the total grows by exactly the downtime.
+        assert_eq!(r.exec_cycles, base.exec_cycles);
+        assert_eq!(r.stall_cycles, base.stall_cycles);
+        assert_eq!(r.verify_cycles, base.verify_cycles);
+        assert_eq!(r.faults, base.faults);
+        assert_eq!(r.link_stats, base.link_stats);
+        assert_eq!(r.invocation_latency, base.invocation_latency);
+        assert_eq!(r.stalls, base.stalls);
+        assert_eq!(r.outage.resume_cycles, spec.outage_cycles);
+        assert_eq!(r.outage.outages, 1);
+        assert_eq!(r.outage.resumes, 1);
+        assert_eq!(r.outage.refetched_classes, 0);
+        assert!(!r.outage.failed_closed);
+        assert_eq!(r.total_cycles, base.total_cycles + spec.outage_cycles);
+    }
+
+    #[test]
+    fn interrupt_past_the_end_finishes_normally() {
+        let s = session();
+        let config = SimConfig::non_strict(Link::T1, OrderingSource::StaticCallGraph);
+        let base = s.simulate(Input::Test, &config);
+        let spec = InterruptSpec {
+            at_cycle: base.total_cycles + 1,
+            outage_cycles: 1_000,
+        };
+        assert_eq!(s.simulate_interrupted(Input::Test, &config, &spec), base);
+    }
+
+    #[test]
+    fn ambient_outages_insert_pure_downtime() {
+        let s = session();
+        let mut oc = crate::model::OutageConfig::seeded(7);
+        oc.rate_pm = 600_000;
+        oc.min_cycles = 1 << 20;
+        oc.max_cycles = 1 << 24;
+        for base_cfg in [
+            SimConfig::strict(Link::MODEM_28_8),
+            SimConfig::non_strict(Link::MODEM_28_8, OrderingSource::StaticCallGraph),
+        ] {
+            let base = s.simulate(Input::Test, &base_cfg);
+            let r = s.simulate(Input::Test, &base_cfg.with_outages(oc));
+            assert!(
+                r.outage.outages > 0,
+                "a stormy modem run must cross outages"
+            );
+            assert_eq!(r.outage.resumes, r.outage.outages);
+            assert_eq!(r.exec_cycles, base.exec_cycles);
+            assert_eq!(r.stall_cycles, base.stall_cycles);
+            assert_eq!(r.verify_cycles, base.verify_cycles);
+            assert_eq!(r.total_cycles, base.total_cycles + r.outage.resume_cycles);
+            assert!(r.invocation_latency >= base.invocation_latency);
+        }
+    }
+
+    #[test]
+    fn torn_journal_fails_closed_to_strict() {
+        let s = session();
+        let config = SimConfig::non_strict(Link::MODEM_28_8, OrderingSource::StaticCallGraph);
+        let base = s.simulate(Input::Test, &config);
+        let RunOutcome::Interrupted(mut bytes) =
+            s.run_until(Input::Test, &config, base.total_cycles / 2)
+        else {
+            panic!("mid-run interrupt must produce a journal");
+        };
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        let r = s.resume(Input::Test, &config, &bytes, 1_000_000);
+        let strict = s.simulate(Input::Test, &SimConfig::strict(Link::MODEM_28_8));
+        assert!(r.outage.failed_closed);
+        assert_eq!(r.outage.resumes, 0);
+        assert!(r.faults.completed);
+        assert_eq!(r.total_cycles, strict.total_cycles + 1_000_000);
+        assert_eq!(r.exec_cycles, strict.exec_cycles);
+    }
+
+    #[test]
+    fn epoch_bump_triggers_targeted_refetch_only() {
+        let s = session();
+        let config = SimConfig::non_strict(Link::MODEM_28_8, OrderingSource::StaticCallGraph);
+        let base = s.simulate(Input::Test, &config);
+        let RunOutcome::Interrupted(bytes) =
+            s.run_until(Input::Test, &config, base.total_cycles / 2)
+        else {
+            panic!("mid-run interrupt must produce a journal");
+        };
+        // The server restructured one class while the client was away:
+        // re-stamp that class's epoch in the stored journal so the
+        // reconnect negotiation sees a mismatch against the manifest.
+        let mut journal = SessionJournal::decode(&bytes).unwrap();
+        journal.classes[0].epoch ^= 0xdead_beef;
+        let clean = s.resume(Input::Test, &config, &bytes, 0);
+        let bumped = s.resume(Input::Test, &config, &journal.encode(), 0);
+        assert_eq!(bumped.outage.refetched_classes, 1);
+        assert!(!bumped.outage.failed_closed);
+        // Targeted invalidation charges the refetch to the resume
+        // bucket and nothing else: the base timeline is untouched.
+        assert_eq!(bumped.exec_cycles, clean.exec_cycles);
+        assert_eq!(bumped.stall_cycles, clean.stall_cycles);
+        assert_eq!(bumped.verify_cycles, clean.verify_cycles);
+        assert!(bumped.outage.resume_cycles >= clean.outage.resume_cycles);
+        assert_eq!(
+            bumped.total_cycles - bumped.outage.resume_cycles,
+            clean.total_cycles - clean.outage.resume_cycles
+        );
     }
 
     #[test]

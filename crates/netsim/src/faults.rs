@@ -23,7 +23,10 @@
 //!
 //! The retry loop is bounded: after [`RETRY_CAP`] attempts the delivery
 //! is forced to succeed, so every faulted transfer terminates and every
-//! simulated execution completes.
+//! simulated execution completes. Deliveries whose final attempt only
+//! succeeded because of the cap — the draws for that attempt would have
+//! failed again — are counted in [`FaultStats::forced`] so the model's
+//! optimism is visible instead of silent.
 
 use crate::engine::TransferEngine;
 use crate::link::Link;
@@ -68,6 +71,11 @@ pub struct FaultStats {
     pub recovery_cycles: u64,
     /// Bytes sent more than once.
     pub retransmitted_bytes: u64,
+    /// Deliveries that exhausted every retry and only completed because
+    /// [`RETRY_CAP`] forces the final attempt to succeed. A non-zero
+    /// count means the plan's fault rates are beyond what the protocol
+    /// can genuinely recover from, and the timeline is optimistic.
+    pub forced: u64,
 }
 
 /// The outcome of delivering one unit under a plan.
@@ -88,6 +96,10 @@ pub struct UnitDelivery {
     pub drops: u32,
     /// Extra cycles this unit's stream spends recovering.
     pub penalty_cycles: u64,
+    /// Whether the final attempt succeeded only because [`RETRY_CAP`]
+    /// forces it to — the draws for that attempt would have failed
+    /// again.
+    pub forced: bool,
 }
 
 /// A deterministic, seeded description of everything that can go wrong
@@ -116,8 +128,9 @@ pub struct FaultPlan {
     pub reconnect_cycles: u64,
 }
 
-/// SplitMix64: the standard 64-bit finalizer used for per-unit draws.
-fn splitmix(mut x: u64) -> u64 {
+/// SplitMix64: the standard 64-bit finalizer used for per-unit draws
+/// (shared with the outage model in [`crate::outage`]).
+pub(crate) fn splitmix(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -224,6 +237,18 @@ impl FaultPlan {
                 d.penalty_cycles += tx_cycles + backoff;
             }
         }
+        if d.retries == RETRY_CAP - 1 {
+            // Every real attempt failed and the cap is about to force
+            // the final one through. Draw for it anyway: if the dice
+            // say it would have failed too, the success is synthetic
+            // and must be reported, not hidden. (The draw changes no
+            // timing, so existing timelines stay bit-identical.)
+            let a = RETRY_CAP - 1;
+            d.forced = Self::hits(self.drop_pm, self.draw(class, unit, a, SALT_DROP))
+                || Self::hits(self.loss_pm, self.draw(class, unit, a, SALT_LOSS))
+                || Self::hits(self.corrupt_pm, self.draw(class, unit, a, SALT_CORRUPT))
+                || Self::hits(self.semantic_pm, self.draw(class, unit, a, SALT_SEMANTIC));
+        }
         d
     }
 
@@ -297,6 +322,7 @@ impl<E: TransferEngine> FaultedEngine<E> {
                 stats.drops += u64::from(d.drops);
                 stats.recovery_cycles += d.penalty_cycles;
                 stats.retransmitted_bytes += bytes * u64::from(d.retries);
+                stats.forced += u64::from(d.forced);
                 class_events[c] += u64::from(d.retries);
             }
             penalty_prefix.push(prefix);
@@ -471,6 +497,10 @@ mod tests {
         let d = plan.unit_delivery(0, 0, 1_000);
         assert_eq!(d.attempts, RETRY_CAP);
         assert_eq!(d.retries, RETRY_CAP - 1);
+        assert!(
+            d.forced,
+            "certain loss means the final attempt only succeeded by force"
+        );
         let per_attempt = loss_timeout(1_000) + 1_000 + BACKOFF_CAP_CYCLES;
         assert!(d.penalty_cycles <= u64::from(RETRY_CAP) * per_attempt);
     }

@@ -23,6 +23,11 @@
 //!   ([`faults::FaultedEngine`]): CRC32-verified units, retry with
 //!   capped exponential backoff, resumable streams after a drop, and
 //!   piecewise-linear droop-window time remapping.
+//! * [`outage`] — full connection losses ([`outage::OutagePlan`]):
+//!   seeded per-period outage events with duration distributions that
+//!   freeze the client and the link together, and the monotone
+//!   base-to-wall time shift ([`outage::OutageSchedule`]) the session
+//!   layer uses for checkpoint/resume accounting.
 //!
 //! All engines are **event-driven fluid** simulators: transfer progress
 //! is piecewise linear, so the engines jump from event to event (unit
@@ -36,6 +41,7 @@ pub mod engine;
 pub mod faults;
 pub mod interleaved;
 pub mod link;
+pub mod outage;
 pub mod parallel;
 pub mod schedule;
 pub mod strict;
@@ -45,7 +51,10 @@ pub use engine::TransferEngine;
 pub use faults::{FaultPlan, FaultStats, FaultedEngine};
 pub use interleaved::InterleavedEngine;
 pub use link::{Link, LinkError};
+pub use outage::{OutageEngine, OutageEvent, OutagePlan, OutageSchedule, OUTAGE_PERIOD_CYCLES};
 pub use parallel::ParallelEngine;
 pub use schedule::{greedy_schedule, ParallelSchedule, ScheduleError, Weights};
 pub use strict::StrictEngine;
-pub use unit::{add_checksum_overhead, class_units, ClassUnits, CHECKSUM_BYTES, DELIMITER_BYTES};
+pub use unit::{
+    add_checksum_overhead, class_units, crc32, ClassUnits, CHECKSUM_BYTES, DELIMITER_BYTES,
+};

@@ -58,6 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     execution: ExecutionModel::NonStrict,
                     faults: None,
                     verify: VerifyMode::Off,
+                    outages: None,
                 };
                 let r = session.simulate(Input::Test, &config);
                 print!(" {:>8.1}", normalized_percent(r.total_cycles, base));

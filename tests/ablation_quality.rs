@@ -24,6 +24,7 @@ fn non_strict_gating_beats_strict_gating_under_identical_transfer() {
             execution,
             faults: None,
             verify: VerifyMode::Off,
+            outages: None,
         };
         let strict = s.simulate(Input::Test, &mk(ExecutionModel::Strict));
         let non_strict = s.simulate(Input::Test, &mk(ExecutionModel::NonStrict));
@@ -152,6 +153,7 @@ fn restructuring_matters_source_order_loses_to_first_use_order() {
         execution: ExecutionModel::NonStrict,
         faults: None,
         verify: VerifyMode::Off,
+        outages: None,
     };
     let source = s.simulate(Input::Test, &mk(OrderingSource::SourceOrder));
     let test = s.simulate(Input::Test, &mk(OrderingSource::TestProfile));

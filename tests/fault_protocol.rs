@@ -17,7 +17,8 @@
 //!    still completes.
 
 use nonstrict::prelude::*;
-use nonstrict_netsim::Link;
+use nonstrict_netsim::{FaultPlan, Link};
+use nonstrict_workloads::rng::StdRng;
 
 fn policies() -> [TransferPolicy; 4] {
     [
@@ -107,6 +108,82 @@ fn same_seed_replays_bit_for_bit() {
     // a seed-blind fault layer would pass determinism trivially.
     let differs = (0..8u64).any(|s| session.simulate(Input::Test, &config(s)) != a);
     assert!(differs, "fault draws must depend on the seed");
+}
+
+#[test]
+fn droop_remap_is_strictly_monotone_across_random_plans() {
+    let mut rng = StdRng::seed_from_u64(0xd00b_0b5e);
+    for case in 0..64 {
+        let mut plan = FaultPlan::perfect(rng.next_u64());
+        plan.droop_pm = rng.gen_range(0..=1_000_000u32);
+        // Probe around window edges at many scales plus random points:
+        // the remap is piecewise linear, so the corners are where a
+        // monotonicity bug would hide.
+        let mut points: Vec<u64> = (0..24).map(|s| 1u64 << s).collect();
+        points.extend((0..64).map(|_| rng.gen_range(0..1u64 << 34)));
+        points.sort_unstable();
+        for &t in &points {
+            let here = plan.remap(t);
+            assert!(
+                here >= t,
+                "case {case}: droop can only stretch time: remap({t}) = {here}"
+            );
+            assert!(
+                plan.remap(t + 1) > here,
+                "case {case}: remap must be strictly increasing at {t} (droop {} ppm)",
+                plan.droop_pm
+            );
+        }
+    }
+}
+
+#[test]
+fn droop_free_plans_remap_to_the_identity() {
+    let mut rng = StdRng::seed_from_u64(0x1dea_717e);
+    for _ in 0..64 {
+        let mut plan = FaultPlan::perfect(rng.next_u64());
+        // Any mix of non-droop faults: they retime deliveries, never the
+        // ambient clock.
+        plan.loss_pm = rng.gen_range(0..=1_000_000u32);
+        plan.corrupt_pm = rng.gen_range(0..=1_000_000u32);
+        plan.drop_pm = rng.gen_range(0..=1_000_000u32);
+        plan.semantic_pm = rng.gen_range(0..=1_000_000u32);
+        for _ in 0..64 {
+            let t = rng.gen_range(0..u64::MAX / 2);
+            assert_eq!(plan.remap(t), t, "droop-free remap must be the identity");
+        }
+    }
+}
+
+#[test]
+fn retry_cap_forced_successes_are_counted_not_hidden() {
+    let session = Session::new(nonstrict::workloads::hanoi::build()).unwrap();
+    // A link where every attempt fails: only the retry cap's final
+    // forced-through attempt ever delivers, and each such synthetic
+    // success must be reported.
+    let mut fc = FaultConfig::seeded(11);
+    fc.loss_pm = 1_000_000;
+    let config =
+        SimConfig::non_strict(Link::MODEM_28_8, OrderingSource::StaticCallGraph).with_faults(fc);
+    let r = session.simulate(Input::Test, &config);
+    assert!(r.faults.completed, "the cap must still bound recovery");
+    assert!(
+        r.faults.forced > 0,
+        "every delivery was forced; hiding them would overstate link health: {:?}",
+        r.faults
+    );
+    // A mildly lossy link retries but never exhausts the cap.
+    let mild = session.simulate(
+        Input::Test,
+        &SimConfig::non_strict(Link::MODEM_28_8, OrderingSource::StaticCallGraph)
+            .with_faults(lossy(11)),
+    );
+    assert!(mild.faults.retries > 0);
+    assert_eq!(
+        mild.faults.forced, 0,
+        "10% loss must never exhaust the retry cap: {:?}",
+        mild.faults
+    );
 }
 
 #[test]

@@ -163,6 +163,7 @@ fn strict_transfer_with_nonstrict_execution_is_a_valid_ablation() {
         execution: ExecutionModel::NonStrict,
         faults: None,
         verify: VerifyMode::Off,
+        outages: None,
     };
     let mut ns = overlap;
     ns.transfer = TransferPolicy::Parallel { limit: 4 };

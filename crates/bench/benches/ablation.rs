@@ -94,6 +94,7 @@ fn bench_execution_model(c: &mut Criterion) {
             faults: None,
             verify: VerifyMode::Off,
             outages: None,
+            replicas: None,
         };
         group.bench_function(label, |b| {
             b.iter(|| s.simulate(Input::Test, &config).total_cycles)

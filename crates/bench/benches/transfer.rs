@@ -52,6 +52,7 @@ fn bench_policies(c: &mut Criterion) {
                 faults: None,
                 verify: VerifyMode::Off,
                 outages: None,
+                replicas: None,
             };
             group.bench_function(BenchmarkId::new(label, &s.app.name), |b| {
                 b.iter(|| s.simulate(Input::Test, &config).total_cycles)
@@ -74,6 +75,7 @@ fn bench_partitioned(c: &mut Criterion) {
         faults: None,
         verify: VerifyMode::Off,
         outages: None,
+        replicas: None,
     };
     group.bench_function("jess_par4_dp", |b| {
         b.iter(|| s.simulate(Input::Test, &config).total_cycles)

@@ -9,6 +9,7 @@
 //! paper faults       # fault sweep: resilience + graceful degradation
 //! paper verify       # verification sweep: verified-prefix streaming cost
 //! paper outage       # outage sweep: session checkpoint/resume cost
+//! paper replicas     # replica sweep: mirror routing, hedging, failover
 //! paper csv results/ # machine-readable export of every table
 //! ```
 
@@ -91,6 +92,10 @@ fn main() {
             "{}",
             report::render_outage_sweep(&experiment::outage::outage_sweep(&suite))
         ),
+        "replicas" => println!(
+            "{}",
+            report::render_replica_sweep(&experiment::replica::replica_sweep(&suite))
+        ),
         "csv" => {
             let dir = std::env::args()
                 .nth(2)
@@ -103,7 +108,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown table {other:?}; use all|table2..table10|fig6|summary|faults|verify|outage|csv"
+                "unknown table {other:?}; use all|table2..table10|fig6|summary|faults|verify|outage|replicas|csv"
             );
             std::process::exit(2);
         }

@@ -26,8 +26,8 @@ use nonstrict_bytecode::{Application, Input};
 use nonstrict_classfile::{Attribute, GlobalDataBreakdown};
 use nonstrict_core::metrics::{cycles_to_seconds, normalized_percent};
 use nonstrict_core::model::{
-    DataLayout, ExecutionModel, FaultConfig, OrderingSource, OutageConfig, SimConfig,
-    TransferPolicy, VerifyMode,
+    DataLayout, ExecutionModel, FaultConfig, OrderingSource, OutageConfig, ReplicaConfig,
+    SimConfig, TransferPolicy, VerifyMode,
 };
 use nonstrict_core::sim::{RunOutcome, Session};
 use nonstrict_netsim::Link;
@@ -77,11 +77,20 @@ USAGE:
                                  [--corrupt PPM] [--droop PPM] [--semantic PPM]
                                  [--outage-seed N] [--outage-rate PPM] [--outage-cycles N]
                                  [--journal PATH] [--interrupt CYCLE]
+                                 [--replicas N] [--replica-spread PPM]
+                                 [--hedge-deadline CYCLES]
   nonstrict timeline <benchmark> [--link t1|modem] [--ordering scg|train|test]
 
 Outage/resume: --interrupt kills the session at a base cycle and writes
 the checkpoint journal to --journal PATH; rerunning with --journal alone
 resumes from it (torn journals fail closed to a strict restart).
+
+Replica sets: --replicas N downloads from N mirrors (1..=8) with
+health-scored routing and hedged demand fetches; --replica-spread sets
+the per-mirror bandwidth droop (ppm) and --hedge-deadline the stall
+budget before a duplicate fetch goes to the runner-up mirror. Both
+tuning flags require --replicas 2 or more; --replicas 1 is byte-
+identical to no replica flags at all.
 
 BENCHMARKS: bit, hanoi, javacup, jess, jhlzip, testdes";
 
@@ -204,6 +213,62 @@ impl Flags {
         Ok(Some(oc))
     }
 
+    /// The replica-set configuration from `--replicas/--replica-spread/
+    /// --hedge-deadline`, or `None` when no replica flag was given. The
+    /// tuning flags are meaningless on a single origin, so giving either
+    /// without `--replicas 2` or more is a usage error rather than a
+    /// silently ignored knob.
+    fn replica_config(&self) -> Result<Option<ReplicaConfig>, CliError> {
+        let replicas: Option<u32> = self.num_opt("replicas")?;
+        let spread: Option<u32> = self.num_opt("replica-spread")?;
+        let deadline: Option<u64> = self.num_opt("hedge-deadline")?;
+        let Some(n) = replicas else {
+            if let Some(flag) = [
+                spread.map(|_| "--replica-spread"),
+                deadline.map(|_| "--hedge-deadline"),
+            ]
+            .into_iter()
+            .flatten()
+            .next()
+            {
+                return Err(CliError::usage(format!(
+                    "{flag} only makes sense with --replicas 2 or more"
+                )));
+            }
+            return Ok(None);
+        };
+        if !(1..=ReplicaConfig::MAX_REPLICAS).contains(&n) {
+            return Err(CliError::usage(format!(
+                "--replicas expects 1..={}, got {n}",
+                ReplicaConfig::MAX_REPLICAS
+            )));
+        }
+        if n < 2 {
+            if let Some(flag) = [
+                spread.map(|_| "--replica-spread"),
+                deadline.map(|_| "--hedge-deadline"),
+            ]
+            .into_iter()
+            .flatten()
+            .next()
+            {
+                return Err(CliError::usage(format!(
+                    "{flag} only makes sense with --replicas 2 or more"
+                )));
+            }
+        }
+        let seed: Option<u64> = self.num_opt("fault-seed")?;
+        let mut rc = ReplicaConfig::seeded(seed.unwrap_or(0));
+        rc.replicas = n;
+        if let Some(s) = spread {
+            rc.spread_pm = s;
+        }
+        if let Some(d) = deadline {
+            rc.hedge_deadline_cycles = d;
+        }
+        Ok(Some(rc))
+    }
+
     /// The verification mode from `--verify`, defaulting to `off` so a
     /// plain `simulate` reproduces the paper's verification-free numbers.
     fn verify_mode(&self) -> Result<VerifyMode, CliError> {
@@ -221,7 +286,7 @@ impl Flags {
 const BOOL_KEYS: [&str; 2] = ["partitioned", "strict-execution"];
 
 /// Keys that take a value.
-const VALUE_KEYS: [&str; 18] = [
+const VALUE_KEYS: [&str; 21] = [
     "class",
     "method",
     "source",
@@ -240,6 +305,9 @@ const VALUE_KEYS: [&str; 18] = [
     "outage-cycles",
     "journal",
     "interrupt",
+    "replicas",
+    "replica-spread",
+    "hedge-deadline",
 ];
 
 fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
@@ -506,6 +574,7 @@ fn cmd_simulate(flags: &Flags) -> Result<String, CliError> {
         faults: flags.fault_config()?,
         verify: flags.verify_mode()?,
         outages: flags.outage_config()?,
+        replicas: flags.replica_config()?,
     };
 
     let session = Session::new(app).map_err(|e| CliError {
@@ -536,7 +605,7 @@ fn cmd_simulate(flags: &Flags) -> Result<String, CliError> {
                     "  (run finished at {} cycles, before the --interrupt point {at}; no journal written)",
                     r.total_cycles
                 );
-                r
+                *r
             }
         }
     } else if let Some(path) = flags.get("journal") {
@@ -666,6 +735,43 @@ fn cmd_simulate(flags: &Flags) -> Result<String, CliError> {
             o.resume_cycles,
             nonstrict_core::metrics::resume_share_percent(o.resume_cycles, r.total_cycles)
         );
+    }
+    if config.active_replicas().is_some() {
+        let rep = &r.replica;
+        let _ = writeln!(
+            out,
+            "  replica set:        {} mirrors, {} failovers, {} hedged fetches ({} won)",
+            rep.replicas, rep.failovers, rep.hedges, rep.hedge_wins
+        );
+        let _ = writeln!(
+            out,
+            "  hedge cost:         {:>12} cycles ({:.2}% of total){}",
+            rep.hedge_cycles,
+            nonstrict_core::metrics::hedge_share_percent(rep.hedge_cycles, r.total_cycles),
+            if rep.sole_survivor {
+                " — SOLE SURVIVOR, session failed closed to strict"
+            } else {
+                ""
+            }
+        );
+        let _ = writeln!(
+            out,
+            "  {:<10} {:>8} {:>7} {:>10} {:>8} {:>8} {:>6}",
+            "mirror", "health", "units", "bytes", "retries", "outages", "state"
+        );
+        for (i, h) in rep.health.iter().take(rep.replicas as usize).enumerate() {
+            let _ = writeln!(
+                out,
+                "  {:<10} {:>7.1}% {:>7} {:>10} {:>8} {:>8} {:>6}",
+                format!("mirror {i}"),
+                f64::from(h.health_ppm) / 10_000.0,
+                h.units_served,
+                h.bytes_served,
+                h.retries,
+                h.outage_hits,
+                if h.alive { "live" } else { "dead" }
+            );
+        }
     }
     Ok(out)
 }
@@ -984,6 +1090,77 @@ mod tests {
         let tail = |s: &str| s.lines().skip(1).collect::<Vec<_>>().join("\n");
         assert_eq!(tail(&plain), tail(&seeded));
         assert!(!plain.contains("resume cost"), "{plain}");
+    }
+
+    #[test]
+    fn replica_run_reports_the_mirror_table_deterministically() {
+        let args = [
+            "simulate",
+            "hanoi",
+            "--link",
+            "modem",
+            "--replicas",
+            "3",
+            "--fault-seed",
+            "7",
+            "--loss",
+            "200000",
+            "--hedge-deadline",
+            "500000",
+        ];
+        let a = run_str(&args).unwrap();
+        let b = run_str(&args).unwrap();
+        assert_eq!(a, b, "same seed, same report");
+        assert!(a.contains("replica set:"), "{a}");
+        assert!(a.contains("3 mirrors"), "{a}");
+        assert!(a.contains("hedge cost:"), "{a}");
+        assert!(a.contains("mirror 2"), "{a}");
+        assert!(a.contains("live"), "{a}");
+    }
+
+    #[test]
+    fn single_replica_leaves_the_report_tail_unchanged() {
+        let plain = run_str(&["simulate", "hanoi", "--link", "t1"]).unwrap();
+        let one = run_str(&["simulate", "hanoi", "--link", "t1", "--replicas", "1"]).unwrap();
+        // A one-mirror set is normalized away by `active_replicas`, so
+        // only the echoed config line may differ.
+        let tail = |s: &str| s.lines().skip(1).collect::<Vec<_>>().join("\n");
+        assert_eq!(tail(&plain), tail(&one));
+        assert!(!plain.contains("replica set"), "{plain}");
+    }
+
+    #[test]
+    fn hedge_deadline_without_replicas_is_a_usage_error() {
+        let err = run_str(&["simulate", "hanoi", "--hedge-deadline", "1000000"]).unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("--replicas 2"), "{}", err.message);
+        let err = run_str(&[
+            "simulate",
+            "hanoi",
+            "--replicas",
+            "1",
+            "--hedge-deadline",
+            "1000000",
+        ])
+        .unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("--replicas 2"), "{}", err.message);
+    }
+
+    #[test]
+    fn replica_spread_without_replicas_is_a_usage_error() {
+        let err = run_str(&["simulate", "hanoi", "--replica-spread", "100000"]).unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("--replica-spread"), "{}", err.message);
+    }
+
+    #[test]
+    fn replica_count_out_of_range_is_a_usage_error() {
+        for n in ["0", "9"] {
+            let err = run_str(&["simulate", "hanoi", "--replicas", n]).unwrap_err();
+            assert_eq!(err.code, 2);
+            assert!(err.message.contains("1..=8"), "{}", err.message);
+        }
     }
 
     #[test]

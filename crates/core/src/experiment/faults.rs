@@ -58,6 +58,11 @@ pub struct FaultRow {
     pub drops: u64,
     /// Corrupted units detected by CRC and re-sent.
     pub corrupted: u64,
+    /// Units that verified but failed the post-delivery semantic check,
+    /// were quarantined, and refetched.
+    pub quarantined: u64,
+    /// Deliveries that exhausted the retry cap and were forced through.
+    pub forced: u64,
     /// Classes demoted to strict demand-fetch.
     pub degraded_classes: u32,
     /// Whether the whole session fell back to strict execution.
@@ -94,6 +99,8 @@ pub fn fault_sweep(suite: &Suite) -> Vec<FaultRow> {
                         retries: r.faults.retries,
                         drops: r.faults.drops,
                         corrupted: r.faults.corrupted,
+                        quarantined: r.faults.quarantined,
+                        forced: r.faults.forced,
                         degraded_classes: r.faults.degraded_classes,
                         session_degraded: r.faults.session_degraded,
                         completed: r.faults.completed,

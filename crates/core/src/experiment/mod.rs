@@ -7,6 +7,7 @@
 pub mod faults;
 pub mod outage;
 pub mod paper;
+pub mod replica;
 pub mod verify;
 
 use nonstrict_bytecode::{Input, InterpError};
@@ -232,6 +233,7 @@ pub fn parallel_table(suite: &Suite, link: Link, data_layout: DataLayout) -> Par
                         faults: None,
                         verify: VerifyMode::Off,
                         outages: None,
+                        replicas: None,
                     };
                     cells[o][l] = suite.normalized(s, &config);
                 }
@@ -296,6 +298,7 @@ pub fn interleaved_table(suite: &Suite, data_layout: DataLayout) -> InterleavedT
                         faults: None,
                         verify: VerifyMode::Off,
                         outages: None,
+                        replicas: None,
                     };
                     cols[k * 3 + o] = suite.normalized(s, &config);
                 }
@@ -389,6 +392,7 @@ pub fn table10(suite: &Suite) -> (InterleavedTable, InterleavedTable) {
                         faults: None,
                         verify: VerifyMode::Off,
                         outages: None,
+                        replicas: None,
                     };
                     cols[k * 3 + o] = suite.normalized(s, &config);
                 }

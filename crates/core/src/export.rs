@@ -288,6 +288,29 @@ pub fn export_csv(suite: &Suite, dir: &Path) -> io::Result<Vec<PathBuf>> {
     }
     emit("outage.csv", og)?;
 
+    // Replica sweep (robustness extension; no paper column — the
+    // original evaluation assumes a single origin server).
+    let mut rp = String::from(
+        "program,link,replicas,loss_ppm,normalized_pct,hedge_share_pct,hedges,hedge_wins,failovers,min_health_ppm,completed\n",
+    );
+    for r in experiment::replica::replica_sweep(suite) {
+        rp.push_str(&format!(
+            "{},{},{},{},{:.1},{:.2},{},{},{},{},{}\n",
+            r.name,
+            r.link.name,
+            r.replicas,
+            r.loss_pm,
+            r.normalized,
+            r.hedge_share,
+            r.hedges,
+            r.hedge_wins,
+            r.failovers,
+            r.min_health_ppm,
+            r.completed
+        ));
+    }
+    emit("replica.csv", rp)?;
+
     Ok(written)
 }
 
@@ -304,7 +327,7 @@ mod tests {
         };
         let dir = std::env::temp_dir().join(format!("nonstrict-export-{}", std::process::id()));
         let files = export_csv(&suite, &dir).unwrap();
-        assert_eq!(files.len(), 14);
+        assert_eq!(files.len(), 15);
         for f in &files {
             let content = fs::read_to_string(f).unwrap();
             let mut lines = content.lines();

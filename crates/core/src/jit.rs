@@ -236,6 +236,7 @@ mod tests {
                 faults: None,
                 verify: crate::model::VerifyMode::Off,
                 outages: None,
+                replicas: None,
             },
         );
         assert_eq!(r.total_cycles, plain.total_cycles);

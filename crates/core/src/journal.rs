@@ -29,8 +29,10 @@ use nonstrict_netsim::crc32;
 /// Journal magic: identifies the file and its byte order.
 pub const JOURNAL_MAGIC: [u8; 4] = *b"NSJR";
 
-/// Current wire-format version.
-pub const JOURNAL_VERSION: u16 = 1;
+/// Current wire-format version. Version 2 added the hedge-cycle ledger
+/// entry and the per-fetch serving-replica tag; older journals fail
+/// closed, which is the safe reading of a format we no longer write.
+pub const JOURNAL_VERSION: u16 = 2;
 
 /// Why a journal could not be trusted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,6 +75,10 @@ pub struct FetchRecord {
     pub class: u32,
     /// Unit index within the class.
     pub unit: u32,
+    /// Replica that served the unit (0 outside a replica set). On
+    /// reconnect the client can tell each mirror which of its units it
+    /// already holds.
+    pub replica: u32,
     /// Base-timeline cycle of the request.
     pub at: u64,
 }
@@ -162,6 +168,9 @@ pub struct SessionJournal {
     pub verify_cycles: u64,
     /// Resume cycles (outage downtime, negotiation, refetch) so far.
     pub resume_cycles: u64,
+    /// Hedging cycles (deadline waits plus issue/cancel overhead) so
+    /// far.
+    pub hedge_cycles: u64,
     /// Stall-event count so far.
     pub stalls: u32,
     /// Outages survived so far.
@@ -363,6 +372,7 @@ impl SessionJournal {
         w.u64(self.recovery_cycles);
         w.u64(self.verify_cycles);
         w.u64(self.resume_cycles);
+        w.u64(self.hedge_cycles);
         w.u32(self.stalls);
         w.u32(self.outages);
         w.u32(self.resumes);
@@ -385,6 +395,7 @@ impl SessionJournal {
         for f in &self.fetch_log {
             w.u32(f.class);
             w.u32(f.unit);
+            w.u32(f.replica);
             w.u64(f.at);
         }
         let crc = crc32(&w.buf);
@@ -428,6 +439,7 @@ impl SessionJournal {
         let recovery_cycles = r.u64()?;
         let verify_cycles = r.u64()?;
         let resume_cycles = r.u64()?;
+        let hedge_cycles = r.u64()?;
         let stalls = r.u32()?;
         let outages = r.u32()?;
         let resumes = r.u32()?;
@@ -478,6 +490,7 @@ impl SessionJournal {
             fetch_log.push(FetchRecord {
                 class: r.u32()?,
                 unit: r.u32()?,
+                replica: r.u32()?,
                 at: r.u64()?,
             });
         }
@@ -493,6 +506,7 @@ impl SessionJournal {
             recovery_cycles,
             verify_cycles,
             resume_cycles,
+            hedge_cycles,
             stalls,
             outages,
             resumes,
@@ -519,6 +533,7 @@ mod tests {
             recovery_cycles: 30_000,
             verify_cycles: 4_000,
             resume_cycles: 567,
+            hedge_cycles: 1_200,
             stalls: 9,
             outages: 2,
             resumes: 2,
@@ -543,11 +558,13 @@ mod tests {
                 FetchRecord {
                     class: 0,
                     unit: 1,
+                    replica: 0,
                     at: 100,
                 },
                 FetchRecord {
                     class: 1,
                     unit: 0,
+                    replica: 2,
                     at: 777,
                 },
             ],

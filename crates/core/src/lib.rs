@@ -44,10 +44,10 @@ pub mod sim;
 
 pub use journal::{negotiate, JournalError, Negotiation, SessionJournal, SessionManifest};
 pub use model::{
-    DataLayout, ExecutionModel, FaultConfig, OrderingSource, OutageConfig, SimConfig,
-    TransferPolicy, VerifyMode,
+    DataLayout, ExecutionModel, FaultConfig, OrderingSource, OutageConfig, ReplicaConfig,
+    ReplicaKill, SimConfig, TransferPolicy, VerifyMode,
 };
 pub use sim::{
-    simulate, FaultSummary, InterruptSpec, OutageSummary, RunOutcome, Session, SimResult,
-    VERIFY_CYCLES_PER_GLOBAL_BYTE,
+    simulate, FaultSummary, InterruptSpec, OutageSummary, ReplicaSummary, RunOutcome, Session,
+    SimResult, VERIFY_CYCLES_PER_GLOBAL_BYTE,
 };

@@ -67,6 +67,17 @@ pub fn resume_share_percent(resume_cycles: u64, total_cycles: u64) -> f64 {
     100.0 * resume_cycles as f64 / total_cycles as f64
 }
 
+/// Share of the run's total time spent hedging demand fetches —
+/// deadline waits plus issue/cancel overhead — as a percent. Zero
+/// outside a replica set; the replica report's headline column.
+#[must_use]
+pub fn hedge_share_percent(hedge_cycles: u64, total_cycles: u64) -> f64 {
+    if total_cycles == 0 {
+        return 0.0;
+    }
+    100.0 * hedge_cycles as f64 / total_cycles as f64
+}
+
 /// Fraction of runs that executed to completion, as a percent. The
 /// resilient protocol's retry cap makes this 100 by construction; the
 /// report still computes it from the results rather than asserting it.
@@ -111,6 +122,8 @@ mod tests {
         assert_eq!(verify_share_percent(5, 0), 0.0);
         assert!((resume_share_percent(250, 1_000) - 25.0).abs() < 1e-12);
         assert_eq!(resume_share_percent(5, 0), 0.0);
+        assert!((hedge_share_percent(50, 1_000) - 5.0).abs() < 1e-12);
+        assert_eq!(hedge_share_percent(5, 0), 0.0);
         assert_eq!(completion_rate_percent(0, 0), 100.0);
         assert!((completion_rate_percent(3, 4) - 75.0).abs() < 1e-12);
     }

@@ -2,6 +2,7 @@
 
 use nonstrict_netsim::faults::FaultPlan;
 use nonstrict_netsim::outage::OutagePlan;
+use nonstrict_netsim::replica::{replica_seed, ReplicaProfile, MAX_REPLICAS};
 use nonstrict_netsim::Link;
 
 /// How method first-use order is predicted (§4).
@@ -232,6 +233,129 @@ impl OutageConfig {
     }
 }
 
+/// One mirror killed mid-run, for failover testing: the replica stops
+/// serving at the given base-timeline cycle; routing fails over to the
+/// surviving mirrors at the next unit boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ReplicaKill {
+    /// Index of the mirror that dies (0-based).
+    pub replica: u32,
+    /// Base-timeline cycle at which it dies.
+    pub at_cycle: u64,
+}
+
+/// Replica-set transfer settings: N mirrors of the restructured
+/// program, each with its own bandwidth spread and independently
+/// seeded fault/outage profile derived from the session config. Stays
+/// `Copy`, `Eq`, and `Hash` like the rest of [`SimConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ReplicaConfig {
+    /// Base seed; mirror `i` draws from
+    /// [`nonstrict_netsim::replica::replica_seed`]`(seed, i)`, and
+    /// mirror 0 keeps the base seed exactly.
+    pub seed: u64,
+    /// Number of mirrors. 1 is the single origin: byte-identical to no
+    /// replica config at all.
+    pub replicas: u32,
+    /// Per-mirror bandwidth spread (ppm): mirror `i`'s cycles-per-byte
+    /// is the base link's scaled by `1 + i * spread_pm / 1e6`.
+    pub spread_pm: u32,
+    /// Stall deadline (cycles) past which a demand fetch is hedged to
+    /// the second-best mirror; 0 disables hedging.
+    pub hedge_deadline_cycles: u64,
+    /// Optional mid-run mirror death, for failover testing.
+    pub kill: Option<ReplicaKill>,
+}
+
+impl ReplicaConfig {
+    /// Hard cap on mirrors (mirrors netsim's fixed-size summaries).
+    pub const MAX_REPLICAS: u32 = MAX_REPLICAS as u32;
+
+    /// Default bandwidth spread: each further mirror is 15% slower.
+    pub const DEFAULT_SPREAD_PM: u32 = 150_000;
+
+    /// Default hedge deadline (~4 ms on the 500 MHz Alpha): long enough
+    /// that only fault-recovery stalls trigger duplicates.
+    pub const DEFAULT_HEDGE_DEADLINE_CYCLES: u64 = 2_000_000;
+
+    /// A single-origin replica config under `seed` — the routing
+    /// machinery is armed but there is nothing to choose between.
+    #[must_use]
+    pub fn seeded(seed: u64) -> ReplicaConfig {
+        ReplicaConfig {
+            seed,
+            replicas: 1,
+            spread_pm: Self::DEFAULT_SPREAD_PM,
+            hedge_deadline_cycles: Self::DEFAULT_HEDGE_DEADLINE_CYCLES,
+            kill: None,
+        }
+    }
+
+    /// Whether there is an actual choice of mirrors. A one-mirror set
+    /// perturbs no timeline: results are byte-identical to no replica
+    /// config at all.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.replicas >= 2
+    }
+
+    /// The base-timeline cycle from which the session must fail closed
+    /// to strict execution because a kill leaves a sole surviving
+    /// mirror, if this config has one.
+    #[must_use]
+    pub fn sole_survivor_from(&self) -> Option<u64> {
+        match self.kill {
+            Some(k) if self.replicas == 2 && k.replica < self.replicas => Some(k.at_cycle),
+            _ => None,
+        }
+    }
+
+    /// The netsim-level mirror profiles this config and the session's
+    /// fault/outage settings lower to. Mirror `i` runs the session's
+    /// fault rates under its own sub-seed (a perfect plan when faults
+    /// are off) and the session's outage rates under its own sub-seed
+    /// (quiet when outages are off); server-side outage draws are
+    /// salted apart from the client-side ambient schedule.
+    #[must_use]
+    pub fn profiles(&self, config: &SimConfig) -> Vec<ReplicaProfile> {
+        let n = self.replicas.clamp(1, Self::MAX_REPLICAS);
+        (0..n)
+            .map(|i| {
+                let cpb = u128::from(config.link.cycles_per_byte)
+                    * (1_000_000 + u128::from(self.spread_pm) * u128::from(i))
+                    / 1_000_000;
+                let link = Link {
+                    cycles_per_byte: u64::try_from(cpb).unwrap_or(u64::MAX),
+                    name: config.link.name,
+                };
+                let faults = config.active_faults().map_or_else(
+                    || FaultPlan::perfect(replica_seed(self.seed, i)),
+                    |fc| {
+                        let mut plan = fc.plan();
+                        plan.seed = replica_seed(plan.seed, i);
+                        plan
+                    },
+                );
+                let outages = config.active_outages().map_or_else(
+                    || OutagePlan::quiet(replica_seed(self.seed, i)),
+                    |oc| {
+                        let mut plan = oc.plan();
+                        plan.seed = replica_seed(plan.seed ^ 0x6d69_7272_6f72_5f73, i);
+                        plan
+                    },
+                );
+                let dead_from = self.kill.filter(|k| k.replica == i).map(|k| k.at_cycle);
+                ReplicaProfile {
+                    link,
+                    faults,
+                    outages,
+                    dead_from,
+                }
+            })
+            .collect()
+    }
+}
+
 /// When class-file verification runs and how much of it gates
 /// execution (§3.1.1's five-step check mapped onto the stream).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -295,6 +419,9 @@ pub struct SimConfig {
     /// Full connection-loss injection; `None` (or a zero-rate config)
     /// never interrupts the session.
     pub outages: Option<OutageConfig>,
+    /// Replica-set transfer; `None` (or a one-mirror config) is the
+    /// single origin server.
+    pub replicas: Option<ReplicaConfig>,
 }
 
 impl SimConfig {
@@ -312,6 +439,7 @@ impl SimConfig {
             faults: None,
             verify: VerifyMode::Off,
             outages: None,
+            replicas: None,
         }
     }
 
@@ -328,6 +456,7 @@ impl SimConfig {
             faults: None,
             verify: VerifyMode::Off,
             outages: None,
+            replicas: None,
         }
     }
 
@@ -352,6 +481,13 @@ impl SimConfig {
         self
     }
 
+    /// This configuration with replica-set transfer enabled.
+    #[must_use]
+    pub fn with_replicas(mut self, replicas: ReplicaConfig) -> Self {
+        self.replicas = Some(replicas);
+        self
+    }
+
     /// The fault config, if it can actually perturb the run. An
     /// all-zero config is normalized away here so every consumer treats
     /// it exactly like `None`.
@@ -367,6 +503,15 @@ impl SimConfig {
     #[must_use]
     pub fn active_outages(&self) -> Option<OutageConfig> {
         self.outages.filter(OutageConfig::is_active)
+    }
+
+    /// The replica config, if there is an actual choice of mirrors. A
+    /// one-mirror set is normalized away here so every consumer treats
+    /// it exactly like `None` — single-origin runs stay byte-identical
+    /// to the committed results.
+    #[must_use]
+    pub fn active_replicas(&self) -> Option<ReplicaConfig> {
+        self.replicas.filter(ReplicaConfig::is_active)
     }
 
     /// Whether this is the no-overlap strict baseline.
@@ -461,6 +606,61 @@ mod tests {
         fc.semantic_pm = 5_000;
         assert!(fc.is_active());
         assert_eq!(fc.plan().semantic_pm, 5_000);
+    }
+
+    #[test]
+    fn single_origin_replica_configs_are_normalized_away() {
+        let solo = ReplicaConfig::seeded(42);
+        assert!(!solo.is_active());
+        let cfg = SimConfig::strict(Link::T1).with_replicas(solo);
+        assert_eq!(
+            cfg.active_replicas(),
+            None,
+            "one mirror is the single origin"
+        );
+        let mut pair = solo;
+        pair.replicas = 2;
+        assert_eq!(cfg.with_replicas(pair).active_replicas(), Some(pair));
+    }
+
+    #[test]
+    fn replica_profiles_spread_bandwidth_and_seeds() {
+        let mut rc = ReplicaConfig::seeded(7);
+        rc.replicas = 3;
+        let mut fc = FaultConfig::seeded(99);
+        fc.loss_pm = 1_000;
+        let cfg = SimConfig::non_strict(Link::T1, OrderingSource::StaticCallGraph).with_faults(fc);
+        let profiles = rc.profiles(&cfg);
+        assert_eq!(profiles.len(), 3);
+        assert_eq!(
+            profiles[0].link.cycles_per_byte,
+            Link::T1.cycles_per_byte,
+            "mirror 0 is the base link"
+        );
+        assert!(profiles[1].link.cycles_per_byte > profiles[0].link.cycles_per_byte);
+        assert!(profiles[2].link.cycles_per_byte > profiles[1].link.cycles_per_byte);
+        assert_eq!(profiles[0].faults.seed, 99, "mirror 0 keeps the base seed");
+        assert_ne!(profiles[1].faults.seed, profiles[2].faults.seed);
+        assert!(profiles.iter().all(|p| p.faults.loss_pm == 1_000));
+        assert!(profiles.iter().all(|p| p.outages.is_quiet()));
+        assert!(profiles.iter().all(|p| p.dead_from.is_none()));
+    }
+
+    #[test]
+    fn sole_survivor_needs_a_kill_on_a_two_mirror_set() {
+        let mut rc = ReplicaConfig::seeded(1);
+        rc.replicas = 2;
+        assert_eq!(rc.sole_survivor_from(), None);
+        rc.kill = Some(ReplicaKill {
+            replica: 0,
+            at_cycle: 500,
+        });
+        assert_eq!(rc.sole_survivor_from(), Some(500));
+        rc.replicas = 3;
+        assert_eq!(rc.sole_survivor_from(), None, "two mirrors survive");
+        let profiles = rc.profiles(&SimConfig::strict(Link::T1));
+        assert_eq!(profiles[0].dead_from, Some(500));
+        assert_eq!(profiles[1].dead_from, None);
     }
 
     #[test]

@@ -371,6 +371,8 @@ pub fn render_fault_sweep(rows: &[crate::experiment::faults::FaultRow]) -> Strin
     let completed = rows.iter().filter(|r| r.completed).count();
     let fallbacks: u64 = rows.iter().map(|r| u64::from(r.degraded_classes)).sum();
     let retries: u64 = rows.iter().map(|r| r.retries).sum();
+    let quarantined: u64 = rows.iter().map(|r| r.quarantined).sum();
+    let forced: u64 = rows.iter().map(|r| r.forced).sum();
     let _ = writeln!(
         out,
         "completion rate {:.1}% ({} of {} runs), {} retries total, {} class fallbacks to strict",
@@ -379,6 +381,79 @@ pub fn render_fault_sweep(rows: &[crate::experiment::faults::FaultRow]) -> Strin
         rows.len(),
         retries,
         fallbacks,
+    );
+    let _ = writeln!(
+        out,
+        "degradation: {quarantined:>6} units quarantined, {forced:>6} forced past the retry cap",
+    );
+    out
+}
+
+/// Renders the replica sweep: health-scored mirror routing with hedged
+/// demand fetches, including the per-mirror end-of-run health table.
+/// Not part of [`render_all`], which reproduces only the paper's
+/// single-origin tables.
+#[must_use]
+pub fn render_replica_sweep(rows: &[crate::experiment::replica::ReplicaRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Replica sweep: health-scored mirrors with hedged demand fetches (non-strict par(4), SCG)"
+    );
+    let _ = writeln!(
+        out,
+        "{:8} {:>6} {:>7} {:>9} {:>7} {:>7} {:>7} {:>5} {:>9}  {:<20}",
+        "Program",
+        "link",
+        "mirrors",
+        "loss ppm",
+        "norm%",
+        "hedge%",
+        "hedges",
+        "won",
+        "failovers",
+        "mirror health %"
+    );
+    for r in rows {
+        let health: Vec<String> = r
+            .health_ppm
+            .iter()
+            .map(|&h| format!("{:.1}", f64::from(h) / 10_000.0))
+            .collect();
+        let _ = writeln!(
+            out,
+            "{:8} {:>6} {:>7} {:>9} {:>7.1} {:>7.2} {:>7} {:>5} {:>9}  {:<20}",
+            r.name,
+            r.link.name,
+            r.replicas,
+            r.loss_pm,
+            r.normalized,
+            r.hedge_share,
+            r.hedges,
+            r.hedge_wins,
+            r.failovers,
+            health.join("/"),
+        );
+    }
+    let hedges: u64 = rows.iter().map(|r| r.hedges).sum();
+    let wins: u64 = rows.iter().map(|r| r.hedge_wins).sum();
+    let failovers: u64 = rows.iter().map(|r| r.failovers).sum();
+    // Single-origin cells carry no scores; they must not read as a
+    // zero-health mirror.
+    let worst = rows
+        .iter()
+        .filter(|r| !r.health_ppm.is_empty())
+        .map(|r| r.min_health_ppm)
+        .min()
+        .unwrap_or(0);
+    let _ = writeln!(
+        out,
+        "{} hedged fetches ({} won) and {} failovers across {} runs; worst mirror health {:.1}%",
+        hedges,
+        wins,
+        failovers,
+        rows.len(),
+        f64::from(worst) / 10_000.0,
     );
     out
 }
@@ -580,6 +655,23 @@ mod tests {
         assert!(text.contains("Fault sweep"), "{text}");
         assert!(text.contains("completion rate 100.0%"), "{text}");
         assert!(text.contains("retries total"), "{text}");
+        assert!(text.contains("units quarantined"), "{text}");
+        assert!(text.contains("forced past the retry cap"), "{text}");
+    }
+
+    #[test]
+    fn replica_sweep_renders_the_mirror_health_table() {
+        let session = Session::new(nonstrict_workloads::hanoi::build()).unwrap();
+        let suite = Suite {
+            sessions: vec![session],
+        };
+        let rows = crate::experiment::replica::replica_sweep(&suite);
+        let text = render_replica_sweep(&rows);
+        assert!(text.contains("Replica sweep"), "{text}");
+        assert!(text.contains("mirror health %"), "{text}");
+        assert!(text.contains("worst mirror health"), "{text}");
+        // The three-mirror rows list three slash-separated health scores.
+        assert!(text.lines().any(|l| l.matches('/').count() == 2), "{text}");
     }
 
     #[test]

@@ -11,8 +11,8 @@
 use nonstrict_bytecode::{method_verify_cost, Application, Input, InterpError};
 use nonstrict_netsim::{
     add_checksum_overhead, class_units, crc32, greedy_schedule, ClassUnits, FaultedEngine,
-    InterleavedEngine, OutageSchedule, ParallelEngine, StrictEngine, TransferEngine, Weights,
-    DELIMITER_BYTES,
+    InterleavedEngine, OutageSchedule, ParallelEngine, ReplicaEngine, ReplicaHealth, StrictEngine,
+    TransferEngine, Weights, DELIMITER_BYTES, MAX_REPLICAS,
 };
 use nonstrict_profile::{collect, Collected, TraceEvent};
 use nonstrict_reorder::{
@@ -77,9 +77,10 @@ pub struct SimResult {
     pub exec_cycles: u64,
     /// Cycles spent stalled waiting for bytes (transfer wait only; the
     /// fault-recovery share of stalls is in
-    /// [`FaultSummary::recovery_cycles`] and the outage share in
-    /// [`OutageSummary::resume_cycles`], so `total = exec + stall +
-    /// recovery + verify + resume`).
+    /// [`FaultSummary::recovery_cycles`], the outage share in
+    /// [`OutageSummary::resume_cycles`], and the hedging share in
+    /// [`ReplicaSummary::hedge_cycles`], so `total = exec + stall +
+    /// recovery + verify + resume + hedge`).
     pub stall_cycles: u64,
     /// Cycles spent verifying class-file prefixes before execution was
     /// allowed past them (zero under [`VerifyMode::Off`]).
@@ -95,6 +96,35 @@ pub struct SimResult {
     pub faults: FaultSummary,
     /// Outage-and-resume accounting.
     pub outage: OutageSummary,
+    /// Replica-set routing, hedging, and failover accounting.
+    pub replica: ReplicaSummary,
+}
+
+/// Replica-set summary of one run: health-scored routing, hedged
+/// duplicate fetches, and failover across the mirror set. All-zero
+/// when replica routing is inactive (`replicas` 0).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicaSummary {
+    /// Stalled cycles attributable to hedging — the deadline wait
+    /// before each winning duplicate plus every issue/cancel overhead
+    /// — split out of stalls as the sixth accounting bucket:
+    /// `total = exec + stall + recovery + verify + resume + hedge`.
+    pub hedge_cycles: u64,
+    /// Hedged duplicate fetches issued.
+    pub hedges: u64,
+    /// Hedges whose duplicate arrived (verified) first.
+    pub hedge_wins: u64,
+    /// Serving-mirror switches at unit boundaries (failover or hedge
+    /// winner switch).
+    pub failovers: u64,
+    /// Mirrors in the replica set (0 when routing is inactive).
+    pub replicas: u32,
+    /// Whether routing was ever down to a sole surviving mirror — the
+    /// session fails closed to strict execution from that point.
+    pub sole_survivor: bool,
+    /// Per-mirror health and accounting; `health[..replicas as usize]`
+    /// are the meaningful entries.
+    pub health: [ReplicaHealth; MAX_REPLICAS],
 }
 
 /// Outage-and-resume summary of one run: full connection losses
@@ -106,7 +136,7 @@ pub struct OutageSummary {
     /// Cycles the session spent down or resuming: outage downtime,
     /// reconnect negotiation, and the refetch/re-verify of classes a
     /// manifest-epoch change invalidated. The fifth accounting bucket:
-    /// `total = exec + stall + recovery + verify + resume`.
+    /// `total = exec + stall + recovery + verify + resume + hedge`.
     pub resume_cycles: u64,
     /// Full connection losses the session survived.
     pub outages: u32,
@@ -136,8 +166,9 @@ pub struct InterruptSpec {
 /// What [`Session::run_until`] produced.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RunOutcome {
-    /// The run completed before the interrupt point.
-    Finished(SimResult),
+    /// The run completed before the interrupt point. Boxed: a full
+    /// [`SimResult`] dwarfs the journal-bytes variant.
+    Finished(Box<SimResult>),
     /// The run was killed; the encoded [`SessionJournal`] is what
     /// survived on the client's durable storage.
     Interrupted(Vec<u8>),
@@ -186,6 +217,7 @@ struct ReplayState {
     recovery_cycles: u64,
     verify_cycles: u64,
     resume_cycles: u64,
+    hedge_cycles: u64,
     stalls: u32,
     outages: u32,
     resumes: u32,
@@ -469,6 +501,10 @@ impl Session {
                         completed: true,
                     },
                     outage,
+                    // The strict baseline downloads from the primary
+                    // mirror, whose seed and link are exactly the
+                    // session's — replica routing never perturbs it.
+                    replica: ReplicaSummary::default(),
                 };
             }
             let (total_cycles, invocation_latency, outage) = ambient_shift(
@@ -489,6 +525,7 @@ impl Session {
                     ..FaultSummary::default()
                 },
                 outage,
+                replica: ReplicaSummary::default(),
             };
         }
 
@@ -500,7 +537,7 @@ impl Session {
             exec_cycles,
         };
         match self.replay(input, &env, engine.as_mut(), ReplayMode::Run) {
-            RunOutcome::Finished(r) => r,
+            RunOutcome::Finished(r) => *r,
             RunOutcome::Interrupted(_) => unreachable!("an uninterrupted replay always finishes"),
         }
     }
@@ -542,7 +579,19 @@ impl Session {
                 config.link,
             )),
         };
-        if let Some(fc) = config.active_faults() {
+        if let Some(rc) = config.active_replicas() {
+            // The replica set owns fault modeling: each mirror runs the
+            // session's fault/outage rates under its own sub-seed, so
+            // the single-origin FaultedEngine wrapper is not stacked on
+            // top.
+            engine = Box::new(ReplicaEngine::new(
+                engine,
+                &rc.profiles(config),
+                rc.hedge_deadline_cycles,
+                units,
+                config.link,
+            ));
+        } else if let Some(fc) = config.active_faults() {
             engine = Box::new(FaultedEngine::new(engine, fc.plan(), units, config.link));
         }
         engine
@@ -598,6 +647,13 @@ impl Session {
         // execution.
         let degrade_threshold = config.active_faults().map_or(0, |fc| fc.degrade_threshold);
 
+        // Failing closed from the sole surviving mirror: when a kill
+        // leaves the replica set with one live mirror, every entry from
+        // that base instant on executes strictly.
+        let strict_from = config
+            .active_replicas()
+            .and_then(|rc| rc.sole_survivor_from());
+
         let mut st = ReplayState {
             clock: 0,
             exec_done: 0,
@@ -605,6 +661,7 @@ impl Session {
             recovery_cycles: 0,
             verify_cycles: 0,
             resume_cycles: 0,
+            hedge_cycles: 0,
             stalls: 0,
             outages: 0,
             resumes: 0,
@@ -639,6 +696,7 @@ impl Session {
             st.recovery_cycles = j.recovery_cycles;
             st.verify_cycles = j.verify_cycles;
             st.resume_cycles = j.resume_cycles + carry.extra_resume;
+            st.hedge_cycles = j.hedge_cycles;
             st.stalls = j.stalls;
             st.outages = j.outages + 1;
             st.resumes = j.resumes + 1;
@@ -697,6 +755,9 @@ impl Session {
                 TraceEvent::Enter(m) => {
                     let c = m.class.0 as usize;
                     let pos = layouts[c].position_of(m.method);
+                    if !st.session_degraded && strict_from.is_some_and(|t| st.clock >= t) {
+                        st.session_degraded = true;
+                    }
                     // Whole-file verification cannot begin before the
                     // whole file arrived, so `VerifyMode::Full` forfeits
                     // non-strict overlap and gates on the last unit.
@@ -715,6 +776,7 @@ impl Session {
                         st.fetch_log.push(FetchRecord {
                             class: u32::try_from(c).expect("class index fits u32"),
                             unit: u32::try_from(unit).expect("unit index fits u32"),
+                            replica: engine.serving_replica(c, unit),
                             at: st.clock,
                         });
                     }
@@ -722,8 +784,10 @@ impl Session {
                     if ready > st.clock {
                         let stall = ready - st.clock;
                         let fault_part = engine.last_fault_delay().min(stall);
+                        let hedge_part = engine.last_hedge_delay().min(stall - fault_part);
                         st.recovery_cycles += fault_part;
-                        st.stall_cycles += stall - fault_part;
+                        st.hedge_cycles += hedge_part;
+                        st.stall_cycles += stall - fault_part - hedge_part;
                         st.stalls += 1;
                         st.stall_events[c] += 1;
                         st.clock = ready;
@@ -815,7 +879,7 @@ impl Session {
         );
         debug_assert_eq!(
             st.clock,
-            exec_cycles + st.stall_cycles + st.recovery_cycles + st.verify_cycles,
+            exec_cycles + st.stall_cycles + st.recovery_cycles + st.verify_cycles + st.hedge_cycles,
             "every base-clock advance must land in exactly one accounting bucket"
         );
         let mut invocation_latency = st.invocation_latency.unwrap_or(0);
@@ -838,11 +902,13 @@ impl Session {
                 + st.stall_cycles
                 + st.recovery_cycles
                 + st.verify_cycles
-                + st.resume_cycles,
-            "total = exec + stall + recovery + verify + resume"
+                + st.resume_cycles
+                + st.hedge_cycles,
+            "total = exec + stall + recovery + verify + resume + hedge"
         );
         let stats = engine.fault_stats();
-        RunOutcome::Finished(SimResult {
+        let rstats = engine.replica_stats();
+        RunOutcome::Finished(Box::new(SimResult {
             total_cycles,
             exec_cycles,
             stall_cycles: st.stall_cycles,
@@ -868,7 +934,18 @@ impl Session {
                 refetched_classes: st.refetched_classes,
                 failed_closed: false,
             },
-        })
+            replica: ReplicaSummary {
+                // The bucket is what the replay actually charged; the
+                // engine's counters describe the routing itself.
+                hedge_cycles: st.hedge_cycles,
+                hedges: rstats.hedges,
+                hedge_wins: rstats.hedge_wins,
+                failovers: rstats.failovers,
+                replicas: rstats.replicas,
+                sole_survivor: rstats.sole_survivor,
+                health: rstats.health,
+            },
+        }))
     }
 
     /// Snapshots a dying replay into a durable [`SessionJournal`]:
@@ -925,6 +1002,7 @@ impl Session {
             recovery_cycles: st.recovery_cycles,
             verify_cycles: st.verify_cycles,
             resume_cycles: st.resume_cycles,
+            hedge_cycles: st.hedge_cycles,
             stalls: st.stalls,
             outages: st.outages,
             resumes: st.resumes,
@@ -976,7 +1054,7 @@ impl Session {
         if config.is_baseline() {
             let r = self.simulate(input, config);
             if at_cycle >= r.total_cycles {
-                return RunOutcome::Finished(r);
+                return RunOutcome::Finished(Box::new(r));
             }
             // The strict baseline has no replay state to checkpoint:
             // its journal is a ledger entry, and the sequential
@@ -998,6 +1076,7 @@ impl Session {
                 recovery_cycles: 0,
                 verify_cycles: 0,
                 resume_cycles: 0,
+                hedge_cycles: 0,
                 stalls: 0,
                 outages: 0,
                 resumes: 0,
@@ -1092,7 +1171,7 @@ impl Session {
                     refetched,
                 }));
                 match self.replay(input, &env, engine.as_mut(), mode) {
-                    RunOutcome::Finished(r) => r,
+                    RunOutcome::Finished(r) => *r,
                     RunOutcome::Interrupted(_) => {
                         unreachable!("a resumed run has no interrupt point")
                     }
@@ -1179,7 +1258,7 @@ impl Session {
         spec: &InterruptSpec,
     ) -> SimResult {
         match self.run_until(input, config, spec.at_cycle) {
-            RunOutcome::Finished(r) => r,
+            RunOutcome::Finished(r) => *r,
             RunOutcome::Interrupted(bytes) => {
                 self.resume(input, config, &bytes, spec.outage_cycles)
             }
@@ -1235,6 +1314,7 @@ mod tests {
                         faults: None,
                         verify: VerifyMode::Off,
                         outages: None,
+                        replicas: None,
                     });
                 }
             }
@@ -1289,6 +1369,7 @@ mod tests {
                 faults: None,
                 verify: VerifyMode::Off,
                 outages: None,
+                replicas: None,
             };
             s.simulate(Input::Test, &config).total_cycles
         };
@@ -1351,11 +1432,22 @@ mod tests {
     #[test]
     fn verify_accounting_identity_holds_in_every_mode() {
         let s = session();
+        let mut rc = crate::model::ReplicaConfig::seeded(0x5e7);
+        rc.replicas = 3;
+        rc.hedge_deadline_cycles = 500_000;
+        let mut fc = crate::model::FaultConfig::seeded(0x5e7);
+        fc.loss_pm = 50_000;
+        fc.corrupt_pm = 10_000;
         for mode in [VerifyMode::Off, VerifyMode::Stream, VerifyMode::Full] {
             for base in [
                 SimConfig::strict(Link::MODEM_28_8),
                 SimConfig::non_strict(Link::MODEM_28_8, OrderingSource::StaticCallGraph),
                 SimConfig::non_strict(Link::T1, OrderingSource::TrainProfile),
+                SimConfig::non_strict(Link::MODEM_28_8, OrderingSource::StaticCallGraph)
+                    .with_replicas(rc),
+                SimConfig::non_strict(Link::MODEM_28_8, OrderingSource::StaticCallGraph)
+                    .with_faults(fc)
+                    .with_replicas(rc),
             ] {
                 let r = s.simulate(Input::Test, &base.with_verify(mode));
                 assert_eq!(
@@ -1364,7 +1456,8 @@ mod tests {
                         + r.stall_cycles
                         + r.faults.recovery_cycles
                         + r.verify_cycles
-                        + r.outage.resume_cycles,
+                        + r.outage.resume_cycles
+                        + r.replica.hedge_cycles,
                     "{mode:?} {base:?}"
                 );
                 if mode == VerifyMode::Off {
@@ -1374,6 +1467,64 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn single_mirror_replica_config_is_byte_identical() {
+        let s = session();
+        for base in [
+            SimConfig::strict(Link::MODEM_28_8),
+            SimConfig::non_strict(Link::MODEM_28_8, OrderingSource::StaticCallGraph),
+            SimConfig::non_strict(Link::T1, OrderingSource::TrainProfile),
+        ] {
+            let solo = base.with_replicas(crate::model::ReplicaConfig::seeded(0xabc));
+            assert_eq!(
+                s.simulate(Input::Test, &base),
+                s.simulate(Input::Test, &solo),
+                "one mirror must be the single origin, bit for bit: {base:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn replica_runs_are_deterministic_and_report_the_set() {
+        let s = session();
+        let mut rc = crate::model::ReplicaConfig::seeded(11);
+        rc.replicas = 3;
+        let mut fc = crate::model::FaultConfig::seeded(11);
+        fc.loss_pm = 100_000;
+        let config = SimConfig::non_strict(Link::MODEM_28_8, OrderingSource::StaticCallGraph)
+            .with_faults(fc)
+            .with_replicas(rc);
+        let a = s.simulate(Input::Test, &config);
+        assert_eq!(a, s.simulate(Input::Test, &config));
+        assert_eq!(a.replica.replicas, 3);
+        assert!(a.faults.completed);
+        assert!(
+            a.replica.health[..3].iter().any(|h| h.units_served > 0),
+            "someone must serve the units"
+        );
+    }
+
+    #[test]
+    fn sole_surviving_mirror_fails_closed_to_strict() {
+        let s = session();
+        let mut rc = crate::model::ReplicaConfig::seeded(21);
+        rc.replicas = 2;
+        rc.kill = Some(crate::model::ReplicaKill {
+            replica: 1,
+            at_cycle: 0,
+        });
+        let config = SimConfig::non_strict(Link::MODEM_28_8, OrderingSource::StaticCallGraph)
+            .with_replicas(rc);
+        let r = s.simulate(Input::Test, &config);
+        assert!(r.replica.sole_survivor, "mirror 1 died before unit one");
+        assert!(
+            r.faults.session_degraded,
+            "a sole survivor must fail closed to strict execution"
+        );
+        assert!(r.faults.completed);
+        assert!(!r.replica.health[1].alive);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The transfer-engine abstraction the co-simulator drives.
 
 use crate::faults::FaultStats;
+use crate::replica::ReplicaStats;
 
 /// A transfer engine answers one question for the executing program:
 /// *when do the bytes I need arrive?* Implementations simulate the
@@ -43,6 +44,26 @@ pub trait TransferEngine {
     fn class_fault_events(&self, _class: usize) -> u64 {
         0
     }
+
+    /// Hedging cycles embedded in the most recent
+    /// [`TransferEngine::unit_ready`] answer (zero outside a replica
+    /// set). The co-simulator uses this to split a stall into
+    /// transfer-wait, fault-recovery, and hedging time.
+    fn last_hedge_delay(&self) -> u64 {
+        0
+    }
+
+    /// Aggregate replica-set counters. Single-origin engines report
+    /// all zeros; [`crate::replica::ReplicaEngine`] overrides this.
+    fn replica_stats(&self) -> ReplicaStats {
+        ReplicaStats::default()
+    }
+
+    /// The replica that served (or will serve) the given unit. The
+    /// single origin of a non-replicated engine is replica 0.
+    fn serving_replica(&self, _class: usize, _unit: usize) -> u32 {
+        0
+    }
 }
 
 impl<E: TransferEngine + ?Sized> TransferEngine for Box<E> {
@@ -68,5 +89,17 @@ impl<E: TransferEngine + ?Sized> TransferEngine for Box<E> {
 
     fn class_fault_events(&self, class: usize) -> u64 {
         (**self).class_fault_events(class)
+    }
+
+    fn last_hedge_delay(&self) -> u64 {
+        (**self).last_hedge_delay()
+    }
+
+    fn replica_stats(&self) -> ReplicaStats {
+        (**self).replica_stats()
+    }
+
+    fn serving_replica(&self, class: usize, unit: usize) -> u32 {
+        (**self).serving_replica(class, unit)
     }
 }

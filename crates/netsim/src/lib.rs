@@ -28,6 +28,10 @@
 //!   freeze the client and the link together, and the monotone
 //!   base-to-wall time shift ([`outage::OutageSchedule`]) the session
 //!   layer uses for checkpoint/resume accounting.
+//! * [`replica`] — replica-set transfer ([`replica::ReplicaEngine`]):
+//!   N independently seeded mirrors with EWMA health-scored routing,
+//!   hedged duplicate fetches past a stall deadline, and mid-stream
+//!   failover at unit boundaries.
 //!
 //! All engines are **event-driven fluid** simulators: transfer progress
 //! is piecewise linear, so the engines jump from event to event (unit
@@ -43,6 +47,7 @@ pub mod interleaved;
 pub mod link;
 pub mod outage;
 pub mod parallel;
+pub mod replica;
 pub mod schedule;
 pub mod strict;
 pub mod unit;
@@ -53,6 +58,10 @@ pub use interleaved::InterleavedEngine;
 pub use link::{Link, LinkError};
 pub use outage::{OutageEngine, OutageEvent, OutagePlan, OutageSchedule, OUTAGE_PERIOD_CYCLES};
 pub use parallel::ParallelEngine;
+pub use replica::{
+    replica_seed, ReplicaEngine, ReplicaHealth, ReplicaProfile, ReplicaStats,
+    HEDGE_OVERHEAD_CYCLES, MAX_REPLICAS,
+};
 pub use schedule::{greedy_schedule, ParallelSchedule, ScheduleError, Weights};
 pub use strict::StrictEngine;
 pub use unit::{

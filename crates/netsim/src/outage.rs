@@ -265,6 +265,18 @@ impl<E: TransferEngine> TransferEngine for OutageEngine<E> {
     fn class_fault_events(&self, class: usize) -> u64 {
         self.inner.class_fault_events(class)
     }
+
+    fn last_hedge_delay(&self) -> u64 {
+        self.inner.last_hedge_delay()
+    }
+
+    fn replica_stats(&self) -> crate::replica::ReplicaStats {
+        self.inner.replica_stats()
+    }
+
+    fn serving_replica(&self, class: usize, unit: usize) -> u32 {
+        self.inner.serving_replica(class, unit)
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,652 @@
+//! Replica-set transfer: health-scored mirrors, hedged demand fetches,
+//! and mid-stream failover.
+//!
+//! A [`ReplicaProfile`] describes one mirror of the restructured
+//! program: its own bandwidth (the base link plus a per-mirror spread),
+//! its own seeded [`FaultPlan`] (independent loss/corruption/droop
+//! draws), its own seeded [`OutagePlan`] (windows where the mirror is
+//! unreachable), and an optional death instant for failover testing.
+//!
+//! [`ReplicaEngine`] wraps any perfect-link [`TransferEngine`] and
+//! routes every transfer unit to a mirror:
+//!
+//! * the client keeps an **EWMA health score** per replica (goodput of
+//!   the units it served, decayed by every outage window it was caught
+//!   in) and routes each unit to the best-scored live replica;
+//! * a unit whose delivery would stall past the **hedge deadline** gets
+//!   a duplicate fetch to the second-best replica; the first verified
+//!   arrival wins, the loser is canceled, and only the winner plus a
+//!   fixed [`HEDGE_OVERHEAD_CYCLES`] charge lands on the timeline;
+//! * a dead or unreachable mirror triggers **failover** at the next
+//!   unit boundary: verified units never re-transfer, because the
+//!   class stream's delivered watermark (PR 2/3 machinery upstream)
+//!   survives the switch untouched.
+//!
+//! Routing decisions run on the deterministic class-major strict
+//! timeline (the cumulative base-link transfer clock), so the whole
+//! assignment is a pure function of `(profiles, units, link)` computed
+//! eagerly at construction — arrivals stay pure lookups, probes cannot
+//! perturb the schedule, and a seeded run replays bit for bit. A set
+//! of identical perfect mirrors is a transparent wrapper: every
+//! surcharge is zero and the inner engine's timeline passes through
+//! unchanged.
+
+use std::cmp::Reverse;
+
+use crate::engine::TransferEngine;
+use crate::faults::{splitmix, FaultPlan, FaultStats};
+use crate::link::Link;
+use crate::outage::{OutagePlan, OUTAGE_PERIOD_CYCLES};
+use crate::unit::ClassUnits;
+
+/// Hard cap on mirrors in one replica set; keeps per-run summaries
+/// fixed-size (and `Copy`) all the way up the stack.
+pub const MAX_REPLICAS: usize = 8;
+
+/// Cycles charged for issuing (and later canceling) a hedged duplicate
+/// fetch: the request send plus the cancel round (~0.1 ms on the
+/// 500 MHz Alpha). The loser's transfer itself is never charged.
+pub const HEDGE_OVERHEAD_CYCLES: u64 = 50_000;
+
+/// EWMA weight: each new sample contributes 1/8 of the score.
+const HEALTH_EWMA_SHIFT: u32 = 3;
+
+/// A health score in parts-per-million; every replica starts perfect.
+const HEALTH_FULL_PPM: u32 = 1_000_000;
+
+/// Domain-separation salt for per-replica sub-seed derivation.
+const SALT_REPLICA: u64 = 0x5245_504c_4943_4131;
+
+/// Derives the seed for replica `index` from a base seed. Replica 0
+/// keeps the base seed exactly, so a one-mirror set is the single
+/// origin it replaces, bit for bit.
+#[must_use]
+pub fn replica_seed(base: u64, index: u32) -> u64 {
+    if index == 0 {
+        base
+    } else {
+        splitmix(base ^ SALT_REPLICA ^ u64::from(index))
+    }
+}
+
+/// One mirror of the restructured program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ReplicaProfile {
+    /// The mirror's own link (base link slowed by the per-mirror
+    /// spread).
+    pub link: Link,
+    /// The mirror's independently seeded fault profile.
+    pub faults: FaultPlan,
+    /// The mirror's independently seeded unreachability windows.
+    pub outages: OutagePlan,
+    /// Base-timeline cycle at which the mirror dies for good, if it
+    /// does (failover testing).
+    pub dead_from: Option<u64>,
+}
+
+/// Final per-replica accounting for one run.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicaHealth {
+    /// Units this replica ended up serving (hedge winners included).
+    pub units_served: u32,
+    /// Payload bytes of the units it served.
+    pub bytes_served: u64,
+    /// Retransmissions its fault profile forced on those units.
+    pub retries: u64,
+    /// Routing instants that caught this replica inside one of its
+    /// outage windows.
+    pub outage_hits: u32,
+    /// Final EWMA health score (ppm; 1,000,000 = perfect goodput).
+    pub health_ppm: u32,
+    /// Whether the replica was still alive when the transfer ended.
+    pub alive: bool,
+}
+
+/// Aggregate replica-set counters for one engine.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicaStats {
+    /// Mirrors in the set (0 when no replica routing is active).
+    pub replicas: u32,
+    /// Hedged duplicate fetches issued.
+    pub hedges: u64,
+    /// Hedges whose duplicate arrived (verified) first.
+    pub hedge_wins: u64,
+    /// Cycles attributable to hedging: the deadline wait before each
+    /// winning duplicate plus every issue/cancel overhead.
+    pub hedge_cycles: u64,
+    /// Unit boundaries where the serving replica changed inside one
+    /// class stream (failover or hedge winner switch).
+    pub failovers: u64,
+    /// Whether routing was ever down to at most one live replica — the
+    /// session above fails closed to strict execution from the sole
+    /// survivor.
+    pub sole_survivor: bool,
+    /// Per-replica accounting, `health[..replicas as usize]` valid.
+    pub health: [ReplicaHealth; MAX_REPLICAS],
+}
+
+/// Remaining unreachability if base instant `t` falls inside one of the
+/// plan's outage windows; zero otherwise. Windows can outlast their
+/// draw period, so every period that could still cover `t` is checked.
+fn outage_wait(plan: &OutagePlan, t: u64) -> u64 {
+    if plan.is_quiet() {
+        return 0;
+    }
+    let first = t.saturating_sub(plan.max_cycles) / OUTAGE_PERIOD_CYCLES;
+    let last = t / OUTAGE_PERIOD_CYCLES;
+    let mut wait = 0u64;
+    for k in first..=last {
+        if let Some(e) = plan.event_in_period(k) {
+            let end = e.start.saturating_add(e.outage_cycles);
+            if e.start <= t && t < end {
+                wait = wait.max(end - t);
+            }
+        }
+    }
+    wait
+}
+
+/// Wraps a perfect-link [`TransferEngine`] and routes every unit to the
+/// healthiest live mirror of a replica set, hedging past-deadline
+/// deliveries to the runner-up. Every routing decision, health update,
+/// and surcharge is computed eagerly at construction on the
+/// deterministic class-major strict clock; arrivals are pure lookups.
+#[derive(Debug)]
+pub struct ReplicaEngine<E> {
+    inner: E,
+    /// Cumulative recovery surcharge (bandwidth spread, fault recovery,
+    /// droop stretch, outage wait) through each unit, per class.
+    recovery_prefix: Vec<Vec<u64>>,
+    /// Cumulative hedge surcharge (deadline waits and issue/cancel
+    /// overhead) through each unit, per class.
+    hedge_prefix: Vec<Vec<u64>>,
+    /// Serving replica per `(class, unit)`.
+    assignment: Vec<Vec<u32>>,
+    /// Fault events (retransmissions) per class, for degradation
+    /// pressure accounting upstream.
+    class_events: Vec<u64>,
+    stats: FaultStats,
+    rstats: ReplicaStats,
+    last_fault_delay: u64,
+    last_hedge_delay: u64,
+}
+
+impl<E: TransferEngine> ReplicaEngine<E> {
+    /// Wraps `inner`, routing `units` across `profiles` (truncated to
+    /// [`MAX_REPLICAS`]) over the base `link`. A `hedge_deadline` of
+    /// zero disables hedging.
+    #[must_use]
+    pub fn new(
+        inner: E,
+        profiles: &[ReplicaProfile],
+        hedge_deadline: u64,
+        units: &[ClassUnits],
+        link: Link,
+    ) -> Self {
+        let n = profiles.len().clamp(1, MAX_REPLICAS);
+        let profiles = &profiles[..n];
+        let mut health = [HEALTH_FULL_PPM; MAX_REPLICAS];
+        let mut rstats = ReplicaStats {
+            replicas: u32::try_from(n).unwrap_or(u32::MAX),
+            ..ReplicaStats::default()
+        };
+        let mut stats = FaultStats::default();
+        let mut recovery_prefix = Vec::with_capacity(units.len());
+        let mut hedge_prefix = Vec::with_capacity(units.len());
+        let mut assignment = Vec::with_capacity(units.len());
+        let mut class_events = vec![0u64; units.len()];
+        // The routing clock: the class-major strict timeline. It only
+        // depends on (units, link), so routing is probe-proof.
+        let mut est = 0u64;
+        for (c, u) in units.iter().enumerate() {
+            let sizes: Vec<u64> = std::iter::once(u.prelude)
+                .chain(u.methods.iter().copied())
+                .chain(std::iter::once(u.trailing))
+                .collect();
+            let mut rec = Vec::with_capacity(sizes.len());
+            let mut hed = Vec::with_capacity(sizes.len());
+            let mut assign = Vec::with_capacity(sizes.len());
+            let mut acc_rec = 0u64;
+            let mut acc_hedge = 0u64;
+            let mut prev_serving: Option<usize> = None;
+            for (i, &bytes) in sizes.iter().enumerate() {
+                let base_tx = link.cycles_for(bytes);
+                // The candidates: replicas still alive at the routing
+                // instant, ranked reachable-first, then healthiest,
+                // then lowest id.
+                let mut ranked: Vec<(usize, u64)> = (0..n)
+                    .filter(|&r| profiles[r].dead_from.is_none_or(|d| est < d))
+                    .map(|r| (r, outage_wait(&profiles[r].outages, est)))
+                    .collect();
+                ranked.sort_by_key(|&(r, wait)| (wait > 0, Reverse(health[r]), r));
+                if ranked.len() <= 1 && n >= 2 {
+                    rstats.sole_survivor = true;
+                }
+                // Every reachability check decays the health of a
+                // replica caught inside one of its outage windows.
+                for &(r, wait) in &ranked {
+                    if wait > 0 {
+                        rstats.health[r].outage_hits += 1;
+                        health[r] -= health[r] >> HEALTH_EWMA_SHIFT;
+                    }
+                }
+                let cost_of = |r: usize, wait: u64| {
+                    let p = &profiles[r];
+                    let tx = p.link.cycles_for(bytes);
+                    let d = p.faults.unit_delivery(c, i, tx);
+                    let droop = p
+                        .faults
+                        .remap(est.saturating_add(tx))
+                        .saturating_sub(p.faults.remap(est))
+                        .saturating_sub(tx);
+                    let cost = tx
+                        .saturating_sub(base_tx)
+                        .saturating_add(d.penalty_cycles)
+                        .saturating_add(droop)
+                        .saturating_add(wait);
+                    (cost, d, tx)
+                };
+                let (primary, wait_p) = ranked.first().copied().unwrap_or((0, 0));
+                let (cost_p, d_p, tx_p) = cost_of(primary, wait_p);
+                let mut serving = primary;
+                let mut recovery = cost_p;
+                let mut delivery = d_p;
+                let mut tx_s = tx_p;
+                let mut hedge = 0u64;
+                if hedge_deadline > 0 && cost_p > hedge_deadline {
+                    if let Some(&(second, wait_s)) = ranked.get(1) {
+                        // The primary stalled past the deadline: issue
+                        // a duplicate to the runner-up and take the
+                        // first arrival, charging only the winner plus
+                        // the issue/cancel overhead.
+                        rstats.hedges += 1;
+                        let (cost_s, d_s, t_s) = cost_of(second, wait_s);
+                        let hedged = hedge_deadline
+                            .saturating_add(cost_s)
+                            .saturating_add(HEDGE_OVERHEAD_CYCLES);
+                        if hedged < cost_p {
+                            rstats.hedge_wins += 1;
+                            serving = second;
+                            recovery = cost_s;
+                            delivery = d_s;
+                            tx_s = t_s;
+                            hedge = hedge_deadline + HEDGE_OVERHEAD_CYCLES;
+                        } else {
+                            hedge = HEDGE_OVERHEAD_CYCLES;
+                        }
+                    }
+                }
+                rstats.hedge_cycles += hedge;
+                if prev_serving.is_some_and(|p| p != serving) {
+                    rstats.failovers += 1;
+                }
+                prev_serving = Some(serving);
+                acc_rec = acc_rec.saturating_add(recovery);
+                acc_hedge = acc_hedge.saturating_add(hedge);
+                rec.push(acc_rec);
+                hed.push(acc_hedge);
+                assign.push(u32::try_from(serving).unwrap_or(u32::MAX));
+                stats.retries += u64::from(delivery.retries);
+                stats.lost += u64::from(delivery.lost);
+                stats.corrupted += u64::from(delivery.corrupted);
+                stats.quarantined += u64::from(delivery.quarantined);
+                stats.drops += u64::from(delivery.drops);
+                stats.recovery_cycles += recovery;
+                stats.retransmitted_bytes += bytes * u64::from(delivery.retries);
+                stats.forced += u64::from(delivery.forced);
+                class_events[c] += u64::from(delivery.retries);
+                let h = &mut rstats.health[serving];
+                h.units_served += 1;
+                h.bytes_served += bytes;
+                h.retries += u64::from(delivery.retries);
+                if tx_s > 0 {
+                    // Goodput sample in ppm: clean transmission over
+                    // transmission-plus-recovery.
+                    let sample = u32::try_from(
+                        u128::from(tx_s) * u128::from(HEALTH_FULL_PPM)
+                            / u128::from(tx_s.saturating_add(recovery)),
+                    )
+                    .unwrap_or(HEALTH_FULL_PPM);
+                    let old = health[serving];
+                    health[serving] =
+                        old - (old >> HEALTH_EWMA_SHIFT) + (sample >> HEALTH_EWMA_SHIFT);
+                }
+                est = est.saturating_add(base_tx);
+            }
+            recovery_prefix.push(rec);
+            hedge_prefix.push(hed);
+            assignment.push(assign);
+        }
+        for (r, p) in profiles.iter().enumerate() {
+            rstats.health[r].health_ppm = health[r];
+            rstats.health[r].alive = p.dead_from.is_none_or(|d| d > est);
+        }
+        ReplicaEngine {
+            inner,
+            recovery_prefix,
+            hedge_prefix,
+            assignment,
+            class_events,
+            stats,
+            rstats,
+            last_fault_delay: 0,
+            last_hedge_delay: 0,
+        }
+    }
+
+    /// The wrapped perfect-link engine.
+    pub fn inner(&self) -> &E {
+        &self.inner
+    }
+}
+
+impl<E: TransferEngine> TransferEngine for ReplicaEngine<E> {
+    fn unit_ready(&mut self, class: usize, unit: usize, now: u64) -> u64 {
+        let base = self.inner.unit_ready(class, unit, now);
+        let rec = self.recovery_prefix[class][unit];
+        let hed = self.hedge_prefix[class][unit];
+        self.last_fault_delay = rec;
+        self.last_hedge_delay = hed;
+        base.saturating_add(rec).saturating_add(hed)
+    }
+
+    fn finish_time(&mut self) -> u64 {
+        // Run the base timeline to completion, then apply each class
+        // stream's full surcharge to its last arrival.
+        let base_finish = self.inner.finish_time();
+        let mut finish = base_finish;
+        for c in 0..self.recovery_prefix.len() {
+            let last = self.recovery_prefix[c].len() - 1;
+            let b = self.inner.unit_ready(c, last, base_finish);
+            finish = finish.max(
+                b.saturating_add(self.recovery_prefix[c][last])
+                    .saturating_add(self.hedge_prefix[c][last]),
+            );
+        }
+        finish
+    }
+
+    fn total_bytes(&self) -> u64 {
+        // Unique payload bytes; hedged duplicates are canceled, not
+        // delivered, and retransmissions are reported in
+        // `fault_stats().retransmitted_bytes`.
+        self.inner.total_bytes()
+    }
+
+    fn fault_stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    fn last_fault_delay(&self) -> u64 {
+        self.last_fault_delay
+    }
+
+    fn class_fault_events(&self, class: usize) -> u64 {
+        self.class_events[class]
+    }
+
+    fn last_hedge_delay(&self) -> u64 {
+        self.last_hedge_delay
+    }
+
+    fn replica_stats(&self) -> ReplicaStats {
+        self.rstats
+    }
+
+    fn serving_replica(&self, class: usize, unit: usize) -> u32 {
+        self.assignment[class][unit]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::ParallelSchedule;
+    use crate::ParallelEngine;
+
+    const LINK: Link = Link {
+        cycles_per_byte: 10,
+        name: "test",
+    };
+
+    fn sample_units() -> Vec<ClassUnits> {
+        vec![
+            ClassUnits {
+                prelude: 100,
+                methods: vec![50, 50, 80],
+                trailing: 0,
+            },
+            ClassUnits {
+                prelude: 40,
+                methods: vec![20],
+                trailing: 10,
+            },
+        ]
+    }
+
+    fn engine(units: &[ClassUnits]) -> ParallelEngine {
+        let schedule = ParallelSchedule {
+            class_order: (0..units.len()).collect(),
+            thresholds: vec![0; units.len()],
+        };
+        ParallelEngine::new(LINK, units.to_vec(), &schedule, 4)
+    }
+
+    fn perfect_profile(seed: u64) -> ReplicaProfile {
+        ReplicaProfile {
+            link: LINK,
+            faults: FaultPlan::perfect(seed),
+            outages: OutagePlan::quiet(seed),
+            dead_from: None,
+        }
+    }
+
+    fn lossy_profile(seed: u64) -> ReplicaProfile {
+        ReplicaProfile {
+            faults: FaultPlan {
+                seed,
+                loss_pm: 400_000,
+                corrupt_pm: 100_000,
+                drop_pm: 50_000,
+                semantic_pm: 0,
+                droop_pm: 0,
+                reconnect_cycles: 500_000,
+            },
+            ..perfect_profile(seed)
+        }
+    }
+
+    #[test]
+    fn identical_perfect_mirrors_are_transparent() {
+        let units = sample_units();
+        let profiles = [perfect_profile(1), perfect_profile(2), perfect_profile(3)];
+        let mut bare = engine(&units);
+        let mut set = ReplicaEngine::new(engine(&units), &profiles, 1_000, &units, LINK);
+        for (c, u) in units.iter().enumerate() {
+            for i in 0..u.unit_count() {
+                assert_eq!(set.unit_ready(c, i, 0), bare.unit_ready(c, i, 0));
+                assert_eq!(set.last_fault_delay(), 0);
+                assert_eq!(set.last_hedge_delay(), 0);
+                assert_eq!(set.serving_replica(c, i), 0, "ties go to the primary");
+            }
+        }
+        assert_eq!(set.finish_time(), bare.finish_time());
+        assert_eq!(set.fault_stats(), FaultStats::default());
+        let r = set.replica_stats();
+        assert_eq!(r.replicas, 3);
+        assert_eq!(
+            (r.hedges, r.hedge_wins, r.hedge_cycles, r.failovers),
+            (0, 0, 0, 0)
+        );
+        assert!(!r.sole_survivor);
+        assert!(r.health[..3]
+            .iter()
+            .all(|h| h.health_ppm == HEALTH_FULL_PPM && h.alive));
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_seed_sensitive() {
+        let units = sample_units();
+        let mk = |seed| {
+            ReplicaEngine::new(
+                engine(&units),
+                &[lossy_profile(seed), lossy_profile(seed + 100)],
+                200_000,
+                &units,
+                LINK,
+            )
+        };
+        let a = mk(7).replica_stats();
+        let b = mk(7).replica_stats();
+        assert_eq!(a, b, "same profiles must route identically");
+        let c = mk(8).replica_stats();
+        assert_ne!(a.health, c.health, "seeds must matter");
+    }
+
+    #[test]
+    fn heavy_primary_faults_trigger_hedges_that_win() {
+        // Enough same-shaped units that a 40%-loss plan is certain to
+        // fault some of them under this fixed seed.
+        let units: Vec<ClassUnits> = (0..2)
+            .map(|_| ClassUnits {
+                prelude: 100,
+                methods: vec![50, 50, 80],
+                trailing: 0,
+            })
+            .collect();
+        let profiles = [lossy_profile(3), perfect_profile(4)];
+        let mut set = ReplicaEngine::new(engine(&units), &profiles, 100_000, &units, LINK);
+        let r = set.replica_stats();
+        assert!(r.hedges > 0, "40% loss must stall units past the deadline");
+        assert!(r.hedge_wins > 0, "a perfect runner-up must win some hedges");
+        assert!(r.hedge_cycles > 0);
+        // Hedging is bounded: every unit's total surcharge is at most
+        // deadline + runner-up cost + overhead, so arrivals stay
+        // monotone and finite.
+        let finish = set.finish_time();
+        for (c, u) in units.iter().enumerate() {
+            let mut last = 0;
+            for i in 0..u.unit_count() {
+                let t = set.unit_ready(c, i, 0);
+                assert!(t >= last, "class {c} unit {i} must stay monotone");
+                assert!(t <= finish);
+                last = t;
+            }
+        }
+    }
+
+    #[test]
+    fn dead_replica_fails_over_at_the_next_unit_boundary() {
+        let units = sample_units();
+        let profiles = [
+            ReplicaProfile {
+                dead_from: Some(1), // dies before the second routing instant
+                ..perfect_profile(1)
+            },
+            perfect_profile(2),
+            perfect_profile(3),
+        ];
+        let mut set = ReplicaEngine::new(engine(&units), &profiles, 0, &units, LINK);
+        let r = set.replica_stats();
+        assert_eq!(set.serving_replica(0, 0), 0, "first unit routes at est 0");
+        for (c, u) in units.iter().enumerate() {
+            for i in 0..u.unit_count() {
+                if (c, i) != (0, 0) {
+                    assert_ne!(set.serving_replica(c, i), 0, "dead mirrors serve nothing");
+                }
+            }
+        }
+        assert!(
+            r.failovers >= 1,
+            "the switch off the dead mirror is a failover"
+        );
+        assert!(!r.health[0].alive);
+        assert!(!r.sole_survivor, "two mirrors survive");
+        // Identical surviving mirrors: the timeline is unperturbed.
+        let mut bare = engine(&units);
+        assert_eq!(set.finish_time(), bare.finish_time());
+    }
+
+    #[test]
+    fn killing_all_but_one_raises_the_sole_survivor_flag() {
+        let units = sample_units();
+        let profiles = [
+            ReplicaProfile {
+                dead_from: Some(0),
+                ..perfect_profile(1)
+            },
+            perfect_profile(2),
+        ];
+        let set = ReplicaEngine::new(engine(&units), &profiles, 0, &units, LINK);
+        let r = set.replica_stats();
+        assert!(r.sole_survivor);
+        assert_eq!(
+            r.health[1].units_served as usize,
+            units.iter().map(ClassUnits::unit_count).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn health_scores_rank_a_faulty_mirror_below_a_clean_one() {
+        let units: Vec<ClassUnits> = (0..6)
+            .map(|_| ClassUnits {
+                prelude: 200,
+                methods: vec![100, 100, 100],
+                trailing: 50,
+            })
+            .collect();
+        let profiles = [lossy_profile(5), perfect_profile(6)];
+        let set = ReplicaEngine::new(engine(&units), &profiles, 0, &units, LINK);
+        let r = set.replica_stats();
+        assert!(
+            r.health[0].health_ppm < r.health[1].health_ppm,
+            "a 40%-loss mirror must score below a perfect one: {:?}",
+            r.health
+        );
+        assert!(
+            r.health[1].units_served > 0,
+            "routing must shift work to the healthy mirror"
+        );
+    }
+
+    #[test]
+    fn outage_windows_divert_routing_and_decay_health() {
+        let units: Vec<ClassUnits> = (0..4)
+            .map(|_| ClassUnits {
+                prelude: 1 << 20, // big units so est crosses outage periods
+                methods: vec![1 << 19],
+                trailing: 0,
+            })
+            .collect();
+        let stormy = ReplicaProfile {
+            outages: OutagePlan {
+                seed: 9,
+                rate_pm: 1_000_000,
+                min_cycles: OUTAGE_PERIOD_CYCLES / 2,
+                max_cycles: OUTAGE_PERIOD_CYCLES / 2,
+                negotiation_cycles: 0,
+            },
+            ..perfect_profile(9)
+        };
+        let profiles = [stormy, perfect_profile(10)];
+        let set = ReplicaEngine::new(engine(&units), &profiles, 0, &units, LINK);
+        let r = set.replica_stats();
+        assert!(
+            r.health[0].outage_hits > 0,
+            "an every-period outage plan must catch some routing instants"
+        );
+        assert!(r.health[0].health_ppm < HEALTH_FULL_PPM);
+        assert!(
+            r.health[1].units_served > 0,
+            "routing must avoid the unreachable mirror"
+        );
+    }
+
+    #[test]
+    fn replica_seed_zero_is_the_base_seed() {
+        assert_eq!(replica_seed(0xabcd, 0), 0xabcd);
+        assert_ne!(replica_seed(0xabcd, 1), 0xabcd);
+        assert_ne!(replica_seed(0xabcd, 1), replica_seed(0xabcd, 2));
+        assert_ne!(replica_seed(1, 1), replica_seed(2, 1));
+    }
+}

@@ -59,6 +59,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     faults: None,
                     verify: VerifyMode::Off,
                     outages: None,
+                    replicas: None,
                 };
                 let r = session.simulate(Input::Test, &config);
                 print!(" {:>8.1}", normalized_percent(r.total_cycles, base));

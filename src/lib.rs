@@ -34,6 +34,7 @@
 //!     faults: None,
 //!     verify: VerifyMode::Off,
 //!     outages: None,
+//!     replicas: None,
 //! };
 //! let result = simulate(&app, Input::Test, &config).unwrap();
 //! let strict = simulate(&app, Input::Test, &SimConfig::strict(Link::MODEM_28_8)).unwrap();
@@ -53,11 +54,12 @@ pub mod prelude {
     pub use nonstrict_bytecode::program::{Application, Input};
     pub use nonstrict_core::metrics::normalized_percent;
     pub use nonstrict_core::model::{
-        DataLayout, ExecutionModel, FaultConfig, OrderingSource, OutageConfig, SimConfig,
-        TransferPolicy, VerifyMode,
+        DataLayout, ExecutionModel, FaultConfig, OrderingSource, OutageConfig, ReplicaConfig,
+        ReplicaKill, SimConfig, TransferPolicy, VerifyMode,
     };
     pub use nonstrict_core::sim::{
-        simulate, FaultSummary, InterruptSpec, OutageSummary, RunOutcome, Session, SimResult,
+        simulate, FaultSummary, InterruptSpec, OutageSummary, ReplicaSummary, RunOutcome, Session,
+        SimResult,
     };
     pub use nonstrict_netsim::link::Link;
 }

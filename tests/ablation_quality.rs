@@ -25,6 +25,7 @@ fn non_strict_gating_beats_strict_gating_under_identical_transfer() {
             faults: None,
             verify: VerifyMode::Off,
             outages: None,
+            replicas: None,
         };
         let strict = s.simulate(Input::Test, &mk(ExecutionModel::Strict));
         let non_strict = s.simulate(Input::Test, &mk(ExecutionModel::NonStrict));
@@ -154,6 +155,7 @@ fn restructuring_matters_source_order_loses_to_first_use_order() {
         faults: None,
         verify: VerifyMode::Off,
         outages: None,
+        replicas: None,
     };
     let source = s.simulate(Input::Test, &mk(OrderingSource::SourceOrder));
     let test = s.simulate(Input::Test, &mk(OrderingSource::TestProfile));

@@ -17,8 +17,17 @@
 //!    still completes.
 
 use nonstrict::prelude::*;
-use nonstrict_netsim::{FaultPlan, Link};
+use nonstrict_netsim::{FaultPlan, Link, OutagePlan, OutageSchedule};
 use nonstrict_workloads::rng::StdRng;
+
+/// Chaos seed count: 4 locally, elevated via `NONSTRICT_CHAOS_SEEDS`
+/// in CI's chaos-smoke job.
+fn chaos_seeds() -> u64 {
+    std::env::var("NONSTRICT_CHAOS_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4)
+}
 
 fn policies() -> [TransferPolicy; 4] {
     [
@@ -151,6 +160,60 @@ fn droop_free_plans_remap_to_the_identity() {
         for _ in 0..64 {
             let t = rng.gen_range(0..u64::MAX / 2);
             assert_eq!(plan.remap(t), t, "droop-free remap must be the identity");
+        }
+    }
+}
+
+#[test]
+fn outage_remap_composed_with_droop_remap_stays_monotone() {
+    // The session's wall clock is the outage schedule's base-to-wall
+    // shift applied on top of the fault plan's droop stretch. Replica
+    // routing leans on this composition to order unit arrivals across
+    // mirrors, so it must stay monotone — and exactly the identity at
+    // zero — for every seeded (plan, schedule) pair.
+    for seed in 0..chaos_seeds() {
+        let mut rng = StdRng::seed_from_u64(0xc0de_0000 ^ seed);
+        let mut plan = FaultPlan::perfect(rng.next_u64());
+        plan.droop_pm = rng.gen_range(0..=1_000_000u32);
+        let outages = OutagePlan {
+            seed: rng.next_u64(),
+            rate_pm: rng.gen_range(0..=800_000u32),
+            min_cycles: 100_000,
+            max_cycles: 4_000_000,
+            negotiation_cycles: 250_000,
+        };
+        let mut sched = OutageSchedule::new(outages);
+        let compose = |sched: &mut OutageSchedule, t: u64| sched.remap(plan.remap(t));
+        assert_eq!(
+            compose(&mut sched, 0),
+            0,
+            "seed {seed}: the composed remap must be the identity at zero"
+        );
+        // Probe window corners at many scales plus random points, in
+        // ascending order (the schedule materializes lazily forward).
+        let mut points: Vec<u64> = (0..24).map(|s| 1u64 << s).collect();
+        points.extend((0..64).map(|_| rng.gen_range(0..1u64 << 34)));
+        points.sort_unstable();
+        let mut prev_t = 0u64;
+        let mut prev_wall = 0u64;
+        for &t in &points {
+            let wall = compose(&mut sched, t);
+            assert!(
+                wall >= t,
+                "seed {seed}: droop and downtime only stretch time: {t} -> {wall}"
+            );
+            assert!(
+                wall >= prev_wall,
+                "seed {seed}: composed remap must be monotone: \
+                 {prev_t} -> {prev_wall} but {t} -> {wall}"
+            );
+            assert!(
+                compose(&mut sched, t + 1) > wall,
+                "seed {seed}: strictly increasing at {t} (droop {} ppm)",
+                plan.droop_pm
+            );
+            prev_t = t;
+            prev_wall = wall;
         }
     }
 }

@@ -142,6 +142,7 @@ fn non_strict_execution_always_improves_on_the_baseline() {
                         faults: None,
                         verify: VerifyMode::Off,
                         outages: None,
+                        replicas: None,
                     };
                     let r = session.simulate(Input::Test, &config);
                     // Method delimiters add ~2 bytes per method to the

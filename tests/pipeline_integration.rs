@@ -164,6 +164,7 @@ fn strict_transfer_with_nonstrict_execution_is_a_valid_ablation() {
         faults: None,
         verify: VerifyMode::Off,
         outages: None,
+        replicas: None,
     };
     let mut ns = overlap;
     ns.transfer = TransferPolicy::Parallel { limit: 4 };

@@ -24,13 +24,14 @@ use std::fmt::Write as _;
 
 use nonstrict_bytecode::{Application, Input};
 use nonstrict_classfile::{Attribute, GlobalDataBreakdown};
-use nonstrict_core::metrics::{cycles_to_seconds, normalized_percent};
+use nonstrict_core::fleet::{run_fleet, AdmissionSettings, FleetClient, FleetSpec};
+use nonstrict_core::metrics::{cycles_to_seconds, normalized_percent, queue_share_percent};
 use nonstrict_core::model::{
     DataLayout, ExecutionModel, FaultConfig, OrderingSource, OutageConfig, ReplicaConfig,
     SimConfig, TransferPolicy, VerifyMode,
 };
 use nonstrict_core::sim::{RunOutcome, Session};
-use nonstrict_netsim::Link;
+use nonstrict_netsim::{Link, ShedAction, ShedLadder};
 use nonstrict_reorder::{partition_app, static_first_use, static_first_use_plain};
 
 /// A CLI failure: a message and the exit code to use.
@@ -79,6 +80,8 @@ USAGE:
                                  [--journal PATH] [--interrupt CYCLE]
                                  [--replicas N] [--replica-spread PPM]
                                  [--hedge-deadline CYCLES]
+                                 [--clients N] [--client-spread PPM]
+                                 [--admit-rate N] [--shed-ladder off|H,S,J]
   nonstrict timeline <benchmark> [--link t1|modem] [--ordering scg|train|test]
 
 Outage/resume: --interrupt kills the session at a base cycle and writes
@@ -91,6 +94,19 @@ the per-mirror bandwidth droop (ppm) and --hedge-deadline the stall
 budget before a duplicate fetch goes to the runner-up mirror. Both
 tuning flags require --replicas 2 or more; --replicas 1 is byte-
 identical to no replica flags at all.
+
+Fleets: --clients N runs N concurrent sessions (the named benchmark
+first, the rest cycling through the suite) behind one shared T1 egress
+pipe under deficit-round-robin fair sharing, and reports a per-client
+outcome table. --client-spread sets the per-client access-link
+bandwidth droop (ppm, client i is i*PPM slower); --admit-rate the
+token-bucket admission rate (sessions per ~20 ms period, 0 disables);
+--shed-ladder H,S,J the queue-delay rungs (cycles) at which a client's
+hedges are dropped, its transfer is forced strict, or it is shed to a
+journal checkpoint and resumed. The tuning flags require --clients 2
+or more; --clients 1 is byte-identical to no fleet flags at all, and
+--clients does not combine with --interrupt/--journal (the shed
+ladder journals and resumes internally).
 
 BENCHMARKS: bit, hanoi, javacup, jess, jhlzip, testdes";
 
@@ -269,6 +285,75 @@ impl Flags {
         Ok(Some(rc))
     }
 
+    /// The fleet settings from `--clients/--client-spread/--admit-rate/
+    /// --shed-ladder`, or `None` when no fleet flag was given. The
+    /// tuning flags are meaningless without contention, so giving any
+    /// without `--clients 2` or more is a usage error rather than a
+    /// silently ignored knob.
+    fn fleet_settings(&self) -> Result<Option<FleetSettings>, CliError> {
+        let clients: Option<usize> = self.num_opt("clients")?;
+        let spread: Option<u32> = self.num_opt("client-spread")?;
+        let admit: Option<u32> = self.num_opt("admit-rate")?;
+        let ladder_arg = self.get("shed-ladder");
+        let tuning_flag = [
+            spread.map(|_| "--client-spread"),
+            admit.map(|_| "--admit-rate"),
+            ladder_arg.map(|_| "--shed-ladder"),
+        ]
+        .into_iter()
+        .flatten()
+        .next();
+        let Some(n) = clients else {
+            if let Some(flag) = tuning_flag {
+                return Err(CliError::usage(format!(
+                    "{flag} only makes sense with --clients 2 or more"
+                )));
+            }
+            return Ok(None);
+        };
+        if !(1..=MAX_FLEET_CLIENTS).contains(&n) {
+            return Err(CliError::usage(format!(
+                "--clients expects 1..={MAX_FLEET_CLIENTS}, got {n}"
+            )));
+        }
+        if n < 2 {
+            if let Some(flag) = tuning_flag {
+                return Err(CliError::usage(format!(
+                    "{flag} only makes sense with --clients 2 or more"
+                )));
+            }
+        }
+        let ladder = match ladder_arg {
+            None | Some("off") => None,
+            Some(v) => {
+                let rungs: Vec<u64> = v
+                    .split(',')
+                    .map(|p| p.trim().parse::<u64>())
+                    .collect::<Result<_, _>>()
+                    .map_err(|_| {
+                        CliError::usage(format!(
+                            "--shed-ladder expects off or three cycle counts H,S,J, got {v:?}"
+                        ))
+                    })?;
+                let &[h, s, j] = rungs.as_slice() else {
+                    return Err(CliError::usage(format!(
+                        "--shed-ladder expects off or three cycle counts H,S,J, got {v:?}"
+                    )));
+                };
+                Some(
+                    ShedLadder::new(h, s, j)
+                        .map_err(|e| CliError::usage(format!("--shed-ladder: {e}")))?,
+                )
+            }
+        };
+        Ok(Some(FleetSettings {
+            clients: n,
+            spread_pm: spread.unwrap_or(0),
+            admit_rate: admit.unwrap_or(0),
+            ladder,
+        }))
+    }
+
     /// The verification mode from `--verify`, defaulting to `off` so a
     /// plain `simulate` reproduces the paper's verification-free numbers.
     fn verify_mode(&self) -> Result<VerifyMode, CliError> {
@@ -281,12 +366,32 @@ impl Flags {
     }
 }
 
+/// Hard cap on `--clients`, matching what the per-client outcome table
+/// can sensibly render.
+const MAX_FLEET_CLIENTS: usize = 64;
+
+/// Parsed fleet flags: `--clients` plus its tuning knobs.
+#[derive(Debug, Clone, Copy)]
+struct FleetSettings {
+    /// Fleet size (`--clients`).
+    clients: usize,
+    /// Per-client access-link bandwidth droop in ppm (`--client-spread`):
+    /// client `i`'s cycles-per-byte is the base link's scaled by
+    /// `1 + i * spread_pm / 1e6`, the same arithmetic as replica spread.
+    spread_pm: u32,
+    /// Token-bucket admission rate (`--admit-rate`); 0 disables.
+    admit_rate: u32,
+    /// Load-shed ladder rungs (`--shed-ladder H,S,J`); `None` serves
+    /// every client unmodified.
+    ladder: Option<ShedLadder>,
+}
+
 /// Boolean `--x` switches; anything not listed here or in [`VALUE_KEYS`]
 /// is rejected so a typo'd flag can't be silently ignored.
 const BOOL_KEYS: [&str; 2] = ["partitioned", "strict-execution"];
 
 /// Keys that take a value.
-const VALUE_KEYS: [&str; 21] = [
+const VALUE_KEYS: [&str; 25] = [
     "class",
     "method",
     "source",
@@ -308,6 +413,10 @@ const VALUE_KEYS: [&str; 21] = [
     "replicas",
     "replica-spread",
     "hedge-deadline",
+    "clients",
+    "client-spread",
+    "admit-rate",
+    "shed-ladder",
 ];
 
 fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
@@ -577,6 +686,21 @@ fn cmd_simulate(flags: &Flags) -> Result<String, CliError> {
         replicas: flags.replica_config()?,
     };
 
+    if let Some(fs) = flags.fleet_settings()? {
+        if flags.has("interrupt") || flags.has("journal") {
+            return Err(CliError::usage(
+                "--clients does not combine with --interrupt/--journal \
+                 (the shed ladder journals and resumes internally)",
+            ));
+        }
+        if fs.clients >= 2 {
+            return simulate_fleet(flags, app, &config, &fs);
+        }
+        // A fleet of one never queues: the single-client path below is
+        // bit-identical (asserted in core::fleet's tests), so fall
+        // through rather than render a one-row outcome table.
+    }
+
     let session = Session::new(app).map_err(|e| CliError {
         message: e.to_string(),
         code: 1,
@@ -772,6 +896,147 @@ fn cmd_simulate(flags: &Flags) -> Result<String, CliError> {
                 if h.alive { "live" } else { "dead" }
             );
         }
+    }
+    Ok(out)
+}
+
+/// Client `i`'s access link under `--client-spread`: the base link's
+/// cycles-per-byte scaled by `1 + i * spread_pm / 1e6` (the replica-
+/// spread arithmetic, applied across clients instead of mirrors).
+fn client_link(link: Link, spread_pm: u32, i: usize) -> Link {
+    let cpb = u128::from(link.cycles_per_byte) * (1_000_000 + u128::from(spread_pm) * i as u128)
+        / 1_000_000;
+    Link {
+        cycles_per_byte: u64::try_from(cpb).unwrap_or(u64::MAX),
+        name: link.name,
+    }
+}
+
+/// Runs `--clients N` concurrent sessions behind the shared egress pipe
+/// and renders the fleet report: aggregate tail latency, admission and
+/// shed-ladder outcomes, and the per-client outcome table.
+fn simulate_fleet(
+    flags: &Flags,
+    first: Application,
+    config: &SimConfig,
+    fs: &FleetSettings,
+) -> Result<String, CliError> {
+    // Client 0 is the named benchmark; the rest cycle through the
+    // suite in table order.
+    let mut apps = vec![first];
+    for i in 1..fs.clients {
+        let name = nonstrict_workloads::BENCHMARK_NAMES
+            [(i - 1) % nonstrict_workloads::BENCHMARK_NAMES.len()];
+        apps.push(nonstrict_workloads::build_by_name(name).expect("suite benchmark builds"));
+    }
+    let sessions: Vec<Session> = apps
+        .into_iter()
+        .map(|app| {
+            Session::new(app).map_err(|e| CliError {
+                message: e.to_string(),
+                code: 1,
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    let clients: Vec<FleetClient> = sessions
+        .iter()
+        .enumerate()
+        .map(|(i, s)| FleetClient {
+            name: &s.app.name,
+            session: s,
+            link: client_link(config.link, fs.spread_pm, i),
+            weight: 1,
+        })
+        .collect();
+    let seed: u64 = flags.num_opt("fault-seed")?.unwrap_or(0);
+    let spec = FleetSpec {
+        admission: (fs.admit_rate > 0).then(|| AdmissionSettings::per_period(fs.admit_rate)),
+        ladder: fs.ladder,
+        ..FleetSpec::seeded(seed)
+    };
+    let fleet = run_fleet(&spec, &clients, Input::Test, config);
+
+    let fleet_total: u64 = fleet.clients.iter().map(|c| c.result.total_cycles).sum();
+    let queue = fleet.queue_cycles();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "fleet of {} over shared {} egress — {:?}",
+        fs.clients, fleet.egress.name, config
+    );
+    let _ = writeln!(
+        out,
+        "  tail latency:       p50 {} / p95 {} / p99 {} cycles ({:.2} s / {:.2} s / {:.2} s)",
+        fleet.p50_total,
+        fleet.p95_total,
+        fleet.p99_total,
+        cycles_to_seconds(fleet.p50_total),
+        cycles_to_seconds(fleet.p95_total),
+        cycles_to_seconds(fleet.p99_total)
+    );
+    let _ = writeln!(
+        out,
+        "  queue cycles:       {:>12} across the fleet ({:.2}% of fleet total)",
+        queue,
+        queue_share_percent(queue, fleet_total)
+    );
+    match spec.admission {
+        Some(a) => {
+            let _ = writeln!(
+                out,
+                "  admission:          {} per {}-cycle period — {} rejections before everyone got in",
+                a.rate,
+                a.period_cycles,
+                fleet.rejections()
+            );
+        }
+        None => {
+            let _ = writeln!(
+                out,
+                "  admission:          disabled (every session admitted on arrival)"
+            );
+        }
+    }
+    match fs.ladder {
+        Some(l) => {
+            let _ = writeln!(
+                out,
+                "  shed ladder:        {} served, {} hedge-drops, {} forced strict, {} shed to journal (rungs {}/{}/{})",
+                fleet.count(ShedAction::None),
+                fleet.count(ShedAction::DropHedges),
+                fleet.count(ShedAction::ForceStrict),
+                fleet.count(ShedAction::Shed),
+                l.drop_hedges,
+                l.force_strict,
+                l.shed
+            );
+        }
+        None => {
+            let _ = writeln!(
+                out,
+                "  shed ladder:        off (every client served unmodified)"
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "  {:<3} {:<10} {:<7} {:>9} {:>4} {:>14} {:>14} {:>14} {:<12}",
+        "i", "benchmark", "link", "cyc/B", "rej", "admit-wait", "drr-queue", "total", "outcome"
+    );
+    for (i, c) in fleet.clients.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  {:<3} {:<10} {:<7} {:>9} {:>4} {:>14} {:>14} {:>14} {:<12}",
+            i,
+            c.name,
+            c.link.name,
+            c.link.cycles_per_byte,
+            c.rejections,
+            c.admission_wait,
+            c.drr_queue,
+            c.result.total_cycles,
+            c.action.label()
+        );
     }
     Ok(out)
 }
@@ -1210,6 +1475,136 @@ mod tests {
             total(&resumed),
             total(&plain) + OutageConfig::DEFAULT_NEGOTIATION_CYCLES
         );
+    }
+
+    #[test]
+    fn fleet_run_reports_the_client_table_deterministically() {
+        let args = [
+            "simulate",
+            "hanoi",
+            "--link",
+            "t1",
+            "--clients",
+            "4",
+            "--admit-rate",
+            "1",
+            "--shed-ladder",
+            "0,2000000000,4000000000",
+        ];
+        let a = run_str(&args).unwrap();
+        let b = run_str(&args).unwrap();
+        assert_eq!(a, b, "same seed, same fleet report");
+        assert!(a.contains("fleet of 4"), "{a}");
+        assert!(a.contains("tail latency:"), "{a}");
+        assert!(a.contains("admission:"), "{a}");
+        assert!(a.contains("shed ladder:"), "{a}");
+        // Client 0 is the named benchmark; the rest cycle the suite.
+        assert!(a.contains("Hanoi"), "{a}");
+        assert!(a.contains("BIT"), "{a}");
+        assert!(a.contains("JavaCup"), "{a}");
+        // A zero first rung means nobody is plainly served.
+        assert!(a.contains("0 served"), "{a}");
+        assert!(a.contains("drop-hedges"), "{a}");
+    }
+
+    #[test]
+    fn client_spread_slows_later_clients() {
+        let out = run_str(&[
+            "simulate",
+            "hanoi",
+            "--link",
+            "t1",
+            "--clients",
+            "2",
+            "--client-spread",
+            "500000",
+        ])
+        .unwrap();
+        // Client 0 keeps the T1's 3815 cycles/byte; client 1 runs 50%
+        // slower.
+        assert!(out.contains(" 3815"), "{out}");
+        assert!(out.contains(" 5722"), "{out}");
+    }
+
+    #[test]
+    fn a_fleet_of_one_is_byte_identical_to_no_fleet_flags() {
+        let plain = run_str(&["simulate", "hanoi", "--link", "t1"]).unwrap();
+        let one = run_str(&["simulate", "hanoi", "--link", "t1", "--clients", "1"]).unwrap();
+        // `--clients` lives outside SimConfig, so even the echoed
+        // config line matches: the whole report must be identical.
+        assert_eq!(plain, one);
+        assert!(!plain.contains("fleet of"), "{plain}");
+    }
+
+    #[test]
+    fn fleet_tuning_without_clients_is_a_usage_error() {
+        for args in [
+            ["simulate", "hanoi", "--admit-rate", "1"],
+            ["simulate", "hanoi", "--client-spread", "100000"],
+            ["simulate", "hanoi", "--shed-ladder", "1,2,3"],
+        ] {
+            let err = run_str(&args).unwrap_err();
+            assert_eq!(err.code, 2);
+            assert!(err.message.contains("--clients 2"), "{}", err.message);
+        }
+        let err =
+            run_str(&["simulate", "hanoi", "--clients", "1", "--admit-rate", "1"]).unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("--clients 2"), "{}", err.message);
+    }
+
+    #[test]
+    fn bad_shed_ladders_are_usage_errors() {
+        // Two rungs instead of three.
+        let err = run_str(&[
+            "simulate",
+            "hanoi",
+            "--clients",
+            "2",
+            "--shed-ladder",
+            "1,2",
+        ])
+        .unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("H,S,J"), "{}", err.message);
+        // Rungs out of order get the typed ladder error.
+        let err = run_str(&[
+            "simulate",
+            "hanoi",
+            "--clients",
+            "2",
+            "--shed-ladder",
+            "5,4,3",
+        ])
+        .unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("--shed-ladder"), "{}", err.message);
+    }
+
+    #[test]
+    fn client_count_out_of_range_is_a_usage_error() {
+        for n in ["0", "65"] {
+            let err = run_str(&["simulate", "hanoi", "--clients", n]).unwrap_err();
+            assert_eq!(err.code, 2);
+            assert!(err.message.contains("1..=64"), "{}", err.message);
+        }
+    }
+
+    #[test]
+    fn clients_with_journal_flags_is_a_usage_error() {
+        let err = run_str(&[
+            "simulate",
+            "hanoi",
+            "--clients",
+            "2",
+            "--interrupt",
+            "1000",
+            "--journal",
+            "/tmp/never-written.bin",
+        ])
+        .unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("--clients"), "{}", err.message);
     }
 
     #[test]

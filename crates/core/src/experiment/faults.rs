@@ -14,7 +14,7 @@ use nonstrict_bytecode::Input;
 use nonstrict_netsim::Link;
 
 use super::{Suite, LINKS, ORDERINGS};
-use crate::metrics::{normalized_percent, recovery_share_percent};
+use crate::metrics::{normalized_percent, recovery_share_percent, CycleLedger};
 use crate::model::{FaultConfig, OrderingSource, SimConfig};
 
 /// The swept unit-loss rates, parts-per-million per delivery attempt:
@@ -69,6 +69,11 @@ pub struct FaultRow {
     pub session_degraded: bool,
     /// Whether the run executed to completion.
     pub completed: bool,
+    /// Total cycles of the run.
+    pub total_cycles: u64,
+    /// The run's seven accounting buckets (exact: they sum to
+    /// `total_cycles`).
+    pub ledger: CycleLedger,
 }
 
 /// Runs the full sweep: every benchmark × link × ordering × loss rate,
@@ -104,6 +109,8 @@ pub fn fault_sweep(suite: &Suite) -> Vec<FaultRow> {
                         degraded_classes: r.faults.degraded_classes,
                         session_degraded: r.faults.session_degraded,
                         completed: r.faults.completed,
+                        total_cycles: r.total_cycles,
+                        ledger: r.ledger(),
                     });
                 }
             }

@@ -6,6 +6,7 @@
 
 pub mod faults;
 pub mod outage;
+pub mod overload;
 pub mod paper;
 pub mod replica;
 pub mod verify;

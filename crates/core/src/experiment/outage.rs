@@ -15,7 +15,7 @@ use nonstrict_bytecode::Input;
 use nonstrict_netsim::Link;
 
 use super::{Suite, LINKS};
-use crate::metrics::{normalized_percent, resume_share_percent};
+use crate::metrics::{normalized_percent, resume_share_percent, CycleLedger};
 use crate::model::{OrderingSource, OutageConfig, SimConfig};
 
 /// The swept outage severities, `(rate_pm, outage_cycles)`: probability
@@ -67,6 +67,11 @@ pub struct OutageRow {
     /// Whether wall total == outage-free total + resume cost held
     /// exactly (the pure-downtime invariant).
     pub pure_downtime: bool,
+    /// Total cycles of the run.
+    pub total_cycles: u64,
+    /// The run's seven accounting buckets (exact: they sum to
+    /// `total_cycles`).
+    pub ledger: CycleLedger,
 }
 
 /// Runs the full sweep: every benchmark × link × outage severity,
@@ -93,6 +98,8 @@ pub fn outage_sweep(suite: &Suite) -> Vec<OutageRow> {
                     outages: r.outage.outages,
                     resumes: r.outage.resumes,
                     pure_downtime: r.total_cycles == quiet.total_cycles + r.outage.resume_cycles,
+                    total_cycles: r.total_cycles,
+                    ledger: r.ledger(),
                 });
             }
         }

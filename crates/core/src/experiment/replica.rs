@@ -15,7 +15,7 @@ use nonstrict_netsim::Link;
 
 use super::faults::sweep_config;
 use super::{Suite, LINKS};
-use crate::metrics::{hedge_share_percent, normalized_percent};
+use crate::metrics::{hedge_share_percent, normalized_percent, CycleLedger};
 use crate::model::{OrderingSource, ReplicaConfig, SimConfig};
 
 /// The swept (mirror count, unit-loss rate ppm) cells: a single lossy
@@ -71,6 +71,11 @@ pub struct ReplicaRow {
     pub min_health_ppm: u32,
     /// Whether the run executed to completion.
     pub completed: bool,
+    /// Total cycles of the run.
+    pub total_cycles: u64,
+    /// The run's seven accounting buckets (exact: they sum to
+    /// `total_cycles`).
+    pub ledger: CycleLedger,
 }
 
 /// Runs the full sweep: every benchmark × link × (mirrors, loss) cell,
@@ -108,6 +113,8 @@ pub fn replica_sweep(suite: &Suite) -> Vec<ReplicaRow> {
                     health_ppm,
                     min_health_ppm,
                     completed: r.faults.completed,
+                    total_cycles: r.total_cycles,
+                    ledger: r.ledger(),
                 });
             }
         }

@@ -17,7 +17,7 @@ use nonstrict_bytecode::Input;
 use nonstrict_netsim::Link;
 
 use super::{Suite, LINKS};
-use crate::metrics::{normalized_percent, verify_share_percent};
+use crate::metrics::{normalized_percent, verify_share_percent, CycleLedger};
 use crate::model::{OrderingSource, SimConfig, VerifyMode};
 
 /// The swept verification modes, in report column order.
@@ -42,6 +42,11 @@ pub struct VerifyRow {
     pub invocation_latency: u64,
     /// Stall cycles (transfer wait).
     pub stall_cycles: u64,
+    /// Total cycles of the run.
+    pub total_cycles: u64,
+    /// The run's seven accounting buckets (exact: they sum to
+    /// `total_cycles`).
+    pub ledger: CycleLedger,
 }
 
 /// Runs the full sweep: every benchmark × link × verify mode,
@@ -67,6 +72,8 @@ pub fn verify_sweep(suite: &Suite) -> Vec<VerifyRow> {
                     verify_share: verify_share_percent(r.verify_cycles, r.total_cycles),
                     invocation_latency: r.invocation_latency,
                     stall_cycles: r.stall_cycles,
+                    total_cycles: r.total_cycles,
+                    ledger: r.ledger(),
                 });
             }
         }

@@ -223,14 +223,26 @@ pub fn export_csv(suite: &Suite, dir: &Path) -> io::Result<Vec<PathBuf>> {
     }
     emit("fig6.csv", fig)?;
 
+    // Every accounting bucket, appended to each robustness CSV in the
+    // same order (the ledger is exact: the seven buckets sum to
+    // total_cycles).
+    let bucket_header = ",total_cycles,exec_cycles,stall_cycles,recovery_cycles,verify_cycles,resume_cycles,hedge_cycles,queue_cycles\n";
+    let bucket_cols = |total: u64, l: &crate::metrics::CycleLedger| -> String {
+        format!(
+            ",{},{},{},{},{},{},{},{}\n",
+            total, l.exec, l.stall, l.recovery, l.verify, l.resume, l.hedge, l.queue
+        )
+    };
+
     // Fault sweep (robustness extension; no paper column — the original
     // evaluation assumes a perfect link).
     let mut fl = String::from(
-        "program,link,ordering,loss_ppm,normalized_pct,recovery_share_pct,retries,drops,corrupted,degraded_classes,session_degraded,completed\n",
+        "program,link,ordering,loss_ppm,normalized_pct,recovery_share_pct,retries,drops,corrupted,degraded_classes,session_degraded,completed",
     );
+    fl.push_str(bucket_header);
     for r in experiment::faults::fault_sweep(suite) {
         fl.push_str(&format!(
-            "{},{},{},{},{:.1},{:.2},{},{},{},{},{},{}\n",
+            "{},{},{},{},{:.1},{:.2},{},{},{},{},{},{}",
             r.name,
             r.link.name,
             r.ordering.label(),
@@ -244,17 +256,19 @@ pub fn export_csv(suite: &Suite, dir: &Path) -> io::Result<Vec<PathBuf>> {
             r.session_degraded,
             r.completed
         ));
+        fl.push_str(&bucket_cols(r.total_cycles, &r.ledger));
     }
     emit("faults.csv", fl)?;
 
     // Verification sweep (robustness extension; no paper column — the
     // original evaluation assumes verification is free).
     let mut vf = String::from(
-        "program,link,verify_mode,normalized_pct,verify_cycles,verify_share_pct,invocation_latency,stall_cycles\n",
+        "program,link,verify_mode,normalized_pct,verify_cycles,verify_share_pct,invocation_latency,stall_cycles",
     );
+    vf.push_str(bucket_header);
     for r in experiment::verify::verify_sweep(suite) {
         vf.push_str(&format!(
-            "{},{},{},{:.1},{},{:.2},{},{}\n",
+            "{},{},{},{:.1},{},{:.2},{},{}",
             r.name,
             r.link.name,
             r.mode.label(),
@@ -264,17 +278,19 @@ pub fn export_csv(suite: &Suite, dir: &Path) -> io::Result<Vec<PathBuf>> {
             r.invocation_latency,
             r.stall_cycles
         ));
+        vf.push_str(&bucket_cols(r.total_cycles, &r.ledger));
     }
     emit("verify.csv", vf)?;
 
     // Outage sweep (robustness extension; no paper column — the original
     // evaluation assumes the connection survives the whole download).
     let mut og = String::from(
-        "program,link,rate_ppm,outage_cycles,normalized_pct,resume_share_pct,outages,resumes,pure_downtime\n",
+        "program,link,rate_ppm,outage_cycles,normalized_pct,resume_share_pct,outages,resumes,pure_downtime",
     );
+    og.push_str(bucket_header);
     for r in experiment::outage::outage_sweep(suite) {
         og.push_str(&format!(
-            "{},{},{},{},{:.1},{:.2},{},{},{}\n",
+            "{},{},{},{},{:.1},{:.2},{},{},{}",
             r.name,
             r.link.name,
             r.rate_pm,
@@ -285,17 +301,19 @@ pub fn export_csv(suite: &Suite, dir: &Path) -> io::Result<Vec<PathBuf>> {
             r.resumes,
             r.pure_downtime
         ));
+        og.push_str(&bucket_cols(r.total_cycles, &r.ledger));
     }
     emit("outage.csv", og)?;
 
     // Replica sweep (robustness extension; no paper column — the
     // original evaluation assumes a single origin server).
     let mut rp = String::from(
-        "program,link,replicas,loss_ppm,normalized_pct,hedge_share_pct,hedges,hedge_wins,failovers,min_health_ppm,completed\n",
+        "program,link,replicas,loss_ppm,normalized_pct,hedge_share_pct,hedges,hedge_wins,failovers,min_health_ppm,completed",
     );
+    rp.push_str(bucket_header);
     for r in experiment::replica::replica_sweep(suite) {
         rp.push_str(&format!(
-            "{},{},{},{},{:.1},{:.2},{},{},{},{},{}\n",
+            "{},{},{},{},{:.1},{:.2},{},{},{},{},{}",
             r.name,
             r.link.name,
             r.replicas,
@@ -308,8 +326,35 @@ pub fn export_csv(suite: &Suite, dir: &Path) -> io::Result<Vec<PathBuf>> {
             r.min_health_ppm,
             r.completed
         ));
+        rp.push_str(&bucket_cols(r.total_cycles, &r.ledger));
     }
     emit("replica.csv", rp)?;
+
+    // Overload sweep (robustness extension; no paper column — the
+    // original evaluation assumes one client per server).
+    let mut ov = String::from(
+        "clients,mix,admit_rate,rejections,served,hedge_dropped,forced_strict,shed,p50_total,p95_total,p99_total,queue_share_pct",
+    );
+    ov.push_str(bucket_header);
+    for r in experiment::overload::overload_sweep(suite) {
+        ov.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{:.2}",
+            r.clients,
+            r.mix,
+            r.admit_rate,
+            r.rejections,
+            r.served,
+            r.hedge_dropped,
+            r.forced_strict,
+            r.shed,
+            r.p50_total,
+            r.p95_total,
+            r.p99_total,
+            r.queue_share
+        ));
+        ov.push_str(&bucket_cols(r.total_cycles, &r.ledger));
+    }
+    emit("overload.csv", ov)?;
 
     Ok(written)
 }
@@ -327,7 +372,7 @@ mod tests {
         };
         let dir = std::env::temp_dir().join(format!("nonstrict-export-{}", std::process::id()));
         let files = export_csv(&suite, &dir).unwrap();
-        assert_eq!(files.len(), 15);
+        assert_eq!(files.len(), 16);
         for f in &files {
             let content = fs::read_to_string(f).unwrap();
             let mut lines = content.lines();

@@ -20,7 +20,12 @@
 //!   delivered/verified watermarks plus a CRC'd manifest epoch, with
 //!   torn-write detection and the reconnect negotiation that decides
 //!   between resume, targeted invalidation, and fail-closed restart.
-//! * [`metrics`] — normalized execution time and reduction helpers.
+//! * [`fleet`] — the multi-client fleet driver: N sessions behind one
+//!   server egress pipe with token-bucket admission, deficit-round-
+//!   robin fair sharing, the load-shed ladder, and the exact seventh
+//!   `queue_cycles` accounting bucket.
+//! * [`metrics`] — normalized execution time and reduction helpers,
+//!   plus the seven-bucket [`metrics::CycleLedger`] exactness check.
 //! * [`jit`] — the paper's §8 extension, implemented: JIT compilation
 //!   overlapped with transfer versus inline compile-at-first-use.
 //! * [`experiment`] — one runner per paper table and figure
@@ -34,6 +39,7 @@
 
 pub mod experiment;
 pub mod export;
+pub mod fleet;
 pub mod jit;
 pub mod journal;
 pub mod linker;
@@ -42,7 +48,9 @@ pub mod model;
 pub mod report;
 pub mod sim;
 
+pub use fleet::{run_fleet, AdmissionSettings, ClientOutcome, FleetClient, FleetResult, FleetSpec};
 pub use journal::{negotiate, JournalError, Negotiation, SessionJournal, SessionManifest};
+pub use metrics::CycleLedger;
 pub use model::{
     DataLayout, ExecutionModel, FaultConfig, OrderingSource, OutageConfig, ReplicaConfig,
     ReplicaKill, SimConfig, TransferPolicy, VerifyMode,

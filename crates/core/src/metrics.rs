@@ -78,6 +78,86 @@ pub fn hedge_share_percent(hedge_cycles: u64, total_cycles: u64) -> f64 {
     100.0 * hedge_cycles as f64 / total_cycles as f64
 }
 
+/// Share of the run's total time spent queued behind other clients at
+/// the shared server egress (DRR contention delay plus admission
+/// backoff), as a percent. Zero outside a fleet; the overload report's
+/// headline column.
+#[must_use]
+pub fn queue_share_percent(queue_cycles: u64, total_cycles: u64) -> f64 {
+    if total_cycles == 0 {
+        return 0.0;
+    }
+    100.0 * queue_cycles as f64 / total_cycles as f64
+}
+
+/// Nearest-rank percentile of `sorted` (ascending), `p` in `[0, 100]`.
+/// Returns 0 for an empty slice. `p50`/`p95`/`p99` of per-client fleet
+/// totals are reported with this.
+#[must_use]
+pub fn percentile(sorted: &[u64], p: u32) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let p = p.min(100) as usize;
+    // Nearest-rank: the ⌈p/100 · n⌉-th smallest value (1-indexed).
+    let rank = (p * sorted.len()).div_ceil(100).max(1);
+    sorted[rank - 1]
+}
+
+/// The seven exact accounting buckets of one run. Every cycle of a
+/// session's total lands in exactly one bucket:
+///
+/// `total = exec + stall + recovery + verify + resume + hedge + queue`
+///
+/// The identity is debug-asserted at every place a total is formed via
+/// [`CycleLedger::assert_exact`], so a new bucket is added in exactly
+/// one place (here) and every call site inherits it.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CycleLedger {
+    /// Pure execution cycles.
+    pub exec: u64,
+    /// Transfer-wait stall cycles (fault, outage, hedge, and queue
+    /// shares split out into their own buckets).
+    pub stall: u64,
+    /// Fault-recovery cycles.
+    pub recovery: u64,
+    /// Prefix-verification cycles.
+    pub verify: u64,
+    /// Outage downtime, reconnect negotiation, and refetch cycles.
+    pub resume: u64,
+    /// Hedged-fetch deadline waits and issue/cancel overhead.
+    pub hedge: u64,
+    /// Server-egress queueing delay plus admission backoff wait.
+    pub queue: u64,
+}
+
+impl CycleLedger {
+    /// The sum of all seven buckets.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.exec + self.stall + self.recovery + self.verify + self.resume + self.hedge + self.queue
+    }
+
+    /// Debug-asserts that `total` is exactly the seven-bucket sum.
+    /// `context` names the call site in the failure message.
+    pub fn assert_exact(&self, total: u64, context: &str) {
+        debug_assert_eq!(
+            total,
+            self.total(),
+            "{context}: total = exec + stall + recovery + verify + resume + hedge + queue \
+             ({} + {} + {} + {} + {} + {} + {})",
+            self.exec,
+            self.stall,
+            self.recovery,
+            self.verify,
+            self.resume,
+            self.hedge,
+            self.queue,
+        );
+        let _ = (total, context);
+    }
+}
+
 /// Fraction of runs that executed to completion, as a percent. The
 /// resilient protocol's retry cap makes this 100 by construction; the
 /// report still computes it from the results rather than asserting it.
@@ -126,6 +206,43 @@ mod tests {
         assert_eq!(hedge_share_percent(5, 0), 0.0);
         assert_eq!(completion_rate_percent(0, 0), 100.0);
         assert!((completion_rate_percent(3, 4) - 75.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn queue_share_and_percentiles() {
+        assert_eq!(queue_share_percent(0, 1_000), 0.0);
+        assert!((queue_share_percent(300, 1_000) - 30.0).abs() < 1e-12);
+        assert_eq!(queue_share_percent(5, 0), 0.0);
+        assert_eq!(percentile(&[], 50), 0);
+        assert_eq!(percentile(&[7], 0), 7);
+        assert_eq!(percentile(&[7], 100), 7);
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 50), 50);
+        assert_eq!(percentile(&v, 95), 95);
+        assert_eq!(percentile(&v, 99), 99);
+        assert_eq!(percentile(&[10, 20, 30], 50), 20);
+    }
+
+    #[test]
+    fn ledger_totals_and_asserts() {
+        let l = CycleLedger {
+            exec: 1,
+            stall: 2,
+            recovery: 3,
+            verify: 4,
+            resume: 5,
+            hedge: 6,
+            queue: 7,
+        };
+        assert_eq!(l.total(), 28);
+        l.assert_exact(28, "test");
+    }
+
+    #[test]
+    #[should_panic(expected = "total = exec + stall")]
+    #[cfg(debug_assertions)]
+    fn ledger_rejects_a_leaked_cycle() {
+        CycleLedger::default().assert_exact(1, "leak");
     }
 
     #[test]

@@ -389,6 +389,67 @@ pub fn render_fault_sweep(rows: &[crate::experiment::faults::FaultRow]) -> Strin
     out
 }
 
+/// Renders the overload sweep: fleet size × link mix × admission rate
+/// under fair-share scheduling and the load-shed ladder. Not part of
+/// [`render_all`], which reproduces only the paper's one-client
+/// tables.
+#[must_use]
+pub fn render_overload_sweep(rows: &[crate::experiment::overload::OverloadRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Overload sweep: fair-share scheduling, admission control, and load shedding (shared T1 egress)"
+    );
+    let _ = writeln!(
+        out,
+        "{:>7} {:>6} {:>6} {:>7} {:>7} {:>7} {:>7} {:>5} {:>12} {:>12} {:>12} {:>7}",
+        "clients",
+        "mix",
+        "admit",
+        "reject",
+        "served",
+        "nohedge",
+        "strict",
+        "shed",
+        "p50 cyc",
+        "p95 cyc",
+        "p99 cyc",
+        "queue%"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:>7} {:>6} {:>6} {:>7} {:>7} {:>7} {:>7} {:>5} {:>12} {:>12} {:>12} {:>7.2}",
+            r.clients,
+            r.mix,
+            r.admit_rate,
+            r.rejections,
+            r.served,
+            r.hedge_dropped,
+            r.forced_strict,
+            r.shed,
+            r.p50_total,
+            r.p95_total,
+            r.p99_total,
+            r.queue_share,
+        );
+    }
+    let rejections: u64 = rows.iter().map(|r| r.rejections).sum();
+    let dropped: usize = rows.iter().map(|r| r.hedge_dropped).sum();
+    let forced: usize = rows.iter().map(|r| r.forced_strict).sum();
+    let shed: usize = rows.iter().map(|r| r.shed).sum();
+    let _ = writeln!(
+        out,
+        "{} admission rejections across {} fleets; shed ladder: {} hedge-drops, {} forced strict, {} shed to journal",
+        rejections,
+        rows.len(),
+        dropped,
+        forced,
+        shed,
+    );
+    out
+}
+
 /// Renders the replica sweep: health-scored mirror routing with hedged
 /// demand fetches, including the per-mirror end-of-run health table.
 /// Not part of [`render_all`], which reproduces only the paper's
@@ -672,6 +733,21 @@ mod tests {
         assert!(text.contains("worst mirror health"), "{text}");
         // The three-mirror rows list three slash-separated health scores.
         assert!(text.lines().any(|l| l.matches('/').count() == 2), "{text}");
+    }
+
+    #[test]
+    fn overload_sweep_renders_the_shed_ladder_summary() {
+        let session = Session::new(nonstrict_workloads::hanoi::build()).unwrap();
+        let suite = Suite {
+            sessions: vec![session],
+        };
+        let rows = crate::experiment::overload::overload_sweep(&suite);
+        let text = render_overload_sweep(&rows);
+        assert!(text.contains("Overload sweep"), "{text}");
+        assert!(text.contains("queue%"), "{text}");
+        assert!(text.contains("shed ladder:"), "{text}");
+        assert!(text.contains("forced strict"), "{text}");
+        assert!(text.contains("shed to journal"), "{text}");
     }
 
     #[test]

@@ -24,6 +24,7 @@ use crate::journal::{
     negotiate, ClassCheckpoint, FetchRecord, Negotiation, SessionJournal, SessionManifest,
 };
 use crate::linker::{ClassLinkState, IncrementalLinker, LinkStats};
+use crate::metrics::CycleLedger;
 use crate::model::{
     DataLayout, ExecutionModel, OrderingSource, SimConfig, TransferPolicy, VerifyMode,
 };
@@ -80,8 +81,13 @@ pub struct SimResult {
     /// [`FaultSummary::recovery_cycles`], the outage share in
     /// [`OutageSummary::resume_cycles`], and the hedging share in
     /// [`ReplicaSummary::hedge_cycles`], so `total = exec + stall +
-    /// recovery + verify + resume + hedge`).
+    /// recovery + verify + resume + hedge + queue`).
     pub stall_cycles: u64,
+    /// Cycles the session spent queued behind other clients at the
+    /// shared server egress — DRR contention delay plus admission
+    /// backoff wait — the seventh accounting bucket. Zero outside a
+    /// fleet: a single client on a dedicated link never queues.
+    pub queue_cycles: u64,
     /// Cycles spent verifying class-file prefixes before execution was
     /// allowed past them (zero under [`VerifyMode::Off`]).
     pub verify_cycles: u64,
@@ -108,7 +114,8 @@ pub struct ReplicaSummary {
     /// Stalled cycles attributable to hedging — the deadline wait
     /// before each winning duplicate plus every issue/cancel overhead
     /// — split out of stalls as the sixth accounting bucket:
-    /// `total = exec + stall + recovery + verify + resume + hedge`.
+    /// `total = exec + stall + recovery + verify + resume + hedge +
+    /// queue`.
     pub hedge_cycles: u64,
     /// Hedged duplicate fetches issued.
     pub hedges: u64,
@@ -136,7 +143,8 @@ pub struct OutageSummary {
     /// Cycles the session spent down or resuming: outage downtime,
     /// reconnect negotiation, and the refetch/re-verify of classes a
     /// manifest-epoch change invalidated. The fifth accounting bucket:
-    /// `total = exec + stall + recovery + verify + resume + hedge`.
+    /// `total = exec + stall + recovery + verify + resume + hedge +
+    /// queue`.
     pub resume_cycles: u64,
     /// Full connection losses the session survived.
     pub outages: u32,
@@ -279,6 +287,22 @@ impl SimResult {
             return 1.0;
         }
         self.exec_cycles as f64 / self.total_cycles as f64
+    }
+
+    /// The run's seven-bucket [`CycleLedger`], for exactness checks:
+    /// `ledger().assert_exact(total_cycles, ...)` holds for every
+    /// result this crate produces, fleet or single-client.
+    #[must_use]
+    pub fn ledger(&self) -> CycleLedger {
+        CycleLedger {
+            exec: self.exec_cycles,
+            stall: self.stall_cycles,
+            recovery: self.faults.recovery_cycles,
+            verify: self.verify_cycles,
+            resume: self.outage.resume_cycles,
+            hedge: self.replica.hedge_cycles,
+            queue: self.queue_cycles,
+        }
     }
 }
 
@@ -485,6 +509,7 @@ impl Session {
                     total_cycles,
                     exec_cycles,
                     stall_cycles: perfect_finish,
+                    queue_cycles: 0,
                     verify_cycles,
                     invocation_latency,
                     stalls: 1,
@@ -516,6 +541,7 @@ impl Session {
                 total_cycles,
                 exec_cycles,
                 stall_cycles: perfect_finish,
+                queue_cycles: 0,
                 verify_cycles,
                 invocation_latency,
                 stalls: 1,
@@ -877,10 +903,17 @@ impl Session {
             st.exec_done, exec_cycles,
             "the replay must execute the whole trace"
         );
-        debug_assert_eq!(
+        CycleLedger {
+            exec: exec_cycles,
+            stall: st.stall_cycles,
+            recovery: st.recovery_cycles,
+            verify: st.verify_cycles,
+            hedge: st.hedge_cycles,
+            ..CycleLedger::default()
+        }
+        .assert_exact(
             st.clock,
-            exec_cycles + st.stall_cycles + st.recovery_cycles + st.verify_cycles + st.hedge_cycles,
-            "every base-clock advance must land in exactly one accounting bucket"
+            "every base-clock advance must land in exactly one accounting bucket",
         );
         let mut invocation_latency = st.invocation_latency.unwrap_or(0);
         if let Some(oc) = config.active_outages() {
@@ -896,22 +929,23 @@ impl Session {
             invocation_latency = sched.remap(invocation_latency);
         }
         let total_cycles = st.clock + st.resume_cycles;
-        debug_assert_eq!(
-            total_cycles,
-            exec_cycles
-                + st.stall_cycles
-                + st.recovery_cycles
-                + st.verify_cycles
-                + st.resume_cycles
-                + st.hedge_cycles,
-            "total = exec + stall + recovery + verify + resume + hedge"
-        );
+        CycleLedger {
+            exec: exec_cycles,
+            stall: st.stall_cycles,
+            recovery: st.recovery_cycles,
+            verify: st.verify_cycles,
+            resume: st.resume_cycles,
+            hedge: st.hedge_cycles,
+            queue: 0,
+        }
+        .assert_exact(total_cycles, "replay completion");
         let stats = engine.fault_stats();
         let rstats = engine.replica_stats();
         RunOutcome::Finished(Box::new(SimResult {
             total_cycles,
             exec_cycles,
             stall_cycles: st.stall_cycles,
+            queue_cycles: 0,
             verify_cycles: st.verify_cycles,
             invocation_latency,
             stalls: st.stalls,

@@ -32,6 +32,11 @@
 //!   N independently seeded mirrors with EWMA health-scored routing,
 //!   hedged duplicate fetches past a stall deadline, and mid-stream
 //!   failover at unit boundaries.
+//! * [`contention`] — the multi-client server model: deficit-round-
+//!   robin fair sharing of one egress pipe over per-client unit
+//!   queues, a token-bucket admission controller with typed
+//!   [`contention::Rejected`] backpressure, and the three-rung
+//!   load-shedding ladder ([`contention::ShedLadder`]).
 //!
 //! All engines are **event-driven fluid** simulators: transfer progress
 //! is piecewise linear, so the engines jump from event to event (unit
@@ -41,6 +46,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod contention;
 pub mod engine;
 pub mod faults;
 pub mod interleaved;
@@ -52,6 +58,10 @@ pub mod schedule;
 pub mod strict;
 pub mod unit;
 
+pub use contention::{
+    drr_schedule, jitter, AdmissionController, ClientDemand, ClientService, LadderError, Rejected,
+    ShedAction, ShedLadder,
+};
 pub use engine::TransferEngine;
 pub use faults::{FaultPlan, FaultStats, FaultedEngine};
 pub use interleaved::InterleavedEngine;

@@ -52,7 +52,10 @@ pub use nonstrict_workloads as workloads;
 /// The most commonly used types, re-exported flat.
 pub mod prelude {
     pub use nonstrict_bytecode::program::{Application, Input};
-    pub use nonstrict_core::metrics::normalized_percent;
+    pub use nonstrict_core::fleet::{
+        run_fleet, AdmissionSettings, ClientOutcome, FleetClient, FleetResult, FleetSpec,
+    };
+    pub use nonstrict_core::metrics::{normalized_percent, CycleLedger};
     pub use nonstrict_core::model::{
         DataLayout, ExecutionModel, FaultConfig, OrderingSource, OutageConfig, ReplicaConfig,
         ReplicaKill, SimConfig, TransferPolicy, VerifyMode,
@@ -61,5 +64,6 @@ pub mod prelude {
         simulate, FaultSummary, InterruptSpec, OutageSummary, ReplicaSummary, RunOutcome, Session,
         SimResult,
     };
+    pub use nonstrict_netsim::contention::{drr_schedule, ClientDemand, ShedAction, ShedLadder};
     pub use nonstrict_netsim::link::Link;
 }

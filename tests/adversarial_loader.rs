@@ -281,22 +281,12 @@ fn verify_off_charges_nothing_and_keeps_the_seed_accounting() {
                     "{name} {}: off charges nothing",
                     link.name
                 );
-                // The seed's three-term split survives verbatim.
-                assert_eq!(
-                    r.total_cycles,
-                    r.exec_cycles + r.stall_cycles + r.faults.recovery_cycles,
-                    "{name} {}",
-                    link.name
-                );
+                // The seed's bucket split survives verbatim.
+                assert_eq!(r.total_cycles, r.ledger().total(), "{name} {}", link.name);
                 // And streaming verification only ever adds its own bucket.
                 let s = session.simulate(Input::Test, &config.with_verify(VerifyMode::Stream));
                 assert!(s.verify_cycles > 0, "{name} {}: stream charges", link.name);
-                assert_eq!(
-                    s.total_cycles,
-                    s.exec_cycles + s.stall_cycles + s.faults.recovery_cycles + s.verify_cycles,
-                    "{name} {}",
-                    link.name
-                );
+                assert_eq!(s.total_cycles, s.ledger().total(), "{name} {}", link.name);
             }
         }
     }
@@ -318,7 +308,7 @@ fn verify_off_rows_match_the_committed_reference_csv() {
     assert_eq!(rows.len(), 6, "2 links x 3 modes for one benchmark");
     for r in &rows {
         let line = format!(
-            "{},{},{},{:.1},{},{:.2},{},{}",
+            "{},{},{},{:.1},{},{:.2},{},{},{},{},{},{},{},{},{},{}",
             r.name,
             r.link.name,
             r.mode.label(),
@@ -326,7 +316,15 @@ fn verify_off_rows_match_the_committed_reference_csv() {
             r.verify_cycles,
             r.verify_share,
             r.invocation_latency,
-            r.stall_cycles
+            r.stall_cycles,
+            r.total_cycles,
+            r.ledger.exec,
+            r.ledger.stall,
+            r.ledger.recovery,
+            r.ledger.verify,
+            r.ledger.resume,
+            r.ledger.hedge,
+            r.ledger.queue
         );
         assert!(
             committed.lines().any(|l| l == line),

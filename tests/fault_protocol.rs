@@ -86,8 +86,8 @@ fn every_faulted_run_terminates_fully_executed() {
                 assert!(r.total_cycles >= r.exec_cycles);
                 assert_eq!(
                     r.total_cycles,
-                    r.exec_cycles + r.stall_cycles + r.faults.recovery_cycles,
-                    "stall/recovery split must be exact: {name} {transfer:?} {}",
+                    r.ledger().total(),
+                    "the bucket split must be exact: {name} {transfer:?} {}",
                     link.name
                 );
                 assert!(
@@ -268,8 +268,5 @@ fn hostile_links_degrade_gracefully_to_strict_execution() {
     // Degradation is bounded by the class count.
     let nclasses = session.app.classes.len() as u32;
     assert!(r.faults.degraded_classes <= nclasses);
-    assert_eq!(
-        r.total_cycles,
-        r.exec_cycles + r.stall_cycles + r.faults.recovery_cycles
-    );
+    assert_eq!(r.total_cycles, r.ledger().total());
 }

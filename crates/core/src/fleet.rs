@@ -25,7 +25,9 @@
 //!    after the congestion has passed (via [`Session::resume`]).
 //!
 //! Accounting stays exact: every admission wait and every cycle of DRR
-//! queueing delay lands in the seventh `queue_cycles` bucket, and
+//! queueing delay lands in exactly one bucket — the seventh
+//! `queue_cycles` bucket, except a shed client's DRR delay, which
+//! becomes its journal park and lands in the resume bucket — and
 //! every per-client result satisfies
 //! `total = exec + stall + recovery + verify + resume + hedge + queue`
 //! ([`crate::metrics::CycleLedger::assert_exact`], debug-asserted for
@@ -38,6 +40,15 @@
 //! the server-side queueing delay is added on top. A fleet of one
 //! therefore reproduces the single-client result bit for bit: one
 //! client never queues, so the shift is zero by construction.
+//!
+//! The schedule itself is a **one-pass approximation**: DRR demand is
+//! each client's *pre-degradation* unit stream, and the ladder is
+//! keyed on the queue delay that demand produced. A forced-strict
+//! client therefore contends with its non-strict stream even though
+//! its simulated timeline is strict, and a shed client's units keep
+//! occupying the schedule after it is parked — the feedback loop in
+//! which degraded clients shrink everyone else's queue delay is not
+//! modeled (that would need a fixed-point iteration of the schedule).
 
 use nonstrict_bytecode::Input;
 use nonstrict_netsim::contention::{
@@ -160,6 +171,10 @@ pub struct ClientOutcome {
     pub action: ShedAction,
     /// The client's session result; `queue_cycles` holds
     /// `admission_wait + drr_queue` and `total_cycles` includes it.
+    /// Exception: a [`ShedAction::Shed`] client's `drr_queue` is the
+    /// journal park already charged to the resume bucket, so its
+    /// `queue_cycles` holds only `admission_wait` (no wall-clock
+    /// interval is counted twice).
     pub result: SimResult,
 }
 
@@ -191,8 +206,9 @@ impl FleetResult {
         self.clients.iter().map(|c| u64::from(c.rejections)).sum()
     }
 
-    /// Total queue cycles (admission wait + DRR delay) across the
-    /// fleet.
+    /// Total queue cycles across the fleet: admission wait + DRR
+    /// delay, except that shed clients' DRR delay is their journal
+    /// park and lives in the resume bucket instead.
     #[must_use]
     pub fn queue_cycles(&self) -> u64 {
         self.clients.iter().map(|c| c.result.queue_cycles).sum()
@@ -277,6 +293,14 @@ fn degraded_config(base: &SimConfig, action: ShedAction) -> SimConfig {
 /// admission disabled (or not, the first token is always there)
 /// reproduces `session.simulate(input, &config)` exactly with
 /// `queue_cycles == 0`.
+///
+/// Like the ambient queue shift itself, the contention model is one
+/// pass: demands on the egress pipe come from each client's
+/// **pre-degradation** config, and ladder actions are keyed on the
+/// delay those demands produced. Degraded clients do not shrink the
+/// schedule retroactively, so `overload.csv` readers should treat the
+/// queue column as the *triggering* contention, not a post-shed
+/// equilibrium (see the module docs).
 #[must_use]
 pub fn run_fleet(
     spec: &FleetSpec,
@@ -337,8 +361,14 @@ pub fn run_fleet(
                 _ => c.session.simulate(input, &cfg),
             };
             // The ambient queue shift: admission wait plus contention
-            // delay on top of the client's undisturbed timeline.
-            result.queue_cycles = admission_wait + drr_queue;
+            // delay on top of the client's undisturbed timeline.  A
+            // shed client's DRR delay is the park that `shed_and_resume`
+            // already charged to the resume bucket — the same
+            // wall-clock interval must not land in queue too.
+            result.queue_cycles = match action {
+                ShedAction::Shed => admission_wait,
+                _ => admission_wait + drr_queue,
+            };
             result.total_cycles += result.queue_cycles;
             result
                 .ledger()
@@ -375,7 +405,9 @@ pub fn run_fleet(
 /// and resume from the journal. The round trip through the encoded
 /// journal bytes is real — the same machinery as an outage resume —
 /// so the parked time lands in the `resume` bucket and everything
-/// delivered pre-shed survives.
+/// delivered pre-shed survives. Because the park *is* the client's
+/// DRR queue delay, [`run_fleet`] excludes that delay from the shed
+/// client's `queue_cycles` — the interval is charged exactly once.
 fn shed_and_resume(session: &Session, input: Input, config: &SimConfig, park: u64) -> SimResult {
     let base_total = session.simulate(input, config).total_cycles;
     match session.run_until(input, config, base_total / 2) {
@@ -546,9 +578,14 @@ mod tests {
         for c in &fleet.clients {
             if c.action == ShedAction::Shed {
                 // The shed session resumed from its journal: the parked
-                // time is in the resume bucket on top of the base run.
+                // time is in the resume bucket on top of the base run,
+                // and is NOT double-charged to the queue bucket.
                 assert!(c.result.outage.resumes > 0 || c.result.outage.failed_closed);
                 assert!(c.result.outage.resume_cycles >= c.drr_queue);
+                assert_eq!(
+                    c.result.queue_cycles, c.admission_wait,
+                    "a shed client's DRR delay is its park, charged once to resume"
+                );
                 assert_eq!(
                     c.result.total_cycles,
                     solo.total_cycles

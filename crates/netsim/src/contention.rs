@@ -98,6 +98,7 @@ pub fn drr_schedule(egress_cpb: u64, quantum: u64, clients: &[ClientDemand]) -> 
     loop {
         let mut sent_any = false;
         let mut backlog = false;
+        let mut arrived_backlog = false;
         for (i, c) in clients.iter().enumerate() {
             if next_unit[i] >= c.units.len() {
                 continue;
@@ -121,15 +122,20 @@ pub fn drr_schedule(egress_cpb: u64, quantum: u64, clients: &[ClientDemand]) -> 
                 deficit[i] = 0;
             } else {
                 backlog = true;
+                arrived_backlog = true;
             }
         }
         if !backlog {
             break;
         }
-        if !sent_any {
-            // Every arrived queue is empty (or all remaining units are
-            // zero-byte, which the inner loop always clears): the only
-            // backlog is future arrivals.  Jump to the next one.
+        if !sent_any && !arrived_backlog {
+            // Every arrived queue is empty: the only backlog is future
+            // arrivals, so jump to the next one.  An arrived client
+            // whose head unit still exceeds its deficit (sent_any
+            // false, arrived_backlog true) instead keeps taking
+            // zero-time rounds until its deficit covers the unit —
+            // jumping over it would idle the pipe with work waiting
+            // and break the work-conservation invariant.
             if let Some(next) = clients
                 .iter()
                 .enumerate()
@@ -247,7 +253,13 @@ impl AdmissionController {
             Ok(())
         } else {
             Err(Rejected {
-                retry_after: (period + 1) * self.period_cycles - now,
+                // Saturating: near u64::MAX the next refill boundary
+                // is unrepresentable, and a clamped (even zero)
+                // retry_after is the sane answer rather than overflow.
+                retry_after: period
+                    .saturating_add(1)
+                    .saturating_mul(self.period_cycles)
+                    .saturating_sub(now),
             })
         }
     }
@@ -444,6 +456,25 @@ mod tests {
     }
 
     #[test]
+    fn deficit_starved_head_unit_does_not_yield_to_future_arrivals() {
+        // The head unit (10_000 bytes) dwarfs the quantum (100), so
+        // the lone arrived client needs many zero-time deficit rounds
+        // before it can send.  The clock must NOT jump to the later
+        // arrival while that client is backlogged: it sends at cycle 0
+        // with zero queueing, and the late client queues behind
+        // nothing (the pipe is free again by 10_000 cycles).
+        let served = drr_schedule(
+            1,
+            100,
+            &[demand(1, 0, &[10_000]), demand(1, 50_000, &[100])],
+        );
+        assert_eq!(served[0].finish, 10_000);
+        assert_eq!(served[0].queue_cycles, 0, "work conservation: no idle jump");
+        assert_eq!(served[1].finish, 50_100);
+        assert_eq!(served[1].queue_cycles, 0);
+    }
+
+    #[test]
     fn idle_gap_jumps_to_next_arrival() {
         // Client 0 done at cycle 100; client 1 arrives at 10_000.
         let served = drr_schedule(1, 100, &[demand(1, 0, &[100]), demand(1, 10_000, &[50])]);
@@ -475,6 +506,16 @@ mod tests {
         assert!(ctl.admit(10_000).is_ok());
         assert!(ctl.admit(10_000).is_ok());
         assert!(ctl.admit(10_000).is_err());
+    }
+
+    #[test]
+    fn admission_near_u64_max_saturates_instead_of_overflowing() {
+        // period near u64::MAX / period_cycles: the next refill
+        // boundary is unrepresentable, so retry_after clamps.
+        let mut ctl = AdmissionController::new(1, 1, 2);
+        assert!(ctl.admit(u64::MAX).is_ok());
+        let rej = ctl.admit(u64::MAX).unwrap_err();
+        assert_eq!(rej.retry_after, 0, "clamped, not wrapped");
     }
 
     #[test]

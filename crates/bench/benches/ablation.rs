@@ -95,6 +95,7 @@ fn bench_execution_model(c: &mut Criterion) {
             verify: VerifyMode::Off,
             outages: None,
             replicas: None,
+            byzantine: None,
         };
         group.bench_function(label, |b| {
             b.iter(|| s.simulate(Input::Test, &config).total_cycles)

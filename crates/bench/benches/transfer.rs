@@ -53,6 +53,7 @@ fn bench_policies(c: &mut Criterion) {
                 verify: VerifyMode::Off,
                 outages: None,
                 replicas: None,
+                byzantine: None,
             };
             group.bench_function(BenchmarkId::new(label, &s.app.name), |b| {
                 b.iter(|| s.simulate(Input::Test, &config).total_cycles)
@@ -76,6 +77,7 @@ fn bench_partitioned(c: &mut Criterion) {
         verify: VerifyMode::Off,
         outages: None,
         replicas: None,
+        byzantine: None,
     };
     group.bench_function("jess_par4_dp", |b| {
         b.iter(|| s.simulate(Input::Test, &config).total_cycles)

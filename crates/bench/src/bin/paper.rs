@@ -10,6 +10,7 @@
 //! paper verify       # verification sweep: verified-prefix streaming cost
 //! paper outage       # outage sweep: session checkpoint/resume cost
 //! paper replicas     # replica sweep: mirror routing, hedging, failover
+//! paper byzantine    # byzantine sweep: manifest digests, audits, quarantine
 //! paper overload     # overload sweep: fair-share scheduling + load shedding
 //! paper csv results/ # machine-readable export of every table
 //! ```
@@ -97,6 +98,10 @@ fn main() {
             "{}",
             report::render_replica_sweep(&experiment::replica::replica_sweep(&suite))
         ),
+        "byzantine" => println!(
+            "{}",
+            report::render_byzantine_sweep(&experiment::byzantine::byzantine_sweep(&suite))
+        ),
         "overload" => println!(
             "{}",
             report::render_overload_sweep(&experiment::overload::overload_sweep(&suite))
@@ -113,7 +118,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown table {other:?}; use all|table2..table10|fig6|summary|faults|verify|outage|replicas|overload|csv"
+                "unknown table {other:?}; use all|table2..table10|fig6|summary|faults|verify|outage|replicas|byzantine|overload|csv"
             );
             std::process::exit(2);
         }

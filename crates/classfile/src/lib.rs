@@ -55,4 +55,7 @@ pub use field::FieldInfo;
 pub use layout::{ConstantPoolBreakdown, GlobalDataBreakdown, SectionSizes};
 pub use method::MethodInfo;
 pub use parser::{parse, ParseError};
-pub use stream::{stream_units, StreamError, StreamEvent, StreamLoader, METHOD_DELIMITER};
+pub use stream::{
+    stream_digests, stream_units, unit_digest, StreamError, StreamEvent, StreamLoader,
+    METHOD_DELIMITER,
+};

@@ -203,6 +203,44 @@ pub fn stream_units(class: &ClassFile) -> Result<Vec<Vec<u8>>, ClassFileError> {
     Ok(units)
 }
 
+/// Content-addressed digest of one transfer unit: FNV-1a 64 over the
+/// unit's bytes, domain-separated by the unit's stream index so two
+/// byte-identical units at different positions digest differently. This
+/// is the per-unit fingerprint a transfer manifest publishes; a
+/// receiver recomputing it over delivered bytes detects a mirror
+/// serving stale or equivocating content at the unit boundary.
+#[must_use]
+pub fn unit_digest(index: usize, bytes: &[u8]) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    for b in (index as u64)
+        .to_le_bytes()
+        .into_iter()
+        .chain(bytes.iter().copied())
+    {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Per-unit content digests of a class's non-strict stream, in unit
+/// order: index 0 is the prelude, indices `1..=M` the delimiter-closed
+/// method units. These are the entries a content-addressed unit
+/// manifest carries for the class.
+///
+/// # Errors
+///
+/// Propagates serialization failures from [`stream_units`].
+pub fn stream_digests(class: &ClassFile) -> Result<Vec<u64>, ClassFileError> {
+    Ok(stream_units(class)?
+        .iter()
+        .enumerate()
+        .map(|(i, u)| unit_digest(i, u))
+        .collect())
+}
+
 /// Everything the prelude carries; held until [`StreamLoader::finish`]
 /// reassembles the class.
 struct PreludeParts {
@@ -703,6 +741,31 @@ mod tests {
             loader.feed(unit).unwrap();
             assert_eq!(loader.units_received(), i + 1);
         }
+    }
+
+    #[test]
+    fn unit_digests_are_content_addressed_and_position_separated() {
+        let class = sample();
+        let units = stream_units(&class).unwrap();
+        let digests = stream_digests(&class).unwrap();
+        assert_eq!(digests.len(), units.len());
+        // Deterministic: same bytes, same digest.
+        assert_eq!(digests, stream_digests(&class).unwrap());
+        // Content-addressed: any single byte flip moves the digest.
+        for (i, unit) in units.iter().enumerate() {
+            for pos in [0, unit.len() / 2, unit.len() - 1] {
+                let mut tampered = unit.clone();
+                tampered[pos] ^= 0x01;
+                assert_ne!(
+                    unit_digest(i, &tampered),
+                    digests[i],
+                    "flip at unit {i} byte {pos} went undetected"
+                );
+            }
+        }
+        // Position-separated: identical bytes at different stream
+        // indices digest differently.
+        assert_ne!(unit_digest(0, &units[1]), unit_digest(1, &units[1]));
     }
 
     #[test]

@@ -27,10 +27,11 @@ use nonstrict_classfile::{Attribute, GlobalDataBreakdown};
 use nonstrict_core::fleet::{run_fleet, AdmissionSettings, FleetClient, FleetSpec};
 use nonstrict_core::metrics::{cycles_to_seconds, normalized_percent, queue_share_percent};
 use nonstrict_core::model::{
-    DataLayout, ExecutionModel, FaultConfig, OrderingSource, OutageConfig, ReplicaConfig,
-    SimConfig, TransferPolicy, VerifyMode,
+    ByzantineConfig, DataLayout, ExecutionModel, FaultConfig, OrderingSource, OutageConfig,
+    ReplicaConfig, SimConfig, TransferPolicy, VerifyMode,
 };
 use nonstrict_core::sim::{RunOutcome, Session};
+use nonstrict_netsim::byzantine::ByzantineMode;
 use nonstrict_netsim::{Link, ShedAction, ShedLadder};
 use nonstrict_reorder::{partition_app, static_first_use, static_first_use_plain};
 
@@ -80,6 +81,9 @@ USAGE:
                                  [--journal PATH] [--interrupt CYCLE]
                                  [--replicas N] [--replica-spread PPM]
                                  [--hedge-deadline CYCLES]
+                                 [--byzantine-mirrors N] [--byzantine-seed N]
+                                 [--byzantine-mode stale-epoch|equivocate|collude]
+                                 [--audit-rate PPM]
                                  [--clients N] [--client-spread PPM]
                                  [--admit-rate N] [--shed-ladder off|H,S,J]
   nonstrict timeline <benchmark> [--link t1|modem] [--ordering scg|train|test]
@@ -94,6 +98,17 @@ the per-mirror bandwidth droop (ppm) and --hedge-deadline the stall
 budget before a duplicate fetch goes to the runner-up mirror. Both
 tuning flags require --replicas 2 or more; --replicas 1 is byte-
 identical to no replica flags at all.
+
+Byzantine mirrors: --byzantine-mirrors N turns the N highest-numbered
+mirrors of the replica set dishonest (at most --replicas - 1, so the
+origin-pinned manifest always has an honest source to fail over to);
+--byzantine-mode picks how they misbehave (stale-epoch: keep serving
+the pre-restructure layout past the epoch fence; equivocate: serve
+divergent bytes the per-unit manifest digest catches at the unit
+boundary; collude: forge digests so only cross-mirror audits catch
+them); --byzantine-seed seeds the misbehavior plan and --audit-rate
+sets the cross-mirror audit sampling rate in ppm of delivered units.
+--byzantine-mirrors 0 is byte-identical to no byzantine flags at all.
 
 Fleets: --clients N runs N concurrent sessions (the named benchmark
 first, the rest cycling through the suite) behind one shared T1 egress
@@ -285,6 +300,74 @@ impl Flags {
         Ok(Some(rc))
     }
 
+    /// The Byzantine-fleet settings from `--byzantine-mirrors/
+    /// --byzantine-mode/--byzantine-seed/--audit-rate`, or `None` when
+    /// no mirror misbehaves. The flags model mirrors subverting a
+    /// replica set, so all of them require `--replicas 2` or more, and
+    /// at least one mirror must stay honest (the origin-pinned
+    /// manifest's refetch path needs somewhere to fail over to).
+    fn byzantine_config(
+        &self,
+        replicas: Option<&ReplicaConfig>,
+    ) -> Result<Option<ByzantineConfig>, CliError> {
+        let mirrors: Option<u32> = self.num_opt("byzantine-mirrors")?;
+        let seed: Option<u64> = self.num_opt("byzantine-seed")?;
+        let mode_arg = self.get("byzantine-mode");
+        let audit: Option<u32> = self.num_opt("audit-rate")?;
+        let tuning_flag = [
+            seed.map(|_| "--byzantine-seed"),
+            mode_arg.map(|_| "--byzantine-mode"),
+            audit.map(|_| "--audit-rate"),
+        ]
+        .into_iter()
+        .flatten()
+        .next();
+        let Some(n) = mirrors else {
+            if let Some(flag) = tuning_flag {
+                return Err(CliError::usage(format!(
+                    "{flag} only makes sense with --byzantine-mirrors 1 or more"
+                )));
+            }
+            return Ok(None);
+        };
+        let fleet = replicas.map_or(0, |rc| rc.replicas);
+        if fleet < 2 {
+            return Err(CliError::usage(
+                "--byzantine-mirrors needs a replica set to subvert: give --replicas 2 or more",
+            ));
+        }
+        if n >= fleet {
+            return Err(CliError::usage(format!(
+                "--byzantine-mirrors expects at most --replicas - 1 (at least one honest mirror), \
+                 got {n} of {fleet}"
+            )));
+        }
+        if n == 0 {
+            // An explicitly honest fleet: the flag was given, so the
+            // tuning knobs are legal, but the config normalizes away.
+            return Ok(Some(ByzantineConfig::seeded(seed.unwrap_or(0))));
+        }
+        let mode = match mode_arg {
+            None => ByzantineMode::Equivocate,
+            Some(v) => ByzantineMode::parse(v).ok_or_else(|| {
+                CliError::usage(format!(
+                    "unknown byzantine mode {v:?}; use stale-epoch|equivocate|collude"
+                ))
+            })?,
+        };
+        let audit_rate_pm = audit.unwrap_or(ByzantineConfig::DEFAULT_AUDIT_RATE_PM);
+        if audit_rate_pm > 1_000_000 {
+            return Err(CliError::usage(format!(
+                "--audit-rate is in ppm of delivered units (0..=1000000), got {audit_rate_pm}"
+            )));
+        }
+        let mut bc = ByzantineConfig::seeded(seed.unwrap_or(0));
+        bc.mirrors = n;
+        bc.mode = mode;
+        bc.audit_rate_pm = audit_rate_pm;
+        Ok(Some(bc))
+    }
+
     /// The fleet settings from `--clients/--client-spread/--admit-rate/
     /// --shed-ladder`, or `None` when no fleet flag was given. The
     /// tuning flags are meaningless without contention, so giving any
@@ -391,7 +474,7 @@ struct FleetSettings {
 const BOOL_KEYS: [&str; 2] = ["partitioned", "strict-execution"];
 
 /// Keys that take a value.
-const VALUE_KEYS: [&str; 25] = [
+const VALUE_KEYS: [&str; 29] = [
     "class",
     "method",
     "source",
@@ -413,6 +496,10 @@ const VALUE_KEYS: [&str; 25] = [
     "replicas",
     "replica-spread",
     "hedge-deadline",
+    "byzantine-seed",
+    "byzantine-mirrors",
+    "byzantine-mode",
+    "audit-rate",
     "clients",
     "client-spread",
     "admit-rate",
@@ -684,6 +771,11 @@ fn cmd_simulate(flags: &Flags) -> Result<String, CliError> {
         verify: flags.verify_mode()?,
         outages: flags.outage_config()?,
         replicas: flags.replica_config()?,
+        byzantine: None,
+    };
+    let config = SimConfig {
+        byzantine: flags.byzantine_config(config.replicas.as_ref())?,
+        ..config
     };
 
     if let Some(fs) = flags.fleet_settings()? {
@@ -878,22 +970,64 @@ fn cmd_simulate(flags: &Flags) -> Result<String, CliError> {
                 ""
             }
         );
-        let _ = writeln!(
-            out,
-            "  {:<10} {:>8} {:>7} {:>10} {:>8} {:>8} {:>6}",
-            "mirror", "health", "units", "bytes", "retries", "outages", "state"
-        );
-        for (i, h) in rep.health.iter().take(rep.replicas as usize).enumerate() {
+        if let Some(bc) = config.active_byzantine() {
+            let ist = &r.integrity;
             let _ = writeln!(
                 out,
-                "  {:<10} {:>7.1}% {:>7} {:>10} {:>8} {:>8} {:>6}",
+                "  byzantine:          {} of {} mirrors dishonest ({}), audit rate {} ppm",
+                bc.mirrors,
+                rep.replicas,
+                bc.mode.label(),
+                bc.audit_rate_pm
+            );
+            let _ = writeln!(
+                out,
+                "  integrity:          {} manifest pins, {} digest checks, {} divergent units ({} undetected), {} audits ({} mismatched), {} quarantines",
+                ist.manifest_pins,
+                ist.digest_checks,
+                ist.divergent_units,
+                ist.undetected_units,
+                ist.audits,
+                ist.audit_mismatches,
+                ist.quarantines
+            );
+            let _ = writeln!(
+                out,
+                "  integrity cost:     {:>12} cycles ({:.2}% of total); {} fence refetches, {} bytes refetched",
+                ist.integrity_cycles,
+                nonstrict_core::metrics::integrity_share_percent(
+                    ist.integrity_cycles,
+                    r.total_cycles
+                ),
+                ist.fence_refetches,
+                ist.refetched_bytes
+            );
+        }
+        let armed = config.active_byzantine().is_some();
+        let _ = writeln!(
+            out,
+            "  {:<10} {:>8} {:>7} {:>10} {:>8} {:>8} {:>6} {:>6}",
+            "mirror", "health", "units", "bytes", "retries", "outages", "equiv", "state"
+        );
+        for (i, h) in rep.health.iter().take(rep.replicas as usize).enumerate() {
+            let state = if h.quarantined && armed {
+                "quar"
+            } else if h.alive {
+                "live"
+            } else {
+                "dead"
+            };
+            let _ = writeln!(
+                out,
+                "  {:<10} {:>7.1}% {:>7} {:>10} {:>8} {:>8} {:>6} {:>6}",
                 format!("mirror {i}"),
                 f64::from(h.health_ppm) / 10_000.0,
                 h.units_served,
                 h.bytes_served,
                 h.retries,
                 h.outage_hits,
-                if h.alive { "live" } else { "dead" }
+                h.equivocations,
+                state
             );
         }
     }

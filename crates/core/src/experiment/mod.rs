@@ -4,6 +4,7 @@
 //! structured rows; [`crate::report`] renders them next to the paper's
 //! published numbers ([`paper`]).
 
+pub mod byzantine;
 pub mod faults;
 pub mod outage;
 pub mod overload;
@@ -235,6 +236,7 @@ pub fn parallel_table(suite: &Suite, link: Link, data_layout: DataLayout) -> Par
                         verify: VerifyMode::Off,
                         outages: None,
                         replicas: None,
+                        byzantine: None,
                     };
                     cells[o][l] = suite.normalized(s, &config);
                 }
@@ -300,6 +302,7 @@ pub fn interleaved_table(suite: &Suite, data_layout: DataLayout) -> InterleavedT
                         verify: VerifyMode::Off,
                         outages: None,
                         replicas: None,
+                        byzantine: None,
                     };
                     cols[k * 3 + o] = suite.normalized(s, &config);
                 }
@@ -394,6 +397,7 @@ pub fn table10(suite: &Suite) -> (InterleavedTable, InterleavedTable) {
                         verify: VerifyMode::Off,
                         outages: None,
                         replicas: None,
+                        byzantine: None,
                     };
                     cols[k * 3 + o] = suite.normalized(s, &config);
                 }

@@ -224,13 +224,13 @@ pub fn export_csv(suite: &Suite, dir: &Path) -> io::Result<Vec<PathBuf>> {
     emit("fig6.csv", fig)?;
 
     // Every accounting bucket, appended to each robustness CSV in the
-    // same order (the ledger is exact: the seven buckets sum to
+    // same order (the ledger is exact: the eight buckets sum to
     // total_cycles).
-    let bucket_header = ",total_cycles,exec_cycles,stall_cycles,recovery_cycles,verify_cycles,resume_cycles,hedge_cycles,queue_cycles\n";
+    let bucket_header = ",total_cycles,exec_cycles,stall_cycles,recovery_cycles,verify_cycles,resume_cycles,hedge_cycles,queue_cycles,integrity_cycles\n";
     let bucket_cols = |total: u64, l: &crate::metrics::CycleLedger| -> String {
         format!(
-            ",{},{},{},{},{},{},{},{}\n",
-            total, l.exec, l.stall, l.recovery, l.verify, l.resume, l.hedge, l.queue
+            ",{},{},{},{},{},{},{},{},{}\n",
+            total, l.exec, l.stall, l.recovery, l.verify, l.resume, l.hedge, l.queue, l.integrity
         )
     };
 
@@ -330,6 +330,39 @@ pub fn export_csv(suite: &Suite, dir: &Path) -> io::Result<Vec<PathBuf>> {
     }
     emit("replica.csv", rp)?;
 
+    // Byzantine sweep (robustness extension; no paper column — the
+    // original evaluation assumes every mirror serves the published
+    // bytes).
+    let mut bz = String::from(
+        "program,link,replicas,byzantine,mode,audit_rate_ppm,normalized_pct,integrity_share_pct,manifest_pins,digest_checks,divergent_units,undetected_units,audits,audit_mismatches,quarantines,fence_refetches,refetched_bytes,completed",
+    );
+    bz.push_str(bucket_header);
+    for r in experiment::byzantine::byzantine_sweep(suite) {
+        bz.push_str(&format!(
+            "{},{},{},{},{},{},{:.1},{:.2},{},{},{},{},{},{},{},{},{},{}",
+            r.name,
+            r.link.name,
+            r.replicas,
+            r.byzantine,
+            r.mode.label(),
+            r.audit_rate_pm,
+            r.normalized,
+            r.integrity_share,
+            r.manifest_pins,
+            r.digest_checks,
+            r.divergent_units,
+            r.undetected_units,
+            r.audits,
+            r.audit_mismatches,
+            r.quarantines,
+            r.fence_refetches,
+            r.refetched_bytes,
+            r.completed
+        ));
+        bz.push_str(&bucket_cols(r.total_cycles, &r.ledger));
+    }
+    emit("byzantine.csv", bz)?;
+
     // Overload sweep (robustness extension; no paper column — the
     // original evaluation assumes one client per server).
     let mut ov = String::from(
@@ -372,7 +405,7 @@ mod tests {
         };
         let dir = std::env::temp_dir().join(format!("nonstrict-export-{}", std::process::id()));
         let files = export_csv(&suite, &dir).unwrap();
-        assert_eq!(files.len(), 16);
+        assert_eq!(files.len(), 17);
         for f in &files {
             let content = fs::read_to_string(f).unwrap();
             let mut lines = content.lines();

@@ -267,6 +267,7 @@ fn degraded_config(base: &SimConfig, action: ShedAction) -> SimConfig {
                 rc.hedge_deadline_cycles = 0;
                 SimConfig {
                     replicas: Some(rc),
+                    byzantine: None,
                     ..*base
                 }
             }

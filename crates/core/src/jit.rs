@@ -237,6 +237,7 @@ mod tests {
                 verify: crate::model::VerifyMode::Off,
                 outages: None,
                 replicas: None,
+                byzantine: None,
             },
         );
         assert_eq!(r.total_cycles, plain.total_cycles);

@@ -30,9 +30,11 @@ use nonstrict_netsim::crc32;
 pub const JOURNAL_MAGIC: [u8; 4] = *b"NSJR";
 
 /// Current wire-format version. Version 2 added the hedge-cycle ledger
-/// entry and the per-fetch serving-replica tag; older journals fail
-/// closed, which is the safe reading of a format we no longer write.
-pub const JOURNAL_VERSION: u16 = 2;
+/// entry and the per-fetch serving-replica tag; version 3 added the
+/// integrity-cycle ledger entry and the pinned unit-manifest digest.
+/// Older journals fail closed, which is the safe reading of a format we
+/// no longer write.
+pub const JOURNAL_VERSION: u16 = 3;
 
 /// Why a journal could not be trusted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -154,6 +156,12 @@ pub struct SessionJournal {
     /// Whole-manifest epoch: the combined fingerprint of every class
     /// epoch. Fast path — if it matches, no class can be stale.
     pub manifest_epoch: u64,
+    /// Pinned unit-manifest digest: the CRC fingerprint of the
+    /// content-addressed unit manifest the session pinned from the
+    /// origin (zero when no byzantine protection is armed). A reconnect
+    /// compares it against the origin's current manifest and re-pins on
+    /// mismatch before trusting any further digest check.
+    pub manifest_digest: u32,
     /// Index of the next trace event to replay.
     pub next_event: u64,
     /// Base-timeline clock at the checkpoint.
@@ -171,6 +179,9 @@ pub struct SessionJournal {
     /// Hedging cycles (deadline waits plus issue/cancel overhead) so
     /// far.
     pub hedge_cycles: u64,
+    /// Integrity cycles (manifest pinning, digest-mismatch refetches,
+    /// audit arbitration, fence re-pins) so far.
+    pub integrity_cycles: u64,
     /// Stall-event count so far.
     pub stalls: u32,
     /// Outages survived so far.
@@ -365,6 +376,7 @@ impl SessionJournal {
         w.buf.extend_from_slice(&JOURNAL_MAGIC);
         w.u16(JOURNAL_VERSION);
         w.u64(self.manifest_epoch);
+        w.u32(self.manifest_digest);
         w.u64(self.next_event);
         w.u64(self.clock);
         w.u64(self.exec_cycles);
@@ -373,6 +385,7 @@ impl SessionJournal {
         w.u64(self.verify_cycles);
         w.u64(self.resume_cycles);
         w.u64(self.hedge_cycles);
+        w.u64(self.integrity_cycles);
         w.u32(self.stalls);
         w.u32(self.outages);
         w.u32(self.resumes);
@@ -432,6 +445,7 @@ impl SessionJournal {
             return Err(JournalError::BadVersion(version));
         }
         let manifest_epoch = r.u64()?;
+        let manifest_digest = r.u32()?;
         let next_event = r.u64()?;
         let clock = r.u64()?;
         let exec_cycles = r.u64()?;
@@ -440,6 +454,7 @@ impl SessionJournal {
         let verify_cycles = r.u64()?;
         let resume_cycles = r.u64()?;
         let hedge_cycles = r.u64()?;
+        let integrity_cycles = r.u64()?;
         let stalls = r.u32()?;
         let outages = r.u32()?;
         let resumes = r.u32()?;
@@ -499,6 +514,7 @@ impl SessionJournal {
         }
         Ok(SessionJournal {
             manifest_epoch,
+            manifest_digest,
             next_event,
             clock,
             exec_cycles,
@@ -507,6 +523,7 @@ impl SessionJournal {
             verify_cycles,
             resume_cycles,
             hedge_cycles,
+            integrity_cycles,
             stalls,
             outages,
             resumes,
@@ -526,6 +543,7 @@ mod tests {
     fn sample() -> SessionJournal {
         SessionJournal {
             manifest_epoch: 0xdead_beef_cafe_0042,
+            manifest_digest: 0x5eed_d1e5,
             next_event: 17,
             clock: 1_234_567,
             exec_cycles: 900_000,
@@ -534,6 +552,7 @@ mod tests {
             verify_cycles: 4_000,
             resume_cycles: 567,
             hedge_cycles: 1_200,
+            integrity_cycles: 9_800,
             stalls: 9,
             outages: 2,
             resumes: 2,
@@ -619,6 +638,20 @@ mod tests {
         assert!(
             SessionJournal::decode(&padded).is_err(),
             "appended garbage went undetected"
+        );
+    }
+
+    #[test]
+    fn older_journal_versions_fail_closed() {
+        let mut bytes = sample().encode();
+        bytes[4] = 2; // low byte of the little-endian version field
+        let n = bytes.len();
+        let crc = crc32(&bytes[..n - 4]);
+        bytes[n - 4..].copy_from_slice(&crc.to_le_bytes());
+        assert_eq!(
+            SessionJournal::decode(&bytes),
+            Err(JournalError::BadVersion(2)),
+            "a v2 journal lacks the pinned manifest digest; reading it as v3 would misparse"
         );
     }
 

@@ -20,6 +20,10 @@
 //!   delivered/verified watermarks plus a CRC'd manifest epoch, with
 //!   torn-write detection and the reconnect negotiation that decides
 //!   between resume, targeted invalidation, and fail-closed restart.
+//! * [`manifest`] — the content-addressed unit manifest the
+//!   Byzantine-tolerant transfer layer pins from the origin before any
+//!   unit flows: per-unit digests bound to the restructure epoch,
+//!   framed fail-closed like the journal.
 //! * [`fleet`] — the multi-client fleet driver: N sessions behind one
 //!   server egress pipe with token-bucket admission, deficit-round-
 //!   robin fair sharing, the load-shed ladder, and the exact seventh
@@ -43,6 +47,7 @@ pub mod fleet;
 pub mod jit;
 pub mod journal;
 pub mod linker;
+pub mod manifest;
 pub mod metrics;
 pub mod model;
 pub mod report;
@@ -50,12 +55,13 @@ pub mod sim;
 
 pub use fleet::{run_fleet, AdmissionSettings, ClientOutcome, FleetClient, FleetResult, FleetSpec};
 pub use journal::{negotiate, JournalError, Negotiation, SessionJournal, SessionManifest};
+pub use manifest::{ManifestError, UnitManifest, MANIFEST_MAGIC, MANIFEST_VERSION};
 pub use metrics::CycleLedger;
 pub use model::{
-    DataLayout, ExecutionModel, FaultConfig, OrderingSource, OutageConfig, ReplicaConfig,
-    ReplicaKill, SimConfig, TransferPolicy, VerifyMode,
+    ByzantineConfig, DataLayout, ExecutionModel, FaultConfig, OrderingSource, OutageConfig,
+    ReplicaConfig, ReplicaKill, SimConfig, TransferPolicy, VerifyMode,
 };
 pub use sim::{
-    simulate, FaultSummary, InterruptSpec, OutageSummary, ReplicaSummary, RunOutcome, Session,
-    SimResult, VERIFY_CYCLES_PER_GLOBAL_BYTE,
+    simulate, FaultSummary, IntegritySummary, InterruptSpec, OutageSummary, ReplicaSummary,
+    RunOutcome, Session, SimResult, VERIFY_CYCLES_PER_GLOBAL_BYTE,
 };

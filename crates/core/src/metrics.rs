@@ -90,6 +90,19 @@ pub fn queue_share_percent(queue_cycles: u64, total_cycles: u64) -> f64 {
     100.0 * queue_cycles as f64 / total_cycles as f64
 }
 
+/// Share of the run's total time spent on transfer integrity —
+/// manifest pinning, digest-mismatch refetches, cross-mirror audit
+/// arbitration, and epoch-fence refetches — as a percent. Zero when no
+/// Byzantine protection is armed; the byzantine report's headline
+/// column.
+#[must_use]
+pub fn integrity_share_percent(integrity_cycles: u64, total_cycles: u64) -> f64 {
+    if total_cycles == 0 {
+        return 0.0;
+    }
+    100.0 * integrity_cycles as f64 / total_cycles as f64
+}
+
 /// Nearest-rank percentile of `sorted` (ascending), `p` in `[0, 100]`.
 /// Returns 0 for an empty slice. `p50`/`p95`/`p99` of per-client fleet
 /// totals are reported with this.
@@ -104,10 +117,10 @@ pub fn percentile(sorted: &[u64], p: u32) -> u64 {
     sorted[rank - 1]
 }
 
-/// The seven exact accounting buckets of one run. Every cycle of a
+/// The eight exact accounting buckets of one run. Every cycle of a
 /// session's total lands in exactly one bucket:
 ///
-/// `total = exec + stall + recovery + verify + resume + hedge + queue`
+/// `total = exec + stall + recovery + verify + resume + hedge + queue + integrity`
 ///
 /// The identity is debug-asserted at every place a total is formed via
 /// [`CycleLedger::assert_exact`], so a new bucket is added in exactly
@@ -116,8 +129,8 @@ pub fn percentile(sorted: &[u64], p: u32) -> u64 {
 pub struct CycleLedger {
     /// Pure execution cycles.
     pub exec: u64,
-    /// Transfer-wait stall cycles (fault, outage, hedge, and queue
-    /// shares split out into their own buckets).
+    /// Transfer-wait stall cycles (fault, outage, hedge, queue, and
+    /// integrity shares split out into their own buckets).
     pub stall: u64,
     /// Fault-recovery cycles.
     pub recovery: u64,
@@ -129,23 +142,34 @@ pub struct CycleLedger {
     pub hedge: u64,
     /// Server-egress queueing delay plus admission backoff wait.
     pub queue: u64,
+    /// Byzantine-protection cycles: manifest pinning, per-unit digest
+    /// mismatch refetches, cross-mirror audit arbitration, and
+    /// epoch-fence refetches.
+    pub integrity: u64,
 }
 
 impl CycleLedger {
-    /// The sum of all seven buckets.
+    /// The sum of all eight buckets.
     #[must_use]
     pub fn total(&self) -> u64 {
-        self.exec + self.stall + self.recovery + self.verify + self.resume + self.hedge + self.queue
+        self.exec
+            + self.stall
+            + self.recovery
+            + self.verify
+            + self.resume
+            + self.hedge
+            + self.queue
+            + self.integrity
     }
 
-    /// Debug-asserts that `total` is exactly the seven-bucket sum.
+    /// Debug-asserts that `total` is exactly the eight-bucket sum.
     /// `context` names the call site in the failure message.
     pub fn assert_exact(&self, total: u64, context: &str) {
         debug_assert_eq!(
             total,
             self.total(),
             "{context}: total = exec + stall + recovery + verify + resume + hedge + queue \
-             ({} + {} + {} + {} + {} + {} + {})",
+             + integrity ({} + {} + {} + {} + {} + {} + {} + {})",
             self.exec,
             self.stall,
             self.recovery,
@@ -153,6 +177,7 @@ impl CycleLedger {
             self.resume,
             self.hedge,
             self.queue,
+            self.integrity,
         );
         let _ = (total, context);
     }
@@ -204,6 +229,8 @@ mod tests {
         assert_eq!(resume_share_percent(5, 0), 0.0);
         assert!((hedge_share_percent(50, 1_000) - 5.0).abs() < 1e-12);
         assert_eq!(hedge_share_percent(5, 0), 0.0);
+        assert!((integrity_share_percent(80, 1_000) - 8.0).abs() < 1e-12);
+        assert_eq!(integrity_share_percent(5, 0), 0.0);
         assert_eq!(completion_rate_percent(0, 0), 100.0);
         assert!((completion_rate_percent(3, 4) - 75.0).abs() < 1e-12);
     }
@@ -233,9 +260,10 @@ mod tests {
             resume: 5,
             hedge: 6,
             queue: 7,
+            integrity: 8,
         };
-        assert_eq!(l.total(), 28);
-        l.assert_exact(28, "test");
+        assert_eq!(l.total(), 36);
+        l.assert_exact(36, "test");
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Simulation configuration: the paper's design space as one type.
 
+use nonstrict_netsim::byzantine::{ByzantineMode, ByzantinePlan};
 use nonstrict_netsim::faults::FaultPlan;
 use nonstrict_netsim::outage::OutagePlan;
 use nonstrict_netsim::replica::{replica_seed, ReplicaProfile, MAX_REPLICAS};
@@ -356,6 +357,71 @@ impl ReplicaConfig {
     }
 }
 
+/// Byzantine-misbehavior injection settings: how many of the replica
+/// set's mirrors serve wrong bytes, in which way, and how aggressively
+/// the client cross-audits the fleet. Only meaningful layered on an
+/// active [`ReplicaConfig`]; stays `Copy`, `Eq`, and `Hash` like the
+/// rest of [`SimConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ByzantineConfig {
+    /// Seed for every misbehavior and audit draw; same seed, same
+    /// divergences, bit for bit.
+    pub seed: u64,
+    /// Number of misbehaving mirrors. The *highest-indexed* `mirrors`
+    /// replicas of the set misbehave, so mirror 0 (the base-seed
+    /// origin) stays honest whenever `mirrors < replicas`. 0 is an
+    /// all-honest fleet: byte-identical to no byzantine config at all,
+    /// at any audit rate.
+    pub mirrors: u32,
+    /// What the misbehaving mirrors do.
+    pub mode: ByzantineMode,
+    /// Cross-mirror audit sampling rate (ppm): the fraction of units
+    /// re-fetched from a second mirror and compared byte-for-byte,
+    /// which is the only defense that catches manifest-colluding
+    /// mirrors.
+    pub audit_rate_pm: u32,
+}
+
+impl ByzantineConfig {
+    /// Default cross-mirror audit rate: 5% of units.
+    pub const DEFAULT_AUDIT_RATE_PM: u32 = 50_000;
+
+    /// A byzantine config with zero misbehaving mirrors under `seed` —
+    /// the manifest layer is described but never armed.
+    #[must_use]
+    pub fn seeded(seed: u64) -> ByzantineConfig {
+        ByzantineConfig {
+            seed,
+            mirrors: 0,
+            mode: ByzantineMode::default(),
+            audit_rate_pm: Self::DEFAULT_AUDIT_RATE_PM,
+        }
+    }
+
+    /// Whether any mirror can actually misbehave. An inactive config
+    /// arms no manifest layer, charges no integrity cycles, and
+    /// perturbs no timeline: results are byte-identical to an honest
+    /// fleet.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.mirrors >= 1
+    }
+
+    /// The netsim-level realization of this config. `manifest_bytes`
+    /// is the wire size of the session's unit manifest, which the
+    /// client re-pins after an epoch fence.
+    #[must_use]
+    pub fn plan(&self, manifest_bytes: u64) -> ByzantinePlan {
+        ByzantinePlan {
+            seed: self.seed,
+            byzantine: self.mirrors,
+            mode: self.mode,
+            audit_rate_pm: self.audit_rate_pm,
+            manifest_bytes,
+        }
+    }
+}
+
 /// When class-file verification runs and how much of it gates
 /// execution (§3.1.1's five-step check mapped onto the stream).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -422,6 +488,10 @@ pub struct SimConfig {
     /// Replica-set transfer; `None` (or a one-mirror config) is the
     /// single origin server.
     pub replicas: Option<ReplicaConfig>,
+    /// Byzantine-misbehavior injection over the replica set; `None`
+    /// (or a zero-mirror config, or no active replica set to misbehave
+    /// in) is an honest fleet with no manifest layer armed.
+    pub byzantine: Option<ByzantineConfig>,
 }
 
 impl SimConfig {
@@ -440,6 +510,7 @@ impl SimConfig {
             verify: VerifyMode::Off,
             outages: None,
             replicas: None,
+            byzantine: None,
         }
     }
 
@@ -457,6 +528,7 @@ impl SimConfig {
             verify: VerifyMode::Off,
             outages: None,
             replicas: None,
+            byzantine: None,
         }
     }
 
@@ -488,6 +560,14 @@ impl SimConfig {
         self
     }
 
+    /// This configuration with byzantine misbehavior injected into the
+    /// replica set.
+    #[must_use]
+    pub fn with_byzantine(mut self, byzantine: ByzantineConfig) -> Self {
+        self.byzantine = Some(byzantine);
+        self
+    }
+
     /// The fault config, if it can actually perturb the run. An
     /// all-zero config is normalized away here so every consumer treats
     /// it exactly like `None`.
@@ -512,6 +592,17 @@ impl SimConfig {
     #[must_use]
     pub fn active_replicas(&self) -> Option<ReplicaConfig> {
         self.replicas.filter(ReplicaConfig::is_active)
+    }
+
+    /// The byzantine config, if a mirror can actually misbehave. A
+    /// zero-mirror config — or any byzantine config without an active
+    /// replica set to misbehave inside — is normalized away here so
+    /// every consumer treats it exactly like `None`: honest-fleet runs
+    /// stay byte-identical to the committed results at any audit rate.
+    #[must_use]
+    pub fn active_byzantine(&self) -> Option<ByzantineConfig> {
+        self.active_replicas()?;
+        self.byzantine.filter(ByzantineConfig::is_active)
     }
 
     /// Whether this is the no-overlap strict baseline.
@@ -661,6 +752,53 @@ mod tests {
         let profiles = rc.profiles(&SimConfig::strict(Link::T1));
         assert_eq!(profiles[0].dead_from, Some(500));
         assert_eq!(profiles[1].dead_from, None);
+    }
+
+    #[test]
+    fn inactive_byzantine_configs_are_normalized_away() {
+        let honest = ByzantineConfig::seeded(42);
+        assert!(!honest.is_active());
+        let mut rc = ReplicaConfig::seeded(7);
+        rc.replicas = 3;
+        let cfg = SimConfig::strict(Link::T1)
+            .with_replicas(rc)
+            .with_byzantine(honest);
+        assert_eq!(
+            cfg.active_byzantine(),
+            None,
+            "zero misbehaving mirrors is an honest fleet"
+        );
+        let mut byz = honest;
+        byz.mirrors = 1;
+        assert_eq!(cfg.with_byzantine(byz).active_byzantine(), Some(byz));
+    }
+
+    #[test]
+    fn byzantine_without_an_active_replica_set_is_inert() {
+        let mut byz = ByzantineConfig::seeded(3);
+        byz.mirrors = 2;
+        let solo = SimConfig::strict(Link::T1).with_byzantine(byz);
+        assert_eq!(
+            solo.active_byzantine(),
+            None,
+            "no replica set means no mirrors to misbehave"
+        );
+        let one_mirror = solo.with_replicas(ReplicaConfig::seeded(7));
+        assert_eq!(one_mirror.active_byzantine(), None);
+    }
+
+    #[test]
+    fn byzantine_config_lowers_to_a_matching_plan() {
+        let mut bc = ByzantineConfig::seeded(11);
+        bc.mirrors = 2;
+        bc.mode = ByzantineMode::Collude;
+        bc.audit_rate_pm = 125_000;
+        let plan = bc.plan(4_096);
+        assert_eq!(plan.seed, 11);
+        assert_eq!(plan.byzantine, 2);
+        assert_eq!(plan.mode, ByzantineMode::Collude);
+        assert_eq!(plan.audit_rate_pm, 125_000);
+        assert_eq!(plan.manifest_bytes, 4_096);
     }
 
     #[test]

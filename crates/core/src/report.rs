@@ -519,6 +519,69 @@ pub fn render_replica_sweep(rows: &[crate::experiment::replica::ReplicaRow]) -> 
     out
 }
 
+/// Renders the byzantine sweep: manifest digest checks, cross-mirror
+/// audits, and quarantine-plus-refetch against dishonest mirrors. Not
+/// part of [`render_all`], which reproduces only the paper's
+/// trusted-network tables.
+#[must_use]
+pub fn render_byzantine_sweep(rows: &[crate::experiment::byzantine::ByzantineRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Byzantine sweep: content-addressed manifests vs dishonest mirrors (non-strict par(4), SCG, honest primary killed early)"
+    );
+    let _ = writeln!(
+        out,
+        "{:8} {:>6} {:>7} {:>4} {:>11} {:>9} {:>7} {:>7} {:>8} {:>6} {:>7} {:>5} {:>6} {:>7}",
+        "Program",
+        "link",
+        "mirrors",
+        "byz",
+        "mode",
+        "audit ppm",
+        "norm%",
+        "integ%",
+        "diverge",
+        "undet",
+        "audits",
+        "quar",
+        "fence",
+        "refetch"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:8} {:>6} {:>7} {:>4} {:>11} {:>9} {:>7.1} {:>7.2} {:>8} {:>6} {:>7} {:>5} {:>6} {:>7}",
+            r.name,
+            r.link.name,
+            r.replicas,
+            r.byzantine,
+            r.mode.label(),
+            r.audit_rate_pm,
+            r.normalized,
+            r.integrity_share,
+            r.divergent_units,
+            r.undetected_units,
+            r.audits,
+            r.quarantines,
+            r.fence_refetches,
+            r.refetched_bytes
+        );
+    }
+    let divergent: u64 = rows.iter().map(|r| r.divergent_units).sum();
+    let undetected: u64 = rows.iter().map(|r| r.undetected_units).sum();
+    let quarantines: u32 = rows.iter().map(|r| r.quarantines).sum();
+    let _ = writeln!(
+        out,
+        "{} divergent units across {} runs; {} linked undetected (collusion windows), {} mirrors quarantined",
+        divergent,
+        rows.len(),
+        undetected,
+        quarantines,
+    );
+    out
+}
+
 /// Renders the outage sweep: durable session checkpoint/resume under
 /// seeded full-connection losses. Not part of [`render_all`], which
 /// reproduces only the paper's outage-free tables.

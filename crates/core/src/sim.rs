@@ -12,7 +12,7 @@ use nonstrict_bytecode::{method_verify_cost, Application, Input, InterpError};
 use nonstrict_netsim::{
     add_checksum_overhead, class_units, crc32, greedy_schedule, ClassUnits, FaultedEngine,
     InterleavedEngine, OutageSchedule, ParallelEngine, ReplicaEngine, ReplicaHealth, StrictEngine,
-    TransferEngine, Weights, DELIMITER_BYTES, MAX_REPLICAS,
+    TransferEngine, Weights, DELIMITER_BYTES, DIGEST_CHECK_CYCLES, MAX_REPLICAS,
 };
 use nonstrict_profile::{collect, Collected, TraceEvent};
 use nonstrict_reorder::{
@@ -24,6 +24,7 @@ use crate::journal::{
     negotiate, ClassCheckpoint, FetchRecord, Negotiation, SessionJournal, SessionManifest,
 };
 use crate::linker::{ClassLinkState, IncrementalLinker, LinkStats};
+use crate::manifest::UnitManifest;
 use crate::metrics::CycleLedger;
 use crate::model::{
     DataLayout, ExecutionModel, OrderingSource, SimConfig, TransferPolicy, VerifyMode,
@@ -81,7 +82,7 @@ pub struct SimResult {
     /// [`FaultSummary::recovery_cycles`], the outage share in
     /// [`OutageSummary::resume_cycles`], and the hedging share in
     /// [`ReplicaSummary::hedge_cycles`], so `total = exec + stall +
-    /// recovery + verify + resume + hedge + queue`).
+    /// recovery + verify + resume + hedge + queue + integrity`).
     pub stall_cycles: u64,
     /// Cycles the session spent queued behind other clients at the
     /// shared server egress — DRR contention delay plus admission
@@ -104,6 +105,51 @@ pub struct SimResult {
     pub outage: OutageSummary,
     /// Replica-set routing, hedging, and failover accounting.
     pub replica: ReplicaSummary,
+    /// Manifest-integrity and Byzantine-protection accounting.
+    pub integrity: IntegritySummary,
+}
+
+/// Manifest-integrity summary of one run: the content-addressed
+/// manifest pinned from the origin, per-unit digest checks, quarantines
+/// of equivocating mirrors, cross-mirror audits, and epoch-fence
+/// refetches. All-zero when no Byzantine protection is armed.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct IntegritySummary {
+    /// Cycles charged to transfer integrity — manifest pinning, wasted
+    /// divergent deliveries and their quarantine teardown, per-unit
+    /// digest checks, cross-mirror audit arbitration, and epoch-fence
+    /// re-pins — split out of stalls as the eighth accounting bucket:
+    /// `total = exec + stall + recovery + verify + resume + hedge +
+    /// queue + integrity`.
+    pub integrity_cycles: u64,
+    /// Whether the manifest layer was armed at all.
+    pub armed: bool,
+    /// Manifest pins performed: the initial origin pin plus every
+    /// epoch-fence or reconnect re-pin.
+    pub manifest_pins: u32,
+    /// Per-unit digest checks performed against the pinned manifest.
+    pub digest_checks: u64,
+    /// Deliveries whose bytes diverged from the manifest digest.
+    pub divergent_units: u64,
+    /// Divergent deliveries that slipped past the inline digest check
+    /// (manifest-colluding mirrors forge digests; only cross-mirror
+    /// audits catch them).
+    pub undetected_units: u64,
+    /// Cross-mirror audits performed (a fraction of units re-fetched
+    /// from a second mirror and compared byte-for-byte).
+    pub audits: u64,
+    /// Audits whose second copy disagreed with the first.
+    pub audit_mismatches: u64,
+    /// Mirrors expelled from the candidate set for serving divergent
+    /// bytes.
+    pub quarantines: u32,
+    /// Units refetched because a stale-epoch mirror served the
+    /// pre-fence layout past the restructure fence.
+    pub fence_refetches: u64,
+    /// Bytes refetched from honest mirrors to replace divergent
+    /// deliveries (includes the back-refetch of everything a colluding
+    /// mirror had served before being caught).
+    pub refetched_bytes: u64,
 }
 
 /// Replica-set summary of one run: health-scored routing, hedged
@@ -115,7 +161,7 @@ pub struct ReplicaSummary {
     /// before each winning duplicate plus every issue/cancel overhead
     /// — split out of stalls as the sixth accounting bucket:
     /// `total = exec + stall + recovery + verify + resume + hedge +
-    /// queue`.
+    /// queue + integrity`.
     pub hedge_cycles: u64,
     /// Hedged duplicate fetches issued.
     pub hedges: u64,
@@ -144,7 +190,7 @@ pub struct OutageSummary {
     /// reconnect negotiation, and the refetch/re-verify of classes a
     /// manifest-epoch change invalidated. The fifth accounting bucket:
     /// `total = exec + stall + recovery + verify + resume + hedge +
-    /// queue`.
+    /// queue + integrity`.
     pub resume_cycles: u64,
     /// Full connection losses the session survived.
     pub outages: u32,
@@ -198,10 +244,15 @@ struct ResumeCarry {
     /// the current epochs.
     journal: SessionJournal,
     /// Cycles to charge to the resume bucket up front: outage downtime
-    /// plus the targeted refetch/re-verify of stale classes.
+    /// plus the targeted refetch/re-verify of stale classes (and the
+    /// manifest re-pin, when the origin's manifest moved while the
+    /// client was away).
     extra_resume: u64,
     /// Stale classes refetched during negotiation.
     refetched: u32,
+    /// Manifest re-pins the negotiation performed because the pinned
+    /// digest no longer matched the origin's current manifest.
+    repins: u32,
 }
 
 /// How a replay starts and stops.
@@ -226,6 +277,8 @@ struct ReplayState {
     verify_cycles: u64,
     resume_cycles: u64,
     hedge_cycles: u64,
+    integrity_cycles: u64,
+    manifest_repins: u32,
     stalls: u32,
     outages: u32,
     resumes: u32,
@@ -289,7 +342,7 @@ impl SimResult {
         self.exec_cycles as f64 / self.total_cycles as f64
     }
 
-    /// The run's seven-bucket [`CycleLedger`], for exactness checks:
+    /// The run's eight-bucket [`CycleLedger`], for exactness checks:
     /// `ledger().assert_exact(total_cycles, ...)` holds for every
     /// result this crate produces, fleet or single-client.
     #[must_use]
@@ -302,6 +355,7 @@ impl SimResult {
             resume: self.outage.resume_cycles,
             hedge: self.replica.hedge_cycles,
             queue: self.queue_cycles,
+            integrity: self.integrity.integrity_cycles,
         }
     }
 }
@@ -528,8 +582,11 @@ impl Session {
                     outage,
                     // The strict baseline downloads from the primary
                     // mirror, whose seed and link are exactly the
-                    // session's — replica routing never perturbs it.
+                    // session's — replica routing never perturbs it,
+                    // and with no mirror choice there is nothing for a
+                    // byzantine plan to subvert.
                     replica: ReplicaSummary::default(),
+                    integrity: IntegritySummary::default(),
                 };
             }
             let (total_cycles, invocation_latency, outage) = ambient_shift(
@@ -552,6 +609,7 @@ impl Session {
                 },
                 outage,
                 replica: ReplicaSummary::default(),
+                integrity: IntegritySummary::default(),
             };
         }
 
@@ -609,13 +667,20 @@ impl Session {
             // The replica set owns fault modeling: each mirror runs the
             // session's fault/outage rates under its own sub-seed, so
             // the single-origin FaultedEngine wrapper is not stacked on
-            // top.
-            engine = Box::new(ReplicaEngine::new(
+            // top. An active byzantine config arms the manifest layer
+            // on top of the routing; `None` is bit-identical to an
+            // unarmored replica engine.
+            let plan = config.active_byzantine().map(|bc| {
+                let manifest = UnitManifest::build(units, self.manifest(config).epoch);
+                bc.plan(manifest.wire_bytes())
+            });
+            engine = Box::new(ReplicaEngine::with_integrity(
                 engine,
                 &rc.profiles(config),
                 rc.hedge_deadline_cycles,
                 units,
                 config.link,
+                plan.as_ref(),
             ));
         } else if let Some(fc) = config.active_faults() {
             engine = Box::new(FaultedEngine::new(engine, fc.plan(), units, config.link));
@@ -688,6 +753,8 @@ impl Session {
             verify_cycles: 0,
             resume_cycles: 0,
             hedge_cycles: 0,
+            integrity_cycles: 0,
+            manifest_repins: 0,
             stalls: 0,
             outages: 0,
             resumes: 0,
@@ -714,6 +781,17 @@ impl Session {
             ReplayMode::RunUntil { at_cycle } => Some(at_cycle),
             ReplayMode::Run | ReplayMode::Resume(_) => None,
         };
+        if !matches!(mode, ReplayMode::Resume(_)) {
+            // Manifest pinning: before any unit flows, the client
+            // fetches the content-addressed unit manifest from the
+            // origin, verifies its frame, and pins its digest — the
+            // trust root every later digest check compares against.
+            // Zero when no byzantine plan is armed; resumed runs
+            // restore the pre-crash charge from the journal instead.
+            let pin = self.manifest_pin_cost(config, units);
+            st.clock += pin;
+            st.integrity_cycles += pin;
+        }
         if let ReplayMode::Resume(carry) = mode {
             let j = &carry.journal;
             st.clock = j.clock;
@@ -723,6 +801,8 @@ impl Session {
             st.verify_cycles = j.verify_cycles;
             st.resume_cycles = j.resume_cycles + carry.extra_resume;
             st.hedge_cycles = j.hedge_cycles;
+            st.integrity_cycles = j.integrity_cycles;
+            st.manifest_repins = carry.repins;
             st.stalls = j.stalls;
             st.outages = j.outages + 1;
             st.resumes = j.resumes + 1;
@@ -811,9 +891,13 @@ impl Session {
                         let stall = ready - st.clock;
                         let fault_part = engine.last_fault_delay().min(stall);
                         let hedge_part = engine.last_hedge_delay().min(stall - fault_part);
+                        let integrity_part = engine
+                            .last_integrity_delay()
+                            .min(stall - fault_part - hedge_part);
                         st.recovery_cycles += fault_part;
                         st.hedge_cycles += hedge_part;
-                        st.stall_cycles += stall - fault_part - hedge_part;
+                        st.integrity_cycles += integrity_part;
+                        st.stall_cycles += stall - fault_part - hedge_part - integrity_part;
                         st.stalls += 1;
                         st.stall_events[c] += 1;
                         st.clock = ready;
@@ -909,6 +993,7 @@ impl Session {
             recovery: st.recovery_cycles,
             verify: st.verify_cycles,
             hedge: st.hedge_cycles,
+            integrity: st.integrity_cycles,
             ..CycleLedger::default()
         }
         .assert_exact(
@@ -937,10 +1022,12 @@ impl Session {
             resume: st.resume_cycles,
             hedge: st.hedge_cycles,
             queue: 0,
+            integrity: st.integrity_cycles,
         }
         .assert_exact(total_cycles, "replay completion");
         let stats = engine.fault_stats();
         let rstats = engine.replica_stats();
+        let istats = engine.integrity_stats();
         RunOutcome::Finished(Box::new(SimResult {
             total_cycles,
             exec_cycles,
@@ -978,6 +1065,22 @@ impl Session {
                 replicas: rstats.replicas,
                 sole_survivor: rstats.sole_survivor,
                 health: rstats.health,
+            },
+            integrity: IntegritySummary {
+                integrity_cycles: st.integrity_cycles,
+                armed: istats.armed,
+                // The engine counts epoch-fence re-pins; the replay
+                // charges the initial origin pin, and a reconnect
+                // negotiation may have re-pinned a moved manifest.
+                manifest_pins: istats.manifest_pins + u32::from(istats.armed) + st.manifest_repins,
+                digest_checks: istats.digest_checks,
+                divergent_units: istats.divergent_units,
+                undetected_units: istats.undetected_units,
+                audits: istats.audits,
+                audit_mismatches: istats.audit_mismatches,
+                quarantines: istats.quarantines,
+                fence_refetches: istats.fence_refetches,
+                refetched_bytes: istats.refetched_bytes,
             },
         }))
     }
@@ -1027,8 +1130,17 @@ impl Session {
                 }
             })
             .collect();
+        // v3: the pinned manifest digest rides in the journal so a
+        // reconnect can tell whether the origin's manifest moved while
+        // the client was away (zero when no byzantine plan is armed).
+        let manifest_digest = if config.active_byzantine().is_some() {
+            UnitManifest::build(units, manifest.epoch).digest()
+        } else {
+            0
+        };
         SessionJournal {
             manifest_epoch: manifest.epoch,
+            manifest_digest,
             next_event: st.next_event as u64,
             clock: st.clock,
             exec_cycles: st.exec_done,
@@ -1037,6 +1149,7 @@ impl Session {
             verify_cycles: st.verify_cycles,
             resume_cycles: st.resume_cycles,
             hedge_cycles: st.hedge_cycles,
+            integrity_cycles: st.integrity_cycles,
             stalls: st.stalls,
             outages: st.outages,
             resumes: st.resumes,
@@ -1079,6 +1192,18 @@ impl Session {
         SessionManifest::new(class_epochs, method_counts)
     }
 
+    /// What the initial manifest pin costs under `config`: the
+    /// manifest's wire transfer on the session link plus one frame
+    /// verification. Zero when no byzantine plan is armed, so unarmored
+    /// runs stay byte-identical.
+    fn manifest_pin_cost(&self, config: &SimConfig, units: &[ClassUnits]) -> u64 {
+        if config.active_byzantine().is_none() {
+            return 0;
+        }
+        let manifest = UnitManifest::build(units, self.manifest(config).epoch);
+        config.link.cycles_for(manifest.wire_bytes()) + DIGEST_CHECK_CYCLES
+    }
+
     /// Runs `config` on `input` but kills the session — connection and
     /// client together — at the first trace-event boundary at or past
     /// base cycle `at_cycle`, returning the encoded journal the client
@@ -1103,6 +1228,7 @@ impl Session {
                 .collect();
             let journal = SessionJournal {
                 manifest_epoch: manifest.epoch,
+                manifest_digest: 0,
                 next_event: 0,
                 clock: at_cycle,
                 exec_cycles: 0,
@@ -1111,6 +1237,7 @@ impl Session {
                 verify_cycles: 0,
                 resume_cycles: 0,
                 hedge_cycles: 0,
+                integrity_cycles: 0,
                 stalls: 0,
                 outages: 0,
                 resumes: 0,
@@ -1189,6 +1316,19 @@ impl Session {
                     );
                 }
                 let refetched = u32::try_from(stale.len()).unwrap_or(u32::MAX);
+                // Epoch fencing across the outage: if the origin
+                // re-restructured while the client was away, the pinned
+                // manifest digest no longer matches — re-pin the new
+                // manifest inside the resume window before any further
+                // digest check can be trusted.
+                let mut repins = 0;
+                if config.active_byzantine().is_some() {
+                    let current = UnitManifest::build(&units, manifest.epoch);
+                    if journal.manifest_digest != current.digest() {
+                        extra += config.link.cycles_for(current.wire_bytes()) + DIGEST_CHECK_CYCLES;
+                        repins = 1;
+                    }
+                }
                 let order = self.order(config.ordering);
                 let layouts = &self.restructured(config.ordering).layouts;
                 let exec_cycles = self.exec_cycles(input);
@@ -1203,6 +1343,7 @@ impl Session {
                     journal,
                     extra_resume: extra,
                     refetched,
+                    repins,
                 }));
                 match self.replay(input, &env, engine.as_mut(), mode) {
                     RunOutcome::Finished(r) => *r,
@@ -1349,6 +1490,7 @@ mod tests {
                         verify: VerifyMode::Off,
                         outages: None,
                         replicas: None,
+                        byzantine: None,
                     });
                 }
             }
@@ -1404,6 +1546,7 @@ mod tests {
                 verify: VerifyMode::Off,
                 outages: None,
                 replicas: None,
+                byzantine: None,
             };
             s.simulate(Input::Test, &config).total_cycles
         };

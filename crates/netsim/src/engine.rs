@@ -1,5 +1,6 @@
 //! The transfer-engine abstraction the co-simulator drives.
 
+use crate::byzantine::IntegrityStats;
 use crate::faults::FaultStats;
 use crate::replica::ReplicaStats;
 
@@ -64,6 +65,23 @@ pub trait TransferEngine {
     fn serving_replica(&self, _class: usize, _unit: usize) -> u32 {
         0
     }
+
+    /// Integrity-layer cycles (manifest pinning, digest-mismatch
+    /// refetches, audit arbitration, fence refetches) embedded in the
+    /// most recent [`TransferEngine::unit_ready`] answer (zero when no
+    /// Byzantine protection is armed). The co-simulator uses this to
+    /// split a stall into transfer-wait, fault-recovery, hedging, and
+    /// integrity time.
+    fn last_integrity_delay(&self) -> u64 {
+        0
+    }
+
+    /// Aggregate integrity-layer counters. Engines without a manifest
+    /// layer report all zeros; [`crate::replica::ReplicaEngine`]
+    /// overrides this when armed with a [`crate::byzantine::ByzantinePlan`].
+    fn integrity_stats(&self) -> IntegrityStats {
+        IntegrityStats::default()
+    }
 }
 
 impl<E: TransferEngine + ?Sized> TransferEngine for Box<E> {
@@ -101,5 +119,13 @@ impl<E: TransferEngine + ?Sized> TransferEngine for Box<E> {
 
     fn serving_replica(&self, class: usize, unit: usize) -> u32 {
         (**self).serving_replica(class, unit)
+    }
+
+    fn last_integrity_delay(&self) -> u64 {
+        (**self).last_integrity_delay()
+    }
+
+    fn integrity_stats(&self) -> IntegrityStats {
+        (**self).integrity_stats()
     }
 }

@@ -32,6 +32,10 @@
 //!   N independently seeded mirrors with EWMA health-scored routing,
 //!   hedged duplicate fetches past a stall deadline, and mid-stream
 //!   failover at unit boundaries.
+//! * [`byzantine`] — seeded Byzantine misbehavior plans
+//!   ([`byzantine::ByzantinePlan`]): stale-epoch, equivocating, and
+//!   manifest-colluding mirrors, plus the cross-mirror audit sampler
+//!   and the integrity counters the manifest layer reports.
 //! * [`contention`] — the multi-client server model: deficit-round-
 //!   robin fair sharing of one egress pipe over per-client unit
 //!   queues, a token-bucket admission controller with typed
@@ -46,6 +50,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod byzantine;
 pub mod contention;
 pub mod engine;
 pub mod faults;
@@ -58,6 +63,10 @@ pub mod schedule;
 pub mod strict;
 pub mod unit;
 
+pub use byzantine::{
+    ByzantineMode, ByzantinePlan, IntegrityStats, AUDIT_COMPARE_CYCLES, DIGEST_CHECK_CYCLES,
+    DIVERGENCE_RATE_PM, QUARANTINE_CYCLES,
+};
 pub use contention::{
     drr_schedule, jitter, AdmissionController, ClientDemand, ClientService, LadderError, Rejected,
     ShedAction, ShedLadder,
@@ -69,7 +78,7 @@ pub use link::{Link, LinkError};
 pub use outage::{OutageEngine, OutageEvent, OutagePlan, OutageSchedule, OUTAGE_PERIOD_CYCLES};
 pub use parallel::ParallelEngine;
 pub use replica::{
-    replica_seed, ReplicaEngine, ReplicaHealth, ReplicaProfile, ReplicaStats,
+    decay_health, replica_seed, ReplicaEngine, ReplicaHealth, ReplicaProfile, ReplicaStats,
     HEDGE_OVERHEAD_CYCLES, MAX_REPLICAS,
 };
 pub use schedule::{greedy_schedule, ParallelSchedule, ScheduleError, Weights};

@@ -33,6 +33,10 @@
 
 use std::cmp::Reverse;
 
+use crate::byzantine::{
+    ByzantineMode, ByzantinePlan, IntegrityStats, AUDIT_COMPARE_CYCLES, DIGEST_CHECK_CYCLES,
+    QUARANTINE_CYCLES,
+};
 use crate::engine::TransferEngine;
 use crate::faults::{splitmix, FaultPlan, FaultStats};
 use crate::link::Link;
@@ -53,6 +57,19 @@ const HEALTH_EWMA_SHIFT: u32 = 3;
 
 /// A health score in parts-per-million; every replica starts perfect.
 const HEALTH_FULL_PPM: u32 = 1_000_000;
+
+/// One multiplicative decay step of an EWMA health score, explicitly
+/// saturating at zero. The shifted step `h >> HEALTH_EWMA_SHIFT`
+/// truncates to zero once `h` drops below `1 << HEALTH_EWMA_SHIFT`,
+/// which would freeze a dying score at a small positive value forever;
+/// the step is therefore floored at one and the subtraction saturates,
+/// so repeated decay is monotone, converges to exactly zero, and can
+/// never wrap (the same discipline as the admission controller's
+/// `retry_after` arithmetic).
+#[must_use]
+pub fn decay_health(h: u32) -> u32 {
+    h.saturating_sub((h >> HEALTH_EWMA_SHIFT).max(1))
+}
 
 /// Domain-separation salt for per-replica sub-seed derivation.
 const SALT_REPLICA: u64 = 0x5245_504c_4943_4131;
@@ -100,6 +117,11 @@ pub struct ReplicaHealth {
     pub health_ppm: u32,
     /// Whether the replica was still alive when the transfer ended.
     pub alive: bool,
+    /// Units this replica served with bytes diverging from the pinned
+    /// manifest (zero when no Byzantine protection is armed).
+    pub equivocations: u32,
+    /// Whether proven divergence expelled the replica from the set.
+    pub quarantined: bool,
 }
 
 /// Aggregate replica-set counters for one engine.
@@ -160,6 +182,10 @@ pub struct ReplicaEngine<E> {
     /// Cumulative hedge surcharge (deadline waits and issue/cancel
     /// overhead) through each unit, per class.
     hedge_prefix: Vec<Vec<u64>>,
+    /// Cumulative integrity surcharge (digest checks, divergence
+    /// refetches, audit rounds, fence re-pins) through each unit, per
+    /// class. All-zero when no Byzantine plan is armed.
+    integrity_prefix: Vec<Vec<u64>>,
     /// Serving replica per `(class, unit)`.
     assignment: Vec<Vec<u32>>,
     /// Fault events (retransmissions) per class, for degradation
@@ -167,8 +193,10 @@ pub struct ReplicaEngine<E> {
     class_events: Vec<u64>,
     stats: FaultStats,
     rstats: ReplicaStats,
+    istats: IntegrityStats,
     last_fault_delay: u64,
     last_hedge_delay: u64,
+    last_integrity_delay: u64,
 }
 
 impl<E: TransferEngine> ReplicaEngine<E> {
@@ -183,6 +211,26 @@ impl<E: TransferEngine> ReplicaEngine<E> {
         units: &[ClassUnits],
         link: Link,
     ) -> Self {
+        Self::with_integrity(inner, profiles, hedge_deadline, units, link, None)
+    }
+
+    /// Like [`ReplicaEngine::new`], additionally armed with a
+    /// [`ByzantinePlan`]: every delivered unit is checked against its
+    /// pinned manifest digest, divergent mirrors are quarantined and
+    /// failed over, a seeded fraction of units is cross-audited on the
+    /// runner-up mirror, and a [`ByzantineMode::StaleEpoch`] plan gets
+    /// an epoch fence at the midpoint of the class-major strict
+    /// timeline (the origin's mid-stream re-restructure). `None` is
+    /// bit-identical to [`ReplicaEngine::new`].
+    #[must_use]
+    pub fn with_integrity(
+        inner: E,
+        profiles: &[ReplicaProfile],
+        hedge_deadline: u64,
+        units: &[ClassUnits],
+        link: Link,
+        plan: Option<&ByzantinePlan>,
+    ) -> Self {
         let n = profiles.len().clamp(1, MAX_REPLICAS);
         let profiles = &profiles[..n];
         let mut health = [HEALTH_FULL_PPM; MAX_REPLICAS];
@@ -191,8 +239,34 @@ impl<E: TransferEngine> ReplicaEngine<E> {
             ..ReplicaStats::default()
         };
         let mut stats = FaultStats::default();
+        let mut istats = IntegrityStats {
+            armed: plan.is_some(),
+            ..IntegrityStats::default()
+        };
+        let mut quarantined = [false; MAX_REPLICAS];
+        // The epoch fence: a stale-epoch plan models the origin
+        // re-restructuring halfway through the class-major strict
+        // timeline; honest mirrors pick the new epoch up instantly,
+        // the stale mirrors keep serving the old layout.
+        let fence_est: Option<u64> =
+            plan.filter(|p| p.mode == ByzantineMode::StaleEpoch)
+                .map(|_| {
+                    units
+                        .iter()
+                        .map(|u| {
+                            std::iter::once(u.prelude)
+                                .chain(u.methods.iter().copied())
+                                .chain(std::iter::once(u.trailing))
+                                .map(|b| link.cycles_for(b))
+                                .sum::<u64>()
+                        })
+                        .sum::<u64>()
+                        / 2
+                });
+        let mut fence_crossed = false;
         let mut recovery_prefix = Vec::with_capacity(units.len());
         let mut hedge_prefix = Vec::with_capacity(units.len());
+        let mut integrity_prefix = Vec::with_capacity(units.len());
         let mut assignment = Vec::with_capacity(units.len());
         let mut class_events = vec![0u64; units.len()];
         // The routing clock: the class-major strict timeline. It only
@@ -205,17 +279,20 @@ impl<E: TransferEngine> ReplicaEngine<E> {
                 .collect();
             let mut rec = Vec::with_capacity(sizes.len());
             let mut hed = Vec::with_capacity(sizes.len());
+            let mut int = Vec::with_capacity(sizes.len());
             let mut assign = Vec::with_capacity(sizes.len());
             let mut acc_rec = 0u64;
             let mut acc_hedge = 0u64;
+            let mut acc_int = 0u64;
             let mut prev_serving: Option<usize> = None;
             for (i, &bytes) in sizes.iter().enumerate() {
                 let base_tx = link.cycles_for(bytes);
                 // The candidates: replicas still alive at the routing
-                // instant, ranked reachable-first, then healthiest,
-                // then lowest id.
+                // instant and not quarantined for proven divergence,
+                // ranked reachable-first, then healthiest, then lowest
+                // id.
                 let mut ranked: Vec<(usize, u64)> = (0..n)
-                    .filter(|&r| profiles[r].dead_from.is_none_or(|d| est < d))
+                    .filter(|&r| profiles[r].dead_from.is_none_or(|d| est < d) && !quarantined[r])
                     .map(|r| (r, outage_wait(&profiles[r].outages, est)))
                     .collect();
                 ranked.sort_by_key(|&(r, wait)| (wait > 0, Reverse(health[r]), r));
@@ -227,7 +304,7 @@ impl<E: TransferEngine> ReplicaEngine<E> {
                 for &(r, wait) in &ranked {
                     if wait > 0 {
                         rstats.health[r].outage_hits += 1;
-                        health[r] -= health[r] >> HEALTH_EWMA_SHIFT;
+                        health[r] = decay_health(health[r]);
                     }
                 }
                 let cost_of = |r: usize, wait: u64| {
@@ -277,14 +354,128 @@ impl<E: TransferEngine> ReplicaEngine<E> {
                     }
                 }
                 rstats.hedge_cycles += hedge;
+                // The integrity layer: check the delivered unit against
+                // its pinned manifest digest, cross-audit a seeded
+                // sample on the runner-up, and quarantine + refetch on
+                // proven divergence. Everything the misbehavior causes
+                // — the wasted divergent transmission, teardown, audit
+                // arbitration, fence re-pins — lands in the integrity
+                // surcharge; the honest refetch that replaces a
+                // divergent unit is accounted like any normal delivery.
+                let mut integrity = 0u64;
+                if let Some(p) = plan {
+                    istats.digest_checks += 1;
+                    integrity = integrity.saturating_add(DIGEST_CHECK_CYCLES);
+                    if fence_est.is_some_and(|f| est >= f) && !fence_crossed {
+                        // First routing instant past the origin's
+                        // re-restructure: re-fetch and pin the new
+                        // manifest epoch before linking anything else.
+                        fence_crossed = true;
+                        istats.manifest_pins += 1;
+                        integrity = integrity
+                            .saturating_add(link.cycles_for(p.manifest_bytes))
+                            .saturating_add(DIGEST_CHECK_CYCLES);
+                    }
+                    let past_fence = fence_est.is_some_and(|f| est >= f);
+                    let diverged = p.diverges(serving, c, i, n, past_fence);
+                    let audited = p.audits(c, i);
+                    if audited {
+                        istats.audits += 1;
+                        integrity = integrity.saturating_add(AUDIT_COMPARE_CYCLES);
+                    }
+                    if diverged {
+                        istats.divergent_units += 1;
+                        rstats.health[serving].equivocations += 1;
+                        if p.mode.detected_inline() || audited {
+                            if audited && !p.mode.detected_inline() {
+                                istats.audit_mismatches += 1;
+                            }
+                            // Refetch chain: quarantine the divergent
+                            // mirror and re-fetch from the next-ranked
+                            // candidate — whose bytes are digest-checked
+                            // too, so a whole stale sub-fleet is
+                            // quarantined in one walk. Stops at the
+                            // first digest-clean source, or fails
+                            // closed when none is left (the last source
+                            // is never expelled: the engine still needs
+                            // a defined timeline for the session above
+                            // to fail closed from).
+                            loop {
+                                let alt = ranked
+                                    .iter()
+                                    .copied()
+                                    .find(|&(r, _)| r != serving && !quarantined[r]);
+                                let Some((r2, wait2)) = alt else {
+                                    rstats.sole_survivor = true;
+                                    break;
+                                };
+                                // Quarantined like a dead mirror: out
+                                // of the candidate set from the next
+                                // routing instant, score floored.
+                                quarantined[serving] = true;
+                                rstats.health[serving].quarantined = true;
+                                health[serving] = 0;
+                                istats.quarantines += 1;
+                                if p.mode == ByzantineMode::StaleEpoch && past_fence {
+                                    istats.fence_refetches += 1;
+                                }
+                                // The divergent attempt was wasted: its
+                                // full transmission plus whatever
+                                // recovery it dragged in, plus the
+                                // teardown.
+                                istats.refetched_bytes += bytes;
+                                integrity = integrity
+                                    .saturating_add(QUARANTINE_CYCLES)
+                                    .saturating_add(base_tx)
+                                    .saturating_add(recovery);
+                                if !p.mode.detected_inline() {
+                                    // Collusion linked a wrong-but-
+                                    // verifiable prefix before the
+                                    // audit caught it: everything the
+                                    // mirror served so far re-transfers
+                                    // from the runner-up.
+                                    let prev = rstats.health[serving].bytes_served;
+                                    istats.refetched_bytes += prev;
+                                    integrity = integrity
+                                        .saturating_add(profiles[r2].link.cycles_for(prev));
+                                }
+                                // The refetch is a normal delivery from
+                                // the runner-up...
+                                let (cost2, d2, t2) = cost_of(r2, wait2);
+                                serving = r2;
+                                recovery = cost2;
+                                delivery = d2;
+                                tx_s = t2;
+                                istats.digest_checks += 1;
+                                integrity = integrity.saturating_add(DIGEST_CHECK_CYCLES);
+                                if !p.diverges(r2, c, i, n, past_fence) {
+                                    break;
+                                }
+                                // ...unless the runner-up equivocates
+                                // too: caught by the same digest check,
+                                // walk on.
+                                istats.divergent_units += 1;
+                                rstats.health[r2].equivocations += 1;
+                            }
+                        } else {
+                            // Collusion passed the digest and the audit
+                            // sampler skipped this unit: wrong bytes
+                            // were linked and executed.
+                            istats.undetected_units += 1;
+                        }
+                    }
+                }
+                istats.integrity_cycles += integrity;
                 if prev_serving.is_some_and(|p| p != serving) {
                     rstats.failovers += 1;
                 }
                 prev_serving = Some(serving);
                 acc_rec = acc_rec.saturating_add(recovery);
                 acc_hedge = acc_hedge.saturating_add(hedge);
+                acc_int = acc_int.saturating_add(integrity);
                 rec.push(acc_rec);
                 hed.push(acc_hedge);
+                int.push(acc_int);
                 assign.push(u32::try_from(serving).unwrap_or(u32::MAX));
                 stats.retries += u64::from(delivery.retries);
                 stats.lost += u64::from(delivery.lost);
@@ -315,6 +506,7 @@ impl<E: TransferEngine> ReplicaEngine<E> {
             }
             recovery_prefix.push(rec);
             hedge_prefix.push(hed);
+            integrity_prefix.push(int);
             assignment.push(assign);
         }
         for (r, p) in profiles.iter().enumerate() {
@@ -325,12 +517,15 @@ impl<E: TransferEngine> ReplicaEngine<E> {
             inner,
             recovery_prefix,
             hedge_prefix,
+            integrity_prefix,
             assignment,
             class_events,
             stats,
             rstats,
+            istats,
             last_fault_delay: 0,
             last_hedge_delay: 0,
+            last_integrity_delay: 0,
         }
     }
 
@@ -345,9 +540,13 @@ impl<E: TransferEngine> TransferEngine for ReplicaEngine<E> {
         let base = self.inner.unit_ready(class, unit, now);
         let rec = self.recovery_prefix[class][unit];
         let hed = self.hedge_prefix[class][unit];
+        let int = self.integrity_prefix[class][unit];
         self.last_fault_delay = rec;
         self.last_hedge_delay = hed;
-        base.saturating_add(rec).saturating_add(hed)
+        self.last_integrity_delay = int;
+        base.saturating_add(rec)
+            .saturating_add(hed)
+            .saturating_add(int)
     }
 
     fn finish_time(&mut self) -> u64 {
@@ -360,7 +559,8 @@ impl<E: TransferEngine> TransferEngine for ReplicaEngine<E> {
             let b = self.inner.unit_ready(c, last, base_finish);
             finish = finish.max(
                 b.saturating_add(self.recovery_prefix[c][last])
-                    .saturating_add(self.hedge_prefix[c][last]),
+                    .saturating_add(self.hedge_prefix[c][last])
+                    .saturating_add(self.integrity_prefix[c][last]),
             );
         }
         finish
@@ -395,6 +595,14 @@ impl<E: TransferEngine> TransferEngine for ReplicaEngine<E> {
 
     fn serving_replica(&self, class: usize, unit: usize) -> u32 {
         self.assignment[class][unit]
+    }
+
+    fn last_integrity_delay(&self) -> u64 {
+        self.last_integrity_delay
+    }
+
+    fn integrity_stats(&self) -> IntegrityStats {
+        self.istats
     }
 }
 
@@ -640,6 +848,275 @@ mod tests {
             r.health[1].units_served > 0,
             "routing must avoid the unreachable mirror"
         );
+    }
+
+    #[test]
+    fn decay_is_monotone_saturating_and_converges_to_zero() {
+        // Property hammer: from every starting point — full score,
+        // powers of two, the sub-shift band where the old arithmetic
+        // froze, and a spread of odd values — repeated decay is
+        // strictly monotone while positive, never wraps, reaches
+        // exactly zero in bounded steps, and zero is a fixed point.
+        let starts: Vec<u32> = (0..=16)
+            .map(|k| 1u32 << k)
+            .chain([HEALTH_FULL_PPM, 999_999, 12_345, 7, 6, 5, 4, 3, 2, 1, 0])
+            .chain((0..64).map(|i| splitmix(0x000d_eca7 ^ i) as u32 % (HEALTH_FULL_PPM + 1)))
+            .collect();
+        for start in starts {
+            let mut h = start;
+            let mut steps = 0u32;
+            while h > 0 {
+                let next = decay_health(h);
+                assert!(next < h, "decay from {start} stalled at {h}");
+                h = next;
+                steps += 1;
+                assert!(steps <= 256, "decay from {start} did not converge");
+            }
+            assert_eq!(decay_health(0), 0, "zero is a fixed point");
+        }
+    }
+
+    #[test]
+    fn no_byzantine_plan_is_bit_identical_to_new() {
+        let units = sample_units();
+        let profiles = [lossy_profile(3), perfect_profile(4)];
+        let mut a = ReplicaEngine::new(engine(&units), &profiles, 100_000, &units, LINK);
+        let mut b =
+            ReplicaEngine::with_integrity(engine(&units), &profiles, 100_000, &units, LINK, None);
+        for (c, u) in units.iter().enumerate() {
+            for i in 0..u.unit_count() {
+                assert_eq!(a.unit_ready(c, i, 0), b.unit_ready(c, i, 0));
+                assert_eq!(b.last_integrity_delay(), 0);
+            }
+        }
+        assert_eq!(a.replica_stats(), b.replica_stats());
+        assert_eq!(b.integrity_stats(), IntegrityStats::default());
+    }
+
+    #[test]
+    fn equivocating_mirror_is_quarantined_at_first_divergence() {
+        // Enough units that a 20% divergence plan certainly fires.
+        let units: Vec<ClassUnits> = (0..4)
+            .map(|_| ClassUnits {
+                prelude: 200,
+                methods: vec![100, 100, 100, 100],
+                trailing: 50,
+            })
+            .collect();
+        let profiles = [perfect_profile(1), perfect_profile(2)];
+        let plan = ByzantinePlan {
+            seed: 5,
+            byzantine: 1,
+            mode: ByzantineMode::Equivocate,
+            audit_rate_pm: 0,
+            manifest_bytes: 64,
+        };
+        // Kill mirror 0 so the byzantine mirror 1 serves first.
+        let dead_primary = [
+            ReplicaProfile {
+                dead_from: Some(0),
+                ..profiles[0]
+            },
+            profiles[1],
+        ];
+        let set = ReplicaEngine::with_integrity(
+            engine(&units),
+            &dead_primary,
+            0,
+            &units,
+            LINK,
+            Some(&plan),
+        );
+        let st = set.integrity_stats();
+        assert!(st.armed);
+        assert!(st.digest_checks > 0);
+        assert!(st.divergent_units >= 1, "a 20% plan must diverge somewhere");
+        let r = set.replica_stats();
+        assert!(r.health[1].equivocations >= 1);
+        // With no honest mirror left the set fails closed instead of
+        // quarantining into an empty candidate list.
+        assert!(r.sole_survivor);
+        assert_eq!(st.quarantines, 0, "the last source is never expelled");
+        assert_eq!(
+            st.undetected_units, 0,
+            "inline detection executes nothing wrong"
+        );
+    }
+
+    #[test]
+    fn equivocation_quarantines_and_fails_over() {
+        let units: Vec<ClassUnits> = (0..4)
+            .map(|_| ClassUnits {
+                prelude: 200,
+                methods: vec![100, 100, 100, 100],
+                trailing: 50,
+            })
+            .collect();
+        let profiles = [perfect_profile(1), perfect_profile(2), perfect_profile(3)];
+        let plan = ByzantinePlan {
+            seed: 5,
+            byzantine: 2,
+            mode: ByzantineMode::Equivocate,
+            audit_rate_pm: 0,
+            manifest_bytes: 64,
+        };
+        // Kill the honest primary's rank: mirrors 1 and 2 are
+        // byzantine, mirror 0 honest; force routing through a
+        // byzantine mirror by killing mirror 0 for the first units.
+        let p = [
+            ReplicaProfile {
+                dead_from: Some(1),
+                ..profiles[0]
+            },
+            profiles[1],
+            profiles[2],
+        ];
+        let set = ReplicaEngine::with_integrity(engine(&units), &p, 0, &units, LINK, Some(&plan));
+        let st = set.integrity_stats();
+        let r = set.replica_stats();
+        assert!(
+            st.quarantines >= 1,
+            "a diverging mirror must be quarantined"
+        );
+        assert!(st.integrity_cycles > 0);
+        assert!(st.refetched_bytes > 0);
+        let quarantined: Vec<usize> = (1..3).filter(|&i| r.health[i].quarantined).collect();
+        assert!(!quarantined.is_empty());
+        // A quarantined mirror serves nothing after its divergence:
+        // walk the assignment and check no unit maps to it after its
+        // equivocation was caught.
+        let mut seen_quarantine = false;
+        for (c, u) in units.iter().enumerate() {
+            for i in 0..u.unit_count() {
+                let s = set.serving_replica(c, i) as usize;
+                if seen_quarantine {
+                    assert!(
+                        !r.health[s].quarantined,
+                        "unit ({c},{i}) served by quarantined mirror {s}"
+                    );
+                }
+                if r.health[s].quarantined {
+                    seen_quarantine = true;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn colluding_mirror_is_caught_only_by_audits() {
+        let units: Vec<ClassUnits> = (0..6)
+            .map(|_| ClassUnits {
+                prelude: 200,
+                methods: vec![100, 100, 100, 100],
+                trailing: 50,
+            })
+            .collect();
+        let p = [
+            ReplicaProfile {
+                dead_from: Some(1),
+                ..perfect_profile(1)
+            },
+            perfect_profile(2),
+            perfect_profile(3),
+        ];
+        let mk = |audit_rate_pm| {
+            let plan = ByzantinePlan {
+                seed: 5,
+                byzantine: 2,
+                mode: ByzantineMode::Collude,
+                audit_rate_pm,
+                manifest_bytes: 64,
+            };
+            ReplicaEngine::with_integrity(engine(&units), &p, 0, &units, LINK, Some(&plan))
+                .integrity_stats()
+        };
+        let no_audit = mk(0);
+        assert_eq!(no_audit.quarantines, 0, "forged digests pass inline checks");
+        assert!(
+            no_audit.undetected_units > 0,
+            "unaudited collusion executes wrong bytes"
+        );
+        let audited = mk(500_000);
+        assert!(audited.audits > 0);
+        assert!(
+            audited.audit_mismatches > 0 && audited.quarantines > 0,
+            "a 50% audit rate must catch a 20% divergence stream: {audited:?}"
+        );
+        assert!(
+            audited.undetected_units < no_audit.undetected_units,
+            "auditing must shrink the wrong-prefix exposure"
+        );
+    }
+
+    #[test]
+    fn stale_epoch_mirror_serves_nothing_after_the_fence() {
+        let units: Vec<ClassUnits> = (0..6)
+            .map(|_| ClassUnits {
+                prelude: 200,
+                methods: vec![100, 100, 100, 100],
+                trailing: 50,
+            })
+            .collect();
+        // Mirror 1 is byzantine-stale; mirror 0 honest and healthy.
+        let p = [perfect_profile(1), perfect_profile(2)];
+        let plan = ByzantinePlan {
+            seed: 5,
+            byzantine: 1,
+            mode: ByzantineMode::StaleEpoch,
+            audit_rate_pm: 0,
+            manifest_bytes: 64,
+        };
+        let set = ReplicaEngine::with_integrity(engine(&units), &p, 0, &units, LINK, Some(&plan));
+        let st = set.integrity_stats();
+        // Healthy honest primary keeps the stale mirror idle: no
+        // divergence ever observed, but the fence re-pin still fires.
+        assert_eq!(st.manifest_pins, 1, "the fence re-pins the manifest");
+        assert_eq!(st.fence_refetches, 0);
+        // Now make the stale mirror the preferred server: pair it with
+        // an honest-but-lossy primary whose health decays fast.
+        let p = [lossy_profile(1), perfect_profile(2)];
+        let mut set =
+            ReplicaEngine::with_integrity(engine(&units), &p, 0, &units, LINK, Some(&plan));
+        let st = set.integrity_stats();
+        let r = set.replica_stats();
+        assert!(
+            r.health[1].units_served > 0,
+            "the clean stale mirror must out-rank the lossy one pre-fence"
+        );
+        assert!(
+            st.fence_refetches >= 1,
+            "a serving stale mirror must be caught at the fence: {st:?}"
+        );
+        assert!(r.health[1].quarantined);
+        // No post-fence unit may remain assigned to the stale mirror:
+        // detection refetches it from the honest one.
+        let total: u64 = units
+            .iter()
+            .map(|u| {
+                std::iter::once(u.prelude)
+                    .chain(u.methods.iter().copied())
+                    .chain(std::iter::once(u.trailing))
+                    .map(|b| LINK.cycles_for(b))
+                    .sum::<u64>()
+            })
+            .sum();
+        let fence = total / 2;
+        let mut est = 0u64;
+        for (c, u) in units.iter().enumerate() {
+            let sizes: Vec<u64> = std::iter::once(u.prelude)
+                .chain(u.methods.iter().copied())
+                .chain(std::iter::once(u.trailing))
+                .collect();
+            for (i, &bytes) in sizes.iter().enumerate() {
+                let s = set.serving_replica(c, i) as usize;
+                assert!(
+                    est < fence || !plan.is_byzantine(s, 2),
+                    "post-fence unit ({c},{i}) assigned to stale mirror {s}"
+                );
+                est += LINK.cycles_for(bytes);
+            }
+        }
+        let _ = set.finish_time();
     }
 
     #[test]

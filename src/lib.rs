@@ -35,6 +35,7 @@
 //!     verify: VerifyMode::Off,
 //!     outages: None,
 //!     replicas: None,
+//!     byzantine: None,
 //! };
 //! let result = simulate(&app, Input::Test, &config).unwrap();
 //! let strict = simulate(&app, Input::Test, &SimConfig::strict(Link::MODEM_28_8)).unwrap();
@@ -57,13 +58,14 @@ pub mod prelude {
     };
     pub use nonstrict_core::metrics::{normalized_percent, CycleLedger};
     pub use nonstrict_core::model::{
-        DataLayout, ExecutionModel, FaultConfig, OrderingSource, OutageConfig, ReplicaConfig,
-        ReplicaKill, SimConfig, TransferPolicy, VerifyMode,
+        ByzantineConfig, DataLayout, ExecutionModel, FaultConfig, OrderingSource, OutageConfig,
+        ReplicaConfig, ReplicaKill, SimConfig, TransferPolicy, VerifyMode,
     };
     pub use nonstrict_core::sim::{
-        simulate, FaultSummary, InterruptSpec, OutageSummary, ReplicaSummary, RunOutcome, Session,
-        SimResult,
+        simulate, FaultSummary, IntegritySummary, InterruptSpec, OutageSummary, ReplicaSummary,
+        RunOutcome, Session, SimResult,
     };
+    pub use nonstrict_netsim::byzantine::{ByzantineMode, IntegrityStats};
     pub use nonstrict_netsim::contention::{drr_schedule, ClientDemand, ShedAction, ShedLadder};
     pub use nonstrict_netsim::link::Link;
 }

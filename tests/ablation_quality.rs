@@ -26,6 +26,7 @@ fn non_strict_gating_beats_strict_gating_under_identical_transfer() {
             verify: VerifyMode::Off,
             outages: None,
             replicas: None,
+            byzantine: None,
         };
         let strict = s.simulate(Input::Test, &mk(ExecutionModel::Strict));
         let non_strict = s.simulate(Input::Test, &mk(ExecutionModel::NonStrict));
@@ -156,6 +157,7 @@ fn restructuring_matters_source_order_loses_to_first_use_order() {
         verify: VerifyMode::Off,
         outages: None,
         replicas: None,
+        byzantine: None,
     };
     let source = s.simulate(Input::Test, &mk(OrderingSource::SourceOrder));
     let test = s.simulate(Input::Test, &mk(OrderingSource::TestProfile));

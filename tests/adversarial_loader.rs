@@ -308,7 +308,7 @@ fn verify_off_rows_match_the_committed_reference_csv() {
     assert_eq!(rows.len(), 6, "2 links x 3 modes for one benchmark");
     for r in &rows {
         let line = format!(
-            "{},{},{},{:.1},{},{:.2},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{:.1},{},{:.2},{},{},{},{},{},{},{},{},{},{},{}",
             r.name,
             r.link.name,
             r.mode.label(),
@@ -324,7 +324,8 @@ fn verify_off_rows_match_the_committed_reference_csv() {
             r.ledger.verify,
             r.ledger.resume,
             r.ledger.hedge,
-            r.ledger.queue
+            r.ledger.queue,
+            r.ledger.integrity
         );
         assert!(
             committed.lines().any(|l| l == line),

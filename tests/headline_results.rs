@@ -143,6 +143,7 @@ fn non_strict_execution_always_improves_on_the_baseline() {
                         verify: VerifyMode::Off,
                         outages: None,
                         replicas: None,
+                        byzantine: None,
                     };
                     let r = session.simulate(Input::Test, &config);
                     // Method delimiters add ~2 bytes per method to the

@@ -165,6 +165,7 @@ fn strict_transfer_with_nonstrict_execution_is_a_valid_ablation() {
         verify: VerifyMode::Off,
         outages: None,
         replicas: None,
+        byzantine: None,
     };
     let mut ns = overlap;
     ns.transfer = TransferPolicy::Parallel { limit: 4 };

@@ -154,3 +154,65 @@ fn sole_surviving_mirror_degrades_the_session_to_strict() {
         assert!(!r.replica.health[victim as usize].alive);
     }
 }
+
+#[test]
+fn a_losing_hedged_fetch_never_advances_journal_watermarks() {
+    let session = Session::new(nonstrict::workloads::hanoi::build()).unwrap();
+    // The replica sweep's 5%-loss cell: recovery stalls cross the short
+    // hedge deadline, duplicate fetches race the runner-up mirror, and
+    // some of them win — so both winners and losers exist to account.
+    let config = SimConfig::non_strict(Link::MODEM_28_8, OrderingSource::StaticCallGraph)
+        .with_faults(nonstrict_core::experiment::faults::sweep_config(50_000))
+        .with_replicas(nonstrict_core::experiment::replica::sweep_replicas(3));
+    let base = session.simulate(Input::Test, &config);
+    assert!(base.faults.completed);
+    assert!(
+        base.replica.hedge_wins >= 1,
+        "the scenario must race hedges and have the runner-up win some: {:?}",
+        base.replica
+    );
+    assert!(
+        base.replica.hedge_wins < base.replica.hedges,
+        "and lose some — a loser's duplicate bytes are the hazard under test"
+    );
+
+    let delivered =
+        |j: &SessionJournal| -> u64 { j.classes.iter().map(|c| u64::from(c.delivered)).sum() };
+    const DOWNTIME: u64 = 40_000_000;
+    // Checkpoint across the whole run. At every interrupt cycle the
+    // journal's delivered watermarks may count only bytes that are
+    // durable — the hedge winner's. If a losing duplicate ever
+    // advanced a watermark, the resumed session would skip refetching
+    // a unit whose real bytes never arrived, and the resumed run
+    // could not reproduce the uninterrupted one.
+    let mut last_watermark = 0u64;
+    let step = base.total_cycles / 64;
+    let mut interrupted = 0u32;
+    for i in 1..64 {
+        let at = i * step;
+        let RunOutcome::Interrupted(bytes) = session.run_until(Input::Test, &config, at) else {
+            continue;
+        };
+        let j = SessionJournal::decode(&bytes).expect("a self-written journal always decodes");
+        let d = delivered(&j);
+        assert!(
+            d >= last_watermark,
+            "watermarks only advance with durable bytes: {d} < {last_watermark} at cycle {at}"
+        );
+        last_watermark = d;
+        let r = session.resume(Input::Test, &config, &bytes, DOWNTIME);
+        let ctx = format!("resume from cycle {at} ({d} units delivered)");
+        assert!(r.faults.completed, "{ctx}");
+        assert_eq!(r.exec_cycles, base.exec_cycles, "{ctx}: exec moved");
+        assert_eq!(
+            r.link_stats, base.link_stats,
+            "{ctx}: a watermark counted bytes that were never durable"
+        );
+        interrupted += 1;
+    }
+    assert!(
+        interrupted >= 32,
+        "the sweep must actually interrupt mid-run, saw {interrupted}"
+    );
+    assert!(last_watermark > 0, "the walk must cross unit deliveries");
+}

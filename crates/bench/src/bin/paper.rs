@@ -12,6 +12,8 @@
 //! paper replicas     # replica sweep: mirror routing, hedging, failover
 //! paper byzantine    # byzantine sweep: manifest digests, audits, quarantine
 //! paper overload     # overload sweep: fair-share scheduling + load shedding
+//! paper chaos        # chaos sweep: composed cross-layer fault scenarios
+//! paper chaos --repro r.nscr  # replay one chaos repro artifact
 //! paper csv results/ # machine-readable export of every table
 //! ```
 
@@ -23,6 +25,26 @@ use nonstrict_netsim::Link;
 
 fn main() {
     let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_owned());
+    // `paper chaos --repro <file>` replays one serialized scenario: it
+    // builds only that scenario's benchmark, not the whole suite.
+    if arg == "chaos" && std::env::args().nth(2).as_deref() == Some("--repro") {
+        let Some(path) = std::env::args().nth(3) else {
+            eprintln!("usage: paper chaos --repro <file.nscr>");
+            std::process::exit(2);
+        };
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        match nonstrict_core::chaos::replay_repro(&text) {
+            Ok(report) => println!("{report}"),
+            Err(e) => {
+                eprintln!("bad repro artifact {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
     eprintln!("building and profiling the six benchmarks...");
     let suite = Suite::new().expect("benchmarks build and run");
     match arg.as_str() {
@@ -106,6 +128,10 @@ fn main() {
             "{}",
             report::render_overload_sweep(&experiment::overload::overload_sweep(&suite))
         ),
+        "chaos" => println!(
+            "{}",
+            report::render_chaos_sweep(&experiment::chaos::chaos_sweep(&suite))
+        ),
         "csv" => {
             let dir = std::env::args()
                 .nth(2)
@@ -118,7 +144,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown table {other:?}; use all|table2..table10|fig6|summary|faults|verify|outage|replicas|byzantine|overload|csv"
+                "unknown table {other:?}; use all|table2..table10|fig6|summary|faults|verify|outage|replicas|byzantine|overload|chaos|csv"
             );
             std::process::exit(2);
         }

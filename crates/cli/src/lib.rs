@@ -718,17 +718,17 @@ fn cmd_partition(flags: &Flags) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Parses the `--link` flag (default `modem`) through the netsim
+/// crate's canonical name table.
+fn parse_link(flags: &Flags) -> Result<Link, CliError> {
+    let name = flags.get("link").unwrap_or("modem");
+    Link::by_name(name)
+        .ok_or_else(|| CliError::usage(format!("unknown link {name:?}; use t1|modem")))
+}
+
 fn cmd_simulate(flags: &Flags) -> Result<String, CliError> {
     let app = flags.app()?;
-    let link = match flags.get("link").unwrap_or("modem") {
-        "t1" => Link::T1,
-        "modem" => Link::MODEM_28_8,
-        other => {
-            return Err(CliError::usage(format!(
-                "unknown link {other:?}; use t1|modem"
-            )))
-        }
-    };
+    let link = parse_link(flags)?;
     let ordering = match flags.get("ordering").unwrap_or("scg") {
         "scg" => OrderingSource::StaticCallGraph,
         "train" => OrderingSource::TrainProfile,
@@ -1182,15 +1182,7 @@ fn cmd_timeline(flags: &Flags) -> Result<String, CliError> {
     use nonstrict_reorder::restructure;
 
     let app = flags.app()?;
-    let link = match flags.get("link").unwrap_or("modem") {
-        "t1" => Link::T1,
-        "modem" => Link::MODEM_28_8,
-        other => {
-            return Err(CliError::usage(format!(
-                "unknown link {other:?}; use t1|modem"
-            )))
-        }
-    };
+    let link = parse_link(flags)?;
     let order = match flags.get("ordering").unwrap_or("scg") {
         "scg" => static_first_use(&app.program),
         "train" | "test" => {

@@ -1,0 +1,1711 @@
+//! The chaos conductor: composed cross-layer fault scenarios.
+//!
+//! PRs 1–6 built six independent fault dimensions — link faults,
+//! semantic quarantine, outages/checkpoint-resume, replica
+//! kills/hedging, fleet overload, and Byzantine mirrors — each swept
+//! alone. This module composes **any subset** of them into one seeded,
+//! deterministic run and checks the composition against the global
+//! contracts the per-dimension suites established:
+//!
+//! * [`ChaosScenario`] — a declarative, serializable description of one
+//!   composed run: benchmark, structural dimensions (link, ordering,
+//!   transfer, layout, execution, verify), and the six fault
+//!   dimensions, each optional. The text form ([`ChaosScenario::encode`]
+//!   / [`ChaosScenario::decode`], `NSCR 1`) is the repro artifact
+//!   format replayed by `paper chaos --repro`.
+//! * [`run_scenario`] — runs the scenario and applies the **global
+//!   invariant checker**: eight-bucket ledger exactness (checked in
+//!   release builds too, not just via `debug_assert`), all-dimensions-
+//!   quiet byte-identity, journal watermark/clock monotonicity,
+//!   fail-closed degradation on a torn journal, and a mid-run
+//!   crash/resume equivalence probe.
+//! * [`crash_anywhere`] — the differential engine: interrupts and
+//!   resumes the composed run at **every** unit boundary (found by
+//!   binary search on the journal's delivered watermark, the PR 3
+//!   pattern lifted to arbitrary compositions) and records any bucket
+//!   that diverges from the uninterrupted run instead of panicking, so
+//!   the shrinker can consume failures.
+//! * [`shrink`] — a delta-debugging minimizer: drops whole dimensions,
+//!   then binary-searches rates, seeds, and interrupt points down to a
+//!   minimal still-failing scenario, bounded by a predicate-call
+//!   budget.
+//! * [`replay_repro`] — decodes a repro artifact, rebuilds the
+//!   benchmark session, reruns the scenario, and renders a
+//!   deterministic report — same text, bit for bit, on every replay.
+//!
+//! The overload dimension drives [`crate::fleet::run_fleet`] and is
+//! checked for per-client ledger exactness; it cannot be combined with
+//! an interrupt point (a fleet has no single journal to crash), which
+//! [`ChaosScenario::decode`] rejects as [`ScenarioError::Conflict`].
+
+use std::fmt;
+
+use nonstrict_bytecode::Input;
+use nonstrict_netsim::byzantine::ByzantineMode;
+use nonstrict_netsim::contention::ShedLadder;
+use nonstrict_netsim::Link;
+
+use crate::fleet::{run_fleet, AdmissionSettings, FleetClient, FleetSpec};
+use crate::journal::SessionJournal;
+use crate::model::{
+    ByzantineConfig, DataLayout, ExecutionModel, FaultConfig, OrderingSource, OutageConfig,
+    ReplicaConfig, ReplicaKill, SimConfig, TransferPolicy, VerifyMode,
+};
+use crate::sim::{RunOutcome, Session, SimResult};
+
+/// Magic first line of the serialized scenario format.
+pub const SCENARIO_MAGIC: &str = "NSCR";
+
+/// Current scenario format version.
+pub const SCENARIO_VERSION: u32 = 1;
+
+/// The overload dimension: how many clients contend for the scenario
+/// link as a shared egress pipe, under which admission and shed
+/// settings. Lowered to a [`crate::fleet::FleetSpec`] by
+/// [`run_scenario`]. Inactive below two clients, mirroring the other
+/// dimensions' armed-but-quiet normalization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OverloadDims {
+    /// Fleet seed: arrival offsets and backoff jitter.
+    pub seed: u64,
+    /// Number of contending clients (all running this scenario's
+    /// benchmark); 0 or 1 is no contention at all.
+    pub clients: u32,
+    /// Per-client access-link spread (ppm): client `i`'s
+    /// cycles-per-byte is the scenario link's scaled by
+    /// `1 + i * spread_pm / 1e6`.
+    pub spread_pm: u32,
+    /// Token-bucket admission rate per period; 0 disables admission
+    /// control.
+    pub admit_rate: u32,
+    /// Load-shed ladder; `None` serves every client unmodified.
+    pub ladder: Option<ShedLadder>,
+}
+
+impl OverloadDims {
+    /// An overload config with a single client under `seed` — the
+    /// fleet machinery is armed but there is no one to contend with.
+    #[must_use]
+    pub fn seeded(seed: u64) -> OverloadDims {
+        OverloadDims {
+            seed,
+            clients: 1,
+            spread_pm: ReplicaConfig::DEFAULT_SPREAD_PM,
+            admit_rate: 0,
+            ladder: None,
+        }
+    }
+
+    /// Whether any contention can actually occur.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.clients >= 2
+    }
+}
+
+/// Where to crash the composed run: the interrupt dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct InterruptDims {
+    /// Base-timeline cycle of the kill.
+    pub at_cycle: u64,
+    /// Client downtime before the reconnect, charged to the resume
+    /// bucket.
+    pub downtime: u64,
+}
+
+/// One composed chaos scenario: every structural dimension plus any
+/// subset of the six fault dimensions, fully seeded and deterministic.
+/// Equal scenarios produce bit-identical runs.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ChaosScenario {
+    /// Benchmark name ([`nonstrict_workloads::build_by_name`]).
+    pub bench: String,
+    /// The network link (and the fleet egress under overload).
+    pub link: Link,
+    /// First-use ordering source.
+    pub ordering: OrderingSource,
+    /// Transfer policy.
+    pub transfer: TransferPolicy,
+    /// Global-data layout.
+    pub data_layout: DataLayout,
+    /// Execution model.
+    pub execution: ExecutionModel,
+    /// Verification mode.
+    pub verify: VerifyMode,
+    /// Link-fault dimension.
+    pub faults: Option<FaultConfig>,
+    /// Outage dimension.
+    pub outages: Option<OutageConfig>,
+    /// Replica-set dimension.
+    pub replicas: Option<ReplicaConfig>,
+    /// Byzantine-mirror dimension.
+    pub byzantine: Option<ByzantineConfig>,
+    /// Overload dimension (fleet contention).
+    pub overload: Option<OverloadDims>,
+    /// Crash/resume dimension.
+    pub interrupt: Option<InterruptDims>,
+}
+
+impl ChaosScenario {
+    /// A quiet scenario: every fault dimension absent.
+    #[must_use]
+    pub fn new(bench: &str, link: Link, ordering: OrderingSource) -> ChaosScenario {
+        ChaosScenario {
+            bench: bench.to_owned(),
+            link,
+            ordering,
+            transfer: TransferPolicy::Parallel { limit: 4 },
+            data_layout: DataLayout::Whole,
+            execution: ExecutionModel::NonStrict,
+            verify: VerifyMode::Off,
+            faults: None,
+            outages: None,
+            replicas: None,
+            byzantine: None,
+            overload: None,
+            interrupt: None,
+        }
+    }
+
+    /// This scenario with the link-fault dimension set.
+    #[must_use]
+    pub fn with_faults(mut self, fc: FaultConfig) -> Self {
+        self.faults = Some(fc);
+        self
+    }
+
+    /// This scenario with the outage dimension set.
+    #[must_use]
+    pub fn with_outages(mut self, oc: OutageConfig) -> Self {
+        self.outages = Some(oc);
+        self
+    }
+
+    /// This scenario with the replica dimension set.
+    #[must_use]
+    pub fn with_replicas(mut self, rc: ReplicaConfig) -> Self {
+        self.replicas = Some(rc);
+        self
+    }
+
+    /// This scenario with the byzantine dimension set.
+    #[must_use]
+    pub fn with_byzantine(mut self, bc: ByzantineConfig) -> Self {
+        self.byzantine = Some(bc);
+        self
+    }
+
+    /// This scenario with the overload dimension set.
+    #[must_use]
+    pub fn with_overload(mut self, ov: OverloadDims) -> Self {
+        self.overload = Some(ov);
+        self
+    }
+
+    /// This scenario with the crash/resume dimension set.
+    #[must_use]
+    pub fn with_interrupt(mut self, at_cycle: u64, downtime: u64) -> Self {
+        self.interrupt = Some(InterruptDims { at_cycle, downtime });
+        self
+    }
+
+    /// This scenario with `verify` as its verification mode.
+    #[must_use]
+    pub fn with_verify(mut self, verify: VerifyMode) -> Self {
+        self.verify = verify;
+        self
+    }
+
+    /// The single-client [`SimConfig`] this scenario lowers to.
+    #[must_use]
+    pub fn config(&self) -> SimConfig {
+        SimConfig {
+            link: self.link,
+            ordering: self.ordering,
+            transfer: self.transfer,
+            data_layout: self.data_layout,
+            execution: self.execution,
+            verify: self.verify,
+            faults: self.faults,
+            outages: self.outages,
+            replicas: self.replicas,
+            byzantine: self.byzantine,
+        }
+    }
+
+    /// The overload dimension, if it can actually contend.
+    #[must_use]
+    pub fn active_overload(&self) -> Option<OverloadDims> {
+        self.overload.filter(OverloadDims::is_active)
+    }
+
+    /// Whether every fault dimension is absent or armed-but-inactive:
+    /// such a scenario must be byte-identical to the stripped run (the
+    /// all-rates-zero identity every per-dimension suite pins).
+    #[must_use]
+    pub fn is_quiet(&self) -> bool {
+        let c = self.config();
+        c.active_faults().is_none()
+            && c.active_outages().is_none()
+            && c.active_replicas().is_none()
+            && c.active_byzantine().is_none()
+            && self.active_overload().is_none()
+            && self.interrupt.is_none()
+    }
+
+    /// Short `+`-joined label of the *active* dimensions, `"quiet"`
+    /// when none are.
+    #[must_use]
+    pub fn label(&self) -> String {
+        let c = self.config();
+        let mut parts = Vec::new();
+        if c.active_faults().is_some() {
+            parts.push("faults");
+        }
+        if self.verify != VerifyMode::Off {
+            parts.push("verify");
+        }
+        if c.active_outages().is_some() {
+            parts.push("outage");
+        }
+        if c.active_replicas().is_some() {
+            parts.push("replicas");
+        }
+        if c.active_byzantine().is_some() {
+            parts.push("byz");
+        }
+        if self.active_overload().is_some() {
+            parts.push("overload");
+        }
+        if self.interrupt.is_some() {
+            parts.push("crash");
+        }
+        if parts.is_empty() {
+            "quiet".to_owned()
+        } else {
+            parts.join("+")
+        }
+    }
+
+    /// Serializes this scenario as an `NSCR 1` repro artifact:
+    /// newline-terminated `key = value` lines in a fixed order, so
+    /// `encode ∘ decode` is the identity and equal scenarios produce
+    /// identical bytes.
+    #[must_use]
+    pub fn encode(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = format!("{SCENARIO_MAGIC} {SCENARIO_VERSION}\n");
+        let _ = writeln!(s, "bench = {}", self.bench);
+        let _ = writeln!(s, "link = {}", encode_link(self.link));
+        let _ = writeln!(s, "ordering = {}", encode_ordering(self.ordering));
+        let _ = writeln!(s, "transfer = {}", encode_transfer(self.transfer));
+        let _ = writeln!(s, "layout = {}", encode_layout(self.data_layout));
+        let _ = writeln!(s, "execution = {}", encode_execution(self.execution));
+        let _ = writeln!(s, "verify = {}", self.verify.label());
+        if let Some(fc) = self.faults {
+            let _ = writeln!(s, "fault.seed = {}", fc.seed);
+            let _ = writeln!(s, "fault.loss_pm = {}", fc.loss_pm);
+            let _ = writeln!(s, "fault.corrupt_pm = {}", fc.corrupt_pm);
+            let _ = writeln!(s, "fault.drop_pm = {}", fc.drop_pm);
+            let _ = writeln!(s, "fault.droop_pm = {}", fc.droop_pm);
+            let _ = writeln!(s, "fault.semantic_pm = {}", fc.semantic_pm);
+            let _ = writeln!(s, "fault.reconnect_cycles = {}", fc.reconnect_cycles);
+            let _ = writeln!(s, "fault.degrade_threshold = {}", fc.degrade_threshold);
+        }
+        if let Some(oc) = self.outages {
+            let _ = writeln!(s, "outage.seed = {}", oc.seed);
+            let _ = writeln!(s, "outage.rate_pm = {}", oc.rate_pm);
+            let _ = writeln!(s, "outage.min_cycles = {}", oc.min_cycles);
+            let _ = writeln!(s, "outage.max_cycles = {}", oc.max_cycles);
+            let _ = writeln!(s, "outage.negotiation_cycles = {}", oc.negotiation_cycles);
+        }
+        if let Some(rc) = self.replicas {
+            let _ = writeln!(s, "replica.seed = {}", rc.seed);
+            let _ = writeln!(s, "replica.replicas = {}", rc.replicas);
+            let _ = writeln!(s, "replica.spread_pm = {}", rc.spread_pm);
+            let _ = writeln!(
+                s,
+                "replica.hedge_deadline_cycles = {}",
+                rc.hedge_deadline_cycles
+            );
+            if let Some(k) = rc.kill {
+                let _ = writeln!(s, "replica.kill = {}@{}", k.replica, k.at_cycle);
+            }
+        }
+        if let Some(bc) = self.byzantine {
+            let _ = writeln!(s, "byz.seed = {}", bc.seed);
+            let _ = writeln!(s, "byz.mirrors = {}", bc.mirrors);
+            let _ = writeln!(s, "byz.mode = {}", bc.mode.label());
+            let _ = writeln!(s, "byz.audit_rate_pm = {}", bc.audit_rate_pm);
+        }
+        if let Some(ov) = self.overload {
+            let _ = writeln!(s, "overload.seed = {}", ov.seed);
+            let _ = writeln!(s, "overload.clients = {}", ov.clients);
+            let _ = writeln!(s, "overload.spread_pm = {}", ov.spread_pm);
+            let _ = writeln!(s, "overload.admit_rate = {}", ov.admit_rate);
+            if let Some(l) = ov.ladder {
+                let _ = writeln!(
+                    s,
+                    "overload.ladder = {}/{}/{}",
+                    l.drop_hedges, l.force_strict, l.shed
+                );
+            }
+        }
+        if let Some(i) = self.interrupt {
+            let _ = writeln!(s, "interrupt.at_cycle = {}", i.at_cycle);
+            let _ = writeln!(s, "interrupt.downtime = {}", i.downtime);
+        }
+        s
+    }
+
+    /// Parses an `NSCR 1` repro artifact (the inverse of
+    /// [`Self::encode`]). Accepts blank lines and `#` comments; keys
+    /// may appear in any order but at most once; a dimension's section
+    /// materializes (with seeded defaults) as soon as any of its keys
+    /// appears.
+    ///
+    /// # Errors
+    ///
+    /// Every malformed input maps to a typed [`ScenarioError`] — the
+    /// repro loader never panics on hostile bytes.
+    pub fn decode(text: &str) -> Result<ChaosScenario, ScenarioError> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or(ScenarioError::BadMagic)?;
+        let mut hp = header.split_ascii_whitespace();
+        if hp.next() != Some(SCENARIO_MAGIC) {
+            return Err(ScenarioError::BadMagic);
+        }
+        let version: u32 = hp
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or(ScenarioError::BadMagic)?;
+        if version != SCENARIO_VERSION {
+            return Err(ScenarioError::BadVersion(version));
+        }
+        if hp.next().is_some() {
+            return Err(ScenarioError::BadMagic);
+        }
+
+        let mut sc = ChaosScenario::new("", Link::T1, OrderingSource::StaticCallGraph);
+        let mut seen: Vec<String> = Vec::new();
+        let mut kill: Option<(u32, u64)> = None;
+        let mut ladder: Option<(u64, u64, u64)> = None;
+        for raw in lines {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .map(|(k, v)| (k.trim(), v.trim()))
+                .ok_or_else(|| ScenarioError::BadLine(line.to_owned()))?;
+            if seen.iter().any(|s| s == key) {
+                return Err(ScenarioError::DuplicateKey(key.to_owned()));
+            }
+            seen.push(key.to_owned());
+            let bad = || ScenarioError::BadValue {
+                key: key.to_owned(),
+                value: value.to_owned(),
+            };
+            // Typed numeric parsers, shared by every section.
+            macro_rules! num {
+                () => {
+                    value.parse().map_err(|_| bad())?
+                };
+            }
+            match key {
+                "bench" => sc.bench = value.to_owned(),
+                "link" => sc.link = decode_link(value).ok_or_else(bad)?,
+                "ordering" => sc.ordering = decode_ordering(value).ok_or_else(bad)?,
+                "transfer" => sc.transfer = decode_transfer(value).ok_or_else(bad)?,
+                "layout" => sc.data_layout = decode_layout(value).ok_or_else(bad)?,
+                "execution" => sc.execution = decode_execution(value).ok_or_else(bad)?,
+                "verify" => sc.verify = VerifyMode::parse(value).ok_or_else(bad)?,
+                "fault.seed" => sc.faults.get_or_insert(FaultConfig::seeded(0)).seed = num!(),
+                "fault.loss_pm" => sc.faults.get_or_insert(FaultConfig::seeded(0)).loss_pm = num!(),
+                "fault.corrupt_pm" => {
+                    sc.faults.get_or_insert(FaultConfig::seeded(0)).corrupt_pm = num!();
+                }
+                "fault.drop_pm" => sc.faults.get_or_insert(FaultConfig::seeded(0)).drop_pm = num!(),
+                "fault.droop_pm" => {
+                    sc.faults.get_or_insert(FaultConfig::seeded(0)).droop_pm = num!();
+                }
+                "fault.semantic_pm" => {
+                    sc.faults.get_or_insert(FaultConfig::seeded(0)).semantic_pm = num!();
+                }
+                "fault.reconnect_cycles" => {
+                    sc.faults
+                        .get_or_insert(FaultConfig::seeded(0))
+                        .reconnect_cycles = num!();
+                }
+                "fault.degrade_threshold" => {
+                    sc.faults
+                        .get_or_insert(FaultConfig::seeded(0))
+                        .degrade_threshold = num!();
+                }
+                "outage.seed" => sc.outages.get_or_insert(OutageConfig::seeded(0)).seed = num!(),
+                "outage.rate_pm" => {
+                    sc.outages.get_or_insert(OutageConfig::seeded(0)).rate_pm = num!();
+                }
+                "outage.min_cycles" => {
+                    sc.outages.get_or_insert(OutageConfig::seeded(0)).min_cycles = num!();
+                }
+                "outage.max_cycles" => {
+                    sc.outages.get_or_insert(OutageConfig::seeded(0)).max_cycles = num!();
+                }
+                "outage.negotiation_cycles" => {
+                    sc.outages
+                        .get_or_insert(OutageConfig::seeded(0))
+                        .negotiation_cycles = num!();
+                }
+                "replica.seed" => sc.replicas.get_or_insert(ReplicaConfig::seeded(0)).seed = num!(),
+                "replica.replicas" => {
+                    sc.replicas.get_or_insert(ReplicaConfig::seeded(0)).replicas = num!();
+                }
+                "replica.spread_pm" => {
+                    sc.replicas
+                        .get_or_insert(ReplicaConfig::seeded(0))
+                        .spread_pm = num!();
+                }
+                "replica.hedge_deadline_cycles" => {
+                    sc.replicas
+                        .get_or_insert(ReplicaConfig::seeded(0))
+                        .hedge_deadline_cycles = num!();
+                }
+                "replica.kill" => {
+                    let (r, at) = value.split_once('@').ok_or_else(bad)?;
+                    kill = Some((
+                        r.parse().map_err(|_| bad())?,
+                        at.parse().map_err(|_| bad())?,
+                    ));
+                }
+                "byz.seed" => sc.byzantine.get_or_insert(ByzantineConfig::seeded(0)).seed = num!(),
+                "byz.mirrors" => {
+                    sc.byzantine
+                        .get_or_insert(ByzantineConfig::seeded(0))
+                        .mirrors = num!();
+                }
+                "byz.mode" => {
+                    sc.byzantine.get_or_insert(ByzantineConfig::seeded(0)).mode =
+                        ByzantineMode::parse(value).ok_or_else(bad)?;
+                }
+                "byz.audit_rate_pm" => {
+                    sc.byzantine
+                        .get_or_insert(ByzantineConfig::seeded(0))
+                        .audit_rate_pm = num!();
+                }
+                "overload.seed" => sc.overload.get_or_insert(OverloadDims::seeded(0)).seed = num!(),
+                "overload.clients" => {
+                    sc.overload.get_or_insert(OverloadDims::seeded(0)).clients = num!();
+                }
+                "overload.spread_pm" => {
+                    sc.overload.get_or_insert(OverloadDims::seeded(0)).spread_pm = num!();
+                }
+                "overload.admit_rate" => {
+                    sc.overload
+                        .get_or_insert(OverloadDims::seeded(0))
+                        .admit_rate = num!();
+                }
+                "overload.ladder" => {
+                    let mut it = value.splitn(3, '/');
+                    let mut part = || -> Result<u64, ScenarioError> {
+                        it.next().ok_or_else(bad)?.parse().map_err(|_| bad())
+                    };
+                    ladder = Some((part()?, part()?, part()?));
+                }
+                "interrupt.at_cycle" => {
+                    sc.interrupt
+                        .get_or_insert(InterruptDims {
+                            at_cycle: 0,
+                            downtime: 0,
+                        })
+                        .at_cycle = num!();
+                }
+                "interrupt.downtime" => {
+                    sc.interrupt
+                        .get_or_insert(InterruptDims {
+                            at_cycle: 0,
+                            downtime: 0,
+                        })
+                        .downtime = num!();
+                }
+                _ => return Err(ScenarioError::UnknownKey(key.to_owned())),
+            }
+        }
+        if sc.bench.is_empty() {
+            return Err(ScenarioError::MissingKey("bench"));
+        }
+        if let Some((replica, at_cycle)) = kill {
+            let rc = sc
+                .replicas
+                .as_mut()
+                .ok_or(ScenarioError::MissingKey("replica.seed"))?;
+            rc.kill = Some(ReplicaKill { replica, at_cycle });
+        }
+        if let Some((drop_hedges, force_strict, shed)) = ladder {
+            let ov = sc
+                .overload
+                .as_mut()
+                .ok_or(ScenarioError::MissingKey("overload.seed"))?;
+            ov.ladder = Some(
+                ShedLadder::new(drop_hedges, force_strict, shed).map_err(|_| {
+                    ScenarioError::BadValue {
+                        key: "overload.ladder".to_owned(),
+                        value: format!("{drop_hedges}/{force_strict}/{shed}"),
+                    }
+                })?,
+            );
+        }
+        if sc.active_overload().is_some() && sc.interrupt.is_some() {
+            return Err(ScenarioError::Conflict(
+                "interrupt cannot compose with overload: a fleet has no single journal to crash",
+            ));
+        }
+        Ok(sc)
+    }
+}
+
+/// Typed decoding errors for the `NSCR` repro format: hostile or stale
+/// artifacts fail closed with a diagnosable reason, never a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScenarioError {
+    /// The first line is not `NSCR <version>`.
+    BadMagic,
+    /// A version this reader does not understand.
+    BadVersion(u32),
+    /// A line that is neither blank, a comment, nor `key = value`.
+    BadLine(String),
+    /// A key this reader does not know.
+    UnknownKey(String),
+    /// A key appeared twice.
+    DuplicateKey(String),
+    /// A value failed to parse for its key.
+    BadValue {
+        /// The offending key.
+        key: String,
+        /// The offending value.
+        value: String,
+    },
+    /// A required key is missing (or a dependent key appeared without
+    /// its section anchor).
+    MissingKey(&'static str),
+    /// Two dimensions that cannot compose were both requested.
+    Conflict(&'static str),
+    /// The benchmark name matches no known workload.
+    UnknownBench(String),
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::BadMagic => {
+                write!(
+                    f,
+                    "not a scenario file: expected `{SCENARIO_MAGIC} {SCENARIO_VERSION}`"
+                )
+            }
+            ScenarioError::BadVersion(v) => {
+                write!(
+                    f,
+                    "scenario version {v} is not supported (max {SCENARIO_VERSION})"
+                )
+            }
+            ScenarioError::BadLine(l) => write!(f, "malformed line: {l}"),
+            ScenarioError::UnknownKey(k) => write!(f, "unknown key: {k}"),
+            ScenarioError::DuplicateKey(k) => write!(f, "duplicate key: {k}"),
+            ScenarioError::BadValue { key, value } => write!(f, "bad value for {key}: {value}"),
+            ScenarioError::MissingKey(k) => write!(f, "missing key: {k}"),
+            ScenarioError::Conflict(why) => write!(f, "conflicting dimensions: {why}"),
+            ScenarioError::UnknownBench(b) => write!(f, "unknown benchmark: {b}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+fn encode_link(link: Link) -> String {
+    if link == Link::T1 {
+        "t1".to_owned()
+    } else if link == Link::MODEM_28_8 {
+        "modem".to_owned()
+    } else {
+        format!("cpb:{}", link.cycles_per_byte)
+    }
+}
+
+fn decode_link(s: &str) -> Option<Link> {
+    if let Some(l) = Link::by_name(s) {
+        return Some(l);
+    }
+    let cpb: u64 = s.strip_prefix("cpb:")?.parse().ok()?;
+    Some(Link {
+        cycles_per_byte: cpb.max(1),
+        name: "custom",
+    })
+}
+
+fn encode_ordering(o: OrderingSource) -> &'static str {
+    match o {
+        OrderingSource::SourceOrder => "src",
+        OrderingSource::StaticCallGraph => "scg",
+        OrderingSource::TrainProfile => "train",
+        OrderingSource::TestProfile => "test",
+    }
+}
+
+fn decode_ordering(s: &str) -> Option<OrderingSource> {
+    match s {
+        "src" => Some(OrderingSource::SourceOrder),
+        "scg" => Some(OrderingSource::StaticCallGraph),
+        "train" => Some(OrderingSource::TrainProfile),
+        "test" => Some(OrderingSource::TestProfile),
+        _ => None,
+    }
+}
+
+fn encode_transfer(t: TransferPolicy) -> String {
+    match t {
+        TransferPolicy::Strict => "strict".to_owned(),
+        TransferPolicy::Parallel { limit: usize::MAX } => "parinf".to_owned(),
+        TransferPolicy::Parallel { limit } => format!("par{limit}"),
+        TransferPolicy::Interleaved => "ilv".to_owned(),
+    }
+}
+
+fn decode_transfer(s: &str) -> Option<TransferPolicy> {
+    match s {
+        "strict" => Some(TransferPolicy::Strict),
+        "parinf" => Some(TransferPolicy::Parallel { limit: usize::MAX }),
+        "ilv" => Some(TransferPolicy::Interleaved),
+        _ => {
+            let limit: usize = s.strip_prefix("par")?.parse().ok()?;
+            (limit > 0).then_some(TransferPolicy::Parallel { limit })
+        }
+    }
+}
+
+fn encode_layout(d: DataLayout) -> &'static str {
+    match d {
+        DataLayout::Whole => "whole",
+        DataLayout::Partitioned => "part",
+    }
+}
+
+fn decode_layout(s: &str) -> Option<DataLayout> {
+    match s {
+        "whole" => Some(DataLayout::Whole),
+        "part" => Some(DataLayout::Partitioned),
+        _ => None,
+    }
+}
+
+fn encode_execution(e: ExecutionModel) -> &'static str {
+    match e {
+        ExecutionModel::Strict => "strict",
+        ExecutionModel::NonStrict => "nonstrict",
+    }
+}
+
+fn decode_execution(s: &str) -> Option<ExecutionModel> {
+    match s {
+        "strict" => Some(ExecutionModel::Strict),
+        "nonstrict" => Some(ExecutionModel::NonStrict),
+        _ => None,
+    }
+}
+
+/// One global-invariant violation found by [`run_scenario`] or
+/// [`crash_anywhere`]. A passing scenario produces none.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChaosViolation {
+    /// `total_cycles` is not the eight-bucket sum.
+    LedgerInexact {
+        /// Fleet client index (0 for single-client scenarios).
+        client: u32,
+        /// The reported total.
+        total: u64,
+        /// The bucket sum.
+        sum: u64,
+    },
+    /// An all-dimensions-quiet scenario diverged from the stripped run.
+    ZeroIdentityBroken,
+    /// A later checkpoint delivered fewer units than an earlier one.
+    WatermarkRegression {
+        /// Interrupt cycle of the later checkpoint.
+        at_cycle: u64,
+        /// Units delivered at the earlier checkpoint.
+        prev: u64,
+        /// Units delivered at the later checkpoint.
+        next: u64,
+    },
+    /// A later checkpoint's journal clock ran backwards.
+    ClockRegression {
+        /// Interrupt cycle of the later checkpoint.
+        at_cycle: u64,
+        /// Clock at the earlier checkpoint.
+        prev: u64,
+        /// Clock at the later checkpoint.
+        next: u64,
+    },
+    /// A torn journal did not degrade fail-closed (or the fail-closed
+    /// restart did not complete).
+    FailOpen(&'static str),
+    /// A crash/resume round trip diverged from the uninterrupted run.
+    CrashDivergence(BoundaryDivergence),
+    /// The composed run did not execute the program to completion.
+    Incomplete,
+}
+
+impl fmt::Display for ChaosViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChaosViolation::LedgerInexact { client, total, sum } => write!(
+                f,
+                "ledger inexact for client {client}: total {total} != bucket sum {sum}"
+            ),
+            ChaosViolation::ZeroIdentityBroken => {
+                write!(f, "quiet scenario diverged from the stripped run")
+            }
+            ChaosViolation::WatermarkRegression {
+                at_cycle,
+                prev,
+                next,
+            } => write!(
+                f,
+                "delivered watermark regressed at cycle {at_cycle}: {prev} -> {next}"
+            ),
+            ChaosViolation::ClockRegression {
+                at_cycle,
+                prev,
+                next,
+            } => write!(
+                f,
+                "journal clock regressed at cycle {at_cycle}: {prev} -> {next}"
+            ),
+            ChaosViolation::FailOpen(why) => write!(f, "fail-closed violation: {why}"),
+            ChaosViolation::CrashDivergence(d) => write!(f, "{d}"),
+            ChaosViolation::Incomplete => write!(f, "program did not run to completion"),
+        }
+    }
+}
+
+/// One diverging field of a crash/resume round trip.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoundaryDivergence {
+    /// The interrupt cycle probed.
+    pub at_cycle: u64,
+    /// Units delivered at the checkpoint.
+    pub delivered: u64,
+    /// The diverging quantity.
+    pub field: &'static str,
+    /// Its value in the uninterrupted run.
+    pub base: u64,
+    /// Its value in the resumed run.
+    pub resumed: u64,
+}
+
+impl fmt::Display for BoundaryDivergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "crash at cycle {} ({} units delivered): {} diverged, base {} vs resumed {}",
+            self.at_cycle, self.delivered, self.field, self.base, self.resumed
+        )
+    }
+}
+
+/// Aggregate fleet numbers for overload scenarios.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetDigest {
+    /// Clients in the fleet.
+    pub clients: u32,
+    /// Median per-client total cycles.
+    pub p50_total: u64,
+    /// 99th-percentile per-client total cycles.
+    pub p99_total: u64,
+    /// Admission rejections across the fleet.
+    pub rejections: u64,
+    /// Queue cycles across the fleet.
+    pub queue_cycles: u64,
+}
+
+/// What [`run_scenario`] produced: the composed result plus every
+/// invariant violation the global checker found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosReport {
+    /// The scenario run.
+    pub scenario: ChaosScenario,
+    /// The final result: resumed when the interrupt dimension is set,
+    /// client 0's outcome under overload, the plain run otherwise.
+    pub result: SimResult,
+    /// Fleet aggregates, for overload scenarios.
+    pub fleet: Option<FleetDigest>,
+    /// Invariant violations, in discovery order; empty on a pass.
+    pub violations: Vec<ChaosViolation>,
+}
+
+impl ChaosReport {
+    /// Whether every global invariant held.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Scales the scenario link for fleet client `i` the way the CLI's
+/// `--client-spread` does: `1 + i * spread_pm / 1e6` cycles per byte.
+fn client_link(base: Link, spread_pm: u32, i: u32) -> Link {
+    let cpb = u128::from(base.cycles_per_byte)
+        * (1_000_000 + u128::from(spread_pm) * u128::from(i))
+        / 1_000_000;
+    Link {
+        cycles_per_byte: u64::try_from(cpb).unwrap_or(u64::MAX),
+        name: base.name,
+    }
+}
+
+/// Runs one composed scenario on a prepared `session` (which must be
+/// the scenario's benchmark) and applies the global invariant checker.
+/// Deterministic: equal scenarios produce equal reports, bit for bit.
+#[must_use]
+pub fn run_scenario(session: &Session, sc: &ChaosScenario) -> ChaosReport {
+    let config = sc.config();
+    let mut violations = Vec::new();
+
+    // Overload path: the fleet has no single journal, so the interrupt
+    // dimension is rejected at decode time and ignored here.
+    if let Some(ov) = sc.active_overload() {
+        let spec = FleetSpec {
+            admission: (ov.admit_rate > 0).then(|| AdmissionSettings::per_period(ov.admit_rate)),
+            ladder: ov.ladder,
+            egress: sc.link,
+            ..FleetSpec::seeded(ov.seed)
+        };
+        let clients: Vec<FleetClient> = (0..ov.clients)
+            .map(|i| FleetClient {
+                name: &sc.bench,
+                session,
+                link: client_link(sc.link, ov.spread_pm, i),
+                weight: 1,
+            })
+            .collect();
+        let fleet = run_fleet(&spec, &clients, Input::Test, &config);
+        for (i, c) in fleet.clients.iter().enumerate() {
+            check_ledger(
+                &c.result,
+                u32::try_from(i).unwrap_or(u32::MAX),
+                &mut violations,
+            );
+            if !c.result.faults.completed {
+                violations.push(ChaosViolation::Incomplete);
+            }
+        }
+        let result = fleet.clients[0].result;
+        return ChaosReport {
+            scenario: sc.clone(),
+            result,
+            fleet: Some(FleetDigest {
+                clients: ov.clients,
+                p50_total: fleet.p50_total,
+                p99_total: fleet.p99_total,
+                rejections: fleet.rejections(),
+                queue_cycles: fleet.queue_cycles(),
+            }),
+            violations,
+        };
+    }
+
+    let base = session.simulate(Input::Test, &config);
+    check_ledger(&base, 0, &mut violations);
+    if !base.faults.completed {
+        violations.push(ChaosViolation::Incomplete);
+    }
+
+    // All-rates-zero byte-identity: an armed-but-quiet scenario must
+    // match the fully stripped config exactly.
+    if sc.is_quiet() {
+        let stripped = SimConfig {
+            faults: None,
+            outages: None,
+            replicas: None,
+            byzantine: None,
+            ..config
+        };
+        if base != session.simulate(Input::Test, &stripped) {
+            violations.push(ChaosViolation::ZeroIdentityBroken);
+        }
+    }
+
+    check_watermarks(session, &config, base.total_cycles, &mut violations);
+    check_fail_closed(session, &config, base.total_cycles, &mut violations);
+
+    let result = match sc.interrupt {
+        None => base,
+        Some(i) => {
+            let r = match session.run_until(Input::Test, &config, i.at_cycle) {
+                RunOutcome::Finished(r) => *r,
+                RunOutcome::Interrupted(bytes) => {
+                    session.resume(Input::Test, &config, &bytes, i.downtime)
+                }
+            };
+            check_ledger(&r, 0, &mut violations);
+            for d in compare_resume(&base, &r, &config, i.at_cycle) {
+                violations.push(ChaosViolation::CrashDivergence(d));
+            }
+            r
+        }
+    };
+
+    ChaosReport {
+        scenario: sc.clone(),
+        result,
+        fleet: None,
+        violations,
+    }
+}
+
+/// Eight-bucket exactness, checked in release builds too (the sim's own
+/// `debug_assert` vanishes exactly where soak runs live).
+fn check_ledger(r: &SimResult, client: u32, violations: &mut Vec<ChaosViolation>) {
+    let sum = r.ledger().total();
+    if sum != r.total_cycles {
+        violations.push(ChaosViolation::LedgerInexact {
+            client,
+            total: r.total_cycles,
+            sum,
+        });
+    }
+}
+
+/// Journal watermark/clock monotonicity: checkpoints taken later in
+/// the run never deliver fewer units or report an earlier clock.
+/// Probes a fixed grid of interrupt points (the exhaustive walk is
+/// [`crash_anywhere`]'s job).
+fn check_watermarks(
+    session: &Session,
+    config: &SimConfig,
+    total: u64,
+    violations: &mut Vec<ChaosViolation>,
+) {
+    const PROBES: u64 = 8;
+    let mut prev: Option<(u64, u64)> = None; // (delivered, clock)
+    for p in 1..=PROBES {
+        let at = total * p / (PROBES + 1);
+        let RunOutcome::Interrupted(bytes) = session.run_until(Input::Test, config, at) else {
+            break;
+        };
+        let Ok(journal) = SessionJournal::decode(&bytes) else {
+            violations.push(ChaosViolation::FailOpen(
+                "self-written journal failed to decode",
+            ));
+            break;
+        };
+        let delivered: u64 = journal.classes.iter().map(|c| u64::from(c.delivered)).sum();
+        if let Some((pd, pc)) = prev {
+            if delivered < pd {
+                violations.push(ChaosViolation::WatermarkRegression {
+                    at_cycle: at,
+                    prev: pd,
+                    next: delivered,
+                });
+            }
+            if journal.clock < pc {
+                violations.push(ChaosViolation::ClockRegression {
+                    at_cycle: at,
+                    prev: pc,
+                    next: journal.clock,
+                });
+            }
+        }
+        prev = Some((delivered, journal.clock));
+    }
+}
+
+/// Fail-closed degradation ordering: a torn mid-run journal must be
+/// detected, resume nothing, and still complete under the strict
+/// fallback.
+fn check_fail_closed(
+    session: &Session,
+    config: &SimConfig,
+    total: u64,
+    violations: &mut Vec<ChaosViolation>,
+) {
+    let RunOutcome::Interrupted(mut bytes) = session.run_until(Input::Test, config, total / 2)
+    else {
+        return;
+    };
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    let r = session.resume(Input::Test, config, &bytes, 1_000_000);
+    if !r.outage.failed_closed {
+        violations.push(ChaosViolation::FailOpen("torn journal was not detected"));
+        return;
+    }
+    if r.outage.resumes != 0 {
+        violations.push(ChaosViolation::FailOpen("torn journal resumed watermarks"));
+    }
+    if !r.faults.completed {
+        violations.push(ChaosViolation::FailOpen(
+            "fail-closed restart did not complete",
+        ));
+    }
+}
+
+/// Compares a resumed run against the uninterrupted run under the
+/// composed-resume contract: the base timeline is untouched (every
+/// bucket except resume identical), the wall clock is base plus the
+/// resume bucket's growth, and exactly one more outage/resume is
+/// recorded. Invocation latency is compared only when no ambient
+/// outage schedule is active: ambient outages remap latency onto the
+/// wall clock, which an interrupt legitimately shifts.
+fn compare_resume(
+    base: &SimResult,
+    r: &SimResult,
+    config: &SimConfig,
+    at_cycle: u64,
+) -> Vec<BoundaryDivergence> {
+    let mut out = Vec::new();
+    let delivered = 0; // caller-specific; crash_anywhere overwrites it
+    let mut diff = |field: &'static str, b: u64, v: u64| {
+        if b != v {
+            out.push(BoundaryDivergence {
+                at_cycle,
+                delivered,
+                field,
+                base: b,
+                resumed: v,
+            });
+        }
+    };
+    if r.outage.failed_closed {
+        diff("failed_closed", 0, 1);
+        return out;
+    }
+    diff("exec_cycles", base.exec_cycles, r.exec_cycles);
+    diff("stall_cycles", base.stall_cycles, r.stall_cycles);
+    diff("verify_cycles", base.verify_cycles, r.verify_cycles);
+    diff(
+        "recovery_cycles",
+        base.faults.recovery_cycles,
+        r.faults.recovery_cycles,
+    );
+    diff(
+        "hedge_cycles",
+        base.replica.hedge_cycles,
+        r.replica.hedge_cycles,
+    );
+    diff(
+        "integrity_cycles",
+        base.integrity.integrity_cycles,
+        r.integrity.integrity_cycles,
+    );
+    diff("queue_cycles", base.queue_cycles, r.queue_cycles);
+    diff("retries", base.faults.retries, r.faults.retries);
+    diff("drops", base.faults.drops, r.faults.drops);
+    diff("corrupted", base.faults.corrupted, r.faults.corrupted);
+    diff("quarantined", base.faults.quarantined, r.faults.quarantined);
+    diff("stalls", u64::from(base.stalls), u64::from(r.stalls));
+    diff(
+        "degraded_classes",
+        u64::from(base.faults.degraded_classes),
+        u64::from(r.faults.degraded_classes),
+    );
+    diff("hedges", base.replica.hedges, r.replica.hedges);
+    diff("failovers", base.replica.failovers, r.replica.failovers);
+    diff(
+        "divergent_units",
+        base.integrity.divergent_units,
+        r.integrity.divergent_units,
+    );
+    diff("audits", base.integrity.audits, r.integrity.audits);
+    // Base-timeline equality: total minus the resume bucket matches.
+    diff(
+        "base_timeline_total",
+        base.total_cycles - base.outage.resume_cycles,
+        r.total_cycles - r.outage.resume_cycles,
+    );
+    diff(
+        "outages",
+        u64::from(base.outage.outages) + 1,
+        u64::from(r.outage.outages),
+    );
+    diff(
+        "resumes",
+        u64::from(base.outage.resumes) + 1,
+        u64::from(r.outage.resumes),
+    );
+    if config.active_outages().is_none() {
+        diff(
+            "invocation_latency",
+            base.invocation_latency,
+            r.invocation_latency,
+        );
+    }
+    out
+}
+
+/// What the differential engine found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DifferentialReport {
+    /// Distinct unit boundaries interrupted.
+    pub boundaries: u32,
+    /// Every divergence found, in boundary order; empty on a pass.
+    pub divergences: Vec<BoundaryDivergence>,
+}
+
+impl DifferentialReport {
+    /// Whether crash-anywhere equivalence held at every boundary.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.divergences.is_empty()
+    }
+}
+
+/// The crash-anywhere differential engine: interrupts the composed
+/// scenario at **every** unit boundary (binary search on the journal's
+/// delivered-unit watermark), resumes each from its journal with
+/// `downtime` cycles of outage, and records every field that diverges
+/// from the uninterrupted run. Overload scenarios are out of scope (no
+/// single journal) and return an empty pass.
+#[must_use]
+pub fn crash_anywhere(session: &Session, sc: &ChaosScenario, downtime: u64) -> DifferentialReport {
+    if sc.active_overload().is_some() {
+        return DifferentialReport {
+            boundaries: 0,
+            divergences: Vec::new(),
+        };
+    }
+    let config = sc.config();
+    let base = session.simulate(Input::Test, &config);
+    let total = base.total_cycles;
+
+    let probe = |at: u64| -> Option<u64> {
+        match session.run_until(Input::Test, &config, at) {
+            RunOutcome::Interrupted(bytes) => {
+                let j = SessionJournal::decode(&bytes).ok()?;
+                Some(j.classes.iter().map(|c| u64::from(c.delivered)).sum())
+            }
+            RunOutcome::Finished(_) => None,
+        }
+    };
+
+    let mut boundaries = 0u32;
+    let mut divergences = Vec::new();
+    let mut k = 0u64; // delivered-unit watermark to hunt for
+    loop {
+        // Minimal interrupt cycle whose checkpoint has >= k units
+        // delivered (a run that finished counts as "all delivered").
+        let reaches = |at: u64| probe(at).is_none_or(|d| d >= k);
+        let (mut lo, mut hi) = (0u64, total + 1);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if reaches(mid) {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        let Some(delivered) = probe(lo) else {
+            break; // watermark k is only reached by running to the end
+        };
+        k = delivered + 1;
+        boundaries += 1;
+        let RunOutcome::Interrupted(bytes) = session.run_until(Input::Test, &config, lo) else {
+            divergences.push(BoundaryDivergence {
+                at_cycle: lo,
+                delivered,
+                field: "probe_stability",
+                base: 1,
+                resumed: 0,
+            });
+            continue;
+        };
+        let r = session.resume(Input::Test, &config, &bytes, downtime);
+        for mut d in compare_resume(&base, &r, &config, lo) {
+            d.delivered = delivered;
+            divergences.push(d);
+        }
+    }
+    DifferentialReport {
+        boundaries,
+        divergences,
+    }
+}
+
+/// What [`shrink`] did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShrinkOutcome {
+    /// The minimized still-failing scenario.
+    pub scenario: ChaosScenario,
+    /// Predicate invocations spent.
+    pub tests_run: u32,
+}
+
+/// Hard cap on predicate invocations per [`shrink`] call: scenarios
+/// are expensive to run, and delta debugging converges long before
+/// this.
+pub const SHRINK_BUDGET: u32 = 600;
+
+/// Delta-debugging minimizer: given a scenario for which `failing`
+/// returns `true`, returns a (locally) minimal scenario that still
+/// fails. Passes run to fixpoint under [`SHRINK_BUDGET`]:
+///
+/// 1. **Dimensions** — drop whole fault dimensions (interrupt,
+///    byzantine, replicas, outages, faults, overload, verify).
+/// 2. **Rates and sizes** — binary-search every surviving numeric knob
+///    toward zero, keeping the smallest still-failing value.
+/// 3. **Seeds** — zero every surviving seed.
+/// 4. **Interrupt point** — binary-search the crash cycle and downtime
+///    toward zero.
+///
+/// The predicate must be deterministic (every runner here is); it is
+/// never called on the input scenario itself.
+pub fn shrink(
+    sc: &ChaosScenario,
+    failing: &mut dyn FnMut(&ChaosScenario) -> bool,
+) -> ShrinkOutcome {
+    let mut best = sc.clone();
+    let mut tests_run = 0u32;
+    let mut check = |cand: &ChaosScenario, tests_run: &mut u32| -> bool {
+        if *tests_run >= SHRINK_BUDGET {
+            return false;
+        }
+        *tests_run += 1;
+        failing(cand)
+    };
+
+    loop {
+        let before = best.clone();
+
+        // Pass 1: drop whole dimensions, most-derived first (byzantine
+        // needs replicas, so it goes before them).
+        let drops: [fn(&mut ChaosScenario); 7] = [
+            |s| s.interrupt = None,
+            |s| s.byzantine = None,
+            |s| {
+                s.replicas = None;
+                s.byzantine = None;
+            },
+            |s| s.outages = None,
+            |s| s.faults = None,
+            |s| s.overload = None,
+            |s| s.verify = VerifyMode::Off,
+        ];
+        for drop in drops {
+            let mut cand = best.clone();
+            drop(&mut cand);
+            if cand != best && check(&cand, &mut tests_run) {
+                best = cand;
+            }
+        }
+
+        // Pass 2+3: shrink every surviving numeric knob toward zero.
+        // Each entry reads the current value and writes a candidate.
+        type Knob = (
+            fn(&ChaosScenario) -> Option<u64>,
+            fn(&mut ChaosScenario, u64),
+        );
+        let knobs: &[Knob] = &[
+            (
+                |s| s.faults.map(|f| u64::from(f.loss_pm)),
+                |s, v| set_fault(s, |f| f.loss_pm = v as u32),
+            ),
+            (
+                |s| s.faults.map(|f| u64::from(f.corrupt_pm)),
+                |s, v| set_fault(s, |f| f.corrupt_pm = v as u32),
+            ),
+            (
+                |s| s.faults.map(|f| u64::from(f.drop_pm)),
+                |s, v| set_fault(s, |f| f.drop_pm = v as u32),
+            ),
+            (
+                |s| s.faults.map(|f| u64::from(f.droop_pm)),
+                |s, v| set_fault(s, |f| f.droop_pm = v as u32),
+            ),
+            (
+                |s| s.faults.map(|f| u64::from(f.semantic_pm)),
+                |s, v| set_fault(s, |f| f.semantic_pm = v as u32),
+            ),
+            (
+                |s| s.faults.map(|f| f.seed),
+                |s, v| set_fault(s, |f| f.seed = v),
+            ),
+            (
+                |s| s.outages.map(|o| u64::from(o.rate_pm)),
+                |s, v| set_outage(s, |o| o.rate_pm = v as u32),
+            ),
+            (
+                |s| s.outages.map(|o| o.seed),
+                |s, v| set_outage(s, |o| o.seed = v),
+            ),
+            (
+                |s| s.replicas.map(|r| u64::from(r.replicas)),
+                |s, v| set_replica(s, |r| r.replicas = v as u32),
+            ),
+            (
+                |s| s.replicas.map(|r| r.seed),
+                |s, v| set_replica(s, |r| r.seed = v),
+            ),
+            (
+                |s| s.byzantine.map(|b| u64::from(b.mirrors)),
+                |s, v| set_byz(s, |b| b.mirrors = v as u32),
+            ),
+            (
+                |s| s.byzantine.map(|b| u64::from(b.audit_rate_pm)),
+                |s, v| set_byz(s, |b| b.audit_rate_pm = v as u32),
+            ),
+            (
+                |s| s.byzantine.map(|b| b.seed),
+                |s, v| set_byz(s, |b| b.seed = v),
+            ),
+            (
+                |s| s.overload.map(|o| u64::from(o.clients)),
+                |s, v| set_overload(s, |o| o.clients = v as u32),
+            ),
+            (
+                |s| s.overload.map(|o| o.seed),
+                |s, v| set_overload(s, |o| o.seed = v),
+            ),
+            (
+                |s| s.interrupt.map(|i| i.at_cycle),
+                |s, v| {
+                    if let Some(i) = s.interrupt.as_mut() {
+                        i.at_cycle = v;
+                    }
+                },
+            ),
+            (
+                |s| s.interrupt.map(|i| i.downtime),
+                |s, v| {
+                    if let Some(i) = s.interrupt.as_mut() {
+                        i.downtime = v;
+                    }
+                },
+            ),
+        ];
+        for (get, set) in knobs {
+            let Some(hi) = get(&best) else { continue };
+            if hi == 0 {
+                continue;
+            }
+            // Try zero outright, then bisect (lo known-pass, hi
+            // known-fail) down to the smallest still-failing value.
+            let with = |base: &ChaosScenario, v: u64| {
+                let mut cand = base.clone();
+                set(&mut cand, v);
+                cand
+            };
+            let zeroed = with(&best, 0);
+            if check(&zeroed, &mut tests_run) {
+                best = zeroed;
+                continue;
+            }
+            let (mut lo, mut hi) = (0u64, hi);
+            while hi - lo > 1 {
+                let mid = lo + (hi - lo) / 2;
+                if check(&with(&best, mid), &mut tests_run) {
+                    hi = mid;
+                } else {
+                    lo = mid;
+                }
+            }
+            if Some(hi) < get(&best) {
+                best = with(&best, hi);
+            }
+        }
+
+        if best == before || tests_run >= SHRINK_BUDGET {
+            break;
+        }
+    }
+    ShrinkOutcome {
+        scenario: best,
+        tests_run,
+    }
+}
+
+fn set_fault(s: &mut ChaosScenario, f: impl FnOnce(&mut FaultConfig)) {
+    if let Some(fc) = s.faults.as_mut() {
+        f(fc);
+    }
+}
+
+fn set_outage(s: &mut ChaosScenario, f: impl FnOnce(&mut OutageConfig)) {
+    if let Some(oc) = s.outages.as_mut() {
+        f(oc);
+    }
+}
+
+fn set_replica(s: &mut ChaosScenario, f: impl FnOnce(&mut ReplicaConfig)) {
+    if let Some(rc) = s.replicas.as_mut() {
+        f(rc);
+    }
+}
+
+fn set_byz(s: &mut ChaosScenario, f: impl FnOnce(&mut ByzantineConfig)) {
+    if let Some(bc) = s.byzantine.as_mut() {
+        f(bc);
+    }
+}
+
+fn set_overload(s: &mut ChaosScenario, f: impl FnOnce(&mut OverloadDims)) {
+    if let Some(ov) = s.overload.as_mut() {
+        f(ov);
+    }
+}
+
+/// Decodes a repro artifact, rebuilds its benchmark, reruns the
+/// scenario, and renders a deterministic report. The same artifact
+/// always produces the same text, bit for bit — CI replays the corpus
+/// twice and diffs.
+///
+/// # Errors
+///
+/// [`ScenarioError`] on a malformed artifact or unknown benchmark.
+pub fn replay_repro(text: &str) -> Result<String, ScenarioError> {
+    let sc = ChaosScenario::decode(text)?;
+    let app = nonstrict_workloads::build_by_name(&sc.bench)
+        .ok_or_else(|| ScenarioError::UnknownBench(sc.bench.clone()))?;
+    let session = Session::new(app).map_err(|_| ScenarioError::UnknownBench(sc.bench.clone()))?;
+    let report = run_scenario(&session, &sc);
+    Ok(render_replay(&report))
+}
+
+/// Renders one replayed scenario deterministically.
+#[must_use]
+pub fn render_replay(report: &ChaosReport) -> String {
+    use std::fmt::Write as _;
+    let sc = &report.scenario;
+    let r = &report.result;
+    let l = r.ledger();
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "chaos replay: {} on {} [{}]",
+        sc.bench,
+        sc.link.name,
+        sc.label()
+    );
+    let _ = writeln!(
+        s,
+        "  total {} = exec {} + stall {} + recovery {} + verify {} + resume {} + hedge {} + queue {} + integrity {}",
+        r.total_cycles, l.exec, l.stall, l.recovery, l.verify, l.resume, l.hedge, l.queue, l.integrity
+    );
+    let _ = writeln!(
+        s,
+        "  completed {} degraded {} outages {} resumes {} failed_closed {}",
+        r.faults.completed,
+        r.faults.session_degraded,
+        r.outage.outages,
+        r.outage.resumes,
+        r.outage.failed_closed
+    );
+    if let Some(fd) = report.fleet {
+        let _ = writeln!(
+            s,
+            "  fleet: {} clients p50 {} p99 {} rejections {} queue {}",
+            fd.clients, fd.p50_total, fd.p99_total, fd.rejections, fd.queue_cycles
+        );
+    }
+    if report.violations.is_empty() {
+        let _ = writeln!(s, "  invariants: PASS");
+    } else {
+        let _ = writeln!(s, "  invariants: FAIL ({})", report.violations.len());
+        for v in &report.violations {
+            let _ = writeln!(s, "    - {v}");
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn storm() -> ChaosScenario {
+        let mut fc = FaultConfig::seeded(7);
+        fc.loss_pm = 20_000;
+        fc.corrupt_pm = 10_000;
+        let mut oc = OutageConfig::seeded(9);
+        oc.rate_pm = 200_000;
+        oc.min_cycles = 1 << 20;
+        oc.max_cycles = 1 << 23;
+        let mut rc = ReplicaConfig::seeded(3);
+        rc.replicas = 3;
+        rc.kill = Some(ReplicaKill {
+            replica: 2,
+            at_cycle: 5_000_000,
+        });
+        let mut bc = ByzantineConfig::seeded(11);
+        bc.mirrors = 1;
+        bc.mode = ByzantineMode::Equivocate;
+        ChaosScenario::new("hanoi", Link::MODEM_28_8, OrderingSource::StaticCallGraph)
+            .with_verify(VerifyMode::Stream)
+            .with_faults(fc)
+            .with_outages(oc)
+            .with_replicas(rc)
+            .with_byzantine(bc)
+            .with_interrupt(40_000_000, 2_500_000)
+    }
+
+    #[test]
+    fn encode_decode_round_trips_every_dimension() {
+        let sc = storm();
+        let text = sc.encode();
+        assert_eq!(ChaosScenario::decode(&text).unwrap(), sc);
+        // Quiet scenario too.
+        let quiet = ChaosScenario::new("bit", Link::T1, OrderingSource::TrainProfile);
+        assert_eq!(ChaosScenario::decode(&quiet.encode()).unwrap(), quiet);
+        // Overload section (without an interrupt).
+        let mut ov = OverloadDims::seeded(5);
+        ov.clients = 4;
+        ov.admit_rate = 2;
+        ov.ladder = Some(ShedLadder::new(1, 2, 3).unwrap());
+        let fleet =
+            ChaosScenario::new("jess", Link::T1, OrderingSource::TestProfile).with_overload(ov);
+        assert_eq!(ChaosScenario::decode(&fleet.encode()).unwrap(), fleet);
+    }
+
+    #[test]
+    fn decode_rejects_hostile_artifacts_with_typed_errors() {
+        assert_eq!(ChaosScenario::decode(""), Err(ScenarioError::BadMagic));
+        assert_eq!(
+            ChaosScenario::decode("NSJR 1"),
+            Err(ScenarioError::BadMagic)
+        );
+        assert_eq!(
+            ChaosScenario::decode("NSCR 2\nbench = hanoi\n"),
+            Err(ScenarioError::BadVersion(2))
+        );
+        assert_eq!(
+            ChaosScenario::decode("NSCR 1\nnot a pair\n"),
+            Err(ScenarioError::BadLine("not a pair".to_owned()))
+        );
+        assert_eq!(
+            ChaosScenario::decode("NSCR 1\nbench = hanoi\nwat = 1\n"),
+            Err(ScenarioError::UnknownKey("wat".to_owned()))
+        );
+        assert_eq!(
+            ChaosScenario::decode("NSCR 1\nbench = a\nbench = b\n"),
+            Err(ScenarioError::DuplicateKey("bench".to_owned()))
+        );
+        assert_eq!(
+            ChaosScenario::decode("NSCR 1\nbench = hanoi\nfault.loss_pm = many\n"),
+            Err(ScenarioError::BadValue {
+                key: "fault.loss_pm".to_owned(),
+                value: "many".to_owned()
+            })
+        );
+        assert_eq!(
+            ChaosScenario::decode("NSCR 1\nlink = t1\n"),
+            Err(ScenarioError::MissingKey("bench"))
+        );
+        assert_eq!(
+            ChaosScenario::decode("NSCR 1\nbench = hanoi\nreplica.kill = 0@5\n"),
+            Err(ScenarioError::MissingKey("replica.seed"))
+        );
+        // Unordered ladder.
+        assert!(matches!(
+            ChaosScenario::decode(
+                "NSCR 1\nbench = hanoi\noverload.seed = 1\noverload.ladder = 3/2/1\n"
+            ),
+            Err(ScenarioError::BadValue { .. })
+        ));
+        // Interrupt + active overload cannot compose.
+        assert!(matches!(
+            ChaosScenario::decode(
+                "NSCR 1\nbench = hanoi\noverload.clients = 4\ninterrupt.at_cycle = 5\n"
+            ),
+            Err(ScenarioError::Conflict(_))
+        ));
+    }
+
+    #[test]
+    fn decode_tolerates_comments_blanks_and_any_key_order() {
+        let text = "NSCR 1\n\n# a repro\ninterrupt.downtime = 9\nbench = hanoi\n\
+                    interrupt.at_cycle = 7\nlink = modem\n";
+        let sc = ChaosScenario::decode(text).unwrap();
+        assert_eq!(sc.bench, "hanoi");
+        assert_eq!(sc.link, Link::MODEM_28_8);
+        assert_eq!(
+            sc.interrupt,
+            Some(InterruptDims {
+                at_cycle: 7,
+                downtime: 9
+            })
+        );
+    }
+
+    #[test]
+    fn labels_name_the_active_dimensions() {
+        assert_eq!(
+            ChaosScenario::new("hanoi", Link::T1, OrderingSource::StaticCallGraph).label(),
+            "quiet"
+        );
+        assert_eq!(storm().label(), "faults+verify+outage+replicas+byz+crash");
+        // Armed-but-quiet dimensions stay out of the label.
+        let armed = ChaosScenario::new("hanoi", Link::T1, OrderingSource::StaticCallGraph)
+            .with_faults(FaultConfig::seeded(1))
+            .with_outages(OutageConfig::seeded(2));
+        assert_eq!(armed.label(), "quiet");
+        assert!(armed.is_quiet());
+    }
+
+    #[test]
+    fn custom_links_and_transfers_round_trip() {
+        let mut sc = ChaosScenario::new("bit", Link::T1, OrderingSource::SourceOrder);
+        sc.link = Link {
+            cycles_per_byte: 777,
+            name: "custom",
+        };
+        sc.transfer = TransferPolicy::Parallel { limit: usize::MAX };
+        sc.data_layout = DataLayout::Partitioned;
+        sc.execution = ExecutionModel::Strict;
+        let rt = ChaosScenario::decode(&sc.encode()).unwrap();
+        assert_eq!(rt.link.cycles_per_byte, 777);
+        assert_eq!(rt.transfer, sc.transfer);
+        assert_eq!(rt.data_layout, DataLayout::Partitioned);
+        assert_eq!(rt.execution, ExecutionModel::Strict);
+    }
+
+    #[test]
+    fn shrink_minimizes_a_synthetic_predicate() {
+        // Failure: loss >= 3 and an interrupt dimension present. The
+        // shrinker must drop everything else and bisect loss to 3.
+        let sc = storm();
+        let mut calls = 0u32;
+        let out = shrink(&sc, &mut |c| {
+            calls += 1;
+            c.faults.is_some_and(|f| f.loss_pm >= 3) && c.interrupt.is_some()
+        });
+        assert_eq!(calls, out.tests_run);
+        assert!(out.tests_run <= SHRINK_BUDGET);
+        let m = out.scenario;
+        assert_eq!(
+            m.faults.unwrap().loss_pm,
+            3,
+            "loss bisects to the threshold"
+        );
+        assert_eq!(m.faults.unwrap().seed, 0, "seed zeroes");
+        assert!(m.outages.is_none(), "outage dimension drops");
+        assert!(m.replicas.is_none(), "replica dimension drops");
+        assert!(m.byzantine.is_none(), "byzantine dimension drops");
+        assert_eq!(m.verify, VerifyMode::Off, "verify drops");
+        assert_eq!(
+            m.interrupt,
+            Some(InterruptDims {
+                at_cycle: 0,
+                downtime: 0
+            })
+        );
+    }
+
+    #[test]
+    fn shrink_respects_the_budget_on_a_pathological_predicate() {
+        let sc = storm();
+        // Fails on everything: no candidate ever passes, so every knob
+        // bisects its full range — the budget must still bound it.
+        let out = shrink(&sc, &mut |_| true);
+        assert!(out.tests_run <= SHRINK_BUDGET);
+    }
+}

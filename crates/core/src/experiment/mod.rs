@@ -5,6 +5,7 @@
 //! published numbers ([`paper`]).
 
 pub mod byzantine;
+pub mod chaos;
 pub mod faults;
 pub mod outage;
 pub mod overload;

@@ -389,6 +389,30 @@ pub fn export_csv(suite: &Suite, dir: &Path) -> io::Result<Vec<PathBuf>> {
     }
     emit("overload.csv", ov)?;
 
+    // Chaos sweep (robustness extension; no paper column — composed
+    // cross-layer scenarios under the conductor's invariant checker).
+    let mut ch = String::from(
+        "program,link,scenario,clients,normalized_pct,violations,outages,resumes,degraded_classes,completed",
+    );
+    ch.push_str(bucket_header);
+    for r in experiment::chaos::chaos_sweep(suite) {
+        ch.push_str(&format!(
+            "{},{},{},{},{:.1},{},{},{},{},{}",
+            r.name,
+            r.link.name,
+            r.scenario,
+            r.clients,
+            r.normalized,
+            r.violations,
+            r.outages,
+            r.resumes,
+            r.degraded,
+            r.completed
+        ));
+        ch.push_str(&bucket_cols(r.total_cycles, &r.ledger));
+    }
+    emit("chaos.csv", ch)?;
+
     Ok(written)
 }
 
@@ -405,7 +429,7 @@ mod tests {
         };
         let dir = std::env::temp_dir().join(format!("nonstrict-export-{}", std::process::id()));
         let files = export_csv(&suite, &dir).unwrap();
-        assert_eq!(files.len(), 17);
+        assert_eq!(files.len(), 18);
         for f in &files {
             let content = fs::read_to_string(f).unwrap();
             let mut lines = content.lines();

@@ -41,8 +41,16 @@ pub const JOURNAL_VERSION: u16 = 3;
 pub enum JournalError {
     /// The buffer does not start with [`JOURNAL_MAGIC`].
     BadMagic,
-    /// The version field is newer than this reader understands.
+    /// The version field is older than this writer produces. Old
+    /// formats are not migrated: the safe reading of a format we no
+    /// longer write is no reading at all.
     BadVersion(u16),
+    /// The version field is *newer* than this reader understands — the
+    /// journal was written by a future client. Distinct from
+    /// [`JournalError::BadVersion`] so callers and operators can tell a
+    /// rollback (upgrade the client) from a stale cache (discard it);
+    /// both fail closed.
+    UnknownVersion(u16),
     /// The buffer ended before the declared content did (torn write).
     Truncated,
     /// The CRC32 trailer does not match the content (torn or corrupted
@@ -58,6 +66,10 @@ impl std::fmt::Display for JournalError {
         match self {
             JournalError::BadMagic => write!(f, "journal magic mismatch"),
             JournalError::BadVersion(v) => write!(f, "unsupported journal version {v}"),
+            JournalError::UnknownVersion(v) => write!(
+                f,
+                "journal version {v} is newer than this reader (max {JOURNAL_VERSION})"
+            ),
             JournalError::Truncated => write!(f, "journal truncated (torn write)"),
             JournalError::CrcMismatch => write!(f, "journal CRC mismatch (torn or corrupt write)"),
             JournalError::Malformed(what) => write!(f, "malformed journal: {what}"),
@@ -441,6 +453,13 @@ impl SessionJournal {
             pos: 4,
         };
         let version = r.u16()?;
+        if version > JOURNAL_VERSION {
+            // A future client wrote this journal. Its layout is
+            // unknowable here, so parsing cannot even be attempted —
+            // fail closed with the typed variant instead of whatever
+            // structural error a misparse would happen to hit first.
+            return Err(JournalError::UnknownVersion(version));
+        }
         if version != JOURNAL_VERSION {
             return Err(JournalError::BadVersion(version));
         }
@@ -653,6 +672,30 @@ mod tests {
             Err(JournalError::BadVersion(2)),
             "a v2 journal lacks the pinned manifest digest; reading it as v3 would misparse"
         );
+    }
+
+    #[test]
+    fn newer_journal_versions_fail_closed_with_the_typed_error() {
+        // A client downgrade finds a journal written by a future
+        // version. The reader must refuse with UnknownVersion — not
+        // misparse the unknown layout into Truncated/Malformed — and
+        // negotiation must map it to a fail-closed restart.
+        for future in [JOURNAL_VERSION + 1, u16::MAX] {
+            let mut bytes = sample().encode();
+            bytes[4..6].copy_from_slice(&future.to_le_bytes());
+            let n = bytes.len();
+            let crc = crc32(&bytes[..n - 4]);
+            bytes[n - 4..].copy_from_slice(&crc.to_le_bytes());
+            assert_eq!(
+                SessionJournal::decode(&bytes),
+                Err(JournalError::UnknownVersion(future)),
+            );
+            let j = sample();
+            assert_eq!(
+                negotiate(&bytes, &manifest_for(&j)),
+                Negotiation::FailClosed(JournalError::UnknownVersion(future)),
+            );
+        }
     }
 
     #[test]

@@ -28,6 +28,10 @@
 //!   server egress pipe with token-bucket admission, deficit-round-
 //!   robin fair sharing, the load-shed ladder, and the exact seventh
 //!   `queue_cycles` accounting bucket.
+//! * [`chaos`] — the chaos conductor: composed cross-layer fault
+//!   scenarios ([`chaos::ChaosScenario`], serialized as `NSCR` repro
+//!   artifacts), a crash-anywhere differential engine, a global
+//!   invariant checker, and a delta-debugging scenario shrinker.
 //! * [`metrics`] — normalized execution time and reduction helpers,
 //!   plus the seven-bucket [`metrics::CycleLedger`] exactness check.
 //! * [`jit`] — the paper's §8 extension, implemented: JIT compilation
@@ -41,6 +45,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod chaos;
 pub mod experiment;
 pub mod export;
 pub mod fleet;
@@ -53,6 +58,10 @@ pub mod model;
 pub mod report;
 pub mod sim;
 
+pub use chaos::{
+    crash_anywhere, replay_repro, run_scenario, shrink, ChaosReport, ChaosScenario, ChaosViolation,
+    DifferentialReport, InterruptDims, OverloadDims, ScenarioError, ShrinkOutcome,
+};
 pub use fleet::{run_fleet, AdmissionSettings, ClientOutcome, FleetClient, FleetResult, FleetSpec};
 pub use journal::{negotiate, JournalError, Negotiation, SessionJournal, SessionManifest};
 pub use manifest::{ManifestError, UnitManifest, MANIFEST_MAGIC, MANIFEST_VERSION};

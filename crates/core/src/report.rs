@@ -664,6 +664,62 @@ pub fn render_verify_sweep(rows: &[crate::experiment::verify::VerifyRow]) -> Str
     out
 }
 
+/// Renders the chaos sweep: composed cross-layer scenarios under the
+/// conductor's global invariant checker. Not part of [`render_all`],
+/// which reproduces only the paper's fault-free tables.
+#[must_use]
+pub fn render_chaos_sweep(rows: &[crate::experiment::chaos::ChaosRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Chaos sweep: composed cross-layer fault scenarios (non-strict par(4), SCG), \
+         invariant-checked per row"
+    );
+    let _ = writeln!(
+        out,
+        "{:8} {:>6} {:40} {:>7} {:>7} {:>4} {:>7} {:>7} {:>8} {:>9}",
+        "Program",
+        "link",
+        "scenario",
+        "clients",
+        "norm%",
+        "viol",
+        "outages",
+        "resumes",
+        "degraded",
+        "complete"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:8} {:>6} {:40} {:>7} {:>7.1} {:>4} {:>7} {:>7} {:>8} {:>9}",
+            r.name,
+            r.link.name,
+            r.scenario,
+            r.clients,
+            r.normalized,
+            r.violations,
+            r.outages,
+            r.resumes,
+            r.degraded,
+            if r.completed { "yes" } else { "NO" },
+        );
+    }
+    let violations: u64 = rows.iter().map(|r| u64::from(r.violations)).sum();
+    let crashes = rows
+        .iter()
+        .filter(|r| r.scenario.ends_with("+crash"))
+        .count();
+    let _ = writeln!(
+        out,
+        "{} invariant violations across {} composed runs ({} crash-and-resume cells)",
+        violations,
+        rows.len(),
+        crashes,
+    );
+    out
+}
+
 /// Renders every table and the figure in paper order.
 #[must_use]
 pub fn render_all(suite: &Suite) -> String {

@@ -73,6 +73,21 @@ impl Link {
         })
     }
 
+    /// Looks up one of the paper's named links by its CLI/scenario
+    /// label (case-insensitive): `"t1"` or `"modem"`. The single
+    /// parser for every surface that names a link — CLI flags and
+    /// chaos repro files must agree on the spelling.
+    #[must_use]
+    pub fn by_name(name: &str) -> Option<Link> {
+        if name.eq_ignore_ascii_case("t1") {
+            Some(Link::T1)
+        } else if name.eq_ignore_ascii_case("modem") {
+            Some(Link::MODEM_28_8)
+        } else {
+            None
+        }
+    }
+
     /// Cycles to transfer `bytes` at full bandwidth.
     ///
     /// Computed in `u128` and saturated: `bytes * cycles_per_byte` can
@@ -92,6 +107,15 @@ mod tests {
     fn paper_constants() {
         assert_eq!(Link::T1.cycles_per_byte, 3_815);
         assert_eq!(Link::MODEM_28_8.cycles_per_byte, 134_698);
+    }
+
+    #[test]
+    fn by_name_round_trips_the_paper_links() {
+        assert_eq!(Link::by_name("t1"), Some(Link::T1));
+        assert_eq!(Link::by_name("T1"), Some(Link::T1));
+        assert_eq!(Link::by_name("modem"), Some(Link::MODEM_28_8));
+        assert_eq!(Link::by_name("Modem"), Some(Link::MODEM_28_8));
+        assert_eq!(Link::by_name("dsl"), None);
     }
 
     #[test]

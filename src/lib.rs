@@ -53,6 +53,11 @@ pub use nonstrict_workloads as workloads;
 /// The most commonly used types, re-exported flat.
 pub mod prelude {
     pub use nonstrict_bytecode::program::{Application, Input};
+    pub use nonstrict_core::chaos::{
+        crash_anywhere, replay_repro, run_scenario, shrink, ChaosReport, ChaosScenario,
+        ChaosViolation, DifferentialReport, InterruptDims, OverloadDims, ScenarioError,
+        ShrinkOutcome,
+    };
     pub use nonstrict_core::fleet::{
         run_fleet, AdmissionSettings, ClientOutcome, FleetClient, FleetResult, FleetSpec,
     };

@@ -58,13 +58,8 @@ fn corpus() -> &'static Vec<(String, ClassFile, Vec<u8>)> {
     })
 }
 
-/// Mutation case count: 64 locally, elevated in CI's fuzz-smoke job.
-fn fuzz_cases() -> usize {
-    std::env::var("NONSTRICT_FUZZ_CASES")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(64)
-}
+mod common;
+use common::fuzz_cases;
 
 #[test]
 fn every_strict_prefix_of_every_class_file_is_a_typed_error() {

@@ -1,0 +1,24 @@
+//! Shared test-support helpers for the integration suites.
+//!
+//! Each `tests/*.rs` binary compiles this module separately via
+//! `mod common;`, so not every binary uses every helper — hence the
+//! allow.
+#![allow(dead_code)]
+
+/// Chaos seed count: 4 locally, elevated in CI's chaos-smoke and
+/// chaos-soak jobs via `NONSTRICT_CHAOS_SEEDS`.
+pub fn chaos_seeds() -> u64 {
+    std::env::var("NONSTRICT_CHAOS_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4)
+}
+
+/// Seeded fuzz-case count: 64 locally, elevated in CI's fuzz-smoke job
+/// via `NONSTRICT_FUZZ_CASES`.
+pub fn fuzz_cases() -> usize {
+    std::env::var("NONSTRICT_FUZZ_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}

@@ -1,0 +1,110 @@
+//! Schema pins for the committed robustness CSVs in `results/`.
+//!
+//! Every bucketed CSV carries the same nine-column accounting tail
+//! (`total_cycles` plus the eight [`CycleLedger`] buckets, in ledger
+//! order), and on every committed row the buckets sum **exactly** to
+//! the total — the eight-bucket identity is a property of the shipped
+//! artifacts, not only of freshly simulated runs. A regeneration that
+//! broke the identity (or silently dropped a bucket column) fails here
+//! before the CI byte-identity loop even runs.
+//!
+//! [`CycleLedger`]: nonstrict_core::metrics::CycleLedger
+
+use std::path::PathBuf;
+
+/// The committed CSVs that carry the accounting tail.
+const BUCKETED: [&str; 7] = [
+    "faults.csv",
+    "verify.csv",
+    "outage.csv",
+    "replica.csv",
+    "byzantine.csv",
+    "overload.csv",
+    "chaos.csv",
+];
+
+/// The accounting tail every bucketed CSV must end with, in ledger
+/// order (mirrors `bucket_header` in the export module).
+const TAIL: &str = "total_cycles,exec_cycles,stall_cycles,recovery_cycles,verify_cycles,\
+                    resume_cycles,hedge_cycles,queue_cycles,integrity_cycles";
+
+fn results_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("results")
+}
+
+fn read(name: &str) -> String {
+    let path = results_dir().join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("committed CSV {} must be readable: {e}", path.display()))
+}
+
+/// The last nine comma-separated fields of a row, parsed as cycles.
+fn tail_values(row: &str) -> [u64; 9] {
+    let fields: Vec<&str> = row.split(',').collect();
+    assert!(
+        fields.len() >= 9,
+        "row too short for the accounting tail: {row}"
+    );
+    let mut out = [0u64; 9];
+    for (o, f) in out.iter_mut().zip(&fields[fields.len() - 9..]) {
+        *o = f
+            .parse()
+            .unwrap_or_else(|e| panic!("bucket column {f:?} must be a cycle count ({e}): {row}"));
+    }
+    out
+}
+
+#[test]
+fn every_bucketed_csv_ends_with_the_eight_bucket_columns() {
+    for name in BUCKETED {
+        let content = read(name);
+        let header = content.lines().next().unwrap_or_default();
+        assert!(
+            header.ends_with(TAIL),
+            "{name}: header must end with the accounting tail, got {header:?}"
+        );
+        assert!(
+            content.lines().count() >= 2,
+            "{name}: must carry at least one data row"
+        );
+    }
+}
+
+#[test]
+fn every_committed_row_sums_its_buckets_exactly_to_the_total() {
+    for name in BUCKETED {
+        let content = read(name);
+        for (i, row) in content.lines().skip(1).enumerate() {
+            let v = tail_values(row);
+            let sum: u64 = v[1..].iter().sum();
+            assert_eq!(
+                sum, v[0],
+                "{name} row {i}: the eight buckets must sum to total_cycles: {row}"
+            );
+        }
+    }
+}
+
+#[test]
+fn committed_chaos_rows_report_zero_violations_and_completion() {
+    let content = read("chaos.csv");
+    let header = content.lines().next().unwrap();
+    let cols: Vec<&str> = header.split(',').collect();
+    let idx = |name: &str| {
+        cols.iter()
+            .position(|c| *c == name)
+            .unwrap_or_else(|| panic!("chaos.csv must carry a {name} column"))
+    };
+    let (violations, completed) = (idx("violations"), idx("completed"));
+    for row in content.lines().skip(1) {
+        let fields: Vec<&str> = row.split(',').collect();
+        assert_eq!(
+            fields[violations], "0",
+            "a committed chaos row must pass every invariant: {row}"
+        );
+        assert_eq!(
+            fields[completed], "true",
+            "every committed run completes: {row}"
+        );
+    }
+}

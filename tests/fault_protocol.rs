@@ -20,14 +20,8 @@ use nonstrict::prelude::*;
 use nonstrict_netsim::{FaultPlan, Link, OutagePlan, OutageSchedule};
 use nonstrict_workloads::rng::StdRng;
 
-/// Chaos seed count: 4 locally, elevated via `NONSTRICT_CHAOS_SEEDS`
-/// in CI's chaos-smoke job.
-fn chaos_seeds() -> u64 {
-    std::env::var("NONSTRICT_CHAOS_SEEDS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(4)
-}
+mod common;
+use common::chaos_seeds;
 
 fn policies() -> [TransferPolicy; 4] {
     [

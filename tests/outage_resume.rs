@@ -26,13 +26,8 @@ use nonstrict::prelude::*;
 use nonstrict_core::journal::SessionJournal;
 use nonstrict_netsim::Link;
 
-/// Chaos seed count: 4 locally, elevated in CI's chaos-smoke job.
-fn chaos_seeds() -> u64 {
-    std::env::var("NONSTRICT_CHAOS_SEEDS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(4)
-}
+mod common;
+use common::chaos_seeds;
 
 /// The downtime charged on every interrupt in this suite.
 const DOWNTIME: u64 = 3_000_000;

@@ -15,16 +15,37 @@
 //! paper chaos        # chaos sweep: composed cross-layer fault scenarios
 //! paper chaos --repro r.nscr  # replay one chaos repro artifact
 //! paper csv results/ # machine-readable export of every table
+//!
+//! paper serve [bench..] [--addr A] [--ordering O] [--pace-us N] ...
+//!                    # stream restructured classes over real TCP;
+//!                    # SIGTERM drains gracefully at unit boundaries
+//! paper loadgen <bench> --clients N [--chaos --loss PM ...]
+//!                    # replay a fleet arrival schedule over loopback
+//!                    # (self-serving by default; --addr to aim at a
+//!                    # running `paper serve`)
 //! ```
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
 
 use nonstrict_core::experiment::{self, paper, Suite};
 use nonstrict_core::metrics::mean;
 use nonstrict_core::model::DataLayout;
 use nonstrict_core::report;
 use nonstrict_netsim::Link;
+use nonstrict_wire::{
+    config, ChaosConfig, ChaosProxy, ClientConfig, FaultKnobs, LoadgenConfig, ServerConfig,
+    WireServer,
+};
 
 fn main() {
     let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_owned());
+    let rest: Vec<String> = std::env::args().skip(2).collect();
+    match arg.as_str() {
+        "serve" => return cmd_serve(&rest),
+        "loadgen" => return cmd_loadgen(&rest),
+        _ => {}
+    }
     // `paper chaos --repro <file>` replays one serialized scenario: it
     // builds only that scenario's benchmark, not the whole suite.
     if arg == "chaos" && std::env::args().nth(2).as_deref() == Some("--repro") {
@@ -144,11 +165,280 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown table {other:?}; use all|table2..table10|fig6|summary|faults|verify|outage|replicas|byzantine|overload|chaos|csv"
+                "unknown table {other:?}; use all|table2..table10|fig6|summary|faults|verify|outage|replicas|byzantine|overload|chaos|csv|serve|loadgen"
             );
             std::process::exit(2);
         }
     }
+}
+
+/// Set by SIGTERM/SIGINT; the serve loop polls it and drains.
+static TERM: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_term(_signum: i32) {
+    TERM.store(true, Ordering::SeqCst);
+}
+
+/// Installs the drain trigger for SIGTERM and SIGINT. Raw `signal(2)`
+/// through the C ABI: the binary takes no libc dependency, and the
+/// handler only flips an atomic, which is async-signal-safe.
+#[cfg(unix)]
+fn install_term_handler() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    let handler = on_term as extern "C" fn(i32) as *const () as usize;
+    unsafe {
+        signal(SIGTERM, handler);
+        signal(SIGINT, handler);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_term_handler() {}
+
+fn bail(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2)
+}
+
+fn num_flag<T: std::str::FromStr>(key: &str, value: &str) -> T {
+    value
+        .parse()
+        .unwrap_or_else(|_| bail(&format!("bad value {value:?} for --{key}")))
+}
+
+/// Builds serve plans for the named benchmarks (all six when none are
+/// named), reusing the same profile → restructure → unit-split pipeline
+/// the simulator measures.
+fn build_plans(benchmarks: &[String], ordering: u8) -> Vec<nonstrict_wire::ServePlan> {
+    let source = nonstrict_core::ordering_from_wire(ordering)
+        .unwrap_or_else(|| bail(&format!("bad ordering code {ordering}")));
+    let names: Vec<String> = if benchmarks.is_empty() {
+        nonstrict_workloads::BENCHMARK_NAMES
+            .iter()
+            .map(|n| n.to_lowercase())
+            .collect()
+    } else {
+        benchmarks.to_vec()
+    };
+    names
+        .iter()
+        .map(|name| {
+            eprintln!("building and profiling {name}...");
+            nonstrict_core::build_plan(name, source)
+                .unwrap_or_else(|e| bail(&format!("cannot serve {name}: {e}")))
+        })
+        .collect()
+}
+
+/// `paper serve`: stream restructured class files to concurrent TCP
+/// clients until SIGTERM, then drain gracefully at unit boundaries.
+fn cmd_serve(args: &[String]) {
+    let mut addr = "127.0.0.1:9845".to_owned();
+    let mut ordering = 0u8;
+    let mut benchmarks = Vec::new();
+    let mut drain_ms = 5_000u64;
+    let mut cfg = ServerConfig::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = || {
+            it.next()
+                .unwrap_or_else(|| bail(&format!("{a} needs a value")))
+                .as_str()
+        };
+        match a.as_str() {
+            "--addr" => addr = val().to_owned(),
+            "--ordering" => {
+                ordering = config::ordering_code(val()).unwrap_or_else(|e| bail(&e.to_string()));
+            }
+            "--max-conns" => cfg.max_connections = num_flag("max-conns", val()),
+            "--accept-burst" => cfg.accept_burst = num_flag("accept-burst", val()),
+            "--accept-per-sec" => cfg.accept_refill_per_sec = num_flag("accept-per-sec", val()),
+            "--queue-depth" => cfg.send_queue_depth = num_flag("queue-depth", val()),
+            "--min-bytes-per-sec" => cfg.min_bytes_per_sec = num_flag("min-bytes-per-sec", val()),
+            "--pace-us" => {
+                cfg.pace_per_unit = Some(Duration::from_micros(num_flag("pace-us", val())));
+            }
+            "--drain-ms" => drain_ms = num_flag("drain-ms", val()),
+            flag if flag.starts_with("--") => bail(&format!("unknown serve flag {flag}")),
+            bench => benchmarks.push(bench.to_owned()),
+        }
+    }
+    let plans = build_plans(&benchmarks, ordering);
+    install_term_handler();
+    let server = WireServer::bind(&addr, plans, cfg)
+        .unwrap_or_else(|e| bail(&format!("cannot bind {addr}: {e}")));
+    println!("serving on {}", server.local_addr());
+    while !TERM.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("draining ({} in flight)...", server.active_connections());
+    let stats = server.stats();
+    let drained = server.drain(Duration::from_millis(drain_ms));
+    println!(
+        "accepted: {} admitted: {} resumed: {} retried: {} evicted slow: {} \
+         units sent: {} bytes sent: {}",
+        stats.accepted,
+        stats.admitted,
+        stats.resumed,
+        stats.retried,
+        stats.evicted_slow,
+        stats.units_sent,
+        stats.bytes_sent,
+    );
+    println!(
+        "drain: {} ({} in flight, {} forced, {} ms)",
+        if drained.clean { "clean" } else { "forced" },
+        drained.in_flight_at_drain,
+        drained.forced,
+        drained.elapsed.as_millis(),
+    );
+    std::process::exit(i32::from(!drained.clean));
+}
+
+/// `paper loadgen`: replay a seeded fleet arrival schedule against a
+/// server — a self-served loopback instance by default, optionally
+/// through the socket-level chaos proxy — and fail on any cross-client
+/// payload divergence.
+fn cmd_loadgen(args: &[String]) {
+    let mut benchmark = "hanoi".to_owned();
+    let mut have_benchmark = false;
+    let mut addr: Option<String> = None;
+    let mut ordering = 0u8;
+    let mut clients = 8usize;
+    let mut seed = 1998u64;
+    let mut spread_ms = 200u64;
+    let mut attempts = 10u32;
+    let mut chaos = false;
+    let mut pace_us = 50u64;
+    let mut knobs = FaultKnobs::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = || {
+            it.next()
+                .unwrap_or_else(|| bail(&format!("{a} needs a value")))
+                .as_str()
+        };
+        match a.as_str() {
+            "--addr" => addr = Some(val().to_owned()),
+            "--ordering" => {
+                ordering = config::ordering_code(val()).unwrap_or_else(|e| bail(&e.to_string()));
+            }
+            "--clients" => clients = num_flag("clients", val()),
+            "--seed" => seed = num_flag("seed", val()),
+            "--spread-ms" => spread_ms = num_flag("spread-ms", val()),
+            "--attempts" => attempts = num_flag("attempts", val()),
+            "--pace-us" => pace_us = num_flag("pace-us", val()),
+            "--chaos" => chaos = true,
+            flag if flag.starts_with("--") => {
+                let key = &flag[2..];
+                let value = val();
+                match knobs.set(key, value) {
+                    Ok(true) => chaos = true,
+                    Ok(false) => bail(&format!("unknown loadgen flag {flag}")),
+                    Err(e) => bail(&e.to_string()),
+                }
+            }
+            bench if !have_benchmark => {
+                benchmark = bench.to_owned();
+                have_benchmark = true;
+            }
+            extra => bail(&format!("unexpected argument {extra:?}")),
+        }
+    }
+    if knobs.seed == 0 {
+        knobs.seed = seed;
+    }
+
+    // Self-serve on loopback unless aimed at an external server.
+    let server = if addr.is_none() {
+        let plans = build_plans(std::slice::from_ref(&benchmark), ordering);
+        let cfg = ServerConfig {
+            pace_per_unit: Some(Duration::from_micros(pace_us)),
+            ..ServerConfig::default()
+        };
+        let s = WireServer::bind("127.0.0.1:0", plans, cfg)
+            .unwrap_or_else(|e| bail(&format!("cannot bind loopback server: {e}")));
+        addr = Some(s.local_addr().to_string());
+        Some(s)
+    } else {
+        None
+    };
+    let upstream: std::net::SocketAddr = addr
+        .unwrap()
+        .parse()
+        .unwrap_or_else(|e| bail(&format!("bad --addr: {e}")));
+
+    let proxy = if chaos {
+        let p = ChaosProxy::spawn(upstream, ChaosConfig::new(knobs))
+            .unwrap_or_else(|e| bail(&format!("cannot spawn chaos proxy: {e}")));
+        eprintln!("chaos proxy on {} -> {upstream}", p.local_addr());
+        Some(p)
+    } else {
+        None
+    };
+    let target = proxy.as_ref().map_or(upstream, ChaosProxy::local_addr);
+
+    let mut client = ClientConfig::new(target, &benchmark);
+    client.ordering = ordering;
+    client.max_attempts = attempts;
+    let report = nonstrict_wire::run_loadgen(&LoadgenConfig {
+        client,
+        clients,
+        seed,
+        arrival_spread: Duration::from_millis(spread_ms),
+    });
+
+    println!(
+        "clients: {clients} completed: {} failed: {}",
+        report.completed, report.failed
+    );
+    println!(
+        "latency ms: p50 {} p95 {} p99 {} max {}",
+        report.p50_ms, report.p95_ms, report.p99_ms, report.max_ms
+    );
+    println!(
+        "connects: {} admission retries: {} evictions: {} stream faults: {} order violations: {}",
+        report.connects,
+        report.admission_retries,
+        report.evictions,
+        report.stream_faults,
+        report.order_violations,
+    );
+    println!("bytes: {}", report.bytes);
+    if let Some(p) = proxy {
+        let cs = p.stop();
+        println!(
+            "chaos faults: {} (cuts {} aborts {} corruptions {} stalls {} reorders {}) over {} connections",
+            cs.total_faults(),
+            cs.cuts,
+            cs.aborts,
+            cs.corruptions,
+            cs.stalls,
+            cs.reorders,
+            cs.connections,
+        );
+    }
+    println!("invariant violations: {}", report.violations.len());
+    for v in &report.violations {
+        println!("  violation: {v}");
+    }
+    let mut ok = report.violations.is_empty() && report.failed == 0 && report.completed == clients;
+    if let Some(s) = server {
+        let drained = s.drain(Duration::from_millis(5_000));
+        println!(
+            "drain: {} ({} in flight, {} forced, {} ms)",
+            if drained.clean { "clean" } else { "forced" },
+            drained.in_flight_at_drain,
+            drained.forced,
+            drained.elapsed.as_millis(),
+        );
+        ok &= drained.clean;
+    }
+    std::process::exit(i32::from(!ok));
 }
 
 /// The paper's headline claims versus this reproduction.

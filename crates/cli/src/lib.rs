@@ -198,28 +198,29 @@ impl Flags {
     /// The fault configuration from `--fault-seed/--loss/--drop/--corrupt/
     /// --droop/--semantic`, or `None` when no fault flag was given. Rates
     /// are parts-per-million of fault probability per delivery attempt.
+    /// Spellings and parsing live in the `nonstrict-wire` knob
+    /// vocabulary, so the simulator, the wire server, and the loadgen
+    /// accept identical fault flags.
     fn fault_config(&self) -> Result<Option<FaultConfig>, CliError> {
-        let seed: Option<u64> = self.num_opt("fault-seed")?;
-        let loss: Option<u32> = self.num_opt("loss")?;
-        let drop: Option<u32> = self.num_opt("drop")?;
-        let corrupt: Option<u32> = self.num_opt("corrupt")?;
-        let droop: Option<u32> = self.num_opt("droop")?;
-        let semantic: Option<u32> = self.num_opt("semantic")?;
-        if seed.is_none()
-            && loss.is_none()
-            && drop.is_none()
-            && corrupt.is_none()
-            && droop.is_none()
-            && semantic.is_none()
-        {
+        let mut knobs = nonstrict_wire::FaultKnobs::default();
+        let mut any = false;
+        for key in nonstrict_wire::FaultKnobs::KEYS {
+            if let Some(value) = self.get(key) {
+                knobs
+                    .set(key, value)
+                    .map_err(|e| CliError::usage(e.to_string()))?;
+                any = true;
+            }
+        }
+        if !any {
             return Ok(None);
         }
-        let mut fc = FaultConfig::seeded(seed.unwrap_or(0));
-        fc.loss_pm = loss.unwrap_or(0);
-        fc.drop_pm = drop.unwrap_or(0);
-        fc.corrupt_pm = corrupt.unwrap_or(0);
-        fc.droop_pm = droop.unwrap_or(0);
-        fc.semantic_pm = semantic.unwrap_or(0);
+        let mut fc = FaultConfig::seeded(knobs.seed);
+        fc.loss_pm = knobs.loss_pm;
+        fc.drop_pm = knobs.drop_pm;
+        fc.corrupt_pm = knobs.corrupt_pm;
+        fc.droop_pm = knobs.droop_pm;
+        fc.semantic_pm = knobs.semantic_pm;
         Ok(Some(fc))
     }
 
@@ -722,24 +723,26 @@ fn cmd_partition(flags: &Flags) -> Result<String, CliError> {
 /// crate's canonical name table.
 fn parse_link(flags: &Flags) -> Result<Link, CliError> {
     let name = flags.get("link").unwrap_or("modem");
-    Link::by_name(name)
-        .ok_or_else(|| CliError::usage(format!("unknown link {name:?}; use t1|modem")))
+    Link::by_name(name).ok_or_else(|| {
+        CliError::usage(nonstrict_wire::ConfigError::UnknownLink(name.to_owned()).to_string())
+    })
+}
+
+/// Parses the `--ordering` flag (default `scg`) through the wire
+/// crate's ordering vocabulary — the same spellings and codes a Hello
+/// frame carries to `paper serve`.
+fn parse_ordering(flags: &Flags) -> Result<OrderingSource, CliError> {
+    let name = flags.get("ordering").unwrap_or("scg");
+    let code =
+        nonstrict_wire::config::ordering_code(name).map_err(|e| CliError::usage(e.to_string()))?;
+    nonstrict_core::ordering_from_wire(code)
+        .ok_or_else(|| CliError::usage(format!("ordering {name:?} has no simulator source")))
 }
 
 fn cmd_simulate(flags: &Flags) -> Result<String, CliError> {
     let app = flags.app()?;
     let link = parse_link(flags)?;
-    let ordering = match flags.get("ordering").unwrap_or("scg") {
-        "scg" => OrderingSource::StaticCallGraph,
-        "train" => OrderingSource::TrainProfile,
-        "test" => OrderingSource::TestProfile,
-        "source" => OrderingSource::SourceOrder,
-        other => {
-            return Err(CliError::usage(format!(
-                "unknown ordering {other:?}; use scg|train|test|source"
-            )))
-        }
-    };
+    let ordering = parse_ordering(flags)?;
     let transfer = match flags.get("transfer").unwrap_or("par4") {
         "strict" => TransferPolicy::Strict,
         "par1" => TransferPolicy::Parallel { limit: 1 },

@@ -59,6 +59,17 @@ pub enum JournalError {
     /// Structurally impossible content (e.g. a bitmap longer than its
     /// declared method count).
     Malformed(&'static str),
+    /// A declared count exceeds its sanity cap. Rejected *before* any
+    /// buffer is allocated — a forged length field (the CRC is not a
+    /// MAC) must not make the decoder reserve gigabytes.
+    Oversized {
+        /// Which field declared the count.
+        what: &'static str,
+        /// The declared value.
+        declared: u64,
+        /// The cap it violated (see `nonstrict_wire::caps`).
+        cap: u64,
+    },
 }
 
 impl std::fmt::Display for JournalError {
@@ -73,6 +84,14 @@ impl std::fmt::Display for JournalError {
             JournalError::Truncated => write!(f, "journal truncated (torn write)"),
             JournalError::CrcMismatch => write!(f, "journal CRC mismatch (torn or corrupt write)"),
             JournalError::Malformed(what) => write!(f, "malformed journal: {what}"),
+            JournalError::Oversized {
+                what,
+                declared,
+                cap,
+            } => write!(
+                f,
+                "oversized journal {what}: declared {declared}, cap {cap}"
+            ),
         }
     }
 }
@@ -366,15 +385,50 @@ impl<'a> Reader<'a> {
     }
     fn bits(&mut self) -> Result<Vec<bool>, JournalError> {
         let n = self.u32()? as usize;
-        if n > (1 << 24) {
-            return Err(JournalError::Malformed("bitmap impossibly large"));
+        if n > nonstrict_wire::caps::MAX_BITMAP_BITS {
+            return Err(JournalError::Oversized {
+                what: "bitmap",
+                declared: n as u64,
+                cap: nonstrict_wire::caps::MAX_BITMAP_BITS as u64,
+            });
         }
+        // `take` bounds the read against the real buffer before the
+        // output Vec is allocated.
         let bytes = self.take(n.div_ceil(8))?;
         let mut out = Vec::with_capacity(n);
         for i in 0..n {
             out.push(bytes[i / 8] >> (i % 8) & 1 == 1);
         }
         Ok(out)
+    }
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+    /// Reads a declared element count and rejects it — with a typed
+    /// [`JournalError::Oversized`], *before* any allocation — when it
+    /// exceeds `cap` or could not possibly fit in the bytes remaining
+    /// (`min_bytes_each` per element).
+    fn count(
+        &mut self,
+        what: &'static str,
+        cap: usize,
+        min_bytes_each: usize,
+    ) -> Result<usize, JournalError> {
+        let declared = u64::from(self.u32()?);
+        if declared > cap as u64 {
+            return Err(JournalError::Oversized {
+                what,
+                declared,
+                cap: cap as u64,
+            });
+        }
+        let n = declared as usize;
+        if n.checked_mul(min_bytes_each)
+            .is_none_or(|need| need > self.remaining())
+        {
+            return Err(JournalError::Truncated);
+        }
+        Ok(n)
     }
 }
 
@@ -483,10 +537,9 @@ impl SessionJournal {
             v => Some(v),
         };
         let session_degraded = r.flag()?;
-        let nclasses = r.u32()? as usize;
-        if nclasses > (1 << 20) {
-            return Err(JournalError::Malformed("class count impossibly large"));
-        }
+        // 31 = the minimum encoded size of one class checkpoint (two
+        // u32s, four flags, three empty bitmaps, one u64).
+        let nclasses = r.count("class count", nonstrict_wire::caps::MAX_CLASSES, 31)?;
         let mut classes = Vec::with_capacity(nclasses);
         for _ in 0..nclasses {
             let epoch = r.u32()?;
@@ -515,10 +568,8 @@ impl SessionJournal {
                 stall_events,
             });
         }
-        let nfetch = r.u32()? as usize;
-        if nfetch > (1 << 24) {
-            return Err(JournalError::Malformed("fetch log impossibly large"));
-        }
+        // 20 = the encoded size of one fetch record (three u32s + u64).
+        let nfetch = r.count("fetch log", nonstrict_wire::caps::MAX_FETCH_LOG, 20)?;
         let mut fetch_log = Vec::with_capacity(nfetch);
         for _ in 0..nfetch {
             fetch_log.push(FetchRecord {
@@ -766,5 +817,65 @@ mod tests {
         let b = SessionManifest::new(vec![1, 2, 4], vec![0, 0, 0]);
         assert_ne!(a.epoch, b.epoch);
         assert_eq!(a, SessionManifest::new(vec![1, 2, 3], vec![0, 0, 0]));
+    }
+
+    /// Byte offset of the class-count field: magic (4) + version (2) +
+    /// manifest epoch/digest (12) + next_event/clock (16) + seven cycle
+    /// buckets (56) + four u32 counters (16) + latency (8) + degraded
+    /// flag (1).
+    const NCLASSES_AT: usize = 115;
+
+    fn patched(mut bytes: Vec<u8>, at: usize, value: u32) -> Vec<u8> {
+        bytes[at..at + 4].copy_from_slice(&value.to_le_bytes());
+        let crc_at = bytes.len() - 4;
+        let crc = crc32(&bytes[..crc_at]);
+        bytes[crc_at..].copy_from_slice(&crc.to_le_bytes());
+        bytes
+    }
+
+    #[test]
+    fn forged_class_count_is_oversized_before_allocation() {
+        let bytes = sample().encode();
+        assert_eq!(
+            u32::from_le_bytes(bytes[NCLASSES_AT..NCLASSES_AT + 4].try_into().unwrap()),
+            2,
+            "offset constant drifted from the encoder layout"
+        );
+        // Above the cap: the typed Oversized guard fires even though
+        // the CRC trailer has been re-sealed (the CRC is not a MAC).
+        let huge = patched(bytes.clone(), NCLASSES_AT, u32::MAX);
+        assert!(matches!(
+            SessionJournal::decode(&huge),
+            Err(JournalError::Oversized {
+                what: "class count",
+                ..
+            })
+        ));
+        // Under the cap but far beyond the bytes actually present: the
+        // remaining-bytes check rejects it before reserving anything.
+        let hollow = patched(bytes, NCLASSES_AT, 100_000);
+        assert_eq!(
+            SessionJournal::decode(&hollow),
+            Err(JournalError::Truncated)
+        );
+    }
+
+    #[test]
+    fn forged_bitmap_length_is_oversized_before_allocation() {
+        let j = sample();
+        let bytes = j.encode();
+        // The first per-class bitmap length sits after the class
+        // header: nclasses (4) + epoch (4) + delivered (4) + flag (1).
+        let bitmap_at = NCLASSES_AT + 4 + 4 + 4 + 1;
+        assert_eq!(
+            u32::from_le_bytes(bytes[bitmap_at..bitmap_at + 4].try_into().unwrap()),
+            3,
+            "offset constant drifted from the encoder layout"
+        );
+        let forged = patched(bytes, bitmap_at, u32::MAX);
+        assert!(matches!(
+            SessionJournal::decode(&forged),
+            Err(JournalError::Oversized { what: "bitmap", .. })
+        ));
     }
 }

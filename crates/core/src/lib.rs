@@ -56,6 +56,7 @@ pub mod manifest;
 pub mod metrics;
 pub mod model;
 pub mod report;
+pub mod serve;
 pub mod sim;
 
 pub use chaos::{
@@ -69,6 +70,10 @@ pub use metrics::CycleLedger;
 pub use model::{
     ByzantineConfig, DataLayout, ExecutionModel, FaultConfig, OrderingSource, OutageConfig,
     ReplicaConfig, ReplicaKill, SimConfig, TransferPolicy, VerifyMode,
+};
+pub use serve::{
+    build_plan, journal_from_report, ordering_from_wire, ordering_to_wire, plan_from_session,
+    resume_entries_from_journal, verify_payloads, ServeError,
 };
 pub use sim::{
     simulate, FaultSummary, IntegritySummary, InterruptSpec, OutageSummary, ReplicaSummary,

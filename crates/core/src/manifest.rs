@@ -46,6 +46,17 @@ pub enum ManifestError {
     CrcMismatch,
     /// Structurally impossible content.
     Malformed(&'static str),
+    /// A declared count exceeds its sanity cap. Rejected *before* any
+    /// buffer is allocated — a forged length field (the CRC is not a
+    /// MAC) must not make the decoder reserve gigabytes.
+    Oversized {
+        /// Which field declared the count.
+        what: &'static str,
+        /// The declared value.
+        declared: u64,
+        /// The cap it violated (see `nonstrict_wire::caps`).
+        cap: u64,
+    },
 }
 
 impl std::fmt::Display for ManifestError {
@@ -56,6 +67,14 @@ impl std::fmt::Display for ManifestError {
             ManifestError::Truncated => write!(f, "manifest truncated (torn write)"),
             ManifestError::CrcMismatch => write!(f, "manifest CRC mismatch"),
             ManifestError::Malformed(what) => write!(f, "malformed manifest: {what}"),
+            ManifestError::Oversized {
+                what,
+                declared,
+                cap,
+            } => write!(
+                f,
+                "oversized manifest {what}: declared {declared}, cap {cap}"
+            ),
         }
     }
 }
@@ -188,16 +207,44 @@ impl UnitManifest {
             return Err(ManifestError::BadVersion(version));
         }
         let epoch = u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("len"));
-        let nclasses = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("len")) as usize;
-        if nclasses > (1 << 20) {
-            return Err(ManifestError::Malformed("class count impossibly large"));
-        }
+        // Length-prefix sanity: every declared count is checked against
+        // its cap AND the bytes actually remaining before any Vec is
+        // reserved — a forged count re-sealed under a fresh CRC must
+        // not make the decoder allocate gigabytes.
+        let checked = |pos: usize, what: &'static str, n: u32, cap: usize, each: usize| {
+            if u64::from(n) > cap as u64 {
+                return Err(ManifestError::Oversized {
+                    what,
+                    declared: u64::from(n),
+                    cap: cap as u64,
+                });
+            }
+            let n = n as usize;
+            if n.checked_mul(each)
+                .is_none_or(|need| need > content.len().saturating_sub(pos))
+            {
+                return Err(ManifestError::Truncated);
+            }
+            Ok(n)
+        };
+        let nclasses = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("len"));
+        let nclasses = checked(
+            pos,
+            "class count",
+            nclasses,
+            nonstrict_wire::caps::MAX_CLASSES,
+            4,
+        )?;
         let mut unit_digests = Vec::with_capacity(nclasses);
         for _ in 0..nclasses {
-            let n = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("len")) as usize;
-            if n > (1 << 24) {
-                return Err(ManifestError::Malformed("unit count impossibly large"));
-            }
+            let n = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("len"));
+            let n = checked(
+                pos,
+                "unit count",
+                n,
+                nonstrict_wire::caps::MAX_UNITS_PER_CLASS,
+                4,
+            )?;
             let mut class = Vec::with_capacity(n);
             for _ in 0..n {
                 class.push(u32::from_le_bytes(
@@ -289,6 +336,41 @@ mod tests {
         let mut padded = bytes;
         padded.push(0);
         assert!(UnitManifest::decode(&padded).is_err());
+    }
+
+    #[test]
+    fn forged_counts_are_oversized_before_allocation() {
+        let bytes = sample().encode();
+        let reseal = |mut b: Vec<u8>, at: usize, v: u32| {
+            b[at..at + 4].copy_from_slice(&v.to_le_bytes());
+            let crc_at = b.len() - 4;
+            let crc = crc32(&b[..crc_at]);
+            b[crc_at..].copy_from_slice(&crc.to_le_bytes());
+            b
+        };
+        // Class count sits after magic (4) + version (2) + epoch (8).
+        let nclasses_at = 14;
+        let huge = reseal(bytes.clone(), nclasses_at, u32::MAX);
+        assert!(matches!(
+            UnitManifest::decode(&huge),
+            Err(ManifestError::Oversized {
+                what: "class count",
+                ..
+            })
+        ));
+        // Under the cap but beyond the bytes present: truncated, still
+        // before any allocation.
+        let hollow = reseal(bytes.clone(), nclasses_at, 10_000);
+        assert_eq!(UnitManifest::decode(&hollow), Err(ManifestError::Truncated));
+        // First per-class unit count sits right after the class count.
+        let forged_units = reseal(bytes, nclasses_at + 4, u32::MAX);
+        assert!(matches!(
+            UnitManifest::decode(&forged_units),
+            Err(ManifestError::Oversized {
+                what: "unit count",
+                ..
+            })
+        ));
     }
 
     #[test]

@@ -74,17 +74,17 @@ impl Link {
     }
 
     /// Looks up one of the paper's named links by its CLI/scenario
-    /// label (case-insensitive): `"t1"` or `"modem"`. The single
-    /// parser for every surface that names a link — CLI flags and
-    /// chaos repro files must agree on the spelling.
+    /// label (case-insensitive): `"t1"` or `"modem"`. Delegates to the
+    /// `nonstrict-wire` link table — the single name table for every
+    /// surface that names a link, so CLI flags, chaos repro files, the
+    /// wire server, and the loadgen all agree on spelling and numbers.
     #[must_use]
     pub fn by_name(name: &str) -> Option<Link> {
-        if name.eq_ignore_ascii_case("t1") {
-            Some(Link::T1)
-        } else if name.eq_ignore_ascii_case("modem") {
-            Some(Link::MODEM_28_8)
-        } else {
-            None
+        let spec = nonstrict_wire::LinkSpec::by_name(name)?;
+        match spec.name {
+            "t1" => Some(Link::T1),
+            "modem" => Some(Link::MODEM_28_8),
+            _ => None,
         }
     }
 
@@ -107,6 +107,18 @@ mod tests {
     fn paper_constants() {
         assert_eq!(Link::T1.cycles_per_byte, 3_815);
         assert_eq!(Link::MODEM_28_8.cycles_per_byte, 134_698);
+    }
+
+    #[test]
+    fn wire_table_agrees_with_paper_constants() {
+        assert_eq!(
+            nonstrict_wire::LinkSpec::T1.cycles_per_byte,
+            Link::T1.cycles_per_byte
+        );
+        assert_eq!(
+            nonstrict_wire::LinkSpec::MODEM_28_8.cycles_per_byte,
+            Link::MODEM_28_8.cycles_per_byte
+        );
     }
 
     #[test]

@@ -27,24 +27,16 @@ pub const DELIMITER_BYTES: u64 = 2;
 pub const CHECKSUM_BYTES: u64 = 4;
 
 /// CRC32 (IEEE 802.3, reflected) of `data` — the per-unit trailer the
-/// resilient protocol verifies on receipt.
+/// resilient protocol verifies on receipt. Re-exported from
+/// `nonstrict-wire`: the simulated trailer and the real wire frames use
+/// the same arithmetic, bit for bit, so the simulator is an honest test
+/// double for the socket protocol.
 ///
 /// ```
 /// use nonstrict_netsim::unit::crc32;
 /// assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
 /// ```
-#[must_use]
-pub fn crc32(data: &[u8]) -> u32 {
-    let mut crc = !0u32;
-    for &byte in data {
-        crc ^= u32::from(byte);
-        for _ in 0..8 {
-            let mask = (crc & 1).wrapping_neg();
-            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
-        }
-    }
-    !crc
-}
+pub use nonstrict_wire::crc32;
 
 /// Adds the per-unit CRC32 trailer to every non-empty unit, in place.
 /// Called when the fault protocol is active; empty units (a zero-byte

@@ -1,0 +1,356 @@
+//! The socket-level chaos proxy.
+//!
+//! Sits between client and server on loopback and injects faults on the
+//! server→client stream **at frame boundaries** (it parses just enough
+//! framing to know where one frame ends), while forwarding the
+//! client→server stream untouched. The fault vocabulary is the
+//! simulator's, knob for knob, mapped to its socket-level analogue:
+//!
+//! | knob        | simulated effect      | wire effect                      |
+//! |-------------|-----------------------|----------------------------------|
+//! | `loss`      | unit lost in flight   | frame cut mid-bytes, then abort  |
+//! | `drop`      | connection dropped    | both sockets torn down           |
+//! | `corrupt`   | unit payload flipped  | one byte flipped in frame body   |
+//! | `droop`     | bandwidth sag         | stall before forwarding          |
+//! | `semantic`  | plausible wrong bytes | adjacent frames swapped          |
+//!
+//! Fault draws are deterministic per accepted connection: connection
+//! `n` uses `SplitMix64(seed ^ hash(n))`, so a failing run replays
+//! exactly from its seed.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::config::FaultKnobs;
+use crate::frame::{read_raw_frame, FrameError};
+use crate::SplitMix64;
+
+/// Tuning for a [`ChaosProxy`].
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// The six shared fault knobs (`seed` + five ppm rates).
+    pub knobs: FaultKnobs,
+    /// How long a `droop` stall holds a frame. Longer than the client's
+    /// read timeout turns a stall into a forced reconnect.
+    pub stall: Duration,
+}
+
+impl ChaosConfig {
+    /// A config from knobs with a default 50 ms stall.
+    #[must_use]
+    pub fn new(knobs: FaultKnobs) -> ChaosConfig {
+        ChaosConfig {
+            knobs,
+            stall: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Injected-fault counts, snapshotted by [`ChaosProxy::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosStats {
+    /// Frames cut mid-bytes (loss).
+    pub cuts: u64,
+    /// Connections torn down (drop).
+    pub aborts: u64,
+    /// Bytes flipped (corrupt).
+    pub corruptions: u64,
+    /// Stalls inserted (droop).
+    pub stalls: u64,
+    /// Adjacent-frame swaps (semantic).
+    pub reorders: u64,
+    /// Connections proxied.
+    pub connections: u64,
+}
+
+impl ChaosStats {
+    /// Total faults injected across every category.
+    #[must_use]
+    pub fn total_faults(&self) -> u64 {
+        self.cuts + self.aborts + self.corruptions + self.stalls + self.reorders
+    }
+}
+
+#[derive(Default)]
+struct StatsInner {
+    cuts: AtomicU64,
+    aborts: AtomicU64,
+    corruptions: AtomicU64,
+    stalls: AtomicU64,
+    reorders: AtomicU64,
+    connections: AtomicU64,
+}
+
+/// The proxy: spawn, point clients at [`ChaosProxy::local_addr`], stop.
+pub struct ChaosProxy {
+    local: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    stats: Arc<StatsInner>,
+}
+
+impl ChaosProxy {
+    /// Binds an ephemeral loopback port and proxies every accepted
+    /// connection to `upstream` with faults from `config`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind/configuration failures.
+    pub fn spawn(upstream: SocketAddr, config: ChaosConfig) -> std::io::Result<ChaosProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(StatsInner::default());
+        let accept_stop = Arc::clone(&stop);
+        let accept_stats = Arc::clone(&stats);
+        let accept_thread = std::thread::spawn(move || {
+            accept_loop(&listener, upstream, &config, &accept_stop, &accept_stats);
+        });
+        Ok(ChaosProxy {
+            local,
+            stop,
+            accept_thread: Some(accept_thread),
+            stats,
+        })
+    }
+
+    /// The address clients should connect to.
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local
+    }
+
+    /// A snapshot of the injected-fault counters.
+    #[must_use]
+    pub fn stats(&self) -> ChaosStats {
+        ChaosStats {
+            cuts: self.stats.cuts.load(Ordering::Relaxed),
+            aborts: self.stats.aborts.load(Ordering::Relaxed),
+            corruptions: self.stats.corruptions.load(Ordering::Relaxed),
+            stalls: self.stats.stalls.load(Ordering::Relaxed),
+            reorders: self.stats.reorders.load(Ordering::Relaxed),
+            connections: self.stats.connections.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops accepting and tears the proxy down.
+    pub fn stop(mut self) -> ChaosStats {
+        self.shutdown();
+        self.stats()
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    upstream: SocketAddr,
+    config: &ChaosConfig,
+    stop: &Arc<AtomicBool>,
+    stats: &Arc<StatsInner>,
+) {
+    let mut pumps: Vec<JoinHandle<()>> = Vec::new();
+    let mut conn_index = 0u64;
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((client, _)) => {
+                let n = conn_index;
+                conn_index += 1;
+                stats.connections.fetch_add(1, Ordering::Relaxed);
+                let Ok(server) = TcpStream::connect_timeout(&upstream, Duration::from_secs(2))
+                else {
+                    continue;
+                };
+                let config = config.clone();
+                let stop = Arc::clone(stop);
+                let stats = Arc::clone(stats);
+                pumps.push(std::thread::spawn(move || {
+                    proxy_connection(client, server, n, &config, &stop, &stats);
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => break,
+        }
+        pumps.retain(|p| !p.is_finished());
+    }
+    for p in pumps {
+        let _ = p.join();
+    }
+}
+
+/// A reader that converts socket read timeouts into retries until the
+/// stop flag rises, so frame parsing never desyncs on a mid-frame
+/// timeout but the pump still exits promptly on shutdown.
+struct RetryReader<'a> {
+    stream: &'a TcpStream,
+    stop: &'a AtomicBool,
+}
+
+impl Read for RetryReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        loop {
+            let mut stream = self.stream;
+            match stream.read(buf) {
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) && !self.stop.load(Ordering::SeqCst) =>
+                {
+                    continue;
+                }
+                other => return other,
+            }
+        }
+    }
+}
+
+fn proxy_connection(
+    client: TcpStream,
+    server: TcpStream,
+    conn_index: u64,
+    config: &ChaosConfig,
+    stop: &Arc<AtomicBool>,
+    stats: &Arc<StatsInner>,
+) {
+    let _ = client.set_read_timeout(Some(Duration::from_millis(50)));
+    let _ = server.set_read_timeout(Some(Duration::from_millis(50)));
+
+    // Client → server: forwarded untouched (Hellos are small and the
+    // interesting failure surface is the streamed response).
+    let up_client = match client.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let up_server = match server.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let up_stop = Arc::clone(stop);
+    let upstream_pump = std::thread::spawn(move || {
+        let mut reader = RetryReader {
+            stream: &up_client,
+            stop: &up_stop,
+        };
+        let mut buf = [0u8; 4096];
+        loop {
+            match reader.read(&mut buf) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => {
+                    if (&up_server).write_all(&buf[..n]).is_err() {
+                        break;
+                    }
+                }
+            }
+        }
+        let _ = up_server.shutdown(std::net::Shutdown::Write);
+    });
+
+    // Server → client: frame-boundary faults, seeded per connection.
+    let mut rng = SplitMix64(config.knobs.seed ^ conn_index.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let knobs = config.knobs;
+    let mut reader = RetryReader {
+        stream: &server,
+        stop,
+    };
+    let mut held: Option<Vec<u8>> = None;
+    let mut down = &client;
+    loop {
+        let frame = match read_raw_frame(&mut reader) {
+            Ok(f) => f,
+            Err(FrameError::Truncated) | Err(FrameError::Io(_)) => break,
+            Err(_) => break,
+        };
+        if knobs.drop_pm > 0 && rng.hit_pm(knobs.drop_pm) {
+            stats.aborts.fetch_add(1, Ordering::Relaxed);
+            let _ = client.shutdown(std::net::Shutdown::Both);
+            let _ = server.shutdown(std::net::Shutdown::Both);
+            break;
+        }
+        if knobs.loss_pm > 0 && rng.hit_pm(knobs.loss_pm) {
+            // Cut the frame mid-bytes, then tear the connection down:
+            // the wire version of a unit lost in flight.
+            stats.cuts.fetch_add(1, Ordering::Relaxed);
+            let cut = frame.len() / 2;
+            let _ = down.write_all(&frame[..cut]);
+            let _ = client.shutdown(std::net::Shutdown::Both);
+            let _ = server.shutdown(std::net::Shutdown::Both);
+            break;
+        }
+        if knobs.droop_pm > 0 && rng.hit_pm(knobs.droop_pm) {
+            stats.stalls.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(config.stall);
+        }
+        let mut frame = frame;
+        if knobs.corrupt_pm > 0 && rng.hit_pm(knobs.corrupt_pm) {
+            // Flip one byte past the length field (payload or CRC), so
+            // framing stays parseable and the client's CRC check is
+            // what must catch it.
+            stats.corruptions.fetch_add(1, Ordering::Relaxed);
+            let at = 5 + usize::try_from(rng.below((frame.len() - 5) as u64)).unwrap_or(0);
+            frame[at] ^= 0x20;
+        }
+        if knobs.semantic_pm > 0 && held.is_none() && rng.hit_pm(knobs.semantic_pm) {
+            // Hold this frame and release it after the next one: a
+            // reorder at an exact frame boundary.
+            stats.reorders.fetch_add(1, Ordering::Relaxed);
+            held = Some(frame);
+            continue;
+        }
+        if down.write_all(&frame).is_err() {
+            break;
+        }
+        if let Some(h) = held.take() {
+            if down.write_all(&h).is_err() {
+                break;
+            }
+        }
+    }
+    if let Some(h) = held.take() {
+        let _ = down.write_all(&h);
+    }
+    let _ = client.shutdown(std::net::Shutdown::Both);
+    let _ = server.shutdown(std::net::Shutdown::Both);
+    let _ = upstream_pump.join();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_connection_rngs_are_deterministic_and_distinct() {
+        let seed = 7u64;
+        let mut a0 = SplitMix64(seed ^ 0u64.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let mut b0 = SplitMix64(seed ^ 0u64.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let mut a1 = SplitMix64(seed ^ 1u64.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        assert_eq!(a0.next_u64(), b0.next_u64());
+        assert_ne!(a0.next_u64(), a1.next_u64());
+    }
+
+    #[test]
+    fn quiet_knobs_never_fire() {
+        let knobs = FaultKnobs::default();
+        assert!(knobs.is_quiet());
+        let mut rng = SplitMix64(1);
+        assert!((0..1000).all(|_| !rng.hit_pm(knobs.loss_pm)));
+    }
+}

@@ -1,0 +1,466 @@
+//! The resumable wire client.
+//!
+//! The client is the protocol's fault domain: everything the chaos
+//! proxy throws at the stream — torn frames, bit flips, stalls, aborts,
+//! reordering — lands here, and the recovery story is always the same
+//! **fail-closed** move: drop the connection, keep the journal
+//! watermarks (which only ever advance at verified unit boundaries),
+//! back off with capped exponential delay, reconnect, and offer the
+//! watermarks in the next Hello. A unit is recorded exactly once, in
+//! order, CRC-verified, or the session dies having recorded nothing for
+//! it — the same invariant the simulator's journal enforces at cycle
+//! granularity.
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use crate::crc::crc32;
+use crate::frame::{read_frame, EvictReason, Frame, FrameError, ResumeEntry};
+
+/// Tuning for one [`WireClient`] session.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Server address.
+    pub addr: SocketAddr,
+    /// Benchmark to request.
+    pub benchmark: String,
+    /// Ordering code (see [`crate::config::ordering_code`]).
+    pub ordering: u8,
+    /// TCP connect deadline.
+    pub connect_timeout: Duration,
+    /// Per-frame read deadline (a stalled stream turns into a
+    /// reconnect, not a hang).
+    pub read_timeout: Duration,
+    /// Total connection attempts before giving up.
+    pub max_attempts: u32,
+    /// First reconnect backoff.
+    pub backoff_base: Duration,
+    /// Backoff cap (exponential growth stops here).
+    pub backoff_cap: Duration,
+    /// Test hook: deliberately drop the connection once, after this
+    /// many units have been delivered in total — the wire-level
+    /// crash-anywhere probe.
+    pub disconnect_after_units: Option<u64>,
+    /// Keep full unit payloads in the report (the differential test
+    /// feeds them back through the class-file stream loader).
+    pub keep_payloads: bool,
+}
+
+impl ClientConfig {
+    /// A config with test-friendly defaults for `addr`/`benchmark`.
+    #[must_use]
+    pub fn new(addr: SocketAddr, benchmark: &str) -> ClientConfig {
+        ClientConfig {
+            addr,
+            benchmark: benchmark.to_owned(),
+            ordering: 0,
+            connect_timeout: Duration::from_secs(2),
+            read_timeout: Duration::from_secs(2),
+            max_attempts: 10,
+            backoff_base: Duration::from_millis(2),
+            backoff_cap: Duration::from_millis(100),
+            disconnect_after_units: None,
+            keep_payloads: false,
+        }
+    }
+}
+
+/// Why a session failed for good.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// Every allowed attempt was spent without completing.
+    Exhausted {
+        /// Attempts made.
+        attempts: u32,
+    },
+    /// The server declared the Hello incompatible (unknown benchmark or
+    /// protocol mismatch) — retrying cannot help.
+    Incompatible,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Exhausted { attempts } => {
+                write!(f, "gave up after {attempts} connection attempts")
+            }
+            ClientError::Incompatible => write!(f, "server rejected the session as incompatible"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// What one completed session looked like.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ClientReport {
+    /// Per-class delivered-unit watermarks.
+    pub delivered: Vec<u32>,
+    /// Per-class unit totals advertised by the server.
+    pub units: Vec<u32>,
+    /// Per-class layout epochs.
+    pub epochs: Vec<u32>,
+    /// CRC32 of every delivered unit payload, per class in unit order.
+    pub unit_crcs: Vec<Vec<u32>>,
+    /// Full unit payloads when [`ClientConfig::keep_payloads`] is set.
+    pub payloads: Option<Vec<Vec<Vec<u8>>>>,
+    /// Manifest epoch pinned from the first Welcome.
+    pub manifest_epoch: u64,
+    /// CRC32 of the pinned manifest bytes.
+    pub manifest_crc: u32,
+    /// Connection attempts made (including the successful ones).
+    pub connects: u32,
+    /// Admission Retry frames honored.
+    pub admission_retries: u32,
+    /// Evictions honored (drain or slow-consumer).
+    pub evictions: u32,
+    /// Stream faults survived: torn frames, CRC mismatches, timeouts,
+    /// resets — anything that forced a fail-closed reconnect.
+    pub stream_faults: u32,
+    /// Protocol-order violations observed (out-of-order or out-of-range
+    /// units) — each one forced a reconnect.
+    pub order_violations: u32,
+    /// Payload bytes accepted into the journal.
+    pub bytes: u64,
+    /// True when every class reached its advertised unit total.
+    pub complete: bool,
+}
+
+#[derive(Clone, Default)]
+struct ClassState {
+    epoch: u32,
+    units: u32,
+    delivered: u32,
+    crcs: Vec<u32>,
+    sizes: Vec<u32>,
+    payloads: Vec<Vec<u8>>,
+}
+
+impl ClassState {
+    fn bytes(&self) -> u64 {
+        self.sizes.iter().map(|&s| u64::from(s)).sum()
+    }
+}
+
+/// The client session driver.
+pub struct WireClient {
+    config: ClientConfig,
+    classes: Vec<ClassState>,
+    pinned_manifest: Option<(u64, u32)>,
+    report: ClientReport,
+    disconnect_fired: bool,
+    delivered_total: u64,
+}
+
+enum Attempt {
+    Done,
+    ReconnectAfter(Duration),
+    Fatal(ClientError),
+}
+
+impl WireClient {
+    /// A fresh session for `config`.
+    #[must_use]
+    pub fn new(config: ClientConfig) -> WireClient {
+        WireClient {
+            config,
+            classes: Vec::new(),
+            pinned_manifest: None,
+            report: ClientReport::default(),
+            disconnect_fired: false,
+            delivered_total: 0,
+        }
+    }
+
+    /// Runs the session to completion: connect, resume from watermarks,
+    /// survive faults by reconnecting with capped backoff.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Exhausted`] when `max_attempts` connections all
+    /// fail to finish; [`ClientError::Incompatible`] on a server-side
+    /// rejection that retrying cannot fix.
+    pub fn run(mut self) -> Result<ClientReport, ClientError> {
+        let mut consecutive_failures = 0u32;
+        while self.report.connects < self.config.max_attempts {
+            self.report.connects += 1;
+            match self.attempt() {
+                Attempt::Done => {
+                    self.finish_report();
+                    return Ok(self.report);
+                }
+                Attempt::ReconnectAfter(delay) => {
+                    consecutive_failures += 1;
+                    let backoff = backoff_delay(
+                        self.config.backoff_base,
+                        self.config.backoff_cap,
+                        consecutive_failures,
+                    );
+                    std::thread::sleep(delay.max(backoff).min(self.config.backoff_cap));
+                }
+                Attempt::Fatal(e) => return Err(e),
+            }
+        }
+        Err(ClientError::Exhausted {
+            attempts: self.report.connects,
+        })
+    }
+
+    fn attempt(&mut self) -> Attempt {
+        let mut stream =
+            match TcpStream::connect_timeout(&self.config.addr, self.config.connect_timeout) {
+                Ok(s) => s,
+                Err(_) => {
+                    self.report.stream_faults += 1;
+                    return Attempt::ReconnectAfter(Duration::ZERO);
+                }
+            };
+        if stream
+            .set_read_timeout(Some(self.config.read_timeout))
+            .is_err()
+            || stream
+                .set_write_timeout(Some(self.config.read_timeout))
+                .is_err()
+        {
+            return Attempt::ReconnectAfter(Duration::ZERO);
+        }
+
+        let hello = Frame::Hello {
+            version: crate::frame::PROTOCOL_VERSION,
+            benchmark: self.config.benchmark.clone(),
+            ordering: self.config.ordering,
+            resume: self.watermarks(),
+        };
+        if stream.write_all(&hello.encode()).is_err() || stream.flush().is_err() {
+            self.report.stream_faults += 1;
+            return Attempt::ReconnectAfter(Duration::ZERO);
+        }
+
+        // First response decides the session: Welcome, Retry, or Evict.
+        let mut expected: Vec<u32> = match read_frame(&mut stream) {
+            Ok(Frame::Welcome {
+                manifest_epoch,
+                manifest,
+                classes,
+            }) => match self.adopt_welcome(manifest_epoch, &manifest, &classes) {
+                Some(starts) => starts,
+                None => return Attempt::ReconnectAfter(Duration::ZERO),
+            },
+            Ok(Frame::Retry { after_ms }) => {
+                self.report.admission_retries += 1;
+                return Attempt::ReconnectAfter(Duration::from_millis(u64::from(after_ms)));
+            }
+            Ok(Frame::Evict {
+                reason: EvictReason::Incompatible,
+                ..
+            }) => return Attempt::Fatal(ClientError::Incompatible),
+            Ok(Frame::Evict {
+                resume_after_ms, ..
+            }) => {
+                self.report.evictions += 1;
+                return Attempt::ReconnectAfter(Duration::from_millis(u64::from(resume_after_ms)));
+            }
+            Ok(_) => {
+                self.report.order_violations += 1;
+                return Attempt::ReconnectAfter(Duration::ZERO);
+            }
+            Err(e) => return self.stream_fault(e),
+        };
+
+        loop {
+            match read_frame(&mut stream) {
+                Ok(Frame::Unit {
+                    class,
+                    unit,
+                    payload,
+                }) => {
+                    let ci = class as usize;
+                    if ci >= self.classes.len() || unit != expected[ci] {
+                        // Out-of-order or out-of-range: fail closed.
+                        // Nothing is journaled; the reconnect resumes
+                        // from the last good boundary.
+                        self.report.order_violations += 1;
+                        return Attempt::ReconnectAfter(Duration::ZERO);
+                    }
+                    self.accept_unit(ci, &payload);
+                    expected[ci] += 1;
+                    if let Some(k) = self.config.disconnect_after_units {
+                        if !self.disconnect_fired && self.delivered_total >= k {
+                            // The crash-anywhere probe: die exactly at
+                            // this unit boundary, once.
+                            self.disconnect_fired = true;
+                            self.report.stream_faults += 1;
+                            return Attempt::ReconnectAfter(Duration::ZERO);
+                        }
+                    }
+                }
+                Ok(Frame::Evict {
+                    reason: EvictReason::Incompatible,
+                    ..
+                }) => return Attempt::Fatal(ClientError::Incompatible),
+                Ok(Frame::Evict {
+                    resume_after_ms, ..
+                }) => {
+                    self.report.evictions += 1;
+                    return Attempt::ReconnectAfter(Duration::from_millis(u64::from(
+                        resume_after_ms,
+                    )));
+                }
+                Ok(Frame::Bye { .. }) => {
+                    if self.classes.iter().all(|c| c.delivered == c.units) {
+                        return Attempt::Done;
+                    }
+                    // A premature Bye is a protocol violation; keep the
+                    // watermarks and try again.
+                    self.report.order_violations += 1;
+                    return Attempt::ReconnectAfter(Duration::ZERO);
+                }
+                Ok(_) => {
+                    self.report.order_violations += 1;
+                    return Attempt::ReconnectAfter(Duration::ZERO);
+                }
+                Err(e) => return self.stream_fault(e),
+            }
+        }
+    }
+
+    fn stream_fault(&mut self, _e: FrameError) -> Attempt {
+        self.report.stream_faults += 1;
+        Attempt::ReconnectAfter(Duration::ZERO)
+    }
+
+    fn watermarks(&self) -> Vec<ResumeEntry> {
+        self.classes
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.delivered > 0)
+            .map(|(ci, c)| ResumeEntry {
+                class: u32::try_from(ci).unwrap_or(u32::MAX),
+                epoch: c.epoch,
+                delivered: c.delivered,
+            })
+            .collect()
+    }
+
+    /// Applies a Welcome: pins (or re-checks) the manifest, reconciles
+    /// per-class epochs and negotiated starts against local state.
+    /// Returns the per-class expected next unit, or `None` to
+    /// fail-closed reconnect.
+    fn adopt_welcome(
+        &mut self,
+        manifest_epoch: u64,
+        manifest: &[u8],
+        adverts: &[crate::frame::ClassAdvert],
+    ) -> Option<Vec<u32>> {
+        let manifest_crc = crc32(manifest);
+        match self.pinned_manifest {
+            None => {
+                self.pinned_manifest = Some((manifest_epoch, manifest_crc));
+                self.report.manifest_epoch = manifest_epoch;
+                self.report.manifest_crc = manifest_crc;
+            }
+            Some((epoch, crc)) => {
+                if epoch != manifest_epoch || crc != manifest_crc {
+                    // The layout changed under us (restructure epoch
+                    // bump). Everything delivered so far is stale:
+                    // fail closed, restart from nothing.
+                    self.classes.clear();
+                    self.delivered_total = 0;
+                    self.pinned_manifest = Some((manifest_epoch, manifest_crc));
+                    self.report.manifest_epoch = manifest_epoch;
+                    self.report.manifest_crc = manifest_crc;
+                }
+            }
+        }
+        if self.classes.is_empty() {
+            self.classes = vec![ClassState::default(); adverts.len()];
+        } else if self.classes.len() != adverts.len() {
+            self.report.order_violations += 1;
+            return None;
+        }
+        let mut expected = Vec::with_capacity(adverts.len());
+        for (ci, advert) in adverts.iter().enumerate() {
+            let class = &mut self.classes[ci];
+            if class.delivered == 0 {
+                class.epoch = advert.epoch;
+                class.units = advert.units;
+            } else if class.epoch != advert.epoch || class.units != advert.units {
+                // Epoch moved for a class we hold bytes of: discard the
+                // stale bytes and restart the class.
+                self.delivered_total -= u64::from(class.delivered);
+                *class = ClassState {
+                    epoch: advert.epoch,
+                    units: advert.units,
+                    ..ClassState::default()
+                };
+            }
+            if advert.start > class.delivered {
+                // The server claims we hold units we never journaled.
+                self.report.order_violations += 1;
+                return None;
+            }
+            // advert.start <= delivered: the server resumes from its
+            // negotiated (possibly more conservative) start; re-receipt
+            // of units we already hold would arrive out of order, so
+            // truncate local state back to the negotiated start.
+            if advert.start < class.delivered {
+                let dropped = class.delivered - advert.start;
+                self.delivered_total -= u64::from(dropped);
+                class.crcs.truncate(advert.start as usize);
+                class.sizes.truncate(advert.start as usize);
+                class.payloads.truncate(advert.start as usize);
+                class.delivered = advert.start;
+            }
+            expected.push(advert.start);
+        }
+        Some(expected)
+    }
+
+    fn accept_unit(&mut self, ci: usize, payload: &[u8]) {
+        let class = &mut self.classes[ci];
+        class.crcs.push(crc32(payload));
+        class
+            .sizes
+            .push(u32::try_from(payload.len()).unwrap_or(u32::MAX));
+        if self.config.keep_payloads {
+            class.payloads.push(payload.to_vec());
+        }
+        class.delivered += 1;
+        self.delivered_total += 1;
+    }
+
+    fn finish_report(&mut self) {
+        self.report.bytes = self.classes.iter().map(ClassState::bytes).sum();
+        self.report.delivered = self.classes.iter().map(|c| c.delivered).collect();
+        self.report.units = self.classes.iter().map(|c| c.units).collect();
+        self.report.epochs = self.classes.iter().map(|c| c.epoch).collect();
+        self.report.unit_crcs = self.classes.iter().map(|c| c.crcs.clone()).collect();
+        if self.config.keep_payloads {
+            self.report.payloads = Some(self.classes.iter().map(|c| c.payloads.clone()).collect());
+        }
+        self.report.complete =
+            !self.classes.is_empty() && self.classes.iter().all(|c| c.delivered == c.units);
+    }
+}
+
+fn backoff_delay(base: Duration, cap: Duration, consecutive_failures: u32) -> Duration {
+    let shift = consecutive_failures.saturating_sub(1).min(16);
+    base.saturating_mul(1u32 << shift).min(cap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let base = Duration::from_millis(2);
+        let cap = Duration::from_millis(50);
+        assert_eq!(backoff_delay(base, cap, 1), Duration::from_millis(2));
+        assert_eq!(backoff_delay(base, cap, 2), Duration::from_millis(4));
+        assert_eq!(backoff_delay(base, cap, 3), Duration::from_millis(8));
+        assert_eq!(backoff_delay(base, cap, 10), cap);
+        assert_eq!(backoff_delay(base, cap, 33), cap);
+    }
+}

@@ -1,0 +1,178 @@
+//! Fleet load generation against a live server.
+//!
+//! Replays a seeded arrival schedule — `clients` sessions whose start
+//! times are jittered uniformly over an arrival window by the
+//! workspace's SplitMix64 — and reports completion counts, wall-clock
+//! tail latency, and **invariant violations**: any completed session
+//! whose delivered unit CRCs differ from the first completed session's
+//! is a violation, because every client of one benchmark must converge
+//! on byte-identical class files no matter how admission, eviction, or
+//! chaos interleaved its connections.
+
+use std::time::{Duration, Instant};
+
+use crate::client::{ClientConfig, WireClient};
+use crate::SplitMix64;
+
+/// Tuning for one loadgen run.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Per-client session template (address, benchmark, timeouts,
+    /// backoff, attempt budget).
+    pub client: ClientConfig,
+    /// Sessions to run.
+    pub clients: usize,
+    /// Seed for the arrival jitter.
+    pub seed: u64,
+    /// Arrival window: session start offsets are uniform in
+    /// `[0, arrival_spread)`.
+    pub arrival_spread: Duration,
+}
+
+/// What the fleet saw.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LoadgenReport {
+    /// Sessions that completed every class.
+    pub completed: usize,
+    /// Sessions that exhausted their attempts or were rejected.
+    pub failed: usize,
+    /// Median session latency, milliseconds.
+    pub p50_ms: u64,
+    /// 95th-percentile session latency, milliseconds.
+    pub p95_ms: u64,
+    /// 99th-percentile session latency, milliseconds.
+    pub p99_ms: u64,
+    /// Worst session latency, milliseconds.
+    pub max_ms: u64,
+    /// Connection attempts across the fleet.
+    pub connects: u64,
+    /// Admission Retry frames honored across the fleet.
+    pub admission_retries: u64,
+    /// Evictions honored across the fleet.
+    pub evictions: u64,
+    /// Stream faults survived across the fleet.
+    pub stream_faults: u64,
+    /// Order violations survived (each forced a reconnect).
+    pub order_violations: u64,
+    /// Payload bytes delivered across the fleet.
+    pub bytes: u64,
+    /// Cross-client divergence descriptions; must be empty on a
+    /// healthy run.
+    pub violations: Vec<String>,
+}
+
+/// Runs the fleet and collects the report.
+#[must_use]
+pub fn run_loadgen(config: &LoadgenConfig) -> LoadgenReport {
+    let mut rng = SplitMix64(config.seed);
+    let spread_ms = u64::try_from(config.arrival_spread.as_millis()).unwrap_or(u64::MAX);
+    let offsets: Vec<u64> = (0..config.clients)
+        .map(|_| {
+            if spread_ms == 0 {
+                0
+            } else {
+                rng.below(spread_ms)
+            }
+        })
+        .collect();
+
+    let handles: Vec<_> = offsets
+        .into_iter()
+        .map(|offset_ms| {
+            let client_config = config.client.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(offset_ms));
+                let started = Instant::now();
+                let outcome = WireClient::new(client_config).run();
+                (outcome, started.elapsed())
+            })
+        })
+        .collect();
+
+    let mut report = LoadgenReport::default();
+    let mut latencies_ms: Vec<u64> = Vec::new();
+    let mut reference: Option<Vec<Vec<u32>>> = None;
+    for (i, handle) in handles.into_iter().enumerate() {
+        let Ok((outcome, elapsed)) = handle.join() else {
+            report.failed += 1;
+            report
+                .violations
+                .push(format!("client {i}: session thread panicked"));
+            continue;
+        };
+        match outcome {
+            Ok(session) => {
+                report.connects += u64::from(session.connects);
+                report.admission_retries += u64::from(session.admission_retries);
+                report.evictions += u64::from(session.evictions);
+                report.stream_faults += u64::from(session.stream_faults);
+                report.order_violations += u64::from(session.order_violations);
+                report.bytes += session.bytes;
+                if !session.complete {
+                    report.failed += 1;
+                    report
+                        .violations
+                        .push(format!("client {i}: session returned incomplete"));
+                    continue;
+                }
+                report.completed += 1;
+                latencies_ms.push(u64::try_from(elapsed.as_millis()).unwrap_or(u64::MAX));
+                match &reference {
+                    None => reference = Some(session.unit_crcs),
+                    Some(expected) => {
+                        if *expected != session.unit_crcs {
+                            report.violations.push(format!(
+                                "client {i}: delivered unit CRCs diverge from fleet reference"
+                            ));
+                        }
+                    }
+                }
+            }
+            Err(e) => {
+                report.failed += 1;
+                report.violations.push(format!("client {i}: {e}"));
+            }
+        }
+    }
+
+    latencies_ms.sort_unstable();
+    report.p50_ms = percentile(&latencies_ms, 50);
+    report.p95_ms = percentile(&latencies_ms, 95);
+    report.p99_ms = percentile(&latencies_ms, 99);
+    report.max_ms = latencies_ms.last().copied().unwrap_or(0);
+    report
+}
+
+fn percentile(sorted: &[u64], p: usize) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (sorted.len() * p).div_ceil(100);
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_picks_nearest_rank() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 50), 50);
+        assert_eq!(percentile(&v, 95), 95);
+        assert_eq!(percentile(&v, 99), 99);
+        assert_eq!(percentile(&[7], 99), 7);
+        assert_eq!(percentile(&[], 50), 0);
+    }
+
+    #[test]
+    fn arrival_offsets_are_seeded_and_bounded() {
+        let mut a = SplitMix64(3);
+        let mut b = SplitMix64(3);
+        for _ in 0..32 {
+            let x = a.below(500);
+            assert_eq!(x, b.below(500));
+            assert!(x < 500);
+        }
+    }
+}

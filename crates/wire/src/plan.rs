@@ -1,0 +1,201 @@
+//! The server's content model and resume negotiation.
+//!
+//! A [`ServePlan`] is what a benchmark looks like from the wire's point
+//! of view: per class, an epoch (a digest of the restructured layout)
+//! and the real unit byte payloads produced by splitting the class file
+//! at unit boundaries (prelude first, then one unit per method). The
+//! `core::serve` bridge builds plans from restructured benchmarks; this
+//! crate only streams them, so the protocol layer stays free of class-
+//! file knowledge.
+//!
+//! Resume negotiation mirrors the NSJR journal's rule: a client's
+//! delivered watermark survives only if it was recorded under the epoch
+//! the server is serving *now*; on any mismatch the class restarts from
+//! unit zero (fail-closed, never trusting a stale layout).
+
+use crate::frame::{ClassAdvert, ResumeEntry};
+
+/// One class as served on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassPlan {
+    /// Layout epoch: changes whenever the restructured bytes change.
+    pub epoch: u32,
+    /// Real unit payloads, in stream order (index 0 is the prelude).
+    pub units: Vec<Vec<u8>>,
+}
+
+/// Everything the server streams for one benchmark.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServePlan {
+    /// Benchmark name clients ask for in their Hello.
+    pub benchmark: String,
+    /// Combined manifest epoch advertised in the Welcome.
+    pub manifest_epoch: u64,
+    /// The encoded NSUM manifest frame, carried opaquely.
+    pub manifest: Vec<u8>,
+    /// Per-class plans, indexed by class id.
+    pub classes: Vec<ClassPlan>,
+}
+
+impl ServePlan {
+    /// Total units across every class.
+    #[must_use]
+    pub fn total_units(&self) -> usize {
+        self.classes.iter().map(|c| c.units.len()).sum()
+    }
+
+    /// Total payload bytes across every class.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.classes
+            .iter()
+            .flat_map(|c| c.units.iter())
+            .map(|u| u.len() as u64)
+            .sum()
+    }
+
+    /// Negotiates a client's resume watermarks into per-class adverts.
+    ///
+    /// A watermark is honored (the advert's `start` is the delivered
+    /// count) only when the class exists, the recorded epoch equals the
+    /// served epoch, and the count is within range; anything else —
+    /// unknown class, stale epoch, absurd watermark — restarts that
+    /// class from zero. Duplicate entries for one class keep the most
+    /// conservative (lowest) surviving start.
+    #[must_use]
+    pub fn negotiate(&self, resume: &[ResumeEntry]) -> Vec<ClassAdvert> {
+        let mut adverts: Vec<ClassAdvert> = self
+            .classes
+            .iter()
+            .map(|c| ClassAdvert {
+                epoch: c.epoch,
+                units: u32::try_from(c.units.len()).unwrap_or(u32::MAX),
+                start: 0,
+            })
+            .collect();
+        let mut seen = vec![false; adverts.len()];
+        for entry in resume {
+            let Some(class) = self.classes.get(entry.class as usize) else {
+                continue;
+            };
+            let advert = &mut adverts[entry.class as usize];
+            if entry.epoch != class.epoch || entry.delivered > advert.units {
+                continue;
+            }
+            let idx = entry.class as usize;
+            advert.start = if seen[idx] {
+                advert.start.min(entry.delivered)
+            } else {
+                entry.delivered
+            };
+            seen[idx] = true;
+        }
+        adverts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> ServePlan {
+        ServePlan {
+            benchmark: "hanoi".to_owned(),
+            manifest_epoch: 42,
+            manifest: vec![1, 2, 3],
+            classes: vec![
+                ClassPlan {
+                    epoch: 100,
+                    units: vec![vec![0; 8], vec![1; 4], vec![2; 4]],
+                },
+                ClassPlan {
+                    epoch: 200,
+                    units: vec![vec![3; 16], vec![4; 2]],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn totals_count_every_unit_and_byte() {
+        let p = plan();
+        assert_eq!(p.total_units(), 5);
+        assert_eq!(p.total_bytes(), 8 + 4 + 4 + 16 + 2);
+    }
+
+    #[test]
+    fn fresh_client_starts_every_class_at_zero() {
+        let adverts = plan().negotiate(&[]);
+        assert_eq!(adverts.len(), 2);
+        assert!(adverts.iter().all(|a| a.start == 0));
+        assert_eq!(adverts[0].units, 3);
+        assert_eq!(adverts[1].units, 2);
+    }
+
+    #[test]
+    fn matching_epoch_watermark_survives() {
+        let adverts = plan().negotiate(&[ResumeEntry {
+            class: 0,
+            epoch: 100,
+            delivered: 2,
+        }]);
+        assert_eq!(adverts[0].start, 2);
+        assert_eq!(adverts[1].start, 0);
+    }
+
+    #[test]
+    fn stale_epoch_restarts_from_zero() {
+        let adverts = plan().negotiate(&[ResumeEntry {
+            class: 0,
+            epoch: 101,
+            delivered: 2,
+        }]);
+        assert_eq!(adverts[0].start, 0);
+    }
+
+    #[test]
+    fn out_of_range_watermark_and_unknown_class_are_ignored() {
+        let adverts = plan().negotiate(&[
+            ResumeEntry {
+                class: 0,
+                epoch: 100,
+                delivered: 4, // only 3 units exist
+            },
+            ResumeEntry {
+                class: 9, // no such class
+                epoch: 100,
+                delivered: 1,
+            },
+        ]);
+        assert_eq!(adverts[0].start, 0);
+        assert_eq!(adverts.len(), 2);
+    }
+
+    #[test]
+    fn delivered_equal_to_units_means_class_complete() {
+        let adverts = plan().negotiate(&[ResumeEntry {
+            class: 1,
+            epoch: 200,
+            delivered: 2,
+        }]);
+        assert_eq!(adverts[1].start, 2);
+        assert_eq!(adverts[1].units, 2);
+    }
+
+    #[test]
+    fn duplicate_entries_keep_the_most_conservative_start() {
+        let adverts = plan().negotiate(&[
+            ResumeEntry {
+                class: 0,
+                epoch: 100,
+                delivered: 2,
+            },
+            ResumeEntry {
+                class: 0,
+                epoch: 100,
+                delivered: 1,
+            },
+        ]);
+        assert_eq!(adverts[0].start, 1);
+    }
+}

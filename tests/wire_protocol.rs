@@ -1,0 +1,181 @@
+//! The wire protocol against real content: frames built from an actual
+//! restructured benchmark must survive encode∘decode bit for bit, fail
+//! closed under truncation at *every* prefix length, and negotiate
+//! resume watermarks that round-trip through the NSJR journal the
+//! client persists between connections.
+
+use nonstrict_core::model::OrderingSource;
+use nonstrict_core::{build_plan, journal_from_report, resume_entries_from_journal, UnitManifest};
+use nonstrict_wire::frame::read_frame;
+use nonstrict_wire::{crc32, ClientReport, Frame, FrameError, ResumeEntry, PROTOCOL_VERSION};
+
+/// One plan for the whole file: hanoi is the smallest benchmark that
+/// still has multi-method classes to negotiate over.
+fn plan() -> nonstrict_wire::ServePlan {
+    build_plan("hanoi", OrderingSource::StaticCallGraph).expect("hanoi builds")
+}
+
+/// Every frame kind, loaded with real content from the serve plan.
+fn real_frames(plan: &nonstrict_wire::ServePlan) -> Vec<Frame> {
+    vec![
+        Frame::Hello {
+            version: PROTOCOL_VERSION,
+            benchmark: plan.benchmark.clone(),
+            ordering: 0,
+            resume: vec![ResumeEntry {
+                class: 0,
+                epoch: plan.classes[0].epoch,
+                delivered: 1,
+            }],
+        },
+        Frame::Welcome {
+            manifest_epoch: plan.manifest_epoch,
+            manifest: plan.manifest.clone(),
+            classes: plan.negotiate(&[]),
+        },
+        Frame::Retry { after_ms: 100 },
+        Frame::Unit {
+            class: 0,
+            unit: 0,
+            payload: plan.classes[0].units[0].clone(),
+        },
+        Frame::Evict {
+            reason: nonstrict_wire::EvictReason::Drain,
+            resume_after_ms: 50,
+        },
+        Frame::Bye {
+            classes: plan.classes.len() as u32,
+            bytes: plan.total_bytes(),
+        },
+    ]
+}
+
+#[test]
+fn every_frame_kind_round_trips_with_real_content() {
+    let plan = plan();
+    for frame in real_frames(&plan) {
+        let bytes = frame.encode();
+        let (back, consumed) = Frame::decode(&bytes).expect("round trip");
+        assert_eq!(consumed, bytes.len());
+        assert_eq!(back, frame);
+        // The streaming reader agrees with the buffer decoder.
+        let mut reader = bytes.as_slice();
+        assert_eq!(read_frame(&mut reader).expect("stream read"), frame);
+    }
+}
+
+#[test]
+fn truncation_at_every_prefix_fails_closed() {
+    let plan = plan();
+    for frame in real_frames(&plan) {
+        let bytes = frame.encode();
+        for cut in 0..bytes.len() {
+            match Frame::decode(&bytes[..cut]) {
+                Err(_) => {}
+                Ok((got, _)) => panic!("prefix {cut}/{} decoded as {got:?}", bytes.len()),
+            }
+        }
+    }
+}
+
+#[test]
+fn forged_manifest_length_is_oversized_before_allocation() {
+    let plan = plan();
+    let frame = Frame::Welcome {
+        manifest_epoch: plan.manifest_epoch,
+        manifest: plan.manifest.clone(),
+        classes: plan.negotiate(&[]),
+    };
+    let mut bytes = frame.encode();
+    // Forge the manifest's inner length field (first payload field,
+    // u32 at offset 13 after kind+len+epoch) to a multi-gigabyte
+    // claim, then re-seal the frame CRC so only the forged count is
+    // under test.
+    bytes[13..17].copy_from_slice(&u32::MAX.to_le_bytes());
+    let crc_at = bytes.len() - 4;
+    let crc = crc32(&bytes[..crc_at]);
+    bytes[crc_at..].copy_from_slice(&crc.to_le_bytes());
+    match Frame::decode(&bytes) {
+        Err(FrameError::Oversized { declared, .. }) => {
+            assert_eq!(declared, u64::from(u32::MAX));
+        }
+        other => panic!("forged manifest length produced {other:?}"),
+    }
+}
+
+#[test]
+fn resume_negotiation_round_trips_through_the_journal() {
+    let plan = plan();
+    // A client that delivered a partial prefix of every class.
+    let delivered: Vec<u32> = plan
+        .classes
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (i as u32) % (c.units.len() as u32 + 1))
+        .collect();
+    let report = ClientReport {
+        delivered: delivered.clone(),
+        units: plan.classes.iter().map(|c| c.units.len() as u32).collect(),
+        epochs: plan.classes.iter().map(|c| c.epoch).collect(),
+        manifest_epoch: plan.manifest_epoch,
+        manifest_crc: crc32(&plan.manifest),
+        ..ClientReport::default()
+    };
+    // Persist to an NSJR journal, reload, and offer the watermarks.
+    let journal_bytes = journal_from_report(&report).encode();
+    let entries = resume_entries_from_journal(&journal_bytes);
+    let adverts = plan.negotiate(&entries);
+    for (i, advert) in adverts.iter().enumerate() {
+        assert_eq!(
+            advert.start, delivered[i],
+            "class {i}: journal watermark must survive negotiation"
+        );
+        assert_eq!(advert.epoch, plan.classes[i].epoch);
+    }
+    // The journal pinned the manifest the client saw.
+    let manifest = UnitManifest::decode(&plan.manifest).expect("NSUM decodes");
+    assert_eq!(manifest.epoch, plan.manifest_epoch);
+}
+
+#[test]
+fn stale_epochs_restart_from_zero() {
+    let plan = plan();
+    let entries: Vec<ResumeEntry> = plan
+        .classes
+        .iter()
+        .enumerate()
+        .map(|(i, c)| ResumeEntry {
+            class: i as u32,
+            epoch: c.epoch.wrapping_add(1), // recorded under another layout
+            delivered: 1,
+        })
+        .collect();
+    for advert in plan.negotiate(&entries) {
+        assert_eq!(advert.start, 0, "stale watermarks must not survive");
+    }
+    // Out-of-range watermarks are clamped out too.
+    let over: Vec<ResumeEntry> = plan
+        .classes
+        .iter()
+        .enumerate()
+        .map(|(i, c)| ResumeEntry {
+            class: i as u32,
+            epoch: c.epoch,
+            delivered: c.units.len() as u32 + 7,
+        })
+        .collect();
+    for advert in plan.negotiate(&over) {
+        assert_eq!(advert.start, 0, "impossible watermarks must not survive");
+    }
+}
+
+#[test]
+fn orderings_produce_distinct_wire_plans_with_shared_vocabulary() {
+    // The wire ordering table and the simulator agree on every code.
+    for (name, code) in nonstrict_wire::config::ORDERINGS {
+        let source = nonstrict_core::ordering_from_wire(code)
+            .unwrap_or_else(|| panic!("wire ordering {name} has no simulator source"));
+        assert_eq!(nonstrict_core::ordering_to_wire(source), code);
+        assert_eq!(nonstrict_wire::config::ordering_code(name).unwrap(), code);
+    }
+}

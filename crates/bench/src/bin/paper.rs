@@ -22,7 +22,14 @@
 //! paper loadgen <bench> --clients N [--chaos --loss PM ...]
 //!                    # replay a fleet arrival schedule over loopback
 //!                    # (self-serving by default; --addr to aim at a
-//!                    # running `paper serve`)
+//!                    # running `paper serve`, --mirrors a,b,c to aim
+//!                    # at a mirror fleet, --forge PM for Byzantine
+//!                    # payload forgery on the first mirror)
+//! paper fleet <bench> --mirrors N --clients N [--crash-plan SEED[:KILLS[:WINDOW-MS]]]
+//!                    [--epoch-rollover MS] [--forge PM] [--chaos ...]
+//!                    # supervise N crash-restarting mirrors, drive a
+//!                    # chaotic client fleet against them, optionally
+//!                    # roll the restructure epoch live mid-run
 //! ```
 
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -34,8 +41,8 @@ use nonstrict_core::model::DataLayout;
 use nonstrict_core::report;
 use nonstrict_netsim::Link;
 use nonstrict_wire::{
-    config, ChaosConfig, ChaosProxy, ClientConfig, FaultKnobs, LoadgenConfig, ServerConfig,
-    WireServer,
+    config, ChaosConfig, ChaosProxy, ClientConfig, CrashPlan, FaultKnobs, FleetConfig,
+    FleetSupervisor, LoadgenConfig, LoadgenReport, ServerConfig, WireServer,
 };
 
 fn main() {
@@ -44,6 +51,7 @@ fn main() {
     match arg.as_str() {
         "serve" => return cmd_serve(&rest),
         "loadgen" => return cmd_loadgen(&rest),
+        "fleet" => return cmd_fleet(&rest),
         _ => {}
     }
     // `paper chaos --repro <file>` replays one serialized scenario: it
@@ -165,7 +173,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown table {other:?}; use all|table2..table10|fig6|summary|faults|verify|outage|replicas|byzantine|overload|chaos|csv|serve|loadgen"
+                "unknown table {other:?}; use all|table2..table10|fig6|summary|faults|verify|outage|replicas|byzantine|overload|chaos|csv|serve|loadgen|fleet"
             );
             std::process::exit(2);
         }
@@ -307,12 +315,14 @@ fn cmd_loadgen(args: &[String]) {
     let mut benchmark = "hanoi".to_owned();
     let mut have_benchmark = false;
     let mut addr: Option<String> = None;
+    let mut mirrors: Option<Vec<std::net::SocketAddr>> = None;
     let mut ordering = 0u8;
     let mut clients = 8usize;
     let mut seed = 1998u64;
     let mut spread_ms = 200u64;
     let mut attempts = 10u32;
     let mut chaos = false;
+    let mut forge_pm = 0u32;
     let mut pace_us = 50u64;
     let mut knobs = FaultKnobs::default();
     let mut it = args.iter();
@@ -324,6 +334,10 @@ fn cmd_loadgen(args: &[String]) {
         };
         match a.as_str() {
             "--addr" => addr = Some(val().to_owned()),
+            "--mirrors" => {
+                mirrors =
+                    Some(config::parse_mirrors(val()).unwrap_or_else(|e| bail(&e.to_string())));
+            }
             "--ordering" => {
                 ordering = config::ordering_code(val()).unwrap_or_else(|e| bail(&e.to_string()));
             }
@@ -333,6 +347,10 @@ fn cmd_loadgen(args: &[String]) {
             "--attempts" => attempts = num_flag("attempts", val()),
             "--pace-us" => pace_us = num_flag("pace-us", val()),
             "--chaos" => chaos = true,
+            "--forge" => {
+                forge_pm = num_flag("forge", val());
+                chaos = true;
+            }
             flag if flag.starts_with("--") => {
                 let key = &flag[2..];
                 let value = val();
@@ -353,8 +371,9 @@ fn cmd_loadgen(args: &[String]) {
         knobs.seed = seed;
     }
 
-    // Self-serve on loopback unless aimed at an external server.
-    let server = if addr.is_none() {
+    // Self-serve on loopback unless aimed at an external server or an
+    // explicit mirror fleet.
+    let server = if addr.is_none() && mirrors.is_none() {
         let plans = build_plans(std::slice::from_ref(&benchmark), ordering);
         let cfg = ServerConfig {
             pace_per_unit: Some(Duration::from_micros(pace_us)),
@@ -367,22 +386,30 @@ fn cmd_loadgen(args: &[String]) {
     } else {
         None
     };
-    let upstream: std::net::SocketAddr = addr
-        .unwrap()
-        .parse()
-        .unwrap_or_else(|e| bail(&format!("bad --addr: {e}")));
-
+    // The mirror list the clients see: an explicit fleet, or the single
+    // upstream address. The chaos proxy always fronts the *first*
+    // mirror, so Byzantine forgery lands on the preferred (pinned)
+    // mirror while the rest of the fleet stays honest.
+    let mut mirror_list = mirrors.unwrap_or_else(|| {
+        vec![addr
+            .unwrap()
+            .parse()
+            .unwrap_or_else(|e| bail(&format!("bad --addr: {e}")))]
+    });
     let proxy = if chaos {
-        let p = ChaosProxy::spawn(upstream, ChaosConfig::new(knobs))
+        let upstream = mirror_list[0];
+        let mut chaos_config = ChaosConfig::new(knobs);
+        chaos_config.forge_pm = forge_pm;
+        let p = ChaosProxy::spawn(upstream, chaos_config)
             .unwrap_or_else(|e| bail(&format!("cannot spawn chaos proxy: {e}")));
         eprintln!("chaos proxy on {} -> {upstream}", p.local_addr());
+        mirror_list[0] = p.local_addr();
         Some(p)
     } else {
         None
     };
-    let target = proxy.as_ref().map_or(upstream, ChaosProxy::local_addr);
 
-    let mut client = ClientConfig::new(target, &benchmark);
+    let mut client = ClientConfig::with_mirrors(mirror_list, &benchmark);
     client.ordering = ordering;
     client.max_attempts = attempts;
     let report = nonstrict_wire::run_loadgen(&LoadgenConfig {
@@ -392,6 +419,29 @@ fn cmd_loadgen(args: &[String]) {
         arrival_spread: Duration::from_millis(spread_ms),
     });
 
+    print_loadgen_summary(clients, &report);
+    if let Some(p) = proxy {
+        print_chaos_stats(&p.stop());
+    }
+    let mut ok = report.violations.is_empty() && report.failed == 0 && report.completed == clients;
+    if let Some(s) = server {
+        let drained = s.drain(Duration::from_millis(5_000));
+        println!(
+            "drain: {} ({} in flight, {} forced, {} ms)",
+            if drained.clean { "clean" } else { "forced" },
+            drained.in_flight_at_drain,
+            drained.forced,
+            drained.elapsed.as_millis(),
+        );
+        ok &= drained.clean;
+    }
+    std::process::exit(i32::from(!ok));
+}
+
+/// The shared loadgen scoreboard: completion, tails, the robustness
+/// counters, and — for mirror fleets — where the bytes actually came
+/// from and what was quarantined on the way.
+fn print_loadgen_summary(clients: usize, report: &LoadgenReport) {
     println!(
         "clients: {clients} completed: {} failed: {}",
         report.completed, report.failed
@@ -408,36 +458,249 @@ fn cmd_loadgen(args: &[String]) {
         report.stream_faults,
         report.order_violations,
     );
+    println!(
+        "failovers: {} quarantines: {} digest rejects: {} stale welcomes: {} equivocations: {}",
+        report.failovers,
+        report.quarantines,
+        report.digest_rejects,
+        report.stale_welcomes,
+        report.equivocations,
+    );
+    let per_mirror: Vec<String> = report
+        .mirror_units
+        .iter()
+        .enumerate()
+        .map(|(i, u)| format!("m{i}: {u}"))
+        .collect();
+    println!(
+        "units per mirror: [{}] layouts seen: {}",
+        per_mirror.join(", "),
+        report.layouts_seen
+    );
     println!("bytes: {}", report.bytes);
-    if let Some(p) = proxy {
-        let cs = p.stop();
-        println!(
-            "chaos faults: {} (cuts {} aborts {} corruptions {} stalls {} reorders {}) over {} connections",
-            cs.total_faults(),
-            cs.cuts,
-            cs.aborts,
-            cs.corruptions,
-            cs.stalls,
-            cs.reorders,
-            cs.connections,
-        );
-    }
     println!("invariant violations: {}", report.violations.len());
     for v in &report.violations {
         println!("  violation: {v}");
     }
-    let mut ok = report.violations.is_empty() && report.failed == 0 && report.completed == clients;
-    if let Some(s) = server {
-        let drained = s.drain(Duration::from_millis(5_000));
-        println!(
-            "drain: {} ({} in flight, {} forced, {} ms)",
-            if drained.clean { "clean" } else { "forced" },
-            drained.in_flight_at_drain,
-            drained.forced,
-            drained.elapsed.as_millis(),
-        );
-        ok &= drained.clean;
+}
+
+fn print_chaos_stats(cs: &nonstrict_wire::chaos::ChaosStats) {
+    println!(
+        "chaos faults: {} (cuts {} aborts {} corruptions {} stalls {} reorders {} forges {}) \
+         over {} connections",
+        cs.total_faults(),
+        cs.cuts,
+        cs.aborts,
+        cs.corruptions,
+        cs.stalls,
+        cs.reorders,
+        cs.forges,
+        cs.connections,
+    );
+}
+
+/// Parses `--crash-plan SEED[:KILLS[:WINDOW-MS]]`: the seed for the
+/// per-mirror kill-time draws, kills per mirror (default 1), and the
+/// uniform uptime window the kills spread over (default 500 ms).
+fn parse_crash_plan(spec: &str) -> CrashPlan {
+    let mut parts = spec.split(':');
+    let seed = num_flag("crash-plan", parts.next().unwrap_or_default());
+    let kills_per_mirror = parts.next().map_or(1, |v| num_flag("crash-plan", v));
+    let window_ms: u64 = parts.next().map_or(500, |v| num_flag("crash-plan", v));
+    if parts.next().is_some() {
+        bail("bad --crash-plan; use SEED[:KILLS[:WINDOW-MS]]");
     }
+    CrashPlan {
+        seed,
+        kills_per_mirror,
+        min_uptime: Duration::from_millis(100),
+        uptime_spread: Duration::from_millis(window_ms.max(1)),
+    }
+}
+
+/// `paper fleet`: supervise N crash-restarting mirrors serving one
+/// benchmark, drive a chaotic client fleet against the slot addresses,
+/// optionally roll the restructure epoch live mid-run, and fail on any
+/// cross-client divergence or unclean fence.
+fn cmd_fleet(args: &[String]) {
+    let mut benchmark = "hanoi".to_owned();
+    let mut have_benchmark = false;
+    let mut mirrors = 3usize;
+    let mut ordering = 0u8;
+    let mut clients = 8usize;
+    let mut seed = 1998u64;
+    let mut spread_ms = 200u64;
+    let mut attempts = 60u32;
+    let mut pace_us = 500u64;
+    let mut crash: Option<CrashPlan> = None;
+    let mut rollover_ms: Option<u64> = None;
+    let mut chaos = false;
+    let mut forge_pm = 0u32;
+    let mut knobs = FaultKnobs::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = || {
+            it.next()
+                .unwrap_or_else(|| bail(&format!("{a} needs a value")))
+                .as_str()
+        };
+        match a.as_str() {
+            "--mirrors" => mirrors = num_flag("mirrors", val()),
+            "--ordering" => {
+                ordering = config::ordering_code(val()).unwrap_or_else(|e| bail(&e.to_string()));
+            }
+            "--clients" => clients = num_flag("clients", val()),
+            "--seed" => seed = num_flag("seed", val()),
+            "--spread-ms" => spread_ms = num_flag("spread-ms", val()),
+            "--attempts" => attempts = num_flag("attempts", val()),
+            "--pace-us" => pace_us = num_flag("pace-us", val()),
+            "--crash-plan" => crash = Some(parse_crash_plan(val())),
+            "--epoch-rollover" => rollover_ms = Some(num_flag("epoch-rollover", val())),
+            "--chaos" => chaos = true,
+            "--forge" => {
+                forge_pm = num_flag("forge", val());
+                chaos = true;
+            }
+            flag if flag.starts_with("--") => {
+                let key = &flag[2..];
+                let value = val();
+                match knobs.set(key, value) {
+                    Ok(true) => chaos = true,
+                    Ok(false) => bail(&format!("unknown fleet flag {flag}")),
+                    Err(e) => bail(&e.to_string()),
+                }
+            }
+            bench if !have_benchmark => {
+                benchmark = bench.to_owned();
+                have_benchmark = true;
+            }
+            extra => bail(&format!("unexpected argument {extra:?}")),
+        }
+    }
+    if mirrors == 0 {
+        bail("--mirrors must be at least 1");
+    }
+    if knobs.seed == 0 {
+        knobs.seed = seed;
+    }
+
+    // Even generations serve the requested ordering; odd generations
+    // serve a genuinely re-restructured layout (a different ordering),
+    // so an epoch rollover moves real manifest epochs, not just the
+    // generation counter.
+    let source = nonstrict_core::ordering_from_wire(ordering)
+        .unwrap_or_else(|| bail(&format!("bad ordering code {ordering}")));
+    let alt = if ordering == 3 {
+        nonstrict_core::ordering_from_wire(0).expect("scg exists")
+    } else {
+        nonstrict_core::ordering_from_wire(3).expect("source order exists")
+    };
+    eprintln!("building and profiling {benchmark}...");
+    let plan_even = nonstrict_core::build_plan(&benchmark, source)
+        .unwrap_or_else(|e| bail(&format!("cannot serve {benchmark}: {e}")));
+    let plan_odd = nonstrict_core::build_plan(&benchmark, alt)
+        .unwrap_or_else(|e| bail(&format!("cannot serve {benchmark}: {e}")));
+    let factory: nonstrict_wire::PlanFactory = std::sync::Arc::new(move |generation| {
+        vec![if generation % 2 == 0 {
+            plan_even.clone()
+        } else {
+            plan_odd.clone()
+        }]
+    });
+
+    let supervisor = FleetSupervisor::launch(
+        FleetConfig {
+            mirrors,
+            server: ServerConfig {
+                pace_per_unit: Some(Duration::from_micros(pace_us)),
+                resume_after_ms: 10,
+                ..ServerConfig::default()
+            },
+            crash,
+            restart_delay: Duration::from_millis(50),
+            health_interval: Duration::from_millis(200),
+            drain_deadline: Duration::from_secs(5),
+        },
+        factory,
+    )
+    .unwrap_or_else(|e| bail(&format!("cannot launch fleet: {e}")));
+    let mut mirror_list = supervisor.addrs().to_vec();
+    println!(
+        "fleet of {mirrors} mirrors: {}",
+        mirror_list
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    let proxy = if chaos {
+        let upstream = mirror_list[0];
+        let mut chaos_config = ChaosConfig::new(knobs);
+        chaos_config.forge_pm = forge_pm;
+        let p = ChaosProxy::spawn(upstream, chaos_config)
+            .unwrap_or_else(|e| bail(&format!("cannot spawn chaos proxy: {e}")));
+        eprintln!(
+            "chaos proxy fronts mirror 0: {} -> {upstream}",
+            p.local_addr()
+        );
+        mirror_list[0] = p.local_addr();
+        Some(p)
+    } else {
+        None
+    };
+
+    let mut client = ClientConfig::with_mirrors(mirror_list, &benchmark);
+    client.ordering = ordering;
+    client.max_attempts = attempts;
+    let loadgen_config = LoadgenConfig {
+        client,
+        clients,
+        seed,
+        arrival_spread: Duration::from_millis(spread_ms),
+    };
+    let report = std::thread::scope(|s| {
+        if let Some(ms) = rollover_ms {
+            let sup = &supervisor;
+            s.spawn(move || {
+                std::thread::sleep(Duration::from_millis(ms));
+                eprintln!("driving epoch rollover...");
+                sup.rollover();
+            });
+        }
+        nonstrict_wire::run_loadgen(&loadgen_config)
+    });
+
+    print_loadgen_summary(clients, &report);
+    if let Some(p) = proxy {
+        print_chaos_stats(&p.stop());
+    }
+    let fleet = supervisor.shutdown();
+    for (i, m) in fleet.mirrors.iter().enumerate() {
+        println!(
+            "mirror {i}: starts {} kills {} probes {} probe failures {} \
+             units {} completed {} evicted drain {}",
+            m.starts,
+            m.kills,
+            m.health_probes,
+            m.health_failures,
+            m.stats.units_sent,
+            m.stats.completed,
+            m.stats.evicted_drain,
+        );
+    }
+    println!(
+        "fleet: rollovers {} drains clean {} forced {} kills {} starts {}",
+        fleet.rollovers,
+        fleet.clean_drains,
+        fleet.forced_drains,
+        fleet.total_kills(),
+        fleet.total_starts(),
+    );
+    let ok = report.violations.is_empty()
+        && report.failed == 0
+        && report.completed == clients
+        && fleet.forced_drains == 0;
     std::process::exit(i32::from(!ok));
 }
 

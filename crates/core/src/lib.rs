@@ -65,7 +65,10 @@ pub use chaos::{
 };
 pub use fleet::{run_fleet, AdmissionSettings, ClientOutcome, FleetClient, FleetResult, FleetSpec};
 pub use journal::{negotiate, JournalError, Negotiation, SessionJournal, SessionManifest};
-pub use manifest::{ManifestError, UnitManifest, MANIFEST_MAGIC, MANIFEST_VERSION};
+pub use manifest::{
+    build_manifest, content_digest_of, ManifestError, UnitManifest, MANIFEST_MAGIC,
+    MANIFEST_VERSION,
+};
 pub use metrics::CycleLedger;
 pub use model::{
     ByzantineConfig, DataLayout, ExecutionModel, FaultConfig, OrderingSource, OutageConfig,

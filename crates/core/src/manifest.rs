@@ -1,387 +1,54 @@
-//! The content-addressed unit manifest the Byzantine-tolerant transfer
-//! layer pins before any unit flows.
+//! The content-addressed unit manifest — simulator-side view.
 //!
-//! A replica set is only as trustworthy as its least honest mirror: a
-//! stale or malicious mirror can serve bytes that pass the link-level
-//! CRC perfectly — the CRC travels *with* the bytes, so whoever forges
-//! the bytes forges the trailer too. The defense is to move the
-//! fingerprints out of band: before transfer starts, the client fetches
-//! this manifest **from the origin**, verifies its frame, and pins its
-//! digest. Every delivered unit is then checked against its manifest
-//! entry at the unit boundary, so a mirror serving wrong bytes is
-//! detected one unit after it first diverges, quarantined, and failed
-//! over like a dead mirror.
-//!
-//! The wire format is framed exactly like the NSJR session journal:
-//! magic, version, content, CRC32 trailer over every preceding byte. A
-//! torn write, truncation, or bit flip anywhere makes
-//! [`UnitManifest::decode`] return an error — a manifest either decodes
-//! exactly or not at all, and an undecodable manifest means the session
-//! fails closed before transferring anything.
-//!
-//! Each entry is digested under the manifest's **restructure epoch**:
-//! when the origin re-restructures mid-fleet, every unit digest moves
-//! with the epoch, which is what lets the client's epoch fence detect a
-//! mirror still serving the previous layout and refetch exactly the
-//! affected units.
+//! The NSUM codec itself now lives at the bottom of the stack, in
+//! [`nonstrict_wire::manifest`], where both this simulator and the real
+//! wire client reach the same integrity arithmetic: the wire client
+//! pins the manifest from its first Welcome and verifies every
+//! delivered unit's *content* digest against it, while the
+//! co-simulator — which models content at unit-size granularity —
+//! fingerprints units by their size under the restructure epoch. This
+//! module re-exports the codec and keeps the simulator's builder:
+//! [`build_manifest`] digests a [`ClassUnits`] layout with the
+//! size-bound [`UnitManifest::digest_of`], exactly the fingerprint the
+//! real system computes over the unit's bytes (see
+//! `nonstrict_classfile::unit_digest` for the byte-level version and
+//! [`nonstrict_wire::manifest::content_digest_of`] for the wire's).
 
-use nonstrict_netsim::{crc32, ClassUnits};
+use nonstrict_netsim::ClassUnits;
 
-/// Manifest magic: identifies the frame and its byte order.
-pub const MANIFEST_MAGIC: [u8; 4] = *b"NSUM";
+pub use nonstrict_wire::manifest::{
+    content_digest_of, ManifestError, UnitManifest, MANIFEST_MAGIC, MANIFEST_VERSION,
+};
 
-/// Current manifest wire-format version.
-pub const MANIFEST_VERSION: u16 = 1;
-
-/// Why a manifest frame could not be trusted.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ManifestError {
-    /// The buffer does not start with [`MANIFEST_MAGIC`].
-    BadMagic,
-    /// The version field is newer than this reader understands.
-    BadVersion(u16),
-    /// The buffer ended before the declared content did (torn write).
-    Truncated,
-    /// The CRC32 trailer does not match the content.
-    CrcMismatch,
-    /// Structurally impossible content.
-    Malformed(&'static str),
-    /// A declared count exceeds its sanity cap. Rejected *before* any
-    /// buffer is allocated — a forged length field (the CRC is not a
-    /// MAC) must not make the decoder reserve gigabytes.
-    Oversized {
-        /// Which field declared the count.
-        what: &'static str,
-        /// The declared value.
-        declared: u64,
-        /// The cap it violated (see `nonstrict_wire::caps`).
-        cap: u64,
-    },
-}
-
-impl std::fmt::Display for ManifestError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            ManifestError::BadMagic => write!(f, "manifest magic mismatch"),
-            ManifestError::BadVersion(v) => write!(f, "unsupported manifest version {v}"),
-            ManifestError::Truncated => write!(f, "manifest truncated (torn write)"),
-            ManifestError::CrcMismatch => write!(f, "manifest CRC mismatch"),
-            ManifestError::Malformed(what) => write!(f, "malformed manifest: {what}"),
-            ManifestError::Oversized {
-                what,
-                declared,
-                cap,
-            } => write!(
-                f,
-                "oversized manifest {what}: declared {declared}, cap {cap}"
-            ),
-        }
-    }
-}
-
-impl std::error::Error for ManifestError {}
-
-/// The content-addressed unit manifest: one digest per transfer unit,
-/// all bound to the restructure epoch they were published under.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct UnitManifest {
-    /// Restructure-epoch id: the combined layout fingerprint
-    /// ([`crate::journal::SessionManifest::epoch`]) of the restructured
-    /// program this manifest describes. Re-restructuring moves the
-    /// epoch, and with it every unit digest.
-    pub epoch: u64,
-    /// Per-class, per-unit content digests, in stream order (unit 0 is
-    /// the prelude).
-    pub unit_digests: Vec<Vec<u32>>,
-}
-
-impl UnitManifest {
-    /// The digest of one unit under `epoch`: a fingerprint of the
-    /// unit's identity and size bound to the restructure epoch. The
-    /// co-simulator models content at unit-size granularity, so the
-    /// size-bound digest is exactly the fingerprint the real system
-    /// would compute over the unit's bytes (see
-    /// `nonstrict_classfile::unit_digest` for the byte-level version).
-    ///
-    /// FNV-1a rather than CRC: CRC32 is affine, so an epoch bump would
-    /// shift *every* unit digest by the same XOR constant, and that
-    /// uniform frame difference can cancel inside the outer frame CRC
-    /// of [`UnitManifest::digest`]. The non-linear mix keeps per-unit
-    /// shifts independent.
-    #[must_use]
-    pub fn digest_of(epoch: u64, class: u32, unit: u32, size: u64) -> u32 {
-        let mut buf = [0u8; 24];
-        buf[..8].copy_from_slice(&epoch.to_le_bytes());
-        buf[8..12].copy_from_slice(&class.to_le_bytes());
-        buf[12..16].copy_from_slice(&unit.to_le_bytes());
-        buf[16..24].copy_from_slice(&size.to_le_bytes());
-        let mut h = 0xcbf2_9ce4_8422_2325u64;
-        for &b in &buf {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        #[allow(clippy::cast_possible_truncation)]
-        {
-            (h ^ (h >> 32)) as u32
-        }
-    }
-
-    /// Builds the manifest the origin publishes for `units` under
-    /// `epoch`.
-    #[must_use]
-    pub fn build(units: &[ClassUnits], epoch: u64) -> UnitManifest {
-        let unit_digests = units
-            .iter()
-            .enumerate()
-            .map(|(c, u)| {
-                let class = u32::try_from(c).expect("class index fits u32");
-                (0..u.unit_count())
-                    .map(|i| {
-                        let unit = u32::try_from(i).expect("unit index fits u32");
-                        let size = u.boundary(i) - if i == 0 { 0 } else { u.boundary(i - 1) };
-                        Self::digest_of(epoch, class, unit, size)
-                    })
-                    .collect()
-            })
-            .collect();
-        UnitManifest {
-            epoch,
-            unit_digests,
-        }
-    }
-
-    /// Serializes the manifest: magic, version, epoch, per-class digest
-    /// lists, CRC32 trailer — the same fail-closed framing as the
-    /// session journal.
-    #[must_use]
-    pub fn encode(&self) -> Vec<u8> {
-        let mut buf = Vec::with_capacity(usize::try_from(self.wire_bytes()).unwrap_or(64));
-        buf.extend_from_slice(&MANIFEST_MAGIC);
-        buf.extend_from_slice(&MANIFEST_VERSION.to_le_bytes());
-        buf.extend_from_slice(&self.epoch.to_le_bytes());
-        let nclasses = u32::try_from(self.unit_digests.len()).expect("class count fits u32");
-        buf.extend_from_slice(&nclasses.to_le_bytes());
-        for class in &self.unit_digests {
-            let n = u32::try_from(class.len()).expect("unit count fits u32");
-            buf.extend_from_slice(&n.to_le_bytes());
-            for d in class {
-                buf.extend_from_slice(&d.to_le_bytes());
-            }
-        }
-        let crc = crc32(&buf);
-        buf.extend_from_slice(&crc.to_le_bytes());
-        buf
-    }
-
-    /// Deserializes and integrity-checks a manifest frame.
-    ///
-    /// # Errors
-    ///
-    /// Any structural or integrity problem — wrong magic, unknown
-    /// version, truncation, CRC mismatch, trailing garbage — is an
-    /// error; a manifest either decodes exactly or not at all.
-    pub fn decode(bytes: &[u8]) -> Result<UnitManifest, ManifestError> {
-        if bytes.len() < MANIFEST_MAGIC.len() + 2 + 8 + 4 + 4 {
-            return Err(ManifestError::Truncated);
-        }
-        if bytes[..4] != MANIFEST_MAGIC {
-            return Err(ManifestError::BadMagic);
-        }
-        let (content, trailer) = bytes.split_at(bytes.len() - 4);
-        let stored = u32::from_le_bytes(trailer.try_into().expect("len"));
-        if crc32(content) != stored {
-            return Err(ManifestError::CrcMismatch);
-        }
-        let mut pos = 4;
-        let take = |pos: &mut usize, n: usize| -> Result<&[u8], ManifestError> {
-            let end = pos.checked_add(n).ok_or(ManifestError::Truncated)?;
-            if end > content.len() {
-                return Err(ManifestError::Truncated);
-            }
-            let s = &content[*pos..end];
-            *pos = end;
-            Ok(s)
-        };
-        let version = u16::from_le_bytes(take(&mut pos, 2)?.try_into().expect("len"));
-        if version != MANIFEST_VERSION {
-            return Err(ManifestError::BadVersion(version));
-        }
-        let epoch = u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("len"));
-        // Length-prefix sanity: every declared count is checked against
-        // its cap AND the bytes actually remaining before any Vec is
-        // reserved — a forged count re-sealed under a fresh CRC must
-        // not make the decoder allocate gigabytes.
-        let checked = |pos: usize, what: &'static str, n: u32, cap: usize, each: usize| {
-            if u64::from(n) > cap as u64 {
-                return Err(ManifestError::Oversized {
-                    what,
-                    declared: u64::from(n),
-                    cap: cap as u64,
-                });
-            }
-            let n = n as usize;
-            if n.checked_mul(each)
-                .is_none_or(|need| need > content.len().saturating_sub(pos))
-            {
-                return Err(ManifestError::Truncated);
-            }
-            Ok(n)
-        };
-        let nclasses = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("len"));
-        let nclasses = checked(
-            pos,
-            "class count",
-            nclasses,
-            nonstrict_wire::caps::MAX_CLASSES,
-            4,
-        )?;
-        let mut unit_digests = Vec::with_capacity(nclasses);
-        for _ in 0..nclasses {
-            let n = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("len"));
-            let n = checked(
-                pos,
-                "unit count",
-                n,
-                nonstrict_wire::caps::MAX_UNITS_PER_CLASS,
-                4,
-            )?;
-            let mut class = Vec::with_capacity(n);
-            for _ in 0..n {
-                class.push(u32::from_le_bytes(
-                    take(&mut pos, 4)?.try_into().expect("len"),
-                ));
-            }
-            unit_digests.push(class);
-        }
-        if pos != content.len() {
-            return Err(ManifestError::Malformed("trailing bytes after content"));
-        }
-        Ok(UnitManifest {
-            epoch,
-            unit_digests,
+/// Builds the manifest the simulated origin publishes for `units` under
+/// `epoch`: one size-bound digest per transfer unit (unit 0 is the
+/// prelude), all bound to the restructure epoch so a re-restructure
+/// moves every digest.
+#[must_use]
+pub fn build_manifest(units: &[ClassUnits], epoch: u64) -> UnitManifest {
+    let unit_digests = units
+        .iter()
+        .enumerate()
+        .map(|(c, u)| {
+            let class = u32::try_from(c).expect("class index fits u32");
+            (0..u.unit_count())
+                .map(|i| {
+                    let unit = u32::try_from(i).expect("unit index fits u32");
+                    let size = u.boundary(i) - if i == 0 { 0 } else { u.boundary(i - 1) };
+                    UnitManifest::digest_of(epoch, class, unit, size)
+                })
+                .collect()
         })
-    }
-
-    /// Exact wire size of the encoded frame, without encoding: this is
-    /// what the client's initial pin (and every epoch-fence re-pin)
-    /// pays on the link.
-    #[must_use]
-    pub fn wire_bytes(&self) -> u64 {
-        let header = 4 + 2 + 8 + 4;
-        let body: u64 = self
-            .unit_digests
-            .iter()
-            .map(|c| 4 + 4 * c.len() as u64)
-            .sum();
-        header + body + 4
-    }
-
-    /// The pinned manifest digest: the frame's own CRC trailer, i.e.
-    /// the CRC32 of every encoded byte *before* the trailer. (Hashing
-    /// the whole frame including the trailer would be useless: CRC32
-    /// of a message with its own CRC appended is the constant residue
-    /// `0x2144_DF1C` for every message.) The client stores this in its
-    /// session journal (format v3) so a reconnect can tell whether the
-    /// origin's manifest moved while it was away.
-    #[must_use]
-    pub fn digest(&self) -> u32 {
-        let frame = self.encode();
-        crc32(&frame[..frame.len() - 4])
+        .collect();
+    UnitManifest {
+        epoch,
+        unit_digests,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    fn sample() -> UnitManifest {
-        UnitManifest {
-            epoch: 0x1234_5678_9abc_def0,
-            unit_digests: vec![vec![1, 2, 3], vec![], vec![0xdead_beef]],
-        }
-    }
-
-    #[test]
-    fn encode_decode_round_trips_exactly() {
-        let m = sample();
-        let bytes = m.encode();
-        assert_eq!(bytes.len() as u64, m.wire_bytes());
-        assert_eq!(UnitManifest::decode(&bytes).unwrap(), m);
-    }
-
-    #[test]
-    fn every_single_byte_flip_is_detected() {
-        let bytes = sample().encode();
-        for i in 0..bytes.len() {
-            for bit in [0x01u8, 0x80u8] {
-                let mut bad = bytes.clone();
-                bad[i] ^= bit;
-                assert!(
-                    UnitManifest::decode(&bad).is_err(),
-                    "flip at byte {i} went undetected"
-                );
-            }
-        }
-    }
-
-    #[test]
-    fn every_truncation_is_detected() {
-        let bytes = sample().encode();
-        for n in 0..bytes.len() {
-            assert!(
-                UnitManifest::decode(&bytes[..n]).is_err(),
-                "truncation to {n} bytes went undetected"
-            );
-        }
-        let mut padded = bytes;
-        padded.push(0);
-        assert!(UnitManifest::decode(&padded).is_err());
-    }
-
-    #[test]
-    fn forged_counts_are_oversized_before_allocation() {
-        let bytes = sample().encode();
-        let reseal = |mut b: Vec<u8>, at: usize, v: u32| {
-            b[at..at + 4].copy_from_slice(&v.to_le_bytes());
-            let crc_at = b.len() - 4;
-            let crc = crc32(&b[..crc_at]);
-            b[crc_at..].copy_from_slice(&crc.to_le_bytes());
-            b
-        };
-        // Class count sits after magic (4) + version (2) + epoch (8).
-        let nclasses_at = 14;
-        let huge = reseal(bytes.clone(), nclasses_at, u32::MAX);
-        assert!(matches!(
-            UnitManifest::decode(&huge),
-            Err(ManifestError::Oversized {
-                what: "class count",
-                ..
-            })
-        ));
-        // Under the cap but beyond the bytes present: truncated, still
-        // before any allocation.
-        let hollow = reseal(bytes.clone(), nclasses_at, 10_000);
-        assert_eq!(UnitManifest::decode(&hollow), Err(ManifestError::Truncated));
-        // First per-class unit count sits right after the class count.
-        let forged_units = reseal(bytes, nclasses_at + 4, u32::MAX);
-        assert!(matches!(
-            UnitManifest::decode(&forged_units),
-            Err(ManifestError::Oversized {
-                what: "unit count",
-                ..
-            })
-        ));
-    }
-
-    #[test]
-    fn digests_move_with_epoch_class_unit_and_size() {
-        let base = UnitManifest::digest_of(7, 1, 2, 100);
-        assert_eq!(base, UnitManifest::digest_of(7, 1, 2, 100));
-        assert_ne!(base, UnitManifest::digest_of(8, 1, 2, 100));
-        assert_ne!(base, UnitManifest::digest_of(7, 2, 2, 100));
-        assert_ne!(base, UnitManifest::digest_of(7, 1, 3, 100));
-        assert_ne!(base, UnitManifest::digest_of(7, 1, 2, 101));
-    }
 
     #[test]
     fn a_restructure_moves_every_unit_digest() {
@@ -390,12 +57,30 @@ mod tests {
             methods: vec![40, 60],
             trailing: 8,
         }];
-        let before = UnitManifest::build(&units, 1);
-        let after = UnitManifest::build(&units, 2);
+        let before = build_manifest(&units, 1);
+        let after = build_manifest(&units, 2);
         assert_eq!(before.unit_digests[0].len(), units[0].unit_count());
         for (b, a) in before.unit_digests[0].iter().zip(&after.unit_digests[0]) {
             assert_ne!(b, a, "an epoch bump must move every unit digest");
         }
         assert_ne!(before.digest(), after.digest());
+    }
+
+    #[test]
+    fn built_manifests_round_trip_through_the_wire_codec() {
+        let units = vec![
+            ClassUnits {
+                prelude: 64,
+                methods: vec![16, 32, 48],
+                trailing: 4,
+            },
+            ClassUnits {
+                prelude: 128,
+                methods: vec![],
+                trailing: 0,
+            },
+        ];
+        let m = build_manifest(&units, 9);
+        assert_eq!(UnitManifest::decode(&m.encode()).unwrap(), m);
     }
 }

@@ -24,11 +24,11 @@
 use nonstrict_bytecode::InterpError;
 use nonstrict_classfile::stream::{stream_digests, stream_units};
 use nonstrict_classfile::{ClassFileError, StreamLoader};
-use nonstrict_netsim::{crc32, ClassUnits};
+use nonstrict_netsim::crc32;
 use nonstrict_wire::{ClassPlan, ResumeEntry, ServePlan};
 
 use crate::journal::{ClassCheckpoint, SessionJournal, SessionManifest};
-use crate::manifest::UnitManifest;
+use crate::manifest::{content_digest_of, UnitManifest};
 use crate::model::OrderingSource;
 use crate::sim::Session;
 
@@ -125,7 +125,6 @@ pub fn plan_from_session(
     let mut classes = Vec::with_capacity(restructured.classes.len());
     let mut class_epochs = Vec::with_capacity(restructured.classes.len());
     let mut method_counts = Vec::with_capacity(restructured.classes.len());
-    let mut size_units = Vec::with_capacity(restructured.classes.len());
     for class in &restructured.classes {
         let units = stream_units(class)?;
         let digests = stream_digests(class)?;
@@ -139,17 +138,40 @@ pub fn plan_from_session(
         let epoch = crc32(&digest_bytes);
         class_epochs.push(epoch);
         method_counts.push(class.methods.len());
-        size_units.push(ClassUnits {
-            prelude: units[0].len() as u64,
-            methods: units[1..].iter().map(|u| u.len() as u64).collect(),
-            trailing: 0,
-        });
         classes.push(ClassPlan { epoch, units });
     }
     let manifest_epoch = SessionManifest::new(class_epochs, method_counts).epoch;
-    let manifest = UnitManifest::build(&size_units, manifest_epoch).encode();
+    // The wire manifest digests the units' actual bytes (not their
+    // sizes, as the co-simulator's size-granular model does): the
+    // client verifies every delivered unit's content against this
+    // pinned table, so a mirror serving same-size wrong bytes is
+    // caught at the first divergent unit.
+    let unit_digests = classes
+        .iter()
+        .enumerate()
+        .map(|(ci, class)| {
+            let ci = u32::try_from(ci).expect("class index fits u32");
+            class
+                .units
+                .iter()
+                .enumerate()
+                .map(|(ui, payload)| {
+                    let ui = u32::try_from(ui).expect("unit index fits u32");
+                    content_digest_of(manifest_epoch, ci, ui, payload)
+                })
+                .collect()
+        })
+        .collect();
+    let manifest = UnitManifest {
+        epoch: manifest_epoch,
+        unit_digests,
+    }
+    .encode();
     Ok(ServePlan {
         benchmark: benchmark.to_ascii_lowercase(),
+        // Fresh plans start at generation 0; the fleet supervisor
+        // stamps the live generation on every restart and rollover.
+        generation: 0,
         manifest_epoch,
         manifest,
         classes,

@@ -24,7 +24,7 @@ use crate::journal::{
     negotiate, ClassCheckpoint, FetchRecord, Negotiation, SessionJournal, SessionManifest,
 };
 use crate::linker::{ClassLinkState, IncrementalLinker, LinkStats};
-use crate::manifest::UnitManifest;
+use crate::manifest::build_manifest;
 use crate::metrics::CycleLedger;
 use crate::model::{
     DataLayout, ExecutionModel, OrderingSource, SimConfig, TransferPolicy, VerifyMode,
@@ -671,7 +671,7 @@ impl Session {
             // on top of the routing; `None` is bit-identical to an
             // unarmored replica engine.
             let plan = config.active_byzantine().map(|bc| {
-                let manifest = UnitManifest::build(units, self.manifest(config).epoch);
+                let manifest = build_manifest(units, self.manifest(config).epoch);
                 bc.plan(manifest.wire_bytes())
             });
             engine = Box::new(ReplicaEngine::with_integrity(
@@ -1134,7 +1134,7 @@ impl Session {
         // reconnect can tell whether the origin's manifest moved while
         // the client was away (zero when no byzantine plan is armed).
         let manifest_digest = if config.active_byzantine().is_some() {
-            UnitManifest::build(units, manifest.epoch).digest()
+            build_manifest(units, manifest.epoch).digest()
         } else {
             0
         };
@@ -1200,7 +1200,7 @@ impl Session {
         if config.active_byzantine().is_none() {
             return 0;
         }
-        let manifest = UnitManifest::build(units, self.manifest(config).epoch);
+        let manifest = build_manifest(units, self.manifest(config).epoch);
         config.link.cycles_for(manifest.wire_bytes()) + DIGEST_CHECK_CYCLES
     }
 
@@ -1323,7 +1323,7 @@ impl Session {
                 // digest check can be trusted.
                 let mut repins = 0;
                 if config.active_byzantine().is_some() {
-                    let current = UnitManifest::build(&units, manifest.epoch);
+                    let current = build_manifest(&units, manifest.epoch);
                     if journal.manifest_digest != current.digest() {
                         extra += config.link.cycles_for(current.wire_bytes()) + DIGEST_CHECK_CYCLES;
                         repins = 1;

@@ -14,6 +14,13 @@
 //! | `droop`     | bandwidth sag         | stall before forwarding          |
 //! | `semantic`  | plausible wrong bytes | adjacent frames swapped          |
 //!
+//! A seventh, deliberately *not* part of the shared knob vocabulary
+//! (the simulator has no transport CRC to defeat): `forge`
+//! ([`ChaosConfig::forge_pm`]) rewrites a Unit frame's payload and
+//! re-seals the outer CRC, modeling a Byzantine mirror rather than a
+//! noisy link. A `corrupt` fault is caught by the frame CRC; a `forge`
+//! can only be caught by the client's pinned NSUM manifest digests.
+//!
 //! Fault draws are deterministic per accepted connection: connection
 //! `n` uses `SplitMix64(seed ^ hash(n))`, so a failing run replays
 //! exactly from its seed.
@@ -26,7 +33,8 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crate::config::FaultKnobs;
-use crate::frame::{read_raw_frame, FrameError};
+use crate::crc::crc32;
+use crate::frame::{read_raw_frame, FrameError, FRAME_OVERHEAD, KIND_UNIT};
 use crate::SplitMix64;
 
 /// Tuning for a [`ChaosProxy`].
@@ -37,15 +45,23 @@ pub struct ChaosConfig {
     /// How long a `droop` stall holds a frame. Longer than the client's
     /// read timeout turns a stall into a forced reconnect.
     pub stall: Duration,
+    /// Byzantine forgery rate, ppm per Unit frame: flip payload bytes
+    /// and then **re-seal the frame CRC**, so the forgery is invisible
+    /// to the transport integrity check and only the pinned-manifest
+    /// digest can catch it. This is what separates "the client detects
+    /// equivocation" from "the client got lucky with CRC32": a `corrupt`
+    /// fault is caught by the frame CRC, a `forge` never is.
+    pub forge_pm: u32,
 }
 
 impl ChaosConfig {
-    /// A config from knobs with a default 50 ms stall.
+    /// A config from knobs with a default 50 ms stall and no forgery.
     #[must_use]
     pub fn new(knobs: FaultKnobs) -> ChaosConfig {
         ChaosConfig {
             knobs,
             stall: Duration::from_millis(50),
+            forge_pm: 0,
         }
     }
 }
@@ -63,6 +79,8 @@ pub struct ChaosStats {
     pub stalls: u64,
     /// Adjacent-frame swaps (semantic).
     pub reorders: u64,
+    /// Unit payloads forged under a re-sealed CRC (Byzantine).
+    pub forges: u64,
     /// Connections proxied.
     pub connections: u64,
 }
@@ -71,7 +89,7 @@ impl ChaosStats {
     /// Total faults injected across every category.
     #[must_use]
     pub fn total_faults(&self) -> u64 {
-        self.cuts + self.aborts + self.corruptions + self.stalls + self.reorders
+        self.cuts + self.aborts + self.corruptions + self.stalls + self.reorders + self.forges
     }
 }
 
@@ -82,6 +100,7 @@ struct StatsInner {
     corruptions: AtomicU64,
     stalls: AtomicU64,
     reorders: AtomicU64,
+    forges: AtomicU64,
     connections: AtomicU64,
 }
 
@@ -134,6 +153,7 @@ impl ChaosProxy {
             corruptions: self.stats.corruptions.load(Ordering::Relaxed),
             stalls: self.stats.stalls.load(Ordering::Relaxed),
             reorders: self.stats.reorders.load(Ordering::Relaxed),
+            forges: self.stats.forges.load(Ordering::Relaxed),
             connections: self.stats.connections.load(Ordering::Relaxed),
         }
     }
@@ -300,6 +320,24 @@ fn proxy_connection(
             std::thread::sleep(config.stall);
         }
         let mut frame = frame;
+        if config.forge_pm > 0
+            && frame.first() == Some(&KIND_UNIT)
+            && frame.len() > FRAME_OVERHEAD + 8
+            && rng.hit_pm(config.forge_pm)
+        {
+            // The Byzantine mirror: flip a payload byte *past* the
+            // class/unit header, then recompute the outer CRC so the
+            // frame is transport-perfect. Only the client's pinned
+            // NSUM digest can tell these bytes are not the program.
+            stats.forges.fetch_add(1, Ordering::Relaxed);
+            let body_at = 5 + 8; // kind+len, then class+unit ids
+            let span = frame.len() - 4 - body_at;
+            let at = body_at + usize::try_from(rng.below(span as u64)).unwrap_or(0);
+            frame[at] ^= 0x55;
+            let crc_at = frame.len() - 4;
+            let crc = crc32(&frame[..crc_at]);
+            frame[crc_at..].copy_from_slice(&crc.to_le_bytes());
+        }
         if knobs.corrupt_pm > 0 && rng.hit_pm(knobs.corrupt_pm) {
             // Flip one byte past the length field (payload or CRC), so
             // framing stays parseable and the client's CRC check is
@@ -344,6 +382,37 @@ mod tests {
         let mut a1 = SplitMix64(seed ^ 1u64.wrapping_mul(0x9e37_79b9_7f4a_7c15));
         assert_eq!(a0.next_u64(), b0.next_u64());
         assert_ne!(a0.next_u64(), a1.next_u64());
+    }
+
+    #[test]
+    fn forged_unit_frames_stay_transport_perfect() {
+        // Replicate the forge transform on an encoded Unit frame and
+        // prove the result still decodes cleanly — the transport CRC
+        // must NOT catch a forge; only the manifest digest can.
+        let original = crate::frame::Frame::Unit {
+            class: 1,
+            unit: 2,
+            payload: b"honest program bytes".to_vec(),
+        };
+        let mut frame = original.encode();
+        let body_at = 5 + 8;
+        frame[body_at] ^= 0x55;
+        let crc_at = frame.len() - 4;
+        let crc = crc32(&frame[..crc_at]);
+        frame[crc_at..].copy_from_slice(&crc.to_le_bytes());
+        let (decoded, _) = crate::frame::Frame::decode(&frame).expect("forged frame decodes");
+        match decoded {
+            crate::frame::Frame::Unit {
+                class,
+                unit,
+                payload,
+            } => {
+                assert_eq!(class, 1);
+                assert_eq!(unit, 2);
+                assert_ne!(payload, b"honest program bytes", "bytes were forged");
+            }
+            other => panic!("forge changed the frame kind: {other:?}"),
+        }
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The resumable wire client.
+//! The resumable, mirror-fleet wire client.
 //!
 //! The client is the protocol's fault domain: everything the chaos
 //! proxy throws at the stream — torn frames, bit flips, stalls, aborts,
@@ -10,19 +10,72 @@
 //! order, CRC-verified, or the session dies having recorded nothing for
 //! it — the same invariant the simulator's journal enforces at cycle
 //! granularity.
+//!
+//! PR 9 widens the fault domain from one server to a **fleet of
+//! mirrors**, and the client grows the two defenses the simulator's
+//! replica/Byzantine tiers already proved out:
+//!
+//! * **Failover.** Each mirror carries an EWMA health score (same ppm
+//!   semantics as `netsim::replica`: decay on fault, fold goodput in on
+//!   every delivered unit) and a per-mirror capped backoff clock. A
+//!   reconnect goes to the healthiest eligible mirror; the resume
+//!   watermarks in the Hello make the hand-off seamless, because
+//!   negotiation is the same epoch-fenced `ServePlan` logic regardless
+//!   of which mirror answers. The session fails for good only when
+//!   every mirror is quarantined or the attempt budget is spent.
+//! * **Integrity.** The first `Welcome` pins the NSUM manifest
+//!   (trust-on-first-use, exactly like the simulator's Byzantine
+//!   layer), and from then on every delivered unit must match its
+//!   pinned byte-level content digest, and every later `Welcome` must
+//!   agree with the pin. A mirror that diverges *under the pinned
+//!   generation* — a different manifest, or a unit whose bytes don't
+//!   hash to the manifest entry — is **equivocating** and is
+//!   quarantined: permanently removed from the rotation, never
+//!   contributing a delivered unit. Only a `Welcome` carrying a
+//!   *newer* restructure generation may replace the pin (a live
+//!   rollover), and it discards every unit held under the old one —
+//!   a session never splices bytes from two layouts.
 
 use std::io::Write;
 use std::net::{SocketAddr, TcpStream};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::crc::crc32;
-use crate::frame::{read_frame, EvictReason, Frame, FrameError, ResumeEntry};
+use crate::frame::{read_frame, ClassAdvert, EvictReason, Frame, FrameError, ResumeEntry};
+use crate::manifest::{content_digest_of, UnitManifest};
+
+/// Full health in parts-per-million — a mirror that has never faulted.
+/// Same scale as `netsim::replica`'s goodput score.
+pub const HEALTH_FULL_PPM: u32 = 1_000_000;
+
+/// EWMA shift: each update folds in 1/8 new signal, 7/8 history —
+/// mirrors `netsim::replica` exactly so the simulated and real failover
+/// policies stay interchangeable.
+const HEALTH_EWMA_SHIFT: u32 = 3;
+
+/// One EWMA decay step after a fault. The step is floored at 1 so the
+/// score converges to exactly zero instead of asymptotically hovering,
+/// and saturating so zero stays zero.
+#[must_use]
+pub fn decay_health(health_ppm: u32) -> u32 {
+    health_ppm.saturating_sub((health_ppm >> HEALTH_EWMA_SHIFT).max(1))
+}
+
+/// One EWMA goodput step after a verified delivered unit: fold a
+/// full-health sample into the score. Bounded by [`HEALTH_FULL_PPM`]
+/// for any input at or below it.
+#[must_use]
+pub fn boost_health(health_ppm: u32) -> u32 {
+    health_ppm - (health_ppm >> HEALTH_EWMA_SHIFT) + (HEALTH_FULL_PPM >> HEALTH_EWMA_SHIFT)
+}
 
 /// Tuning for one [`WireClient`] session.
 #[derive(Debug, Clone)]
 pub struct ClientConfig {
-    /// Server address.
-    pub addr: SocketAddr,
+    /// Ordered mirror endpoints. Order is the tiebreak: equal health
+    /// prefers the earlier mirror, so a single-entry list behaves
+    /// exactly like the pre-fleet client.
+    pub mirrors: Vec<SocketAddr>,
     /// Benchmark to request.
     pub benchmark: String,
     /// Ordering code (see [`crate::config::ordering_code`]).
@@ -34,9 +87,9 @@ pub struct ClientConfig {
     pub read_timeout: Duration,
     /// Total connection attempts before giving up.
     pub max_attempts: u32,
-    /// First reconnect backoff.
+    /// First reconnect backoff (per mirror).
     pub backoff_base: Duration,
-    /// Backoff cap (exponential growth stops here).
+    /// Backoff cap (per-mirror exponential growth stops here).
     pub backoff_cap: Duration,
     /// Test hook: deliberately drop the connection once, after this
     /// many units have been delivered in total — the wire-level
@@ -48,11 +101,18 @@ pub struct ClientConfig {
 }
 
 impl ClientConfig {
-    /// A config with test-friendly defaults for `addr`/`benchmark`.
+    /// A single-mirror config with test-friendly defaults — the
+    /// pre-fleet client, unchanged.
     #[must_use]
     pub fn new(addr: SocketAddr, benchmark: &str) -> ClientConfig {
+        ClientConfig::with_mirrors(vec![addr], benchmark)
+    }
+
+    /// A config for an ordered mirror fleet.
+    #[must_use]
+    pub fn with_mirrors(mirrors: Vec<SocketAddr>, benchmark: &str) -> ClientConfig {
         ClientConfig {
-            addr,
+            mirrors,
             benchmark: benchmark.to_owned(),
             ordering: 0,
             connect_timeout: Duration::from_secs(2),
@@ -69,10 +129,19 @@ impl ClientConfig {
 /// Why a session failed for good.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ClientError {
+    /// The config listed no mirrors at all.
+    NoMirrors,
     /// Every allowed attempt was spent without completing.
     Exhausted {
         /// Attempts made.
         attempts: u32,
+    },
+    /// Every mirror equivocated against the pinned manifest or served
+    /// forged units — there is nowhere trustworthy left to fetch from,
+    /// and fail-closed beats executing unverified bytes.
+    AllMirrorsQuarantined {
+        /// How many mirrors were quarantined (the whole fleet).
+        quarantined: u32,
     },
     /// The server declared the Hello incompatible (unknown benchmark or
     /// protocol mismatch) — retrying cannot help.
@@ -82,8 +151,12 @@ pub enum ClientError {
 impl std::fmt::Display for ClientError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            ClientError::NoMirrors => write!(f, "no mirrors configured"),
             ClientError::Exhausted { attempts } => {
                 write!(f, "gave up after {attempts} connection attempts")
+            }
+            ClientError::AllMirrorsQuarantined { quarantined } => {
+                write!(f, "all {quarantined} mirrors quarantined for equivocation")
             }
             ClientError::Incompatible => write!(f, "server rejected the session as incompatible"),
         }
@@ -105,12 +178,28 @@ pub struct ClientReport {
     pub unit_crcs: Vec<Vec<u32>>,
     /// Full unit payloads when [`ClientConfig::keep_payloads`] is set.
     pub payloads: Option<Vec<Vec<Vec<u8>>>>,
+    /// Restructure generation of the pinned manifest.
+    pub generation: u32,
     /// Manifest epoch pinned from the first Welcome.
     pub manifest_epoch: u64,
     /// CRC32 of the pinned manifest bytes.
     pub manifest_crc: u32,
     /// Connection attempts made (including the successful ones).
     pub connects: u32,
+    /// Reconnects that landed on a different mirror than the previous
+    /// attempt.
+    pub failovers: u32,
+    /// Mirrors quarantined for equivocation or forged units.
+    pub quarantines: u32,
+    /// Units refused because their bytes did not hash to the pinned
+    /// manifest digest (each one quarantined its mirror).
+    pub digest_rejects: u32,
+    /// Welcomes refused for carrying a manifest that diverged from the
+    /// pin under the same generation.
+    pub equivocations: u32,
+    /// Welcomes refused for carrying an older generation than the pin
+    /// (a lagging mirror — backed off, not quarantined).
+    pub stale_welcomes: u32,
     /// Admission Retry frames honored.
     pub admission_retries: u32,
     /// Evictions honored (drain or slow-consumer).
@@ -121,6 +210,12 @@ pub struct ClientReport {
     /// Protocol-order violations observed (out-of-order or out-of-range
     /// units) — each one forced a reconnect.
     pub order_violations: u32,
+    /// Units delivered by each configured mirror, in mirror order —
+    /// where the bytes actually came from.
+    pub mirror_units: Vec<u64>,
+    /// Final EWMA health of each configured mirror, in mirror order
+    /// (zero for quarantined mirrors).
+    pub mirror_health: Vec<u32>,
     /// Payload bytes accepted into the journal.
     pub bytes: u64,
     /// True when every class reached its advertised unit total.
@@ -143,11 +238,45 @@ impl ClassState {
     }
 }
 
+/// Per-mirror rotation state: health, backoff clock, quarantine flag.
+struct MirrorState {
+    addr: SocketAddr,
+    health_ppm: u32,
+    failures: u32,
+    not_before: Option<Instant>,
+    quarantined: bool,
+    units: u64,
+}
+
+impl MirrorState {
+    fn new(addr: SocketAddr) -> MirrorState {
+        MirrorState {
+            addr,
+            health_ppm: HEALTH_FULL_PPM,
+            failures: 0,
+            not_before: None,
+            quarantined: false,
+            units: 0,
+        }
+    }
+}
+
+/// The manifest pinned from the first Welcome: the session's one source
+/// of truth about what honest bytes look like.
+struct PinnedManifest {
+    generation: u32,
+    epoch: u64,
+    crc: u32,
+    /// Decoded per-class, per-unit content digests.
+    digests: Vec<Vec<u32>>,
+}
+
 /// The client session driver.
 pub struct WireClient {
     config: ClientConfig,
     classes: Vec<ClassState>,
-    pinned_manifest: Option<(u64, u32)>,
+    mirrors: Vec<MirrorState>,
+    pin: Option<PinnedManifest>,
     report: ClientReport,
     disconnect_fired: bool,
     delivered_total: u64,
@@ -155,49 +284,111 @@ pub struct WireClient {
 
 enum Attempt {
     Done,
-    ReconnectAfter(Duration),
+    /// Back off this mirror and reconnect (possibly elsewhere).
+    /// `decay` distinguishes a fault (health drops) from polite
+    /// admission pushback (health untouched).
+    Backoff {
+        hint: Duration,
+        decay: bool,
+    },
+    /// This mirror diverged from the pinned manifest: remove it from
+    /// the rotation permanently.
+    Quarantine,
     Fatal(ClientError),
+}
+
+/// What a Welcome did to the pinned manifest.
+enum Adopt {
+    /// Consistent (or newly pinned): per-class expected next units.
+    Go(Vec<u32>),
+    /// Older generation than the pin: a lagging mirror.
+    Stale,
+    /// Same generation, different manifest: equivocation.
+    Equivocation,
+    /// Structurally impossible (undecodable manifest, advert/manifest
+    /// shape mismatch, watermark regression).
+    Violation,
 }
 
 impl WireClient {
     /// A fresh session for `config`.
     #[must_use]
     pub fn new(config: ClientConfig) -> WireClient {
+        let mirrors = config
+            .mirrors
+            .iter()
+            .copied()
+            .map(MirrorState::new)
+            .collect();
         WireClient {
             config,
             classes: Vec::new(),
-            pinned_manifest: None,
+            mirrors,
+            pin: None,
             report: ClientReport::default(),
             disconnect_fired: false,
             delivered_total: 0,
         }
     }
 
-    /// Runs the session to completion: connect, resume from watermarks,
-    /// survive faults by reconnecting with capped backoff.
+    /// Runs the session to completion: connect to the healthiest
+    /// eligible mirror, resume from watermarks, survive faults by
+    /// failing over with per-mirror capped backoff, and verify every
+    /// unit against the pinned manifest.
     ///
     /// # Errors
     ///
     /// [`ClientError::Exhausted`] when `max_attempts` connections all
-    /// fail to finish; [`ClientError::Incompatible`] on a server-side
-    /// rejection that retrying cannot fix.
+    /// fail to finish; [`ClientError::AllMirrorsQuarantined`] when
+    /// every mirror equivocated; [`ClientError::Incompatible`] on a
+    /// server-side rejection that retrying cannot fix;
+    /// [`ClientError::NoMirrors`] on an empty mirror list.
     pub fn run(mut self) -> Result<ClientReport, ClientError> {
-        let mut consecutive_failures = 0u32;
+        if self.mirrors.is_empty() {
+            return Err(ClientError::NoMirrors);
+        }
+        let mut last_mirror: Option<usize> = None;
         while self.report.connects < self.config.max_attempts {
+            let Some(mi) = self.pick_mirror() else {
+                return Err(ClientError::AllMirrorsQuarantined {
+                    quarantined: u32::try_from(self.mirrors.len()).unwrap_or(u32::MAX),
+                });
+            };
+            if let Some(not_before) = self.mirrors[mi].not_before.take() {
+                let now = Instant::now();
+                if not_before > now {
+                    std::thread::sleep(not_before - now);
+                }
+            }
             self.report.connects += 1;
-            match self.attempt() {
+            if last_mirror.is_some_and(|prev| prev != mi) {
+                self.report.failovers += 1;
+            }
+            last_mirror = Some(mi);
+            match self.attempt(mi) {
                 Attempt::Done => {
                     self.finish_report();
                     return Ok(self.report);
                 }
-                Attempt::ReconnectAfter(delay) => {
-                    consecutive_failures += 1;
+                Attempt::Backoff { hint, decay } => {
+                    let mirror = &mut self.mirrors[mi];
+                    if decay {
+                        mirror.health_ppm = decay_health(mirror.health_ppm);
+                    }
+                    mirror.failures += 1;
                     let backoff = backoff_delay(
                         self.config.backoff_base,
                         self.config.backoff_cap,
-                        consecutive_failures,
+                        mirror.failures,
                     );
-                    std::thread::sleep(delay.max(backoff).min(self.config.backoff_cap));
+                    let delay = hint.max(backoff).min(self.config.backoff_cap);
+                    mirror.not_before = Some(Instant::now() + delay);
+                }
+                Attempt::Quarantine => {
+                    let mirror = &mut self.mirrors[mi];
+                    mirror.quarantined = true;
+                    mirror.health_ppm = 0;
+                    self.report.quarantines += 1;
                 }
                 Attempt::Fatal(e) => return Err(e),
             }
@@ -207,15 +398,46 @@ impl WireClient {
         })
     }
 
-    fn attempt(&mut self) -> Attempt {
-        let mut stream =
-            match TcpStream::connect_timeout(&self.config.addr, self.config.connect_timeout) {
-                Ok(s) => s,
-                Err(_) => {
-                    self.report.stream_faults += 1;
-                    return Attempt::ReconnectAfter(Duration::ZERO);
-                }
-            };
+    /// The next mirror to try: healthiest non-quarantined mirror whose
+    /// backoff clock has expired (ties prefer the earlier mirror); if
+    /// every survivor is backing off, the one eligible soonest. `None`
+    /// only when the whole fleet is quarantined.
+    fn pick_mirror(&self) -> Option<usize> {
+        let now = Instant::now();
+        let mut best_ready: Option<usize> = None;
+        for (i, mirror) in self.mirrors.iter().enumerate() {
+            if mirror.quarantined {
+                continue;
+            }
+            if mirror.not_before.is_none_or(|nb| nb <= now)
+                && best_ready.is_none_or(|b| mirror.health_ppm > self.mirrors[b].health_ppm)
+            {
+                best_ready = Some(i);
+            }
+        }
+        if best_ready.is_some() {
+            return best_ready;
+        }
+        self.mirrors
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| !m.quarantined)
+            .min_by_key(|(_, m)| m.not_before.unwrap_or(now))
+            .map(|(i, _)| i)
+    }
+
+    fn attempt(&mut self, mi: usize) -> Attempt {
+        let addr = self.mirrors[mi].addr;
+        let mut stream = match TcpStream::connect_timeout(&addr, self.config.connect_timeout) {
+            Ok(s) => s,
+            Err(_) => {
+                self.report.stream_faults += 1;
+                return Attempt::Backoff {
+                    hint: Duration::ZERO,
+                    decay: true,
+                };
+            }
+        };
         if stream
             .set_read_timeout(Some(self.config.read_timeout))
             .is_err()
@@ -223,7 +445,10 @@ impl WireClient {
                 .set_write_timeout(Some(self.config.read_timeout))
                 .is_err()
         {
-            return Attempt::ReconnectAfter(Duration::ZERO);
+            return Attempt::Backoff {
+                hint: Duration::ZERO,
+                decay: true,
+            };
         }
 
         let hello = Frame::Hello {
@@ -234,22 +459,48 @@ impl WireClient {
         };
         if stream.write_all(&hello.encode()).is_err() || stream.flush().is_err() {
             self.report.stream_faults += 1;
-            return Attempt::ReconnectAfter(Duration::ZERO);
+            return Attempt::Backoff {
+                hint: Duration::ZERO,
+                decay: true,
+            };
         }
 
         // First response decides the session: Welcome, Retry, or Evict.
         let mut expected: Vec<u32> = match read_frame(&mut stream) {
             Ok(Frame::Welcome {
+                generation,
                 manifest_epoch,
                 manifest,
                 classes,
-            }) => match self.adopt_welcome(manifest_epoch, &manifest, &classes) {
-                Some(starts) => starts,
-                None => return Attempt::ReconnectAfter(Duration::ZERO),
+            }) => match self.adopt_welcome(generation, manifest_epoch, &manifest, &classes) {
+                Adopt::Go(starts) => starts,
+                Adopt::Stale => {
+                    self.report.stale_welcomes += 1;
+                    return Attempt::Backoff {
+                        hint: Duration::ZERO,
+                        decay: true,
+                    };
+                }
+                Adopt::Equivocation => {
+                    self.report.equivocations += 1;
+                    return Attempt::Quarantine;
+                }
+                Adopt::Violation => {
+                    self.report.order_violations += 1;
+                    return Attempt::Backoff {
+                        hint: Duration::ZERO,
+                        decay: true,
+                    };
+                }
             },
             Ok(Frame::Retry { after_ms }) => {
                 self.report.admission_retries += 1;
-                return Attempt::ReconnectAfter(Duration::from_millis(u64::from(after_ms)));
+                // Polite pushback, not a fault: the mirror is healthy,
+                // just busy — honor the hint without decaying it.
+                return Attempt::Backoff {
+                    hint: Duration::from_millis(u64::from(after_ms)),
+                    decay: false,
+                };
             }
             Ok(Frame::Evict {
                 reason: EvictReason::Incompatible,
@@ -259,11 +510,17 @@ impl WireClient {
                 resume_after_ms, ..
             }) => {
                 self.report.evictions += 1;
-                return Attempt::ReconnectAfter(Duration::from_millis(u64::from(resume_after_ms)));
+                return Attempt::Backoff {
+                    hint: Duration::from_millis(u64::from(resume_after_ms)),
+                    decay: true,
+                };
             }
             Ok(_) => {
                 self.report.order_violations += 1;
-                return Attempt::ReconnectAfter(Duration::ZERO);
+                return Attempt::Backoff {
+                    hint: Duration::ZERO,
+                    decay: true,
+                };
             }
             Err(e) => return self.stream_fault(e),
         };
@@ -281,9 +538,28 @@ impl WireClient {
                         // Nothing is journaled; the reconnect resumes
                         // from the last good boundary.
                         self.report.order_violations += 1;
-                        return Attempt::ReconnectAfter(Duration::ZERO);
+                        return Attempt::Backoff {
+                            hint: Duration::ZERO,
+                            decay: true,
+                        };
                     }
-                    self.accept_unit(ci, &payload);
+                    let pin = self.pin.as_ref().expect("welcome pinned before units");
+                    let Some(&want) = pin.digests.get(ci).and_then(|d| d.get(unit as usize)) else {
+                        self.report.order_violations += 1;
+                        return Attempt::Backoff {
+                            hint: Duration::ZERO,
+                            decay: true,
+                        };
+                    };
+                    if content_digest_of(pin.epoch, class, unit, &payload) != want {
+                        // The frame CRC passed — whoever forged the
+                        // bytes re-sealed it — but the bytes don't hash
+                        // to the *pinned* manifest entry. This mirror
+                        // is serving a different program: quarantine.
+                        self.report.digest_rejects += 1;
+                        return Attempt::Quarantine;
+                    }
+                    self.accept_unit(mi, ci, &payload);
                     expected[ci] += 1;
                     if let Some(k) = self.config.disconnect_after_units {
                         if !self.disconnect_fired && self.delivered_total >= k {
@@ -291,7 +567,10 @@ impl WireClient {
                             // this unit boundary, once.
                             self.disconnect_fired = true;
                             self.report.stream_faults += 1;
-                            return Attempt::ReconnectAfter(Duration::ZERO);
+                            return Attempt::Backoff {
+                                hint: Duration::ZERO,
+                                decay: true,
+                            };
                         }
                     }
                 }
@@ -303,22 +582,31 @@ impl WireClient {
                     resume_after_ms, ..
                 }) => {
                     self.report.evictions += 1;
-                    return Attempt::ReconnectAfter(Duration::from_millis(u64::from(
-                        resume_after_ms,
-                    )));
+                    return Attempt::Backoff {
+                        hint: Duration::from_millis(u64::from(resume_after_ms)),
+                        decay: true,
+                    };
                 }
                 Ok(Frame::Bye { .. }) => {
-                    if self.classes.iter().all(|c| c.delivered == c.units) {
+                    if !self.classes.is_empty()
+                        && self.classes.iter().all(|c| c.delivered == c.units)
+                    {
                         return Attempt::Done;
                     }
                     // A premature Bye is a protocol violation; keep the
                     // watermarks and try again.
                     self.report.order_violations += 1;
-                    return Attempt::ReconnectAfter(Duration::ZERO);
+                    return Attempt::Backoff {
+                        hint: Duration::ZERO,
+                        decay: true,
+                    };
                 }
                 Ok(_) => {
                     self.report.order_violations += 1;
-                    return Attempt::ReconnectAfter(Duration::ZERO);
+                    return Attempt::Backoff {
+                        hint: Duration::ZERO,
+                        decay: true,
+                    };
                 }
                 Err(e) => return self.stream_fault(e),
             }
@@ -327,7 +615,10 @@ impl WireClient {
 
     fn stream_fault(&mut self, _e: FrameError) -> Attempt {
         self.report.stream_faults += 1;
-        Attempt::ReconnectAfter(Duration::ZERO)
+        Attempt::Backoff {
+            hint: Duration::ZERO,
+            decay: true,
+        }
     }
 
     fn watermarks(&self) -> Vec<ResumeEntry> {
@@ -343,41 +634,70 @@ impl WireClient {
             .collect()
     }
 
-    /// Applies a Welcome: pins (or re-checks) the manifest, reconciles
-    /// per-class epochs and negotiated starts against local state.
-    /// Returns the per-class expected next unit, or `None` to
-    /// fail-closed reconnect.
+    /// Applies a Welcome against the pinned manifest: orders its
+    /// generation against the pin, verifies the manifest decodes and
+    /// structurally matches the adverts, and reconciles per-class
+    /// epochs and negotiated starts against local state.
     fn adopt_welcome(
         &mut self,
+        generation: u32,
         manifest_epoch: u64,
         manifest: &[u8],
-        adverts: &[crate::frame::ClassAdvert],
-    ) -> Option<Vec<u32>> {
+        adverts: &[ClassAdvert],
+    ) -> Adopt {
         let manifest_crc = crc32(manifest);
-        match self.pinned_manifest {
-            None => {
-                self.pinned_manifest = Some((manifest_epoch, manifest_crc));
-                self.report.manifest_epoch = manifest_epoch;
-                self.report.manifest_crc = manifest_crc;
+        let repin = match &self.pin {
+            None => true,
+            Some(pin) if generation < pin.generation => return Adopt::Stale,
+            Some(pin) if generation > pin.generation => {
+                // A live rollover: the origin restructured ahead of us.
+                // Everything held belongs to the old layout — discard
+                // it all; a session never splices two generations.
+                self.classes.clear();
+                self.delivered_total = 0;
+                true
             }
-            Some((epoch, crc)) => {
-                if epoch != manifest_epoch || crc != manifest_crc {
-                    // The layout changed under us (restructure epoch
-                    // bump). Everything delivered so far is stale:
-                    // fail closed, restart from nothing.
-                    self.classes.clear();
-                    self.delivered_total = 0;
-                    self.pinned_manifest = Some((manifest_epoch, manifest_crc));
-                    self.report.manifest_epoch = manifest_epoch;
-                    self.report.manifest_crc = manifest_crc;
+            Some(pin) => {
+                if pin.epoch != manifest_epoch || pin.crc != manifest_crc {
+                    return Adopt::Equivocation;
                 }
+                false
             }
+        };
+        if repin {
+            let Ok(decoded) = UnitManifest::decode(manifest) else {
+                return Adopt::Violation;
+            };
+            if decoded.epoch != manifest_epoch {
+                return Adopt::Violation;
+            }
+            self.report.generation = generation;
+            self.report.manifest_epoch = manifest_epoch;
+            self.report.manifest_crc = manifest_crc;
+            self.pin = Some(PinnedManifest {
+                generation,
+                epoch: manifest_epoch,
+                crc: manifest_crc,
+                digests: decoded.unit_digests,
+            });
+        }
+        // Structural agreement between the (pinned) manifest and this
+        // Welcome's adverts: same class count, same per-class unit
+        // counts. A mismatch means the mirror's Welcome contradicts the
+        // manifest it just presented — fail closed.
+        let pin = self.pin.as_ref().expect("pin exists after repin");
+        if adverts.len() != pin.digests.len()
+            || adverts
+                .iter()
+                .zip(&pin.digests)
+                .any(|(a, d)| a.units as usize != d.len())
+        {
+            return Adopt::Violation;
         }
         if self.classes.is_empty() {
             self.classes = vec![ClassState::default(); adverts.len()];
         } else if self.classes.len() != adverts.len() {
-            self.report.order_violations += 1;
-            return None;
+            return Adopt::Violation;
         }
         let mut expected = Vec::with_capacity(adverts.len());
         for (ci, advert) in adverts.iter().enumerate() {
@@ -397,8 +717,7 @@ impl WireClient {
             }
             if advert.start > class.delivered {
                 // The server claims we hold units we never journaled.
-                self.report.order_violations += 1;
-                return None;
+                return Adopt::Violation;
             }
             // advert.start <= delivered: the server resumes from its
             // negotiated (possibly more conservative) start; re-receipt
@@ -414,10 +733,10 @@ impl WireClient {
             }
             expected.push(advert.start);
         }
-        Some(expected)
+        Adopt::Go(expected)
     }
 
-    fn accept_unit(&mut self, ci: usize, payload: &[u8]) {
+    fn accept_unit(&mut self, mi: usize, ci: usize, payload: &[u8]) {
         let class = &mut self.classes[ci];
         class.crcs.push(crc32(payload));
         class
@@ -428,6 +747,9 @@ impl WireClient {
         }
         class.delivered += 1;
         self.delivered_total += 1;
+        let mirror = &mut self.mirrors[mi];
+        mirror.units += 1;
+        mirror.health_ppm = boost_health(mirror.health_ppm);
     }
 
     fn finish_report(&mut self) {
@@ -439,6 +761,8 @@ impl WireClient {
         if self.config.keep_payloads {
             self.report.payloads = Some(self.classes.iter().map(|c| c.payloads.clone()).collect());
         }
+        self.report.mirror_units = self.mirrors.iter().map(|m| m.units).collect();
+        self.report.mirror_health = self.mirrors.iter().map(|m| m.health_ppm).collect();
         self.report.complete =
             !self.classes.is_empty() && self.classes.iter().all(|c| c.delivered == c.units);
     }
@@ -462,5 +786,48 @@ mod tests {
         assert_eq!(backoff_delay(base, cap, 3), Duration::from_millis(8));
         assert_eq!(backoff_delay(base, cap, 10), cap);
         assert_eq!(backoff_delay(base, cap, 33), cap);
+    }
+
+    #[test]
+    fn health_decays_to_exactly_zero_and_boosts_back_to_full() {
+        let mut h = HEALTH_FULL_PPM;
+        let mut steps = 0u32;
+        while h > 0 {
+            h = decay_health(h);
+            steps += 1;
+            assert!(steps < 1_000, "decay must converge, not hover");
+        }
+        assert_eq!(decay_health(0), 0, "zero is a fixed point");
+        // Goodput recovers: folding full-health samples converges back
+        // to (and never exceeds) full.
+        let mut h = 0u32;
+        for _ in 0..256 {
+            h = boost_health(h);
+            assert!(h <= HEALTH_FULL_PPM);
+        }
+        assert_eq!(boost_health(HEALTH_FULL_PPM), HEALTH_FULL_PPM);
+    }
+
+    #[test]
+    fn mirror_selection_prefers_health_then_order() {
+        let addr: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        let config = ClientConfig::with_mirrors(vec![addr, addr, addr], "hanoi");
+        let mut client = WireClient::new(config);
+        // All healthy: order is the tiebreak.
+        assert_eq!(client.pick_mirror(), Some(0));
+        // Mirror 0 faults: the healthier mirror 1 wins.
+        client.mirrors[0].health_ppm = decay_health(client.mirrors[0].health_ppm);
+        assert_eq!(client.pick_mirror(), Some(1));
+        // Mirror 1 backing off: mirror 2 is the healthiest *eligible*.
+        client.mirrors[1].not_before = Some(Instant::now() + Duration::from_secs(60));
+        assert_eq!(client.pick_mirror(), Some(2));
+        // Everyone quarantined or waiting: soonest-eligible survivor.
+        client.mirrors[2].quarantined = true;
+        client.mirrors[0].not_before = Some(Instant::now() + Duration::from_secs(120));
+        assert_eq!(client.pick_mirror(), Some(1));
+        // Whole fleet quarantined: nowhere left.
+        client.mirrors[0].quarantined = true;
+        client.mirrors[1].quarantined = true;
+        assert_eq!(client.pick_mirror(), None);
     }
 }

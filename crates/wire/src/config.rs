@@ -24,6 +24,8 @@ pub enum ConfigError {
         /// The offending spelling.
         value: String,
     },
+    /// A `--mirrors` entry failed to parse as a socket address.
+    BadMirror(String),
 }
 
 impl fmt::Display for ConfigError {
@@ -37,6 +39,12 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::BadValue { key, value } => {
                 write!(f, "bad value {value:?} for --{key}")
+            }
+            ConfigError::BadMirror(entry) => {
+                write!(
+                    f,
+                    "bad mirror {entry:?}; use comma-separated host:port addresses"
+                )
             }
         }
     }
@@ -111,6 +119,31 @@ pub fn ordering_code(name: &str) -> Result<u8, ConfigError> {
 #[must_use]
 pub fn ordering_name(code: u8) -> Option<&'static str> {
     ORDERINGS.iter().find(|(_, c)| *c == code).map(|&(n, _)| n)
+}
+
+/// Parses a `--mirrors` spec: comma-separated `host:port` socket
+/// addresses, in failover-priority order (the first entry is the
+/// preferred mirror on equal health). Whitespace around entries is
+/// tolerated; empty entries are not.
+///
+/// # Errors
+///
+/// [`ConfigError::BadMirror`] for an empty spec or any entry that is
+/// not a socket address.
+pub fn parse_mirrors(spec: &str) -> Result<Vec<std::net::SocketAddr>, ConfigError> {
+    let mirrors: Vec<std::net::SocketAddr> = spec
+        .split(',')
+        .map(|entry| {
+            entry
+                .trim()
+                .parse()
+                .map_err(|_| ConfigError::BadMirror(entry.trim().to_owned()))
+        })
+        .collect::<Result<_, _>>()?;
+    if mirrors.is_empty() {
+        return Err(ConfigError::BadMirror(spec.to_owned()));
+    }
+    Ok(mirrors)
 }
 
 /// The six shared fault knobs, exactly as the simulator spells them:
@@ -223,6 +256,23 @@ mod tests {
             fk.set("loss", "many"),
             Err(ConfigError::BadValue { key: "loss", .. })
         ));
+    }
+
+    #[test]
+    fn mirrors_parse_in_order_and_fail_closed() {
+        let mirrors = parse_mirrors("127.0.0.1:7001, 127.0.0.1:7002,127.0.0.1:7003").unwrap();
+        assert_eq!(mirrors.len(), 3);
+        assert_eq!(mirrors[0].port(), 7001);
+        assert_eq!(mirrors[2].port(), 7003);
+        assert!(matches!(
+            parse_mirrors("127.0.0.1:7001,,127.0.0.1:7002"),
+            Err(ConfigError::BadMirror(_))
+        ));
+        assert!(matches!(
+            parse_mirrors("not-an-addr"),
+            Err(ConfigError::BadMirror(_))
+        ));
+        assert!(matches!(parse_mirrors(""), Err(ConfigError::BadMirror(_))));
     }
 
     #[test]

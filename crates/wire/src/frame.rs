@@ -28,7 +28,17 @@ use crate::caps;
 use crate::crc::crc32;
 
 /// Protocol version carried in every [`Frame::Hello`].
-pub const PROTOCOL_VERSION: u16 = 1;
+///
+/// Version 2 added the restructure **generation** to [`Frame::Welcome`]
+/// so a mirror-fleet client can order two manifests it has seen.
+/// Manifest epochs are layout *fingerprints* — good for equality,
+/// useless for ordering — so without the generation a client failing
+/// over
+/// mid-rollover could not tell "this mirror restructured ahead of me"
+/// (follow it) from "this mirror is serving yesterday's layout" (back
+/// off) from "this mirror is lying under my pinned generation"
+/// (quarantine it).
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Hello-payload magic: identifies the protocol and its byte order.
 pub const HELLO_MAGIC: [u8; 4] = *b"NSWP";
@@ -206,6 +216,13 @@ pub enum Frame {
     },
     /// Server → client: session accepted; layout + resume verdicts.
     Welcome {
+        /// Restructure generation: a monotonic counter the origin bumps
+        /// on every live re-restructure. Unlike the manifest epoch (a
+        /// hash, unordered), generations let a client *order* two
+        /// layouts: newer generation → legitimate rollover, follow it;
+        /// older → stale mirror, back off; same generation but a
+        /// different manifest → equivocation, quarantine the mirror.
+        generation: u32,
         /// Combined manifest epoch of the served layout.
         manifest_epoch: u64,
         /// The NSUM unit-manifest frame, opaque to this layer; the
@@ -249,7 +266,7 @@ pub enum Frame {
 const KIND_HELLO: u8 = 0x01;
 const KIND_WELCOME: u8 = 0x02;
 const KIND_RETRY: u8 = 0x03;
-const KIND_UNIT: u8 = 0x04;
+pub(crate) const KIND_UNIT: u8 = 0x04;
 const KIND_EVICT: u8 = 0x05;
 const KIND_BYE: u8 = 0x06;
 
@@ -347,10 +364,12 @@ impl Frame {
                 }
             }
             Frame::Welcome {
+                generation,
                 manifest_epoch,
                 manifest,
                 classes,
             } => {
+                p.extend_from_slice(&generation.to_le_bytes());
                 p.extend_from_slice(&manifest_epoch.to_le_bytes());
                 p.extend_from_slice(
                     &u32::try_from(manifest.len())
@@ -476,6 +495,7 @@ impl Frame {
                 }
             }
             KIND_WELCOME => {
+                let generation = c.u32()?;
                 let manifest_epoch = c.u64()?;
                 let mlen = check_count(
                     "manifest bytes",
@@ -501,6 +521,7 @@ impl Frame {
                     });
                 }
                 Frame::Welcome {
+                    generation,
                     manifest_epoch,
                     manifest,
                     classes,
@@ -623,6 +644,7 @@ mod tests {
                 ],
             },
             Frame::Welcome {
+                generation: 3,
                 manifest_epoch: 0x1234_5678_9abc_def0,
                 manifest: vec![1, 2, 3, 4, 5],
                 classes: vec![ClassAdvert {

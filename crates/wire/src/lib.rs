@@ -20,19 +20,31 @@
 //!   The CLI simulator, the server, and the loadgen all parse the same
 //!   spellings through this module, so a scenario moves between the
 //!   simulated and real wire without translation.
+//! * [`manifest`] — the NSUM unit manifest: the content-addressed
+//!   digest table a client pins from its first Welcome and verifies
+//!   every delivered unit against. Moving it here (from `core`) puts
+//!   the integrity arithmetic at the bottom of the stack, where both
+//!   the simulator and the wire client reach it.
 //! * [`plan`] — the server's content model ([`plan::ServePlan`]): real
 //!   restructured class-file bytes split at unit boundaries, plus the
-//!   watermark-based resume negotiation.
+//!   watermark-based resume negotiation with typed
+//!   [`plan::ResumeVerdict`]s.
 //! * [`server`] — a threaded accept/stream server with the full
 //!   robustness ladder: accept-side token-bucket admission with typed
 //!   retry-after, per-connection read/write deadlines, slow-consumer
 //!   (slow-loris) detection and eviction, bounded send-queue
 //!   backpressure, and graceful drain at unit boundaries.
-//! * [`client`] — the resumable client: watermark journal, capped-
-//!   backoff reconnect, fail-closed handling of torn frames and
-//!   out-of-order units.
+//! * [`client`] — the resumable mirror-fleet client: watermark
+//!   journal, capped-backoff reconnect, EWMA mirror health scoring,
+//!   mid-stream failover at unit boundaries, trust-on-first-use
+//!   manifest pinning with per-unit digest verification, and
+//!   quarantine of equivocating or forging mirrors.
+//! * [`fleet`] — the process-level supervisor: N mirrors behind stable
+//!   slot addresses, seeded crash/restart plans, health probes, and
+//!   live epoch rollovers behind graceful drain fences.
 //! * [`loadgen`] — replays a seeded fleet arrival schedule against a
-//!   server and reports wall-clock tail latency.
+//!   server (or mirror fleet) and reports wall-clock tail latency plus
+//!   the cross-client convergence invariant.
 //! * [`chaos`] — an interposed proxy that injects socket-level faults
 //!   (mid-frame cuts, aborts, byte corruption, stalls, frame
 //!   reordering) between client and server, deterministically per
@@ -51,20 +63,29 @@ pub mod chaos;
 pub mod client;
 pub mod config;
 pub mod crc;
+pub mod fleet;
 pub mod frame;
 pub mod loadgen;
+pub mod manifest;
 pub mod plan;
 pub mod server;
 
 pub use chaos::{ChaosConfig, ChaosProxy};
-pub use client::{ClientConfig, ClientError, ClientReport, WireClient};
-pub use config::{ConfigError, FaultKnobs, LinkSpec};
+pub use client::{
+    boost_health, decay_health, ClientConfig, ClientError, ClientReport, WireClient,
+    HEALTH_FULL_PPM,
+};
+pub use config::{parse_mirrors, ConfigError, FaultKnobs, LinkSpec};
 pub use crc::crc32;
+pub use fleet::{CrashPlan, FleetConfig, FleetReport, FleetSupervisor, MirrorStatus, PlanFactory};
 pub use frame::{
     ClassAdvert, EvictReason, Frame, FrameError, ResumeEntry, MAX_FRAME_PAYLOAD, PROTOCOL_VERSION,
 };
 pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenReport};
-pub use plan::{ClassPlan, ServePlan};
+pub use manifest::{
+    content_digest_of, ManifestError, UnitManifest, MANIFEST_MAGIC, MANIFEST_VERSION,
+};
+pub use plan::{ClassPlan, ResumeVerdict, ServePlan};
 pub use server::{DrainReport, ServerConfig, ServerStats, WireServer};
 
 /// Sanity caps shared by every length-prefixed decoder in the

@@ -1,14 +1,20 @@
-//! Fleet load generation against a live server.
+//! Fleet load generation against a live server (or mirror fleet).
 //!
 //! Replays a seeded arrival schedule — `clients` sessions whose start
 //! times are jittered uniformly over an arrival window by the
 //! workspace's SplitMix64 — and reports completion counts, wall-clock
 //! tail latency, and **invariant violations**: any completed session
-//! whose delivered unit CRCs differ from the first completed session's
-//! is a violation, because every client of one benchmark must converge
-//! on byte-identical class files no matter how admission, eviction, or
-//! chaos interleaved its connections.
+//! whose delivered unit CRCs differ from another completed session's
+//! *under the same pinned manifest* is a violation, because every
+//! client of one benchmark layout must converge on byte-identical
+//! class files no matter how admission, eviction, chaos, failover, or
+//! quarantine interleaved its connections. The reference is keyed by
+//! `(generation, manifest_epoch, manifest_crc)` so a live epoch
+//! rollover mid-run — where early and late sessions legitimately pin
+//! different layouts — is not misread as divergence, while any two
+//! sessions that *claim* the same layout must still match bit for bit.
 
+use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 use crate::client::{ClientConfig, WireClient};
@@ -54,6 +60,23 @@ pub struct LoadgenReport {
     pub stream_faults: u64,
     /// Order violations survived (each forced a reconnect).
     pub order_violations: u64,
+    /// Mid-session failovers to a different mirror across the fleet.
+    pub failovers: u64,
+    /// Mirror quarantines across the fleet (equivocation or forged
+    /// units).
+    pub quarantines: u64,
+    /// Units refused for failing the pinned-manifest digest check.
+    pub digest_rejects: u64,
+    /// Welcomes refused for carrying a stale generation.
+    pub stale_welcomes: u64,
+    /// Welcomes refused as equivocation under the pinned generation.
+    pub equivocations: u64,
+    /// Units delivered by each mirror across the fleet, in the client
+    /// config's mirror order — where the bytes actually came from.
+    pub mirror_units: Vec<u64>,
+    /// Distinct `(generation, manifest epoch)` layouts completed
+    /// sessions pinned — more than one only across a live rollover.
+    pub layouts_seen: usize,
     /// Payload bytes delivered across the fleet.
     pub bytes: u64,
     /// Cross-client divergence descriptions; must be empty on a
@@ -89,9 +112,15 @@ pub fn run_loadgen(config: &LoadgenConfig) -> LoadgenReport {
         })
         .collect();
 
-    let mut report = LoadgenReport::default();
+    let mut report = LoadgenReport {
+        mirror_units: vec![0; config.client.mirrors.len()],
+        ..LoadgenReport::default()
+    };
     let mut latencies_ms: Vec<u64> = Vec::new();
-    let mut reference: Option<Vec<Vec<u32>>> = None;
+    // Convergence references, one per pinned layout: two sessions that
+    // claim the same (generation, manifest epoch, manifest CRC) must
+    // hold byte-identical units, whichever mirrors served them.
+    let mut references: HashMap<(u32, u64, u32), Vec<Vec<u32>>> = HashMap::new();
     for (i, handle) in handles.into_iter().enumerate() {
         let Ok((outcome, elapsed)) = handle.join() else {
             report.failed += 1;
@@ -107,6 +136,18 @@ pub fn run_loadgen(config: &LoadgenConfig) -> LoadgenReport {
                 report.evictions += u64::from(session.evictions);
                 report.stream_faults += u64::from(session.stream_faults);
                 report.order_violations += u64::from(session.order_violations);
+                report.failovers += u64::from(session.failovers);
+                report.quarantines += u64::from(session.quarantines);
+                report.digest_rejects += u64::from(session.digest_rejects);
+                report.stale_welcomes += u64::from(session.stale_welcomes);
+                report.equivocations += u64::from(session.equivocations);
+                for (slot, units) in report
+                    .mirror_units
+                    .iter_mut()
+                    .zip(session.mirror_units.iter())
+                {
+                    *slot += units;
+                }
                 report.bytes += session.bytes;
                 if !session.complete {
                     report.failed += 1;
@@ -117,12 +158,21 @@ pub fn run_loadgen(config: &LoadgenConfig) -> LoadgenReport {
                 }
                 report.completed += 1;
                 latencies_ms.push(u64::try_from(elapsed.as_millis()).unwrap_or(u64::MAX));
-                match &reference {
-                    None => reference = Some(session.unit_crcs),
+                let layout = (
+                    session.generation,
+                    session.manifest_epoch,
+                    session.manifest_crc,
+                );
+                match references.get(&layout) {
+                    None => {
+                        references.insert(layout, session.unit_crcs);
+                    }
                     Some(expected) => {
                         if *expected != session.unit_crcs {
                             report.violations.push(format!(
-                                "client {i}: delivered unit CRCs diverge from fleet reference"
+                                "client {i}: delivered unit CRCs diverge from the \
+                                 reference for generation {} epoch {:#x}",
+                                layout.0, layout.1
                             ));
                         }
                     }
@@ -134,6 +184,7 @@ pub fn run_loadgen(config: &LoadgenConfig) -> LoadgenReport {
             }
         }
     }
+    report.layouts_seen = references.len();
 
     latencies_ms.sort_unstable();
     report.p50_ms = percentile(&latencies_ms, 50);

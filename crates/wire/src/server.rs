@@ -28,7 +28,7 @@ use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -63,6 +63,13 @@ pub struct ServerConfig {
     /// Optional pacing delay between units (keeps connections in
     /// flight long enough for drain and chaos tests to observe them).
     pub pace_per_unit: Option<Duration>,
+    /// Crash hook: hard-kill the whole server the moment its global
+    /// `units_sent` counter reaches this value — no Evict, no Bye,
+    /// every socket torn down mid-session. This is the wire-level
+    /// crash-anywhere probe from the *server* side: sweeping it across
+    /// every delivered-unit boundary proves clients converge to
+    /// byte-identical payloads no matter where a mirror dies.
+    pub kill_after_units: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -79,6 +86,7 @@ impl Default for ServerConfig {
             min_bytes_per_sec: 0,
             slow_grace: Duration::from_secs(2),
             pace_per_unit: None,
+            kill_after_units: None,
         }
     }
 }
@@ -142,9 +150,34 @@ struct Shared {
     config: ServerConfig,
     stats: StatsInner,
     draining: AtomicBool,
+    killed: AtomicBool,
     active: AtomicUsize,
     next_conn: AtomicU64,
     conns: Mutex<HashMap<u64, TcpStream>>,
+}
+
+/// Locks the live-connection registry, recovering from poison: a
+/// connection thread that panicked while holding the lock must not
+/// wedge `stats()`, `drain()`, or `kill()` for the whole server. The
+/// registry's only invariant — entries map conn ids to their sockets —
+/// cannot be torn by a mid-update panic (insert/remove are atomic on
+/// `HashMap`), so the poisoned guard's data is safe to keep using.
+fn lock_conns(shared: &Shared) -> MutexGuard<'_, HashMap<u64, TcpStream>> {
+    shared.conns.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Shared {
+    /// A hard crash: tear down every live socket with no farewell
+    /// frame. Unlike drain, nothing reaches a unit boundary first —
+    /// this models `kill -9`, not graceful shutdown.
+    fn kill(&self) {
+        self.killed.store(true, Ordering::SeqCst);
+        self.draining.store(true, Ordering::SeqCst);
+        let conns = lock_conns(self);
+        for stream in conns.values() {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+    }
 }
 
 /// The server: bind, serve until [`WireServer::drain`].
@@ -177,6 +210,7 @@ impl WireServer {
             config,
             stats: StatsInner::default(),
             draining: AtomicBool::new(false),
+            killed: AtomicBool::new(false),
             active: AtomicUsize::new(0),
             next_conn: AtomicU64::new(0),
             conns: Mutex::new(HashMap::new()),
@@ -220,6 +254,23 @@ impl WireServer {
         }
     }
 
+    /// Hard-kills the server: stops admission and tears down every
+    /// live socket immediately, with no Evict or Bye. Clients observe
+    /// a mid-stream reset and fail over; their journals still hold
+    /// every unit delivered before the kill, because watermarks only
+    /// ever advance at verified unit boundaries. The fleet supervisor
+    /// uses this to model a mirror crash.
+    pub fn kill(&self) {
+        self.shared.kill();
+    }
+
+    /// True once [`WireServer::kill`] (or the
+    /// [`ServerConfig::kill_after_units`] crash hook) has fired.
+    #[must_use]
+    pub fn is_killed(&self) -> bool {
+        self.shared.killed.load(Ordering::SeqCst)
+    }
+
     /// Gracefully drains: stops admission, lets in-flight connections
     /// finish their current unit and receive a resumable Evict, then
     /// waits up to `deadline`. Connections still alive at the deadline
@@ -238,7 +289,7 @@ impl WireServer {
                 break;
             }
             if started.elapsed() >= deadline {
-                let conns = self.shared.conns.lock().expect("conns lock");
+                let conns = lock_conns(&self.shared);
                 for stream in conns.values() {
                     let _ = stream.shutdown(std::net::Shutdown::Both);
                 }
@@ -340,11 +391,7 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
                 let conn_shared = Arc::clone(shared);
                 handlers.push(std::thread::spawn(move || {
                     handle_connection(stream, conn_id, &conn_shared);
-                    conn_shared
-                        .conns
-                        .lock()
-                        .expect("conns lock")
-                        .remove(&conn_id);
+                    lock_conns(&conn_shared).remove(&conn_id);
                     conn_shared.active.fetch_sub(1, Ordering::SeqCst);
                 }));
             }
@@ -370,6 +417,9 @@ fn send_and_close(mut stream: TcpStream, frame: &Frame, write_timeout: Duration)
 enum StreamEnd {
     Completed,
     Drained,
+    /// The server was hard-killed: say nothing, the socket is already
+    /// dead.
+    Killed,
     WriterGone,
 }
 
@@ -384,11 +434,7 @@ fn handle_connection(stream: TcpStream, conn_id: u64, shared: &Arc<Shared>) {
     // loop removes the entry when this handler returns, so the registry
     // never outgrows the live connection set.
     if let Ok(clone) = stream.try_clone() {
-        shared
-            .conns
-            .lock()
-            .expect("conns lock")
-            .insert(conn_id, clone);
+        lock_conns(shared).insert(conn_id, clone);
     }
 
     let mut reader = match stream.try_clone() {
@@ -442,6 +488,7 @@ fn handle_connection(stream: TcpStream, conn_id: u64, shared: &Arc<Shared>) {
     let writer = std::thread::spawn(move || write_loop(writer_stream, &rx, &writer_shared));
 
     let welcome = Frame::Welcome {
+        generation: plan.generation,
         manifest_epoch: plan.manifest_epoch,
         manifest: plan.manifest.clone(),
         classes: adverts.clone(),
@@ -476,7 +523,7 @@ fn handle_connection(stream: TcpStream, conn_id: u64, shared: &Arc<Shared>) {
             };
             let _ = tx.send(evict.encode());
         }
-        StreamEnd::WriterGone => {}
+        StreamEnd::Killed | StreamEnd::WriterGone => {}
     }
     drop(tx);
     let _ = writer.join();
@@ -494,6 +541,10 @@ fn stream_units(
     for (ci, class) in plan.classes.iter().enumerate() {
         let start = adverts[ci].start as usize;
         for (ui, payload) in class.units.iter().enumerate().skip(start) {
+            // A hard kill outranks everything and says nothing.
+            if shared.killed.load(Ordering::SeqCst) {
+                return StreamEnd::Killed;
+            }
             // Drain is only honored here, between units: an in-flight
             // unit always finishes, so the client's journal watermark
             // lands exactly on a unit boundary.
@@ -508,11 +559,21 @@ fn stream_units(
             if tx.send(frame.encode()).is_err() {
                 return StreamEnd::WriterGone;
             }
-            shared.stats.units_sent.fetch_add(1, Ordering::Relaxed);
+            let sent_now = shared.stats.units_sent.fetch_add(1, Ordering::Relaxed) + 1;
             shared
                 .stats
                 .bytes_sent
                 .fetch_add(payload.len() as u64, Ordering::Relaxed);
+            if shared
+                .config
+                .kill_after_units
+                .is_some_and(|k| sent_now >= k)
+            {
+                // The seeded crash plan landed on this unit boundary:
+                // die server-wide, right now.
+                shared.kill();
+                return StreamEnd::Killed;
+            }
             if let Some(pace) = shared.config.pace_per_unit {
                 std::thread::sleep(pace);
             }
@@ -550,6 +611,83 @@ fn write_loop(mut stream: TcpStream, rx: &Receiver<Vec<u8>>, shared: &Arc<Shared
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::client::{ClientConfig, WireClient};
+    use crate::manifest::UnitManifest;
+    use crate::plan::ClassPlan;
+
+    fn tiny_plan() -> ServePlan {
+        let units = vec![vec![b"prelude bytes".to_vec(), b"method one".to_vec()]];
+        let manifest = UnitManifest::from_payloads(&units, 7);
+        ServePlan {
+            benchmark: "tiny".to_owned(),
+            generation: 0,
+            manifest_epoch: 7,
+            manifest: manifest.encode(),
+            classes: vec![ClassPlan {
+                epoch: 1,
+                units: units.into_iter().next().expect("one class"),
+            }],
+        }
+    }
+
+    /// A handler thread that panics while holding the conns lock must
+    /// not wedge the rest of the server: stats(), new sessions, kill(),
+    /// and drain() all recover the poisoned guard and keep going.
+    #[test]
+    fn poisoned_conns_lock_does_not_wedge_the_server() {
+        let server = WireServer::bind("127.0.0.1:0", vec![tiny_plan()], ServerConfig::default())
+            .expect("bind");
+        // Deliberately panic while holding the registry lock, the way a
+        // buggy connection handler would.
+        let poisoner = Arc::clone(&server.shared);
+        let panicked = std::thread::spawn(move || {
+            let _guard = poisoner.conns.lock().expect("first lock");
+            panic!("deliberate: poison the conns registry");
+        })
+        .join();
+        assert!(panicked.is_err(), "the poisoner must have panicked");
+        assert!(server.shared.conns.is_poisoned(), "lock must be poisoned");
+        // A full session still registers, streams, and cleans up
+        // through the poisoned lock.
+        let report = WireClient::new(ClientConfig::new(server.local_addr(), "tiny"))
+            .run()
+            .expect("session survives a poisoned registry");
+        assert!(report.complete);
+        // The handler bumps `completed` after the client has already
+        // seen Bye; give it a beat.
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while server.stats().completed == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(server.stats().completed, 1);
+        // kill() walks the registry; drain() force-closes through it.
+        server.kill();
+        assert!(server.is_killed());
+        let drained = server.drain(Duration::from_secs(2));
+        assert!(drained.clean, "nothing in flight: drain must be clean");
+    }
+
+    /// The kill_after_units crash hook dies at exactly the configured
+    /// global unit boundary and says nothing — no Evict, no Bye.
+    #[test]
+    fn kill_after_units_crashes_at_the_boundary() {
+        let config = ServerConfig {
+            kill_after_units: Some(1),
+            ..ServerConfig::default()
+        };
+        let server = WireServer::bind("127.0.0.1:0", vec![tiny_plan()], config).expect("bind");
+        let mut client_config = ClientConfig::new(server.local_addr(), "tiny");
+        client_config.max_attempts = 3;
+        client_config.backoff_cap = Duration::from_millis(10);
+        let err = WireClient::new(client_config)
+            .run()
+            .expect_err("a crashed single mirror cannot complete");
+        assert!(matches!(err, crate::client::ClientError::Exhausted { .. }));
+        assert!(server.is_killed());
+        assert_eq!(server.stats().units_sent, 1, "died at the boundary");
+        assert_eq!(server.stats().completed, 0);
+        assert_eq!(server.stats().evicted_drain, 0, "no farewell frame");
+    }
 
     #[test]
     fn token_bucket_enforces_burst_then_refills() {

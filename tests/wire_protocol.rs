@@ -29,6 +29,7 @@ fn real_frames(plan: &nonstrict_wire::ServePlan) -> Vec<Frame> {
             }],
         },
         Frame::Welcome {
+            generation: plan.generation,
             manifest_epoch: plan.manifest_epoch,
             manifest: plan.manifest.clone(),
             classes: plan.negotiate(&[]),
@@ -82,16 +83,16 @@ fn truncation_at_every_prefix_fails_closed() {
 fn forged_manifest_length_is_oversized_before_allocation() {
     let plan = plan();
     let frame = Frame::Welcome {
+        generation: plan.generation,
         manifest_epoch: plan.manifest_epoch,
         manifest: plan.manifest.clone(),
         classes: plan.negotiate(&[]),
     };
     let mut bytes = frame.encode();
-    // Forge the manifest's inner length field (first payload field,
-    // u32 at offset 13 after kind+len+epoch) to a multi-gigabyte
-    // claim, then re-seal the frame CRC so only the forged count is
-    // under test.
-    bytes[13..17].copy_from_slice(&u32::MAX.to_le_bytes());
+    // Forge the manifest's inner length field (u32 at offset 17 after
+    // kind+len+generation+epoch) to a multi-gigabyte claim, then
+    // re-seal the frame CRC so only the forged count is under test.
+    bytes[17..21].copy_from_slice(&u32::MAX.to_le_bytes());
     let crc_at = bytes.len() - 4;
     let crc = crc32(&bytes[..crc_at]);
     bytes[crc_at..].copy_from_slice(&crc.to_le_bytes());
@@ -167,6 +168,80 @@ fn stale_epochs_restart_from_zero() {
     for advert in plan.negotiate(&over) {
         assert_eq!(advert.start, 0, "impossible watermarks must not survive");
     }
+}
+
+#[test]
+fn resume_edges_get_typed_verdicts_on_real_content() {
+    use nonstrict_wire::ResumeVerdict;
+    let plan = plan();
+    let class0_units = plan.classes[0].units.len() as u32;
+    let class0_epoch = plan.classes[0].epoch;
+
+    // Watermark exactly at the total: honored, advert starts at the
+    // end, nothing left to stream for that class (the server proceeds
+    // straight to its Bye for a fully-delivered plan).
+    let full = vec![ResumeEntry {
+        class: 0,
+        epoch: class0_epoch,
+        delivered: class0_units,
+    }];
+    let (adverts, verdicts) = plan.negotiate_checked(&full);
+    assert_eq!(adverts[0].start, class0_units);
+    assert_eq!(
+        verdicts,
+        vec![ResumeVerdict::Honored {
+            class: 0,
+            start: class0_units,
+        }]
+    );
+
+    // Watermark beyond the total: a typed out-of-range reject, never a
+    // panic, and the advert restarts the class from zero.
+    let beyond = vec![ResumeEntry {
+        class: 0,
+        epoch: class0_epoch,
+        delivered: class0_units + 1,
+    }];
+    let (adverts, verdicts) = plan.negotiate_checked(&beyond);
+    assert_eq!(adverts[0].start, 0);
+    assert_eq!(
+        verdicts,
+        vec![ResumeVerdict::OutOfRange {
+            class: 0,
+            delivered: class0_units + 1,
+            units: class0_units,
+        }]
+    );
+
+    // Stale per-class epoch: full refetch of that class — a watermark
+    // recorded under another layout must never splice into this one.
+    let stale = vec![ResumeEntry {
+        class: 0,
+        epoch: class0_epoch.wrapping_add(1),
+        delivered: 1,
+    }];
+    let (adverts, verdicts) = plan.negotiate_checked(&stale);
+    assert_eq!(adverts[0].start, 0);
+    assert_eq!(
+        verdicts,
+        vec![ResumeVerdict::StaleEpoch {
+            class: 0,
+            offered: class0_epoch.wrapping_add(1),
+            served: class0_epoch,
+        }]
+    );
+
+    // A class id the plan never served: typed unknown-class reject.
+    let unknown = vec![ResumeEntry {
+        class: u32::MAX,
+        epoch: 1,
+        delivered: 1,
+    }];
+    let (_, verdicts) = plan.negotiate_checked(&unknown);
+    assert_eq!(
+        verdicts,
+        vec![ResumeVerdict::UnknownClass { class: u32::MAX }]
+    );
 }
 
 #[test]

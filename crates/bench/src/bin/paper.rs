@@ -20,13 +20,18 @@
 //!                    # stream restructured classes over real TCP;
 //!                    # SIGTERM drains gracefully at unit boundaries
 //! paper loadgen <bench> --clients N [--chaos --loss PM ...]
+//!                    [--journal-dir D [--cache-dir D] [--kill-after-units N]]
 //!                    # replay a fleet arrival schedule over loopback
 //!                    # (self-serving by default; --addr to aim at a
 //!                    # running `paper serve`, --mirrors a,b,c to aim
 //!                    # at a mirror fleet, --forge PM for Byzantine
-//!                    # payload forgery on the first mirror)
+//!                    # payload forgery on the first mirror;
+//!                    # --journal-dir journals each session durably and
+//!                    # --kill-after-units dies at the Nth unit, then
+//!                    # warm-restarts from the recovered journal)
 //! paper fleet <bench> --mirrors N --clients N [--crash-plan SEED[:KILLS[:WINDOW-MS]]]
 //!                    [--epoch-rollover MS] [--forge PM] [--chaos ...]
+//!                    [--journal-dir D [--cache-dir D] [--kill-after-units N]]
 //!                    # supervise N crash-restarting mirrors, drive a
 //!                    # chaotic client fleet against them, optionally
 //!                    # roll the restructure epoch live mid-run
@@ -324,6 +329,9 @@ fn cmd_loadgen(args: &[String]) {
     let mut chaos = false;
     let mut forge_pm = 0u32;
     let mut pace_us = 50u64;
+    let mut journal_dir: Option<String> = None;
+    let mut cache_dir: Option<String> = None;
+    let mut kill_after_units: Option<u64> = None;
     let mut knobs = FaultKnobs::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -346,6 +354,9 @@ fn cmd_loadgen(args: &[String]) {
             "--spread-ms" => spread_ms = num_flag("spread-ms", val()),
             "--attempts" => attempts = num_flag("attempts", val()),
             "--pace-us" => pace_us = num_flag("pace-us", val()),
+            "--journal-dir" => journal_dir = Some(val().to_owned()),
+            "--cache-dir" => cache_dir = Some(val().to_owned()),
+            "--kill-after-units" => kill_after_units = Some(num_flag("kill-after-units", val())),
             "--chaos" => chaos = true,
             "--forge" => {
                 forge_pm = num_flag("forge", val());
@@ -412,11 +423,14 @@ fn cmd_loadgen(args: &[String]) {
     let mut client = ClientConfig::with_mirrors(mirror_list, &benchmark);
     client.ordering = ordering;
     client.max_attempts = attempts;
+    client.kill_after_units = kill_after_units;
+    let stores = store_factory(journal_dir, cache_dir, kill_after_units);
     let report = nonstrict_wire::run_loadgen(&LoadgenConfig {
         client,
         clients,
         seed,
         arrival_spread: Duration::from_millis(spread_ms),
+        stores,
     });
 
     print_loadgen_summary(clients, &report);
@@ -436,6 +450,39 @@ fn cmd_loadgen(args: &[String]) {
         ok &= drained.clean;
     }
     std::process::exit(i32::from(!ok));
+}
+
+/// Builds the per-client durable-store factory for `--journal-dir` /
+/// `--cache-dir`: each client index gets its own `client-{i}` subtree
+/// so concurrent sessions never share a journal.
+fn store_factory(
+    journal_dir: Option<String>,
+    cache_dir: Option<String>,
+    kill_after_units: Option<u64>,
+) -> Option<nonstrict_wire::loadgen::StoreFactory> {
+    let Some(jd) = journal_dir else {
+        if cache_dir.is_some() {
+            bail("--cache-dir needs --journal-dir");
+        }
+        if kill_after_units.is_some() {
+            bail("--kill-after-units needs --journal-dir");
+        }
+        return None;
+    };
+    let cd = cache_dir.unwrap_or_else(|| jd.clone());
+    Some(std::sync::Arc::new(
+        move |i: usize| -> Box<dyn nonstrict_wire::SessionStore> {
+            let sub = format!("client-{i}");
+            let journal = nonstrict_store::RealFs::open(std::path::Path::new(&jd).join(&sub))
+                .unwrap_or_else(|e| bail(&format!("cannot open --journal-dir: {e}")));
+            let cache = nonstrict_store::RealFs::open(std::path::Path::new(&cd).join(&sub))
+                .unwrap_or_else(|e| bail(&format!("cannot open --cache-dir: {e}")));
+            Box::new(nonstrict_store::DurableSession::split(
+                std::sync::Arc::new(journal),
+                std::sync::Arc::new(cache),
+            ))
+        },
+    ))
 }
 
 /// The shared loadgen scoreboard: completion, tails, the robustness
@@ -477,6 +524,12 @@ fn print_loadgen_summary(clients: usize, report: &LoadgenReport) {
         per_mirror.join(", "),
         report.layouts_seen
     );
+    if report.kills > 0 || report.warm_units > 0 {
+        println!(
+            "process kills: {} units warm-restored: {}",
+            report.kills, report.warm_units
+        );
+    }
     println!("bytes: {}", report.bytes);
     println!("invariant violations: {}", report.violations.len());
     for v in &report.violations {
@@ -536,6 +589,9 @@ fn cmd_fleet(args: &[String]) {
     let mut rollover_ms: Option<u64> = None;
     let mut chaos = false;
     let mut forge_pm = 0u32;
+    let mut journal_dir: Option<String> = None;
+    let mut cache_dir: Option<String> = None;
+    let mut kill_after_units: Option<u64> = None;
     let mut knobs = FaultKnobs::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -556,6 +612,9 @@ fn cmd_fleet(args: &[String]) {
             "--pace-us" => pace_us = num_flag("pace-us", val()),
             "--crash-plan" => crash = Some(parse_crash_plan(val())),
             "--epoch-rollover" => rollover_ms = Some(num_flag("epoch-rollover", val())),
+            "--journal-dir" => journal_dir = Some(val().to_owned()),
+            "--cache-dir" => cache_dir = Some(val().to_owned()),
+            "--kill-after-units" => kill_after_units = Some(num_flag("kill-after-units", val())),
             "--chaos" => chaos = true,
             "--forge" => {
                 forge_pm = num_flag("forge", val());
@@ -653,11 +712,14 @@ fn cmd_fleet(args: &[String]) {
     let mut client = ClientConfig::with_mirrors(mirror_list, &benchmark);
     client.ordering = ordering;
     client.max_attempts = attempts;
+    client.kill_after_units = kill_after_units;
+    let stores = store_factory(journal_dir, cache_dir, kill_after_units);
     let loadgen_config = LoadgenConfig {
         client,
         clients,
         seed,
         arrival_spread: Duration::from_millis(spread_ms),
+        stores,
     };
     let report = std::thread::scope(|s| {
         if let Some(ms) = rollover_ms {

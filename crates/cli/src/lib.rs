@@ -61,6 +61,36 @@ impl std::fmt::Display for CliError {
 
 impl std::error::Error for CliError {}
 
+impl From<nonstrict_store::StoreError> for CliError {
+    fn from(e: nonstrict_store::StoreError) -> CliError {
+        CliError {
+            message: e.to_string(),
+            code: 1,
+        }
+    }
+}
+
+/// Writes `bytes` to `path` with the durable-store discipline: the
+/// containing directory is created, the bytes land in a temp file that
+/// is fsynced and atomically renamed into place, and the directory is
+/// fsynced too — a crash mid-export leaves either the old journal or
+/// the new one, never a torn in-between.
+fn write_journal_atomic(path: &str, bytes: &[u8]) -> Result<(), CliError> {
+    let p = std::path::Path::new(path);
+    let dir = match p.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d,
+        _ => std::path::Path::new("."),
+    };
+    let name = p
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or_else(|| CliError::usage(format!("--journal {path}: not a valid file name")))?;
+    let fs = nonstrict_store::RealFs::open(dir)?;
+    use nonstrict_store::Vfs as _;
+    fs.write_atomic(name, bytes)?;
+    Ok(())
+}
+
 /// The usage text.
 pub const USAGE: &str = "\
 nonstrict — non-strict execution for mobile programs
@@ -808,10 +838,7 @@ fn cmd_simulate(flags: &Flags) -> Result<String, CliError> {
         })?;
         match session.run_until(Input::Test, &config, at) {
             RunOutcome::Interrupted(bytes) => {
-                std::fs::write(path, &bytes).map_err(|e| CliError {
-                    message: format!("cannot write journal {path}: {e}"),
-                    code: 1,
-                })?;
+                write_journal_atomic(path, &bytes)?;
                 return Ok(format!(
                     "{}: session killed at base cycle {at}; checkpoint journal ({} bytes) written to {path}\n  resume by rerunning with --journal {path} (without --interrupt)\n",
                     session.app.name,

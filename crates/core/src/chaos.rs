@@ -3,7 +3,9 @@
 //! PRs 1–6 built six independent fault dimensions — link faults,
 //! semantic quarantine, outages/checkpoint-resume, replica
 //! kills/hedging, fleet overload, and Byzantine mirrors — each swept
-//! alone. This module composes **any subset** of them into one seeded,
+//! alone; PR 10 added a seventh, storage faults, where the interrupt
+//! journal's disk round trip crosses a fault-injecting store. This
+//! module composes **any subset** of them into one seeded,
 //! deterministic run and checks the composition against the global
 //! contracts the per-dimension suites established:
 //!
@@ -39,11 +41,14 @@
 //! [`ChaosScenario::decode`] rejects as [`ScenarioError::Conflict`].
 
 use std::fmt;
+use std::sync::Arc;
 
 use nonstrict_bytecode::Input;
 use nonstrict_netsim::byzantine::ByzantineMode;
 use nonstrict_netsim::contention::ShedLadder;
 use nonstrict_netsim::Link;
+use nonstrict_store::{FaultFs, JournalLog};
+use nonstrict_wire::SplitMix64;
 
 use crate::fleet::{run_fleet, AdmissionSettings, FleetClient, FleetSpec};
 use crate::journal::SessionJournal;
@@ -113,9 +118,49 @@ pub struct InterruptDims {
     pub downtime: u64,
 }
 
+/// The storage-fault dimension: the journal written at a crash no
+/// longer lives in perfect memory but passes through a
+/// [`nonstrict_store::FaultFs`] with these knobs — torn appends, fsync
+/// lies, post-hoc bit rot. The invariant is the store's contract: a
+/// journal that survives the round trip intact resumes exactly; one
+/// that does not must be *detected* and degrade to a fail-closed
+/// restart that still completes. Inactive with all rates zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DiskDims {
+    /// Storage-fault seed.
+    pub seed: u64,
+    /// Per-append probability (ppm) the power cut tears the write at a
+    /// seeded byte.
+    pub torn_pm: u32,
+    /// Per-operation probability (ppm) an acknowledged write never
+    /// becomes durable.
+    pub lie_pm: u32,
+    /// Per-file probability (ppm) of one flipped bit after the crash.
+    pub bitrot_pm: u32,
+}
+
+impl DiskDims {
+    /// A disk config armed under `seed` with every fault rate zero.
+    #[must_use]
+    pub fn seeded(seed: u64) -> DiskDims {
+        DiskDims {
+            seed,
+            torn_pm: 0,
+            lie_pm: 0,
+            bitrot_pm: 0,
+        }
+    }
+
+    /// Whether any storage fault can actually fire.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.torn_pm > 0 || self.lie_pm > 0 || self.bitrot_pm > 0
+    }
+}
+
 /// One composed chaos scenario: every structural dimension plus any
-/// subset of the six fault dimensions, fully seeded and deterministic.
-/// Equal scenarios produce bit-identical runs.
+/// subset of the seven fault dimensions, fully seeded and
+/// deterministic. Equal scenarios produce bit-identical runs.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ChaosScenario {
     /// Benchmark name ([`nonstrict_workloads::build_by_name`]).
@@ -144,6 +189,8 @@ pub struct ChaosScenario {
     pub overload: Option<OverloadDims>,
     /// Crash/resume dimension.
     pub interrupt: Option<InterruptDims>,
+    /// Storage-fault dimension (the journal's disk round trip).
+    pub disk: Option<DiskDims>,
 }
 
 impl ChaosScenario {
@@ -164,6 +211,7 @@ impl ChaosScenario {
             byzantine: None,
             overload: None,
             interrupt: None,
+            disk: None,
         }
     }
 
@@ -209,6 +257,13 @@ impl ChaosScenario {
         self
     }
 
+    /// This scenario with the storage-fault dimension set.
+    #[must_use]
+    pub fn with_disk(mut self, d: DiskDims) -> Self {
+        self.disk = Some(d);
+        self
+    }
+
     /// This scenario with `verify` as its verification mode.
     #[must_use]
     pub fn with_verify(mut self, verify: VerifyMode) -> Self {
@@ -239,6 +294,12 @@ impl ChaosScenario {
         self.overload.filter(OverloadDims::is_active)
     }
 
+    /// The storage-fault dimension, if any fault can actually fire.
+    #[must_use]
+    pub fn active_disk(&self) -> Option<DiskDims> {
+        self.disk.filter(DiskDims::is_active)
+    }
+
     /// Whether every fault dimension is absent or armed-but-inactive:
     /// such a scenario must be byte-identical to the stripped run (the
     /// all-rates-zero identity every per-dimension suite pins).
@@ -251,6 +312,7 @@ impl ChaosScenario {
             && c.active_byzantine().is_none()
             && self.active_overload().is_none()
             && self.interrupt.is_none()
+            && self.active_disk().is_none()
     }
 
     /// Short `+`-joined label of the *active* dimensions, `"quiet"`
@@ -279,6 +341,9 @@ impl ChaosScenario {
         }
         if self.interrupt.is_some() {
             parts.push("crash");
+        }
+        if self.active_disk().is_some() {
+            parts.push("disk");
         }
         if parts.is_empty() {
             "quiet".to_owned()
@@ -354,6 +419,12 @@ impl ChaosScenario {
         if let Some(i) = self.interrupt {
             let _ = writeln!(s, "interrupt.at_cycle = {}", i.at_cycle);
             let _ = writeln!(s, "interrupt.downtime = {}", i.downtime);
+        }
+        if let Some(d) = self.disk {
+            let _ = writeln!(s, "disk.seed = {}", d.seed);
+            let _ = writeln!(s, "disk.torn_pm = {}", d.torn_pm);
+            let _ = writeln!(s, "disk.lie_pm = {}", d.lie_pm);
+            let _ = writeln!(s, "disk.bitrot_pm = {}", d.bitrot_pm);
         }
         s
     }
@@ -528,6 +599,12 @@ impl ChaosScenario {
                             downtime: 0,
                         })
                         .downtime = num!();
+                }
+                "disk.seed" => sc.disk.get_or_insert(DiskDims::seeded(0)).seed = num!(),
+                "disk.torn_pm" => sc.disk.get_or_insert(DiskDims::seeded(0)).torn_pm = num!(),
+                "disk.lie_pm" => sc.disk.get_or_insert(DiskDims::seeded(0)).lie_pm = num!(),
+                "disk.bitrot_pm" => {
+                    sc.disk.get_or_insert(DiskDims::seeded(0)).bitrot_pm = num!();
                 }
                 _ => return Err(ScenarioError::UnknownKey(key.to_owned())),
             }
@@ -939,14 +1016,55 @@ pub fn run_scenario(session: &Session, sc: &ChaosScenario) -> ChaosReport {
     check_watermarks(session, &config, base.total_cycles, &mut violations);
     check_fail_closed(session, &config, base.total_cycles, &mut violations);
 
+    // The storage dimension alone (no interrupt point chosen): probe a
+    // fixed grid of crash cycles, pushing each journal through the
+    // fault store to verify the detect-or-resume-exactly contract.
+    if sc.interrupt.is_none() {
+        if let Some(dims) = sc.active_disk() {
+            const PROBES: u64 = 4;
+            for p in 1..=PROBES {
+                let at = base.total_cycles * p / (PROBES + 1);
+                let RunOutcome::Interrupted(bytes) = session.run_until(Input::Test, &config, at)
+                else {
+                    break;
+                };
+                check_disk_resume(session, &config, &bytes, &dims, p, None, &mut violations);
+            }
+        }
+    }
+
     let result = match sc.interrupt {
         None => base,
         Some(i) => {
             let r = match session.run_until(Input::Test, &config, i.at_cycle) {
                 RunOutcome::Finished(r) => *r,
-                RunOutcome::Interrupted(bytes) => {
-                    session.resume(Input::Test, &config, &bytes, i.downtime)
-                }
+                RunOutcome::Interrupted(bytes) => match sc.active_disk() {
+                    // The journal crosses a faulty disk on its way back.
+                    Some(dims) => {
+                        let r = check_disk_resume(
+                            session,
+                            &config,
+                            &bytes,
+                            &dims,
+                            0,
+                            Some(i.downtime),
+                            &mut violations,
+                        );
+                        let Some(r) = r else {
+                            // The store failed closed and the cold
+                            // restart completed: that is the composed
+                            // result.
+                            return ChaosReport {
+                                scenario: sc.clone(),
+                                result: base,
+                                fleet: None,
+                                violations,
+                            };
+                        };
+                        r
+                    }
+                    None => session.resume(Input::Test, &config, &bytes, i.downtime),
+                },
             };
             check_ledger(&r, 0, &mut violations);
             for d in compare_resume(&base, &r, &config, i.at_cycle) {
@@ -1048,6 +1166,76 @@ fn check_fail_closed(
         violations.push(ChaosViolation::FailOpen(
             "fail-closed restart did not complete",
         ));
+    }
+}
+
+/// Pushes one interrupt journal through a seeded [`FaultFs`] round
+/// trip — append under the scenario's storage-fault knobs, power cut,
+/// recover. Returns the bytes a warm restart reads back, or `None`
+/// when the store lost them (torn tail) or rejected them (rot, a
+/// typed fail-closed error). `salt` decorrelates multiple probes of
+/// the same scenario.
+fn disk_roundtrip(bytes: &[u8], d: &DiskDims, salt: u64) -> Option<Vec<u8>> {
+    let fs = Arc::new(FaultFs::new(nonstrict_store::FaultKnobs {
+        seed: d.seed ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        torn_pm: 0,
+        lie_pm: d.lie_pm,
+        bitrot_pm: d.bitrot_pm,
+    }));
+    let log = JournalLog::new(fs.clone(), "sim.nsjl");
+    let mut rng = SplitMix64(d.seed ^ salt ^ 0x6469_736b);
+    if rng.hit_pm(d.torn_pm) {
+        // The power cut lands mid-append: kill at the header write or
+        // the frame write, leaving a seeded prefix of it durable.
+        fs.set_kill_at(1 + rng.below(2));
+    }
+    let _ = log.append_record(bytes);
+    fs.crash();
+    match log.recover() {
+        Ok(r) => r.records.into_iter().next(),
+        Err(_) => None,
+    }
+}
+
+/// Applies the storage-dimension contract to one interrupt journal:
+/// a journal that survives its disk round trip byte-identical resumes
+/// normally (result returned for the caller's resume-equivalence
+/// check); one the store lost or rejected must degrade to a restart
+/// that is fail-closed **and still completes** (returns `None`).
+fn check_disk_resume(
+    session: &Session,
+    config: &SimConfig,
+    bytes: &[u8],
+    dims: &DiskDims,
+    salt: u64,
+    downtime: Option<u64>,
+    violations: &mut Vec<ChaosViolation>,
+) -> Option<SimResult> {
+    let downtime = downtime.unwrap_or(1_000_000);
+    match disk_roundtrip(bytes, dims, salt) {
+        Some(back) if back == *bytes => Some(session.resume(Input::Test, config, &back, downtime)),
+        Some(_) => {
+            // Recovery handed back different bytes it believed valid —
+            // the store's own detection contract is broken.
+            violations.push(ChaosViolation::FailOpen(
+                "disk round trip altered the journal undetected",
+            ));
+            None
+        }
+        None => {
+            let r = session.resume(Input::Test, config, &[], downtime);
+            if !r.outage.failed_closed {
+                violations.push(ChaosViolation::FailOpen(
+                    "journal lost to storage faults was not detected",
+                ));
+            }
+            if !r.faults.completed {
+                violations.push(ChaosViolation::FailOpen(
+                    "fail-closed restart after storage loss did not complete",
+                ));
+            }
+            None
+        }
     }
 }
 
@@ -1250,7 +1438,7 @@ pub const SHRINK_BUDGET: u32 = 600;
 /// returns `true`, returns a (locally) minimal scenario that still
 /// fails. Passes run to fixpoint under [`SHRINK_BUDGET`]:
 ///
-/// 1. **Dimensions** — drop whole fault dimensions (interrupt,
+/// 1. **Dimensions** — drop whole fault dimensions (disk, interrupt,
 ///    byzantine, replicas, outages, faults, overload, verify).
 /// 2. **Rates and sizes** — binary-search every surviving numeric knob
 ///    toward zero, keeping the smallest still-failing value.
@@ -1279,7 +1467,8 @@ pub fn shrink(
 
         // Pass 1: drop whole dimensions, most-derived first (byzantine
         // needs replicas, so it goes before them).
-        let drops: [fn(&mut ChaosScenario); 7] = [
+        let drops: [fn(&mut ChaosScenario); 8] = [
+            |s| s.disk = None,
             |s| s.interrupt = None,
             |s| s.byzantine = None,
             |s| {
@@ -1382,6 +1571,22 @@ pub fn shrink(
                     }
                 },
             ),
+            (
+                |s| s.disk.map(|d| u64::from(d.torn_pm)),
+                |s, v| set_disk(s, |d| d.torn_pm = v as u32),
+            ),
+            (
+                |s| s.disk.map(|d| u64::from(d.lie_pm)),
+                |s, v| set_disk(s, |d| d.lie_pm = v as u32),
+            ),
+            (
+                |s| s.disk.map(|d| u64::from(d.bitrot_pm)),
+                |s, v| set_disk(s, |d| d.bitrot_pm = v as u32),
+            ),
+            (
+                |s| s.disk.map(|d| d.seed),
+                |s, v| set_disk(s, |d| d.seed = v),
+            ),
         ];
         for (get, set) in knobs {
             let Some(hi) = get(&best) else { continue };
@@ -1451,6 +1656,12 @@ fn set_byz(s: &mut ChaosScenario, f: impl FnOnce(&mut ByzantineConfig)) {
 fn set_overload(s: &mut ChaosScenario, f: impl FnOnce(&mut OverloadDims)) {
     if let Some(ov) = s.overload.as_mut() {
         f(ov);
+    }
+}
+
+fn set_disk(s: &mut ChaosScenario, f: impl FnOnce(&mut DiskDims)) {
+    if let Some(d) = s.disk.as_mut() {
+        f(d);
     }
 }
 
@@ -1539,6 +1750,9 @@ mod tests {
         let mut bc = ByzantineConfig::seeded(11);
         bc.mirrors = 1;
         bc.mode = ByzantineMode::Equivocate;
+        let mut dd = DiskDims::seeded(13);
+        dd.torn_pm = 300_000;
+        dd.bitrot_pm = 50_000;
         ChaosScenario::new("hanoi", Link::MODEM_28_8, OrderingSource::StaticCallGraph)
             .with_verify(VerifyMode::Stream)
             .with_faults(fc)
@@ -1546,6 +1760,7 @@ mod tests {
             .with_replicas(rc)
             .with_byzantine(bc)
             .with_interrupt(40_000_000, 2_500_000)
+            .with_disk(dd)
     }
 
     #[test]
@@ -1642,11 +1857,15 @@ mod tests {
             ChaosScenario::new("hanoi", Link::T1, OrderingSource::StaticCallGraph).label(),
             "quiet"
         );
-        assert_eq!(storm().label(), "faults+verify+outage+replicas+byz+crash");
+        assert_eq!(
+            storm().label(),
+            "faults+verify+outage+replicas+byz+crash+disk"
+        );
         // Armed-but-quiet dimensions stay out of the label.
         let armed = ChaosScenario::new("hanoi", Link::T1, OrderingSource::StaticCallGraph)
             .with_faults(FaultConfig::seeded(1))
-            .with_outages(OutageConfig::seeded(2));
+            .with_outages(OutageConfig::seeded(2))
+            .with_disk(DiskDims::seeded(3));
         assert_eq!(armed.label(), "quiet");
         assert!(armed.is_quiet());
     }
@@ -1690,6 +1909,7 @@ mod tests {
         assert!(m.outages.is_none(), "outage dimension drops");
         assert!(m.replicas.is_none(), "replica dimension drops");
         assert!(m.byzantine.is_none(), "byzantine dimension drops");
+        assert!(m.disk.is_none(), "disk dimension drops");
         assert_eq!(m.verify, VerifyMode::Off, "verify drops");
         assert_eq!(
             m.interrupt,

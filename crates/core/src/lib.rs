@@ -61,7 +61,7 @@ pub mod sim;
 
 pub use chaos::{
     crash_anywhere, replay_repro, run_scenario, shrink, ChaosReport, ChaosScenario, ChaosViolation,
-    DifferentialReport, InterruptDims, OverloadDims, ScenarioError, ShrinkOutcome,
+    DifferentialReport, DiskDims, InterruptDims, OverloadDims, ScenarioError, ShrinkOutcome,
 };
 pub use fleet::{run_fleet, AdmissionSettings, ClientOutcome, FleetClient, FleetResult, FleetSpec};
 pub use journal::{negotiate, JournalError, Negotiation, SessionJournal, SessionManifest};

@@ -1,0 +1,350 @@
+//! The `NSUC` persistent content-addressed unit cache.
+//!
+//! Every unit the wire client accepts was verified against the pinned
+//! NSUM manifest at the unit boundary; this cache makes those bytes
+//! survive a process kill **without weakening that guarantee**. Each
+//! entry stores the digest it was accepted under, and
+//! [`UnitCache::load_verified`] re-verifies on every reload:
+//!
+//! 1. the entry frame's CRC32 trailer (rot anywhere in the frame);
+//! 2. the identity fields match what the caller is asking for (an
+//!    entry renamed over another is caught);
+//! 3. the stored payload re-hashes to the entry's own digest (rot that
+//!    happens to keep the CRC is still caught — CRC and FNV disagree
+//!    about every single-bit flip pattern);
+//! 4. the entry's digest equals the **pinned manifest's** expected
+//!    digest (a self-consistent but poisoned entry — wrong bytes
+//!    sealed under their own honest digest — is caught here).
+//!
+//! Any failure is a typed [`StoreError`], and the caller's move is
+//! always the same: drop the entry from the warm prefix and refetch it
+//! from the wire. A cache can lose bytes; it can never inject them.
+
+use std::sync::Arc;
+
+use nonstrict_wire::crc32;
+use nonstrict_wire::manifest::content_digest_of;
+
+use crate::vfs::Vfs;
+use crate::StoreError;
+
+/// Cache-entry magic.
+pub const CACHE_MAGIC: [u8; 4] = *b"NSUC";
+
+/// Current cache-entry format version.
+pub const CACHE_VERSION: u16 = 1;
+
+/// Sanity cap on one cached payload: same dimension as a wire frame.
+const MAX_PAYLOAD_BYTES: u64 = 1 << 24;
+
+const HEADER_LEN: usize = 4 + 2 + 8 + 4 + 4 + 4 + 4; // magic version epoch class unit digest len
+
+/// One decoded cache entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheEntry {
+    /// Manifest epoch the digest is bound to.
+    pub manifest_epoch: u64,
+    /// Class the unit belongs to.
+    pub class: u32,
+    /// Unit index within the class.
+    pub unit: u32,
+    /// The NSUM byte-level content digest the payload was accepted
+    /// under.
+    pub digest: u32,
+    /// The unit's bytes.
+    pub payload: Vec<u8>,
+}
+
+impl CacheEntry {
+    /// Builds an entry for `payload`, computing its content digest.
+    #[must_use]
+    pub fn sealed(manifest_epoch: u64, class: u32, unit: u32, payload: Vec<u8>) -> CacheEntry {
+        let digest = content_digest_of(manifest_epoch, class, unit, &payload);
+        CacheEntry {
+            manifest_epoch,
+            class,
+            unit,
+            digest,
+            payload,
+        }
+    }
+
+    /// Serializes the entry: header, payload, CRC32 trailer over every
+    /// preceding byte.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(HEADER_LEN + self.payload.len() + 4);
+        buf.extend_from_slice(&CACHE_MAGIC);
+        buf.extend_from_slice(&CACHE_VERSION.to_le_bytes());
+        buf.extend_from_slice(&self.manifest_epoch.to_le_bytes());
+        buf.extend_from_slice(&self.class.to_le_bytes());
+        buf.extend_from_slice(&self.unit.to_le_bytes());
+        buf.extend_from_slice(&self.digest.to_le_bytes());
+        buf.extend_from_slice(
+            &u32::try_from(self.payload.len())
+                .expect("payload fits u32")
+                .to_le_bytes(),
+        );
+        buf.extend_from_slice(&self.payload);
+        let crc = crc32(&buf);
+        buf.extend_from_slice(&crc.to_le_bytes());
+        buf
+    }
+
+    /// Decodes and integrity-checks an entry frame, including the
+    /// payload-rehash self check (step 3 of the module contract).
+    ///
+    /// # Errors
+    ///
+    /// Typed [`StoreError`] variants for every defect — an entry
+    /// either decodes to exactly what was sealed, or not at all.
+    pub fn decode(bytes: &[u8]) -> Result<CacheEntry, StoreError> {
+        let what = "NSUC cache entry";
+        if bytes.len() < HEADER_LEN + 4 {
+            return Err(StoreError::Truncated { what });
+        }
+        if bytes[..4] != CACHE_MAGIC {
+            return Err(StoreError::BadMagic { what });
+        }
+        let version = u16::from_le_bytes(bytes[4..6].try_into().expect("len"));
+        if version != CACHE_VERSION {
+            return Err(StoreError::BadVersion { what, version });
+        }
+        let declared = u32::from_le_bytes(bytes[26..30].try_into().expect("len"));
+        if u64::from(declared) > MAX_PAYLOAD_BYTES {
+            return Err(StoreError::Oversized {
+                what: "cache payload",
+                declared: u64::from(declared),
+                cap: MAX_PAYLOAD_BYTES,
+            });
+        }
+        let expect_len = HEADER_LEN + declared as usize + 4;
+        if bytes.len() < expect_len {
+            return Err(StoreError::Truncated { what });
+        }
+        if bytes.len() > expect_len {
+            return Err(StoreError::Malformed {
+                what,
+                why: "trailing bytes after content",
+            });
+        }
+        let (content, trailer) = bytes.split_at(bytes.len() - 4);
+        let stored = u32::from_le_bytes(trailer.try_into().expect("len"));
+        if crc32(content) != stored {
+            return Err(StoreError::CrcMismatch { what });
+        }
+        let manifest_epoch = u64::from_le_bytes(bytes[6..14].try_into().expect("len"));
+        let class = u32::from_le_bytes(bytes[14..18].try_into().expect("len"));
+        let unit = u32::from_le_bytes(bytes[18..22].try_into().expect("len"));
+        let digest = u32::from_le_bytes(bytes[22..26].try_into().expect("len"));
+        let payload = bytes[HEADER_LEN..HEADER_LEN + declared as usize].to_vec();
+        let rehash = content_digest_of(manifest_epoch, class, unit, &payload);
+        if rehash != digest {
+            return Err(StoreError::DigestMismatch {
+                class,
+                unit,
+                want: digest,
+                got: rehash,
+            });
+        }
+        Ok(CacheEntry {
+            manifest_epoch,
+            class,
+            unit,
+            digest,
+            payload,
+        })
+    }
+}
+
+/// The persistent unit cache over one [`Vfs`].
+#[derive(Clone)]
+pub struct UnitCache {
+    vfs: Arc<dyn Vfs>,
+}
+
+impl UnitCache {
+    /// A cache stored in `vfs`.
+    #[must_use]
+    pub fn new(vfs: Arc<dyn Vfs>) -> UnitCache {
+        UnitCache { vfs }
+    }
+
+    /// The file name an entry lives under.
+    #[must_use]
+    pub fn entry_name(class: u32, unit: u32) -> String {
+        format!("c{class}-u{unit}.nsuc")
+    }
+
+    /// Stores one accepted unit durably (atomic replace).
+    ///
+    /// # Errors
+    ///
+    /// Whatever the VFS reports.
+    pub fn put(&self, entry: &CacheEntry) -> Result<(), StoreError> {
+        self.vfs
+            .write_atomic(&Self::entry_name(entry.class, entry.unit), &entry.encode())
+    }
+
+    /// Loads one unit and runs the full verification ladder against
+    /// the pinned manifest's `expect` digest. Returns the payload only
+    /// when every check passes.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotFound`] when absent; decode errors per
+    /// [`CacheEntry::decode`]; [`StoreError::DigestMismatch`] when the
+    /// entry is self-consistent but disagrees with the manifest, or
+    /// claims a different identity than asked for.
+    pub fn load_verified(
+        &self,
+        manifest_epoch: u64,
+        class: u32,
+        unit: u32,
+        expect: u32,
+    ) -> Result<Vec<u8>, StoreError> {
+        let bytes = self.vfs.read(&Self::entry_name(class, unit))?;
+        let entry = CacheEntry::decode(&bytes)?;
+        if entry.manifest_epoch != manifest_epoch || entry.class != class || entry.unit != unit {
+            return Err(StoreError::Malformed {
+                what: "NSUC cache entry",
+                why: "entry identity does not match its name",
+            });
+        }
+        if entry.digest != expect {
+            // Self-consistent, wrong program: poisoned (or stale
+            // epoch). Never execute it.
+            return Err(StoreError::DigestMismatch {
+                class,
+                unit,
+                want: expect,
+                got: entry.digest,
+            });
+        }
+        Ok(entry.payload)
+    }
+
+    /// Removes every cache entry (generation rollover: nothing under
+    /// the old layout may survive into the new one).
+    ///
+    /// # Errors
+    ///
+    /// Whatever the VFS reports.
+    pub fn clear(&self) -> Result<(), StoreError> {
+        for name in self.vfs.list()? {
+            if name.ends_with(".nsuc") {
+                self.vfs.remove(&name)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vfs::{FaultFs, FaultKnobs};
+
+    fn entry() -> CacheEntry {
+        CacheEntry::sealed(0xfeed_beef_cafe_0001, 3, 7, b"unit payload bytes".to_vec())
+    }
+
+    #[test]
+    fn encode_decode_round_trips_exactly() {
+        let e = entry();
+        assert_eq!(CacheEntry::decode(&e.encode()).unwrap(), e);
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected() {
+        let bytes = entry().encode();
+        for i in 0..bytes.len() {
+            for bit in [0x01u8, 0x80u8] {
+                let mut bad = bytes.clone();
+                bad[i] ^= bit;
+                assert!(
+                    CacheEntry::decode(&bad).is_err(),
+                    "flip at byte {i} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_detected() {
+        let bytes = entry().encode();
+        for n in 0..bytes.len() {
+            assert!(
+                CacheEntry::decode(&bytes[..n]).is_err(),
+                "truncation to {n} bytes went undetected"
+            );
+        }
+        let mut padded = bytes;
+        padded.push(0);
+        assert!(matches!(
+            CacheEntry::decode(&padded),
+            Err(StoreError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn forged_length_is_oversized_before_allocation() {
+        let mut bytes = entry().encode();
+        bytes[26..30].copy_from_slice(&u32::MAX.to_le_bytes());
+        let crc_at = bytes.len() - 4;
+        let crc = crc32(&bytes[..crc_at]);
+        bytes[crc_at..].copy_from_slice(&crc.to_le_bytes());
+        assert!(matches!(
+            CacheEntry::decode(&bytes),
+            Err(StoreError::Oversized {
+                what: "cache payload",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn poisoned_entry_is_rejected_against_the_manifest() {
+        let fs = Arc::new(FaultFs::new(FaultKnobs::quiet(2)));
+        let cache = UnitCache::new(fs.clone());
+        let honest = entry();
+        cache.put(&honest).unwrap();
+        assert_eq!(
+            cache
+                .load_verified(honest.manifest_epoch, 3, 7, honest.digest)
+                .unwrap(),
+            honest.payload
+        );
+        // A forged payload sealed under its own honest digest passes
+        // the self checks — the manifest comparison is what stops it.
+        let poisoned = CacheEntry::sealed(
+            honest.manifest_epoch,
+            3,
+            7,
+            b"wrong program entirely".to_vec(),
+        );
+        cache.put(&poisoned).unwrap();
+        assert!(matches!(
+            cache.load_verified(honest.manifest_epoch, 3, 7, honest.digest),
+            Err(StoreError::DigestMismatch { .. })
+        ));
+        // An entry copied over another name is caught by identity.
+        let other = CacheEntry::sealed(honest.manifest_epoch, 9, 9, b"other".to_vec());
+        fs.set_durable(&UnitCache::entry_name(3, 7), other.encode());
+        fs.crash();
+        assert!(matches!(
+            cache.load_verified(honest.manifest_epoch, 3, 7, honest.digest),
+            Err(StoreError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn clear_removes_only_cache_entries() {
+        let fs = Arc::new(FaultFs::new(FaultKnobs::quiet(4)));
+        let cache = UnitCache::new(fs.clone());
+        cache.put(&entry()).unwrap();
+        fs.write_atomic("session.nsjl", b"keep me").unwrap();
+        cache.clear().unwrap();
+        assert_eq!(fs.list().unwrap(), vec!["session.nsjl".to_owned()]);
+    }
+}

@@ -1,0 +1,362 @@
+//! The `NSJL` append-oriented record log with torn-tail recovery.
+//!
+//! A journal that rewrites itself whole on every watermark update
+//! would turn each delivered unit into a full-file write; this log
+//! appends one small CRC-framed record instead, and pushes all the
+//! crash complexity into recovery:
+//!
+//! * file = `NSJL` magic + version, then zero or more frames;
+//! * frame = `len: u32 | payload | crc32(len ‖ payload)`;
+//! * recovery scans front to back. A **torn tail** — the file ends
+//!   mid-frame, which is exactly what a power cut does to an in-flight
+//!   append — is truncated back to the last complete valid frame,
+//!   compacted durably, and reported. Everything else (bad magic, bad
+//!   version, a CRC mismatch on a *complete* frame, an oversized
+//!   declared length) is bit rot or forgery, not a crash artifact, and
+//!   fails closed with a typed [`StoreError`]: the caller cold-starts
+//!   rather than trusting a poisoned log.
+
+use std::sync::Arc;
+
+use nonstrict_wire::crc32;
+
+use crate::vfs::Vfs;
+use crate::StoreError;
+
+/// Log magic: identifies the file and its byte order.
+pub const LOG_MAGIC: [u8; 4] = *b"NSJL";
+
+/// Current log format version.
+pub const LOG_VERSION: u16 = 1;
+
+/// Sanity cap on one record's declared length: a rotted or forged
+/// length field must not make recovery allocate gigabytes.
+pub const MAX_RECORD_BYTES: u64 = 1 << 24;
+
+const HEADER_LEN: usize = 6;
+const FRAME_OVERHEAD: usize = 8; // len u32 + crc u32
+
+/// What recovery found.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Recovered {
+    /// Every complete, CRC-valid record payload, in append order.
+    pub records: Vec<Vec<u8>>,
+    /// Bytes of torn tail that were truncated away (zero on a clean
+    /// log).
+    pub torn_bytes: u64,
+}
+
+/// An append-oriented record log over one [`Vfs`] file.
+#[derive(Clone)]
+pub struct JournalLog {
+    vfs: Arc<dyn Vfs>,
+    name: String,
+}
+
+impl JournalLog {
+    /// A log stored at `name` inside `vfs`.
+    #[must_use]
+    pub fn new(vfs: Arc<dyn Vfs>, name: &str) -> JournalLog {
+        JournalLog {
+            vfs,
+            name: name.to_owned(),
+        }
+    }
+
+    /// Appends one record, creating the file (with its header) on
+    /// first use. The record is framed with its own CRC so a torn
+    /// append is detectable and truncatable.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Oversized`] for a record beyond
+    /// [`MAX_RECORD_BYTES`]; otherwise whatever the VFS reports.
+    pub fn append_record(&self, payload: &[u8]) -> Result<(), StoreError> {
+        if payload.len() as u64 > MAX_RECORD_BYTES {
+            return Err(StoreError::Oversized {
+                what: "log record",
+                declared: payload.len() as u64,
+                cap: MAX_RECORD_BYTES,
+            });
+        }
+        match self.vfs.read(&self.name) {
+            Ok(_) => {}
+            Err(StoreError::NotFound { .. }) => {
+                let mut header = Vec::with_capacity(HEADER_LEN);
+                header.extend_from_slice(&LOG_MAGIC);
+                header.extend_from_slice(&LOG_VERSION.to_le_bytes());
+                self.vfs.append(&self.name, &header)?;
+            }
+            Err(e) => return Err(e),
+        }
+        let mut frame = Vec::with_capacity(payload.len() + FRAME_OVERHEAD);
+        frame.extend_from_slice(
+            &u32::try_from(payload.len())
+                .expect("cap fits u32")
+                .to_le_bytes(),
+        );
+        frame.extend_from_slice(payload);
+        let crc = crc32(&frame);
+        frame.extend_from_slice(&crc.to_le_bytes());
+        self.vfs.append(&self.name, &frame)
+    }
+
+    /// Scans the log, truncates a torn tail back to the last valid
+    /// frame (rewriting the file durably when it does), and returns
+    /// every surviving record.
+    ///
+    /// An absent file is an empty log. A file too short to hold the
+    /// header is all torn tail: it is removed and reported, because a
+    /// crash during the very first append can legitimately leave just
+    /// a header prefix. Every *non-prefix* defect fails closed.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::BadMagic`] / [`StoreError::BadVersion`] for a file
+    /// that was never this log; [`StoreError::CrcMismatch`] for a
+    /// complete frame whose trailer disagrees (bit rot — nothing after
+    /// it can be ordered, so nothing is trusted);
+    /// [`StoreError::Oversized`] for a hostile declared length.
+    pub fn recover(&self) -> Result<Recovered, StoreError> {
+        let bytes = match self.vfs.read(&self.name) {
+            Ok(b) => b,
+            Err(StoreError::NotFound { .. }) => return Ok(Recovered::default()),
+            Err(e) => return Err(e),
+        };
+        if bytes.len() < HEADER_LEN {
+            // A crash mid-first-append can cut the header itself: all
+            // torn tail, nothing recoverable.
+            self.vfs.remove(&self.name)?;
+            return Ok(Recovered {
+                records: Vec::new(),
+                torn_bytes: bytes.len() as u64,
+            });
+        }
+        if bytes[..4] != LOG_MAGIC {
+            return Err(StoreError::BadMagic { what: "NSJL log" });
+        }
+        let version = u16::from_le_bytes(bytes[4..6].try_into().expect("len"));
+        if version != LOG_VERSION {
+            return Err(StoreError::BadVersion {
+                what: "NSJL log",
+                version,
+            });
+        }
+        let mut records = Vec::new();
+        let mut pos = HEADER_LEN;
+        let mut good_end = pos;
+        while pos < bytes.len() {
+            let remaining = bytes.len() - pos;
+            if remaining < 4 {
+                break; // torn: not even a length prefix
+            }
+            let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("len")) as usize;
+            if len as u64 > MAX_RECORD_BYTES {
+                return Err(StoreError::Oversized {
+                    what: "log record",
+                    declared: len as u64,
+                    cap: MAX_RECORD_BYTES,
+                });
+            }
+            if remaining < len + FRAME_OVERHEAD {
+                break; // torn: the frame never finished landing
+            }
+            let frame_end = pos + 4 + len;
+            let stored =
+                u32::from_le_bytes(bytes[frame_end..frame_end + 4].try_into().expect("len"));
+            if crc32(&bytes[pos..frame_end]) != stored {
+                // The frame is fully present but wrong: that is rot or
+                // forgery, not a torn write. Fail closed — append order
+                // beyond this point cannot be trusted.
+                return Err(StoreError::CrcMismatch { what: "NSJL log" });
+            }
+            records.push(bytes[pos + 4..frame_end].to_vec());
+            pos = frame_end + 4;
+            good_end = pos;
+        }
+        let torn_bytes = (bytes.len() - good_end) as u64;
+        if torn_bytes > 0 {
+            // Compact the torn tail away so the next append starts at a
+            // frame boundary.
+            self.vfs.write_atomic(&self.name, &bytes[..good_end])?;
+        }
+        Ok(Recovered {
+            records,
+            torn_bytes,
+        })
+    }
+
+    /// Replaces the whole log with `records` in one atomic write —
+    /// compaction for a caller that has already folded history.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Oversized`] for any over-cap record; otherwise
+    /// whatever the VFS reports.
+    pub fn rewrite(&self, records: &[Vec<u8>]) -> Result<(), StoreError> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&LOG_MAGIC);
+        buf.extend_from_slice(&LOG_VERSION.to_le_bytes());
+        for payload in records {
+            if payload.len() as u64 > MAX_RECORD_BYTES {
+                return Err(StoreError::Oversized {
+                    what: "log record",
+                    declared: payload.len() as u64,
+                    cap: MAX_RECORD_BYTES,
+                });
+            }
+            let at = buf.len();
+            buf.extend_from_slice(
+                &u32::try_from(payload.len())
+                    .expect("cap fits u32")
+                    .to_le_bytes(),
+            );
+            buf.extend_from_slice(payload);
+            let crc = crc32(&buf[at..]);
+            buf.extend_from_slice(&crc.to_le_bytes());
+        }
+        self.vfs.write_atomic(&self.name, &buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vfs::{FaultFs, FaultKnobs};
+
+    fn mem() -> Arc<FaultFs> {
+        Arc::new(FaultFs::new(FaultKnobs::quiet(1)))
+    }
+
+    #[test]
+    fn append_and_recover_round_trip_in_order() {
+        let fs = mem();
+        let log = JournalLog::new(fs.clone(), "j.nsjl");
+        assert_eq!(log.recover().unwrap(), Recovered::default());
+        log.append_record(b"one").unwrap();
+        log.append_record(b"").unwrap();
+        log.append_record(b"three").unwrap();
+        let got = log.recover().unwrap();
+        assert_eq!(got.torn_bytes, 0);
+        assert_eq!(
+            got.records,
+            vec![b"one".to_vec(), Vec::new(), b"three".to_vec()]
+        );
+    }
+
+    #[test]
+    fn every_truncation_recovers_a_clean_prefix_or_fails_closed() {
+        let fs = mem();
+        let log = JournalLog::new(fs.clone(), "j.nsjl");
+        log.append_record(b"alpha").unwrap();
+        log.append_record(b"beta").unwrap();
+        log.append_record(b"gamma").unwrap();
+        let full = fs.read("j.nsjl").unwrap();
+        let whole = log.recover().unwrap().records;
+        assert_eq!(whole.len(), 3);
+        for cut in 0..full.len() {
+            let fs2 = mem();
+            fs2.set_durable("j.nsjl", full[..cut].to_vec());
+            let log2 = JournalLog::new(fs2.clone(), "j.nsjl");
+            let got = log2
+                .recover()
+                .expect("prefix truncation is always a torn tail");
+            // The recovered records are a prefix of the full set.
+            assert!(got.records.len() <= whole.len());
+            assert_eq!(got.records[..], whole[..got.records.len()], "cut at {cut}");
+            assert!(
+                got.torn_bytes > 0 || got.records.len() < whole.len(),
+                "cut at {cut} lost bytes without reporting a torn tail"
+            );
+            // Recovery compacted: a second recovery is clean and equal.
+            let again = log2.recover().unwrap();
+            assert_eq!(again.torn_bytes, 0, "cut at {cut}");
+            assert_eq!(again.records, got.records, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn mid_file_rot_fails_closed_with_typed_errors() {
+        let fs = mem();
+        let log = JournalLog::new(fs.clone(), "j.nsjl");
+        log.append_record(b"alpha").unwrap();
+        log.append_record(b"beta").unwrap();
+        let full = fs.read("j.nsjl").unwrap();
+        // Flip one payload bit of the *first* record: a complete frame
+        // with a wrong CRC is rot, not a torn tail.
+        let mut rotted = full.clone();
+        rotted[HEADER_LEN + 5] ^= 0x10;
+        fs.set_durable("j.nsjl", rotted);
+        assert_eq!(
+            log.recover(),
+            Err(StoreError::CrcMismatch { what: "NSJL log" })
+        );
+        // Wrong magic.
+        let mut bad = full.clone();
+        bad[0] ^= 0xff;
+        fs.set_durable("j.nsjl", bad);
+        assert_eq!(
+            log.recover(),
+            Err(StoreError::BadMagic { what: "NSJL log" })
+        );
+        // Future version.
+        let mut newer = full.clone();
+        newer[4] = 0xee;
+        fs.set_durable("j.nsjl", newer);
+        assert!(matches!(
+            log.recover(),
+            Err(StoreError::BadVersion { version: 0xee, .. })
+        ));
+        // Forged huge length, re-sealed CRC: rejected before allocation.
+        let mut forged = full[..HEADER_LEN].to_vec();
+        let mut frame = u32::MAX.to_le_bytes().to_vec();
+        let crc = crc32(&frame);
+        frame.extend_from_slice(&crc.to_le_bytes());
+        forged.extend_from_slice(&frame);
+        fs.set_durable("j.nsjl", forged);
+        assert!(matches!(
+            log.recover(),
+            Err(StoreError::Oversized {
+                what: "log record",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn killed_append_is_recovered_as_at_most_one_lost_record() {
+        for seed in 0..48 {
+            let fs = Arc::new(FaultFs::new(FaultKnobs::quiet(seed)));
+            let log = JournalLog::new(fs.clone(), "j.nsjl");
+            log.append_record(b"stable-record").unwrap();
+            fs.set_kill_at(1);
+            log.append_record(b"doomed-record").unwrap_err();
+            fs.crash();
+            let got = log
+                .recover()
+                .expect("a killed append must stay recoverable");
+            assert!(
+                !got.records.is_empty(),
+                "seed {seed}: the fsynced record survives"
+            );
+            assert_eq!(got.records[0], b"stable-record".to_vec());
+            assert!(got.records.len() <= 2, "seed {seed}");
+            if got.records.len() == 2 {
+                assert_eq!(got.records[1], b"doomed-record".to_vec());
+            }
+        }
+    }
+
+    #[test]
+    fn rewrite_compacts_to_an_equivalent_log() {
+        let fs = mem();
+        let log = JournalLog::new(fs.clone(), "j.nsjl");
+        for i in 0..10u8 {
+            log.append_record(&[i]).unwrap();
+        }
+        log.rewrite(&[vec![42], vec![43]]).unwrap();
+        let got = log.recover().unwrap();
+        assert_eq!(got.records, vec![vec![42], vec![43]]);
+        assert_eq!(got.torn_bytes, 0);
+    }
+}

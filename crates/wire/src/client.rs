@@ -35,6 +35,15 @@
 //!   *newer* restructure generation may replace the pin (a live
 //!   rollover), and it discards every unit held under the old one —
 //!   a session never splices bytes from two layouts.
+//!
+//! PR 10 widens the fault domain again, from connection death to
+//! **process** death: an optional [`SessionStore`] hook persists the
+//! manifest pin, per-unit watermarks, and unit bytes as they are
+//! accepted, and a fresh client warm-resumes from whatever verified
+//! prefix the store can prove after a kill. The store is untrusted on
+//! reload — `nonstrict-store` re-verifies every cached unit against
+//! the pinned manifest digest before it is offered back — so the
+//! fail-closed invariant survives the round trip through disk.
 
 use std::io::Write;
 use std::net::{SocketAddr, TcpStream};
@@ -69,6 +78,112 @@ pub fn boost_health(health_ppm: u32) -> u32 {
     health_ppm - (health_ppm >> HEALTH_EWMA_SHIFT) + (HEALTH_FULL_PPM >> HEALTH_EWMA_SHIFT)
 }
 
+/// A durable-store write failed mid-session. The client treats this
+/// as process death: recording a unit without persisting it would let
+/// an in-memory watermark run ahead of the journal, which is exactly
+/// the divergence the store exists to prevent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreFault {
+    /// The persistence hook that failed.
+    pub op: &'static str,
+    /// The underlying store error, stringified.
+    pub detail: String,
+}
+
+/// One class of a warm-resumed session: the verified prefix a durable
+/// store could prove after a process kill.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WarmClass {
+    /// Layout epoch the prefix was delivered under.
+    pub epoch: u32,
+    /// Advertised unit total (0 when never welcomed).
+    pub units: u32,
+    /// CRC32 of each verified unit, in unit order; its length is the
+    /// resumed delivered watermark.
+    pub crcs: Vec<u32>,
+    /// Size of each verified unit, in unit order.
+    pub sizes: Vec<u32>,
+    /// The verified unit payloads, in unit order.
+    pub payloads: Vec<Vec<u8>>,
+}
+
+/// A warm-start snapshot: everything a [`SessionStore`] could verify
+/// from its journal and cache. The client re-decodes and re-pins the
+/// manifest bytes itself — the store proves integrity, the client
+/// still owns the trust decision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WarmSession {
+    /// Restructure generation of the pinned manifest.
+    pub generation: u32,
+    /// The pinned manifest's encoded NSUM bytes.
+    pub manifest: Vec<u8>,
+    /// Per-class verified prefixes.
+    pub classes: Vec<WarmClass>,
+}
+
+/// The client's durable-state hook. Implementations (see
+/// `nonstrict-store`) persist the manifest pin, per-unit watermarks,
+/// and unit bytes so a later process can warm-resume; every mutating
+/// hook returns `Err` to signal that durability was lost and the
+/// session must fail closed rather than run ahead of its journal.
+pub trait SessionStore: Send {
+    /// Recovers whatever verified state survives on disk. Integrity
+    /// failures inside the store must fail closed to `None` (cold
+    /// start) — never surface unverified bytes.
+    fn warm_start(&mut self) -> Option<WarmSession>;
+
+    /// A manifest was pinned (first Welcome, or a generation
+    /// rollover re-pin).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreFault`] when the pin could not be made durable.
+    fn on_pin(&mut self, generation: u32, manifest: &[u8]) -> Result<(), StoreFault>;
+
+    /// A unit passed every check and was accepted at the boundary.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreFault`] when the unit could not be made durable.
+    fn on_unit(
+        &mut self,
+        class: u32,
+        unit: u32,
+        epoch: u32,
+        units: u32,
+        payload: &[u8],
+    ) -> Result<(), StoreFault>;
+
+    /// A class's layout epoch moved: its held units were discarded.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreFault`] when the reset could not be made durable.
+    fn on_reset_class(&mut self, class: u32, epoch: u32, units: u32) -> Result<(), StoreFault>;
+
+    /// Resume negotiation truncated a class back to `delivered`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreFault`] when the truncation could not be made durable.
+    fn on_truncate(&mut self, class: u32, delivered: u32) -> Result<(), StoreFault>;
+
+    /// A generation rollover discarded every held unit.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreFault`] when the reset could not be made durable.
+    fn on_reset_all(&mut self) -> Result<(), StoreFault>;
+
+    /// The session completed every class.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreFault`] when the completion record could not be made
+    /// durable.
+    fn on_complete(&mut self) -> Result<(), StoreFault>;
+}
+
 /// Tuning for one [`WireClient`] session.
 #[derive(Debug, Clone)]
 pub struct ClientConfig {
@@ -95,6 +210,12 @@ pub struct ClientConfig {
     /// many units have been delivered in total — the wire-level
     /// crash-anywhere probe.
     pub disconnect_after_units: Option<u64>,
+    /// Test hook: die for good (typed [`ClientError::Killed`]) once
+    /// this many units have been delivered in total — the *process*
+    /// crash probe. Unlike `disconnect_after_units` the session does
+    /// not reconnect; a warm restart from a [`SessionStore`] is the
+    /// only way forward.
+    pub kill_after_units: Option<u64>,
     /// Keep full unit payloads in the report (the differential test
     /// feeds them back through the class-file stream loader).
     pub keep_payloads: bool,
@@ -121,6 +242,7 @@ impl ClientConfig {
             backoff_base: Duration::from_millis(2),
             backoff_cap: Duration::from_millis(100),
             disconnect_after_units: None,
+            kill_after_units: None,
             keep_payloads: false,
         }
     }
@@ -146,6 +268,21 @@ pub enum ClientError {
     /// The server declared the Hello incompatible (unknown benchmark or
     /// protocol mismatch) — retrying cannot help.
     Incompatible,
+    /// The process-kill probe fired ([`ClientConfig::kill_after_units`]):
+    /// the session is dead mid-transfer and only a warm restart from
+    /// its durable store can continue it.
+    Killed {
+        /// Units delivered when the kill fired.
+        delivered: u64,
+    },
+    /// A durable-store write failed: the session fails closed rather
+    /// than let in-memory watermarks run ahead of the journal.
+    Store {
+        /// The persistence hook that failed.
+        op: &'static str,
+        /// The underlying store error, stringified.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for ClientError {
@@ -159,6 +296,12 @@ impl std::fmt::Display for ClientError {
                 write!(f, "all {quarantined} mirrors quarantined for equivocation")
             }
             ClientError::Incompatible => write!(f, "server rejected the session as incompatible"),
+            ClientError::Killed { delivered } => {
+                write!(f, "process killed after {delivered} delivered units")
+            }
+            ClientError::Store { op, detail } => {
+                write!(f, "durable store failed at {op}: {detail}")
+            }
         }
     }
 }
@@ -218,6 +361,9 @@ pub struct ClientReport {
     pub mirror_health: Vec<u32>,
     /// Payload bytes accepted into the journal.
     pub bytes: u64,
+    /// Units restored from the durable store at warm start (already
+    /// verified against the pinned manifest; never refetched).
+    pub warm_units: u64,
     /// True when every class reached its advertised unit total.
     pub complete: bool,
 }
@@ -280,6 +426,7 @@ pub struct WireClient {
     report: ClientReport,
     disconnect_fired: bool,
     delivered_total: u64,
+    store: Option<Box<dyn SessionStore>>,
 }
 
 enum Attempt {
@@ -308,6 +455,9 @@ enum Adopt {
     /// Structurally impossible (undecodable manifest, advert/manifest
     /// shape mismatch, watermark regression).
     Violation,
+    /// The durable store failed while persisting the pin or a reset:
+    /// fail closed, the session is over.
+    Broken(StoreFault),
 }
 
 impl WireClient {
@@ -328,7 +478,56 @@ impl WireClient {
             report: ClientReport::default(),
             disconnect_fired: false,
             delivered_total: 0,
+            store: None,
         }
+    }
+
+    /// A session backed by a durable store: state recovered by
+    /// [`SessionStore::warm_start`] seeds the session before the first
+    /// connect, and every accepted unit is persisted at the boundary.
+    #[must_use]
+    pub fn with_store(config: ClientConfig, store: Box<dyn SessionStore>) -> WireClient {
+        let mut client = WireClient::new(config);
+        client.store = Some(store);
+        client
+    }
+
+    /// Seeds the session from a warm-start snapshot. The manifest is
+    /// re-decoded and re-pinned here — a snapshot whose manifest fails
+    /// to decode is discarded wholesale (cold start), because nothing
+    /// in it can be verified without the pin.
+    fn apply_warm(&mut self, warm: WarmSession) {
+        let Ok(decoded) = UnitManifest::decode(&warm.manifest) else {
+            return;
+        };
+        let crc = crc32(&warm.manifest);
+        self.report.generation = warm.generation;
+        self.report.manifest_epoch = decoded.epoch;
+        self.report.manifest_crc = crc;
+        self.pin = Some(PinnedManifest {
+            generation: warm.generation,
+            epoch: decoded.epoch,
+            crc,
+            digests: decoded.unit_digests,
+        });
+        self.classes = warm
+            .classes
+            .iter()
+            .map(|c| ClassState {
+                epoch: c.epoch,
+                units: c.units,
+                delivered: u32::try_from(c.crcs.len()).unwrap_or(u32::MAX),
+                crcs: c.crcs.clone(),
+                sizes: c.sizes.clone(),
+                payloads: if self.config.keep_payloads {
+                    c.payloads.clone()
+                } else {
+                    Vec::new()
+                },
+            })
+            .collect();
+        self.delivered_total = self.classes.iter().map(|c| u64::from(c.delivered)).sum();
+        self.report.warm_units = self.delivered_total;
     }
 
     /// Runs the session to completion: connect to the healthiest
@@ -346,6 +545,13 @@ impl WireClient {
     pub fn run(mut self) -> Result<ClientReport, ClientError> {
         if self.mirrors.is_empty() {
             return Err(ClientError::NoMirrors);
+        }
+        if let Some(mut store) = self.store.take() {
+            let warm = store.warm_start();
+            self.store = Some(store);
+            if let Some(warm) = warm {
+                self.apply_warm(warm);
+            }
         }
         let mut last_mirror: Option<usize> = None;
         while self.report.connects < self.config.max_attempts {
@@ -367,6 +573,16 @@ impl WireClient {
             last_mirror = Some(mi);
             match self.attempt(mi) {
                 Attempt::Done => {
+                    if let Some(store) = self.store.as_mut() {
+                        if let Err(e) = store.on_complete() {
+                            // The completion record never landed: the
+                            // process is as good as dead at that write.
+                            return Err(ClientError::Store {
+                                op: e.op,
+                                detail: e.detail,
+                            });
+                        }
+                    }
                     self.finish_report();
                     return Ok(self.report);
                 }
@@ -492,6 +708,12 @@ impl WireClient {
                         decay: true,
                     };
                 }
+                Adopt::Broken(e) => {
+                    return Attempt::Fatal(ClientError::Store {
+                        op: e.op,
+                        detail: e.detail,
+                    })
+                }
             },
             Ok(Frame::Retry { after_ms }) => {
                 self.report.admission_retries += 1;
@@ -559,8 +781,23 @@ impl WireClient {
                         self.report.digest_rejects += 1;
                         return Attempt::Quarantine;
                     }
-                    self.accept_unit(mi, ci, &payload);
+                    if let Err(e) = self.accept_unit(mi, ci, &payload) {
+                        return Attempt::Fatal(ClientError::Store {
+                            op: e.op,
+                            detail: e.detail,
+                        });
+                    }
                     expected[ci] += 1;
+                    if let Some(k) = self.config.kill_after_units {
+                        if self.delivered_total >= k {
+                            // The process-crash probe: die for good at
+                            // this unit boundary. The journal keeps
+                            // everything accepted so far.
+                            return Attempt::Fatal(ClientError::Killed {
+                                delivered: self.delivered_total,
+                            });
+                        }
+                    }
                     if let Some(k) = self.config.disconnect_after_units {
                         if !self.disconnect_fired && self.delivered_total >= k {
                             // The crash-anywhere probe: die exactly at
@@ -655,6 +892,11 @@ impl WireClient {
                 // it all; a session never splices two generations.
                 self.classes.clear();
                 self.delivered_total = 0;
+                if let Some(store) = self.store.as_mut() {
+                    if let Err(e) = store.on_reset_all() {
+                        return Adopt::Broken(e);
+                    }
+                }
                 true
             }
             Some(pin) => {
@@ -670,6 +912,11 @@ impl WireClient {
             };
             if decoded.epoch != manifest_epoch {
                 return Adopt::Violation;
+            }
+            if let Some(store) = self.store.as_mut() {
+                if let Err(e) = store.on_pin(generation, manifest) {
+                    return Adopt::Broken(e);
+                }
             }
             self.report.generation = generation;
             self.report.manifest_epoch = manifest_epoch;
@@ -694,14 +941,16 @@ impl WireClient {
         {
             return Adopt::Violation;
         }
-        if self.classes.is_empty() {
-            self.classes = vec![ClassState::default(); adverts.len()];
-        } else if self.classes.len() != adverts.len() {
+        if self.classes.len() > adverts.len() {
             return Adopt::Violation;
         }
+        // A warm-start snapshot only knows the classes that journaled a
+        // unit before the crash; the tail it never heard of is fresh.
+        self.classes.resize_with(adverts.len(), ClassState::default);
         let mut expected = Vec::with_capacity(adverts.len());
         for (ci, advert) in adverts.iter().enumerate() {
             let class = &mut self.classes[ci];
+            let class_id = u32::try_from(ci).unwrap_or(u32::MAX);
             if class.delivered == 0 {
                 class.epoch = advert.epoch;
                 class.units = advert.units;
@@ -714,7 +963,13 @@ impl WireClient {
                     units: advert.units,
                     ..ClassState::default()
                 };
+                if let Some(store) = self.store.as_mut() {
+                    if let Err(e) = store.on_reset_class(class_id, advert.epoch, advert.units) {
+                        return Adopt::Broken(e);
+                    }
+                }
             }
+            let class = &mut self.classes[ci];
             if advert.start > class.delivered {
                 // The server claims we hold units we never journaled.
                 return Adopt::Violation;
@@ -730,13 +985,18 @@ impl WireClient {
                 class.sizes.truncate(advert.start as usize);
                 class.payloads.truncate(advert.start as usize);
                 class.delivered = advert.start;
+                if let Some(store) = self.store.as_mut() {
+                    if let Err(e) = store.on_truncate(class_id, advert.start) {
+                        return Adopt::Broken(e);
+                    }
+                }
             }
             expected.push(advert.start);
         }
         Adopt::Go(expected)
     }
 
-    fn accept_unit(&mut self, mi: usize, ci: usize, payload: &[u8]) {
+    fn accept_unit(&mut self, mi: usize, ci: usize, payload: &[u8]) -> Result<(), StoreFault> {
         let class = &mut self.classes[ci];
         class.crcs.push(crc32(payload));
         class
@@ -746,10 +1006,24 @@ impl WireClient {
             class.payloads.push(payload.to_vec());
         }
         class.delivered += 1;
+        let (unit, epoch, units) = (class.delivered - 1, class.epoch, class.units);
         self.delivered_total += 1;
         let mirror = &mut self.mirrors[mi];
         mirror.units += 1;
         mirror.health_ppm = boost_health(mirror.health_ppm);
+        if let Some(store) = self.store.as_mut() {
+            // Persist *before* the unit counts as delivered to any
+            // observer: a store failure here is process death, and the
+            // journal must never lag what the session believes.
+            store.on_unit(
+                u32::try_from(ci).unwrap_or(u32::MAX),
+                unit,
+                epoch,
+                units,
+                payload,
+            )?;
+        }
+        Ok(())
     }
 
     fn finish_report(&mut self) {

@@ -15,13 +15,19 @@
 //! sessions that *claim* the same layout must still match bit for bit.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crate::client::{ClientConfig, WireClient};
+use crate::client::{ClientConfig, ClientError, SessionStore, WireClient};
 use crate::SplitMix64;
 
+/// Builds the durable [`SessionStore`] for client index `i`. Called
+/// again with the same index on warm restart, so the factory must hand
+/// back a store over the *same* underlying state both times.
+pub type StoreFactory = Arc<dyn Fn(usize) -> Box<dyn SessionStore> + Send + Sync>;
+
 /// Tuning for one loadgen run.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct LoadgenConfig {
     /// Per-client session template (address, benchmark, timeouts,
     /// backoff, attempt budget).
@@ -33,6 +39,23 @@ pub struct LoadgenConfig {
     /// Arrival window: session start offsets are uniform in
     /// `[0, arrival_spread)`.
     pub arrival_spread: Duration,
+    /// Durable-store factory. When set, every session journals through
+    /// its store, and a session that dies at the
+    /// [`ClientConfig::kill_after_units`] probe is restarted once —
+    /// warm, from whatever the store recovers — with the kill disarmed.
+    pub stores: Option<StoreFactory>,
+}
+
+impl std::fmt::Debug for LoadgenConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LoadgenConfig")
+            .field("client", &self.client)
+            .field("clients", &self.clients)
+            .field("seed", &self.seed)
+            .field("arrival_spread", &self.arrival_spread)
+            .field("stores", &self.stores.as_ref().map(|_| "<factory>"))
+            .finish()
+    }
 }
 
 /// What the fleet saw.
@@ -74,6 +97,11 @@ pub struct LoadgenReport {
     /// Units delivered by each mirror across the fleet, in the client
     /// config's mirror order — where the bytes actually came from.
     pub mirror_units: Vec<u64>,
+    /// Process kills taken at the storage kill probe across the fleet.
+    pub kills: u64,
+    /// Units restored from durable storage at warm restarts (delivered
+    /// work that did not have to cross the wire twice).
+    pub warm_units: u64,
     /// Distinct `(generation, manifest epoch)` layouts completed
     /// sessions pinned — more than one only across a live rollover.
     pub layouts_seen: usize,
@@ -101,13 +129,33 @@ pub fn run_loadgen(config: &LoadgenConfig) -> LoadgenReport {
 
     let handles: Vec<_> = offsets
         .into_iter()
-        .map(|offset_ms| {
+        .enumerate()
+        .map(|(i, offset_ms)| {
             let client_config = config.client.clone();
+            let stores = config.stores.clone();
             std::thread::spawn(move || {
                 std::thread::sleep(Duration::from_millis(offset_ms));
                 let started = Instant::now();
-                let outcome = WireClient::new(client_config).run();
-                (outcome, started.elapsed())
+                let mut kills = 0u64;
+                let outcome = match &stores {
+                    None => WireClient::new(client_config).run(),
+                    Some(factory) => {
+                        let first = WireClient::with_store(client_config.clone(), factory(i)).run();
+                        match first {
+                            Err(ClientError::Killed { .. }) => {
+                                // Process death at the storage probe:
+                                // restart warm from the same store,
+                                // kill disarmed so the retry can finish.
+                                kills += 1;
+                                let mut revived = client_config;
+                                revived.kill_after_units = None;
+                                WireClient::with_store(revived, factory(i)).run()
+                            }
+                            other => other,
+                        }
+                    }
+                };
+                (outcome, kills, started.elapsed())
             })
         })
         .collect();
@@ -122,15 +170,17 @@ pub fn run_loadgen(config: &LoadgenConfig) -> LoadgenReport {
     // hold byte-identical units, whichever mirrors served them.
     let mut references: HashMap<(u32, u64, u32), Vec<Vec<u32>>> = HashMap::new();
     for (i, handle) in handles.into_iter().enumerate() {
-        let Ok((outcome, elapsed)) = handle.join() else {
+        let Ok((outcome, kills, elapsed)) = handle.join() else {
             report.failed += 1;
             report
                 .violations
                 .push(format!("client {i}: session thread panicked"));
             continue;
         };
+        report.kills += kills;
         match outcome {
             Ok(session) => {
+                report.warm_units += session.warm_units;
                 report.connects += u64::from(session.connects);
                 report.admission_retries += u64::from(session.admission_retries);
                 report.evictions += u64::from(session.evictions);

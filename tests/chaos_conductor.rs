@@ -226,6 +226,58 @@ fn committed_repro_corpus_replays_bit_for_bit_and_passes() {
 }
 
 #[test]
+fn disk_dimension_composes_with_interrupts_and_round_trips() {
+    use nonstrict_core::DiskDims;
+    let session = session();
+    // Armed but quiet: a seeded disk with zero rates must not perturb.
+    let quiet = ChaosScenario::new("Hanoi", Link::T1, OrderingSource::StaticCallGraph)
+        .with_disk(DiskDims::seeded(11));
+    assert!(quiet.is_quiet(), "zero-rate disk dims are quiet");
+
+    // Active storage faults composed with link faults and a mid-run
+    // interrupt: the checkpoint journal crosses the faulty store, and
+    // whatever the store does to it — intact, torn, lost — the resumed
+    // run must converge or fail closed, never diverge.
+    let mut dd = DiskDims::seeded(11);
+    dd.torn_pm = 400_000;
+    dd.lie_pm = 150_000;
+    dd.bitrot_pm = 120_000;
+    let mut fc = FaultConfig::seeded(4);
+    fc.loss_pm = 10_000;
+    let sc = ChaosScenario::new("Hanoi", Link::MODEM_28_8, OrderingSource::StaticCallGraph)
+        .with_verify(VerifyMode::Stream)
+        .with_faults(fc)
+        .with_disk(dd)
+        .with_interrupt(25_000_000, DOWNTIME);
+    assert!(sc.label().contains("disk"), "label: {}", sc.label());
+    let report = chaos::run_scenario(&session, &sc);
+    assert!(report.passed(), "{:?}", report.violations);
+    assert_eq!(
+        report,
+        chaos::run_scenario(&session, &sc),
+        "disk-faulted scenarios must replay bit for bit"
+    );
+    // The NSCR artifact carries the disk keys and round-trips.
+    let artifact = sc.encode();
+    assert!(artifact.contains("disk.torn_pm"), "{artifact}");
+    assert_eq!(ChaosScenario::decode(&artifact).unwrap(), sc);
+    let first = chaos::replay_repro(&artifact).unwrap();
+    assert_eq!(first, chaos::replay_repro(&artifact).unwrap());
+
+    // Without an interrupt the conductor probes a grid of journal
+    // round trips under the same dims; several seeds must pass the
+    // fail-closed contract.
+    for seed in 0..chaos_seeds() {
+        let mut probe_dims = dd;
+        probe_dims.seed = seed;
+        let probe = ChaosScenario::new("Hanoi", Link::T1, OrderingSource::StaticCallGraph)
+            .with_disk(probe_dims);
+        let report = chaos::run_scenario(&session, &probe);
+        assert!(report.passed(), "seed {seed}: {:?}", report.violations);
+    }
+}
+
+#[test]
 fn overload_compositions_keep_per_client_exactness() {
     let session = session();
     let mut ov = OverloadDims::seeded(9);

@@ -22,3 +22,12 @@ pub fn fuzz_cases() -> usize {
         .and_then(|v| v.parse().ok())
         .unwrap_or(64)
 }
+
+/// Storage-fault seed count: 4 locally, elevated in CI's
+/// disk-chaos-smoke job via `NONSTRICT_DISK_SEEDS`.
+pub fn disk_seeds() -> u64 {
+    std::env::var("NONSTRICT_DISK_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4)
+}

@@ -91,8 +91,13 @@ fn kill_any_mirror_at_every_unit_boundary_converges() {
             u64::from(report.delivered.iter().map(|&d| u64::from(d)).sum::<u64>() as u32),
             "every accepted unit is attributed to a mirror"
         );
+        // At the final boundary the dying mirror races its own kill:
+        // if the writer flushes unit `total_units` before the socket
+        // shutdown lands, the survivor only serves the Complete
+        // handshake and contributes no units. Anywhere earlier it must
+        // serve real payload.
         assert!(
-            report.mirror_units[1] > 0,
+            report.mirror_units[1] > 0 || k == total_units,
             "kill at unit {k}: survivor idle"
         );
     }
@@ -216,6 +221,7 @@ fn supervised_fleet_survives_seeded_kills_and_restarts() {
         clients: 6,
         seed: 9,
         arrival_spread: Duration::from_millis(60),
+        stores: None,
     });
     assert_eq!(loadgen.completed, 6, "violations: {:?}", loadgen.violations);
     assert!(loadgen.violations.is_empty(), "{:?}", loadgen.violations);

@@ -137,6 +137,7 @@ fn admission_control_retries_then_completes() {
         clients: 8,
         seed: 3,
         arrival_spread: Duration::from_millis(1),
+        stores: None,
     });
     assert_eq!(report.completed, 8, "violations: {:?}", report.violations);
     assert_eq!(report.failed, 0);
